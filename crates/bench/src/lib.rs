@@ -1,0 +1,6 @@
+//! # tempo-bench — benchmark and experiment harness
+//!
+//! Hosts the repository-level `examples/` (one per paper experiment),
+//! `tests/` (cross-crate integration tests) and Criterion benchmarks
+//! (`benches/paper_benches.rs`, one group per table/figure plus
+//! ablations). See EXPERIMENTS.md for the experiment index.

@@ -1,0 +1,80 @@
+//! Atomic BIP components: behaviour (control locations + transitions
+//! labelled by ports) and interface (the ports themselves).
+
+use tempo_expr::{Expr, Stmt};
+
+/// Identifier of a port in a [`BipSystem`](crate::BipSystem). Ports are
+/// the interaction points of atomic components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub usize);
+
+/// Identifier of an atomic component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentId(pub usize);
+
+/// Identifier of a control location within a component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub usize);
+
+/// A transition of an atomic component: fires when its port participates
+/// in an executed interaction and its guard holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Source control location.
+    pub from: StateId,
+    /// Target control location.
+    pub to: StateId,
+    /// The port this transition offers.
+    pub port: PortId,
+    /// Data guard over the (global) store.
+    pub guard: Expr,
+    /// Update executed when the transition fires.
+    pub update: Stmt,
+}
+
+/// An atomic BIP component: named control locations, ports and
+/// port-labelled transitions (Bozga et al., DATE 2012, §IV:
+/// "atomic components characterized by their behavior and their
+/// interface").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Component name (e.g. the DALA modules of Fig. 6).
+    pub name: String,
+    /// Control location names.
+    pub states: Vec<String>,
+    /// Ports owned by this component (global ids).
+    pub ports: Vec<PortId>,
+    /// Transitions.
+    pub transitions: Vec<Transition>,
+    /// Initial control location.
+    pub initial: StateId,
+}
+
+impl Component {
+    /// Looks up a control location by name.
+    #[must_use]
+    pub fn state_by_name(&self, name: &str) -> Option<StateId> {
+        self.states.iter().position(|s| s == name).map(StateId)
+    }
+
+    /// The transitions offering `port` from control location `from`.
+    pub fn transitions_on(
+        &self,
+        from: StateId,
+        port: PortId,
+    ) -> impl Iterator<Item = &Transition> + '_ {
+        self.transitions
+            .iter()
+            .filter(move |t| t.from == from && t.port == port)
+    }
+
+    /// Whether some transition from `from` offers `port` (ignoring data
+    /// guards) — the control-level readiness used by D-Finder's
+    /// over-approximations.
+    #[must_use]
+    pub fn offers(&self, from: StateId, port: PortId) -> bool {
+        self.transitions
+            .iter()
+            .any(|t| t.from == from && t.port == port)
+    }
+}

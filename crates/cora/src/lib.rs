@@ -1,0 +1,505 @@
+//! # tempo-cora — minimum-cost reachability for priced timed automata
+//!
+//! The UPPAAL-CORA analogue of the workspace (Bozga et al., DATE 2012,
+//! §II): timed automata extended with cost variables — a cost *rate* per
+//! location (paid while delaying) and a cost per edge (paid when firing) —
+//! and a solver for *minimum-cost reachability*, the basis of
+//! optimization problems such as worst-case execution-time analysis.
+//!
+//! The paper's tool uses priced zones; this reproduction solves the same
+//! problem with Dijkstra's algorithm over the digital-clocks semantics
+//! ([`tempo_ta::DigitalExplorer`]), which is exact for closed models with
+//! integer rates (see DESIGN.md for the substitution argument).
+//!
+//! ## Example
+//!
+//! ```
+//! use tempo_ta::{NetworkBuilder, ClockAtom, StateFormula};
+//! use tempo_cora::PricedNetwork;
+//!
+//! // Stay in Wait (rate 2) until x >= 3, then pay 5 to finish.
+//! let mut b = NetworkBuilder::new();
+//! let x = b.clock("x");
+//! let mut a = b.automaton("Job");
+//! let wait = a.location("Wait");
+//! let done = a.location("Done");
+//! a.edge(wait, done).guard_clock(ClockAtom::ge(x, 3)).done();
+//! let job = a.done();
+//! let net = b.build();
+//!
+//! let mut priced = PricedNetwork::new(net);
+//! priced.set_rate(job, wait, 2);
+//! priced.set_edge_cost(job, 0, 5);
+//! let res = priced.min_cost_reach(&StateFormula::at(job, done)).expect("reachable");
+//! assert_eq!(res.cost, 2 * 3 + 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use tempo_ta::{AutomatonId, DigitalExplorer, DigitalState, LocationId, Network, StateFormula};
+
+/// A timed-automata network annotated with location cost rates and edge
+/// costs (a priced/weighted timed automaton, as in UPPAAL-CORA).
+#[derive(Debug)]
+pub struct PricedNetwork {
+    net: Network,
+    rates: HashMap<(AutomatonId, LocationId), i64>,
+    edge_costs: HashMap<(AutomatonId, usize), i64>,
+}
+
+/// The result of a maximum-cost (WCET-style) reachability query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaxCost {
+    /// The worst case is the given finite cost.
+    Bounded(i64),
+    /// A positive-cost cycle allows arbitrarily expensive runs.
+    Unbounded,
+}
+
+impl MaxCost {
+    /// The finite bound, if any.
+    #[must_use]
+    pub fn bounded(self) -> Option<i64> {
+        match self {
+            MaxCost::Bounded(c) => Some(c),
+            MaxCost::Unbounded => None,
+        }
+    }
+}
+
+/// The result of a minimum-cost reachability query.
+#[derive(Debug, Clone)]
+pub struct MinCostResult {
+    /// The minimum total cost of reaching the goal.
+    pub cost: i64,
+    /// The goal state reached at that cost.
+    pub state: DigitalState,
+    /// The action/delay labels along an optimal path.
+    pub path: Vec<String>,
+    /// Number of distinct states settled by the search.
+    pub explored: usize,
+}
+
+impl PricedNetwork {
+    /// Wraps a network with all rates and edge costs zero.
+    #[must_use]
+    pub fn new(net: Network) -> Self {
+        PricedNetwork {
+            net,
+            rates: HashMap::new(),
+            edge_costs: HashMap::new(),
+        }
+    }
+
+    /// The underlying network.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Sets the cost rate of a location (cost per time unit spent there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is negative (Dijkstra requires non-negative
+    /// costs, as does UPPAAL-CORA).
+    pub fn set_rate(&mut self, a: AutomatonId, l: LocationId, rate: i64) {
+        assert!(rate >= 0, "cost rates must be non-negative");
+        self.rates.insert((a, l), rate);
+    }
+
+    /// Sets the firing cost of edge `edge_index` of automaton `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cost is negative.
+    pub fn set_edge_cost(&mut self, a: AutomatonId, edge_index: usize, cost: i64) {
+        assert!(cost >= 0, "edge costs must be non-negative");
+        self.edge_costs.insert((a, edge_index), cost);
+    }
+
+    /// The cost rate of one tick in the given state: the sum of the rates
+    /// of all current locations.
+    #[must_use]
+    pub fn tick_cost(&self, state: &DigitalState) -> i64 {
+        state
+            .locs
+            .iter()
+            .enumerate()
+            .map(|(ai, &l)| self.rates.get(&(AutomatonId(ai), l)).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// Minimum-cost reachability: the cheapest way to reach a state
+    /// satisfying `goal`, or `None` if the goal is unreachable.
+    ///
+    /// Runs Dijkstra over the digital-clock graph; exact for closed
+    /// models with integer costs.
+    #[must_use]
+    pub fn min_cost_reach(&self, goal: &StateFormula) -> Option<MinCostResult> {
+        let exp = DigitalExplorer::new(&self.net);
+        let init = exp.initial_state();
+
+        let mut dist: HashMap<DigitalState, i64> = HashMap::new();
+        let mut pred: HashMap<DigitalState, (DigitalState, String)> = HashMap::new();
+        let mut heap: BinaryHeap<Reverse<(i64, u64)>> = BinaryHeap::new();
+        let mut arena: Vec<DigitalState> = Vec::new();
+
+        dist.insert(init.clone(), 0);
+        arena.push(init);
+        heap.push(Reverse((0, 0)));
+        let mut explored = 0;
+
+        while let Some(Reverse((d, idx))) = heap.pop() {
+            let state = arena[idx as usize].clone();
+            if dist.get(&state).copied() != Some(d) {
+                continue; // stale heap entry
+            }
+            explored += 1;
+            if exp.satisfies(&state, goal) {
+                let mut path = Vec::new();
+                let mut cur = state.clone();
+                while let Some((prev, label)) = pred.get(&cur) {
+                    path.push(label.clone());
+                    cur = prev.clone();
+                }
+                path.reverse();
+                return Some(MinCostResult {
+                    cost: d,
+                    state,
+                    path,
+                    explored,
+                });
+            }
+            // Tick successor.
+            if let Some(next) = exp.tick(&state) {
+                let nd = d + self.tick_cost(&state);
+                if dist.get(&next).is_none_or(|&old| nd < old) {
+                    dist.insert(next.clone(), nd);
+                    pred.insert(next.clone(), (state.clone(), "delay(1)".to_owned()));
+                    arena.push(next);
+                    heap.push(Reverse((nd, (arena.len() - 1) as u64)));
+                }
+            }
+            // Action successors.
+            for (mv, next) in exp.moves(&state) {
+                let edge_cost: i64 = mv
+                    .participants
+                    .iter()
+                    .map(|(ai, ei, _)| {
+                        self.edge_costs
+                            .get(&(AutomatonId(*ai), *ei))
+                            .copied()
+                            .unwrap_or(0)
+                    })
+                    .sum();
+                let nd = d + edge_cost;
+                if dist.get(&next).is_none_or(|&old| nd < old) {
+                    dist.insert(next.clone(), nd);
+                    pred.insert(next.clone(), (state.clone(), mv.label.clone()));
+                    arena.push(next);
+                    heap.push(Reverse((nd, (arena.len() - 1) as u64)));
+                }
+            }
+        }
+        None
+    }
+
+    /// Maximum-cost reachability: the most expensive way to reach a
+    /// state satisfying `goal`, the query behind worst-case execution
+    /// time analysis (the paper's §II cites METAMOC's WCET analysis as an
+    /// application of priced timed automata).
+    ///
+    /// Returns:
+    ///
+    /// * `Some(MaxCost::Bounded(c))` — the worst-case cost is `c`;
+    /// * `Some(MaxCost::Unbounded)` — a positive-cost cycle can delay the
+    ///   goal indefinitely (no finite WCET);
+    /// * `None` — the goal is unreachable.
+    ///
+    /// Implemented as Bellman–Ford-style longest-path value iteration over
+    /// the digital-clock graph: after `|S|` sweeps any further improvement
+    /// proves a positive-cost cycle.
+    #[must_use]
+    pub fn max_cost_reach(&self, goal: &StateFormula) -> Option<MaxCost> {
+        let exp = DigitalExplorer::new(&self.net);
+        // Build the reachable graph.
+        let mut states: Vec<DigitalState> = Vec::new();
+        let mut index: HashMap<DigitalState, usize> = HashMap::new();
+        let mut succs: Vec<Vec<(usize, i64)>> = Vec::new();
+        let init = exp.initial_state();
+        index.insert(init.clone(), 0);
+        states.push(init);
+        succs.push(Vec::new());
+        let mut frontier = vec![0_usize];
+        while let Some(i) = frontier.pop() {
+            let state = states[i].clone();
+            let mut edges = Vec::new();
+            if let Some(next) = exp.tick(&state) {
+                let cost = self.tick_cost(&state);
+                let j = *index.entry(next.clone()).or_insert_with(|| {
+                    states.push(next);
+                    succs.push(Vec::new());
+                    frontier.push(states.len() - 1);
+                    states.len() - 1
+                });
+                edges.push((j, cost));
+            }
+            for (mv, next) in exp.moves(&state) {
+                let cost: i64 = mv
+                    .participants
+                    .iter()
+                    .map(|(ai, ei, _)| {
+                        self.edge_costs
+                            .get(&(AutomatonId(*ai), *ei))
+                            .copied()
+                            .unwrap_or(0)
+                    })
+                    .sum();
+                let j = *index.entry(next.clone()).or_insert_with(|| {
+                    states.push(next);
+                    succs.push(Vec::new());
+                    frontier.push(states.len() - 1);
+                    states.len() - 1
+                });
+                edges.push((j, cost));
+            }
+            succs[i] = edges;
+        }
+        let n = states.len();
+        // value[s]: the max cost of reaching the goal from s (the goal
+        // itself may be passed through; the run stops at the *last* goal
+        // visit? No — WCET asks for first arrival, so goal states have
+        // value 0 and are not expanded).
+        let goal_mask: Vec<bool> = states.iter().map(|s| exp.satisfies(s, goal)).collect();
+        if !goal_mask.iter().any(|&g| g) {
+            return None;
+        }
+        const NEG_INF: i64 = i64::MIN / 4;
+        let mut value: Vec<i64> = goal_mask
+            .iter()
+            .map(|&g| if g { 0 } else { NEG_INF })
+            .collect();
+        for sweep in 0..=n {
+            let mut changed = false;
+            for s in 0..n {
+                if goal_mask[s] {
+                    continue;
+                }
+                for &(t, c) in &succs[s] {
+                    if value[t] > NEG_INF && value[t] + c > value[s] {
+                        value[s] = value[t] + c;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+            if sweep == n {
+                return Some(MaxCost::Unbounded);
+            }
+        }
+        if value[0] <= NEG_INF {
+            return None; // initial state cannot reach the goal
+        }
+        Some(MaxCost::Bounded(value[0]))
+    }
+
+    /// Maximum time to reach `goal` (worst-case completion time; WCET when
+    /// the goal is the program's final location).
+    #[must_use]
+    pub fn max_time_reach(&self, goal: &StateFormula) -> Option<MaxCost> {
+        let timed = PricedNetwork {
+            net: self.net.clone(),
+            rates: (0..self.net.automata()[0].locations.len())
+                .map(|li| ((AutomatonId(0), LocationId(li)), 1_i64))
+                .collect(),
+            edge_costs: HashMap::new(),
+        };
+        timed.max_cost_reach(goal)
+    }
+
+    /// Minimum time to reach `goal` (cost = elapsed time, edge costs 0):
+    /// the classic "fastest reachability" query used in WCET-style
+    /// analyses.
+    #[must_use]
+    pub fn min_time_reach(&self, goal: &StateFormula) -> Option<i64> {
+        // Every automaton is always in exactly one location, so putting
+        // rate 1 on the locations of one automaton makes each tick cost
+        // exactly one time unit.
+        let timed = PricedNetwork {
+            net: self.net.clone(),
+            rates: (0..self.net.automata()[0].locations.len())
+                .map(|li| ((AutomatonId(0), LocationId(li)), 1_i64))
+                .collect(),
+            edge_costs: HashMap::new(),
+        };
+        timed.min_cost_reach(goal).map(|r| r.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_ta::{ClockAtom, NetworkBuilder};
+
+    /// Two routes to Done: slow-but-cheap via A (rate 1, needs 10 time
+    /// units), fast-but-expensive via B (rate 1, 2 time units, edge cost
+    /// 20).
+    fn two_routes() -> (Network, AutomatonId, LocationId) {
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("Job");
+        let start = a.location("Start");
+        let via_a = a.location("ViaA");
+        let via_b = a.location("ViaB");
+        let done = a.location("Done");
+        a.edge(start, via_a).reset(x, 0).done(); // edge 0
+        a.edge(start, via_b).reset(x, 0).done(); // edge 1
+        a.edge(via_a, done).guard_clock(ClockAtom::ge(x, 10)).done(); // edge 2
+        a.edge(via_b, done).guard_clock(ClockAtom::ge(x, 2)).done(); // edge 3
+        let job = a.done();
+        (b.build(), job, done)
+    }
+
+    #[test]
+    fn cheapest_route_wins() {
+        let (net, job, done) = two_routes();
+        let mut p = PricedNetwork::new(net);
+        p.set_rate(job, LocationId(1), 1); // ViaA
+        p.set_rate(job, LocationId(2), 1); // ViaB
+        p.set_edge_cost(job, 3, 20); // ViaB -> Done costs 20
+        let res = p.min_cost_reach(&StateFormula::at(job, done)).unwrap();
+        assert_eq!(res.cost, 10, "slow route: 10 time units at rate 1");
+        // Make the slow route expensive instead.
+        let (net, job, done) = two_routes();
+        let mut p = PricedNetwork::new(net);
+        p.set_rate(job, LocationId(1), 5); // ViaA rate 5 → 50
+        p.set_rate(job, LocationId(2), 1); // ViaB → 2 + 20 = 22
+        p.set_edge_cost(job, 3, 20);
+        let res = p.min_cost_reach(&StateFormula::at(job, done)).unwrap();
+        assert_eq!(res.cost, 22);
+    }
+
+    #[test]
+    fn min_time_ignores_costs() {
+        let (net, job, done) = two_routes();
+        let p = PricedNetwork::new(net);
+        assert_eq!(p.min_time_reach(&StateFormula::at(job, done)), Some(2));
+    }
+
+    #[test]
+    fn unreachable_goal() {
+        let mut b = NetworkBuilder::new();
+        let mut a = b.automaton("A");
+        let l0 = a.location("L0");
+        let l1 = a.location("L1");
+        let _ = l1;
+        a.edge(l0, l0).done();
+        let aid = a.done();
+        let net = b.build();
+        let p = PricedNetwork::new(net);
+        assert!(p.min_cost_reach(&StateFormula::at(aid, LocationId(1))).is_none());
+    }
+
+    #[test]
+    fn zero_cost_paths() {
+        let (net, job, done) = two_routes();
+        let p = PricedNetwork::new(net);
+        let res = p.min_cost_reach(&StateFormula::at(job, done)).unwrap();
+        assert_eq!(res.cost, 0, "no rates or edge costs set");
+        assert!(!res.path.is_empty());
+    }
+
+    #[test]
+    fn wcet_bounded_by_invariants() {
+        // A straight-line "program": Fetch (1..=2) → Exec (1..=3) → Done.
+        // WCET = 5, BCET = 2.
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("Prog");
+        let fetch = a.location_with_invariant("Fetch", vec![ClockAtom::le(x, 2)]);
+        let exec = a.location_with_invariant("Exec", vec![ClockAtom::le(x, 3)]);
+        let done = a.location("Done");
+        a.edge(fetch, exec)
+            .guard_clock(ClockAtom::ge(x, 1))
+            .reset(x, 0)
+            .done();
+        a.edge(exec, done).guard_clock(ClockAtom::ge(x, 1)).done();
+        let prog = a.done();
+        let net = b.build();
+        let p = PricedNetwork::new(net);
+        let goal = StateFormula::at(prog, done);
+        assert_eq!(p.max_time_reach(&goal), Some(MaxCost::Bounded(5)));
+        assert_eq!(p.min_time_reach(&goal), Some(2));
+    }
+
+    #[test]
+    fn wcet_unbounded_with_idle_loop() {
+        // A loop that may retry forever before finishing: no finite WCET.
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("Prog");
+        let busy = a.location_with_invariant("Busy", vec![ClockAtom::le(x, 2)]);
+        let done = a.location("Done");
+        a.edge(busy, busy).guard_clock(ClockAtom::ge(x, 1)).reset(x, 0).done();
+        a.edge(busy, done).guard_clock(ClockAtom::ge(x, 1)).done();
+        let prog = a.done();
+        let net = b.build();
+        let p = PricedNetwork::new(net);
+        assert_eq!(
+            p.max_time_reach(&StateFormula::at(prog, done)),
+            Some(MaxCost::Unbounded)
+        );
+    }
+
+    #[test]
+    fn max_cost_unreachable_goal() {
+        let mut b = NetworkBuilder::new();
+        let mut a = b.automaton("A");
+        let l0 = a.location("L0");
+        a.edge(l0, l0).done();
+        let aid = a.done();
+        let net = b.build();
+        let p = PricedNetwork::new(net);
+        assert_eq!(p.max_cost_reach(&StateFormula::at(aid, LocationId(1))), None);
+    }
+
+    #[test]
+    fn zero_cost_cycles_stay_bounded() {
+        // A zero-rate wait loop cannot inflate the (cost) WCET.
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("A");
+        let l0 = a.location_with_invariant("L0", vec![ClockAtom::le(x, 2)]);
+        let l1 = a.location("L1");
+        a.edge(l0, l0).guard_clock(ClockAtom::ge(x, 1)).reset(x, 0).done();
+        a.edge(l0, l1).done();
+        let aid = a.done();
+        let net = b.build();
+        let mut p = PricedNetwork::new(net);
+        // Only the final edge costs anything.
+        p.set_edge_cost(aid, 1, 7);
+        assert_eq!(
+            p.max_cost_reach(&StateFormula::at(aid, LocationId(1))),
+            Some(MaxCost::Bounded(7))
+        );
+    }
+
+    #[test]
+    fn path_reconstruction_is_consistent() {
+        let (net, job, done) = two_routes();
+        let mut p = PricedNetwork::new(net);
+        p.set_rate(job, LocationId(1), 1); // ViaA: 10 time units → 10
+        p.set_rate(job, LocationId(2), 1); // ViaB: 2 time units → 2
+        let res = p.min_cost_reach(&StateFormula::at(job, done)).unwrap();
+        // Optimal: Start → ViaB (tau), 2 delays, ViaB → Done (tau).
+        let delays = res.path.iter().filter(|l| l.starts_with("delay")).count();
+        assert_eq!(delays, 2);
+        assert_eq!(res.cost, 2);
+    }
+}

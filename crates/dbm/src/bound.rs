@@ -1,0 +1,260 @@
+//! Clock-difference bounds: the entries of a [difference-bound
+//! matrix](crate::Dbm).
+//!
+//! A bound is either `∞` (no constraint) or a pair `(≺, c)` with
+//! `≺ ∈ {<, ≤}` and `c` an integer, constraining a clock difference
+//! `x - y ≺ c`.
+//!
+//! Bounds are stored in the classic packed encoding used by UPPAAL's DBM
+//! library: `raw = 2 * c + weak_bit`, where `weak_bit = 1` for `≤` and `0`
+//! for `<`. With this encoding the natural integer order on `raw` coincides
+//! with "is a tighter constraint than": `(<, c)` is tighter than `(≤, c)`
+//! which is tighter than `(<, c + 1)`.
+
+use std::fmt;
+use std::ops::Add;
+
+/// Strictness of a clock-difference bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Strictness {
+    /// Strict comparison `<`.
+    Strict,
+    /// Non-strict comparison `≤`.
+    Weak,
+}
+
+impl Strictness {
+    /// Returns the opposite strictness (`<` ↔ `≤`).
+    ///
+    /// ```
+    /// use tempo_dbm::Strictness;
+    /// assert_eq!(Strictness::Strict.flipped(), Strictness::Weak);
+    /// ```
+    #[must_use]
+    pub fn flipped(self) -> Self {
+        match self {
+            Strictness::Strict => Strictness::Weak,
+            Strictness::Weak => Strictness::Strict,
+        }
+    }
+}
+
+/// A bound on a clock difference: `∞` or `(≺, c)`.
+///
+/// The total order on `Bound` is the *tightness* order: smaller means
+/// tighter. `Bound::INF` is the greatest element.
+///
+/// ```
+/// use tempo_dbm::Bound;
+/// assert!(Bound::lt(3) < Bound::le(3));
+/// assert!(Bound::le(3) < Bound::lt(4));
+/// assert!(Bound::le(1_000_000) < Bound::INF);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bound {
+    raw: i64,
+}
+
+impl Bound {
+    /// The absence of a constraint, `∞`.
+    pub const INF: Bound = Bound { raw: i64::MAX };
+
+    /// The bound `(≤, 0)`, the diagonal entry of every consistent DBM.
+    pub const LE_ZERO: Bound = Bound { raw: 1 };
+
+    /// Creates the non-strict bound `(≤, c)`.
+    #[must_use]
+    pub fn le(c: i64) -> Self {
+        Bound { raw: 2 * c + 1 }
+    }
+
+    /// Creates the strict bound `(<, c)`.
+    #[must_use]
+    pub fn lt(c: i64) -> Self {
+        Bound { raw: 2 * c }
+    }
+
+    /// Creates a bound from its parts.
+    #[must_use]
+    pub fn new(strictness: Strictness, c: i64) -> Self {
+        match strictness {
+            Strictness::Strict => Bound::lt(c),
+            Strictness::Weak => Bound::le(c),
+        }
+    }
+
+    /// Returns `true` if this bound is `∞`.
+    #[must_use]
+    pub fn is_inf(self) -> bool {
+        self.raw == i64::MAX
+    }
+
+    /// The constant `c` of a finite bound `(≺, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound is `∞`.
+    #[must_use]
+    pub fn constant(self) -> i64 {
+        assert!(!self.is_inf(), "Bound::constant called on ∞");
+        self.raw >> 1
+    }
+
+    /// Whether a finite bound is strict (`<`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound is `∞`.
+    #[must_use]
+    pub fn is_strict(self) -> bool {
+        assert!(!self.is_inf(), "Bound::is_strict called on ∞");
+        self.raw & 1 == 0
+    }
+
+    /// Strictness of a finite bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound is `∞`.
+    #[must_use]
+    pub fn strictness(self) -> Strictness {
+        if self.is_strict() {
+            Strictness::Strict
+        } else {
+            Strictness::Weak
+        }
+    }
+
+    /// The negation of a finite bound, as used when complementing a
+    /// constraint: `¬(x - y ≤ c)` is `y - x < -c` and `¬(x - y < c)` is
+    /// `y - x ≤ -c`.
+    ///
+    /// Returns `None` for `∞` (the complement of "no constraint" is empty).
+    #[must_use]
+    pub fn negated(self) -> Option<Bound> {
+        if self.is_inf() {
+            None
+        } else if self.is_strict() {
+            Some(Bound::le(-self.constant()))
+        } else {
+            Some(Bound::lt(-self.constant()))
+        }
+    }
+
+    /// Tests whether the concrete difference `d` satisfies this bound.
+    #[must_use]
+    pub fn satisfied_by(self, d: i64) -> bool {
+        if self.is_inf() {
+            true
+        } else if self.is_strict() {
+            d < self.constant()
+        } else {
+            d <= self.constant()
+        }
+    }
+
+    /// The raw packed representation (for hashing/serialization).
+    #[must_use]
+    pub fn raw(self) -> i64 {
+        self.raw
+    }
+}
+
+impl Add for Bound {
+    type Output = Bound;
+
+    /// Bound addition as used in the triangle inequality of shortest-path
+    /// closure: `(≺₁, c₁) + (≺₂, c₂) = (≺₁ ∧ ≺₂, c₁ + c₂)` where the result
+    /// is strict iff either operand is; `∞` is absorbing.
+    fn add(self, rhs: Bound) -> Bound {
+        if self.is_inf() || rhs.is_inf() {
+            return Bound::INF;
+        }
+        // raw = 2c + weak; sum of constants with AND of weak bits.
+        Bound {
+            raw: ((self.raw >> 1) + (rhs.raw >> 1)) * 2 + (self.raw & rhs.raw & 1),
+        }
+    }
+}
+
+impl Default for Bound {
+    fn default() -> Self {
+        Bound::INF
+    }
+}
+
+impl fmt::Debug for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_inf() {
+            write!(f, "∞")
+        } else if self.is_strict() {
+            write!(f, "<{}", self.constant())
+        } else {
+            write!(f, "≤{}", self.constant())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tightness_order() {
+        assert!(Bound::lt(0) < Bound::le(0));
+        assert!(Bound::le(0) < Bound::lt(1));
+        assert!(Bound::lt(-3) < Bound::lt(3));
+        assert!(Bound::le(100) < Bound::INF);
+        assert_eq!(Bound::le(0), Bound::LE_ZERO);
+    }
+
+    #[test]
+    fn addition() {
+        assert_eq!(Bound::le(2) + Bound::le(3), Bound::le(5));
+        assert_eq!(Bound::lt(2) + Bound::le(3), Bound::lt(5));
+        assert_eq!(Bound::le(2) + Bound::lt(3), Bound::lt(5));
+        assert_eq!(Bound::lt(2) + Bound::lt(3), Bound::lt(5));
+        assert_eq!(Bound::le(2) + Bound::INF, Bound::INF);
+        assert_eq!(Bound::INF + Bound::lt(-7), Bound::INF);
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(Bound::le(5).negated(), Some(Bound::lt(-5)));
+        assert_eq!(Bound::lt(5).negated(), Some(Bound::le(-5)));
+        assert_eq!(Bound::INF.negated(), None);
+        // Double negation is identity on finite bounds.
+        let b = Bound::le(-3);
+        assert_eq!(b.negated().unwrap().negated().unwrap(), b);
+    }
+
+    #[test]
+    fn satisfaction() {
+        assert!(Bound::le(3).satisfied_by(3));
+        assert!(!Bound::lt(3).satisfied_by(3));
+        assert!(Bound::lt(3).satisfied_by(2));
+        assert!(Bound::INF.satisfied_by(i64::MAX / 4));
+    }
+
+    #[test]
+    fn parts() {
+        assert_eq!(Bound::le(7).constant(), 7);
+        assert_eq!(Bound::lt(-7).constant(), -7);
+        assert!(Bound::lt(0).is_strict());
+        assert!(!Bound::le(0).is_strict());
+        assert_eq!(Bound::lt(1).strictness(), Strictness::Strict);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Bound::le(4).to_string(), "≤4");
+        assert_eq!(Bound::lt(-2).to_string(), "<-2");
+        assert_eq!(Bound::INF.to_string(), "∞");
+    }
+}

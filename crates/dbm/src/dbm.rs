@@ -1,0 +1,716 @@
+//! Difference-bound matrices: the canonical symbolic representation of
+//! clock zones in timed-automata model checking.
+//!
+//! A DBM of dimension `n` represents a convex set of clock valuations over
+//! clocks `x₁ … x₍ₙ₋₁₎` plus the reference clock `x₀ = 0`. Entry `(i, j)`
+//! bounds the difference `xᵢ - xⱼ`.
+
+use crate::{Bound, Clock};
+use std::fmt;
+
+/// A difference-bound matrix over `dim` clocks (including the reference
+/// clock `0`).
+///
+/// Invariant: after construction and after every mutating operation exposed
+/// by this type, the matrix is *canonical* (shortest-path closed) unless it
+/// is empty, and `is_empty` is tracked exactly.
+///
+/// ```
+/// use tempo_dbm::{Dbm, Bound, Clock};
+/// let x = Clock(1);
+/// let mut z = Dbm::zero(2); // x = 0
+/// z.up();                   // delay: x >= 0
+/// z.constrain(x.into(), Clock::REF.into(), Bound::le(5)); // x <= 5
+/// assert!(z.contains(&[0, 3]));
+/// assert!(!z.contains(&[0, 6]));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Dbm {
+    dim: usize,
+    data: Vec<Bound>,
+    empty: bool,
+}
+
+impl Dbm {
+    /// The DBM containing every clock valuation (all clocks `≥ 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`; a DBM always contains the reference clock.
+    #[must_use]
+    pub fn universe(dim: usize) -> Self {
+        assert!(dim >= 1, "a DBM needs at least the reference clock");
+        let mut data = vec![Bound::INF; dim * dim];
+        for i in 0..dim {
+            data[i * dim + i] = Bound::LE_ZERO;
+            // x0 - xi <= 0: clocks are non-negative.
+            data[i] = Bound::LE_ZERO;
+        }
+        Dbm { dim, data, empty: false }
+    }
+
+    /// The DBM containing exactly the valuation where all clocks are `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn zero(dim: usize) -> Self {
+        assert!(dim >= 1, "a DBM needs at least the reference clock");
+        Dbm {
+            dim,
+            data: vec![Bound::LE_ZERO; dim * dim],
+            empty: false,
+        }
+    }
+
+    /// Number of clocks including the reference clock.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether the zone is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.empty
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.dim && j < self.dim);
+        i * self.dim + j
+    }
+
+    /// The bound on `xᵢ - xⱼ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    #[must_use]
+    pub fn bound(&self, i: usize, j: usize) -> Bound {
+        self.data[self.idx(i, j)]
+    }
+
+    /// Sets entry `(i, j)` directly **without** restoring canonical form.
+    /// Callers must re-canonicalize with [`Dbm::close`]. Intended for bulk
+    /// construction.
+    pub fn set_bound_raw(&mut self, i: usize, j: usize, b: Bound) {
+        let k = self.idx(i, j);
+        self.data[k] = b;
+    }
+
+    /// Restores canonical (shortest-path-closed) form with Floyd–Warshall
+    /// and recomputes emptiness. `O(dim³)`.
+    pub fn close(&mut self) {
+        let n = self.dim;
+        for k in 0..n {
+            for i in 0..n {
+                let dik = self.data[i * n + k];
+                if dik.is_inf() {
+                    continue;
+                }
+                for j in 0..n {
+                    let via = dik + self.data[k * n + j];
+                    if via < self.data[i * n + j] {
+                        self.data[i * n + j] = via;
+                    }
+                }
+            }
+        }
+        self.empty = (0..n).any(|i| self.data[i * n + i] < Bound::LE_ZERO);
+        if self.empty {
+            // Normalize empty zones so that Eq/Hash identify them.
+            self.data.fill(Bound::lt(0));
+        }
+    }
+
+    /// Incremental closure after tightening entry `(a, b)`: restores
+    /// canonical form in `O(dim²)`.
+    fn close_pair(&mut self, a: usize, b: usize) {
+        let n = self.dim;
+        if self.data[a * n + b] + self.data[b * n + a] < Bound::LE_ZERO {
+            self.empty = true;
+            self.data.fill(Bound::lt(0));
+            return;
+        }
+        for i in 0..n {
+            let dia = self.data[i * n + a];
+            if dia.is_inf() {
+                continue;
+            }
+            for j in 0..n {
+                let via = dia + self.data[a * n + b] + self.data[b * n + j];
+                if via < self.data[i * n + j] {
+                    self.data[i * n + j] = via;
+                }
+            }
+        }
+    }
+
+    /// Conjoins the constraint `xᵢ - xⱼ ≺ c` and restores canonical form.
+    ///
+    /// Returns `false` if the zone became empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn constrain(&mut self, i: Clock, j: Clock, bound: Bound) -> bool {
+        if self.empty {
+            return false;
+        }
+        let (i, j) = (i.index(), j.index());
+        let k = self.idx(i, j);
+        if bound < self.data[k] {
+            self.data[k] = bound;
+            self.close_pair(i, j);
+        }
+        !self.empty
+    }
+
+    /// Delay (future) operator `Z↑`: removes all upper bounds on clocks.
+    /// Preserves canonical form.
+    pub fn up(&mut self) {
+        if self.empty {
+            return;
+        }
+        let n = self.dim;
+        for i in 1..n {
+            self.data[i * n] = Bound::INF;
+        }
+    }
+
+    /// Past operator `Z↓`: removes all lower bounds on clocks (down to 0).
+    /// Preserves canonical form.
+    pub fn down(&mut self) {
+        if self.empty {
+            return;
+        }
+        let n = self.dim;
+        for j in 1..n {
+            let mut b = Bound::LE_ZERO;
+            // Canonicality: new lower bound of x_j is the tightest of
+            // (≤0) and the diagonal-difference bounds x_i - x_j.
+            for i in 1..n {
+                if self.data[i * n + j] < b {
+                    b = self.data[i * n + j];
+                }
+            }
+            self.data[j] = b;
+        }
+    }
+
+    /// Resets clock `x` to the non-negative constant `v`. Preserves
+    /// canonical form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is the reference clock or out of range, or if `v < 0`.
+    pub fn reset(&mut self, x: Clock, v: i64) {
+        assert!(!x.is_ref(), "cannot reset the reference clock");
+        assert!(v >= 0, "clocks cannot be reset to negative values");
+        if self.empty {
+            return;
+        }
+        let n = self.dim;
+        let x = x.index();
+        assert!(x < n, "clock out of range");
+        for j in 0..n {
+            if j != x {
+                self.data[x * n + j] = Bound::le(v) + self.data[j];
+                self.data[j * n + x] = self.data[j * n] + Bound::le(-v);
+            }
+        }
+    }
+
+    /// Frees clock `x`: removes all constraints on it (it may take any
+    /// non-negative value). Preserves canonical form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is the reference clock or out of range.
+    pub fn free(&mut self, x: Clock) {
+        assert!(!x.is_ref(), "cannot free the reference clock");
+        if self.empty {
+            return;
+        }
+        let n = self.dim;
+        let x = x.index();
+        assert!(x < n, "clock out of range");
+        for j in 0..n {
+            if j != x {
+                self.data[x * n + j] = Bound::INF;
+                self.data[j * n + x] = self.data[j * n];
+            }
+        }
+        self.data[x] = Bound::LE_ZERO;
+    }
+
+    /// Copies the value of clock `src` into clock `dst` (`dst := src`).
+    /// Preserves canonical form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either clock is the reference clock or out of range.
+    pub fn copy_clock(&mut self, dst: Clock, src: Clock) {
+        assert!(!dst.is_ref() && !src.is_ref(), "reference clock in copy");
+        if self.empty || dst == src {
+            return;
+        }
+        let n = self.dim;
+        let (d, s) = (dst.index(), src.index());
+        for j in 0..n {
+            if j != d {
+                self.data[d * n + j] = self.data[s * n + j];
+                self.data[j * n + d] = self.data[j * n + s];
+            }
+        }
+        self.data[d * n + s] = Bound::LE_ZERO;
+        self.data[s * n + d] = Bound::LE_ZERO;
+    }
+
+    /// Intersects with another zone of the same dimension.
+    ///
+    /// Returns `false` if the result is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn intersect(&mut self, other: &Dbm) -> bool {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        if self.empty {
+            return false;
+        }
+        if other.empty {
+            self.empty = true;
+            self.data.fill(Bound::lt(0));
+            return false;
+        }
+        let mut changed = false;
+        for k in 0..self.dim * self.dim {
+            if other.data[k] < self.data[k] {
+                self.data[k] = other.data[k];
+                changed = true;
+            }
+        }
+        if changed {
+            self.close();
+        }
+        !self.empty
+    }
+
+    /// Whether `self ⊆ other` (zone inclusion). Both zones must be
+    /// canonical, which this type guarantees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    #[must_use]
+    pub fn is_subset_of(&self, other: &Dbm) -> bool {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        if self.empty {
+            return true;
+        }
+        if other.empty {
+            return false;
+        }
+        self.data
+            .iter()
+            .zip(&other.data)
+            .all(|(a, b)| a <= b)
+    }
+
+    /// Whether the zones intersect.
+    #[must_use]
+    pub fn intersects(&self, other: &Dbm) -> bool {
+        let mut tmp = self.clone();
+        tmp.intersect(other)
+    }
+
+    /// Whether the integer valuation `v` (with `v[0] == 0`) lies in the
+    /// zone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim`.
+    #[must_use]
+    pub fn contains(&self, v: &[i64]) -> bool {
+        assert_eq!(v.len(), self.dim, "valuation length mismatch");
+        if self.empty {
+            return false;
+        }
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                if !self.data[i * self.dim + j].satisfied_by(v[i] - v[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Classic maximal-constant extrapolation (`Extra_M`), guaranteeing a
+    /// finite zone graph. `max_consts[i]` is the largest constant clock `i`
+    /// is ever compared against (use `0` if never compared;
+    /// `max_consts[0]` is ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_consts.len() != dim`.
+    pub fn extrapolate(&mut self, max_consts: &[i64]) {
+        assert_eq!(max_consts.len(), self.dim, "max constants length mismatch");
+        if self.empty {
+            return;
+        }
+        let n = self.dim;
+        let mut changed = false;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let k = i * n + j;
+                let b = self.data[k];
+                if b.is_inf() {
+                    continue;
+                }
+                if i != 0 && b > Bound::le(max_consts[i]) {
+                    self.data[k] = Bound::INF;
+                    changed = true;
+                } else if b < Bound::lt(-max_consts[j]) {
+                    self.data[k] = Bound::lt(-max_consts[j]);
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            self.close();
+        }
+    }
+
+    /// Returns a rational valuation (as `f64`s with denominator `dim`)
+    /// contained in the zone, or `None` iff the zone is empty.
+    ///
+    /// Every non-empty zone with integer bounds contains a point on the
+    /// `1/dim` grid, obtained by scaling all bounds by `dim` (turning
+    /// strict bounds `(<, c)` into `(≤, dim·c - 1)`), re-closing, and
+    /// reading off the scaled lower bounds.
+    #[must_use]
+    pub fn sample_rational(&self) -> Option<Vec<f64>> {
+        if self.empty {
+            return None;
+        }
+        let n = self.dim as i64;
+        let mut scaled = self.clone();
+        for k in 0..self.dim * self.dim {
+            let b = scaled.data[k];
+            if !b.is_inf() {
+                scaled.data[k] = if b.is_strict() {
+                    Bound::le(n * b.constant() - 1)
+                } else {
+                    Bound::le(n * b.constant())
+                };
+            }
+        }
+        scaled.close();
+        debug_assert!(!scaled.is_empty(), "scaling must preserve non-emptiness");
+        Some(
+            (0..self.dim)
+                .map(|i| -scaled.bound(0, i).constant() as f64 / n as f64)
+                .collect(),
+        )
+    }
+
+    /// Whether the real-valued valuation `v` (with `v[0] == 0`) lies in the
+    /// zone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim`.
+    #[must_use]
+    pub fn contains_f64(&self, v: &[f64]) -> bool {
+        assert_eq!(v.len(), self.dim, "valuation length mismatch");
+        if self.empty {
+            return false;
+        }
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                let b = self.data[i * self.dim + j];
+                if b.is_inf() {
+                    continue;
+                }
+                let d = v[i] - v[j];
+                let c = b.constant() as f64;
+                let ok = if b.is_strict() { d < c } else { d <= c };
+                if !ok {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns an arbitrary *integer* valuation contained in the zone, if
+    /// the greedy search finds one. Zones with only fractional points
+    /// (possible with strict bounds) yield `None` even when non-empty; use
+    /// [`Dbm::sample_rational`] for a complete sampler.
+    #[must_use]
+    pub fn sample_point(&self) -> Option<Vec<i64>> {
+        if self.empty {
+            return None;
+        }
+        let n = self.dim;
+        let mut v = vec![0_i64; n];
+        // Greedily fix clocks to their smallest admissible integer value
+        // relative to the already-fixed ones.
+        for i in 1..n {
+            // Lower bound of x_i given fixed x_j (j < i): x_j - x_i <= d_ji
+            // => x_i >= x_j - d_ji.
+            let mut lo = i64::MIN;
+            for j in 0..i {
+                let d = self.data[j * n + i];
+                if d.is_inf() {
+                    continue;
+                }
+                let mut candidate = v[j] - d.constant();
+                if d.is_strict() {
+                    candidate += 1;
+                }
+                lo = lo.max(candidate);
+            }
+            let mut hi = i64::MAX;
+            for j in 0..i {
+                let d = self.data[i * n + j];
+                if d.is_inf() {
+                    continue;
+                }
+                let mut candidate = v[j] + d.constant();
+                if d.is_strict() {
+                    candidate -= 1;
+                }
+                hi = hi.min(candidate);
+            }
+            if lo > hi {
+                return None;
+            }
+            v[i] = lo.max(0);
+        }
+        if self.contains(&v) {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Raw entries in row-major order (for hashing or serialization).
+    #[must_use]
+    pub fn as_slice(&self) -> &[Bound] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.empty {
+            return write!(f, "Dbm(∅, dim={})", self.dim);
+        }
+        writeln!(f, "Dbm(dim={})", self.dim)?;
+        for i in 0..self.dim {
+            write!(f, "  ")?;
+            for j in 0..self.dim {
+                write!(f, "{:>8}", self.data[i * self.dim + j].to_string())?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Dbm {
+    /// Displays the zone as a conjunction of non-trivial constraints.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.empty {
+            return write!(f, "false");
+        }
+        let mut first = true;
+        let n = self.dim;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let b = self.data[i * n + j];
+                if b.is_inf() || (j == 0 && i != 0 && b == Bound::INF) {
+                    continue;
+                }
+                // Skip the implicit x0 - xi <= 0 constraints.
+                if i == 0 && b == Bound::LE_ZERO {
+                    continue;
+                }
+                if !first {
+                    write!(f, " ∧ ")?;
+                }
+                first = false;
+                let op = if b.is_strict() { "<" } else { "≤" };
+                match (i, j) {
+                    (0, j) => {
+                        let rev = if b.is_strict() { ">" } else { "≥" };
+                        write!(f, "x{} {} {}", j, rev, -b.constant())?;
+                    }
+                    (i, 0) => write!(f, "x{} {} {}", i, op, b.constant())?,
+                    (i, j) => write!(f, "x{} - x{} {} {}", i, j, op, b.constant())?,
+                }
+            }
+        }
+        if first {
+            write!(f, "true")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: usize) -> Clock {
+        Clock(i)
+    }
+
+    #[test]
+    fn universe_contains_everything_nonnegative() {
+        let z = Dbm::universe(3);
+        assert!(z.contains(&[0, 0, 0]));
+        assert!(z.contains(&[0, 100, 3]));
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn zero_contains_only_origin() {
+        let z = Dbm::zero(3);
+        assert!(z.contains(&[0, 0, 0]));
+        assert!(!z.contains(&[0, 1, 0]));
+    }
+
+    #[test]
+    fn constrain_and_empty() {
+        let mut z = Dbm::universe(2);
+        assert!(z.constrain(c(1), Clock::REF, Bound::le(5)));
+        assert!(z.constrain(Clock::REF, c(1), Bound::le(-3))); // x1 >= 3
+        assert!(z.contains(&[0, 4]));
+        assert!(!z.contains(&[0, 2]));
+        assert!(!z.constrain(c(1), Clock::REF, Bound::lt(3))); // x1 < 3: empty
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn up_and_down() {
+        let mut z = Dbm::zero(2);
+        z.up();
+        assert!(z.contains(&[0, 7]));
+        let mut z2 = Dbm::universe(2);
+        z2.constrain(Clock::REF, c(1), Bound::le(-5)); // x1 >= 5
+        z2.down();
+        assert!(z2.contains(&[0, 0]));
+        assert!(z2.contains(&[0, 5]));
+        assert!(z2.contains(&[0, 9]));
+    }
+
+    #[test]
+    fn down_keeps_differences() {
+        // x1 = x2 + 3, both delayed; past must keep the difference.
+        let mut z = Dbm::zero(3);
+        z.reset(c(1), 3);
+        z.up();
+        z.down();
+        assert!(z.contains(&[0, 3, 0]));
+        assert!(z.contains(&[0, 4, 1]));
+        assert!(!z.contains(&[0, 3, 3]));
+    }
+
+    #[test]
+    fn reset_and_free() {
+        let mut z = Dbm::universe(3);
+        z.constrain(c(1), Clock::REF, Bound::le(10));
+        z.reset(c(2), 4);
+        assert!(z.contains(&[0, 10, 4]));
+        assert!(!z.contains(&[0, 10, 5]));
+        z.free(c(2));
+        assert!(z.contains(&[0, 10, 123]));
+        assert!(!z.contains(&[0, 11, 0]));
+    }
+
+    #[test]
+    fn copy_clock_aligns_values() {
+        let mut z = Dbm::universe(3);
+        z.constrain(c(1), Clock::REF, Bound::le(2));
+        z.constrain(Clock::REF, c(1), Bound::le(-2)); // x1 == 2
+        z.copy_clock(c(2), c(1));
+        assert!(z.contains(&[0, 2, 2]));
+        assert!(!z.contains(&[0, 2, 3]));
+    }
+
+    #[test]
+    fn inclusion() {
+        let mut small = Dbm::universe(2);
+        small.constrain(c(1), Clock::REF, Bound::le(3));
+        let big = Dbm::universe(2);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(small.is_subset_of(&small));
+    }
+
+    #[test]
+    fn intersection() {
+        let mut a = Dbm::universe(2);
+        a.constrain(c(1), Clock::REF, Bound::le(5));
+        let mut b = Dbm::universe(2);
+        b.constrain(Clock::REF, c(1), Bound::le(-3));
+        assert!(a.intersect(&b));
+        assert!(a.contains(&[0, 4]));
+        assert!(!a.contains(&[0, 2]));
+        assert!(!a.contains(&[0, 6]));
+    }
+
+    #[test]
+    fn extrapolation_widens_large_bounds() {
+        let mut z = Dbm::universe(2);
+        z.constrain(c(1), Clock::REF, Bound::le(100));
+        z.constrain(Clock::REF, c(1), Bound::le(-100)); // x1 == 100
+        z.extrapolate(&[0, 10]);
+        // Above the max constant 10, the zone must lose precision upward.
+        assert!(z.contains(&[0, 100]));
+        assert!(z.contains(&[0, 1000]));
+        assert!(!z.contains(&[0, 10])); // lower bound capped at (<, -10)... 10 itself excluded
+        assert!(z.contains(&[0, 11]));
+    }
+
+    #[test]
+    fn sample_point_in_zone() {
+        let mut z = Dbm::universe(3);
+        z.constrain(Clock::REF, c(1), Bound::le(-2)); // x1 >= 2
+        z.constrain(c(1), Clock::REF, Bound::le(9));
+        z.constrain(c(2), c(1), Bound::le(-1)); // x2 <= x1 - 1
+        let p = z.sample_point().expect("zone is non-empty");
+        assert!(z.contains(&p));
+    }
+
+    #[test]
+    fn sample_point_empty() {
+        let mut z = Dbm::universe(2);
+        z.constrain(c(1), Clock::REF, Bound::lt(0));
+        assert!(z.is_empty());
+        assert_eq!(z.sample_point(), None);
+    }
+
+    #[test]
+    fn empty_zones_are_equal() {
+        let mut a = Dbm::universe(2);
+        a.constrain(c(1), Clock::REF, Bound::lt(0));
+        let mut b = Dbm::universe(2);
+        b.constrain(Clock::REF, c(1), Bound::lt(-5));
+        b.constrain(c(1), Clock::REF, Bound::le(5));
+        assert!(a.is_empty() && b.is_empty());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,390 @@
+//! Federations: finite unions of [`Dbm`] zones.
+//!
+//! Zones are convex; many symbolic operations (complement, subtraction,
+//! the "bad states" of symbolic deadlock checks, the winning-state sets of
+//! timed games) produce non-convex sets, represented here as unions of
+//! DBMs of a common dimension.
+
+use crate::{Bound, Clock, Dbm};
+use std::fmt;
+
+/// A finite union of zones of a common dimension.
+///
+/// Invariant: no stored zone is empty, and no stored zone is included in
+/// another stored zone (pairwise-inclusion reduced).
+///
+/// ```
+/// use tempo_dbm::{Bound, Clock, Dbm, Federation};
+/// let x = Clock(1);
+/// let mut low = Dbm::universe(2);
+/// low.constrain(x.into(), Clock::REF.into(), Bound::le(2)); // x <= 2
+/// let mut high = Dbm::universe(2);
+/// high.constrain(Clock::REF.into(), x.into(), Bound::le(-5)); // x >= 5
+/// let fed = Federation::from_zones(2, vec![low, high]);
+/// assert!(fed.contains(&[0, 1]));
+/// assert!(!fed.contains(&[0, 3]));
+/// assert!(fed.contains(&[0, 7]));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Federation {
+    dim: usize,
+    zones: Vec<Dbm>,
+}
+
+impl Federation {
+    /// The empty federation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn empty(dim: usize) -> Self {
+        assert!(dim >= 1, "a federation needs at least the reference clock");
+        Federation { dim, zones: Vec::new() }
+    }
+
+    /// The federation containing all clock valuations.
+    #[must_use]
+    pub fn universe(dim: usize) -> Self {
+        Federation {
+            dim,
+            zones: vec![Dbm::universe(dim)],
+        }
+    }
+
+    /// Builds a federation from a collection of zones, dropping empty zones
+    /// and reducing by pairwise inclusion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a zone's dimension differs from `dim`.
+    #[must_use]
+    pub fn from_zones(dim: usize, zones: impl IntoIterator<Item = Dbm>) -> Self {
+        let mut fed = Federation::empty(dim);
+        for z in zones {
+            fed.add_zone(z);
+        }
+        fed
+    }
+
+    /// Dimension (number of clocks including the reference clock).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether the federation is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.zones.is_empty()
+    }
+
+    /// The zones of the federation.
+    #[must_use]
+    pub fn zones(&self) -> &[Dbm] {
+        &self.zones
+    }
+
+    /// Number of zones in the representation.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Adds a zone, maintaining the reduction invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zone's dimension differs.
+    pub fn add_zone(&mut self, z: Dbm) {
+        assert_eq!(z.dim(), self.dim, "dimension mismatch");
+        if z.is_empty() {
+            return;
+        }
+        if self.zones.iter().any(|existing| z.is_subset_of(existing)) {
+            return;
+        }
+        self.zones.retain(|existing| !existing.is_subset_of(&z));
+        self.zones.push(z);
+    }
+
+    /// Union with another federation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn union_with(&mut self, other: &Federation) {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        for z in &other.zones {
+            self.add_zone(z.clone());
+        }
+    }
+
+    /// Whether the valuation lies in some zone of the federation.
+    #[must_use]
+    pub fn contains(&self, v: &[i64]) -> bool {
+        self.zones.iter().any(|z| z.contains(v))
+    }
+
+    /// Intersection with a single zone.
+    #[must_use]
+    pub fn intersection_zone(&self, z: &Dbm) -> Federation {
+        let mut out = Federation::empty(self.dim);
+        for mine in &self.zones {
+            let mut piece = mine.clone();
+            if piece.intersect(z) {
+                out.add_zone(piece);
+            }
+        }
+        out
+    }
+
+    /// Intersection with another federation.
+    #[must_use]
+    pub fn intersection(&self, other: &Federation) -> Federation {
+        let mut out = Federation::empty(self.dim);
+        for z in &other.zones {
+            out.union_with(&self.intersection_zone(z));
+        }
+        out
+    }
+
+    /// Subtracts a single zone: `self ∖ z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    #[must_use]
+    pub fn subtract_zone(&self, z: &Dbm) -> Federation {
+        assert_eq!(z.dim(), self.dim, "dimension mismatch");
+        if z.is_empty() {
+            return self.clone();
+        }
+        let mut out = Federation::empty(self.dim);
+        for mine in &self.zones {
+            out.union_with(&subtract_dbm(mine, z));
+        }
+        out
+    }
+
+    /// Subtracts another federation: `self ∖ other`.
+    #[must_use]
+    pub fn subtract(&self, other: &Federation) -> Federation {
+        let mut out = self.clone();
+        for z in &other.zones {
+            out = out.subtract_zone(z);
+        }
+        out
+    }
+
+    /// Whether `self ⊆ other`, decided exactly via subtraction.
+    #[must_use]
+    pub fn is_subset_of(&self, other: &Federation) -> bool {
+        self.subtract(other).is_empty()
+    }
+
+    /// Whether the two federations denote the same set of valuations.
+    #[must_use]
+    pub fn same_set(&self, other: &Federation) -> bool {
+        self.is_subset_of(other) && other.is_subset_of(self)
+    }
+
+    /// Applies the delay (future) operator to every zone.
+    pub fn up(&mut self) {
+        for z in &mut self.zones {
+            z.up();
+        }
+        self.reduce();
+    }
+
+    /// Applies the past operator to every zone.
+    pub fn down(&mut self) {
+        for z in &mut self.zones {
+            z.down();
+        }
+        self.reduce();
+    }
+
+    /// Resets a clock in every zone.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Dbm::reset`].
+    pub fn reset(&mut self, x: Clock, v: i64) {
+        for z in &mut self.zones {
+            z.reset(x, v);
+        }
+        self.reduce();
+    }
+
+    /// Frees a clock in every zone.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Dbm::free`].
+    pub fn free(&mut self, x: Clock) {
+        for z in &mut self.zones {
+            z.free(x);
+        }
+        self.reduce();
+    }
+
+    /// Conjoins a constraint onto every zone.
+    pub fn constrain(&mut self, i: Clock, j: Clock, bound: Bound) {
+        for z in &mut self.zones {
+            z.constrain(i, j, bound);
+        }
+        self.zones.retain(|z| !z.is_empty());
+        self.reduce();
+    }
+
+    fn reduce(&mut self) {
+        let zones = std::mem::take(&mut self.zones);
+        for z in zones {
+            self.add_zone(z);
+        }
+    }
+}
+
+/// Computes `a ∖ b` as a federation of disjoint zones.
+///
+/// For each constraint of `b` that actually tightens `a`, one piece
+/// `remaining ∧ ¬bᵢⱼ` is emitted and the constraint is conjoined onto
+/// `remaining`; the final remainder is included in `b` and dropped.
+fn subtract_dbm(a: &Dbm, b: &Dbm) -> Federation {
+    let dim = a.dim();
+    let mut out = Federation::empty(dim);
+    if a.is_empty() {
+        return out;
+    }
+    if b.is_empty() {
+        out.add_zone(a.clone());
+        return out;
+    }
+    let mut remaining = a.clone();
+    for i in 0..dim {
+        for j in 0..dim {
+            if i == j {
+                continue;
+            }
+            let bb = b.bound(i, j);
+            if bb.is_inf() {
+                continue;
+            }
+            if remaining.is_empty() {
+                return out;
+            }
+            if bb < remaining.bound(i, j) {
+                // Piece violating b's (i, j) constraint: x_j - x_i ≺' -c.
+                if let Some(neg) = bb.negated() {
+                    let mut piece = remaining.clone();
+                    if piece.constrain(Clock(j), Clock(i), neg) {
+                        out.add_zone(piece);
+                    }
+                }
+                remaining.constrain(Clock(i), Clock(j), bb);
+            }
+        }
+    }
+    out
+}
+
+impl fmt::Debug for Federation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Federation(dim={}, |zones|={})", self.dim, self.zones.len())
+    }
+}
+
+impl fmt::Display for Federation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.zones.is_empty() {
+            return write!(f, "false");
+        }
+        for (k, z) in self.zones.iter().enumerate() {
+            if k > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "({z})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interval(lo: i64, hi: i64) -> Dbm {
+        let mut z = Dbm::universe(2);
+        z.constrain(Clock(1), Clock::REF, Bound::le(hi));
+        z.constrain(Clock::REF, Clock(1), Bound::le(-lo));
+        z
+    }
+
+    #[test]
+    fn subtraction_splits_interval() {
+        let all = Federation::from_zones(2, vec![interval(0, 10)]);
+        let mid = interval(3, 6);
+        let diff = all.subtract_zone(&mid);
+        assert!(diff.contains(&[0, 2]));
+        assert!(diff.contains(&[0, 7]));
+        assert!(!diff.contains(&[0, 3]));
+        assert!(!diff.contains(&[0, 6]));
+        assert!(!diff.contains(&[0, 4]));
+    }
+
+    #[test]
+    fn subtraction_of_superset_is_empty() {
+        let small = Federation::from_zones(2, vec![interval(2, 4)]);
+        let big = interval(0, 10);
+        assert!(small.subtract_zone(&big).is_empty());
+    }
+
+    #[test]
+    fn inclusion_and_equality() {
+        let a = Federation::from_zones(2, vec![interval(0, 4), interval(4, 10)]);
+        let b = Federation::from_zones(2, vec![interval(0, 10)]);
+        assert!(a.is_subset_of(&b));
+        assert!(b.is_subset_of(&a)); // the two pieces cover [0,10]
+        assert!(a.same_set(&b));
+    }
+
+    #[test]
+    fn union_reduces_subsumed_zones() {
+        let mut fed = Federation::from_zones(2, vec![interval(2, 4)]);
+        fed.add_zone(interval(0, 10));
+        assert_eq!(fed.size(), 1);
+        fed.add_zone(interval(3, 5));
+        assert_eq!(fed.size(), 1);
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_empty() {
+        let a = Federation::from_zones(2, vec![interval(0, 2)]);
+        let b = Federation::from_zones(2, vec![interval(5, 9)]);
+        assert!(a.intersection(&b).is_empty());
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        // (universe ∖ z) ∪ z == universe
+        let z = interval(3, 6);
+        let uni = Federation::universe(2);
+        let mut diff = uni.subtract_zone(&z);
+        diff.add_zone(z);
+        assert!(diff.same_set(&uni));
+    }
+
+    #[test]
+    fn strict_bounds_in_subtraction() {
+        // [0,10] minus (3,6) keeps the endpoints 3 and 6.
+        let mut open = Dbm::universe(2);
+        open.constrain(Clock(1), Clock::REF, Bound::lt(6));
+        open.constrain(Clock::REF, Clock(1), Bound::lt(-3));
+        let all = Federation::from_zones(2, vec![interval(0, 10)]);
+        let diff = all.subtract_zone(&open);
+        assert!(diff.contains(&[0, 3]));
+        assert!(diff.contains(&[0, 6]));
+        assert!(!diff.contains(&[0, 4]));
+    }
+}

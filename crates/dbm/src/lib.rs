@@ -1,0 +1,81 @@
+//! # tempo-dbm — zone algebra for timed-systems analysis
+//!
+//! Difference-bound matrices ([`Dbm`]) and finite unions of them
+//! ([`Federation`]) are the symbolic workhorses of timed-automata model
+//! checking as implemented in UPPAAL and its flavours (surveyed in Bozga
+//! et al., *State-of-the-Art Tools and Techniques for Quantitative Modeling
+//! and Analysis of Embedded Systems*, DATE 2012).
+//!
+//! A DBM of dimension `n` represents a convex *zone*: a conjunction of
+//! constraints `xᵢ - xⱼ ≺ c` over clocks `x₁ … x₍ₙ₋₁₎` and the reference
+//! clock `x₀ = 0`. The crate provides the full operator suite needed by
+//! the symbolic engines in this workspace: delay (`up`), past (`down`),
+//! reset, free, intersection, inclusion, maximal-constant extrapolation,
+//! and exact set subtraction via federations.
+//!
+//! ## Example
+//!
+//! ```
+//! use tempo_dbm::{Bound, Clock, Dbm};
+//!
+//! let x = Clock(1);
+//! let mut zone = Dbm::zero(2); // x = 0
+//! zone.up();                   // let time pass
+//! zone.constrain(x, Clock::REF, Bound::le(10)); // invariant x ≤ 10
+//! assert!(zone.contains(&[0, 10]));
+//! assert!(!zone.contains(&[0, 11]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bound;
+#[allow(clippy::module_inception)]
+mod dbm;
+mod federation;
+
+pub use bound::{Bound, Strictness};
+pub use dbm::Dbm;
+pub use federation::Federation;
+
+use std::fmt;
+
+/// Index of a clock in a [`Dbm`]. Index `0` is the constant reference
+/// clock `x₀ = 0`.
+///
+/// ```
+/// use tempo_dbm::Clock;
+/// assert!(Clock::REF.is_ref());
+/// assert_eq!(Clock(3).index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Clock(pub usize);
+
+impl Clock {
+    /// The reference clock `x₀`, which is always exactly `0`.
+    pub const REF: Clock = Clock(0);
+
+    /// The index of this clock within a DBM.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Whether this is the reference clock.
+    #[must_use]
+    pub fn is_ref(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Clock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl From<usize> for Clock {
+    fn from(i: usize) -> Self {
+        Clock(i)
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the zone algebra.
+//!
+//! Strategy: generate random zones by applying random sequences of
+//! operations to the universe, plus random integer valuations, and check
+//! the semantic laws of the operators against concrete membership.
+
+use proptest::prelude::*;
+use tempo_dbm::{Bound, Clock, Dbm, Federation};
+
+const DIM: usize = 4;
+
+/// A random constraint `x_i - x_j ≺ c` with small constants.
+fn arb_constraint() -> impl Strategy<Value = (usize, usize, Bound)> {
+    (0..DIM, 0..DIM, -8_i64..8, prop::bool::ANY).prop_map(|(i, j, c, weak)| {
+        let b = if weak { Bound::le(c) } else { Bound::lt(c) };
+        (i, j, b)
+    })
+}
+
+/// A random zone built by constraining the universe.
+fn arb_zone() -> impl Strategy<Value = Dbm> {
+    prop::collection::vec(arb_constraint(), 0..6).prop_map(|cs| {
+        let mut z = Dbm::universe(DIM);
+        for (i, j, b) in cs {
+            if i != j {
+                z.constrain(Clock(i), Clock(j), b);
+            }
+        }
+        z
+    })
+}
+
+/// A random valuation with small non-negative entries (v[0] == 0).
+fn arb_point() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(0_i64..10, DIM).prop_map(|mut v| {
+        v[0] = 0;
+        v
+    })
+}
+
+proptest! {
+    #[test]
+    fn intersection_is_conjunction(a in arb_zone(), b in arb_zone(), p in arb_point()) {
+        let mut both = a.clone();
+        both.intersect(&b);
+        prop_assert_eq!(both.contains(&p), a.contains(&p) && b.contains(&p));
+    }
+
+    #[test]
+    fn inclusion_sound(a in arb_zone(), b in arb_zone(), p in arb_point()) {
+        if a.is_subset_of(&b) && a.contains(&p) {
+            prop_assert!(b.contains(&p));
+        }
+    }
+
+    #[test]
+    fn up_is_upward_closed(a in arb_zone(), p in arb_point(), d in 0_i64..5) {
+        let mut up = a.clone();
+        up.up();
+        if a.contains(&p) {
+            let delayed: Vec<i64> =
+                p.iter().enumerate().map(|(i, &v)| if i == 0 { 0 } else { v + d }).collect();
+            prop_assert!(up.contains(&delayed));
+        }
+    }
+
+    #[test]
+    fn down_is_downward_closed(a in arb_zone(), p in arb_point(), d in 0_i64..5) {
+        let mut down = a.clone();
+        down.down();
+        if a.contains(&p) && p.iter().skip(1).all(|&v| v >= d) {
+            let earlier: Vec<i64> =
+                p.iter().enumerate().map(|(i, &v)| if i == 0 { 0 } else { v - d }).collect();
+            prop_assert!(down.contains(&earlier));
+        }
+    }
+
+    #[test]
+    fn reset_semantics(a in arb_zone(), p in arb_point(), v in 0_i64..5) {
+        let mut r = a.clone();
+        r.reset(Clock(1), v);
+        if a.contains(&p) {
+            let mut q = p.clone();
+            q[1] = v;
+            prop_assert!(r.contains(&q));
+        }
+        // Every point of the reset zone has x1 == v.
+        if let Some(q) = r.sample_point() {
+            prop_assert_eq!(q[1], v);
+        }
+    }
+
+    #[test]
+    fn free_semantics(a in arb_zone(), p in arb_point(), w in 0_i64..10) {
+        let mut f = a.clone();
+        f.free(Clock(2));
+        if a.contains(&p) {
+            let mut q = p.clone();
+            q[2] = w;
+            prop_assert!(f.contains(&q));
+        }
+    }
+
+    #[test]
+    fn sample_point_is_member(a in arb_zone()) {
+        // The integer sampler is sound (may be incomplete for zones with
+        // only fractional points).
+        if let Some(p) = a.sample_point() {
+            prop_assert!(a.contains(&p));
+        }
+    }
+
+    #[test]
+    fn sample_rational_is_complete(a in arb_zone()) {
+        match a.sample_rational() {
+            Some(p) => prop_assert!(a.contains_f64(&p)),
+            None => prop_assert!(a.is_empty()),
+        }
+    }
+
+    #[test]
+    fn subtraction_semantics(a in arb_zone(), b in arb_zone(), p in arb_point()) {
+        let fa = Federation::from_zones(DIM, vec![a.clone()]);
+        let diff = fa.subtract_zone(&b);
+        prop_assert_eq!(diff.contains(&p), a.contains(&p) && !b.contains(&p));
+    }
+
+    #[test]
+    fn subtraction_union_covers(a in arb_zone(), b in arb_zone(), p in arb_point()) {
+        // (a ∖ b) ∪ (a ∩ b) == a
+        let fa = Federation::from_zones(DIM, vec![a.clone()]);
+        let mut rebuilt = fa.subtract_zone(&b);
+        let mut meet = a.clone();
+        meet.intersect(&b);
+        rebuilt.add_zone(meet);
+        prop_assert_eq!(rebuilt.contains(&p), a.contains(&p));
+    }
+
+    #[test]
+    fn federation_inclusion_matches_membership(
+        zs in prop::collection::vec(arb_zone(), 1..3),
+        ws in prop::collection::vec(arb_zone(), 1..3),
+        p in arb_point(),
+    ) {
+        let f = Federation::from_zones(DIM, zs);
+        let g = Federation::from_zones(DIM, ws);
+        if f.is_subset_of(&g) && f.contains(&p) {
+            prop_assert!(g.contains(&p));
+        }
+    }
+
+    #[test]
+    fn extrapolation_is_an_over_approximation(a in arb_zone(), p in arb_point()) {
+        let mut e = a.clone();
+        e.extrapolate(&[0, 8, 8, 8]);
+        if a.contains(&p) {
+            prop_assert!(e.contains(&p));
+        }
+    }
+
+    #[test]
+    fn extrapolation_idempotent(a in arb_zone()) {
+        let mut once = a.clone();
+        once.extrapolate(&[0, 8, 8, 8]);
+        let mut twice = once.clone();
+        twice.extrapolate(&[0, 8, 8, 8]);
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,491 @@
+//! Timed input/output automata: the specifications of the ECDAR
+//! specification theory (David, Larsen, Legay, Nyman, Wąsowski,
+//! HSCC 2010; surveyed in Bozga et al., DATE 2012, §II).
+//!
+//! A TIOA partitions its actions into *inputs* (controlled by the
+//! environment) and *outputs* (controlled by the component). Unlike the
+//! networks of `tempo-ta`, a TIOA is a single open component: its actions
+//! fire against an unknown environment, which is what refinement and
+//! composition quantify over.
+
+use tempo_dbm::{Bound, Clock};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Direction of an action, from the component's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IoDir {
+    /// Received from the environment (`a?`).
+    Input,
+    /// Emitted by the component (`a!`).
+    Output,
+}
+
+/// A clock constraint `x ≺ c` or `x ≽ c` (single-clock atoms; TIOA
+/// specifications in the ECDAR literature are diagonal-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TioaAtom {
+    /// The constrained clock.
+    pub clock: Clock,
+    /// `true` for upper bounds (`x ≺ c`), `false` for lower (`x ≽ c`).
+    pub upper: bool,
+    /// The bound; must be non-strict (closed specs, so the digital
+    /// semantics is exact).
+    pub bound: i64,
+}
+
+impl TioaAtom {
+    /// `x ≤ c`.
+    #[must_use]
+    pub fn le(clock: Clock, bound: i64) -> Self {
+        TioaAtom { clock, upper: true, bound }
+    }
+
+    /// `x ≥ c`.
+    #[must_use]
+    pub fn ge(clock: Clock, bound: i64) -> Self {
+        TioaAtom { clock, upper: false, bound }
+    }
+
+    /// Whether the integer valuation satisfies the atom.
+    #[must_use]
+    pub fn satisfied_by(&self, clocks: &[i64]) -> bool {
+        let v = clocks[self.clock.index()];
+        if self.upper {
+            v <= self.bound
+        } else {
+            v >= self.bound
+        }
+    }
+
+    /// The equivalent [`Bound`]-style rendering (for diagnostics).
+    #[must_use]
+    pub fn as_bound(&self) -> Bound {
+        if self.upper {
+            Bound::le(self.bound)
+        } else {
+            Bound::le(-self.bound)
+        }
+    }
+}
+
+/// An edge of a TIOA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TioaEdge {
+    /// Source location index.
+    pub from: usize,
+    /// Target location index.
+    pub to: usize,
+    /// Action name.
+    pub action: String,
+    /// Input or output.
+    pub dir: IoDir,
+    /// Conjunction of clock atoms guarding the edge.
+    pub guard: Vec<TioaAtom>,
+    /// Clocks reset to `0`.
+    pub resets: Vec<Clock>,
+}
+
+/// A location of a TIOA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TioaLocation {
+    /// Name for diagnostics.
+    pub name: String,
+    /// Invariant atoms (upper bounds force outputs before deadlines).
+    pub invariant: Vec<TioaAtom>,
+}
+
+/// A timed input/output automaton.
+///
+/// Build with [`TioaBuilder`]:
+///
+/// ```
+/// use tempo_ecdar::{TioaBuilder, TioaAtom};
+/// let mut b = TioaBuilder::new("Machine");
+/// let x = b.clock("x");
+/// let idle = b.location("Idle");
+/// let busy = b.location_with_invariant("Busy", vec![TioaAtom::le(x, 5)]);
+/// b.input(idle, busy, "coin").reset(x).done();
+/// b.output(busy, idle, "coffee").guard(TioaAtom::ge(x, 2)).done();
+/// let machine = b.build();
+/// assert_eq!(machine.inputs().count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tioa {
+    pub(crate) name: String,
+    pub(crate) clock_names: Vec<String>,
+    pub(crate) locations: Vec<TioaLocation>,
+    pub(crate) edges: Vec<TioaEdge>,
+    pub(crate) initial: usize,
+}
+
+impl Tioa {
+    /// The specification's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// DBM-style dimension: clocks + the reference clock.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.clock_names.len() + 1
+    }
+
+    /// The locations.
+    #[must_use]
+    pub fn locations(&self) -> &[TioaLocation] {
+        &self.locations
+    }
+
+    /// The edges.
+    #[must_use]
+    pub fn edges(&self) -> &[TioaEdge] {
+        &self.edges
+    }
+
+    /// The initial location index.
+    #[must_use]
+    pub fn initial(&self) -> usize {
+        self.initial
+    }
+
+    /// Distinct input action names.
+    pub fn inputs(&self) -> impl Iterator<Item = &str> + '_ {
+        let mut names: Vec<&str> = self
+            .edges
+            .iter()
+            .filter(|e| e.dir == IoDir::Input)
+            .map(|e| e.action.as_str())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names.into_iter()
+    }
+
+    /// Distinct output action names.
+    pub fn outputs(&self) -> impl Iterator<Item = &str> + '_ {
+        let mut names: Vec<&str> = self
+            .edges
+            .iter()
+            .filter(|e| e.dir == IoDir::Output)
+            .map(|e| e.action.as_str())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names.into_iter()
+    }
+
+    /// The largest constant, for digital-clock clamping.
+    #[must_use]
+    pub fn max_constant(&self) -> i64 {
+        self.locations
+            .iter()
+            .flat_map(|l| l.invariant.iter())
+            .chain(self.edges.iter().flat_map(|e| e.guard.iter()))
+            .map(|a| a.bound)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A concrete digital state of one TIOA: location + integer clocks.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TioaState {
+    /// Location index.
+    pub loc: usize,
+    /// Clock values (index 0 is the reference clock, always 0), clamped.
+    pub clocks: Vec<i64>,
+}
+
+/// Digital-clocks explorer for a single TIOA.
+#[derive(Debug)]
+pub struct TioaExplorer<'t> {
+    tioa: &'t Tioa,
+    clamp: i64,
+}
+
+impl<'t> TioaExplorer<'t> {
+    /// Creates an explorer (clocks clamp one above the max constant).
+    #[must_use]
+    pub fn new(tioa: &'t Tioa) -> Self {
+        TioaExplorer {
+            clamp: tioa.max_constant() + 1,
+            tioa,
+        }
+    }
+
+    /// The initial state.
+    #[must_use]
+    pub fn initial_state(&self) -> TioaState {
+        TioaState {
+            loc: self.tioa.initial,
+            clocks: vec![0; self.tioa.dim()],
+        }
+    }
+
+    fn invariant_holds(&self, loc: usize, clocks: &[i64]) -> bool {
+        self.tioa.locations[loc]
+            .invariant
+            .iter()
+            .all(|a| a.satisfied_by(clocks))
+    }
+
+    /// The unit-delay successor, if the invariant permits it.
+    #[must_use]
+    pub fn tick(&self, s: &TioaState) -> Option<TioaState> {
+        let ticked: Vec<i64> = s
+            .clocks
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| if i == 0 { 0 } else { (c + 1).min(self.clamp) })
+            .collect();
+        self.invariant_holds(s.loc, &ticked).then(|| TioaState {
+            loc: s.loc,
+            clocks: ticked,
+        })
+    }
+
+    /// Successors of `s` on action `(name, dir)`.
+    #[must_use]
+    pub fn step(&self, s: &TioaState, action: &str, dir: IoDir) -> Vec<TioaState> {
+        self.tioa
+            .edges
+            .iter()
+            .filter(|e| {
+                e.from == s.loc
+                    && e.action == action
+                    && e.dir == dir
+                    && e.guard.iter().all(|a| a.satisfied_by(&s.clocks))
+            })
+            .filter_map(|e| {
+                let mut clocks = s.clocks.clone();
+                for c in &e.resets {
+                    clocks[c.index()] = 0;
+                }
+                self.invariant_holds(e.to, &clocks)
+                    .then_some(TioaState { loc: e.to, clocks })
+            })
+            .collect()
+    }
+
+    /// The actions (with direction) enabled in `s`.
+    #[must_use]
+    pub fn enabled(&self, s: &TioaState) -> Vec<(String, IoDir)> {
+        let mut out: BTreeMap<(String, IoDir), ()> = BTreeMap::new();
+        for e in &self.tioa.edges {
+            if e.from == s.loc
+                && e.guard.iter().all(|a| a.satisfied_by(&s.clocks))
+                && !self.step(s, &e.action, e.dir).is_empty()
+            {
+                out.insert((e.action.clone(), e.dir), ());
+            }
+        }
+        out.into_keys().collect()
+    }
+}
+
+impl fmt::Display for Tioa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "tioa {} ({} locations, {} edges)", self.name, self.locations.len(), self.edges.len())?;
+        for e in &self.edges {
+            let d = if e.dir == IoDir::Input { "?" } else { "!" };
+            writeln!(
+                f,
+                "  {} --{}{}--> {}",
+                self.locations[e.from].name, e.action, d, self.locations[e.to].name
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Tioa`] specifications.
+#[derive(Debug)]
+pub struct TioaBuilder {
+    tioa: Tioa,
+}
+
+impl TioaBuilder {
+    /// Creates a builder for a named specification.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        TioaBuilder {
+            tioa: Tioa {
+                name: name.to_owned(),
+                clock_names: Vec::new(),
+                locations: Vec::new(),
+                edges: Vec::new(),
+                initial: 0,
+            },
+        }
+    }
+
+    /// Declares a clock.
+    pub fn clock(&mut self, name: &str) -> Clock {
+        self.tioa.clock_names.push(name.to_owned());
+        Clock(self.tioa.clock_names.len())
+    }
+
+    /// Adds a location without invariant.
+    pub fn location(&mut self, name: &str) -> usize {
+        self.location_with_invariant(name, Vec::new())
+    }
+
+    /// Adds a location with an invariant.
+    pub fn location_with_invariant(&mut self, name: &str, invariant: Vec<TioaAtom>) -> usize {
+        self.tioa.locations.push(TioaLocation {
+            name: name.to_owned(),
+            invariant,
+        });
+        self.tioa.locations.len() - 1
+    }
+
+    /// Sets the initial location (defaults to the first added).
+    pub fn set_initial(&mut self, loc: usize) {
+        self.tioa.initial = loc;
+    }
+
+    /// Starts an input edge `from --action?--> to`.
+    pub fn input(&mut self, from: usize, to: usize, action: &str) -> TioaEdgeBuilder<'_> {
+        self.edge(from, to, action, IoDir::Input)
+    }
+
+    /// Starts an output edge `from --action!--> to`.
+    pub fn output(&mut self, from: usize, to: usize, action: &str) -> TioaEdgeBuilder<'_> {
+        self.edge(from, to, action, IoDir::Output)
+    }
+
+    fn edge(&mut self, from: usize, to: usize, action: &str, dir: IoDir) -> TioaEdgeBuilder<'_> {
+        TioaEdgeBuilder {
+            edges: &mut self.tioa.edges,
+            edge: TioaEdge {
+                from,
+                to,
+                action: action.to_owned(),
+                dir,
+                guard: Vec::new(),
+                resets: Vec::new(),
+            },
+        }
+    }
+
+    /// Finalizes the specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references an out-of-range location or an action
+    /// name is used with both directions (each action belongs to exactly
+    /// one alphabet in a TIOA).
+    #[must_use]
+    pub fn build(self) -> Tioa {
+        let t = self.tioa;
+        for e in &t.edges {
+            assert!(
+                e.from < t.locations.len() && e.to < t.locations.len(),
+                "edge references unknown location in {}",
+                t.name
+            );
+        }
+        for e in &t.edges {
+            assert!(
+                !t.edges
+                    .iter()
+                    .any(|f| f.action == e.action && f.dir != e.dir),
+                "action {} used as both input and output in {}",
+                e.action,
+                t.name
+            );
+        }
+        t
+    }
+}
+
+/// Builder for one TIOA edge.
+#[derive(Debug)]
+pub struct TioaEdgeBuilder<'a> {
+    edges: &'a mut Vec<TioaEdge>,
+    edge: TioaEdge,
+}
+
+impl TioaEdgeBuilder<'_> {
+    /// Conjoins a guard atom.
+    #[must_use]
+    pub fn guard(mut self, atom: TioaAtom) -> Self {
+        self.edge.guard.push(atom);
+        self
+    }
+
+    /// Resets a clock to `0`.
+    #[must_use]
+    pub fn reset(mut self, clock: Clock) -> Self {
+        self.edge.resets.push(clock);
+        self
+    }
+
+    /// Commits the edge.
+    pub fn done(self) {
+        self.edges.push(self.edge);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Tioa {
+        let mut b = TioaBuilder::new("Machine");
+        let x = b.clock("x");
+        let idle = b.location("Idle");
+        let busy = b.location_with_invariant("Busy", vec![TioaAtom::le(x, 5)]);
+        b.input(idle, busy, "coin").reset(x).done();
+        b.output(busy, idle, "coffee").guard(TioaAtom::ge(x, 2)).done();
+        b.build()
+    }
+
+    #[test]
+    fn alphabets() {
+        let m = machine();
+        assert_eq!(m.inputs().collect::<Vec<_>>(), vec!["coin"]);
+        assert_eq!(m.outputs().collect::<Vec<_>>(), vec!["coffee"]);
+        assert_eq!(m.max_constant(), 5);
+    }
+
+    #[test]
+    fn exploration() {
+        let m = machine();
+        let exp = TioaExplorer::new(&m);
+        let s0 = exp.initial_state();
+        assert!(exp.step(&s0, "coffee", IoDir::Output).is_empty());
+        let busy = exp.step(&s0, "coin", IoDir::Input);
+        assert_eq!(busy.len(), 1);
+        let mut s = busy[0].clone();
+        assert!(exp.step(&s, "coffee", IoDir::Output).is_empty(), "guard x >= 2");
+        s = exp.tick(&s).unwrap();
+        s = exp.tick(&s).unwrap();
+        assert_eq!(exp.step(&s, "coffee", IoDir::Output).len(), 1);
+        // Invariant stops time at 5.
+        for _ in 0..3 {
+            s = exp.tick(&s).unwrap();
+        }
+        assert!(exp.tick(&s).is_none());
+    }
+
+    #[test]
+    fn enabled_actions() {
+        let m = machine();
+        let exp = TioaExplorer::new(&m);
+        let s0 = exp.initial_state();
+        assert_eq!(exp.enabled(&s0), vec![("coin".to_owned(), IoDir::Input)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "both input and output")]
+    fn mixed_direction_rejected() {
+        let mut b = TioaBuilder::new("Bad");
+        let l = b.location("L");
+        b.input(l, l, "a").done();
+        b.output(l, l, "a").done();
+        let _ = b.build();
+    }
+}

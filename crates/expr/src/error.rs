@@ -1,0 +1,69 @@
+//! Evaluation errors for the data language.
+
+use crate::VarId;
+use std::fmt;
+
+/// An error raised while evaluating an expression or executing a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Division or modulo by zero.
+    DivisionByZero,
+    /// An array access with an index outside the array bounds.
+    IndexOutOfBounds {
+        /// The array variable.
+        var: VarId,
+        /// The offending index.
+        index: i64,
+        /// The array length.
+        len: usize,
+    },
+    /// An assignment that would violate the declared range of a variable.
+    RangeViolation {
+        /// The assigned variable.
+        var: VarId,
+        /// The offending value.
+        value: i64,
+        /// Declared inclusive lower bound.
+        lo: i64,
+        /// Declared inclusive upper bound.
+        hi: i64,
+    },
+    /// A scalar operation applied to an array variable or vice versa.
+    KindMismatch {
+        /// The offending variable.
+        var: VarId,
+    },
+    /// A `select` placeholder used without a binding.
+    UnboundSelect {
+        /// The placeholder position.
+        position: usize,
+    },
+    /// The statement step budget was exhausted (runaway `while` loop).
+    FuelExhausted,
+    /// Arithmetic overflow during evaluation.
+    Overflow,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+            EvalError::IndexOutOfBounds { var, index, len } => {
+                write!(f, "index {index} out of bounds for {var:?} of length {len}")
+            }
+            EvalError::RangeViolation { var, value, lo, hi } => {
+                write!(f, "value {value} outside declared range [{lo}, {hi}] of {var:?}")
+            }
+            EvalError::KindMismatch { var } => {
+                write!(f, "scalar/array kind mismatch on {var:?}")
+            }
+            EvalError::UnboundSelect { position } => {
+                write!(f, "select placeholder {position} evaluated without a binding")
+            }
+            EvalError::FuelExhausted => write!(f, "statement step budget exhausted"),
+            EvalError::Overflow => write!(f, "arithmetic overflow"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}

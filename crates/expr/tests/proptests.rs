@@ -1,0 +1,170 @@
+//! Property-based tests for the data language: evaluation determinism,
+//! algebraic laws, range enforcement, and statement semantics.
+
+use proptest::prelude::*;
+use tempo_expr::{BinOp, Decls, Expr, Stmt, VarId};
+
+fn setup() -> (Decls, VarId, VarId, VarId) {
+    let mut d = Decls::new();
+    let a = d.int("a", -50, 50);
+    let b = d.int("b", -50, 50);
+    let arr = d.array("arr", 4, -50, 50);
+    (d, a, b, arr)
+}
+
+/// A small expression over `a`, `b` and constants.
+fn arb_expr(a: VarId, b: VarId) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20_i64..20).prop_map(Expr::konst),
+        Just(Expr::var(a)),
+        Just(Expr::var(b)),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (inner.clone(), inner, prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Min),
+            Just(BinOp::Max),
+            Just(BinOp::Lt),
+            Just(BinOp::Le),
+            Just(BinOp::Eq),
+            Just(BinOp::And),
+            Just(BinOp::Or),
+        ])
+            .prop_map(|(l, r, op)| l.bin(op, r))
+    })
+}
+
+proptest! {
+    #[test]
+    fn evaluation_is_deterministic(
+        av in -50_i64..50,
+        bv in -50_i64..50,
+        e in setup_expr(),
+    ) {
+        let (d, a, b, _) = setup();
+        let mut s = d.initial_store();
+        s.set_index(&d, a, 0, av).unwrap();
+        s.set_index(&d, b, 0, bv).unwrap();
+        let r1 = e.eval(&d, &s, &[]);
+        let r2 = e.eval(&d, &s, &[]);
+        prop_assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn commutative_ops(av in -50_i64..50, bv in -50_i64..50) {
+        let (d, a, b, _) = setup();
+        let mut s = d.initial_store();
+        s.set_index(&d, a, 0, av).unwrap();
+        s.set_index(&d, b, 0, bv).unwrap();
+        for op in [BinOp::Add, BinOp::Mul, BinOp::Min, BinOp::Max, BinOp::And, BinOp::Or, BinOp::Eq] {
+            let lr = Expr::var(a).bin(op, Expr::var(b)).eval(&d, &s, &[]).unwrap();
+            let rl = Expr::var(b).bin(op, Expr::var(a)).eval(&d, &s, &[]).unwrap();
+            prop_assert_eq!(lr, rl, "op {:?}", op);
+        }
+    }
+
+    #[test]
+    fn comparisons_are_boolean(av in -50_i64..50, bv in -50_i64..50) {
+        let (d, a, b, _) = setup();
+        let mut s = d.initial_store();
+        s.set_index(&d, a, 0, av).unwrap();
+        s.set_index(&d, b, 0, bv).unwrap();
+        for op in [BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge, BinOp::Eq, BinOp::Ne] {
+            let v = Expr::var(a).bin(op, Expr::var(b)).eval(&d, &s, &[]).unwrap();
+            prop_assert!(v == 0 || v == 1);
+        }
+        // Trichotomy: exactly one of <, ==, > holds.
+        let lt = Expr::var(a).lt(Expr::var(b)).eval(&d, &s, &[]).unwrap();
+        let eq = Expr::var(a).eq(Expr::var(b)).eval(&d, &s, &[]).unwrap();
+        let gt = Expr::var(a).gt(Expr::var(b)).eval(&d, &s, &[]).unwrap();
+        prop_assert_eq!(lt + eq + gt, 1);
+    }
+
+    #[test]
+    fn double_negation(av in -50_i64..50) {
+        let (d, a, _, _) = setup();
+        let mut s = d.initial_store();
+        s.set_index(&d, a, 0, av).unwrap();
+        let e = Expr::var(a).gt(Expr::konst(0));
+        let v = e.clone().eval(&d, &s, &[]).unwrap();
+        let nn = (!!e).eval(&d, &s, &[]).unwrap();
+        prop_assert_eq!(v, nn);
+    }
+
+    #[test]
+    fn assignments_respect_ranges(v in -100_i64..100) {
+        let (d, a, _, _) = setup();
+        let mut s = d.initial_store();
+        let stmt = Stmt::assign(a, Expr::konst(v));
+        let result = stmt.execute(&d, &mut s, &[]);
+        if (-50..=50).contains(&v) {
+            prop_assert!(result.is_ok());
+            prop_assert_eq!(s.get(a), v);
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+
+    #[test]
+    fn array_writes_round_trip(idx in 0_i64..4, v in -50_i64..50) {
+        let (d, _, _, arr) = setup();
+        let mut s = d.initial_store();
+        Stmt::assign_index(arr, Expr::konst(idx), Expr::konst(v))
+            .execute(&d, &mut s, &[])
+            .unwrap();
+        prop_assert_eq!(s.get_index(&d, arr, idx).unwrap(), v);
+        // Other slots untouched.
+        for other in 0..4 {
+            if other != idx {
+                prop_assert_eq!(s.get_index(&d, arr, other).unwrap(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn sequencing_composes(av in -40_i64..40, delta1 in -5_i64..5, delta2 in -5_i64..5) {
+        let (d, a, _, _) = setup();
+        // (a += d1); (a += d2)  ==  a += (d1 + d2)
+        let mut s1 = d.initial_store();
+        s1.set_index(&d, a, 0, av).unwrap();
+        let mut s2 = s1.clone();
+        Stmt::seq(vec![
+            Stmt::assign(a, Expr::var(a) + Expr::konst(delta1)),
+            Stmt::assign(a, Expr::var(a) + Expr::konst(delta2)),
+        ])
+        .execute(&d, &mut s1, &[])
+        .unwrap();
+        Stmt::assign(a, Expr::var(a) + Expr::konst(delta1 + delta2))
+            .execute(&d, &mut s2, &[])
+            .unwrap();
+        prop_assert_eq!(s1.get(a), s2.get(a));
+    }
+
+    #[test]
+    fn while_loop_counts(n in 0_i64..40) {
+        let (d, a, b, _) = setup();
+        let mut s = d.initial_store();
+        // b = 0; while (b < n) { b += 1; a = b; }
+        Stmt::seq(vec![
+            Stmt::while_loop(
+                Expr::var(b).lt(Expr::konst(n)),
+                Stmt::seq(vec![
+                    Stmt::assign(b, Expr::var(b) + Expr::konst(1)),
+                    Stmt::assign(a, Expr::var(b)),
+                ]),
+            ),
+        ])
+        .execute(&d, &mut s, &[])
+        .unwrap();
+        prop_assert_eq!(s.get(b), n);
+        prop_assert_eq!(s.get(a), if n == 0 { 0 } else { n });
+    }
+}
+
+/// proptest strategies cannot borrow, so rebuild ids deterministically.
+fn setup_expr() -> impl Strategy<Value = Expr> {
+    let (_, a, b, _) = setup();
+    arb_expr(a, b)
+}

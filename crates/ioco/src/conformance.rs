@@ -1,0 +1,205 @@
+//! The ioco implementation relation and its decision procedure for
+//! finite models.
+//!
+//! `i ioco s` iff for every suspension trace σ of the specification `s`,
+//! `out(i after σ) ⊆ out(s after σ)` — outputs (and quiescence) of the
+//! implementation are always allowed by the specification.
+
+use crate::lts::{Event, Lts, LtsStateId};
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+/// A witness that an implementation is **not** ioco-conforming.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IocoViolation {
+    /// The suspension trace after which the violation occurs.
+    pub trace: Vec<Event>,
+    /// The offending implementation observation.
+    pub observed: Event,
+    /// What the specification allows at that point.
+    pub allowed: BTreeSet<Event>,
+}
+
+impl std::fmt::Display for IocoViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let trace: Vec<String> = self.trace.iter().map(ToString::to_string).collect();
+        let allowed: Vec<String> = self.allowed.iter().map(ToString::to_string).collect();
+        write!(
+            f,
+            "after ⟨{}⟩ the implementation may produce {}, but the specification allows only {{{}}}",
+            trace.join(" "),
+            self.observed,
+            allowed.join(", ")
+        )
+    }
+}
+
+/// Decides `imp ioco spec` for finite LTSs by a joint breadth-first
+/// search over the two suspension automata, following the suspension
+/// traces of the specification.
+///
+/// Returns the shortest violation if one exists.
+///
+/// The ioco testing hypothesis assumes `imp` is input-enabled on the
+/// specification's input alphabet; this function does not require it —
+/// inputs refused by the implementation simply truncate those branches —
+/// but [`Lts::is_input_enabled`] can check it separately.
+#[must_use]
+pub fn check_ioco(imp: &Lts, spec: &Lts) -> Result<(), IocoViolation> {
+    type Pair = (BTreeSet<LtsStateId>, BTreeSet<LtsStateId>);
+    let start: Pair = (imp.initial_set(), spec.initial_set());
+    let mut seen: HashSet<Pair> = HashSet::new();
+    let mut queue: VecDeque<(Pair, Vec<Event>)> = VecDeque::new();
+    seen.insert(start.clone());
+    queue.push_back((start, Vec::new()));
+
+    while let Some(((i_set, s_set), trace)) = queue.pop_front() {
+        // 1. Outputs: everything the implementation can observe must be
+        //    allowed by the specification.
+        let i_out = imp.out_set(&i_set);
+        let s_out = spec.out_set(&s_set);
+        for e in &i_out {
+            if !s_out.contains(e) {
+                return Err(IocoViolation {
+                    trace,
+                    observed: e.clone(),
+                    allowed: s_out,
+                });
+            }
+        }
+        // 2. Extend the trace: inputs of the specification and common
+        //    observations.
+        for a in spec.enabled_inputs(&s_set) {
+            let e = Event::Input(a);
+            let s_next = spec.after_event(&s_set, &e);
+            let i_next = imp.after_event(&i_set, &e);
+            if i_next.is_empty() {
+                // Implementation refuses the input: the hypothesis is
+                // violated, but ioco itself only ranges over traces the
+                // implementation can follow.
+                continue;
+            }
+            push(&mut seen, &mut queue, (i_next, s_next), &trace, e);
+        }
+        for e in i_out {
+            // Outputs the implementation can produce (all spec-allowed by
+            // step 1); follow them on both sides.
+            let s_next = spec.after_event(&s_set, &e);
+            let i_next = imp.after_event(&i_set, &e);
+            if i_next.is_empty() {
+                continue; // δ with no quiescent impl state cannot persist
+            }
+            push(&mut seen, &mut queue, (i_next, s_next), &trace, e);
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::type_complexity)]
+fn push(
+    seen: &mut HashSet<(BTreeSet<LtsStateId>, BTreeSet<LtsStateId>)>,
+    queue: &mut VecDeque<((BTreeSet<LtsStateId>, BTreeSet<LtsStateId>), Vec<Event>)>,
+    pair: (BTreeSet<LtsStateId>, BTreeSet<LtsStateId>),
+    trace: &[Event],
+    e: Event,
+) {
+    if seen.insert(pair.clone()) {
+        let mut t = trace.to_vec();
+        t.push(e);
+        queue.push_back((pair, t));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lts::Label;
+
+    /// Specification: coin? then coffee! (tea is not allowed).
+    fn spec() -> Lts {
+        let mut l = Lts::new();
+        let s0 = l.state("idle");
+        let s1 = l.state("paid");
+        l.transition(s0, Label::input("coin"), s1);
+        l.transition(s1, Label::output("coffee"), s0);
+        l
+    }
+
+    /// A conforming implementation (input-enabled).
+    fn good_impl() -> Lts {
+        let mut l = Lts::new();
+        let s0 = l.state("idle");
+        let s1 = l.state("paid");
+        l.transition(s0, Label::input("coin"), s1);
+        l.transition(s1, Label::input("coin"), s1); // swallow extra coins
+        l.transition(s1, Label::output("coffee"), s0);
+        l
+    }
+
+    /// A mutant that may produce tea.
+    fn tea_mutant() -> Lts {
+        let mut l = good_impl();
+        let s1 = crate::lts::LtsStateId(1);
+        let s0 = crate::lts::LtsStateId(0);
+        l.transition(s1, Label::output("tea"), s0);
+        l
+    }
+
+    /// A mutant that may refuse to produce anything after coin
+    /// (unexpected quiescence).
+    fn silent_mutant() -> Lts {
+        let mut l = Lts::new();
+        let s0 = l.state("idle");
+        let s1 = l.state("paid");
+        let dead = l.state("dead");
+        l.transition(s0, Label::input("coin"), s1);
+        l.transition(s0, Label::input("coin"), dead);
+        l.transition(s1, Label::input("coin"), s1);
+        l.transition(dead, Label::input("coin"), dead);
+        l.transition(s1, Label::output("coffee"), s0);
+        l
+    }
+
+    #[test]
+    fn conforming_implementation_passes() {
+        assert!(check_ioco(&good_impl(), &spec()).is_ok());
+    }
+
+    #[test]
+    fn identity_conforms() {
+        assert!(check_ioco(&spec(), &spec()).is_ok());
+    }
+
+    #[test]
+    fn tea_mutant_caught() {
+        let v = check_ioco(&tea_mutant(), &spec()).unwrap_err();
+        assert_eq!(v.observed, Event::Output("tea".to_owned()));
+        assert_eq!(v.trace, vec![Event::Input("coin".to_owned())]);
+        assert!(v.to_string().contains("tea"));
+    }
+
+    #[test]
+    fn unexpected_quiescence_caught() {
+        let v = check_ioco(&silent_mutant(), &spec()).unwrap_err();
+        assert_eq!(v.observed, Event::Delta);
+    }
+
+    #[test]
+    fn partial_specs_allow_extra_inputs() {
+        // The implementation handles an input the spec never mentions:
+        // irrelevant for ioco (spec traces only).
+        let mut imp = good_impl();
+        let s0 = crate::lts::LtsStateId(0);
+        imp.transition(s0, Label::input("token"), s0);
+        assert!(check_ioco(&imp, &spec()).is_ok());
+    }
+
+    #[test]
+    fn nondeterministic_spec_allows_either_output() {
+        let mut spec2 = spec();
+        let s1 = crate::lts::LtsStateId(1);
+        let s0 = crate::lts::LtsStateId(0);
+        spec2.transition(s1, Label::output("tea"), s0);
+        // Now the tea mutant conforms.
+        assert!(check_ioco(&tea_mutant(), &spec2).is_ok());
+    }
+}

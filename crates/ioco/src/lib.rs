@@ -1,0 +1,44 @@
+//! # tempo-ioco — model-based testing with the ioco and rtioco theories
+//!
+//! A reproduction of the model-based-testing pillar of Bozga et al.
+//! (DATE 2012, §V): testing whether a black-box implementation conforms
+//! to a (verified) model, with a sound and well-defined theory behind the
+//! generated tests.
+//!
+//! * [`Lts`] — labelled transition systems with inputs, outputs, τ,
+//!   quiescence (`δ`) and suspension traces;
+//! * [`check_ioco`] — the **ioco** implementation relation decided
+//!   exactly for finite models (`out(i after σ) ⊆ out(s after σ)`);
+//! * [`TestGenerator`] — TorX-style randomized test generation (offline
+//!   trees and on-the-fly sessions), *sound* and *exhaustive in the
+//!   limit*, executed against black-box [`Iut`] adapters;
+//! * [`TimedTester`] — **rtioco**, environment-relativized timed
+//!   conformance (the UPPAAL-TRON analogue), testing timed deadlines
+//!   online in simulated time against [`TimedIut`] adapters.
+//!
+//! ## Example
+//!
+//! ```
+//! use tempo_ioco::{Lts, Label, check_ioco};
+//! let mut spec = Lts::new();
+//! let s0 = spec.state("idle");
+//! let s1 = spec.state("paid");
+//! spec.transition(s0, Label::input("coin"), s1);
+//! spec.transition(s1, Label::output("coffee"), s0);
+//! assert!(check_ioco(&spec, &spec).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conformance;
+mod lts;
+mod rtioco;
+mod suspension;
+mod testgen;
+
+pub use conformance::{check_ioco, IocoViolation};
+pub use lts::{Event, Label, Lts, LtsStateId};
+pub use suspension::SuspensionAutomaton;
+pub use rtioco::{TimedEvent, TimedIut, TimedTester, TimedVerdict};
+pub use testgen::{Iut, LtsIut, TestCase, TestGenerator, TestVerdict};

@@ -1,0 +1,394 @@
+//! Labelled transition systems with inputs, outputs and internal steps:
+//! the models of the ioco testing theory (Tretmans; surveyed in Bozga et
+//! al., DATE 2012, §V).
+//!
+//! As in the ioco literature, models are assumed *strongly convergent*
+//! (no infinite τ-runs): a τ-divergent state without outputs has an
+//! empty `out` set, which makes quiescence unobservable there and the
+//! theory's verdicts arbitrary. The builders do not forbid τ-cycles, but
+//! the conformance checker and testers are only meaningful on convergent
+//! models.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of an LTS state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LtsStateId(pub usize);
+
+/// A transition label: input (`?a`), output (`!x`) or internal (`τ`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Label {
+    /// An input action (controlled by the tester/environment).
+    Input(String),
+    /// An output action (controlled by the system).
+    Output(String),
+    /// An internal, unobservable step.
+    Tau,
+}
+
+impl Label {
+    /// Input label.
+    #[must_use]
+    pub fn input(name: &str) -> Label {
+        Label::Input(name.to_owned())
+    }
+
+    /// Output label.
+    #[must_use]
+    pub fn output(name: &str) -> Label {
+        Label::Output(name.to_owned())
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Input(a) => write!(f, "?{a}"),
+            Label::Output(x) => write!(f, "!{x}"),
+            Label::Tau => write!(f, "τ"),
+        }
+    }
+}
+
+/// An observable event of a suspension trace: an input, an output, or
+/// quiescence (`δ`, the observable absence of outputs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Event {
+    /// An input action.
+    Input(String),
+    /// An output action.
+    Output(String),
+    /// Quiescence.
+    Delta,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Input(a) => write!(f, "?{a}"),
+            Event::Output(x) => write!(f, "!{x}"),
+            Event::Delta => write!(f, "δ"),
+        }
+    }
+}
+
+/// A labelled transition system with designated input and output
+/// alphabets.
+///
+/// ```
+/// use tempo_ioco::{Lts, Label};
+/// let mut l = Lts::new();
+/// let s0 = l.state("s0");
+/// let s1 = l.state("s1");
+/// l.transition(s0, Label::input("coin"), s1);
+/// l.transition(s1, Label::output("coffee"), s0);
+/// assert_eq!(l.inputs().count(), 1);
+/// assert_eq!(l.outputs().count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lts {
+    state_names: Vec<String>,
+    transitions: Vec<(LtsStateId, Label, LtsStateId)>,
+    initial: LtsStateId,
+}
+
+impl Default for Lts {
+    fn default() -> Self {
+        Lts::new()
+    }
+}
+
+impl Lts {
+    /// Creates an empty LTS (the first added state becomes initial).
+    #[must_use]
+    pub fn new() -> Self {
+        Lts {
+            state_names: Vec::new(),
+            transitions: Vec::new(),
+            initial: LtsStateId(0),
+        }
+    }
+
+    /// Adds a state.
+    pub fn state(&mut self, name: &str) -> LtsStateId {
+        self.state_names.push(name.to_owned());
+        LtsStateId(self.state_names.len() - 1)
+    }
+
+    /// Sets the initial state.
+    pub fn set_initial(&mut self, s: LtsStateId) {
+        self.initial = s;
+    }
+
+    /// The initial state.
+    #[must_use]
+    pub fn initial(&self) -> LtsStateId {
+        self.initial
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.state_names.len()
+    }
+
+    /// The name of a state.
+    #[must_use]
+    pub fn state_name(&self, s: LtsStateId) -> &str {
+        &self.state_names[s.0]
+    }
+
+    /// Adds a transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a state is out of range.
+    pub fn transition(&mut self, from: LtsStateId, label: Label, to: LtsStateId) {
+        assert!(
+            from.0 < self.state_names.len() && to.0 < self.state_names.len(),
+            "transition references unknown state"
+        );
+        self.transitions.push((from, label, to));
+    }
+
+    /// All transitions.
+    #[must_use]
+    pub fn transitions(&self) -> &[(LtsStateId, Label, LtsStateId)] {
+        &self.transitions
+    }
+
+    /// The input alphabet (names occurring on input transitions).
+    pub fn inputs(&self) -> impl Iterator<Item = &str> + '_ {
+        let mut seen: Vec<&str> = self
+            .transitions
+            .iter()
+            .filter_map(|(_, l, _)| match l {
+                Label::Input(a) => Some(a.as_str()),
+                _ => None,
+            })
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.into_iter()
+    }
+
+    /// The output alphabet.
+    pub fn outputs(&self) -> impl Iterator<Item = &str> + '_ {
+        let mut seen: Vec<&str> = self
+            .transitions
+            .iter()
+            .filter_map(|(_, l, _)| match l {
+                Label::Output(x) => Some(x.as_str()),
+                _ => None,
+            })
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.into_iter()
+    }
+
+    /// The τ-closure of a set of states.
+    #[must_use]
+    pub fn tau_closure(&self, states: &BTreeSet<LtsStateId>) -> BTreeSet<LtsStateId> {
+        let mut closed = states.clone();
+        let mut stack: Vec<LtsStateId> = states.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for (from, l, to) in &self.transitions {
+                if *from == s && *l == Label::Tau && !closed.contains(to) {
+                    closed.insert(*to);
+                    stack.push(*to);
+                }
+            }
+        }
+        closed
+    }
+
+    /// The τ-closed initial state set.
+    #[must_use]
+    pub fn initial_set(&self) -> BTreeSet<LtsStateId> {
+        self.tau_closure(&BTreeSet::from([self.initial]))
+    }
+
+    /// `states after label`: τ-closed successors under a visible label.
+    #[must_use]
+    pub fn step(&self, states: &BTreeSet<LtsStateId>, label: &Label) -> BTreeSet<LtsStateId> {
+        let mut next = BTreeSet::new();
+        for s in states {
+            for (from, l, to) in &self.transitions {
+                if from == s && l == label {
+                    next.insert(*to);
+                }
+            }
+        }
+        self.tau_closure(&next)
+    }
+
+    /// Whether a state is quiescent: no output and no τ transition.
+    #[must_use]
+    pub fn is_quiescent(&self, s: LtsStateId) -> bool {
+        !self
+            .transitions
+            .iter()
+            .any(|(from, l, _)| *from == s && matches!(l, Label::Output(_) | Label::Tau))
+    }
+
+    /// `out(states)`: the set of observable "outputs" — output actions
+    /// enabled in some state, plus `δ` if some state is quiescent.
+    #[must_use]
+    pub fn out_set(&self, states: &BTreeSet<LtsStateId>) -> BTreeSet<Event> {
+        let mut out = BTreeSet::new();
+        for s in states {
+            for (from, l, _) in &self.transitions {
+                if from == s {
+                    if let Label::Output(x) = l {
+                        out.insert(Event::Output(x.clone()));
+                    }
+                }
+            }
+            if self.is_quiescent(*s) {
+                out.insert(Event::Delta);
+            }
+        }
+        out
+    }
+
+    /// The inputs enabled in some state of the set.
+    #[must_use]
+    pub fn enabled_inputs(&self, states: &BTreeSet<LtsStateId>) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for s in states {
+            for (from, l, _) in &self.transitions {
+                if from == s {
+                    if let Label::Input(a) = l {
+                        out.insert(a.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `states after event` in the suspension automaton: inputs/outputs
+    /// step; `δ` keeps exactly the quiescent states.
+    #[must_use]
+    pub fn after_event(
+        &self,
+        states: &BTreeSet<LtsStateId>,
+        event: &Event,
+    ) -> BTreeSet<LtsStateId> {
+        match event {
+            Event::Input(a) => self.step(states, &Label::Input(a.clone())),
+            Event::Output(x) => self.step(states, &Label::Output(x.clone())),
+            Event::Delta => states
+                .iter()
+                .copied()
+                .filter(|&s| self.is_quiescent(s))
+                .collect(),
+        }
+    }
+
+    /// `initial after σ` for a suspension trace σ.
+    #[must_use]
+    pub fn after_trace(&self, trace: &[Event]) -> BTreeSet<LtsStateId> {
+        let mut set = self.initial_set();
+        for e in trace {
+            set = self.after_event(&set, e);
+            if set.is_empty() {
+                break;
+            }
+        }
+        set
+    }
+
+    /// Whether every state is input-enabled for every input of `alphabet`
+    /// (the ioco *testing hypothesis* on implementations).
+    #[must_use]
+    pub fn is_input_enabled(&self, alphabet: &[&str]) -> bool {
+        (0..self.state_names.len()).all(|s| {
+            let set = self.tau_closure(&BTreeSet::from([LtsStateId(s)]));
+            alphabet.iter().all(|a| {
+                set.iter().any(|t| {
+                    self.transitions
+                        .iter()
+                        .any(|(from, l, _)| from == t && *l == Label::Input((*a).to_owned()))
+                })
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A coffee machine: coin? then (coffee! or tea!); a τ branch models
+    /// an internal choice.
+    fn machine() -> Lts {
+        let mut l = Lts::new();
+        let s0 = l.state("idle");
+        let s1 = l.state("paid");
+        let s2 = l.state("brewing");
+        l.transition(s0, Label::input("coin"), s1);
+        l.transition(s1, Label::Tau, s2);
+        l.transition(s1, Label::output("tea"), s0);
+        l.transition(s2, Label::output("coffee"), s0);
+        l
+    }
+
+    #[test]
+    fn tau_closure_and_steps() {
+        let l = machine();
+        let init = l.initial_set();
+        assert_eq!(init.len(), 1);
+        let paid = l.step(&init, &Label::input("coin"));
+        // paid τ-closes into brewing.
+        assert_eq!(paid.len(), 2);
+    }
+
+    #[test]
+    fn out_sets_and_quiescence() {
+        let l = machine();
+        let init = l.initial_set();
+        let out = l.out_set(&init);
+        assert_eq!(out, BTreeSet::from([Event::Delta]), "idle is quiescent");
+        let paid = l.step(&init, &Label::input("coin"));
+        let out = l.out_set(&paid);
+        assert!(out.contains(&Event::Output("tea".to_owned())));
+        assert!(out.contains(&Event::Output("coffee".to_owned())));
+        assert!(!out.contains(&Event::Delta), "an output or τ is always possible");
+    }
+
+    #[test]
+    fn suspension_traces() {
+        let l = machine();
+        let after = l.after_trace(&[
+            Event::Delta,
+            Event::Input("coin".to_owned()),
+            Event::Output("coffee".to_owned()),
+        ]);
+        assert_eq!(after, l.initial_set());
+        let dead = l.after_trace(&[Event::Output("coffee".to_owned())]);
+        assert!(dead.is_empty(), "no coffee without a coin");
+    }
+
+    #[test]
+    fn input_enabledness() {
+        let l = machine();
+        assert!(!l.is_input_enabled(&["coin"]), "paid does not accept coin");
+        let mut ie = machine();
+        // Make it input-enabled by adding self-loops.
+        let s1 = LtsStateId(1);
+        let s2 = LtsStateId(2);
+        ie.transition(s1, Label::input("coin"), s1);
+        ie.transition(s2, Label::input("coin"), s2);
+        assert!(ie.is_input_enabled(&["coin"]));
+    }
+
+    #[test]
+    fn alphabets() {
+        let l = machine();
+        assert_eq!(l.inputs().collect::<Vec<_>>(), vec!["coin"]);
+        assert_eq!(l.outputs().collect::<Vec<_>>(), vec!["coffee", "tea"]);
+    }
+}

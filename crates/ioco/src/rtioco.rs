@@ -1,0 +1,383 @@
+//! rtioco: environment-relativized timed input/output conformance — the
+//! theory behind UPPAAL-TRON, "mainly targeted for embedded software
+//! commonly found in various controllers", applying *online* testing
+//! where tests are derived, executed and checked during interaction with
+//! the system in real time (Bozga et al., DATE 2012, §II and §V).
+//!
+//! The specification is a timed-automata network ([`tempo_ta::Network`])
+//! that includes the *environment model* (rtioco is relativized to the
+//! environment's assumptions); observable actions are the network's
+//! channel names, partitioned into inputs (tester → IUT) and outputs
+//! (IUT → tester). Testing runs in simulated integer time over the
+//! digital-clocks semantics, which keeps verdicts deterministic and is
+//! exact for closed specifications.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::collections::HashSet;
+use tempo_ta::{DigitalExplorer, DigitalState, Network};
+
+/// An event of a timed test trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimedEvent {
+    /// The tester sent an input at the given time.
+    Input(i64, String),
+    /// The IUT produced an output at the given time.
+    Output(i64, String),
+}
+
+/// The verdict of a timed online test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimedVerdict {
+    /// No violation observed within the test horizon.
+    Pass,
+    /// The IUT produced an output (at a time) the specification does not
+    /// allow.
+    Fail {
+        /// The executed trace up to the violation.
+        trace: Vec<TimedEvent>,
+        /// The offending observation.
+        observed: TimedEvent,
+    },
+}
+
+impl TimedVerdict {
+    /// Whether the verdict is `Pass`.
+    #[must_use]
+    pub fn is_pass(&self) -> bool {
+        matches!(self, TimedVerdict::Pass)
+    }
+}
+
+/// A timed implementation under test, driven in simulated integer time.
+pub trait TimedIut {
+    /// Resets to the initial state at time `0`.
+    fn reset(&mut self);
+    /// Delivers an input at the current instant; returns any outputs
+    /// emitted instantaneously in response.
+    fn input(&mut self, action: &str) -> Vec<String>;
+    /// Advances one time unit; returns outputs emitted during that unit.
+    fn tick(&mut self) -> Vec<String>;
+}
+
+/// The online timed conformance tester (the UPPAAL-TRON analogue).
+#[derive(Debug)]
+pub struct TimedTester<'n> {
+    exp: DigitalExplorer<'n>,
+    inputs: HashSet<String>,
+    outputs: HashSet<String>,
+    rng: StdRng,
+}
+
+impl<'n> TimedTester<'n> {
+    /// Creates a tester over the specification network. `inputs` and
+    /// `outputs` are channel names of the network, partitioned from the
+    /// IUT's perspective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input name is also an output name.
+    #[must_use]
+    pub fn new(spec: &'n Network, inputs: &[&str], outputs: &[&str], seed: u64) -> Self {
+        let inputs: HashSet<String> = inputs.iter().map(|s| (*s).to_owned()).collect();
+        let outputs: HashSet<String> = outputs.iter().map(|s| (*s).to_owned()).collect();
+        assert!(
+            inputs.is_disjoint(&outputs),
+            "input and output alphabets must be disjoint"
+        );
+        TimedTester {
+            exp: DigitalExplorer::new(spec),
+            inputs,
+            outputs,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The channel name of a move label (`chan[i]` → `chan`), if the move
+    /// is a synchronization.
+    fn channel_of(label: &str) -> Option<&str> {
+        label.split('[').next().filter(|_| label.contains('['))
+    }
+
+    /// Closure of a state set under unobservable moves (internal `tau`
+    /// edges and synchronizations on unobservable channels).
+    fn tau_closure(&self, set: &mut BTreeSet<DigitalState>) {
+        let mut stack: Vec<DigitalState> = set.iter().cloned().collect();
+        while let Some(s) = stack.pop() {
+            for (mv, next) in self.exp.moves(&s) {
+                let observable = Self::channel_of(&mv.label).is_some_and(|c| {
+                    self.inputs.contains(c) || self.outputs.contains(c)
+                });
+                if !observable && set.insert(next.clone()) {
+                    stack.push(next);
+                }
+            }
+        }
+    }
+
+    /// The initial (τ-closed) specification state set.
+    #[must_use]
+    pub fn initial_set(&self) -> BTreeSet<DigitalState> {
+        let mut set = BTreeSet::from([self.exp.initial_state()]);
+        self.tau_closure(&mut set);
+        set
+    }
+
+    /// Advances the specification set by one time unit.
+    fn delay(&self, set: &BTreeSet<DigitalState>) -> BTreeSet<DigitalState> {
+        let mut next: BTreeSet<DigitalState> = set
+            .iter()
+            .filter_map(|s| self.exp.tick(s))
+            .collect();
+        self.tau_closure(&mut next);
+        next
+    }
+
+    /// Steps the set by an observable action on channel `name`.
+    fn step(&self, set: &BTreeSet<DigitalState>, name: &str) -> BTreeSet<DigitalState> {
+        let mut next = BTreeSet::new();
+        for s in set {
+            for (mv, succ) in self.exp.moves(s) {
+                if Self::channel_of(&mv.label) == Some(name) {
+                    next.insert(succ);
+                }
+            }
+        }
+        self.tau_closure(&mut next);
+        next
+    }
+
+    /// The input channels currently offered by the specification
+    /// (environment model).
+    fn enabled_inputs(&self, set: &BTreeSet<DigitalState>) -> Vec<String> {
+        let mut out: BTreeSet<String> = BTreeSet::new();
+        for s in set {
+            for (mv, _) in self.exp.moves(s) {
+                if let Some(c) = Self::channel_of(&mv.label) {
+                    if self.inputs.contains(c) {
+                        out.insert(c.to_owned());
+                    }
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Runs one online test session of `horizon` time units against the
+    /// IUT: at each instant the tester delivers a random enabled input
+    /// (with probability ½) and lets a time unit pass, checking every
+    /// IUT output against the specification set.
+    pub fn online_test(&mut self, iut: &mut dyn TimedIut, horizon: i64) -> TimedVerdict {
+        iut.reset();
+        let mut set = self.initial_set();
+        let mut trace: Vec<TimedEvent> = Vec::new();
+        for now in 0..horizon {
+            // Maybe stimulate.
+            let choices = self.enabled_inputs(&set);
+            if !choices.is_empty() && self.rng.gen_bool(0.5) {
+                let a = choices[self.rng.gen_range(0..choices.len())].clone();
+                let responses = iut.input(&a);
+                set = self.step(&set, &a);
+                trace.push(TimedEvent::Input(now, a));
+                for x in responses {
+                    let observed = TimedEvent::Output(now, x.clone());
+                    set = self.step(&set, &x);
+                    if set.is_empty() {
+                        return TimedVerdict::Fail { trace, observed };
+                    }
+                    trace.push(observed);
+                }
+            }
+            // Let one unit pass and process outputs emitted meanwhile.
+            let outputs = iut.tick();
+            set = self.delay(&set);
+            for x in outputs {
+                let observed = TimedEvent::Output(now + 1, x.clone());
+                set = self.step(&set, &x);
+                if set.is_empty() {
+                    return TimedVerdict::Fail { trace, observed };
+                }
+                trace.push(observed);
+            }
+            if set.is_empty() {
+                // The spec cannot even delay (e.g. a required output was
+                // not produced before its deadline): unexpected
+                // quiescence.
+                return TimedVerdict::Fail {
+                    trace,
+                    observed: TimedEvent::Output(now + 1, "δ".to_owned()),
+                };
+            }
+        }
+        TimedVerdict::Pass
+    }
+
+    /// A campaign of `sessions` online tests; returns the number of
+    /// failed sessions and the first failure.
+    pub fn campaign(
+        &mut self,
+        iut: &mut dyn TimedIut,
+        sessions: usize,
+        horizon: i64,
+    ) -> (usize, Option<TimedVerdict>) {
+        let mut failures = 0;
+        let mut first = None;
+        for _ in 0..sessions {
+            let v = self.online_test(iut, horizon);
+            if !v.is_pass() {
+                failures += 1;
+                if first.is_none() {
+                    first = Some(v);
+                }
+            }
+        }
+        (failures, first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_ta::{ClockAtom, NetworkBuilder};
+
+    /// Specification: after `req`, the IUT must emit `resp` within 3 time
+    /// units. The network contains the environment (sends req) and the
+    /// system model (responds), synchronizing on channels `req`/`resp`.
+    fn spec() -> Network {
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let req = b.channel("req");
+        let resp = b.channel("resp");
+        let mut env = b.automaton("Env");
+        let e0 = env.location("E0");
+        let e1 = env.location("E1");
+        env.edge(e0, e1).send(req).done();
+        env.edge(e1, e0).recv(resp).done();
+        env.done();
+        let mut sysm = b.automaton("Sys");
+        let idle = sysm.location("Idle");
+        let busy = sysm.location_with_invariant("Busy", vec![ClockAtom::le(x, 3)]);
+        sysm.edge(idle, busy).recv(req).reset(x, 0).done();
+        sysm.edge(busy, idle).send(resp).done();
+        sysm.done();
+        b.build()
+    }
+
+    /// An IUT that responds to `req` after a fixed number of ticks.
+    struct DelayedResponder {
+        delay: i64,
+        pending: Option<i64>,
+    }
+
+    impl DelayedResponder {
+        fn new(delay: i64) -> Self {
+            DelayedResponder { delay, pending: None }
+        }
+    }
+
+    impl TimedIut for DelayedResponder {
+        fn reset(&mut self) {
+            self.pending = None;
+        }
+        fn input(&mut self, action: &str) -> Vec<String> {
+            if action == "req" && self.pending.is_none() {
+                if self.delay == 0 {
+                    return vec!["resp".to_owned()];
+                }
+                self.pending = Some(self.delay);
+            }
+            Vec::new()
+        }
+        fn tick(&mut self) -> Vec<String> {
+            match &mut self.pending {
+                Some(d) => {
+                    *d -= 1;
+                    if *d <= 0 {
+                        self.pending = None;
+                        vec!["resp".to_owned()]
+                    } else {
+                        Vec::new()
+                    }
+                }
+                None => Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn timely_responder_passes() {
+        let net = spec();
+        let mut tester = TimedTester::new(&net, &["req"], &["resp"], 1);
+        let mut iut = DelayedResponder::new(2);
+        let (failures, _) = tester.campaign(&mut iut, 30, 40);
+        assert_eq!(failures, 0);
+    }
+
+    #[test]
+    fn deadline_responder_passes() {
+        // Responding exactly at the deadline (3) is allowed (closed spec).
+        let net = spec();
+        let mut tester = TimedTester::new(&net, &["req"], &["resp"], 2);
+        let mut iut = DelayedResponder::new(3);
+        let (failures, _) = tester.campaign(&mut iut, 30, 40);
+        assert_eq!(failures, 0);
+    }
+
+    #[test]
+    fn late_responder_fails() {
+        let net = spec();
+        let mut tester = TimedTester::new(&net, &["req"], &["resp"], 3);
+        let mut iut = DelayedResponder::new(5);
+        let (failures, first) = tester.campaign(&mut iut, 30, 40);
+        assert!(failures > 0, "responding after the 3-unit deadline violates rtioco");
+        match first {
+            Some(TimedVerdict::Fail { observed, .. }) => {
+                // Either the late resp itself or the missed deadline (δ).
+                match observed {
+                    TimedEvent::Output(_, x) => assert!(x == "resp" || x == "δ"),
+                    TimedEvent::Input(_, _) => panic!("inputs cannot fail"),
+                }
+            }
+            v => panic!("expected a failure, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn spontaneous_output_fails() {
+        /// Emits resp without any req.
+        struct Chatty;
+        impl TimedIut for Chatty {
+            fn reset(&mut self) {}
+            fn input(&mut self, _: &str) -> Vec<String> {
+                Vec::new()
+            }
+            fn tick(&mut self) -> Vec<String> {
+                vec!["resp".to_owned()]
+            }
+        }
+        let net = spec();
+        let mut tester = TimedTester::new(&net, &["req"], &["resp"], 4);
+        let v = tester.online_test(&mut Chatty, 10);
+        assert!(!v.is_pass());
+    }
+
+    #[test]
+    fn silent_iut_fails_on_missed_deadline() {
+        /// Never responds at all.
+        struct Mute;
+        impl TimedIut for Mute {
+            fn reset(&mut self) {}
+            fn input(&mut self, _: &str) -> Vec<String> {
+                Vec::new()
+            }
+            fn tick(&mut self) -> Vec<String> {
+                Vec::new()
+            }
+        }
+        let net = spec();
+        let mut tester = TimedTester::new(&net, &["req"], &["resp"], 5);
+        let (failures, _) = tester.campaign(&mut Mute, 20, 40);
+        assert!(failures > 0, "after req, the deadline forces resp");
+    }
+}

@@ -1,0 +1,417 @@
+//! Test-case generation and execution: the TorX-style algorithm that is
+//! *sound* (only non-conforming implementations fail) and *exhaustive in
+//! the limit* (every non-conforming implementation fails some generated
+//! test).
+
+use crate::lts::{Event, Lts, LtsStateId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// The verdict of a test execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestVerdict {
+    /// No non-conformance observed.
+    Pass,
+    /// The implementation produced an observation the specification does
+    /// not allow; carries the trace executed so far and the observation.
+    Fail(Vec<Event>, Event),
+    /// The test could not be completed (e.g. the implementation refused
+    /// an input, violating the testing hypothesis).
+    Inconclusive(Vec<Event>),
+}
+
+impl TestVerdict {
+    /// Whether the verdict is `Pass`.
+    #[must_use]
+    pub fn is_pass(&self) -> bool {
+        matches!(self, TestVerdict::Pass)
+    }
+}
+
+/// A test case: a finite decision tree over stimuli and observations, as
+/// generated from a specification. Leaves are verdicts; `Observe` nodes
+/// map every possible observation to a subtree (observations absent from
+/// the map are specification violations, i.e. immediate `Fail`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TestCase {
+    /// Stop testing with `Pass`.
+    Stop,
+    /// Apply an input, then continue.
+    Stimulate(String, Box<TestCase>),
+    /// Observe the implementation: allowed observations continue with
+    /// their subtree, all others fail.
+    Observe(Vec<(Event, TestCase)>),
+}
+
+impl TestCase {
+    /// The depth (longest stimulus/observation path) of the test.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        match self {
+            TestCase::Stop => 0,
+            TestCase::Stimulate(_, t) => 1 + t.depth(),
+            TestCase::Observe(branches) => {
+                1 + branches.iter().map(|(_, t)| t.depth()).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            TestCase::Stop => 1,
+            TestCase::Stimulate(_, t) => 1 + t.size(),
+            TestCase::Observe(branches) => {
+                1 + branches.iter().map(|(_, t)| t.size()).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// An implementation under test, accessed as a black box (the ioco
+/// *testing hypothesis*: it behaves like some input-enabled LTS).
+pub trait Iut {
+    /// Resets the IUT to its initial state.
+    fn reset(&mut self);
+    /// Offers an input; returns `false` if refused (hypothesis
+    /// violation).
+    fn input(&mut self, action: &str) -> bool;
+    /// Observes: returns the next output, or `None` for quiescence.
+    fn observe(&mut self) -> Option<String>;
+}
+
+/// A reference IUT adapter wrapping an explicit LTS with an internal
+/// scheduler: useful for testing the tester and as the paper's "models as
+/// implementations" baseline.
+#[derive(Debug)]
+pub struct LtsIut {
+    lts: Lts,
+    current: BTreeSet<LtsStateId>,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl LtsIut {
+    /// Wraps an LTS as an executable implementation.
+    #[must_use]
+    pub fn new(lts: Lts, seed: u64) -> Self {
+        let current = lts.initial_set();
+        LtsIut {
+            lts,
+            current,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+}
+
+impl Iut for LtsIut {
+    fn reset(&mut self) {
+        self.current = self.lts.initial_set();
+        self.seed = self.seed.wrapping_add(1);
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+
+    fn input(&mut self, action: &str) -> bool {
+        let next = self
+            .lts
+            .step(&self.current, &crate::lts::Label::Input(action.to_owned()));
+        if next.is_empty() {
+            return false;
+        }
+        // Resolve nondeterminism: commit to one concrete state.
+        let pick = self.rng.gen_range(0..next.len());
+        self.current = BTreeSet::from([*next.iter().nth(pick).expect("non-empty")]);
+        self.current = self.lts.tau_closure(&self.current);
+        true
+    }
+
+    fn observe(&mut self) -> Option<String> {
+        // Gather outputs enabled in the current (committed) state set.
+        let outs: Vec<String> = self
+            .lts
+            .out_set(&self.current)
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Output(x) => Some(x),
+                _ => None,
+            })
+            .collect();
+        let quiescent: BTreeSet<LtsStateId> = self
+            .current
+            .iter()
+            .copied()
+            .filter(|&s| self.lts.is_quiescent(s))
+            .collect();
+        if outs.is_empty() {
+            // No output anywhere: observing quiescence commits the IUT to
+            // its quiescent states (if any; a pure τ-divergence keeps the
+            // set as is).
+            if !quiescent.is_empty() {
+                self.current = quiescent;
+            }
+            return None;
+        }
+        if !quiescent.is_empty() && self.rng.gen_bool(0.3) {
+            // The IUT resolves its internal choice towards staying silent:
+            // reporting δ is only honest from a quiescent state, so commit
+            // to the quiescent members.
+            self.current = quiescent;
+            return None;
+        }
+        let x = outs[self.rng.gen_range(0..outs.len())].clone();
+        let next = self
+            .lts
+            .step(&self.current, &crate::lts::Label::Output(x.clone()));
+        let pick = self.rng.gen_range(0..next.len().max(1));
+        if let Some(&s) = next.iter().nth(pick) {
+            self.current = self.lts.tau_closure(&BTreeSet::from([s]));
+        }
+        Some(x)
+    }
+}
+
+/// The TorX-style test generator: derives randomized test cases from a
+/// specification and executes tests on-the-fly against an [`Iut`].
+#[derive(Debug)]
+pub struct TestGenerator<'s> {
+    spec: &'s Lts,
+    rng: StdRng,
+}
+
+impl<'s> TestGenerator<'s> {
+    /// Creates a generator over the specification.
+    #[must_use]
+    pub fn new(spec: &'s Lts, seed: u64) -> Self {
+        TestGenerator {
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generates one randomized test case of at most `depth` steps
+    /// (offline generation; sound by construction: allowed observations
+    /// follow the specification, everything else fails).
+    pub fn generate(&mut self, depth: usize) -> TestCase {
+        self.gen_from(self.spec.initial_set(), depth)
+    }
+
+    fn gen_from(&mut self, set: BTreeSet<LtsStateId>, depth: usize) -> TestCase {
+        if depth == 0 || set.is_empty() {
+            return TestCase::Stop;
+        }
+        let inputs: Vec<String> = self.spec.enabled_inputs(&set).into_iter().collect();
+        // Choose: stimulate (if possible) or observe.
+        let stimulate = !inputs.is_empty() && self.rng.gen_bool(0.5);
+        if stimulate {
+            let a = inputs[self.rng.gen_range(0..inputs.len())].clone();
+            let next = self.spec.after_event(&set, &Event::Input(a.clone()));
+            TestCase::Stimulate(a, Box::new(self.gen_from(next, depth - 1)))
+        } else {
+            let allowed = self.spec.out_set(&set);
+            let branches = allowed
+                .into_iter()
+                .map(|e| {
+                    let next = self.spec.after_event(&set, &e);
+                    let sub = self.gen_from(next, depth - 1);
+                    (e, sub)
+                })
+                .collect();
+            TestCase::Observe(branches)
+        }
+    }
+
+    /// Executes a test case against an implementation.
+    pub fn execute(test: &TestCase, iut: &mut dyn Iut) -> TestVerdict {
+        let mut trace = Vec::new();
+        Self::exec_rec(test, iut, &mut trace)
+    }
+
+    fn exec_rec(test: &TestCase, iut: &mut dyn Iut, trace: &mut Vec<Event>) -> TestVerdict {
+        match test {
+            TestCase::Stop => TestVerdict::Pass,
+            TestCase::Stimulate(a, rest) => {
+                if !iut.input(a) {
+                    return TestVerdict::Inconclusive(trace.clone());
+                }
+                trace.push(Event::Input(a.clone()));
+                Self::exec_rec(rest, iut, trace)
+            }
+            TestCase::Observe(branches) => {
+                let obs = match iut.observe() {
+                    Some(x) => Event::Output(x),
+                    None => Event::Delta,
+                };
+                trace.push(obs.clone());
+                match branches.iter().find(|(e, _)| *e == obs) {
+                    Some((_, rest)) => Self::exec_rec(rest, iut, trace),
+                    None => {
+                        let mut t = trace.clone();
+                        t.pop();
+                        TestVerdict::Fail(t, obs)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs an on-the-fly (online) test session of `steps` events
+    /// directly against the IUT, as TorX does: at each step the tester
+    /// randomly stimulates or observes, tracking the specification state
+    /// set.
+    pub fn online_test(&mut self, iut: &mut dyn Iut, steps: usize) -> TestVerdict {
+        iut.reset();
+        let mut set = self.spec.initial_set();
+        let mut trace: Vec<Event> = Vec::new();
+        for _ in 0..steps {
+            if set.is_empty() {
+                // The implementation left the specified behaviour via an
+                // allowed path that the spec does not continue: stop.
+                return TestVerdict::Pass;
+            }
+            let inputs: Vec<String> = self.spec.enabled_inputs(&set).into_iter().collect();
+            let stimulate = !inputs.is_empty() && self.rng.gen_bool(0.5);
+            if stimulate {
+                let a = inputs[self.rng.gen_range(0..inputs.len())].clone();
+                if !iut.input(&a) {
+                    return TestVerdict::Inconclusive(trace);
+                }
+                set = self.spec.after_event(&set, &Event::Input(a.clone()));
+                trace.push(Event::Input(a));
+            } else {
+                let obs = match iut.observe() {
+                    Some(x) => Event::Output(x),
+                    None => Event::Delta,
+                };
+                let allowed = self.spec.out_set(&set);
+                if !allowed.contains(&obs) {
+                    return TestVerdict::Fail(trace, obs);
+                }
+                set = self.spec.after_event(&set, &obs);
+                trace.push(obs);
+            }
+        }
+        TestVerdict::Pass
+    }
+
+    /// A full campaign: `tests` online sessions of length `steps`;
+    /// returns the number of failures and the first failing verdict.
+    pub fn campaign(
+        &mut self,
+        iut: &mut dyn Iut,
+        tests: usize,
+        steps: usize,
+    ) -> (usize, Option<TestVerdict>) {
+        let mut failures = 0;
+        let mut first = None;
+        for _ in 0..tests {
+            let v = self.online_test(iut, steps);
+            if let TestVerdict::Fail(_, _) = &v {
+                failures += 1;
+                if first.is_none() {
+                    first = Some(v);
+                }
+            }
+        }
+        (failures, first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lts::Label;
+
+    fn spec() -> Lts {
+        let mut l = Lts::new();
+        let s0 = l.state("idle");
+        let s1 = l.state("paid");
+        l.transition(s0, Label::input("coin"), s1);
+        l.transition(s1, Label::output("coffee"), s0);
+        l
+    }
+
+    fn good_impl() -> Lts {
+        let mut l = Lts::new();
+        let s0 = l.state("idle");
+        let s1 = l.state("paid");
+        l.transition(s0, Label::input("coin"), s1);
+        l.transition(s1, Label::input("coin"), s1);
+        l.transition(s1, Label::output("coffee"), s0);
+        l
+    }
+
+    fn tea_mutant() -> Lts {
+        let mut l = good_impl();
+        l.transition(LtsStateId(1), Label::output("tea"), LtsStateId(0));
+        l
+    }
+
+    #[test]
+    fn generated_tests_have_bounded_depth() {
+        let s = spec();
+        let mut g = TestGenerator::new(&s, 1);
+        for _ in 0..10 {
+            let t = g.generate(5);
+            assert!(t.depth() <= 5);
+            assert!(t.size() >= 1);
+        }
+    }
+
+    #[test]
+    fn correct_implementation_passes_campaign() {
+        let s = spec();
+        let mut g = TestGenerator::new(&s, 2);
+        let mut iut = LtsIut::new(good_impl(), 7);
+        let (failures, _) = g.campaign(&mut iut, 50, 20);
+        assert_eq!(failures, 0, "sound: conforming implementations never fail");
+    }
+
+    #[test]
+    fn mutant_fails_campaign() {
+        let s = spec();
+        let mut g = TestGenerator::new(&s, 3);
+        let mut iut = LtsIut::new(tea_mutant(), 8);
+        let (failures, first) = g.campaign(&mut iut, 100, 20);
+        assert!(failures > 0, "exhaustive in the limit: the tea mutant is caught");
+        match first {
+            Some(TestVerdict::Fail(_, Event::Output(x))) => assert_eq!(x, "tea"),
+            v => panic!("unexpected first failure {v:?}"),
+        }
+    }
+
+    #[test]
+    fn offline_tests_catch_mutants_too() {
+        let s = spec();
+        let mut g = TestGenerator::new(&s, 4);
+        let mut caught = false;
+        for _ in 0..100 {
+            let t = g.generate(6);
+            let mut iut = LtsIut::new(tea_mutant(), 9);
+            iut.reset();
+            if let TestVerdict::Fail(_, _) = TestGenerator::execute(&t, &mut iut) {
+                caught = true;
+                break;
+            }
+        }
+        assert!(caught);
+    }
+
+    #[test]
+    fn offline_tests_sound_for_good_impl() {
+        let s = spec();
+        let mut g = TestGenerator::new(&s, 5);
+        for _ in 0..50 {
+            let t = g.generate(6);
+            let mut iut = LtsIut::new(good_impl(), 10);
+            iut.reset();
+            let v = TestGenerator::execute(&t, &mut iut);
+            assert!(
+                !matches!(v, TestVerdict::Fail(_, _)),
+                "sound tests never fail a conforming IUT: {v:?}"
+            );
+        }
+    }
+}

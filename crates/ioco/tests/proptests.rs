@@ -1,0 +1,123 @@
+//! Property-based tests for the ioco theory on randomly generated LTSs.
+
+use proptest::prelude::*;
+use tempo_ioco::{check_ioco, Label, Lts, LtsIut, LtsStateId, SuspensionAutomaton, TestGenerator, TestVerdict};
+
+const STATES: usize = 4;
+const INPUTS: [&str; 2] = ["a", "b"];
+const OUTPUTS: [&str; 2] = ["x", "y"];
+
+#[derive(Debug, Clone)]
+struct Tr {
+    from: usize,
+    kind: u8, // 0 input, 1 output, 2 tau
+    name: usize,
+    to: usize,
+}
+
+/// Random *strongly convergent* LTSs (the ioco testing hypothesis):
+/// τ edges only go to strictly larger state indices, so no τ-cycles.
+fn arb_lts() -> impl Strategy<Value = Lts> {
+    prop::collection::vec(
+        (0..STATES, 0..3_u8, 0..2_usize, 0..STATES)
+            .prop_map(|(from, kind, name, to)| Tr { from, kind, name, to }),
+        1..10,
+    )
+    .prop_map(|trs| {
+        let mut l = Lts::new();
+        for i in 0..STATES {
+            l.state(&format!("s{i}"));
+        }
+        for t in trs {
+            let label = match t.kind {
+                0 => Label::input(INPUTS[t.name]),
+                1 => Label::output(OUTPUTS[t.name]),
+                _ => {
+                    if t.to <= t.from {
+                        continue; // would create a τ-cycle: drop
+                    }
+                    Label::Tau
+                }
+            };
+            l.transition(LtsStateId(t.from), label, LtsStateId(t.to));
+        }
+        l
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ioco_is_reflexive(l in arb_lts()) {
+        prop_assert!(check_ioco(&l, &l).is_ok());
+    }
+
+    #[test]
+    fn fresh_output_always_violates(l in arb_lts()) {
+        // Adding an output the specification never produces from the
+        // initial state is observable after the empty trace.
+        let mut mutant = l.clone();
+        mutant.transition(LtsStateId(0), Label::output("zzz"), LtsStateId(0));
+        let v = check_ioco(&mutant, &l).unwrap_err();
+        prop_assert!(
+            v.trace.is_empty(),
+            "the fresh output is caught immediately, got trace {:?}",
+            v.trace
+        );
+    }
+
+    #[test]
+    fn testing_is_sound_against_self(l in arb_lts(), seed in 0_u64..1000) {
+        let mut gen = TestGenerator::new(&l, seed);
+        let mut iut = LtsIut::new(l.clone(), seed.wrapping_add(1));
+        for _ in 0..20 {
+            let v = gen.online_test(&mut iut, 12);
+            prop_assert!(
+                !matches!(v, TestVerdict::Fail(_, _)),
+                "an implementation never fails tests from its own model: {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn suspension_automaton_is_trace_equivalent(l in arb_lts()) {
+        let sa = SuspensionAutomaton::build(&l);
+        // Walk a few suspension traces of the SA and compare the state
+        // sets with the direct computation.
+        let mut stack = vec![(sa.initial(), Vec::new())];
+        let mut visited = 0;
+        while let Some((s, trace)) = stack.pop() {
+            visited += 1;
+            if visited > 200 || trace.len() > 4 {
+                continue;
+            }
+            prop_assert_eq!(sa.state_set(s), &l.after_trace(&trace));
+            for (from, e, to) in sa.transitions() {
+                if from == s {
+                    let mut t = trace.clone();
+                    t.push(e.clone());
+                    stack.push((to, t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_sets_never_empty_on_sa_states(l in arb_lts()) {
+        // Every suspension-automaton state offers at least one output or
+        // quiescence — the ioco totality property `out(q) ≠ ∅` (a state
+        // without outputs is quiescent, which is itself an observation).
+        let sa = SuspensionAutomaton::build(&l);
+        for s in 0..sa.num_states() {
+            // States reached by δ only contain quiescent states, which
+            // stay quiescent: out contains δ. States with outputs have
+            // them. Either way, non-empty — unless the state set has a
+            // τ-divergence... which finite LTSs model as a τ-loop, whose
+            // states are not quiescent but may lack outputs entirely.
+            // On convergent models, out(q) is never empty: a state with
+            // no outputs is quiescent, which is itself an observation.
+            prop_assert!(!sa.outputs_of(s).is_empty());
+        }
+    }
+}

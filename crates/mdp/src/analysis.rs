@@ -1,0 +1,738 @@
+//! Probabilistic reachability and expected rewards by graph
+//! precomputation plus value iteration — the algorithmic core of
+//! PRISM-style probabilistic model checking, used by the `mcpta` tool of
+//! the MODEST toolset (Bozga et al., DATE 2012, §III).
+
+use crate::model::{Mdp, StateId};
+
+/// Optimization direction over schedulers (resolutions of
+/// nondeterminism).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opt {
+    /// Maximize over schedulers (`Pmax`, `Emax`).
+    Max,
+    /// Minimize over schedulers (`Pmin`, `Emin`).
+    Min,
+}
+
+/// Result of a quantitative query: per-state values, the value of the
+/// initial state, a memoryless scheduler realizing it, and iteration
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct Quantitative {
+    /// Value per state.
+    pub values: Vec<f64>,
+    /// Value of the initial state.
+    pub initial_value: f64,
+    /// Chosen action index per state (`None` for absorbing states).
+    pub scheduler: Vec<Option<usize>>,
+    /// Number of value-iteration sweeps performed.
+    pub iterations: usize,
+}
+
+/// Convergence threshold for value iteration (absolute).
+pub const EPSILON: f64 = 1e-10;
+
+/// Maximum number of value-iteration sweeps.
+pub const MAX_ITERATIONS: usize = 1_000_000;
+
+/// States from which the goal set is reachable by *some* scheduler with
+/// positive probability (the complement is the `Pmax = 0` set).
+#[must_use]
+pub fn reach_exists(mdp: &Mdp, goal: &[bool]) -> Vec<bool> {
+    assert_eq!(goal.len(), mdp.num_states(), "goal mask length mismatch");
+    // Backward BFS over the underlying graph.
+    let n = mdp.num_states();
+    let mut pre: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for s in mdp.states() {
+        for a in mdp.actions(s) {
+            for &(t, p) in &a.transitions {
+                if p > 0.0 {
+                    pre[t.0].push(s.0);
+                }
+            }
+        }
+    }
+    let mut seen = goal.to_vec();
+    let mut stack: Vec<usize> = (0..n).filter(|&i| goal[i]).collect();
+    while let Some(v) = stack.pop() {
+        for &u in &pre[v] {
+            if !seen[u] {
+                seen[u] = true;
+                stack.push(u);
+            }
+        }
+    }
+    seen
+}
+
+/// States from which *every* scheduler reaches the goal with positive
+/// probability (the complement is the `Pmin = 0` set): the classic
+/// `Prob0A` fixpoint, computed as a greatest fixpoint of "can avoid".
+#[must_use]
+pub fn reach_forall_positive(mdp: &Mdp, goal: &[bool]) -> Vec<bool> {
+    assert_eq!(goal.len(), mdp.num_states(), "goal mask length mismatch");
+    let n = mdp.num_states();
+    // avoid[s]: some scheduler keeps the probability of reaching goal at 0.
+    // Fixpoint: s ∈ avoid iff !goal[s] and some action has all successors
+    // in avoid (absorbing non-goal states avoid trivially).
+    let mut avoid: Vec<bool> = (0..n).map(|i| !goal[i]).collect();
+    loop {
+        let mut changed = false;
+        for s in mdp.states() {
+            if !avoid[s.0] || goal[s.0] {
+                continue;
+            }
+            let stays = if mdp.is_absorbing(s) {
+                true
+            } else {
+                mdp.actions(s).iter().any(|a| {
+                    a.transitions
+                        .iter()
+                        .all(|&(t, p)| p == 0.0 || avoid[t.0])
+                })
+            };
+            if !stays {
+                avoid[s.0] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    avoid.iter().map(|&a| !a).collect()
+}
+
+/// States where `Pmax(reach goal) = 1`: the classic `Prob1E` double
+/// fixpoint.
+#[must_use]
+pub fn prob1_exists(mdp: &Mdp, goal: &[bool]) -> Vec<bool> {
+    assert_eq!(goal.len(), mdp.num_states(), "goal mask length mismatch");
+    let n = mdp.num_states();
+    let mut candidate: Vec<bool> = vec![true; n];
+    loop {
+        // Inner fixpoint: states that can reach goal while staying in
+        // `candidate`, using only actions that keep all mass in candidate.
+        let mut reach: Vec<bool> = goal.to_vec();
+        loop {
+            let mut changed = false;
+            for s in mdp.states() {
+                if reach[s.0] || !candidate[s.0] {
+                    continue;
+                }
+                let ok = mdp.actions(s).iter().any(|a| {
+                    a.transitions.iter().all(|&(t, p)| p == 0.0 || candidate[t.0])
+                        && a.transitions.iter().any(|&(t, p)| p > 0.0 && reach[t.0])
+                });
+                if ok {
+                    reach[s.0] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        if reach == candidate {
+            return candidate;
+        }
+        candidate = reach;
+    }
+}
+
+/// Unbounded probabilistic reachability `P{max,min}(◇ goal)`.
+///
+/// Performs qualitative precomputation (exact `0`/`1` states) followed by
+/// Gauss–Seidel value iteration on the remaining states.
+///
+/// # Panics
+///
+/// Panics if `goal.len() != mdp.num_states()`.
+#[must_use]
+pub fn reachability(mdp: &Mdp, opt: Opt, goal: &[bool]) -> Quantitative {
+    assert_eq!(goal.len(), mdp.num_states(), "goal mask length mismatch");
+    let n = mdp.num_states();
+    let mut values = vec![0.0_f64; n];
+    let mut fixed = vec![false; n];
+
+    match opt {
+        Opt::Max => {
+            let can = reach_exists(mdp, goal);
+            let one = prob1_exists(mdp, goal);
+            for i in 0..n {
+                if !can[i] {
+                    values[i] = 0.0;
+                    fixed[i] = true;
+                } else if one[i] {
+                    values[i] = 1.0;
+                    fixed[i] = true;
+                }
+            }
+        }
+        Opt::Min => {
+            let positive = reach_forall_positive(mdp, goal);
+            for i in 0..n {
+                if goal[i] {
+                    values[i] = 1.0;
+                    fixed[i] = true;
+                } else if !positive[i] {
+                    values[i] = 0.0;
+                    fixed[i] = true;
+                }
+            }
+        }
+    }
+
+    let iterations = iterate(mdp, opt, &mut values, &fixed, None, MAX_ITERATIONS);
+    let scheduler = extract_scheduler(mdp, opt, &values, None, goal);
+    Quantitative {
+        initial_value: values[mdp.initial().0],
+        values,
+        scheduler,
+        iterations,
+    }
+}
+
+/// Step-bounded probabilistic reachability `P{max,min}(◇≤k goal)`.
+///
+/// # Panics
+///
+/// Panics if `goal.len() != mdp.num_states()`.
+#[must_use]
+pub fn bounded_reachability(mdp: &Mdp, opt: Opt, goal: &[bool], steps: usize) -> Quantitative {
+    assert_eq!(goal.len(), mdp.num_states(), "goal mask length mismatch");
+    let mut values: Vec<f64> = goal.iter().map(|&g| f64::from(u8::from(g))).collect();
+    for _ in 0..steps {
+        let prev = values.clone();
+        for s in mdp.states() {
+            if goal[s.0] {
+                continue;
+            }
+            values[s.0] = combine(mdp, s, opt, &prev, None).0;
+        }
+    }
+    let scheduler = extract_scheduler(mdp, opt, &values, None, goal);
+    Quantitative {
+        initial_value: values[mdp.initial().0],
+        values,
+        scheduler,
+        iterations: steps,
+    }
+}
+
+/// Expected total reward accumulated until reaching `goal`
+/// (`E{max,min}(◇ goal)` in PRISM terms).
+///
+/// Returns `f64::INFINITY` for states that may avoid the goal forever
+/// (for `Max`: where `Pmin(◇ goal) < 1`; for `Min`: where
+/// `Pmax(◇ goal) < 1`).
+///
+/// # Panics
+///
+/// Panics if `goal.len() != mdp.num_states()`.
+#[must_use]
+pub fn expected_reward(mdp: &Mdp, opt: Opt, goal: &[bool]) -> Quantitative {
+    assert_eq!(goal.len(), mdp.num_states(), "goal mask length mismatch");
+    let n = mdp.num_states();
+    // States where the relevant scheduler class reaches the goal a.s.
+    let sure: Vec<bool> = match opt {
+        Opt::Max => {
+            // Emax is finite iff *every* scheduler reaches goal a.s.;
+            // approximate with Pmin = 1 via value iteration on Pmin.
+            let pmin = reachability(mdp, Opt::Min, goal);
+            pmin.values.iter().map(|&v| v > 1.0 - 1e-9).collect()
+        }
+        Opt::Min => {
+            let pmax = reachability(mdp, Opt::Max, goal);
+            pmax.values.iter().map(|&v| v > 1.0 - 1e-9).collect()
+        }
+    };
+    let mut values = vec![0.0_f64; n];
+    let mut fixed = vec![false; n];
+    for i in 0..n {
+        if goal[i] {
+            values[i] = 0.0;
+            fixed[i] = true;
+        } else if !sure[i] {
+            values[i] = f64::INFINITY;
+            fixed[i] = true;
+        }
+    }
+    let iterations = iterate(mdp, opt, &mut values, &fixed, Some(goal), MAX_ITERATIONS);
+    let scheduler = extract_scheduler(mdp, opt, &values, Some(goal), goal);
+    Quantitative {
+        initial_value: values[mdp.initial().0],
+        values,
+        scheduler,
+        iterations,
+    }
+}
+
+/// Result of an interval-iteration query: certified lower and upper
+/// bounds on the value.
+#[derive(Debug, Clone)]
+pub struct IntervalResult {
+    /// Certified lower bound per state.
+    pub lower: Vec<f64>,
+    /// Certified upper bound per state.
+    pub upper: Vec<f64>,
+    /// Lower bound at the initial state.
+    pub initial_lower: f64,
+    /// Upper bound at the initial state.
+    pub initial_upper: f64,
+    /// Sweeps performed.
+    pub iterations: usize,
+}
+
+/// Sound probabilistic reachability by *interval iteration*
+/// (Haddad–Monmege / Baier et al.): value iteration from below **and**
+/// from above, stopping when the two approximations are within
+/// `precision` everywhere. Unlike plain value iteration, the returned
+/// interval is a certified enclosure of the true probability.
+///
+/// If unresolved end components remain after the qualitative
+/// precomputation, the upper iteration cannot descend below them; the
+/// iteration then stops on stagnation and the (sound but wider) enclosure
+/// is returned.
+///
+/// # Panics
+///
+/// Panics if `goal.len() != mdp.num_states()` or `precision <= 0`.
+#[must_use]
+pub fn interval_reachability(
+    mdp: &Mdp,
+    opt: Opt,
+    goal: &[bool],
+    precision: f64,
+) -> IntervalResult {
+    assert_eq!(goal.len(), mdp.num_states(), "goal mask length mismatch");
+    assert!(precision > 0.0, "precision must be positive");
+    let n = mdp.num_states();
+    // Qualitative precomputation pins the exact 0/1 states; interval
+    // iteration converges on the rest (the precomputation removes the
+    // end components that would trap the upper iteration).
+    let mut lower = vec![0.0_f64; n];
+    let mut upper = vec![1.0_f64; n];
+    let mut fixed = vec![false; n];
+    match opt {
+        Opt::Max => {
+            let can = reach_exists(mdp, goal);
+            let one = prob1_exists(mdp, goal);
+            for i in 0..n {
+                if !can[i] {
+                    lower[i] = 0.0;
+                    upper[i] = 0.0;
+                    fixed[i] = true;
+                } else if one[i] {
+                    lower[i] = 1.0;
+                    upper[i] = 1.0;
+                    fixed[i] = true;
+                }
+            }
+        }
+        Opt::Min => {
+            let positive = reach_forall_positive(mdp, goal);
+            for i in 0..n {
+                if goal[i] {
+                    lower[i] = 1.0;
+                    upper[i] = 1.0;
+                    fixed[i] = true;
+                } else if !positive[i] {
+                    lower[i] = 0.0;
+                    upper[i] = 0.0;
+                    fixed[i] = true;
+                }
+            }
+        }
+    }
+    // Absorbing non-goal states never reach the goal.
+    for s in mdp.states() {
+        if mdp.is_absorbing(s) && !goal[s.0] && !fixed[s.0] {
+            lower[s.0] = 0.0;
+            upper[s.0] = 0.0;
+            fixed[s.0] = true;
+        }
+    }
+    let mut iterations = 0;
+    let mut prev_gap = f64::INFINITY;
+    let mut stagnant = 0_u32;
+    for _ in 0..MAX_ITERATIONS {
+        iterations += 1;
+        let mut gap = 0.0_f64;
+        for s in mdp.states() {
+            if fixed[s.0] {
+                continue;
+            }
+            let (lo, _) = combine(mdp, s, opt, &lower, None);
+            let (hi, _) = combine(mdp, s, opt, &upper, None);
+            lower[s.0] = lo;
+            upper[s.0] = hi;
+            gap = gap.max(hi - lo);
+        }
+        if gap <= precision {
+            break;
+        }
+        // End components among the unresolved states keep the upper
+        // iteration from descending; the enclosure is still sound, so
+        // stop once the gap stagnates instead of spinning.
+        if (prev_gap - gap).abs() < f64::EPSILON {
+            stagnant += 1;
+            if stagnant > 1000 {
+                break;
+            }
+        } else {
+            stagnant = 0;
+        }
+        prev_gap = gap;
+    }
+    IntervalResult {
+        initial_lower: lower[mdp.initial().0],
+        initial_upper: upper[mdp.initial().0],
+        lower,
+        upper,
+        iterations,
+    }
+}
+
+/// One Bellman backup at state `s`. With `rewards = Some(goal)`, the
+/// action reward is added (expected-reward form); goal states contribute
+/// their (zero) value.
+fn combine(
+    mdp: &Mdp,
+    s: StateId,
+    opt: Opt,
+    values: &[f64],
+    rewards: Option<&[bool]>,
+) -> (f64, Option<usize>) {
+    let acts = mdp.actions(s);
+    if acts.is_empty() {
+        // Absorbing: implicit self-loop. Reachability value stays; the
+        // expected reward of a non-goal absorbing state is handled by the
+        // qualitative precomputation (infinite), so 0 here is safe.
+        return (values[s.0], None);
+    }
+    let mut best: Option<(f64, usize)> = None;
+    for (ai, a) in acts.iter().enumerate() {
+        let mut v = if rewards.is_some() { a.reward } else { 0.0 };
+        for &(t, p) in &a.transitions {
+            if p > 0.0 {
+                v += p * values[t.0];
+            }
+        }
+        let better = match (&best, opt) {
+            (None, _) => true,
+            (Some((b, _)), Opt::Max) => v > *b,
+            (Some((b, _)), Opt::Min) => v < *b,
+        };
+        if better {
+            best = Some((v, ai));
+        }
+    }
+    let (v, ai) = best.expect("non-empty action set");
+    (v, Some(ai))
+}
+
+/// Gauss–Seidel value iteration over non-fixed states.
+fn iterate(
+    mdp: &Mdp,
+    opt: Opt,
+    values: &mut [f64],
+    fixed: &[bool],
+    rewards: Option<&[bool]>,
+    max_iter: usize,
+) -> usize {
+    for it in 0..max_iter {
+        let mut delta = 0.0_f64;
+        for s in mdp.states() {
+            if fixed[s.0] {
+                continue;
+            }
+            let (v, _) = combine(mdp, s, opt, values, rewards);
+            let d = (v - values[s.0]).abs();
+            if d > delta {
+                delta = d;
+            }
+            values[s.0] = v;
+        }
+        if delta < EPSILON {
+            return it + 1;
+        }
+    }
+    max_iter
+}
+
+/// Extracts a memoryless scheduler realizing the computed values.
+///
+/// Greedy choice among value-optimal actions is not enough: with ties, a
+/// greedy scheduler may cycle forever inside an equal-value region and
+/// never actually reach the goal (the textbook `Pmax` pitfall). Optimal
+/// actions are therefore ranked by progress: a state prefers a
+/// value-optimal action with a successor strictly closer (in admissible
+/// steps) to the goal.
+fn extract_scheduler(
+    mdp: &Mdp,
+    opt: Opt,
+    values: &[f64],
+    rewards: Option<&[bool]>,
+    goal: &[bool],
+) -> Vec<Option<usize>> {
+    let n = mdp.num_states();
+    let admissible = |s: StateId, ai: usize| -> bool {
+        let a = &mdp.actions(s)[ai];
+        let mut q = if rewards.is_some() { a.reward } else { 0.0 };
+        for &(t, p) in &a.transitions {
+            if p > 0.0 {
+                q += p * values[t.0];
+            }
+        }
+        let v = values[s.0];
+        if v.is_infinite() {
+            return q.is_infinite();
+        }
+        (q - v).abs() <= 1e-9 * v.abs().max(1.0)
+    };
+    let mut scheduler: Vec<Option<usize>> = vec![None; n];
+    let mut ranked: Vec<bool> = goal.to_vec();
+    loop {
+        let mut changed = false;
+        for s in mdp.states() {
+            if ranked[s.0] || scheduler[s.0].is_some() {
+                continue;
+            }
+            let progress = (0..mdp.actions(s).len()).find(|&ai| {
+                admissible(s, ai)
+                    && mdp.actions(s)[ai]
+                        .transitions
+                        .iter()
+                        .any(|&(t, p)| p > 0.0 && ranked[t.0])
+            });
+            if let Some(ai) = progress {
+                scheduler[s.0] = Some(ai);
+                ranked[s.0] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // States that cannot make progress toward the goal (value 0 for Pmax,
+    // goal avoided for Pmin, infinite expectation): any optimal action.
+    for s in mdp.states() {
+        if scheduler[s.0].is_none() {
+            scheduler[s.0] = combine(mdp, s, opt, values, rewards).1;
+        }
+    }
+    scheduler
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MdpBuilder;
+
+    /// A fair coin DTMC: s0 → heads/tails with probability ½ each.
+    fn coin() -> (Mdp, StateId, StateId) {
+        let mut b = MdpBuilder::new();
+        let s0 = b.add_state();
+        let heads = b.add_state();
+        let tails = b.add_state();
+        b.add_action(s0, None, 1.0, vec![(heads, 0.5), (tails, 0.5)])
+            .unwrap();
+        (b.build(s0).unwrap(), heads, tails)
+    }
+
+    fn mask(n: usize, set: &[StateId]) -> Vec<bool> {
+        let mut m = vec![false; n];
+        for s in set {
+            m[s.0] = true;
+        }
+        m
+    }
+
+    #[test]
+    fn coin_probabilities() {
+        let (mdp, heads, _) = coin();
+        let goal = mask(mdp.num_states(), &[heads]);
+        let res = reachability(&mdp, Opt::Max, &goal);
+        assert!((res.initial_value - 0.5).abs() < 1e-9);
+        let res = reachability(&mdp, Opt::Min, &goal);
+        assert!((res.initial_value - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_retry_reaches_almost_surely() {
+        // s0: retry with p=0.9 back to s0, succeed with 0.1.
+        let mut b = MdpBuilder::new();
+        let s0 = b.add_state();
+        let ok = b.add_state();
+        b.add_action(s0, None, 1.0, vec![(s0, 0.9), (ok, 0.1)]).unwrap();
+        let mdp = b.build(s0).unwrap();
+        let goal = mask(2, &[ok]);
+        let p = reachability(&mdp, Opt::Max, &goal);
+        assert!((p.initial_value - 1.0).abs() < 1e-9);
+        // Expected number of trials = 10 (reward 1 per attempt).
+        let e = expected_reward(&mdp, Opt::Max, &goal);
+        assert!((e.initial_value - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nondeterminism_max_vs_min() {
+        // s0 has two actions: safe (to goal w.p. 1) and risky (goal 0.3,
+        // sink 0.7).
+        let mut b = MdpBuilder::new();
+        let s0 = b.add_state();
+        let goal_s = b.add_state();
+        let sink = b.add_state();
+        b.add_action(s0, Some("safe"), 0.0, vec![(goal_s, 1.0)]).unwrap();
+        b.add_action(s0, Some("risky"), 0.0, vec![(goal_s, 0.3), (sink, 0.7)])
+            .unwrap();
+        let mdp = b.build(s0).unwrap();
+        let goal = mask(3, &[goal_s]);
+        let pmax = reachability(&mdp, Opt::Max, &goal);
+        let pmin = reachability(&mdp, Opt::Min, &goal);
+        assert!((pmax.initial_value - 1.0).abs() < 1e-9);
+        assert!((pmin.initial_value - 0.3).abs() < 1e-9);
+        assert_eq!(pmax.scheduler[0], Some(0));
+        assert_eq!(pmin.scheduler[0], Some(1));
+    }
+
+    #[test]
+    fn qualitative_sets() {
+        // s0 -> s1 -> goal; s2 isolated.
+        let mut b = MdpBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let g = b.add_state();
+        let s2 = b.add_state();
+        b.add_action(s0, None, 0.0, vec![(s1, 1.0)]).unwrap();
+        b.add_action(s1, None, 0.0, vec![(g, 1.0)]).unwrap();
+        b.add_action(s2, None, 0.0, vec![(s2, 1.0)]).unwrap();
+        let mdp = b.build(s0).unwrap();
+        let goal = mask(4, &[g]);
+        let can = reach_exists(&mdp, &goal);
+        assert_eq!(can, vec![true, true, true, false]);
+        let one = prob1_exists(&mdp, &goal);
+        assert_eq!(one, vec![true, true, true, false]);
+        let pos = reach_forall_positive(&mdp, &goal);
+        assert_eq!(pos, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn bounded_reachability_steps() {
+        // Chain s0 -> s1 -> s2(goal).
+        let mut b = MdpBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        b.add_action(s0, None, 0.0, vec![(s1, 1.0)]).unwrap();
+        b.add_action(s1, None, 0.0, vec![(s2, 1.0)]).unwrap();
+        let mdp = b.build(s0).unwrap();
+        let goal = mask(3, &[s2]);
+        assert_eq!(bounded_reachability(&mdp, Opt::Max, &goal, 1).initial_value, 0.0);
+        assert_eq!(bounded_reachability(&mdp, Opt::Max, &goal, 2).initial_value, 1.0);
+    }
+
+    #[test]
+    fn infinite_expected_reward_detected() {
+        // s0 can loop forever away from the goal.
+        let mut b = MdpBuilder::new();
+        let s0 = b.add_state();
+        let g = b.add_state();
+        b.add_action(s0, Some("loop"), 1.0, vec![(s0, 1.0)]).unwrap();
+        b.add_action(s0, Some("go"), 1.0, vec![(g, 1.0)]).unwrap();
+        let mdp = b.build(s0).unwrap();
+        let goal = mask(2, &[g]);
+        // Max: the maximizing scheduler can avoid the goal ⇒ ∞.
+        let emax = expected_reward(&mdp, Opt::Max, &goal);
+        assert!(emax.initial_value.is_infinite());
+        // Min: go directly ⇒ 1.
+        let emin = expected_reward(&mdp, Opt::Min, &goal);
+        assert!((emin.initial_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_iteration_brackets_value_iteration() {
+        let mut b = MdpBuilder::new();
+        let s0 = b.add_state();
+        let ok = b.add_state();
+        let lose = b.add_state();
+        b.add_action(s0, None, 0.0, vec![(s0, 0.5), (ok, 0.3), (lose, 0.2)])
+            .unwrap();
+        let mdp = b.build(s0).unwrap();
+        let goal = mask(3, &[ok]);
+        let vi = reachability(&mdp, Opt::Max, &goal);
+        let ii = interval_reachability(&mdp, Opt::Max, &goal, 1e-8);
+        assert!(ii.initial_lower <= vi.initial_value + 1e-8);
+        assert!(vi.initial_value <= ii.initial_upper + 1e-8);
+        assert!(ii.initial_upper - ii.initial_lower <= 1e-8);
+        // Exact value: 0.3 / 0.5 = 0.6.
+        assert!((vi.initial_value - 0.6).abs() < 1e-8);
+    }
+
+    #[test]
+    fn interval_iteration_pins_qualitative_states() {
+        // s2 cannot reach the goal: both bounds must be exactly 0 without
+        // iteration error.
+        let mut b = MdpBuilder::new();
+        let s0 = b.add_state();
+        let g = b.add_state();
+        let s2 = b.add_state();
+        b.add_action(s0, None, 0.0, vec![(g, 1.0)]).unwrap();
+        b.add_action(s2, None, 0.0, vec![(s2, 1.0)]).unwrap();
+        let mdp = b.build(s0).unwrap();
+        let goal = mask(3, &[g]);
+        let ii = interval_reachability(&mdp, Opt::Max, &goal, 1e-6);
+        assert_eq!(ii.lower[s2.0], 0.0);
+        assert_eq!(ii.upper[s2.0], 0.0);
+        assert_eq!(ii.lower[s0.0], 1.0);
+        assert_eq!(ii.upper[s0.0], 1.0);
+    }
+
+    #[test]
+    fn interval_iteration_sound_on_end_components() {
+        // s0 may loop forever (end component) or gamble 50/50: Pmax = 0.5,
+        // but the upper iteration cannot descend below the loop. The
+        // enclosure must stay sound and the call must terminate.
+        let mut b = MdpBuilder::new();
+        let s0 = b.add_state();
+        let g = b.add_state();
+        let lose = b.add_state();
+        b.add_action(s0, Some("loop"), 0.0, vec![(s0, 1.0)]).unwrap();
+        b.add_action(s0, Some("gamble"), 0.0, vec![(g, 0.5), (lose, 0.5)])
+            .unwrap();
+        let mdp = b.build(s0).unwrap();
+        let goal = mask(3, &[g]);
+        let ii = interval_reachability(&mdp, Opt::Max, &goal, 1e-6);
+        let vi = reachability(&mdp, Opt::Max, &goal);
+        assert!(ii.initial_lower <= vi.initial_value + 1e-9);
+        assert!(vi.initial_value <= ii.initial_upper + 1e-9);
+        assert!((vi.initial_value - 0.5).abs() < 1e-9);
+        assert!(ii.iterations < MAX_ITERATIONS);
+    }
+
+    #[test]
+    fn knuth_yao_die_first_roll() {
+        // Knuth–Yao simulation of a die with a fair coin: check the
+        // probability of rolling a 1 is 1/6.
+        let mut b = MdpBuilder::new();
+        let states: Vec<StateId> = (0..13).map(|_| b.add_state()).collect();
+        // 0 is the root; 7..=12 are die outcomes 1..=6.
+        let coin = |b: &mut MdpBuilder, s: usize, l: usize, r: usize| {
+            b.add_action(states[s], None, 0.0, vec![(states[l], 0.5), (states[r], 0.5)])
+                .unwrap();
+        };
+        coin(&mut b, 0, 1, 2);
+        coin(&mut b, 1, 3, 4);
+        coin(&mut b, 2, 5, 6);
+        coin(&mut b, 3, 1, 7); // back to 1 or outcome 1
+        coin(&mut b, 4, 8, 9);
+        coin(&mut b, 5, 10, 11);
+        coin(&mut b, 6, 2, 12); // back to 2 or outcome 6
+        let mdp = b.build(states[0]).unwrap();
+        let goal = mask(13, &[states[7]]);
+        let p = reachability(&mdp, Opt::Max, &goal);
+        assert!((p.initial_value - 1.0 / 6.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,47 @@
+//! # tempo-mdp — Markov decision processes and probabilistic model checking
+//!
+//! The PRISM-like substrate of the workspace: finite [`Mdp`] models with
+//! nondeterministic actions, probabilistic transitions and action rewards,
+//! analysed by qualitative graph precomputation (`Prob0`/`Prob1`) and
+//! Gauss–Seidel value iteration. The `mcpta` analogue in `tempo-modest`
+//! translates probabilistic timed automata to these MDPs with the digital
+//! clocks construction (Bozga et al., DATE 2012, §III).
+//!
+//! Supported queries:
+//!
+//! * [`reachability`] — `Pmax` / `Pmin` of eventually reaching a goal set;
+//! * [`bounded_reachability`] — step-bounded variants;
+//! * [`expected_reward`] — `Emax` / `Emin` of the total reward accumulated
+//!   until the goal (e.g. expected completion time);
+//! * qualitative sets: [`reach_exists`], [`reach_forall_positive`],
+//!   [`prob1_exists`].
+//!
+//! ## Example
+//!
+//! ```
+//! use tempo_mdp::{MdpBuilder, Opt, reachability};
+//!
+//! let mut b = MdpBuilder::new();
+//! let s0 = b.add_state();
+//! let win = b.add_state();
+//! let lose = b.add_state();
+//! b.add_action(s0, None, 0.0, vec![(win, 0.3), (lose, 0.7)])?;
+//! let mdp = b.build(s0)?;
+//! let goal = vec![false, true, false];
+//! let res = reachability(&mdp, Opt::Max, &goal);
+//! assert!((res.initial_value - 0.3).abs() < 1e-9);
+//! # Ok::<(), tempo_mdp::BuildError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod model;
+
+pub use analysis::{
+    bounded_reachability, expected_reward, interval_reachability, prob1_exists, reach_exists,
+    reach_forall_positive, reachability, IntervalResult, Opt, Quantitative, EPSILON,
+    MAX_ITERATIONS,
+};
+pub use model::{BuildError, Mdp, MdpAction, MdpBuilder, StateId};

@@ -1,0 +1,285 @@
+//! Markov decision processes: states, nondeterministic actions, and
+//! probabilistic transitions.
+
+use std::fmt;
+
+/// Identifier of an MDP state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub usize);
+
+impl StateId {
+    /// The state's position in the MDP's state table.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One nondeterministic action of a state: a probability distribution
+/// over successors, plus a reward earned when the action is taken.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdpAction {
+    /// Optional label for diagnostics.
+    pub label: Option<String>,
+    /// Reward earned by taking this action (e.g. elapsed time).
+    pub reward: f64,
+    /// Successor distribution: pairs `(state, probability)`, summing to 1.
+    pub transitions: Vec<(StateId, f64)>,
+}
+
+/// A finite Markov decision process.
+///
+/// States with no explicit actions are absorbing (they receive an implicit
+/// zero-reward self-loop during analysis). A DTMC is the special case in
+/// which every state has exactly one action.
+///
+/// ```
+/// use tempo_mdp::{MdpBuilder, StateId};
+/// let mut b = MdpBuilder::new();
+/// let s0 = b.add_state();
+/// let s1 = b.add_state();
+/// b.add_action(s0, None, 0.0, vec![(s1, 0.5), (s0, 0.5)])?;
+/// let mdp = b.build(s0)?;
+/// assert_eq!(mdp.num_states(), 2);
+/// # Ok::<(), tempo_mdp::BuildError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mdp {
+    pub(crate) actions: Vec<Vec<MdpAction>>,
+    pub(crate) initial: StateId,
+}
+
+/// An error raised while constructing an MDP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// A transition targets an undeclared state.
+    UnknownState {
+        /// The offending target.
+        state: StateId,
+    },
+    /// A distribution's probabilities do not sum to 1 (within 1e-9) or a
+    /// probability is negative.
+    BadDistribution {
+        /// The source state of the offending action.
+        state: StateId,
+        /// The actual probability mass.
+        sum: f64,
+    },
+    /// A reward is negative or non-finite (expected-reward analysis
+    /// requires non-negative rewards).
+    BadReward {
+        /// The source state of the offending action.
+        state: StateId,
+        /// The offending reward.
+        reward: f64,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownState { state } => write!(f, "unknown state {state}"),
+            BuildError::BadDistribution { state, sum } => {
+                write!(f, "distribution from {state} sums to {sum}, expected 1")
+            }
+            BuildError::BadReward { state, reward } => {
+                write!(f, "invalid reward {reward} on action from {state}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl Mdp {
+    /// Number of states.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Total number of actions over all states.
+    #[must_use]
+    pub fn num_actions(&self) -> usize {
+        self.actions.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of probabilistic transitions.
+    #[must_use]
+    pub fn num_transitions(&self) -> usize {
+        self.actions
+            .iter()
+            .flat_map(|acts| acts.iter().map(|a| a.transitions.len()))
+            .sum()
+    }
+
+    /// The initial state.
+    #[must_use]
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Actions available in a state (empty means absorbing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state id is out of range.
+    #[must_use]
+    pub fn actions(&self, s: StateId) -> &[MdpAction] {
+        &self.actions[s.0]
+    }
+
+    /// Whether the state has no outgoing actions.
+    #[must_use]
+    pub fn is_absorbing(&self, s: StateId) -> bool {
+        self.actions[s.0].is_empty()
+    }
+
+    /// Iterator over all state ids.
+    pub fn states(&self) -> impl Iterator<Item = StateId> + '_ {
+        (0..self.actions.len()).map(StateId)
+    }
+}
+
+/// Incremental builder for [`Mdp`] models.
+#[derive(Debug, Clone, Default)]
+pub struct MdpBuilder {
+    actions: Vec<Vec<MdpAction>>,
+}
+
+impl MdpBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        MdpBuilder::default()
+    }
+
+    /// Adds a state and returns its id.
+    pub fn add_state(&mut self) -> StateId {
+        self.actions.push(Vec::new());
+        StateId(self.actions.len() - 1)
+    }
+
+    /// Ensures at least `n` states exist.
+    pub fn reserve_states(&mut self, n: usize) {
+        while self.actions.len() < n {
+            self.actions.push(Vec::new());
+        }
+    }
+
+    /// Number of states added so far.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Adds an action from `state` with the given reward and successor
+    /// distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if `state` or a target is unknown, the
+    /// distribution does not sum to 1, or the reward is negative/NaN.
+    pub fn add_action(
+        &mut self,
+        state: StateId,
+        label: Option<&str>,
+        reward: f64,
+        transitions: Vec<(StateId, f64)>,
+    ) -> Result<(), BuildError> {
+        if state.0 >= self.actions.len() {
+            return Err(BuildError::UnknownState { state });
+        }
+        if !reward.is_finite() || reward < 0.0 {
+            return Err(BuildError::BadReward { state, reward });
+        }
+        let mut sum = 0.0;
+        for &(t, p) in &transitions {
+            if t.0 >= self.actions.len() {
+                return Err(BuildError::UnknownState { state: t });
+            }
+            if !(0.0..=1.0 + 1e-9).contains(&p) {
+                return Err(BuildError::BadDistribution { state, sum: p });
+            }
+            sum += p;
+        }
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(BuildError::BadDistribution { state, sum });
+        }
+        self.actions[state.0].push(MdpAction {
+            label: label.map(str::to_owned),
+            reward,
+            transitions,
+        });
+        Ok(())
+    }
+
+    /// Finalizes the MDP with the given initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnknownState`] if `initial` is out of range.
+    pub fn build(self, initial: StateId) -> Result<Mdp, BuildError> {
+        if initial.0 >= self.actions.len() {
+            return Err(BuildError::UnknownState { state: initial });
+        }
+        Ok(Mdp {
+            actions: self.actions,
+            initial,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates_distributions() {
+        let mut b = MdpBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        assert!(b.add_action(s0, None, 0.0, vec![(s1, 0.6), (s0, 0.4)]).is_ok());
+        assert!(matches!(
+            b.add_action(s0, None, 0.0, vec![(s1, 0.6)]),
+            Err(BuildError::BadDistribution { .. })
+        ));
+        assert!(matches!(
+            b.add_action(s0, None, -1.0, vec![(s1, 1.0)]),
+            Err(BuildError::BadReward { .. })
+        ));
+        assert!(matches!(
+            b.add_action(s0, None, 0.0, vec![(StateId(9), 1.0)]),
+            Err(BuildError::UnknownState { .. })
+        ));
+    }
+
+    #[test]
+    fn model_accessors() {
+        let mut b = MdpBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.add_action(s0, Some("go"), 2.0, vec![(s1, 1.0)]).unwrap();
+        let mdp = b.build(s0).unwrap();
+        assert_eq!(mdp.num_states(), 2);
+        assert_eq!(mdp.num_actions(), 1);
+        assert_eq!(mdp.num_transitions(), 1);
+        assert!(mdp.is_absorbing(s1));
+        assert!(!mdp.is_absorbing(s0));
+        assert_eq!(mdp.actions(s0)[0].label.as_deref(), Some("go"));
+        assert_eq!(mdp.initial(), s0);
+        assert_eq!(mdp.states().count(), 2);
+    }
+
+    #[test]
+    fn bad_initial_rejected() {
+        let b = MdpBuilder::new();
+        assert!(b.build(StateId(0)).is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the MDP engine: probabilistic-reachability
+//! laws checked on randomly generated small MDPs.
+
+use proptest::prelude::*;
+use tempo_mdp::{
+    bounded_reachability, expected_reward, prob1_exists, reach_exists, reachability, Mdp,
+    MdpBuilder, Opt, StateId,
+};
+
+const N: usize = 6;
+
+/// A random MDP over `N` states: each state gets 0..=2 actions, each with
+/// a distribution over 1..=3 successors.
+fn arb_mdp() -> impl Strategy<Value = Mdp> {
+    let action = (
+        prop::collection::vec((0..N, 1..=10_u32), 1..=3),
+        0.0..3.0_f64,
+    );
+    prop::collection::vec(prop::collection::vec(action, 0..=2), N).prop_map(|spec| {
+        let mut b = MdpBuilder::new();
+        let states: Vec<StateId> = (0..N).map(|_| b.add_state()).collect();
+        for (s, actions) in spec.into_iter().enumerate() {
+            for (targets, reward) in actions {
+                let total: u32 = targets.iter().map(|(_, w)| w).sum();
+                let mut dist: Vec<(StateId, f64)> = targets
+                    .iter()
+                    .map(|&(t, w)| (states[t], f64::from(w) / f64::from(total)))
+                    .collect();
+                // Repair floating normalization exactly.
+                let sum: f64 = dist.iter().map(|(_, p)| p).sum();
+                dist.last_mut().expect("non-empty").1 += 1.0 - sum;
+                b.add_action(states[s], None, reward, dist).expect("valid action");
+            }
+        }
+        b.build(states[0]).expect("valid initial state")
+    })
+}
+
+fn arb_goal() -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(prop::bool::ANY, N)
+}
+
+proptest! {
+    #[test]
+    fn probabilities_are_within_bounds(mdp in arb_mdp(), goal in arb_goal()) {
+        let pmax = reachability(&mdp, Opt::Max, &goal);
+        let pmin = reachability(&mdp, Opt::Min, &goal);
+        for i in 0..N {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&pmax.values[i]));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&pmin.values[i]));
+            prop_assert!(pmin.values[i] <= pmax.values[i] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn goal_states_have_probability_one(mdp in arb_mdp(), goal in arb_goal()) {
+        let pmax = reachability(&mdp, Opt::Max, &goal);
+        let pmin = reachability(&mdp, Opt::Min, &goal);
+        for i in 0..N {
+            if goal[i] {
+                prop_assert!((pmax.values[i] - 1.0).abs() < 1e-9);
+                prop_assert!((pmin.values[i] - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_is_monotone_and_below_unbounded(mdp in arb_mdp(), goal in arb_goal()) {
+        let unbounded = reachability(&mdp, Opt::Max, &goal);
+        let mut prev = 0.0;
+        for k in [0, 1, 2, 5, 20] {
+            let bounded = bounded_reachability(&mdp, Opt::Max, &goal, k);
+            prop_assert!(bounded.initial_value + 1e-9 >= prev, "monotone in k");
+            prop_assert!(bounded.initial_value <= unbounded.initial_value + 1e-9);
+            prev = bounded.initial_value;
+        }
+    }
+
+    #[test]
+    fn qualitative_sets_agree_with_quantitative(mdp in arb_mdp(), goal in arb_goal()) {
+        let pmax = reachability(&mdp, Opt::Max, &goal);
+        let can = reach_exists(&mdp, &goal);
+        let one = prob1_exists(&mdp, &goal);
+        for i in 0..N {
+            if !can[i] {
+                prop_assert!(pmax.values[i].abs() < 1e-9, "Prob0 states get 0");
+            } else {
+                prop_assert!(pmax.values[i] > 0.0 || goal.iter().all(|&g| !g));
+            }
+            if one[i] {
+                prop_assert!((pmax.values[i] - 1.0).abs() < 1e-9, "Prob1E states get 1");
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_achieves_the_value(mdp in arb_mdp(), goal in arb_goal()) {
+        // Evaluate the extracted max scheduler as a Markov chain and
+        // compare to the reported value (the scheduler realizes Pmax).
+        let pmax = reachability(&mdp, Opt::Max, &goal);
+        let mut b = MdpBuilder::new();
+        let states: Vec<StateId> = (0..N).map(|_| b.add_state()).collect();
+        for s in mdp.states() {
+            if let Some(ai) = pmax.scheduler[s.index()] {
+                let a = &mdp.actions(s)[ai];
+                b.add_action(states[s.index()], None, a.reward, a.transitions.clone())
+                    .expect("copied action is valid");
+            }
+        }
+        let chain = b.build(states[mdp.initial().index()]).expect("valid");
+        let induced = reachability(&chain, Opt::Max, &goal);
+        prop_assert!(
+            (induced.initial_value - pmax.initial_value).abs() < 1e-6,
+            "scheduler value {} vs Pmax {}",
+            induced.initial_value,
+            pmax.initial_value
+        );
+    }
+
+    #[test]
+    fn expected_reward_nonnegative_and_min_below_max(mdp in arb_mdp(), goal in arb_goal()) {
+        let emax = expected_reward(&mdp, Opt::Max, &goal);
+        let emin = expected_reward(&mdp, Opt::Min, &goal);
+        for i in 0..N {
+            prop_assert!(emax.values[i] >= -1e-9);
+            prop_assert!(emin.values[i] >= -1e-9);
+            if emax.values[i].is_finite() {
+                prop_assert!(emin.values[i] <= emax.values[i] + 1e-6);
+            }
+        }
+    }
+}

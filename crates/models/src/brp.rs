@@ -1,0 +1,431 @@
+//! The Bounded Retransmission Protocol (BRP) in MODEST
+//! (Bozga et al., DATE 2012, §III.A and Table I).
+//!
+//! An alternating-bit-based protocol with an upper bound `MAX` on
+//! retransmissions: the sender transfers `N` chunks over a lossy data
+//! channel (2% loss, transmission delay up to `TD` — exactly the Fig. 5
+//! channel process); the receiver acknowledges over an equally lossy
+//! channel; timeouts trigger retransmissions.
+//!
+//! The properties of Table I:
+//!
+//! | name | meaning |
+//! |------|---------|
+//! | TA1  | no premature timeouts (the timer never expires while a message is in transit) |
+//! | TA2  | correct handling of failures (`NOK` only before the last chunk, `DK` only on it) |
+//! | PA   | probability that success is reported before the file is transferred (= 0) |
+//! | PB   | probability that `NOK` is reported on the last chunk (= 0) |
+//! | P1   | probability that the sender eventually reports *no* success |
+//! | P2   | probability that the sender reports "uncertainty" (`DK`) |
+//! | Dmax | probability of success within 64 time units |
+//! | Emax | maximum expected time until the sender reports |
+
+use tempo_dbm::Clock;
+use tempo_expr::{Expr, VarId};
+use tempo_modest::{
+    compile, Assignment, Mcpta, ModestModel, PaltBranch, Process, Pta,
+};
+use tempo_ta::{ClockAtom, StateFormula};
+
+/// Sender report values.
+pub mod report {
+    /// No report yet.
+    pub const NONE: i64 = 0;
+    /// Successful transfer (`I_OK`).
+    pub const OK: i64 = 1;
+    /// Failure before the last chunk (`I_NOK`).
+    pub const NOK: i64 = 2;
+    /// Uncertainty: failure on the last chunk (`I_DK`).
+    pub const DK: i64 = 3;
+}
+
+/// The BRP model with its parameters and property handles.
+#[derive(Debug)]
+pub struct Brp {
+    /// Number of chunks `N`.
+    pub n: i64,
+    /// Maximum number of retransmissions `MAX`.
+    pub max_retries: i64,
+    /// Maximum channel transmission delay `TD`.
+    pub td: i64,
+    /// The compiled PTA network (Sender ∥ Receiver ∥ ChannelK ∥ ChannelL).
+    pub pta: Pta,
+    /// Sender report variable (`report::*`).
+    pub srep: VarId,
+    /// Chunks successfully acknowledged so far.
+    pub i: VarId,
+    /// Flag raised if a timeout ever fires while a message is in transit.
+    pub premature: VarId,
+    /// The global clock (never reset), for time-bounded properties.
+    pub gt: Clock,
+}
+
+/// Builds the BRP with parameters `(N, MAX, TD)`; the paper's Table I
+/// uses `(16, 2, 1)`.
+///
+/// # Panics
+///
+/// Panics if any parameter is non-positive.
+#[must_use]
+pub fn brp(n: i64, max_retries: i64, td: i64) -> Brp {
+    assert!(n > 0 && max_retries > 0 && td > 0, "parameters must be positive");
+    let mut m = ModestModel::new();
+    // Timeout: strictly above the worst-case round trip
+    // (data ≤ TD, receiver ack ≤ 1, ack ≤ TD).
+    let to = 2 * td + 2;
+
+    // Clocks.
+    let sc = m.clock("sc"); // sender timer
+    let kc = m.clock("kc"); // data-channel transit
+    let lc = m.clock("lc"); // ack-channel transit
+    let rv = m.clock("rv"); // receiver ack window
+    let gt = m.clock("gt"); // global time (never reset)
+
+    // Variables.
+    let i = m.decls_mut().int("i", 0, n);
+    let rc = m.decls_mut().int("rc", 0, max_retries);
+    let srep = m.decls_mut().int("srep", 0, 3);
+    let kfull = m.decls_mut().int("kfull", 0, 1);
+    let lfull = m.decls_mut().int("lfull", 0, 1);
+    let premature = m.decls_mut().int("premature", 0, 1);
+
+    // Actions.
+    let put = m.action("put");
+    let get = m.action("get");
+    let putack = m.action("putack");
+    let getack = m.action("getack");
+    let report_ok = m.action("report_ok");
+    let timeout = m.action("timeout");
+    let retry = m.action("retry");
+    let report_nok = m.action("report_nok");
+    let report_dk = m.action("report_dk");
+
+    // Sender: send the next chunk or report success; urgency via the
+    // `sc <= 0` entry invariant (sc is reset by every path into Sender).
+    m.define(
+        "Sender",
+        Process::invariant(
+            vec![ClockAtom::le(sc, 0)],
+            Process::alt(vec![
+                Process::when(
+                    Expr::var(i).lt(Expr::konst(n)),
+                    Process::act_with(put, vec![Assignment::Clock(sc, 0)], Process::call("Wait")),
+                ),
+                Process::when(
+                    Expr::var(i).ge(Expr::konst(n)),
+                    Process::act_with(
+                        report_ok,
+                        vec![Assignment::Var(srep, Expr::konst(report::OK))],
+                        Process::stop(),
+                    ),
+                ),
+            ]),
+        ),
+    );
+
+    // Wait for the acknowledgement or time out.
+    let after_timeout = Process::invariant(
+        vec![ClockAtom::le(sc, to)],
+        Process::alt(vec![
+            Process::when(
+                Expr::var(rc).lt(Expr::konst(max_retries)),
+                Process::act_with(
+                    retry,
+                    vec![
+                        Assignment::Var(rc, Expr::var(rc) + Expr::konst(1)),
+                        Assignment::Clock(sc, 0),
+                    ],
+                    Process::call("Sender"),
+                ),
+            ),
+            Process::when(
+                Expr::var(rc).ge(Expr::konst(max_retries))
+                    & Expr::var(i).lt(Expr::konst(n - 1)),
+                Process::act_with(
+                    report_nok,
+                    vec![Assignment::Var(srep, Expr::konst(report::NOK))],
+                    Process::stop(),
+                ),
+            ),
+            Process::when(
+                Expr::var(rc).ge(Expr::konst(max_retries))
+                    & Expr::var(i).ge(Expr::konst(n - 1)),
+                Process::act_with(
+                    report_dk,
+                    vec![Assignment::Var(srep, Expr::konst(report::DK))],
+                    Process::stop(),
+                ),
+            ),
+        ]),
+    );
+    m.define(
+        "Wait",
+        Process::invariant(
+            vec![ClockAtom::le(sc, to)],
+            Process::alt(vec![
+                Process::act_with(
+                    getack,
+                    vec![
+                        Assignment::Var(i, Expr::var(i) + Expr::konst(1)),
+                        Assignment::Var(rc, Expr::konst(0)),
+                        Assignment::Clock(sc, 0),
+                    ],
+                    Process::call("Sender"),
+                ),
+                Process::when_clock(
+                    ClockAtom::ge(sc, to),
+                    Process::act_with(
+                        timeout,
+                        vec![Assignment::Var(
+                            premature,
+                            Expr::var(premature) | Expr::var(kfull) | Expr::var(lfull),
+                        )],
+                        after_timeout,
+                    ),
+                ),
+            ]),
+        ),
+    );
+
+    // Receiver: acknowledge each chunk within one time unit.
+    m.define(
+        "Receiver",
+        Process::act_with(
+            get,
+            vec![Assignment::Clock(rv, 0)],
+            Process::invariant(
+                vec![ClockAtom::le(rv, 1)],
+                Process::act(putack, Process::call("Receiver")),
+            ),
+        ),
+    );
+
+    // The Fig. 5 channel with 2% message loss, for data and for acks.
+    let channel = |action_in, action_out, clock, flag: VarId| {
+        Process::palt(
+            action_in,
+            vec![
+                PaltBranch {
+                    weight: 98,
+                    assignments: vec![
+                        Assignment::Clock(clock, 0),
+                        Assignment::Var(flag, Expr::konst(1)),
+                    ],
+                    then: Process::invariant(
+                        vec![ClockAtom::le(clock, td)],
+                        Process::act_with(
+                            action_out,
+                            vec![Assignment::Var(flag, Expr::konst(0))],
+                            Process::skip(),
+                        ),
+                    ),
+                },
+                PaltBranch {
+                    weight: 2,
+                    assignments: vec![],
+                    then: Process::skip(),
+                },
+            ],
+        )
+    };
+    m.define(
+        "ChannelK",
+        channel(put, get, kc, kfull).then(Process::call("ChannelK")),
+    );
+    m.define(
+        "ChannelL",
+        channel(putack, getack, lc, lfull).then(Process::call("ChannelL")),
+    );
+
+    m.system(&["Sender", "Receiver", "ChannelK", "ChannelL"]);
+    Brp {
+        n,
+        max_retries,
+        td,
+        pta: compile(&m),
+        srep,
+        i,
+        premature,
+        gt,
+    }
+}
+
+impl Brp {
+    /// TA1: no premature timeouts.
+    #[must_use]
+    pub fn ta1(&self) -> StateFormula {
+        StateFormula::data(Expr::var(self.premature).eq(Expr::konst(0)))
+    }
+
+    /// TA2: failures are reported correctly (`NOK` never on the last
+    /// chunk, `DK` only on it).
+    #[must_use]
+    pub fn ta2(&self) -> StateFormula {
+        let nok_wrong = Expr::var(self.srep).eq(Expr::konst(report::NOK))
+            & Expr::var(self.i).ge(Expr::konst(self.n - 1));
+        let dk_wrong = Expr::var(self.srep).eq(Expr::konst(report::DK))
+            & Expr::var(self.i).lt(Expr::konst(self.n - 1));
+        StateFormula::data(!(nok_wrong | dk_wrong))
+    }
+
+    /// PA: success reported before the transfer completed (impossible).
+    #[must_use]
+    pub fn pa_goal(&self) -> StateFormula {
+        StateFormula::data(
+            Expr::var(self.srep).eq(Expr::konst(report::OK))
+                & Expr::var(self.i).lt(Expr::konst(self.n)),
+        )
+    }
+
+    /// PB: `NOK` reported on the last chunk (impossible).
+    #[must_use]
+    pub fn pb_goal(&self) -> StateFormula {
+        StateFormula::data(
+            Expr::var(self.srep).eq(Expr::konst(report::NOK))
+                & Expr::var(self.i).ge(Expr::konst(self.n - 1)),
+        )
+    }
+
+    /// P1: the sender eventually reports no success (`NOK` or `DK`).
+    #[must_use]
+    pub fn p1_goal(&self) -> StateFormula {
+        StateFormula::data(
+            Expr::var(self.srep).eq(Expr::konst(report::NOK))
+                | Expr::var(self.srep).eq(Expr::konst(report::DK)),
+        )
+    }
+
+    /// P2: the sender reports uncertainty (`DK`).
+    #[must_use]
+    pub fn p2_goal(&self) -> StateFormula {
+        StateFormula::data(Expr::var(self.srep).eq(Expr::konst(report::DK)))
+    }
+
+    /// The success state (`srep == OK`).
+    #[must_use]
+    pub fn success(&self) -> StateFormula {
+        StateFormula::data(Expr::var(self.srep).eq(Expr::konst(report::OK)))
+    }
+
+    /// Dmax goal: success within `bound` time units.
+    #[must_use]
+    pub fn dmax_goal(&self, bound: i64) -> StateFormula {
+        StateFormula::and(vec![
+            self.success(),
+            StateFormula::clock(ClockAtom::le(self.gt, bound)),
+        ])
+    }
+
+    /// Emax goal: the sender has reported (any verdict).
+    #[must_use]
+    pub fn done(&self) -> StateFormula {
+        StateFormula::data(Expr::var(self.srep).ne(Expr::konst(report::NONE)))
+    }
+
+    /// Builds the `mcpta` analyzer for this model; `time_bound` widens
+    /// the clock clamp for [`Brp::dmax_goal`] queries (use `0` when no
+    /// time-bounded query is needed — the global clock then clamps at the
+    /// model constants and the state space stays small).
+    #[must_use]
+    pub fn mcpta(&self, time_bound: i64, max_states: usize) -> Mcpta {
+        let extra = if time_bound > 0 {
+            vec![ClockAtom::le(self.gt, time_bound)]
+        } else {
+            Vec::new()
+        };
+        Mcpta::build(&self.pta, &extra, max_states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_modest::{Modes, Scheduler};
+
+    /// Small instance for fast exact tests.
+    fn small() -> Brp {
+        brp(2, 1, 1)
+    }
+
+    #[test]
+    fn invariants_hold() {
+        let b = small();
+        let mc = b.mcpta(0, 2_000_000);
+        assert!(mc.check_invariant(&b.ta1()), "no premature timeouts");
+        assert!(mc.check_invariant(&b.ta2()), "failures handled correctly");
+    }
+
+    #[test]
+    fn impossible_events_have_probability_zero() {
+        let b = small();
+        let mc = b.mcpta(0, 2_000_000);
+        assert_eq!(mc.pmax(&b.pa_goal()), 0.0);
+        assert_eq!(mc.pmax(&b.pb_goal()), 0.0);
+    }
+
+    #[test]
+    fn failure_probabilities_small_and_ordered() {
+        let b = small();
+        let mc = b.mcpta(0, 2_000_000);
+        let p1 = mc.pmax(&b.p1_goal());
+        let p2 = mc.pmax(&b.p2_goal());
+        assert!(p1 > 0.0 && p1 < 0.05, "P1 = {p1}");
+        assert!(p2 > 0.0 && p2 <= p1, "P2 = {p2} vs P1 = {p1}");
+        // With MAX = 1: a chunk aborts after 2 lost rounds. A round is
+        // lost iff data or ack is lost: q = 0.02 + 0.98·0.02 = 0.0396.
+        // First chunk abort = NOK, second = DK.
+        let q: f64 = 1.0 - 0.98 * 0.98;
+        let per_chunk = q * q;
+        let expected_p1 = per_chunk + (1.0 - per_chunk) * per_chunk;
+        assert!(
+            (p1 - expected_p1).abs() < 1e-9,
+            "P1 = {p1}, hand-computed {expected_p1}"
+        );
+        let expected_p2 = (1.0 - per_chunk) * per_chunk;
+        assert!((p2 - expected_p2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn success_is_almost_sure_complement() {
+        let b = small();
+        let mc = b.mcpta(0, 2_000_000);
+        let p1 = mc.pmax(&b.p1_goal());
+        let ps = mc.pmin(&b.success());
+        assert!((ps + p1 - 1.0).abs() < 1e-9, "success + failure = 1");
+    }
+
+    #[test]
+    fn expected_time_finite_and_positive() {
+        let b = small();
+        let mc = b.mcpta(0, 2_000_000);
+        let emax = mc.emax_time(&b.done());
+        assert!(emax.is_finite(), "every scheduler finishes");
+        assert!(emax > 0.0 && emax < 100.0, "Emax = {emax}");
+        let emin = mc.emin_time(&b.done());
+        assert!(emin <= emax);
+    }
+
+    #[test]
+    fn dmax_increases_with_bound() {
+        let b = small();
+        let mc = b.mcpta(30, 4_000_000);
+        let d_small = mc.pmax(&b.dmax_goal(2));
+        let d_large = mc.pmax(&b.dmax_goal(30));
+        assert!(d_small <= d_large);
+        assert!(d_large > 0.9, "almost all transfers finish within 30: {d_large}");
+    }
+
+    #[test]
+    fn modes_simulation_agrees_on_shape() {
+        let b = small();
+        let mut modes = Modes::new(&b.pta, &[], Scheduler::Alap, 11);
+        let done = b.done();
+        let obs = modes.observe(500, 200, 10_000, |exp, run| {
+            run.first_hit(exp, &done).is_some()
+        });
+        assert_eq!(obs.observations, 500, "every run reports within the horizon");
+        let ta1 = b.ta1();
+        let safe = modes.observe(200, 200, 10_000, |exp, run| run.globally(exp, &ta1));
+        assert_eq!(safe.observations, 200, "all runs satisfy TA1");
+    }
+}

@@ -1,0 +1,30 @@
+//! # tempo-models — the paper's example systems
+//!
+//! Executable versions of every model used in the evaluation of Bozga et
+//! al., *State-of-the-Art Tools and Techniques for Quantitative Modeling
+//! and Analysis of Embedded Systems* (DATE 2012):
+//!
+//! * [`train_gate()`] / [`train_gate_game`] — the §II.A train crossing
+//!   (Figs. 1–3) for model checking, synthesis and SMC (Fig. 4);
+//! * [`brp()`] — the §III.A Bounded Retransmission Protocol in MODEST,
+//!   with every property of Table I;
+//! * [`dala()`] — the §IV DALA rover functional level in BIP, for
+//!   deadlock analysis, controller synthesis and fault injection;
+//! * [`vending`] — untimed and timed specifications, implementations and
+//!   mutants for the §V model-based-testing experiments;
+//! * [`wcet`] — a METAMOC-style worst-case-execution-time model for the
+//!   §II UPPAAL-CORA application.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brp;
+pub mod dala;
+pub mod train_gate;
+pub mod vending;
+pub mod wcet;
+
+pub use brp::{brp, Brp};
+pub use dala::{dala, Dala};
+pub use train_gate::{train_gate, train_gate_game, TrainGate, TrainGateGame, TrainLocs};
+pub use wcet::{wcet_program, WcetProgram};

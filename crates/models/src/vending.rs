@@ -1,0 +1,194 @@
+//! Specifications and (mutated) implementations for the model-based
+//! testing experiments (Bozga et al., DATE 2012, §V).
+//!
+//! The untimed models are a drinks dispenser in the style of the
+//! ioco-literature examples; the timed model is a request/response
+//! controller with a deadline, matching UPPAAL-TRON's target domain
+//! ("embedded software commonly found in various controllers").
+
+use tempo_ioco::{Label, Lts, TimedIut};
+use tempo_ta::{ClockAtom, Network, NetworkBuilder};
+
+/// The drinks-dispenser specification: `coin?` then `coffee!`; a second
+/// coin buys a `tea!` upgrade path.
+#[must_use]
+pub fn dispenser_spec() -> Lts {
+    let mut l = Lts::new();
+    let idle = l.state("idle");
+    let paid = l.state("paid");
+    let double = l.state("double");
+    l.transition(idle, Label::input("coin"), paid);
+    l.transition(paid, Label::input("coin"), double);
+    l.transition(paid, Label::output("coffee"), idle);
+    l.transition(double, Label::output("tea"), idle);
+    l
+}
+
+/// A conforming, input-enabled implementation of the dispenser.
+#[must_use]
+pub fn dispenser_good() -> Lts {
+    let mut l = Lts::new();
+    let idle = l.state("idle");
+    let paid = l.state("paid");
+    let double = l.state("double");
+    l.transition(idle, Label::input("coin"), paid);
+    l.transition(paid, Label::input("coin"), double);
+    l.transition(double, Label::input("coin"), double); // swallow extras
+    l.transition(paid, Label::output("coffee"), idle);
+    l.transition(double, Label::output("tea"), idle);
+    l
+}
+
+/// Mutant 1: produces `tea` already after one coin (an *output* fault).
+#[must_use]
+pub fn dispenser_mutant_output() -> Lts {
+    let mut l = dispenser_good();
+    let paid = tempo_ioco::LtsStateId(1);
+    let idle = tempo_ioco::LtsStateId(0);
+    l.transition(paid, Label::output("tea"), idle);
+    l
+}
+
+/// Mutant 2: may swallow the coin and stay silent (a *quiescence*
+/// fault).
+#[must_use]
+pub fn dispenser_mutant_silent() -> Lts {
+    let mut l = Lts::new();
+    let idle = l.state("idle");
+    let paid = l.state("paid");
+    let double = l.state("double");
+    let dead = l.state("dead");
+    l.transition(idle, Label::input("coin"), paid);
+    l.transition(idle, Label::input("coin"), dead);
+    l.transition(dead, Label::input("coin"), dead);
+    l.transition(paid, Label::input("coin"), double);
+    l.transition(double, Label::input("coin"), double);
+    l.transition(paid, Label::output("coffee"), idle);
+    l.transition(double, Label::output("tea"), idle);
+    l
+}
+
+/// Mutant 3: refunds the coin with an undeclared output.
+#[must_use]
+pub fn dispenser_mutant_refund() -> Lts {
+    let mut l = dispenser_good();
+    let paid = tempo_ioco::LtsStateId(1);
+    let idle = tempo_ioco::LtsStateId(0);
+    l.transition(paid, Label::output("refund"), idle);
+    l
+}
+
+/// The timed specification for rtioco testing: after `req`, the
+/// controller must answer `resp` within `deadline` time units; the
+/// environment model sends at most one outstanding request.
+#[must_use]
+pub fn controller_spec(deadline: i64) -> Network {
+    let mut b = NetworkBuilder::new();
+    let x = b.clock("x");
+    let req = b.channel("req");
+    let resp = b.channel("resp");
+    let mut env = b.automaton("Env");
+    let e0 = env.location("E0");
+    let e1 = env.location("E1");
+    env.edge(e0, e1).send(req).done();
+    env.edge(e1, e0).recv(resp).done();
+    env.done();
+    let mut sysm = b.automaton("Controller");
+    let idle = sysm.location("Idle");
+    let busy = sysm.location_with_invariant("Busy", vec![ClockAtom::le(x, deadline)]);
+    sysm.edge(idle, busy).recv(req).reset(x, 0).done();
+    sysm.edge(busy, idle).send(resp).done();
+    sysm.done();
+    b.build()
+}
+
+/// A timed IUT that answers `req` after a fixed `delay` — conforming to
+/// [`controller_spec`] iff `delay <= deadline`.
+#[derive(Debug)]
+pub struct FixedDelayController {
+    delay: i64,
+    pending: Option<i64>,
+}
+
+impl FixedDelayController {
+    /// Creates the controller implementation.
+    #[must_use]
+    pub fn new(delay: i64) -> Self {
+        FixedDelayController { delay, pending: None }
+    }
+}
+
+impl TimedIut for FixedDelayController {
+    fn reset(&mut self) {
+        self.pending = None;
+    }
+
+    fn input(&mut self, action: &str) -> Vec<String> {
+        if action == "req" && self.pending.is_none() {
+            if self.delay == 0 {
+                return vec!["resp".to_owned()];
+            }
+            self.pending = Some(self.delay);
+        }
+        Vec::new()
+    }
+
+    fn tick(&mut self) -> Vec<String> {
+        match &mut self.pending {
+            Some(d) => {
+                *d -= 1;
+                if *d <= 0 {
+                    self.pending = None;
+                    vec!["resp".to_owned()]
+                } else {
+                    Vec::new()
+                }
+            }
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_ioco::{check_ioco, TestGenerator, TimedTester};
+
+    #[test]
+    fn good_dispenser_conforms() {
+        assert!(check_ioco(&dispenser_good(), &dispenser_spec()).is_ok());
+    }
+
+    #[test]
+    fn all_mutants_violate_ioco() {
+        let spec = dispenser_spec();
+        assert!(check_ioco(&dispenser_mutant_output(), &spec).is_err());
+        assert!(check_ioco(&dispenser_mutant_silent(), &spec).is_err());
+        assert!(check_ioco(&dispenser_mutant_refund(), &spec).is_err());
+    }
+
+    #[test]
+    fn campaign_catches_mutants() {
+        let spec = dispenser_spec();
+        for (name, mutant) in [
+            ("output", dispenser_mutant_output()),
+            ("silent", dispenser_mutant_silent()),
+            ("refund", dispenser_mutant_refund()),
+        ] {
+            let mut gen = TestGenerator::new(&spec, 17);
+            let mut iut = tempo_ioco::LtsIut::new(mutant, 23);
+            let (failures, _) = gen.campaign(&mut iut, 200, 25);
+            assert!(failures > 0, "mutant {name} evaded 200 tests");
+        }
+    }
+
+    #[test]
+    fn timed_controller_conformance() {
+        let spec = controller_spec(3);
+        let mut tester = TimedTester::new(&spec, &["req"], &["resp"], 5);
+        let (failures, _) = tester.campaign(&mut FixedDelayController::new(2), 20, 30);
+        assert_eq!(failures, 0, "2 <= 3 conforms");
+        let (failures, _) = tester.campaign(&mut FixedDelayController::new(5), 20, 30);
+        assert!(failures > 0, "5 > 3 must be caught");
+    }
+}

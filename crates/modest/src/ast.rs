@@ -1,0 +1,337 @@
+//! The MODEST-style process language: a compositional syntax for
+//! stochastic timed automata (Bozga et al., DATE 2012, §III).
+//!
+//! Processes are built from action prefixing, probabilistic choice
+//! (`palt`), nondeterministic choice (`alt`), guards (`when`), invariants
+//! and tail recursion, and composed in parallel with CSP-style
+//! synchronization on shared actions. The paper's Fig. 5 channel —
+//!
+//! ```text
+//! process Channel() {
+//!   clock c;
+//!   put palt {
+//!     :98: {= c = 0 =}; invariant(c <= TD) get
+//!     : 2: {==}                 // message lost
+//!   }; Channel()
+//! }
+//! ```
+//!
+//! — is expressed with [`Process::palt`] and [`Process::call`]; see
+//! `tempo-models::brp` for the complete model.
+
+use tempo_dbm::Clock;
+use tempo_expr::{Decls, Expr, VarId};
+use tempo_ta::ClockAtom;
+
+/// Identifier of an action in a [`ModestModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActionId(pub usize);
+
+/// An atomic assignment inside an action's update block (`{= ... =}`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Assignment {
+    /// `var := expr`.
+    Var(VarId, Expr),
+    /// `array[index] := expr`.
+    ArrayElem(VarId, Expr, Expr),
+    /// Clock reset `c := value`.
+    Clock(Clock, i64),
+}
+
+/// One weighted branch of a `palt`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaltBranch {
+    /// Relative weight (`:98:` in the paper's Fig. 5).
+    pub weight: u64,
+    /// Assignments performed when this branch is taken.
+    pub assignments: Vec<Assignment>,
+    /// Continuation process.
+    pub then: Process,
+}
+
+/// A MODEST process expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Process {
+    /// Deadlock (`stop`).
+    Stop,
+    /// Successful termination (the unit of sequential composition).
+    Skip,
+    /// Action prefix `act {= assignments =}; continuation`.
+    Act(ActionId, Vec<Assignment>, Box<Process>),
+    /// Probabilistic choice `act palt { :w: {=..=}; P ... }`.
+    Palt(ActionId, Vec<PaltBranch>),
+    /// Nondeterministic choice `alt { :: P ... }`.
+    Alt(Vec<Process>),
+    /// Data guard `when(e) P`.
+    When(Expr, Box<Process>),
+    /// Clock guard `when(c ⋈ k) P`.
+    WhenClock(ClockAtom, Box<Process>),
+    /// `invariant(c ≤ k) P`: the constraint must hold while waiting to
+    /// perform the initial action of `P`.
+    Invariant(Vec<ClockAtom>, Box<Process>),
+    /// Tail call of a named process.
+    Call(String),
+}
+
+impl Process {
+    /// `stop`.
+    #[must_use]
+    pub fn stop() -> Process {
+        Process::Stop
+    }
+
+    /// Successful termination.
+    #[must_use]
+    pub fn skip() -> Process {
+        Process::Skip
+    }
+
+    /// Action prefix without assignments.
+    #[must_use]
+    pub fn act(a: ActionId, then: Process) -> Process {
+        Process::Act(a, Vec::new(), Box::new(then))
+    }
+
+    /// Action prefix with assignments.
+    #[must_use]
+    pub fn act_with(a: ActionId, assignments: Vec<Assignment>, then: Process) -> Process {
+        Process::Act(a, assignments, Box::new(then))
+    }
+
+    /// Probabilistic choice on an action.
+    #[must_use]
+    pub fn palt(a: ActionId, branches: Vec<PaltBranch>) -> Process {
+        Process::Palt(a, branches)
+    }
+
+    /// Nondeterministic choice.
+    #[must_use]
+    pub fn alt(choices: Vec<Process>) -> Process {
+        Process::Alt(choices)
+    }
+
+    /// Data guard.
+    #[must_use]
+    pub fn when(e: Expr, p: Process) -> Process {
+        Process::When(e, Box::new(p))
+    }
+
+    /// Clock guard.
+    #[must_use]
+    pub fn when_clock(atom: ClockAtom, p: Process) -> Process {
+        Process::WhenClock(atom, Box::new(p))
+    }
+
+    /// Invariant scope.
+    #[must_use]
+    pub fn invariant(atoms: Vec<ClockAtom>, p: Process) -> Process {
+        Process::Invariant(atoms, Box::new(p))
+    }
+
+    /// Tail call of a named process.
+    #[must_use]
+    pub fn call(name: &str) -> Process {
+        Process::Call(name.to_owned())
+    }
+
+    /// Sequential composition `self ; q`, implemented by pushing `q` into
+    /// the terminal positions of `self` (MODEST's `;`). Matches the
+    /// paper's `...; Channel()` in Fig. 5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` contains a [`Process::Call`] in a terminal
+    /// position — only *tail* calls are supported, so nothing may be
+    /// sequenced after a call.
+    #[must_use]
+    pub fn then(self, q: Process) -> Process {
+        match self {
+            Process::Stop => Process::Stop,
+            Process::Skip => q,
+            Process::Act(a, asgn, p) => Process::Act(a, asgn, Box::new(p.then(q))),
+            Process::Palt(a, branches) => Process::Palt(
+                a,
+                branches
+                    .into_iter()
+                    .map(|b| PaltBranch {
+                        weight: b.weight,
+                        assignments: b.assignments,
+                        then: b.then.then(q.clone()),
+                    })
+                    .collect(),
+            ),
+            Process::Alt(ps) => {
+                Process::Alt(ps.into_iter().map(|p| p.then(q.clone())).collect())
+            }
+            Process::When(e, p) => Process::When(e, Box::new(p.then(q))),
+            Process::WhenClock(c, p) => Process::WhenClock(c, Box::new(p.then(q))),
+            Process::Invariant(i, p) => Process::Invariant(i, Box::new(p.then(q))),
+            Process::Call(name) => {
+                panic!("sequential composition after call of {name} (only tail calls are supported)")
+            }
+        }
+    }
+}
+
+/// A complete MODEST model: declarations, clocks, actions, process
+/// definitions, and the parallel composition run as the system.
+///
+/// Actions shared by exactly two system processes synchronize CSP-style;
+/// actions used by one process are local. (Multiway synchronization is
+/// not needed by the paper's models and is rejected at compile time.)
+#[derive(Debug, Clone, Default)]
+pub struct ModestModel {
+    pub(crate) decls: Decls,
+    pub(crate) clock_names: Vec<String>,
+    pub(crate) actions: Vec<String>,
+    pub(crate) processes: Vec<(String, Process)>,
+    pub(crate) system: Vec<String>,
+}
+
+impl ModestModel {
+    /// Creates an empty model.
+    #[must_use]
+    pub fn new() -> Self {
+        ModestModel::default()
+    }
+
+    /// Access to the variable declarations.
+    pub fn decls_mut(&mut self) -> &mut Decls {
+        &mut self.decls
+    }
+
+    /// The variable declarations.
+    #[must_use]
+    pub fn decls(&self) -> &Decls {
+        &self.decls
+    }
+
+    /// Declares a clock.
+    pub fn clock(&mut self, name: &str) -> Clock {
+        self.clock_names.push(name.to_owned());
+        Clock(self.clock_names.len())
+    }
+
+    /// Number of clocks including the reference clock.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.clock_names.len() + 1
+    }
+
+    /// Declares an action.
+    pub fn action(&mut self, name: &str) -> ActionId {
+        self.actions.push(name.to_owned());
+        ActionId(self.actions.len() - 1)
+    }
+
+    /// The action names.
+    #[must_use]
+    pub fn actions(&self) -> &[String] {
+        &self.actions
+    }
+
+    /// Defines a named process.
+    pub fn define(&mut self, name: &str, body: Process) {
+        self.processes.push((name.to_owned(), body));
+    }
+
+    /// Looks up a process definition.
+    #[must_use]
+    pub fn process(&self, name: &str) -> Option<&Process> {
+        self.processes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p)
+    }
+
+    /// Sets the system as the parallel composition of the named processes
+    /// (each must be defined).
+    pub fn system(&mut self, names: &[&str]) {
+        self.system = names.iter().map(|&n| n.to_owned()).collect();
+    }
+
+    /// The system composition.
+    #[must_use]
+    pub fn system_processes(&self) -> &[String] {
+        &self.system
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_channel_shape() {
+        // The paper's Fig. 5 communication channel with 2% message loss.
+        let mut m = ModestModel::new();
+        let c = m.clock("c");
+        let put = m.action("put");
+        let get = m.action("get");
+        let td = 1;
+        let body = Process::palt(
+            put,
+            vec![
+                PaltBranch {
+                    weight: 98,
+                    assignments: vec![Assignment::Clock(c, 0)],
+                    then: Process::invariant(
+                        vec![ClockAtom::le(c, td)],
+                        Process::act(get, Process::skip()),
+                    ),
+                },
+                PaltBranch {
+                    weight: 2,
+                    assignments: vec![],
+                    then: Process::skip(),
+                },
+            ],
+        )
+        .then(Process::call("Channel"));
+        m.define("Channel", body.clone());
+        m.system(&["Channel"]);
+        // `; Channel()` distributed into both branches.
+        if let Process::Palt(_, branches) = &body {
+            assert!(matches!(
+                &branches[1].then,
+                Process::Call(name) if name == "Channel"
+            ));
+            assert!(matches!(&branches[0].then, Process::Invariant(_, _)));
+        } else {
+            panic!("expected palt at top level");
+        }
+        assert!(m.process("Channel").is_some());
+        assert_eq!(m.system_processes(), &["Channel".to_owned()]);
+    }
+
+    #[test]
+    fn then_distributes_over_alt() {
+        let mut m = ModestModel::new();
+        let a = m.action("a");
+        let b = m.action("b");
+        let p = Process::alt(vec![
+            Process::act(a, Process::skip()),
+            Process::act(b, Process::skip()),
+        ])
+        .then(Process::stop());
+        if let Process::Alt(choices) = p {
+            assert!(matches!(&choices[0], Process::Act(_, _, k) if **k == Process::Stop));
+            assert!(matches!(&choices[1], Process::Act(_, _, k) if **k == Process::Stop));
+        } else {
+            panic!("expected alt");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tail calls")]
+    fn non_tail_call_rejected() {
+        let p = Process::call("P").then(Process::stop());
+        let _ = p;
+    }
+
+    #[test]
+    fn stop_absorbs_continuations() {
+        let p = Process::stop().then(Process::skip());
+        assert_eq!(p, Process::Stop);
+    }
+}

@@ -1,0 +1,384 @@
+//! Compilation of MODEST process expressions to probabilistic timed
+//! automata (the formal semantics of MODEST is in terms of stochastic
+//! timed automata; for the decidable PTA fragment used by `mcpta`, each
+//! process becomes one component automaton).
+
+use crate::ast::{Assignment, ModestModel, PaltBranch, Process};
+use crate::pta::{
+    compute_sync, AssignTarget, Pta, PtaAutomaton, PtaBranch, PtaEdge, PtaLocation,
+};
+use std::collections::HashMap;
+use tempo_expr::Expr;
+use tempo_ta::ClockAtom;
+
+/// Compiles the model's system composition into a PTA network.
+///
+/// # Panics
+///
+/// Panics if a system process is undefined, a `Call` targets an unknown
+/// process, or an action is shared by more than two system processes.
+#[must_use]
+pub fn compile(model: &ModestModel) -> Pta {
+    let automata: Vec<PtaAutomaton> = model
+        .system
+        .iter()
+        .map(|name| {
+            let body = model
+                .process(name)
+                .unwrap_or_else(|| panic!("undefined system process {name}"));
+            compile_process(model, name, body)
+        })
+        .collect();
+    let sync = compute_sync(&model.actions, &automata);
+    Pta {
+        decls: model.decls.clone(),
+        dim: model.dim(),
+        actions: model.actions.clone(),
+        automata,
+        sync,
+    }
+}
+
+struct Compiler<'m> {
+    model: &'m ModestModel,
+    locations: Vec<PtaLocation>,
+    edges: Vec<PtaEdge>,
+    /// Entry location of each called process (compiled on demand).
+    process_entries: HashMap<String, usize>,
+    /// Processes whose bodies still need compiling at their entry.
+    pending: Vec<(String, usize)>,
+}
+
+/// The static context accumulated by `when` / `invariant` wrappers on the
+/// path to an initial action.
+#[derive(Clone, Default)]
+struct Ctx {
+    guard_clocks: Vec<ClockAtom>,
+    guard_data: Option<Expr>,
+    invariant: Vec<ClockAtom>,
+}
+
+fn compile_process(model: &ModestModel, name: &str, body: &Process) -> PtaAutomaton {
+    let mut c = Compiler {
+        model,
+        locations: Vec::new(),
+        edges: Vec::new(),
+        process_entries: HashMap::new(),
+        pending: Vec::new(),
+    };
+    let entry = c.fresh_location(&format!("{name}_0"));
+    c.process_entries.insert(name.to_owned(), entry);
+    c.compile_at(body, entry, Ctx::default());
+    while let Some((pname, ploc)) = c.pending.pop() {
+        let pbody = c
+            .model
+            .process(&pname)
+            .unwrap_or_else(|| panic!("call of undefined process {pname}"))
+            .clone();
+        c.compile_at(&pbody, ploc, Ctx::default());
+    }
+    PtaAutomaton {
+        name: name.to_owned(),
+        locations: c.locations,
+        edges: c.edges,
+        initial: entry,
+    }
+}
+
+impl Compiler<'_> {
+    fn fresh_location(&mut self, name: &str) -> usize {
+        self.locations.push(PtaLocation {
+            name: name.to_owned(),
+            invariant: Vec::new(),
+        });
+        self.locations.len() - 1
+    }
+
+    /// Resolves the entry location for a process call, scheduling its
+    /// body for compilation if unseen.
+    fn call_entry(&mut self, name: &str) -> usize {
+        if let Some(&loc) = self.process_entries.get(name) {
+            return loc;
+        }
+        let loc = self.fresh_location(&format!("{name}_0"));
+        self.process_entries.insert(name.to_owned(), loc);
+        self.pending.push((name.to_owned(), loc));
+        loc
+    }
+
+    /// Compiles `p` so that its behaviour starts at the existing location
+    /// `entry`. Terminal `Skip`s become a fresh terminal location.
+    fn compile_at(&mut self, p: &Process, entry: usize, ctx: Ctx) {
+        match p {
+            Process::Stop | Process::Skip => {
+                // No outgoing behaviour. (A Skip that matters has been
+                // rewritten away by `Process::then`.)
+                self.locations[entry].invariant.extend(ctx.invariant);
+            }
+            Process::Act(a, assignments, then) => {
+                self.locations[entry]
+                    .invariant
+                    .extend(ctx.invariant.iter().copied());
+                let target = self.continuation_target(then);
+                let branch = PtaBranch {
+                    weight: 1,
+                    assignments: data_assignments(assignments),
+                    resets: clock_resets(assignments),
+                    to: target,
+                };
+                self.edges.push(PtaEdge {
+                    from: entry,
+                    guard_clocks: ctx.guard_clocks,
+                    guard_data: ctx.guard_data.unwrap_or_else(Expr::truth),
+                    action: Some(*a),
+                    branches: vec![branch],
+                });
+            }
+            Process::Palt(a, branches) => {
+                self.locations[entry]
+                    .invariant
+                    .extend(ctx.invariant.iter().copied());
+                let compiled: Vec<PtaBranch> = branches
+                    .iter()
+                    .map(|b: &PaltBranch| {
+                        let target = self.continuation_target(&b.then);
+                        PtaBranch {
+                            weight: b.weight,
+                            assignments: data_assignments(&b.assignments),
+                            resets: clock_resets(&b.assignments),
+                            to: target,
+                        }
+                    })
+                    .collect();
+                self.edges.push(PtaEdge {
+                    from: entry,
+                    guard_clocks: ctx.guard_clocks,
+                    guard_data: ctx.guard_data.unwrap_or_else(Expr::truth),
+                    action: Some(*a),
+                    branches: compiled,
+                });
+            }
+            Process::Alt(choices) => {
+                for choice in choices {
+                    self.compile_at(choice, entry, ctx.clone());
+                }
+            }
+            Process::When(e, inner) => {
+                let mut ctx = ctx;
+                ctx.guard_data = Some(match ctx.guard_data.take() {
+                    Some(g) => g & e.clone(),
+                    None => e.clone(),
+                });
+                self.compile_at(inner, entry, ctx);
+            }
+            Process::WhenClock(atom, inner) => {
+                let mut ctx = ctx;
+                ctx.guard_clocks.push(*atom);
+                self.compile_at(inner, entry, ctx);
+            }
+            Process::Invariant(atoms, inner) => {
+                let mut ctx = ctx;
+                ctx.invariant.extend(atoms.iter().copied());
+                self.compile_at(inner, entry, ctx);
+            }
+            Process::Call(name) => {
+                // A bare call in initial position: behave as the called
+                // process from this entry. Compile the body directly at
+                // `entry` (guards/invariants from the context apply to its
+                // initial actions).
+                let body = self
+                    .model
+                    .process(name)
+                    .unwrap_or_else(|| panic!("call of undefined process {name}"))
+                    .clone();
+                self.compile_at(&body, entry, ctx);
+            }
+        }
+    }
+
+    /// The location where a continuation process starts: a shared entry
+    /// for tail calls, a fresh location otherwise.
+    fn continuation_target(&mut self, then: &Process) -> usize {
+        match then {
+            Process::Call(name) => self.call_entry(name),
+            _ => {
+                let loc = self.fresh_location(&format!("l{}", self.locations.len()));
+                self.compile_at(then, loc, Ctx::default());
+                loc
+            }
+        }
+    }
+}
+
+fn data_assignments(assignments: &[Assignment]) -> Vec<(AssignTarget, Expr)> {
+    assignments
+        .iter()
+        .filter_map(|a| match a {
+            Assignment::Var(v, e) => Some((AssignTarget::Var(*v), e.clone())),
+            Assignment::ArrayElem(v, i, e) => {
+                Some((AssignTarget::ArrayElem(*v, i.clone()), e.clone()))
+            }
+            Assignment::Clock(_, _) => None,
+        })
+        .collect()
+}
+
+fn clock_resets(assignments: &[Assignment]) -> Vec<(tempo_dbm::Clock, i64)> {
+    assignments
+        .iter()
+        .filter_map(|a| match a {
+            Assignment::Clock(c, v) => Some((*c, *v)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pta::PtaExplorer;
+
+    #[test]
+    fn fig5_channel_compiles_to_three_locations() {
+        // put palt { :98: {c:=0}; invariant(c<=1) get  :2: skip }; Channel()
+        let mut m = ModestModel::new();
+        let c = m.clock("c");
+        let put = m.action("put");
+        let get = m.action("get");
+        let body = Process::palt(
+            put,
+            vec![
+                PaltBranch {
+                    weight: 98,
+                    assignments: vec![Assignment::Clock(c, 0)],
+                    then: Process::invariant(
+                        vec![ClockAtom::le(c, 1)],
+                        Process::act(get, Process::skip()),
+                    ),
+                },
+                PaltBranch {
+                    weight: 2,
+                    assignments: vec![],
+                    then: Process::skip(),
+                },
+            ],
+        )
+        .then(Process::call("Channel"));
+        m.define("Channel", body);
+        m.system(&["Channel"]);
+        let pta = compile(&m);
+        assert_eq!(pta.automata.len(), 1);
+        let a = &pta.automata[0];
+        // Continuations compile before their edge, so locate by action.
+        let put_edge = a.edges.iter().find(|e| e.action == Some(put)).unwrap();
+        assert_eq!(put_edge.branches.len(), 2);
+        assert_eq!(put_edge.branches[1].to, a.initial, "lost → restart");
+        let transit = put_edge.branches[0].to;
+        assert_eq!(a.locations[transit].invariant, vec![ClockAtom::le(c, 1)]);
+        // The get edge returns to the entry (tail call).
+        let get_edge = a.edges.iter().find(|e| e.action == Some(get)).unwrap();
+        assert_eq!(get_edge.branches[0].to, a.initial);
+    }
+
+    #[test]
+    fn probabilities_normalize() {
+        let mut m = ModestModel::new();
+        let toss = m.action("toss");
+        let heads = m.decls_mut().int("heads", 0, 1);
+        m.define(
+            "Coin",
+            Process::palt(
+                toss,
+                vec![
+                    PaltBranch {
+                        weight: 1,
+                        assignments: vec![Assignment::Var(heads, Expr::konst(1))],
+                        then: Process::stop(),
+                    },
+                    PaltBranch {
+                        weight: 3,
+                        assignments: vec![],
+                        then: Process::stop(),
+                    },
+                ],
+            ),
+        );
+        m.system(&["Coin"]);
+        let pta = compile(&m);
+        let exp = PtaExplorer::new(&pta, &[]);
+        let ts = exp.transitions(&exp.initial_state());
+        assert_eq!(ts.len(), 1);
+        let probs: Vec<f64> = ts[0].successors.iter().map(|(p, _)| *p).collect();
+        assert!((probs[0] - 0.25).abs() < 1e-12);
+        assert!((probs[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paired_actions_synchronize() {
+        let mut m = ModestModel::new();
+        let a = m.action("a");
+        let done = m.decls_mut().int("done", 0, 2);
+        m.define(
+            "P",
+            Process::act_with(
+                a,
+                vec![Assignment::Var(done, Expr::var(done) + Expr::konst(1))],
+                Process::stop(),
+            ),
+        );
+        m.define(
+            "Q",
+            Process::act_with(
+                a,
+                vec![Assignment::Var(done, Expr::var(done) + Expr::konst(1))],
+                Process::stop(),
+            ),
+        );
+        m.system(&["P", "Q"]);
+        let pta = compile(&m);
+        assert_eq!(pta.sync[a.0], crate::pta::SyncKind::Pair(0, 1));
+        let exp = PtaExplorer::new(&pta, &[]);
+        let ts = exp.transitions(&exp.initial_state());
+        assert_eq!(ts.len(), 1, "one joint handshake");
+        let (p, next) = &ts[0].successors[0];
+        assert!((p - 1.0).abs() < 1e-12);
+        assert_eq!(next.store.get(done), 2, "both updates applied");
+    }
+
+    #[test]
+    fn when_guards_apply() {
+        let mut m = ModestModel::new();
+        let go = m.action("go");
+        let flag = m.decls_mut().int("flag", 0, 1);
+        m.define(
+            "P",
+            Process::when(
+                Expr::var(flag).eq(Expr::konst(1)),
+                Process::act(go, Process::stop()),
+            ),
+        );
+        m.system(&["P"]);
+        let pta = compile(&m);
+        let exp = PtaExplorer::new(&pta, &[]);
+        assert!(exp.transitions(&exp.initial_state()).is_empty(), "flag == 0 blocks go");
+    }
+
+    #[test]
+    fn clock_guards_and_tick() {
+        let mut m = ModestModel::new();
+        let x = m.clock("x");
+        let go = m.action("go");
+        m.define(
+            "P",
+            Process::when_clock(ClockAtom::ge(x, 2), Process::act(go, Process::stop())),
+        );
+        m.system(&["P"]);
+        let pta = compile(&m);
+        let exp = PtaExplorer::new(&pta, &[]);
+        let s0 = exp.initial_state();
+        assert!(exp.transitions(&s0).is_empty());
+        let s1 = exp.tick(&s0).unwrap();
+        let s2 = exp.tick(&s1).unwrap();
+        assert_eq!(exp.transitions(&s2).len(), 1);
+    }
+}

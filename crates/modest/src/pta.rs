@@ -1,0 +1,451 @@
+//! Probabilistic timed automata: the semantic object MODEST models
+//! compile to, with a digital-clocks explorer used by `mcpta` and
+//! `modes`.
+
+use crate::ast::ActionId;
+use tempo_dbm::Clock;
+use tempo_expr::{Decls, Expr, Store, VarId};
+use tempo_ta::{ClockAtom, StateFormula};
+
+/// One probabilistic branch of a PTA edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PtaBranch {
+    /// Relative weight.
+    pub weight: u64,
+    /// Variable assignments (in order).
+    pub assignments: Vec<(AssignTarget, Expr)>,
+    /// Clock resets.
+    pub resets: Vec<(Clock, i64)>,
+    /// Target location.
+    pub to: usize,
+}
+
+/// Assignment target: scalar or array element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AssignTarget {
+    /// A scalar variable.
+    Var(VarId),
+    /// `array[index]`.
+    ArrayElem(VarId, Expr),
+}
+
+/// An edge of a PTA: guard, action, and a distribution over branches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PtaEdge {
+    /// Source location.
+    pub from: usize,
+    /// Clock guard atoms.
+    pub guard_clocks: Vec<ClockAtom>,
+    /// Data guard.
+    pub guard_data: Expr,
+    /// Action (`None` for internal).
+    pub action: Option<ActionId>,
+    /// Weighted branches (weights need not be normalized).
+    pub branches: Vec<PtaBranch>,
+}
+
+/// A location of a PTA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PtaLocation {
+    /// Name for diagnostics.
+    pub name: String,
+    /// Invariant atoms.
+    pub invariant: Vec<ClockAtom>,
+}
+
+/// One component automaton of a PTA network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PtaAutomaton {
+    /// Component name (the MODEST process name).
+    pub name: String,
+    /// Locations.
+    pub locations: Vec<PtaLocation>,
+    /// Edges.
+    pub edges: Vec<PtaEdge>,
+    /// Initial location.
+    pub initial: usize,
+}
+
+/// How an action synchronizes in the composed system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncKind {
+    /// Used by at most one component: fires alone.
+    Local,
+    /// Used by exactly two components: CSP handshake between them.
+    Pair(usize, usize),
+}
+
+/// A network of probabilistic timed automata with CSP-style action
+/// synchronization, produced by compiling a
+/// [`ModestModel`](crate::ModestModel).
+#[derive(Debug, Clone)]
+pub struct Pta {
+    /// Variable declarations.
+    pub decls: Decls,
+    /// DBM dimension (clocks + reference).
+    pub dim: usize,
+    /// Action names.
+    pub actions: Vec<String>,
+    /// Component automata.
+    pub automata: Vec<PtaAutomaton>,
+    /// Synchronization structure per action.
+    pub sync: Vec<SyncKind>,
+}
+
+impl Pta {
+    /// Per-clock maximal constants over guards and invariants.
+    #[must_use]
+    pub fn max_constants(&self) -> Vec<i64> {
+        let mut m = vec![0_i64; self.dim];
+        let mut feed = |atom: &ClockAtom| {
+            if atom.bound.is_inf() {
+                return;
+            }
+            let c = atom.bound.constant().abs();
+            if !atom.i.is_ref() {
+                m[atom.i.index()] = m[atom.i.index()].max(c);
+            }
+            if !atom.j.is_ref() {
+                m[atom.j.index()] = m[atom.j.index()].max(c);
+            }
+        };
+        for a in &self.automata {
+            for l in &a.locations {
+                l.invariant.iter().for_each(&mut feed);
+            }
+            for e in &a.edges {
+                e.guard_clocks.iter().for_each(&mut feed);
+            }
+        }
+        m
+    }
+}
+
+/// A concrete digital state of a PTA network.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PtaState {
+    /// Location of each component.
+    pub locs: Vec<usize>,
+    /// Variable values.
+    pub store: Store,
+    /// Integer clock values (clamped; `clocks[0] == 0`).
+    pub clocks: Vec<i64>,
+}
+
+/// A resolved transition: a label and a distribution over successors.
+#[derive(Debug, Clone)]
+pub struct PtaTransition {
+    /// Human-readable label (action name, `tau`, or `tick`).
+    pub label: String,
+    /// Whether this is the unit-delay transition.
+    pub is_tick: bool,
+    /// Successor distribution (probabilities sum to 1).
+    pub successors: Vec<(f64, PtaState)>,
+}
+
+/// Digital-clocks explorer for PTA networks.
+///
+/// # Panics
+///
+/// [`PtaExplorer::new`] panics if the PTA contains strict clock bounds
+/// (the digital semantics requires closed models) or an action is used by
+/// more than two components.
+#[derive(Debug)]
+pub struct PtaExplorer<'p> {
+    pta: &'p Pta,
+    clamp: Vec<i64>,
+}
+
+impl<'p> PtaExplorer<'p> {
+    /// Creates an explorer; `extra_atoms` widens the clock clamp so that
+    /// property constants (e.g. a time bound) remain observable.
+    #[must_use]
+    pub fn new(pta: &'p Pta, extra_atoms: &[ClockAtom]) -> Self {
+        for a in &pta.automata {
+            for l in &a.locations {
+                for atom in &l.invariant {
+                    assert!(
+                        atom.bound.is_inf() || !atom.bound.is_strict(),
+                        "digital clocks require closed invariants ({})",
+                        l.name
+                    );
+                }
+            }
+            for e in &a.edges {
+                for atom in &e.guard_clocks {
+                    assert!(
+                        atom.bound.is_inf() || !atom.bound.is_strict(),
+                        "digital clocks require closed guards (in {})",
+                        a.name
+                    );
+                }
+            }
+        }
+        let mut consts = pta.max_constants();
+        for atom in extra_atoms {
+            if atom.bound.is_inf() {
+                continue;
+            }
+            let c = atom.bound.constant().abs();
+            if !atom.i.is_ref() {
+                consts[atom.i.index()] = consts[atom.i.index()].max(c);
+            }
+            if !atom.j.is_ref() {
+                consts[atom.j.index()] = consts[atom.j.index()].max(c);
+            }
+        }
+        PtaExplorer {
+            pta,
+            clamp: consts.into_iter().map(|c| c + 1).collect(),
+        }
+    }
+
+    /// The PTA under exploration.
+    #[must_use]
+    pub fn pta(&self) -> &Pta {
+        self.pta
+    }
+
+    /// The initial state.
+    #[must_use]
+    pub fn initial_state(&self) -> PtaState {
+        PtaState {
+            locs: self.pta.automata.iter().map(|a| a.initial).collect(),
+            store: self.pta.decls.initial_store(),
+            clocks: vec![0; self.pta.dim],
+        }
+    }
+
+    fn invariants_hold(&self, locs: &[usize], clocks: &[i64]) -> bool {
+        self.pta.automata.iter().zip(locs).all(|(a, &l)| {
+            a.locations[l].invariant.iter().all(|atom| {
+                atom.bound
+                    .satisfied_by(clocks[atom.i.index()] - clocks[atom.j.index()])
+            })
+        })
+    }
+
+    /// The unit-delay successor, if the invariants permit it.
+    #[must_use]
+    pub fn tick(&self, state: &PtaState) -> Option<PtaState> {
+        let ticked: Vec<i64> = state
+            .clocks
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| if i == 0 { 0 } else { (c + 1).min(self.clamp[i]) })
+            .collect();
+        self.invariants_hold(&state.locs, &ticked)
+            .then(|| PtaState {
+                locs: state.locs.clone(),
+                store: state.store.clone(),
+                clocks: ticked,
+            })
+    }
+
+    fn edge_enabled(&self, state: &PtaState, e: &PtaEdge) -> bool {
+        e.guard_data
+            .eval_bool(&self.pta.decls, &state.store, &[])
+            .unwrap_or(false)
+            && e.guard_clocks.iter().all(|atom| {
+                atom.bound
+                    .satisfied_by(state.clocks[atom.i.index()] - state.clocks[atom.j.index()])
+            })
+    }
+
+    /// Applies one branch of a component's edge.
+    fn apply_branch(
+        &self,
+        state: &PtaState,
+        component: usize,
+        branch: &PtaBranch,
+    ) -> Option<PtaState> {
+        let mut next = state.clone();
+        for (target, e) in &branch.assignments {
+            let v = e.eval(&self.pta.decls, &next.store, &[]).ok()?;
+            match target {
+                AssignTarget::Var(id) => next.store.set_index(&self.pta.decls, *id, 0, v).ok()?,
+                AssignTarget::ArrayElem(id, idx) => {
+                    let i = idx.eval(&self.pta.decls, &next.store, &[]).ok()?;
+                    next.store.set_index(&self.pta.decls, *id, i, v).ok()?;
+                }
+            }
+        }
+        for (clock, v) in &branch.resets {
+            next.clocks[clock.index()] = (*v).min(self.clamp[clock.index()]);
+        }
+        next.locs[component] = branch.to;
+        Some(next)
+    }
+
+    /// All action transitions enabled in the state (tick not included;
+    /// see [`PtaExplorer::tick`]). Distributions violating a target
+    /// invariant or failing an assignment lose that branch's mass and are
+    /// dropped entirely if no branch survives.
+    #[must_use]
+    pub fn transitions(&self, state: &PtaState) -> Vec<PtaTransition> {
+        let mut out = Vec::new();
+        for (ai, a) in self.pta.automata.iter().enumerate() {
+            for e in a.edges.iter().filter(|e| e.from == state.locs[ai]) {
+                if !self.edge_enabled(state, e) {
+                    continue;
+                }
+                match e.action {
+                    None => {
+                        if let Some(t) = self.single_transition(state, ai, e, "tau") {
+                            out.push(t);
+                        }
+                    }
+                    Some(act) => match self.pta.sync[act.0] {
+                        SyncKind::Local => {
+                            let label = self.pta.actions[act.0].clone();
+                            if let Some(t) = self.single_transition(state, ai, e, &label) {
+                                out.push(t);
+                            }
+                        }
+                        SyncKind::Pair(first, second) => {
+                            // Fire from the first component's side only, to
+                            // avoid duplicates.
+                            if ai != first {
+                                continue;
+                            }
+                            let b = &self.pta.automata[second];
+                            for f in b.edges.iter().filter(|f| {
+                                f.from == state.locs[second] && f.action == Some(act)
+                            }) {
+                                if !self.edge_enabled(state, f) {
+                                    continue;
+                                }
+                                if let Some(t) =
+                                    self.paired_transition(state, (ai, e), (second, f), act)
+                                {
+                                    out.push(t);
+                                }
+                            }
+                        }
+                    },
+                }
+            }
+        }
+        out
+    }
+
+    fn single_transition(
+        &self,
+        state: &PtaState,
+        component: usize,
+        e: &PtaEdge,
+        label: &str,
+    ) -> Option<PtaTransition> {
+        let total: u64 = e.branches.iter().map(|b| b.weight).sum();
+        if total == 0 {
+            return None;
+        }
+        let mut successors = Vec::new();
+        for b in &e.branches {
+            if b.weight == 0 {
+                continue;
+            }
+            let next = self.apply_branch(state, component, b)?;
+            if !self.invariants_hold(&next.locs, &next.clocks) {
+                return None;
+            }
+            successors.push((b.weight as f64 / total as f64, next));
+        }
+        Some(PtaTransition {
+            label: label.to_owned(),
+            is_tick: false,
+            successors,
+        })
+    }
+
+    fn paired_transition(
+        &self,
+        state: &PtaState,
+        (ai, e): (usize, &PtaEdge),
+        (bi, f): (usize, &PtaEdge),
+        act: ActionId,
+    ) -> Option<PtaTransition> {
+        let total_e: u64 = e.branches.iter().map(|b| b.weight).sum();
+        let total_f: u64 = f.branches.iter().map(|b| b.weight).sum();
+        if total_e == 0 || total_f == 0 {
+            return None;
+        }
+        let mut successors = Vec::new();
+        for be in &e.branches {
+            if be.weight == 0 {
+                continue;
+            }
+            for bf in &f.branches {
+                if bf.weight == 0 {
+                    continue;
+                }
+                let mid = self.apply_branch(state, ai, be)?;
+                let next = self.apply_branch(&mid, bi, bf)?;
+                if !self.invariants_hold(&next.locs, &next.clocks) {
+                    return None;
+                }
+                let p = (be.weight as f64 / total_e as f64) * (bf.weight as f64 / total_f as f64);
+                successors.push((p, next));
+            }
+        }
+        Some(PtaTransition {
+            label: self.pta.actions[act.0].clone(),
+            is_tick: false,
+            successors,
+        })
+    }
+
+    /// Evaluates a [`StateFormula`] over a digital PTA state (the
+    /// `At(automaton, location)` atom refers to component and location
+    /// indices of the compiled PTA).
+    #[must_use]
+    pub fn satisfies(&self, state: &PtaState, f: &StateFormula) -> bool {
+        match f {
+            StateFormula::True => true,
+            StateFormula::False => false,
+            StateFormula::At(a, l) => state.locs[a.index()] == l.index(),
+            StateFormula::Data(e) => e
+                .eval_bool(&self.pta.decls, &state.store, &[])
+                .unwrap_or(false),
+            StateFormula::Clock(atom) => atom
+                .bound
+                .satisfied_by(state.clocks[atom.i.index()] - state.clocks[atom.j.index()]),
+            StateFormula::Not(g) => !self.satisfies(state, g),
+            StateFormula::And(gs) => gs.iter().all(|g| self.satisfies(state, g)),
+            StateFormula::Or(gs) => gs.iter().any(|g| self.satisfies(state, g)),
+        }
+    }
+}
+
+/// Validates the synchronization structure: every action is used by at
+/// most two components.
+///
+/// # Panics
+///
+/// Panics if an action appears in more than two components.
+#[must_use]
+pub fn compute_sync(actions: &[String], automata: &[PtaAutomaton]) -> Vec<SyncKind> {
+    let mut users: Vec<Vec<usize>> = vec![Vec::new(); actions.len()];
+    for (ai, a) in automata.iter().enumerate() {
+        for e in &a.edges {
+            if let Some(act) = e.action {
+                if !users[act.0].contains(&ai) {
+                    users[act.0].push(ai);
+                }
+            }
+        }
+    }
+    users
+        .iter()
+        .enumerate()
+        .map(|(k, u)| match u.as_slice() {
+            [] | [_] => SyncKind::Local,
+            [a, b] => SyncKind::Pair(*a.min(b), *a.max(b)),
+            _ => panic!(
+                "action {} used by {} components; only 2-party synchronization is supported",
+                actions[k],
+                u.len()
+            ),
+        })
+        .collect()
+}

@@ -1,0 +1,275 @@
+//! The statistical model checker: ties the stochastic simulator to the
+//! estimators, mirroring UPPAAL-SMC's query interface
+//! (`Pr[<=T](<> φ)`, hypothesis tests, expected values, CDF plots).
+
+use crate::sim::{RatePolicy, Run, Simulator};
+use crate::stats::{
+    estimate, estimate_mean, EmpiricalCdf, Estimate, MeanEstimate, Sprt, TestVerdict,
+};
+use tempo_ta::{Network, StateFormula};
+
+/// Default cap on the number of actions per simulated run.
+pub const DEFAULT_MAX_STEPS: usize = 100_000;
+
+/// A statistical model checker bound to a network and rate policy.
+///
+/// ```
+/// use tempo_ta::NetworkBuilder;
+/// use tempo_smc::{RatePolicy, StatisticalChecker};
+/// use tempo_ta::StateFormula;
+///
+/// let mut b = NetworkBuilder::new();
+/// let mut a = b.automaton("A");
+/// let l0 = a.location("L0");
+/// let l1 = a.location("L1");
+/// a.edge(l0, l1).done();
+/// let aid = a.done();
+/// let net = b.build();
+///
+/// let mut smc = StatisticalChecker::new(&net, RatePolicy::new(), 1);
+/// let est = smc.probability(&StateFormula::at(aid, l1), 100.0, 200, 0.95);
+/// assert!(est.mean > 0.9); // the only move leads to L1
+/// ```
+#[derive(Debug)]
+pub struct StatisticalChecker<'n> {
+    net: &'n Network,
+    sim: Simulator<'n>,
+    max_steps: usize,
+}
+
+impl<'n> StatisticalChecker<'n> {
+    /// Creates a checker with the given rate policy and RNG seed.
+    #[must_use]
+    pub fn new(net: &'n Network, rates: RatePolicy, seed: u64) -> Self {
+        StatisticalChecker {
+            net,
+            sim: Simulator::new(net, rates, seed),
+            max_steps: DEFAULT_MAX_STEPS,
+        }
+    }
+
+    /// Overrides the per-run step cap.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Estimates `Pr[<=bound](<> goal)` from `runs` simulations with a
+    /// Wilson confidence interval at level `confidence`.
+    pub fn probability(
+        &mut self,
+        goal: &StateFormula,
+        bound: f64,
+        runs: usize,
+        confidence: f64,
+    ) -> Estimate {
+        let mut successes = 0;
+        for _ in 0..runs {
+            let run = self.sim.simulate(bound, self.max_steps);
+            if run.satisfies_eventually(self.net, goal, bound) {
+                successes += 1;
+            }
+        }
+        estimate(successes, runs, confidence)
+    }
+
+    /// Sequential hypothesis test of `Pr[<=bound](<> goal) ≥ theta + delta`
+    /// vs `≤ theta - delta` with strength `(alpha, beta)`; runs until a
+    /// decision or `max_runs`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn hypothesis(
+        &mut self,
+        goal: &StateFormula,
+        bound: f64,
+        theta: f64,
+        delta: f64,
+        alpha: f64,
+        beta: f64,
+        max_runs: usize,
+    ) -> (TestVerdict, usize) {
+        let mut sprt = Sprt::new(theta, delta, alpha, beta);
+        while sprt.verdict() == TestVerdict::Undecided && sprt.observations() < max_runs {
+            let run = self.sim.simulate(bound, self.max_steps);
+            sprt.observe(run.satisfies_eventually(self.net, goal, bound));
+        }
+        (sprt.verdict(), sprt.observations())
+    }
+
+    /// Estimates the expected value of `value(run)` over `runs`
+    /// simulations of horizon `bound` (e.g. completion time), as `modes`
+    /// reports for `Emax` in Table I of the paper.
+    pub fn expected<F>(&mut self, bound: f64, runs: usize, mut value: F) -> MeanEstimate
+    where
+        F: FnMut(&Run) -> f64,
+    {
+        let samples: Vec<f64> = (0..runs)
+            .map(|_| value(&self.sim.simulate(bound, self.max_steps)))
+            .collect();
+        estimate_mean(&samples)
+    }
+
+    /// Builds the empirical CDF of the first time `goal` is reached, over
+    /// `runs` simulations of horizon `bound` — the data behind Fig. 4 of
+    /// the paper.
+    pub fn cdf(&mut self, goal: &StateFormula, bound: f64, runs: usize) -> EmpiricalCdf {
+        let mut cdf = EmpiricalCdf::new(runs);
+        for _ in 0..runs {
+            let run = self.sim.simulate(bound, self.max_steps);
+            if let Some(t) = run.first_hit(self.net, goal) {
+                if t <= bound {
+                    cdf.add(t);
+                }
+            }
+        }
+        cdf
+    }
+
+    /// Compares two time-bounded reachability probabilities
+    /// (UPPAAL-SMC's `Pr[...](...) >= Pr[...](...)` queries) by paired
+    /// sampling: both run predicates are evaluated on the *same*
+    /// simulated runs, which cancels run-to-run variance.
+    ///
+    /// Returns `Ordering::Greater`/`Less` when the difference of the
+    /// estimates exceeds the half-width `indifference`, `Ordering::Equal`
+    /// otherwise.
+    pub fn compare(
+        &mut self,
+        goal_a: &StateFormula,
+        goal_b: &StateFormula,
+        bound: f64,
+        runs: usize,
+        indifference: f64,
+    ) -> (std::cmp::Ordering, f64, f64) {
+        let mut hits_a = 0_usize;
+        let mut hits_b = 0_usize;
+        for _ in 0..runs {
+            let run = self.sim.simulate(bound, self.max_steps);
+            if run.satisfies_eventually(self.net, goal_a, bound) {
+                hits_a += 1;
+            }
+            if run.satisfies_eventually(self.net, goal_b, bound) {
+                hits_b += 1;
+            }
+        }
+        let pa = hits_a as f64 / runs as f64;
+        let pb = hits_b as f64 / runs as f64;
+        let ord = if pa - pb > indifference {
+            std::cmp::Ordering::Greater
+        } else if pb - pa > indifference {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Equal
+        };
+        (ord, pa, pb)
+    }
+
+    /// Counts how many of `runs` simulations satisfy the *global*
+    /// (safety) run predicate `[]≤bound safe` — used by the paper's
+    /// Table I rows TA1/TA2 under `modes` ("all 10k runs satisfied TA1").
+    pub fn count_globally(&mut self, safe: &StateFormula, bound: f64, runs: usize) -> usize {
+        (0..runs)
+            .filter(|_| {
+                let run = self.sim.simulate(bound, self.max_steps);
+                run.satisfies_globally(self.net, safe, bound)
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_ta::{ClockAtom, NetworkBuilder};
+
+    /// A coin automaton: from Flip, go to Heads or Tails within 1 time
+    /// unit, uniformly at random among the two enabled edges.
+    fn coin_net() -> (Network, tempo_ta::AutomatonId, tempo_ta::LocationId) {
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("Coin");
+        let flip = a.location_with_invariant("Flip", vec![ClockAtom::le(x, 1)]);
+        let heads = a.location("Heads");
+        let tails = a.location("Tails");
+        a.edge(flip, heads).done();
+        a.edge(flip, tails).done();
+        let aid = a.done();
+        (b.build(), aid, heads)
+    }
+
+    #[test]
+    fn coin_probability_near_half() {
+        let (net, aid, heads) = coin_net();
+        let mut smc = StatisticalChecker::new(&net, RatePolicy::new(), 11);
+        let est = smc.probability(&StateFormula::at(aid, heads), 10.0, 2000, 0.99);
+        assert!(
+            est.lower < 0.5 && 0.5 < est.upper,
+            "99% CI {est} should contain 0.5"
+        );
+    }
+
+    #[test]
+    fn hypothesis_testing_decides() {
+        let (net, aid, heads) = coin_net();
+        let mut smc = StatisticalChecker::new(&net, RatePolicy::new(), 11);
+        // p = 0.5, test vs 0.1: accept H0 (p >= 0.2).
+        let (verdict, _) =
+            smc.hypothesis(&StateFormula::at(aid, heads), 10.0, 0.1, 0.05, 0.01, 0.01, 10_000);
+        assert_eq!(verdict, TestVerdict::AcceptH0);
+        // p = 0.5, test vs 0.9: accept H1 (p <= 0.85).
+        let (verdict, _) =
+            smc.hypothesis(&StateFormula::at(aid, heads), 10.0, 0.9, 0.05, 0.01, 0.01, 10_000);
+        assert_eq!(verdict, TestVerdict::AcceptH1);
+    }
+
+    #[test]
+    fn expected_duration_bounded_by_invariant() {
+        let (net, _, _) = coin_net();
+        let mut smc = StatisticalChecker::new(&net, RatePolicy::new(), 3);
+        let m = smc.expected(100.0, 500, |run| {
+            run.steps.first().map_or(0.0, |s| s.delay)
+        });
+        // First delay is uniform on [0,1]: mean 0.5.
+        assert!((m.mean - 0.5).abs() < 0.08, "mean first delay {m}");
+    }
+
+    #[test]
+    fn cdf_reaches_one_for_certain_events() {
+        let (net, aid, heads) = coin_net();
+        let mut smc = StatisticalChecker::new(&net, RatePolicy::new(), 4);
+        let done = StateFormula::or(vec![
+            StateFormula::at(aid, heads),
+            StateFormula::not(StateFormula::at(aid, heads)),
+        ]);
+        // Trivial property: CDF hits 1 at time 0.
+        let cdf = smc.cdf(&done, 5.0, 100);
+        assert!((cdf.at(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_orders_probabilities() {
+        // Reaching "flipped at all" is more likely than reaching heads.
+        let (net, aid, heads) = coin_net();
+        let mut smc = StatisticalChecker::new(&net, RatePolicy::new(), 6);
+        let done = StateFormula::or(vec![
+            StateFormula::at(aid, heads),
+            StateFormula::at(aid, tempo_ta::LocationId(2)),
+        ]);
+        let (ord, pa, pb) =
+            smc.compare(&done, &StateFormula::at(aid, heads), 10.0, 600, 0.1);
+        assert_eq!(ord, std::cmp::Ordering::Greater, "pa={pa} pb={pb}");
+        // A property against itself is Equal.
+        let (ord, _, _) = smc.compare(&done, &done, 10.0, 200, 0.05);
+        assert_eq!(ord, std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn globally_counts_safe_runs() {
+        let (net, aid, heads) = coin_net();
+        let mut smc = StatisticalChecker::new(&net, RatePolicy::new(), 5);
+        // "Not heads" globally holds for about half of the runs.
+        let safe = StateFormula::not(StateFormula::at(aid, heads));
+        let n = smc.count_globally(&safe, 10.0, 400);
+        assert!((120..=280).contains(&n), "safe runs: {n}/400");
+    }
+}

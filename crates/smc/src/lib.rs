@@ -1,0 +1,30 @@
+//! # tempo-smc — statistical model checking for stochastic timed automata
+//!
+//! The UPPAAL-SMC analogue of the workspace (Bozga et al., DATE 2012,
+//! §II): networks of timed automata from [`tempo_ta`] are given the
+//! paper's stochastic semantics — exponential delays in invariant-free
+//! locations, uniform delays under invariants, shortest-delay race between
+//! components — and properties are settled by simulation:
+//!
+//! * [`StatisticalChecker::probability`] — estimate `Pr[<=T](<> φ)` with a
+//!   confidence interval;
+//! * [`StatisticalChecker::hypothesis`] — Wald SPRT hypothesis testing;
+//! * [`StatisticalChecker::expected`] — expected values of run functionals
+//!   (`µ`/`σ` as reported by `modes` in Table I of the paper);
+//! * [`StatisticalChecker::cdf`] — empirical CDFs such as Fig. 4.
+//!
+//! See the crate-level documentation of the items for examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checker;
+mod sim;
+mod stats;
+
+pub use checker::{StatisticalChecker, DEFAULT_MAX_STEPS};
+pub use sim::{ConcreteState, RatePolicy, Run, RunStep, Simulator};
+pub use stats::{
+    chernoff_runs, estimate, estimate_mean, EmpiricalCdf, Estimate, MeanEstimate, Sprt,
+    TestVerdict,
+};

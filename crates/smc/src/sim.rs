@@ -1,0 +1,685 @@
+//! Stochastic semantics and run generation for networks of timed
+//! automata, following UPPAAL-SMC (Bozga et al., DATE 2012, §II):
+//! each component delays according to an exponential distribution when its
+//! location is invariant-free, or uniformly over the interval permitted by
+//! the invariant; the component with the shortest delay moves.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use tempo_dbm::Clock;
+use tempo_expr::Store;
+use tempo_ta::{
+    AutomatonId, ChannelKind, Edge, LocationId, LocationKind, Network, StateFormula, SyncDir,
+};
+
+/// A concrete state of a network: locations, variable store and
+/// real-valued clock valuations (index 0 is the reference clock, always
+/// `0.0`).
+#[derive(Debug, Clone)]
+pub struct ConcreteState {
+    /// Location of each automaton.
+    pub locs: Vec<LocationId>,
+    /// Discrete variable values.
+    pub store: Store,
+    /// Clock values; `clocks[0] == 0.0`.
+    pub clocks: Vec<f64>,
+    /// Global elapsed time since the start of the run.
+    pub time: f64,
+}
+
+impl ConcreteState {
+    /// Evaluates a [`StateFormula`] over this concrete state.
+    #[must_use]
+    pub fn satisfies(&self, net: &Network, f: &StateFormula) -> bool {
+        match f {
+            StateFormula::True => true,
+            StateFormula::False => false,
+            StateFormula::At(a, l) => self.locs[a.index()] == *l,
+            StateFormula::Data(e) => e.eval_bool(net.decls(), &self.store, &[]).unwrap_or(false),
+            StateFormula::Clock(atom) => {
+                let d = self.clocks[atom.i.index()] - self.clocks[atom.j.index()];
+                if atom.bound.is_inf() {
+                    true
+                } else if atom.bound.is_strict() {
+                    d < atom.bound.constant() as f64
+                } else {
+                    d <= atom.bound.constant() as f64
+                }
+            }
+            StateFormula::Not(g) => !self.satisfies(net, g),
+            StateFormula::And(gs) => gs.iter().all(|g| self.satisfies(net, g)),
+            StateFormula::Or(gs) => gs.iter().any(|g| self.satisfies(net, g)),
+        }
+    }
+}
+
+/// One step of a simulated run.
+#[derive(Debug, Clone)]
+pub struct RunStep {
+    /// The delay taken before the action.
+    pub delay: f64,
+    /// A label describing the action (channel or `tau`).
+    pub label: String,
+    /// The state reached after the action.
+    pub state: ConcreteState,
+}
+
+/// A finite prefix of a stochastic run.
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// The initial state.
+    pub initial: ConcreteState,
+    /// The steps taken.
+    pub steps: Vec<RunStep>,
+    /// Whether the run ended because no component could move (deadlock).
+    pub deadlocked: bool,
+}
+
+impl Run {
+    /// Total elapsed time at the end of the run.
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        self.steps.last().map_or(0.0, |s| s.state.time)
+    }
+
+    /// The earliest time at which a state satisfying `f` is observed, if
+    /// any (states are inspected after every action; the initial state
+    /// counts at time `0`).
+    #[must_use]
+    pub fn first_hit(&self, net: &Network, f: &StateFormula) -> Option<f64> {
+        if self.initial.satisfies(net, f) {
+            return Some(0.0);
+        }
+        self.steps
+            .iter()
+            .find(|s| s.state.satisfies(net, f))
+            .map(|s| s.state.time)
+    }
+
+    /// Whether the run satisfies the time-bounded reachability property
+    /// `<>≤bound f` (UPPAAL-SMC's `Pr[<=bound](<> f)` run predicate).
+    #[must_use]
+    pub fn satisfies_eventually(&self, net: &Network, f: &StateFormula, bound: f64) -> bool {
+        self.first_hit(net, f).is_some_and(|t| t <= bound)
+    }
+
+    /// Whether `f` holds in every observed state up to `bound`
+    /// (the run predicate of `Pr[<=bound]([] f)`).
+    #[must_use]
+    pub fn satisfies_globally(&self, net: &Network, f: &StateFormula, bound: f64) -> bool {
+        if !self.initial.satisfies(net, f) {
+            return false;
+        }
+        self.steps
+            .iter()
+            .take_while(|s| s.state.time <= bound)
+            .all(|s| s.state.satisfies(net, f))
+    }
+}
+
+/// Exponential-delay rates per automaton location. The paper's train-gate
+/// example uses rate `1 + id` for train `id` in the invariant-free `Safe`
+/// location.
+#[derive(Debug, Clone, Default)]
+pub struct RatePolicy {
+    default: f64,
+    rates: HashMap<(AutomatonId, LocationId), f64>,
+}
+
+impl RatePolicy {
+    /// Uniform default rate `1.0` for all invariant-free locations.
+    #[must_use]
+    pub fn new() -> Self {
+        RatePolicy { default: 1.0, rates: HashMap::new() }
+    }
+
+    /// Sets the default rate.
+    #[must_use]
+    pub fn with_default(mut self, rate: f64) -> Self {
+        assert!(rate > 0.0, "rates must be positive");
+        self.default = rate;
+        self
+    }
+
+    /// Sets the rate of one location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate <= 0`.
+    pub fn set(&mut self, a: AutomatonId, l: LocationId, rate: f64) {
+        assert!(rate > 0.0, "rates must be positive");
+        self.rates.insert((a, l), rate);
+    }
+
+    /// The rate of a location.
+    #[must_use]
+    pub fn rate(&self, a: AutomatonId, l: LocationId) -> f64 {
+        self.rates.get(&(a, l)).copied().unwrap_or(self.default)
+    }
+}
+
+/// A stochastic simulator for a network of timed automata.
+///
+/// ```
+/// use tempo_ta::NetworkBuilder;
+/// use tempo_smc::{Simulator, RatePolicy};
+/// let mut b = NetworkBuilder::new();
+/// let mut a = b.automaton("A");
+/// let l0 = a.location("L0");
+/// a.edge(l0, l0).done();
+/// a.done();
+/// let net = b.build();
+/// let mut sim = Simulator::new(&net, RatePolicy::new(), 42);
+/// let run = sim.simulate(10.0, 1000);
+/// assert!(run.duration() <= 10.0 + 1e-9 || run.deadlocked);
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'n> {
+    net: &'n Network,
+    rates: RatePolicy,
+    rng: StdRng,
+}
+
+impl<'n> Simulator<'n> {
+    /// Creates a simulator with the given rate policy and RNG seed.
+    #[must_use]
+    pub fn new(net: &'n Network, rates: RatePolicy, seed: u64) -> Self {
+        Simulator {
+            net,
+            rates,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The initial concrete state.
+    #[must_use]
+    pub fn initial_state(&self) -> ConcreteState {
+        ConcreteState {
+            locs: self.net.automata().iter().map(|a| a.initial).collect(),
+            store: self.net.decls().initial_store(),
+            clocks: vec![0.0; self.net.dim()],
+            time: 0.0,
+        }
+    }
+
+    /// Simulates one run up to `time_bound` elapsed time or `max_steps`
+    /// actions, whichever comes first.
+    pub fn simulate(&mut self, time_bound: f64, max_steps: usize) -> Run {
+        let initial = self.initial_state();
+        let mut state = initial.clone();
+        let mut steps = Vec::new();
+        let mut deadlocked = false;
+        for _ in 0..max_steps {
+            if state.time >= time_bound {
+                break;
+            }
+            match self.step(&state, time_bound - state.time) {
+                StepOutcome::Action { delay, label, next } => {
+                    if state.time + delay > time_bound {
+                        // The property horizon is reached during the delay.
+                        let mut cut = state.clone();
+                        let d = time_bound - state.time;
+                        advance(&mut cut, d);
+                        steps.push(RunStep { delay: d, label: "delay".to_owned(), state: cut });
+                        break;
+                    }
+                    steps.push(RunStep { delay, label, state: next.clone() });
+                    state = next;
+                }
+                StepOutcome::Quiet { next } => {
+                    // Nothing happened until the horizon: record the final
+                    // delay so time-indexed properties see the full run.
+                    let delay = next.time - state.time;
+                    steps.push(RunStep { delay, label: "delay".to_owned(), state: next });
+                    break;
+                }
+                StepOutcome::Timelock => {
+                    deadlocked = true;
+                    break;
+                }
+            }
+        }
+        Run { initial, steps, deadlocked }
+    }
+
+    /// Samples one stochastic step: the racing delays, the winning
+    /// component, and a uniformly chosen enabled move. When the race
+    /// winner lands at an instant with no enabled action, the delay is
+    /// kept and the race is re-run (UPPAAL-SMC re-samples). Re-racing
+    /// stops at `budget` elapsed time ([`StepOutcome::Quiet`]);
+    /// [`StepOutcome::Timelock`] signals that time is blocked with no
+    /// action enabled.
+    fn step(&mut self, state: &ConcreteState, budget: f64) -> StepOutcome {
+        let mut current = state.clone();
+        let mut total_delay = 0.0_f64;
+        let mut stalled = 0_u32;
+        loop {
+            // Urgency: if any automaton is urgent/committed, force delay 0.
+            let urgent = current.locs.iter().zip(self.net.automata()).any(|(&l, a)| {
+                a.locations[l.index()].kind != LocationKind::Normal
+            });
+            // Sample each automaton's intended delay.
+            let mut best: Option<(usize, f64)> = None;
+            for (ai, _) in self.net.automata().iter().enumerate() {
+                let delay = if urgent {
+                    0.0
+                } else {
+                    match self.max_invariant_delay(&current, ai) {
+                        Some(ub) => self.rng.gen_range(0.0..=ub.max(0.0)),
+                        None => {
+                            let rate = self.rates.rate(AutomatonId(ai), current.locs[ai]);
+                            // Inverse-transform sampling of Exp(rate).
+                            let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                            -u.ln() / rate
+                        }
+                    }
+                };
+                if best.is_none_or(|(_, d)| delay < d) {
+                    best = Some((ai, delay));
+                }
+            }
+            let Some((winner, delay)) = best else {
+                return StepOutcome::Timelock;
+            };
+            if total_delay + delay >= budget {
+                // The horizon passes during this quiet delay: advance
+                // exactly to the budget's end.
+                let mut cut = current.clone();
+                advance(&mut cut, budget - total_delay);
+                return StepOutcome::Quiet { next: cut };
+            }
+            let mut advanced = current.clone();
+            advance(&mut advanced, delay);
+            // The race winner initiates the next action (the paper: "the
+            // train picking the shortest delay moves"); if it has nothing
+            // to initiate, any enabled component may move instead.
+            let all = self.enabled_moves(&advanced);
+            let winners: Vec<Move> = all
+                .iter()
+                .filter(|m| m.participants.first().is_some_and(|(ai, _, _)| *ai == winner))
+                .cloned()
+                .collect();
+            let moves = if winners.is_empty() { all } else { winners };
+            if !moves.is_empty() {
+                if let Some((label, next)) = self.pick(&moves, &advanced) {
+                    return StepOutcome::Action {
+                        delay: total_delay + delay,
+                        label,
+                        next,
+                    };
+                }
+            }
+            // No action at this instant: keep the delay and re-race.
+            if delay <= f64::EPSILON {
+                stalled += 1;
+                if stalled > 100 {
+                    return StepOutcome::Timelock;
+                }
+            } else {
+                stalled = 0;
+            }
+            total_delay += delay;
+            current = advanced;
+        }
+    }
+
+    fn pick(
+        &mut self,
+        moves: &[Move],
+        state: &ConcreteState,
+    ) -> Option<(String, ConcreteState)> {
+        let mv = &moves[self.rng.gen_range(0..moves.len())];
+        let next = self.apply(state, mv)?;
+        Some((mv.label.clone(), next))
+    }
+
+    /// The maximum delay automaton `ai` may take before violating its own
+    /// invariant, or `None` if unbounded.
+    fn max_invariant_delay(&self, state: &ConcreteState, ai: usize) -> Option<f64> {
+        let a = &self.net.automata()[ai];
+        let loc = &a.locations[state.locs[ai].index()];
+        let mut ub: Option<f64> = None;
+        for atom in &loc.invariant {
+            if atom.bound.is_inf() {
+                continue;
+            }
+            // Only upper bounds x - 0 ≺ c constrain delay.
+            if !atom.i.is_ref() && atom.j.is_ref() {
+                let slack = atom.bound.constant() as f64 - state.clocks[atom.i.index()];
+                ub = Some(ub.map_or(slack, |u: f64| u.min(slack)));
+            }
+        }
+        ub.map(|u| u.max(0.0))
+    }
+
+    /// All action moves enabled at the given concrete state.
+    fn enabled_moves(&self, state: &ConcreteState) -> Vec<Move> {
+        let mut moves = Vec::new();
+        let committed: Vec<bool> = state
+            .locs
+            .iter()
+            .zip(self.net.automata())
+            .map(|(&l, a)| a.locations[l.index()].kind == LocationKind::Committed)
+            .collect();
+        let any_committed = committed.iter().any(|&c| c);
+        for (ai, a) in self.net.automata().iter().enumerate() {
+            for (ei, e) in a.edges.iter().enumerate() {
+                if e.from != state.locs[ai] {
+                    continue;
+                }
+                for sel in select_values(&e.selects) {
+                    if !self.edge_enabled(state, e, &sel) {
+                        continue;
+                    }
+                    match &e.sync {
+                        None => {
+                            if any_committed && !committed[ai] {
+                                continue;
+                            }
+                            moves.push(Move {
+                                label: "tau".to_owned(),
+                                participants: vec![(ai, ei, sel.clone())],
+                            });
+                        }
+                        Some(sync) if sync.dir == SyncDir::Send => {
+                            let Ok(idx) =
+                                sync.index.eval(self.net.decls(), &state.store, &sel)
+                            else {
+                                continue;
+                            };
+                            let ch = &self.net.channels()[sync.channel.index()];
+                            match ch.kind {
+                                ChannelKind::Binary => {
+                                    for (bi, ri, rsel) in self.matching_receivers(state, ai, sync.channel, idx) {
+                                        if any_committed && !committed[ai] && !committed[bi] {
+                                            continue;
+                                        }
+                                        moves.push(Move {
+                                            label: format!("{}[{}]", ch.name, idx),
+                                            participants: vec![
+                                                (ai, ei, sel.clone()),
+                                                (bi, ri, rsel),
+                                            ],
+                                        });
+                                    }
+                                }
+                                ChannelKind::Broadcast => {
+                                    if any_committed && !committed[ai] {
+                                        continue;
+                                    }
+                                    let mut participants = vec![(ai, ei, sel.clone())];
+                                    for (bi, ri, rsel) in self.matching_receivers(state, ai, sync.channel, idx) {
+                                        // One receiver edge per automaton
+                                        // (first enabled wins; duplicates
+                                        // would need combinatorics rarely
+                                        // used in SMC models).
+                                        if participants.iter().all(|(pi, _, _)| *pi != bi) {
+                                            participants.push((bi, ri, rsel));
+                                        }
+                                    }
+                                    moves.push(Move {
+                                        label: format!("{}[{}]!!", ch.name, idx),
+                                        participants,
+                                    });
+                                }
+                            }
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        moves
+    }
+
+    fn matching_receivers(
+        &self,
+        state: &ConcreteState,
+        sender: usize,
+        channel: tempo_ta::ChannelId,
+        idx: i64,
+    ) -> Vec<(usize, usize, Vec<i64>)> {
+        let mut out = Vec::new();
+        for (bi, b) in self.net.automata().iter().enumerate() {
+            if bi == sender {
+                continue;
+            }
+            for (ri, r) in b.edges.iter().enumerate() {
+                if r.from != state.locs[bi] {
+                    continue;
+                }
+                let Some(rs) = &r.sync else { continue };
+                if rs.dir != SyncDir::Recv || rs.channel != channel {
+                    continue;
+                }
+                for rsel in select_values(&r.selects) {
+                    if rs.index.eval(self.net.decls(), &state.store, &rsel) == Ok(idx)
+                        && self.edge_enabled(state, r, &rsel)
+                    {
+                        out.push((bi, ri, rsel));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn edge_enabled(&self, state: &ConcreteState, e: &Edge, sel: &[i64]) -> bool {
+        if !e
+            .guard_data
+            .eval_bool(self.net.decls(), &state.store, sel)
+            .unwrap_or(false)
+        {
+            return false;
+        }
+        e.guard_clocks.iter().all(|atom| {
+            let d = state.clocks[atom.i.index()] - state.clocks[atom.j.index()];
+            if atom.bound.is_inf() {
+                true
+            } else if atom.bound.is_strict() {
+                d < atom.bound.constant() as f64
+            } else {
+                d <= atom.bound.constant() as f64 + 1e-12
+            }
+        })
+    }
+
+    /// Applies a joint move, returning the successor state (or `None` if
+    /// an update fails, which disables the move).
+    fn apply(&self, state: &ConcreteState, mv: &Move) -> Option<ConcreteState> {
+        let mut next = state.clone();
+        for (ai, ei, sel) in &mv.participants {
+            let e = &self.net.automata()[*ai].edges[*ei];
+            for (clock, value) in &e.resets {
+                let v = value.eval(self.net.decls(), &next.store, sel).ok()?;
+                next.clocks[clock.index()] = v as f64;
+            }
+            e.update.execute(self.net.decls(), &mut next.store, sel).ok()?;
+            next.locs[*ai] = e.to;
+        }
+        // Reject moves that violate target invariants.
+        for (a, &l) in self.net.automata().iter().zip(&next.locs) {
+            for atom in &a.locations[l.index()].invariant {
+                let d = next.clocks[atom.i.index()] - next.clocks[atom.j.index()];
+                let ok = if atom.bound.is_inf() {
+                    true
+                } else if atom.bound.is_strict() {
+                    d < atom.bound.constant() as f64
+                } else {
+                    d <= atom.bound.constant() as f64 + 1e-12
+                };
+                if !ok {
+                    return None;
+                }
+            }
+        }
+        Some(next)
+    }
+}
+
+/// Result of sampling one stochastic step.
+enum StepOutcome {
+    /// An action fired after `delay`.
+    Action {
+        delay: f64,
+        label: String,
+        next: ConcreteState,
+    },
+    /// Nothing fired before the time budget ran out; `next` is the state
+    /// advanced to the budget's end.
+    Quiet { next: ConcreteState },
+    /// Time is blocked and no action is enabled.
+    Timelock,
+}
+
+/// A joint move: the participating `(automaton, edge, selects)` triples
+/// (sender first for synchronizations).
+#[derive(Debug, Clone)]
+struct Move {
+    label: String,
+    participants: Vec<(usize, usize, Vec<i64>)>,
+}
+
+fn advance(state: &mut ConcreteState, d: f64) {
+    for (i, c) in state.clocks.iter_mut().enumerate() {
+        if i != Clock::REF.index() {
+            *c += d;
+        }
+    }
+    state.time += d;
+}
+
+fn select_values(ranges: &[(i64, i64)]) -> Vec<Vec<i64>> {
+    let mut out = vec![Vec::new()];
+    for &(lo, hi) in ranges {
+        let mut next = Vec::new();
+        for prefix in &out {
+            for v in lo..=hi {
+                let mut p = prefix.clone();
+                p.push(v);
+                next.push(p);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_ta::{ClockAtom, NetworkBuilder};
+
+    fn ping_pong() -> Network {
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let c = b.channel("c");
+        let mut p = b.automaton("Ping");
+        let p0 = p.location_with_invariant("P0", vec![ClockAtom::le(x, 2)]);
+        let p1 = p.location("P1");
+        p.edge(p0, p1).send(c).reset(x, 0).done();
+        p.edge(p1, p0).recv(c).done();
+        p.done();
+        let mut q = b.automaton("Pong");
+        let q0 = q.location("Q0");
+        q.edge(q0, q0).recv(c).done();
+        q.edge(q0, q0).send(c).done();
+        q.done();
+        b.build()
+    }
+
+    #[test]
+    fn runs_respect_time_bound() {
+        let net = ping_pong();
+        let mut sim = Simulator::new(&net, RatePolicy::new(), 7);
+        for _ in 0..20 {
+            let run = sim.simulate(50.0, 10_000);
+            assert!(run.duration() <= 50.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let net = ping_pong();
+        let mut s1 = Simulator::new(&net, RatePolicy::new(), 123);
+        let mut s2 = Simulator::new(&net, RatePolicy::new(), 123);
+        let r1 = s1.simulate(20.0, 1000);
+        let r2 = s2.simulate(20.0, 1000);
+        assert_eq!(r1.steps.len(), r2.steps.len());
+        assert!((r1.duration() - r2.duration()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invariant_bounds_delays() {
+        // Single automaton with invariant x <= 3 and a reset loop: the
+        // clock must never exceed 3.
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("A");
+        let l0 = a.location_with_invariant("L0", vec![ClockAtom::le(x, 3)]);
+        a.edge(l0, l0).reset(x, 0).done();
+        a.done();
+        let net = b.build();
+        let mut sim = Simulator::new(&net, RatePolicy::new(), 5);
+        let run = sim.simulate(100.0, 10_000);
+        for step in &run.steps {
+            assert!(step.state.clocks[1] <= 3.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn first_hit_and_eventually() {
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("A");
+        let l0 = a.location_with_invariant("L0", vec![ClockAtom::le(x, 1)]);
+        let l1 = a.location("L1");
+        a.edge(l0, l1).guard_clock(ClockAtom::ge(x, 0)).done();
+        let aid = a.done();
+        let net = b.build();
+        let mut sim = Simulator::new(&net, RatePolicy::new(), 1);
+        let run = sim.simulate(10.0, 100);
+        let goal = StateFormula::at(aid, l1);
+        let hit = run.first_hit(&net, &goal).expect("L1 reached within 1 time unit");
+        assert!(hit <= 1.0 + 1e-9);
+        assert!(run.satisfies_eventually(&net, &goal, 2.0));
+        assert!(run.satisfies_globally(&net, &StateFormula::True, 10.0));
+    }
+
+    #[test]
+    fn exponential_rates_affect_race() {
+        // Two automata race to a flag; the one with the much higher rate
+        // should win most of the time.
+        let mut b = NetworkBuilder::new();
+        let winner = b.decls_mut().int("winner", 0, 2);
+        let mk = |b: &mut NetworkBuilder, name: &str, id: i64| {
+            let mut a = b.automaton(name);
+            let l0 = a.location("L0");
+            let l1 = a.location("L1");
+            a.edge(l0, l1)
+                .guard_data(tempo_expr::Expr::var(winner).eq(tempo_expr::Expr::konst(0)))
+                .update(tempo_expr::Stmt::assign(winner, tempo_expr::Expr::konst(id)))
+                .done();
+            (a.done(), l0)
+        };
+        let (fast, fast_l0) = mk(&mut b, "Fast", 1);
+        let (slow, slow_l0) = mk(&mut b, "Slow", 2);
+        let net = b.build();
+        let mut rates = RatePolicy::new();
+        rates.set(fast, fast_l0, 50.0);
+        rates.set(slow, slow_l0, 0.5);
+        let mut sim = Simulator::new(&net, rates, 99);
+        let mut fast_wins = 0;
+        for _ in 0..100 {
+            let run = sim.simulate(1000.0, 100);
+            let final_store = run.steps.last().map(|s| &s.state.store);
+            if let Some(st) = final_store {
+                if st.get(winner) == 1 {
+                    fast_wins += 1;
+                }
+            }
+        }
+        assert!(fast_wins > 80, "fast component won only {fast_wins}/100 races");
+    }
+}

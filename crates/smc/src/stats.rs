@@ -1,0 +1,387 @@
+//! Statistical model checking: probability estimation with confidence
+//! intervals, Chernoff–Hoeffding sample-size planning, Wald's sequential
+//! probability ratio test, expected-value estimation and empirical CDFs.
+
+use std::fmt;
+
+/// An estimated probability with a confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Point estimate `successes / runs`.
+    pub mean: f64,
+    /// Lower end of the confidence interval.
+    pub lower: f64,
+    /// Upper end of the confidence interval.
+    pub upper: f64,
+    /// Number of runs used.
+    pub runs: usize,
+    /// Number of runs satisfying the property.
+    pub successes: usize,
+    /// Confidence level (e.g. `0.95`).
+    pub confidence: f64,
+}
+
+impl fmt::Display for Estimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.6} [{:.6}, {:.6}] ({}% CI, {}/{} runs)",
+            self.mean,
+            self.lower,
+            self.upper,
+            (self.confidence * 100.0).round(),
+            self.successes,
+            self.runs
+        )
+    }
+}
+
+/// Estimated mean and standard deviation of a run-valued quantity, as
+/// reported by the `modes` simulator in Table I of the paper
+/// (`µ = 33.473, σ = 2.136` for `Emax`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanEstimate {
+    /// Sample mean `µ`.
+    pub mean: f64,
+    /// Sample standard deviation `σ`.
+    pub std_dev: f64,
+    /// Number of samples.
+    pub runs: usize,
+}
+
+impl fmt::Display for MeanEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "µ={:.3}, σ={:.3} ({} runs)", self.mean, self.std_dev, self.runs)
+    }
+}
+
+/// Computes an [`Estimate`] from Bernoulli outcomes using the Wilson
+/// score interval at the given confidence level.
+///
+/// # Panics
+///
+/// Panics if `runs == 0` or `confidence` is not in `(0, 1)`.
+#[must_use]
+pub fn estimate(successes: usize, runs: usize, confidence: f64) -> Estimate {
+    assert!(runs > 0, "estimation requires at least one run");
+    assert!((0.0..1.0).contains(&confidence) && confidence > 0.0, "confidence must be in (0,1)");
+    let n = runs as f64;
+    let p = successes as f64 / n;
+    let z = z_quantile(1.0 - (1.0 - confidence) / 2.0);
+    let denom = 1.0 + z * z / n;
+    let center = (p + z * z / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z * z / (4.0 * n * n)).sqrt();
+    Estimate {
+        mean: p,
+        lower: (center - half).max(0.0),
+        upper: (center + half).min(1.0),
+        runs,
+        successes,
+        confidence,
+    }
+}
+
+/// The number of runs needed so that, by the Chernoff–Hoeffding bound,
+/// the estimate is within `epsilon` of the true probability with
+/// probability at least `1 - delta`: `n ≥ ln(2/δ) / (2 ε²)`.
+///
+/// # Panics
+///
+/// Panics if `epsilon` or `delta` is not in `(0, 1)`.
+#[must_use]
+pub fn chernoff_runs(epsilon: f64, delta: f64) -> usize {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    ((2.0 / delta).ln() / (2.0 * epsilon * epsilon)).ceil() as usize
+}
+
+/// Estimates the mean and standard deviation of samples.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+#[must_use]
+pub fn estimate_mean(samples: &[f64]) -> MeanEstimate {
+    assert!(!samples.is_empty(), "estimation requires at least one sample");
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = if samples.len() > 1 {
+        samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+    } else {
+        0.0
+    };
+    MeanEstimate {
+        mean,
+        std_dev: var.sqrt(),
+        runs: samples.len(),
+    }
+}
+
+/// Outcome of a sequential hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestVerdict {
+    /// `H0: p ≥ theta + delta` accepted (the probability is high).
+    AcceptH0,
+    /// `H1: p ≤ theta - delta` accepted (the probability is low).
+    AcceptH1,
+    /// The sample budget was exhausted without a decision.
+    Undecided,
+}
+
+/// Wald's sequential probability ratio test for
+/// `H0: p ≥ theta + delta` against `H1: p ≤ theta - delta`, with
+/// strength `(alpha, beta)` (type I / type II error bounds).
+///
+/// Feed Bernoulli outcomes with [`Sprt::observe`] until
+/// [`Sprt::verdict`] returns a decision.
+///
+/// ```
+/// use tempo_smc::{Sprt, TestVerdict};
+/// let mut t = Sprt::new(0.5, 0.1, 0.05, 0.05);
+/// for _ in 0..100 { t.observe(true); }
+/// assert_eq!(t.verdict(), TestVerdict::AcceptH0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sprt {
+    p0: f64,
+    p1: f64,
+    log_a: f64,
+    log_b: f64,
+    log_ratio: f64,
+    observations: usize,
+}
+
+impl Sprt {
+    /// Creates a test of `p ≥ theta + delta` vs `p ≤ theta - delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indifference region leaves `[0, 1]` or the error
+    /// bounds are not in `(0, 1)`.
+    #[must_use]
+    pub fn new(theta: f64, delta: f64, alpha: f64, beta: f64) -> Self {
+        let p0 = theta + delta;
+        let p1 = theta - delta;
+        assert!(p1 > 0.0 && p0 < 1.0, "indifference region must stay within (0,1)");
+        assert!(alpha > 0.0 && alpha < 1.0 && beta > 0.0 && beta < 1.0);
+        Sprt {
+            p0,
+            p1,
+            log_a: ((1.0 - beta) / alpha).ln(),
+            log_b: (beta / (1.0 - alpha)).ln(),
+            log_ratio: 0.0,
+            observations: 0,
+        }
+    }
+
+    /// Feeds one Bernoulli outcome.
+    pub fn observe(&mut self, success: bool) {
+        self.observations += 1;
+        // Likelihood ratio of H1 over H0.
+        self.log_ratio += if success {
+            (self.p1 / self.p0).ln()
+        } else {
+            ((1.0 - self.p1) / (1.0 - self.p0)).ln()
+        };
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// The current verdict.
+    #[must_use]
+    pub fn verdict(&self) -> TestVerdict {
+        if self.log_ratio >= self.log_a {
+            TestVerdict::AcceptH1
+        } else if self.log_ratio <= self.log_b {
+            TestVerdict::AcceptH0
+        } else {
+            TestVerdict::Undecided
+        }
+    }
+}
+
+/// An empirical cumulative distribution function built from samples, as
+/// plotted in Fig. 4 of the paper (probability that a train has crossed
+/// as a function of time).
+#[derive(Debug, Clone, Default)]
+pub struct EmpiricalCdf {
+    samples: Vec<f64>,
+    /// Total population size (samples that never hit count toward the
+    /// denominator but not the numerator).
+    population: usize,
+}
+
+impl EmpiricalCdf {
+    /// Creates a CDF over `population` runs; hits are added with
+    /// [`EmpiricalCdf::add`].
+    #[must_use]
+    pub fn new(population: usize) -> Self {
+        EmpiricalCdf { samples: Vec::new(), population }
+    }
+
+    /// Records one hit time.
+    pub fn add(&mut self, t: f64) {
+        self.samples.push(t);
+    }
+
+    /// Number of recorded hits.
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The fraction of the population with hit time `≤ t`.
+    #[must_use]
+    pub fn at(&self, t: f64) -> f64 {
+        if self.population == 0 {
+            return 0.0;
+        }
+        let count = self.samples.iter().filter(|&&s| s <= t).count();
+        count as f64 / self.population as f64
+    }
+
+    /// Evaluates the CDF on a grid of time points.
+    #[must_use]
+    pub fn series(&self, grid: &[f64]) -> Vec<(f64, f64)> {
+        grid.iter().map(|&t| (t, self.at(t))).collect()
+    }
+}
+
+/// Approximate standard-normal quantile (Acklam's rational
+/// approximation; absolute error < 1.15e-9, ample for CI construction).
+fn z_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0);
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -z_quantile(1.0 - p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_interval_contains_mean() {
+        let e = estimate(30, 100, 0.95);
+        assert!((e.mean - 0.3).abs() < 1e-12);
+        assert!(e.lower < 0.3 && 0.3 < e.upper);
+        assert!(e.lower > 0.2 && e.upper < 0.42);
+    }
+
+    #[test]
+    fn zero_and_full_successes() {
+        let e = estimate(0, 100, 0.95);
+        assert_eq!(e.mean, 0.0);
+        assert_eq!(e.lower, 0.0);
+        assert!(e.upper < 0.05);
+        let e = estimate(100, 100, 0.95);
+        assert_eq!(e.mean, 1.0);
+        assert_eq!(e.upper, 1.0);
+        assert!(e.lower > 0.95);
+    }
+
+    #[test]
+    fn chernoff_sample_sizes() {
+        // Classic figure: ±0.01 at 95% needs ~18445 runs.
+        let n = chernoff_runs(0.01, 0.05);
+        assert!((18_400..18_500).contains(&n));
+        assert!(chernoff_runs(0.1, 0.05) < n);
+    }
+
+    #[test]
+    fn mean_estimation() {
+        let m = estimate_mean(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((m.mean - 2.5).abs() < 1e-12);
+        assert!((m.std_dev - (5.0 / 3.0_f64).sqrt()).abs() < 1e-12);
+        let single = estimate_mean(&[7.0]);
+        assert_eq!(single.std_dev, 0.0);
+    }
+
+    #[test]
+    fn sprt_decides_clear_cases() {
+        // True p = 1: H0 (p >= 0.6) should be accepted quickly.
+        let mut t = Sprt::new(0.5, 0.1, 0.01, 0.01);
+        let mut n = 0;
+        while t.verdict() == TestVerdict::Undecided && n < 10_000 {
+            t.observe(true);
+            n += 1;
+        }
+        assert_eq!(t.verdict(), TestVerdict::AcceptH0);
+        // True p = 0: H1 accepted.
+        let mut t = Sprt::new(0.5, 0.1, 0.01, 0.01);
+        let mut n = 0;
+        while t.verdict() == TestVerdict::Undecided && n < 10_000 {
+            t.observe(false);
+            n += 1;
+        }
+        assert_eq!(t.verdict(), TestVerdict::AcceptH1);
+    }
+
+    #[test]
+    fn empirical_cdf_monotone() {
+        let mut cdf = EmpiricalCdf::new(4);
+        cdf.add(1.0);
+        cdf.add(2.0);
+        cdf.add(10.0);
+        // One of the 4 runs never hit.
+        assert_eq!(cdf.hits(), 3);
+        assert!((cdf.at(0.5) - 0.0).abs() < 1e-12);
+        assert!((cdf.at(1.5) - 0.25).abs() < 1e-12);
+        assert!((cdf.at(2.5) - 0.5).abs() < 1e-12);
+        assert!((cdf.at(100.0) - 0.75).abs() < 1e-12);
+        let series = cdf.series(&[0.0, 1.0, 2.0, 10.0]);
+        for w in series.windows(2) {
+            assert!(w[0].1 <= w[1].1, "CDF must be monotone");
+        }
+    }
+
+    #[test]
+    fn z_quantile_sanity() {
+        assert!((z_quantile(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((z_quantile(0.5)).abs() < 1e-9);
+        assert!((z_quantile(0.025) + 1.959_964).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,482 @@
+//! Digital-clocks (integer-time) semantics of networks of timed automata.
+//!
+//! For *closed* models (no strict clock bounds), integer delays preserve
+//! reachability, cost-optimal reachability and game winning-ness
+//! (Henzinger–Manna–Pnueli / Kwiatkowska et al.). This module provides a
+//! concrete-state explorer with unit-delay ticks and joint action moves,
+//! used by `tempo-cora` (minimum-cost reachability) and `tempo-tiga`
+//! (timed-game strategy synthesis); clocks are clamped one above the
+//! model's maximal constants so the state space is finite.
+
+use crate::explore::SymState;
+use crate::model::{ChannelKind, Edge, LocationId, LocationKind, Network, SyncDir};
+use tempo_expr::Store;
+
+/// A concrete integer-time state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DigitalState {
+    /// Location of each automaton.
+    pub locs: Vec<LocationId>,
+    /// Discrete variable values.
+    pub store: Store,
+    /// Integer clock values, clamped at `max_constant + 1`
+    /// (`clocks[0] == 0`).
+    pub clocks: Vec<i64>,
+}
+
+/// A joint action move in the digital semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigitalMove {
+    /// Human-readable label (channel or `tau`).
+    pub label: String,
+    /// Participants as `(automaton index, edge index, selects)`; the
+    /// sender (or the single mover) comes first.
+    pub participants: Vec<(usize, usize, Vec<i64>)>,
+    /// Whether every participating edge is controller-owned (for games,
+    /// a synchronization is controllable iff its initiating edge is).
+    pub controllable: bool,
+}
+
+/// Concrete-state explorer over the digital-clocks semantics.
+///
+/// # Panics
+///
+/// [`DigitalExplorer::new`] panics if the network contains strict clock
+/// bounds, for which the digital semantics is not exact.
+#[derive(Debug)]
+pub struct DigitalExplorer<'n> {
+    net: &'n Network,
+    clamp: Vec<i64>,
+}
+
+impl<'n> DigitalExplorer<'n> {
+    /// Creates an explorer, validating that the model is closed.
+    #[must_use]
+    pub fn new(net: &'n Network) -> Self {
+        for a in net.automata() {
+            for l in &a.locations {
+                for atom in &l.invariant {
+                    assert!(
+                        atom.bound.is_inf() || !atom.bound.is_strict(),
+                        "digital clocks require closed invariants ({} in {})",
+                        l.name,
+                        a.name
+                    );
+                }
+            }
+            for e in &a.edges {
+                for atom in &e.guard_clocks {
+                    assert!(
+                        atom.bound.is_inf() || !atom.bound.is_strict(),
+                        "digital clocks require closed guards (in {})",
+                        a.name
+                    );
+                }
+            }
+        }
+        let clamp = net
+            .max_constants()
+            .into_iter()
+            .map(|c| c + 1)
+            .collect();
+        DigitalExplorer { net, clamp }
+    }
+
+    /// The network being explored.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        self.net
+    }
+
+    /// The initial digital state.
+    #[must_use]
+    pub fn initial_state(&self) -> DigitalState {
+        DigitalState {
+            locs: self.net.automata().iter().map(|a| a.initial).collect(),
+            store: self.net.decls().initial_store(),
+            clocks: vec![0; self.net.dim()],
+        }
+    }
+
+    fn invariants_hold(&self, locs: &[LocationId], clocks: &[i64]) -> bool {
+        self.net.automata().iter().zip(locs).all(|(a, &l)| {
+            a.locations[l.index()].invariant.iter().all(|atom| {
+                atom.bound
+                    .satisfied_by(clocks[atom.i.index()] - clocks[atom.j.index()])
+            })
+        })
+    }
+
+    /// Whether a unit delay is permitted (no urgency, invariants hold
+    /// after the tick).
+    #[must_use]
+    pub fn can_tick(&self, state: &DigitalState) -> bool {
+        let urgent = state.locs.iter().zip(self.net.automata()).any(|(&l, a)| {
+            a.locations[l.index()].kind != LocationKind::Normal
+        });
+        if urgent || self.urgent_sync_enabled(state) {
+            return false;
+        }
+        let ticked = self.ticked_clocks(state);
+        self.invariants_hold(&state.locs, &ticked)
+    }
+
+    fn ticked_clocks(&self, state: &DigitalState) -> Vec<i64> {
+        state
+            .clocks
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                if i == 0 {
+                    0
+                } else {
+                    (c + 1).min(self.clamp[i])
+                }
+            })
+            .collect()
+    }
+
+    /// The unit-delay successor, if delay is permitted.
+    #[must_use]
+    pub fn tick(&self, state: &DigitalState) -> Option<DigitalState> {
+        if !self.can_tick(state) {
+            return None;
+        }
+        Some(DigitalState {
+            locs: state.locs.clone(),
+            store: state.store.clone(),
+            clocks: self.ticked_clocks(state),
+        })
+    }
+
+    fn urgent_sync_enabled(&self, state: &DigitalState) -> bool {
+        self.moves(state).iter().any(|(m, _)| {
+            let (ai, ei, _) = m.participants[0];
+            let e = &self.net.automata()[ai].edges[ei];
+            e.sync
+                .as_ref()
+                .is_some_and(|s| self.net.channels()[s.channel.index()].urgent)
+        })
+    }
+
+    fn edge_enabled(&self, state: &DigitalState, e: &Edge, sel: &[i64]) -> bool {
+        if !e
+            .guard_data
+            .eval_bool(self.net.decls(), &state.store, sel)
+            .unwrap_or(false)
+        {
+            return false;
+        }
+        e.guard_clocks.iter().all(|atom| {
+            atom.bound
+                .satisfied_by(state.clocks[atom.i.index()] - state.clocks[atom.j.index()])
+        })
+    }
+
+    /// All joint action moves enabled in the state, with their successor
+    /// states.
+    #[must_use]
+    pub fn moves(&self, state: &DigitalState) -> Vec<(DigitalMove, DigitalState)> {
+        let committed: Vec<bool> = state
+            .locs
+            .iter()
+            .zip(self.net.automata())
+            .map(|(&l, a)| a.locations[l.index()].kind == LocationKind::Committed)
+            .collect();
+        let any_committed = committed.iter().any(|&c| c);
+        let mut out = Vec::new();
+        for (ai, a) in self.net.automata().iter().enumerate() {
+            for (ei, e) in a.edges.iter().enumerate() {
+                if e.from != state.locs[ai] {
+                    continue;
+                }
+                for sel in select_values(&e.selects) {
+                    if !self.edge_enabled(state, e, &sel) {
+                        continue;
+                    }
+                    match &e.sync {
+                        None => {
+                            if any_committed && !committed[ai] {
+                                continue;
+                            }
+                            let mv = DigitalMove {
+                                label: "tau".to_owned(),
+                                participants: vec![(ai, ei, sel.clone())],
+                                controllable: e.controllable,
+                            };
+                            if let Some(next) = self.apply(state, &mv) {
+                                out.push((mv, next));
+                            }
+                        }
+                        Some(sync) if sync.dir == SyncDir::Send => {
+                            let Ok(idx) = sync.index.eval(self.net.decls(), &state.store, &sel)
+                            else {
+                                continue;
+                            };
+                            let ch = &self.net.channels()[sync.channel.index()];
+                            match ch.kind {
+                                ChannelKind::Binary => {
+                                    for (bi, b) in self.net.automata().iter().enumerate() {
+                                        if bi == ai
+                                            || (any_committed
+                                                && !committed[ai]
+                                                && !committed[bi])
+                                        {
+                                            continue;
+                                        }
+                                        for (ri, r) in b.edges.iter().enumerate() {
+                                            if r.from != state.locs[bi] {
+                                                continue;
+                                            }
+                                            let Some(rs) = &r.sync else { continue };
+                                            if rs.dir != SyncDir::Recv
+                                                || rs.channel != sync.channel
+                                            {
+                                                continue;
+                                            }
+                                            for rsel in select_values(&r.selects) {
+                                                if rs
+                                                    .index
+                                                    .eval(self.net.decls(), &state.store, &rsel)
+                                                    != Ok(idx)
+                                                    || !self.edge_enabled(state, r, &rsel)
+                                                {
+                                                    continue;
+                                                }
+                                                let mv = DigitalMove {
+                                                    label: format!("{}[{}]", ch.name, idx),
+                                                    participants: vec![
+                                                        (ai, ei, sel.clone()),
+                                                        (bi, ri, rsel),
+                                                    ],
+                                                    controllable: e.controllable
+                                                        && r.controllable,
+                                                };
+                                                if let Some(next) = self.apply(state, &mv) {
+                                                    out.push((mv, next));
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                                ChannelKind::Broadcast => {
+                                    if any_committed && !committed[ai] {
+                                        continue;
+                                    }
+                                    let mut participants = vec![(ai, ei, sel.clone())];
+                                    let mut ctrl = e.controllable;
+                                    for (bi, b) in self.net.automata().iter().enumerate() {
+                                        if bi == ai {
+                                            continue;
+                                        }
+                                        'edges: for (ri, r) in b.edges.iter().enumerate() {
+                                            if r.from != state.locs[bi] {
+                                                continue;
+                                            }
+                                            let Some(rs) = &r.sync else { continue };
+                                            if rs.dir != SyncDir::Recv
+                                                || rs.channel != sync.channel
+                                            {
+                                                continue;
+                                            }
+                                            for rsel in select_values(&r.selects) {
+                                                if rs
+                                                    .index
+                                                    .eval(self.net.decls(), &state.store, &rsel)
+                                                    == Ok(idx)
+                                                    && self.edge_enabled(state, r, &rsel)
+                                                {
+                                                    participants.push((bi, ri, rsel));
+                                                    ctrl &= r.controllable;
+                                                    break 'edges;
+                                                }
+                                            }
+                                        }
+                                    }
+                                    let mv = DigitalMove {
+                                        label: format!("{}[{}]!!", ch.name, idx),
+                                        participants,
+                                        controllable: ctrl,
+                                    };
+                                    if let Some(next) = self.apply(state, &mv) {
+                                        out.push((mv, next));
+                                    }
+                                }
+                            }
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies a joint move (participants in order), returning the
+    /// successor or `None` if an update or target invariant fails.
+    fn apply(&self, state: &DigitalState, mv: &DigitalMove) -> Option<DigitalState> {
+        let mut next = state.clone();
+        for (ai, ei, sel) in &mv.participants {
+            let e = &self.net.automata()[*ai].edges[*ei];
+            for (clock, value) in &e.resets {
+                let v = value.eval(self.net.decls(), &next.store, sel).ok()?;
+                if v < 0 {
+                    return None;
+                }
+                next.clocks[clock.index()] = v.min(self.clamp[clock.index()]);
+            }
+            e.update.execute(self.net.decls(), &mut next.store, sel).ok()?;
+            next.locs[*ai] = e.to;
+        }
+        self.invariants_hold(&next.locs, &next.clocks)
+            .then_some(next)
+    }
+
+    /// Lifts a digital state to a (point) symbolic state, for reuse of
+    /// [`crate::StateFormula`] satisfaction via the concrete clocks.
+    #[must_use]
+    pub fn satisfies(&self, state: &DigitalState, f: &crate::StateFormula) -> bool {
+        match f {
+            crate::StateFormula::True => true,
+            crate::StateFormula::False => false,
+            crate::StateFormula::At(a, l) => state.locs[a.index()] == *l,
+            crate::StateFormula::Data(e) => e
+                .eval_bool(self.net.decls(), &state.store, &[])
+                .unwrap_or(false),
+            crate::StateFormula::Clock(atom) => atom
+                .bound
+                .satisfied_by(state.clocks[atom.i.index()] - state.clocks[atom.j.index()]),
+            crate::StateFormula::Not(g) => !self.satisfies(state, g),
+            crate::StateFormula::And(gs) => gs.iter().all(|g| self.satisfies(state, g)),
+            crate::StateFormula::Or(gs) => gs.iter().any(|g| self.satisfies(state, g)),
+        }
+    }
+}
+
+impl DigitalState {
+    /// Converts to a symbolic point state (zero-width zone), e.g. for
+    /// display.
+    #[must_use]
+    pub fn to_sym_state(&self) -> SymState {
+        let dim = self.clocks.len();
+        let mut zone = tempo_dbm::Dbm::zero(dim);
+        for (i, &v) in self.clocks.iter().enumerate().skip(1) {
+            zone.reset(tempo_dbm::Clock(i), v);
+        }
+        SymState {
+            locs: self.locs.clone(),
+            store: self.store.clone(),
+            zone,
+        }
+    }
+}
+
+fn select_values(ranges: &[(i64, i64)]) -> Vec<Vec<i64>> {
+    let mut out = vec![Vec::new()];
+    for &(lo, hi) in ranges {
+        let mut next = Vec::new();
+        for prefix in &out {
+            for v in lo..=hi {
+                let mut p = prefix.clone();
+                p.push(v);
+                next.push(p);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ClockAtom, NetworkBuilder};
+    use crate::StateFormula;
+
+    fn bounded_loop() -> Network {
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("A");
+        let l0 = a.location_with_invariant("L0", vec![ClockAtom::le(x, 3)]);
+        a.edge(l0, l0).guard_clock(ClockAtom::ge(x, 2)).reset(x, 0).done();
+        a.done();
+        b.build()
+    }
+
+    #[test]
+    fn ticks_respect_invariants() {
+        let net = bounded_loop();
+        let exp = DigitalExplorer::new(&net);
+        let mut s = exp.initial_state();
+        for expected in [1, 2, 3] {
+            s = exp.tick(&s).expect("tick allowed");
+            assert_eq!(s.clocks[1], expected);
+        }
+        assert!(exp.tick(&s).is_none(), "invariant x <= 3 blocks further delay");
+    }
+
+    #[test]
+    fn moves_respect_guards() {
+        let net = bounded_loop();
+        let exp = DigitalExplorer::new(&net);
+        let s0 = exp.initial_state();
+        assert!(exp.moves(&s0).is_empty(), "guard x >= 2 not yet satisfied");
+        let s1 = exp.tick(&s0).unwrap();
+        let s2 = exp.tick(&s1).unwrap();
+        let moves = exp.moves(&s2);
+        assert_eq!(moves.len(), 1);
+        assert_eq!(moves[0].1.clocks[1], 0, "reset applied");
+    }
+
+    #[test]
+    fn clamping_bounds_state_space() {
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("A");
+        let l0 = a.location("L0");
+        a.edge(l0, l0).guard_clock(ClockAtom::ge(x, 5)).reset(x, 0).done();
+        a.done();
+        let net = b.build();
+        let exp = DigitalExplorer::new(&net);
+        let mut s = exp.initial_state();
+        for _ in 0..100 {
+            s = exp.tick(&s).unwrap();
+        }
+        assert_eq!(s.clocks[1], 6, "clamped at max constant + 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "closed")]
+    fn strict_guards_rejected() {
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("A");
+        let l0 = a.location("L0");
+        a.edge(l0, l0).guard_clock(ClockAtom::lt(x, 3)).done();
+        a.done();
+        let net = b.build();
+        let _ = DigitalExplorer::new(&net);
+    }
+
+    #[test]
+    fn formula_satisfaction() {
+        let net = bounded_loop();
+        let exp = DigitalExplorer::new(&net);
+        let s = exp.initial_state();
+        let x = tempo_dbm::Clock(1);
+        assert!(exp.satisfies(&s, &StateFormula::clock(ClockAtom::le(x, 0))));
+        let t = exp.tick(&s).unwrap();
+        assert!(!exp.satisfies(&t, &StateFormula::clock(ClockAtom::le(x, 0))));
+        assert!(exp.satisfies(&t, &StateFormula::clock(ClockAtom::ge(x, 1))));
+    }
+
+    #[test]
+    fn to_sym_state_roundtrip() {
+        let net = bounded_loop();
+        let exp = DigitalExplorer::new(&net);
+        let s = exp.tick(&exp.initial_state()).unwrap();
+        let sym = s.to_sym_state();
+        assert!(sym.zone.contains(&[0, 1]));
+        assert!(!sym.zone.contains(&[0, 2]));
+    }
+}

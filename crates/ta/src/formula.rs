@@ -1,0 +1,257 @@
+//! State formulas: the atoms of UPPAAL's property language.
+//!
+//! A [`StateFormula`] is a boolean combination of location atoms
+//! (`Train(0).Cross`), data constraints (`len == 0`) and clock constraints
+//! (`x <= 10`). Satisfaction over a symbolic state is computed *exactly*
+//! as the federation of satisfying valuations, so negation and clock
+//! atoms are handled without approximation.
+
+use crate::explore::SymState;
+use crate::model::{AutomatonId, ClockAtom, LocationId, Network};
+use tempo_dbm::{Dbm, Federation};
+use tempo_expr::Expr;
+
+/// A boolean state predicate over locations, data variables and clocks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateFormula {
+    /// Constant truth.
+    True,
+    /// Constant falsity.
+    False,
+    /// Automaton `a` is at location `l`.
+    At(AutomatonId, LocationId),
+    /// A data predicate over the variable store (no clocks).
+    Data(Expr),
+    /// A clock constraint.
+    Clock(ClockAtom),
+    /// Negation.
+    Not(Box<StateFormula>),
+    /// Conjunction.
+    And(Vec<StateFormula>),
+    /// Disjunction.
+    Or(Vec<StateFormula>),
+}
+
+impl StateFormula {
+    /// `automaton.location` atom.
+    #[must_use]
+    pub fn at(a: AutomatonId, l: LocationId) -> Self {
+        StateFormula::At(a, l)
+    }
+
+    /// Data predicate atom.
+    #[must_use]
+    pub fn data(e: Expr) -> Self {
+        StateFormula::Data(e)
+    }
+
+    /// Clock constraint atom.
+    #[must_use]
+    pub fn clock(atom: ClockAtom) -> Self {
+        StateFormula::Clock(atom)
+    }
+
+    /// Negation.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: StateFormula) -> Self {
+        StateFormula::Not(Box::new(f))
+    }
+
+    /// Conjunction of a list of formulas.
+    #[must_use]
+    pub fn and(fs: Vec<StateFormula>) -> Self {
+        StateFormula::And(fs)
+    }
+
+    /// Disjunction of a list of formulas.
+    #[must_use]
+    pub fn or(fs: Vec<StateFormula>) -> Self {
+        StateFormula::Or(fs)
+    }
+
+    /// All clock atoms syntactically occurring in the formula (used to
+    /// widen extrapolation constants so that property bounds stay exact).
+    #[must_use]
+    pub fn clock_atoms(&self) -> Vec<ClockAtom> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut Vec<ClockAtom>) {
+        match self {
+            StateFormula::Clock(a) => out.push(*a),
+            StateFormula::Not(f) => f.collect_atoms(out),
+            StateFormula::And(fs) | StateFormula::Or(fs) => {
+                for f in fs {
+                    f.collect_atoms(out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether the formula contains clock atoms (if not, satisfaction is
+    /// uniform across a symbolic state's zone).
+    #[must_use]
+    pub fn is_discrete(&self) -> bool {
+        self.clock_atoms().is_empty()
+    }
+
+    /// The federation of valuations of `state.zone` satisfying the
+    /// formula. Exact (negation is computed by zone subtraction).
+    #[must_use]
+    pub fn sat_federation(&self, net: &Network, state: &SymState) -> Federation {
+        let dim = state.zone.dim();
+        let whole = || Federation::from_zones(dim, vec![state.zone.clone()]);
+        match self {
+            StateFormula::True => whole(),
+            StateFormula::False => Federation::empty(dim),
+            StateFormula::At(a, l) => {
+                if state.locs[a.index()] == *l {
+                    whole()
+                } else {
+                    Federation::empty(dim)
+                }
+            }
+            StateFormula::Data(e) => {
+                if e.eval_bool(net.decls(), &state.store, &[]).unwrap_or(false) {
+                    whole()
+                } else {
+                    Federation::empty(dim)
+                }
+            }
+            StateFormula::Clock(atom) => {
+                let mut z = state.zone.clone();
+                if z.constrain(atom.i, atom.j, atom.bound) {
+                    Federation::from_zones(dim, vec![z])
+                } else {
+                    Federation::empty(dim)
+                }
+            }
+            StateFormula::Not(f) => whole().subtract(&f.sat_federation(net, state)),
+            StateFormula::And(fs) => {
+                let mut acc = whole();
+                for f in fs {
+                    acc = acc.intersection(&f.sat_federation(net, state));
+                    if acc.is_empty() {
+                        break;
+                    }
+                }
+                acc
+            }
+            StateFormula::Or(fs) => {
+                let mut acc = Federation::empty(dim);
+                for f in fs {
+                    acc.union_with(&f.sat_federation(net, state));
+                }
+                acc
+            }
+        }
+    }
+
+    /// Whether some valuation of the state satisfies the formula.
+    #[must_use]
+    pub fn holds_somewhere(&self, net: &Network, state: &SymState) -> bool {
+        !self.sat_federation(net, state).is_empty()
+    }
+
+    /// Whether every valuation of the state satisfies the formula.
+    #[must_use]
+    pub fn holds_everywhere(&self, net: &Network, state: &SymState) -> bool {
+        StateFormula::not(self.clone())
+            .sat_federation(net, state)
+            .is_empty()
+    }
+
+    /// The subset of `state.zone` *not* satisfying the formula.
+    #[must_use]
+    pub fn violation_federation(&self, net: &Network, state: &SymState) -> Federation {
+        StateFormula::not(self.clone()).sat_federation(net, state)
+    }
+
+    /// Convenience: restricts a zone to the satisfying subset, returning
+    /// the pieces.
+    #[must_use]
+    pub fn restrict(&self, net: &Network, state: &SymState) -> Vec<Dbm> {
+        self.sat_federation(net, state).zones().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NetworkBuilder;
+    use tempo_dbm::Clock;
+
+    fn simple_net() -> (Network, AutomatonId, LocationId, Clock) {
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let _v = b.decls_mut().int_init("v", 0, 9, 5);
+        let mut a = b.automaton("A");
+        let l0 = a.location("L0");
+        a.edge(l0, l0).done();
+        let aid = a.done();
+        (b.build(), aid, l0, x)
+    }
+
+    fn state(net: &Network) -> SymState {
+        crate::explore::Explorer::new(net).initial_state()
+    }
+
+    #[test]
+    fn location_and_data_atoms() {
+        let (net, aid, l0, _) = simple_net();
+        let s = state(&net);
+        assert!(StateFormula::at(aid, l0).holds_everywhere(&net, &s));
+        let v = net.decls().lookup("v").unwrap();
+        assert!(StateFormula::data(Expr::var(v).eq(Expr::konst(5))).holds_somewhere(&net, &s));
+        assert!(!StateFormula::data(Expr::var(v).eq(Expr::konst(4))).holds_somewhere(&net, &s));
+    }
+
+    #[test]
+    fn clock_atoms_split_zones() {
+        let (net, _, _, x) = simple_net();
+        let s = state(&net); // zone: x >= 0 (delay-closed)
+        let low = StateFormula::clock(ClockAtom::le(x, 5));
+        assert!(low.holds_somewhere(&net, &s));
+        assert!(!low.holds_everywhere(&net, &s));
+        let neg = StateFormula::not(low);
+        assert!(neg.holds_somewhere(&net, &s)); // x > 5 exists
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        let (net, aid, l0, x) = simple_net();
+        let s = state(&net);
+        let f = StateFormula::and(vec![
+            StateFormula::at(aid, l0),
+            StateFormula::clock(ClockAtom::ge(x, 2)),
+            StateFormula::clock(ClockAtom::le(x, 4)),
+        ]);
+        let fed = f.sat_federation(&net, &s);
+        assert!(fed.contains(&[0, 3]));
+        assert!(!fed.contains(&[0, 5]));
+        let g = StateFormula::or(vec![
+            StateFormula::clock(ClockAtom::le(x, 1)),
+            StateFormula::clock(ClockAtom::ge(x, 9)),
+        ]);
+        let fed = g.sat_federation(&net, &s);
+        assert!(fed.contains(&[0, 0]));
+        assert!(fed.contains(&[0, 10]));
+        assert!(!fed.contains(&[0, 5]));
+    }
+
+    #[test]
+    fn formula_atom_collection() {
+        let (_, aid, l0, x) = simple_net();
+        let f = StateFormula::and(vec![
+            StateFormula::at(aid, l0),
+            StateFormula::not(StateFormula::clock(ClockAtom::le(x, 7))),
+        ]);
+        assert_eq!(f.clock_atoms().len(), 1);
+        assert!(!f.is_discrete());
+        assert!(StateFormula::at(aid, l0).is_discrete());
+    }
+}

@@ -1,0 +1,498 @@
+//! The symbolic model checker: reachability (`E<>`), safety (`A[]`),
+//! deadlock-freedom, and exploration statistics.
+
+use crate::explore::{Action, Explorer, SymState};
+use crate::formula::StateFormula;
+use crate::model::{LocationId, Network};
+use std::collections::{HashMap, VecDeque};
+use tempo_expr::Store;
+
+/// A step of a symbolic diagnostic trace.
+#[derive(Debug, Clone)]
+pub struct TraceStep {
+    /// The action leading into `state` (`None` for the initial state).
+    pub action: Option<Action>,
+    /// The reached symbolic state.
+    pub state: SymState,
+}
+
+/// A symbolic trace from the initial state to a witness state.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// The steps, starting with the initial state.
+    pub steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// Length in transitions (steps minus the initial state).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len().saturating_sub(1)
+    }
+
+    /// Whether the trace is empty (no states at all).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// A multi-line human-readable rendering with location names.
+    ///
+    /// ```text
+    /// (Safe, Safe, Free)
+    ///   --appr[0]--> (Appr, Safe, Occ)
+    /// ```
+    #[must_use]
+    pub fn render(&self, net: &crate::model::Network) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for step in &self.steps {
+            let locs: Vec<&str> = step
+                .state
+                .locs
+                .iter()
+                .zip(net.automata())
+                .map(|(&l, a)| a.locations[l.index()].name.as_str())
+                .collect();
+            match &step.action {
+                None => {
+                    let _ = writeln!(out, "({})", locs.join(", "));
+                }
+                Some(action) => {
+                    let _ = writeln!(out, "  --{action}--> ({})", locs.join(", "));
+                }
+            }
+        }
+        out
+    }
+
+    /// A compact one-line rendering of the action sequence.
+    #[must_use]
+    pub fn action_summary(&self) -> String {
+        self.steps
+            .iter()
+            .filter_map(|s| s.action.as_ref())
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" → ")
+    }
+}
+
+/// The verdict of a model-checking query, with witness/counterexample
+/// trace where applicable.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// The property is satisfied.
+    Satisfied,
+    /// The property is violated; the trace witnesses the violation (for
+    /// `A[]`) or the reachability witness (for `E<>` this means
+    /// *satisfied* and the trace leads to the witness).
+    Violated(Trace),
+}
+
+impl Verdict {
+    /// Whether the property holds.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        matches!(self, Verdict::Satisfied)
+    }
+}
+
+/// Statistics of a symbolic exploration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Symbolic states popped from the waiting list.
+    pub explored: usize,
+    /// Zones stored in the passed list (after inclusion reduction).
+    pub stored: usize,
+    /// Successor computations.
+    pub transitions: usize,
+}
+
+/// Result of a reachability query: whether a goal state was found, the
+/// witness trace if so, and exploration statistics.
+#[derive(Debug, Clone)]
+pub struct ReachResult {
+    /// Whether a state satisfying the goal was reached.
+    pub reachable: bool,
+    /// A shortest (in transitions) symbolic witness trace, if reachable.
+    pub trace: Option<Trace>,
+    /// Exploration statistics.
+    pub stats: Stats,
+}
+
+/// The symbolic model checker for a network of timed automata.
+///
+/// ```
+/// use tempo_ta::{NetworkBuilder, ModelChecker, StateFormula};
+/// let mut b = NetworkBuilder::new();
+/// let mut a = b.automaton("A");
+/// let l0 = a.location("L0");
+/// let l1 = a.location("L1");
+/// a.edge(l0, l1).done();
+/// let aid = a.done();
+/// let net = b.build();
+/// let mut mc = ModelChecker::new(&net);
+/// let goal = StateFormula::at(aid, l1);
+/// assert!(mc.reachable(&goal).reachable);
+/// ```
+#[derive(Debug)]
+pub struct ModelChecker<'n> {
+    net: &'n Network,
+}
+
+/// Internal node of the exploration arena (for trace reconstruction).
+struct Node {
+    state: SymState,
+    parent: Option<(usize, Action)>,
+}
+
+impl<'n> ModelChecker<'n> {
+    /// Creates a checker for the network.
+    #[must_use]
+    pub fn new(net: &'n Network) -> Self {
+        ModelChecker { net }
+    }
+
+    /// The network under analysis.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        self.net
+    }
+
+    /// `E<> goal`: is some state satisfying `goal` reachable?
+    #[must_use]
+    pub fn reachable(&mut self, goal: &StateFormula) -> ReachResult {
+        self.search(goal, None)
+    }
+
+    /// `A[] safe`: does `safe` hold in every reachable state (and every
+    /// valuation of its zone)? Equivalent to `not E<> not safe`.
+    #[must_use]
+    pub fn always(&mut self, safe: &StateFormula) -> (Verdict, Stats) {
+        let neg = StateFormula::not(safe.clone());
+        let res = self.search(&neg, None);
+        if res.reachable {
+            (Verdict::Violated(res.trace.unwrap_or_default()), res.stats)
+        } else {
+            (Verdict::Satisfied, res.stats)
+        }
+    }
+
+    /// `A[] not deadlock`: no reachable state contains a valuation from
+    /// which no action transition is possible now or after delay.
+    #[must_use]
+    pub fn deadlock_free(&mut self) -> (Verdict, Stats) {
+        self.deadlock_search()
+    }
+
+    /// BFS over the zone graph with an inclusion-reduced passed list.
+    /// Stops when a state intersecting `goal` is found. `prune`: states
+    /// fully satisfying it are not expanded (used by bounded searches).
+    fn search(&mut self, goal: &StateFormula, prune: Option<&StateFormula>) -> ReachResult {
+        let explorer = Explorer::with_extra_constants(self.net, &goal.clock_atoms());
+        let mut stats = Stats::default();
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut passed: HashMap<(Vec<LocationId>, Store), Vec<usize>> = HashMap::new();
+        let mut waiting: VecDeque<usize> = VecDeque::new();
+
+        let init = explorer.initial_state();
+        nodes.push(Node { state: init, parent: None });
+        waiting.push_back(0);
+        passed.insert(nodes[0].state.discrete(), vec![0]);
+
+        while let Some(idx) = waiting.pop_front() {
+            let state = nodes[idx].state.clone();
+            stats.explored += 1;
+            if goal.holds_somewhere(self.net, &state) {
+                stats.stored = passed.values().map(Vec::len).sum();
+                return ReachResult {
+                    reachable: true,
+                    trace: Some(self.build_trace(&nodes, idx)),
+                    stats,
+                };
+            }
+            if let Some(p) = prune {
+                if p.holds_everywhere(self.net, &state) {
+                    continue;
+                }
+            }
+            for (action, succ) in explorer.successors(&state) {
+                stats.transitions += 1;
+                let key = succ.discrete();
+                let entry = passed.entry(key).or_default();
+                if entry
+                    .iter()
+                    .any(|&i| succ.zone.is_subset_of(&nodes[i].state.zone))
+                {
+                    continue;
+                }
+                entry.retain(|&i| !nodes[i].state.zone.is_subset_of(&succ.zone));
+                nodes.push(Node {
+                    state: succ,
+                    parent: Some((idx, action)),
+                });
+                let new_idx = nodes.len() - 1;
+                passed
+                    .get_mut(&nodes[new_idx].state.discrete())
+                    .expect("entry exists")
+                    .push(new_idx);
+                waiting.push_back(new_idx);
+            }
+        }
+        stats.stored = passed.values().map(Vec::len).sum();
+        ReachResult {
+            reachable: false,
+            trace: None,
+            stats,
+        }
+    }
+
+    /// Full exploration checking the symbolic deadlock condition on every
+    /// state.
+    fn deadlock_search(&mut self) -> (Verdict, Stats) {
+        let explorer = Explorer::new(self.net);
+        let mut stats = Stats::default();
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut passed: HashMap<(Vec<LocationId>, Store), Vec<usize>> = HashMap::new();
+        let mut waiting: VecDeque<usize> = VecDeque::new();
+
+        let init = explorer.initial_state();
+        nodes.push(Node { state: init, parent: None });
+        waiting.push_back(0);
+        passed.insert(nodes[0].state.discrete(), vec![0]);
+
+        while let Some(idx) = waiting.pop_front() {
+            let state = nodes[idx].state.clone();
+            stats.explored += 1;
+            if !explorer.deadlock_federation(&state).is_empty() {
+                stats.stored = passed.values().map(Vec::len).sum();
+                return (Verdict::Violated(self.build_trace(&nodes, idx)), stats);
+            }
+            for (action, succ) in explorer.successors(&state) {
+                stats.transitions += 1;
+                let key = succ.discrete();
+                let entry = passed.entry(key).or_default();
+                if entry
+                    .iter()
+                    .any(|&i| succ.zone.is_subset_of(&nodes[i].state.zone))
+                {
+                    continue;
+                }
+                entry.retain(|&i| !nodes[i].state.zone.is_subset_of(&succ.zone));
+                nodes.push(Node {
+                    state: succ,
+                    parent: Some((idx, action)),
+                });
+                let new_idx = nodes.len() - 1;
+                passed
+                    .get_mut(&nodes[new_idx].state.discrete())
+                    .expect("entry exists")
+                    .push(new_idx);
+                waiting.push_back(new_idx);
+            }
+        }
+        stats.stored = passed.values().map(Vec::len).sum();
+        (Verdict::Satisfied, stats)
+    }
+
+    /// Enumerates all reachable symbolic states (inclusion-reduced).
+    #[must_use]
+    pub fn reachable_states(&mut self) -> (Vec<SymState>, Stats) {
+        let explorer = Explorer::new(self.net);
+        let mut stats = Stats::default();
+        let mut states: Vec<SymState> = Vec::new();
+        let mut passed: HashMap<(Vec<LocationId>, Store), Vec<usize>> = HashMap::new();
+        let mut waiting: VecDeque<usize> = VecDeque::new();
+
+        let init = explorer.initial_state();
+        passed.insert(init.discrete(), vec![0]);
+        states.push(init);
+        waiting.push_back(0);
+
+        while let Some(idx) = waiting.pop_front() {
+            let state = states[idx].clone();
+            stats.explored += 1;
+            for (_, succ) in explorer.successors(&state) {
+                stats.transitions += 1;
+                let key = succ.discrete();
+                let entry = passed.entry(key).or_default();
+                if entry
+                    .iter()
+                    .any(|&i| succ.zone.is_subset_of(&states[i].zone))
+                {
+                    continue;
+                }
+                entry.retain(|&i| !states[i].zone.is_subset_of(&succ.zone));
+                states.push(succ);
+                let new_idx = states.len() - 1;
+                passed
+                    .get_mut(&states[new_idx].discrete())
+                    .expect("entry exists")
+                    .push(new_idx);
+                waiting.push_back(new_idx);
+            }
+        }
+        stats.stored = passed.values().map(Vec::len).sum();
+        (states, stats)
+    }
+
+    fn build_trace(&self, nodes: &[Node], mut idx: usize) -> Trace {
+        let mut rev = Vec::new();
+        loop {
+            let node = &nodes[idx];
+            match &node.parent {
+                Some((p, action)) => {
+                    rev.push(TraceStep {
+                        action: Some(action.clone()),
+                        state: node.state.clone(),
+                    });
+                    idx = *p;
+                }
+                None => {
+                    rev.push(TraceStep {
+                        action: None,
+                        state: node.state.clone(),
+                    });
+                    break;
+                }
+            }
+        }
+        rev.reverse();
+        Trace { steps: rev }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ClockAtom, NetworkBuilder};
+
+    #[test]
+    fn simple_reachability_with_trace() {
+        let mut b = NetworkBuilder::new();
+        let mut a = b.automaton("A");
+        let l0 = a.location("L0");
+        let l1 = a.location("L1");
+        let l2 = a.location("L2");
+        a.edge(l0, l1).done();
+        a.edge(l1, l2).done();
+        let aid = a.done();
+        let net = b.build();
+        let mut mc = ModelChecker::new(&net);
+        let res = mc.reachable(&StateFormula::at(aid, l2));
+        assert!(res.reachable);
+        let trace = res.trace.unwrap();
+        assert_eq!(trace.len(), 2);
+        assert!(trace.steps[0].action.is_none());
+    }
+
+    #[test]
+    fn timed_reachability_respects_guards() {
+        // L1 requires x >= 5 but the invariant of L0 is x <= 3: unreachable.
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("A");
+        let l0 = a.location_with_invariant("L0", vec![ClockAtom::le(x, 3)]);
+        let l1 = a.location("L1");
+        a.edge(l0, l1).guard_clock(ClockAtom::ge(x, 5)).done();
+        let aid = a.done();
+        let net = b.build();
+        let mut mc = ModelChecker::new(&net);
+        assert!(!mc.reachable(&StateFormula::at(aid, l1)).reachable);
+    }
+
+    #[test]
+    fn safety_with_clock_bound() {
+        // x is reset on the only cycle, so x <= 10 always holds in L1.
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("A");
+        let l0 = a.location_with_invariant("L0", vec![ClockAtom::le(x, 10)]);
+        let l1 = a.location_with_invariant("L1", vec![ClockAtom::le(x, 4)]);
+        a.edge(l0, l1).reset(x, 0).done();
+        a.edge(l1, l0).reset(x, 0).done();
+        let aid = a.done();
+        let net = b.build();
+        let mut mc = ModelChecker::new(&net);
+        let safe = StateFormula::or(vec![
+            StateFormula::not(StateFormula::at(aid, l1)),
+            StateFormula::clock(ClockAtom::le(x, 4)),
+        ]);
+        let (verdict, _) = mc.always(&safe);
+        assert!(verdict.holds());
+        // But x <= 3 in L1 is violated.
+        let tight = StateFormula::or(vec![
+            StateFormula::not(StateFormula::at(aid, l1)),
+            StateFormula::clock(ClockAtom::le(x, 3)),
+        ]);
+        let (verdict, _) = mc.always(&tight);
+        assert!(!verdict.holds());
+    }
+
+    #[test]
+    fn deadlock_detection() {
+        // Sink location with no edges: deadlock.
+        let mut b = NetworkBuilder::new();
+        let mut a = b.automaton("A");
+        let l0 = a.location("L0");
+        let sink = a.location("Sink");
+        a.edge(l0, sink).done();
+        a.done();
+        let net = b.build();
+        let mut mc = ModelChecker::new(&net);
+        let (verdict, _) = mc.deadlock_free();
+        assert!(!verdict.holds());
+        // Self-loop: deadlock-free.
+        let mut b = NetworkBuilder::new();
+        let mut a = b.automaton("A");
+        let l0 = a.location("L0");
+        a.edge(l0, l0).done();
+        a.done();
+        let net = b.build();
+        let mut mc = ModelChecker::new(&net);
+        let (verdict, _) = mc.deadlock_free();
+        assert!(verdict.holds());
+    }
+
+    #[test]
+    fn reachable_states_enumeration() {
+        let mut b = NetworkBuilder::new();
+        let mut a = b.automaton("A");
+        let l0 = a.location("L0");
+        let l1 = a.location("L1");
+        a.edge(l0, l1).done();
+        a.done();
+        let net = b.build();
+        let mut mc = ModelChecker::new(&net);
+        let (states, stats) = mc.reachable_states();
+        assert_eq!(states.len(), 2);
+        assert!(stats.explored >= 2);
+    }
+
+    #[test]
+    fn trace_rendering_uses_location_names() {
+        let mut b = NetworkBuilder::new();
+        let mut a = b.automaton("A");
+        let l0 = a.location("Start");
+        let l1 = a.location("Goal");
+        a.edge(l0, l1).done();
+        let aid = a.done();
+        let net = b.build();
+        let mut mc = ModelChecker::new(&net);
+        let res = mc.reachable(&StateFormula::at(aid, l1));
+        let rendered = res.trace.unwrap().render(&net);
+        assert!(rendered.contains("(Start)"));
+        assert!(rendered.contains("(Goal)"));
+        assert!(rendered.contains("-->"));
+    }
+
+    #[test]
+    fn verdict_accessors() {
+        assert!(Verdict::Satisfied.holds());
+        assert!(!Verdict::Violated(Trace::default()).holds());
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

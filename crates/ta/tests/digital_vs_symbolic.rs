@@ -1,0 +1,228 @@
+//! Cross-semantics oracle: on randomly generated *closed* timed automata,
+//! the symbolic (zone-based) engine and the digital-clocks explorer must
+//! agree on location reachability — the digital semantics is exact for
+//! closed models, so any disagreement is a bug in one of the engines.
+
+use proptest::prelude::*;
+use std::collections::{HashSet, VecDeque};
+use tempo_dbm::Clock;
+use tempo_ta::{
+    ClockAtom, DigitalExplorer, LocationId, ModelChecker, Network, NetworkBuilder, StateFormula,
+};
+
+const LOCS: usize = 4;
+
+/// Specification of one random closed edge.
+#[derive(Debug, Clone)]
+struct EdgeSpec {
+    from: usize,
+    to: usize,
+    lower: Option<i64>,
+    upper: Option<i64>,
+    reset: bool,
+}
+
+fn arb_edges() -> impl Strategy<Value = Vec<EdgeSpec>> {
+    prop::collection::vec(
+        (
+            0..LOCS,
+            0..LOCS,
+            prop::option::of(0..4_i64),
+            prop::option::of(0..6_i64),
+            prop::bool::ANY,
+        )
+            .prop_map(|(from, to, lower, upper, reset)| EdgeSpec {
+                from,
+                to,
+                lower,
+                upper,
+                reset,
+            }),
+        1..8,
+    )
+}
+
+fn arb_invariants() -> impl Strategy<Value = Vec<Option<i64>>> {
+    prop::collection::vec(prop::option::of(1..8_i64), LOCS)
+}
+
+fn build(edges: &[EdgeSpec], invariants: &[Option<i64>]) -> Network {
+    let mut b = NetworkBuilder::new();
+    let x = b.clock("x");
+    let mut a = b.automaton("A");
+    let locs: Vec<LocationId> = (0..LOCS)
+        .map(|i| match invariants[i] {
+            Some(c) => a.location_with_invariant(&format!("L{i}"), vec![ClockAtom::le(x, c)]),
+            None => a.location(&format!("L{i}")),
+        })
+        .collect();
+    for e in edges {
+        let mut eb = a.edge(locs[e.from], locs[e.to]);
+        if let Some(lo) = e.lower {
+            eb = eb.guard_clock(ClockAtom::ge(x, lo));
+        }
+        if let Some(hi) = e.upper {
+            eb = eb.guard_clock(ClockAtom::le(x, hi));
+        }
+        if e.reset {
+            eb = eb.reset(x, 0);
+        }
+        eb.done();
+    }
+    a.done();
+    b.build()
+}
+
+/// Digital-clocks reachability of each location, by explicit BFS.
+fn digital_reachable(net: &Network) -> Vec<bool> {
+    let exp = DigitalExplorer::new(net);
+    let mut reachable = vec![false; LOCS];
+    let mut seen = HashSet::new();
+    let mut queue = VecDeque::new();
+    let init = exp.initial_state();
+    seen.insert(init.clone());
+    queue.push_back(init);
+    while let Some(s) = queue.pop_front() {
+        reachable[s.locs[0].index()] = true;
+        if let Some(next) = exp.tick(&s) {
+            if seen.insert(next.clone()) {
+                queue.push_back(next);
+            }
+        }
+        for (_, next) in exp.moves(&s) {
+            if seen.insert(next.clone()) {
+                queue.push_back(next);
+            }
+        }
+    }
+    reachable
+}
+
+fn clock_is_x(net: &Network) -> Clock {
+    assert_eq!(net.dim(), 2);
+    Clock(1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn symbolic_and_digital_location_reachability_agree(
+        edges in arb_edges(),
+        invariants in arb_invariants(),
+    ) {
+        let net = build(&edges, &invariants);
+        let digital = digital_reachable(&net);
+        let mut mc = ModelChecker::new(&net);
+        for loc in 0..LOCS {
+            let goal = StateFormula::at(tempo_ta::AutomatonId(0), LocationId(loc));
+            let symbolic = mc.reachable(&goal).reachable;
+            prop_assert_eq!(
+                symbolic,
+                digital[loc],
+                "location L{} disagreement (symbolic {}, digital {})",
+                loc,
+                symbolic,
+                digital[loc]
+            );
+        }
+    }
+
+    #[test]
+    fn symbolic_clock_bounds_agree_with_digital(
+        edges in arb_edges(),
+        invariants in arb_invariants(),
+        bound in 0..6_i64,
+    ) {
+        // E<> (L_to ∧ x <= bound) must agree between engines.
+        let net = build(&edges, &invariants);
+        let x = clock_is_x(&net);
+        let exp = DigitalExplorer::new(&net);
+        let mut digital = vec![false; LOCS];
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        let init = exp.initial_state();
+        seen.insert(init.clone());
+        queue.push_back(init);
+        while let Some(s) = queue.pop_front() {
+            if s.clocks[1] <= bound {
+                digital[s.locs[0].index()] = true;
+            }
+            if let Some(next) = exp.tick(&s) {
+                if seen.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+            for (_, next) in exp.moves(&s) {
+                if seen.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        let mut mc = ModelChecker::new(&net);
+        for loc in 0..LOCS {
+            let goal = StateFormula::and(vec![
+                StateFormula::at(tempo_ta::AutomatonId(0), LocationId(loc)),
+                StateFormula::clock(ClockAtom::le(x, bound)),
+            ]);
+            let symbolic = mc.reachable(&goal).reachable;
+            prop_assert_eq!(symbolic, digital[loc], "L{} with x <= {}", loc, bound);
+        }
+    }
+
+    #[test]
+    fn deadlock_freedom_matches_digital_exploration(
+        edges in arb_edges(),
+        invariants in arb_invariants(),
+    ) {
+        // UPPAAL's deadlock: a valuation from which no action transition
+        // is possible now or after any delay. Digitally: a state from
+        // which the tick-chain (clocks clamp, so it is finite) never
+        // reaches an enabled move.
+        let net = build(&edges, &invariants);
+        let exp = DigitalExplorer::new(&net);
+        let is_dead = |start: &tempo_ta::DigitalState| -> bool {
+            let mut cur = start.clone();
+            loop {
+                if !exp.moves(&cur).is_empty() {
+                    return false;
+                }
+                match exp.tick(&cur) {
+                    Some(next) if next != cur => cur = next,
+                    _ => return true, // time blocked or clamped fixpoint
+                }
+            }
+        };
+        let mut digital_deadlock = false;
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        let init = exp.initial_state();
+        seen.insert(init.clone());
+        queue.push_back(init);
+        while let Some(s) = queue.pop_front() {
+            if is_dead(&s) {
+                digital_deadlock = true;
+                break;
+            }
+            if let Some(next) = exp.tick(&s) {
+                if seen.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+            for (_, next) in exp.moves(&s) {
+                if seen.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        let mut mc = ModelChecker::new(&net);
+        let (verdict, _) = mc.deadlock_free();
+        prop_assert_eq!(
+            !verdict.holds(),
+            digital_deadlock,
+            "symbolic deadlock {} vs digital {}",
+            !verdict.holds(),
+            digital_deadlock
+        );
+    }
+}

@@ -1,0 +1,432 @@
+//! # tempo-tiga — timed-game strategy synthesis
+//!
+//! The UPPAAL-TIGA analogue of the workspace (Bozga et al., DATE 2012,
+//! §II): timed *game* automata partition edges between a controller
+//! (solid, [`controllable`]) and the environment (dashed,
+//! [`EdgeBuilder::uncontrollable`]); the tool synthesizes winning control
+//! strategies for reachability and safety objectives — e.g. deciding when
+//! to stop and restart the paper's trains instead of hand-writing the
+//! controller (Fig. 2/3).
+//!
+//! The paper's tool works on-the-fly over zones; this reproduction solves
+//! the equivalent discrete game over the digital-clocks graph
+//! ([`tempo_ta::DigitalExplorer`]), exact for closed models, using the
+//! classic controllable-predecessor fixpoints:
+//!
+//! * **Reachability**: `W` grows from the goal; a state is winning if all
+//!   uncontrollable moves stay in `W` *and* the controller can either fire
+//!   a controllable move into `W` or let time pass into `W`.
+//! * **Safety**: `W` shrinks from the non-bad states; a state stays
+//!   winning if all uncontrollable moves remain in `W` and the controller
+//!   can keep the game in `W` (delay or a controllable move).
+//!
+//! [`controllable`]: tempo_ta::Edge#structfield.controllable
+//! [`EdgeBuilder::uncontrollable`]: tempo_ta::EdgeBuilder::uncontrollable
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use tempo_ta::{DigitalExplorer, DigitalMove, DigitalState, Network, StateFormula};
+
+/// What the synthesized controller prescribes in a state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrategyMove {
+    /// Let time elapse (take no controllable action yet).
+    Wait,
+    /// Fire the given controllable move.
+    Act(DigitalMove),
+}
+
+/// A memoryless winning strategy over digital states.
+#[derive(Debug, Clone, Default)]
+pub struct Strategy {
+    moves: HashMap<DigitalState, StrategyMove>,
+}
+
+impl Strategy {
+    /// The prescription for a state, if the state is winning.
+    #[must_use]
+    pub fn decide(&self, state: &DigitalState) -> Option<&StrategyMove> {
+        self.moves.get(state)
+    }
+
+    /// Number of states with a prescription.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Whether the state is in the winning region.
+    #[must_use]
+    pub fn is_winning(&self, state: &DigitalState) -> bool {
+        self.moves.contains_key(state)
+    }
+}
+
+/// Result of a game solution.
+#[derive(Debug, Clone)]
+pub struct GameResult {
+    /// Whether the initial state is winning for the controller.
+    pub winning: bool,
+    /// The synthesized strategy on the winning region.
+    pub strategy: Strategy,
+    /// Number of states in the explored game graph.
+    pub states: usize,
+}
+
+/// The timed-game solver.
+#[derive(Debug)]
+pub struct GameSolver<'n> {
+    exp: DigitalExplorer<'n>,
+}
+
+/// Internal: the explored game graph.
+struct Graph {
+    states: Vec<DigitalState>,
+    index: HashMap<DigitalState, usize>,
+    /// Per state: (move, successor index, controllable).
+    moves: Vec<Vec<(DigitalMove, usize)>>,
+    /// Per state: tick successor index.
+    tick: Vec<Option<usize>>,
+}
+
+impl<'n> GameSolver<'n> {
+    /// Creates a solver for the network (validating closedness).
+    #[must_use]
+    pub fn new(net: &'n Network) -> Self {
+        GameSolver {
+            exp: DigitalExplorer::new(net),
+        }
+    }
+
+    fn build_graph(&self) -> Graph {
+        let mut graph = Graph {
+            states: Vec::new(),
+            index: HashMap::new(),
+            moves: Vec::new(),
+            tick: Vec::new(),
+        };
+        let init = self.exp.initial_state();
+        graph.index.insert(init.clone(), 0);
+        graph.states.push(init);
+        graph.moves.push(Vec::new());
+        graph.tick.push(None);
+        let mut frontier = vec![0_usize];
+        while let Some(i) = frontier.pop() {
+            let state = graph.states[i].clone();
+            if let Some(next) = self.exp.tick(&state) {
+                let j = intern(&mut graph, next, &mut frontier);
+                graph.tick[i] = Some(j);
+            }
+            for (mv, next) in self.exp.moves(&state) {
+                let j = intern(&mut graph, next, &mut frontier);
+                graph.moves[i].push((mv, j));
+            }
+        }
+        graph
+    }
+
+    /// Solves the reachability game: the controller wins by eventually
+    /// reaching a state satisfying `goal`, whatever the environment does.
+    #[must_use]
+    pub fn solve_reachability(&self, goal: &StateFormula) -> GameResult {
+        let graph = self.build_graph();
+        let n = graph.states.len();
+        let is_goal: Vec<bool> = graph
+            .states
+            .iter()
+            .map(|s| self.exp.satisfies(s, goal))
+            .collect();
+        // Least fixpoint of the controllable predecessor, tracking the
+        // round in which each state became winning (its *rank*); the
+        // strategy moves to strictly smaller ranks, guaranteeing progress
+        // toward the goal.
+        let mut rank: Vec<Option<usize>> = is_goal
+            .iter()
+            .map(|&g| if g { Some(0) } else { None })
+            .collect();
+        let mut round = 0_usize;
+        loop {
+            round += 1;
+            let mut added = Vec::new();
+            for i in 0..n {
+                if rank[i].is_some() {
+                    continue;
+                }
+                // All uncontrollable moves must stay in W.
+                let safe_u = graph.moves[i]
+                    .iter()
+                    .filter(|(m, _)| !m.controllable)
+                    .all(|&(_, j)| rank[j].is_some());
+                if !safe_u {
+                    continue;
+                }
+                let can_act = graph.moves[i]
+                    .iter()
+                    .any(|(m, j)| m.controllable && rank[*j].is_some());
+                let can_wait = graph.tick[i].is_some_and(|j| rank[j].is_some());
+                // If time is blocked and only uncontrollable moves exist,
+                // the environment is forced to move (into W, by safe_u).
+                let forced = graph.tick[i].is_none()
+                    && graph.moves[i].iter().any(|(m, _)| !m.controllable);
+                if can_act || can_wait || forced {
+                    added.push(i);
+                }
+            }
+            if added.is_empty() {
+                break;
+            }
+            for i in added {
+                rank[i] = Some(round);
+            }
+        }
+        let mut strategy = Strategy::default();
+        for i in 0..n {
+            let Some(r) = rank[i] else { continue };
+            if is_goal[i] {
+                strategy
+                    .moves
+                    .insert(graph.states[i].clone(), StrategyMove::Wait);
+                continue;
+            }
+            // Progress: move to a strictly smaller rank if a controllable
+            // move offers one; otherwise wait (tick or forced environment
+            // moves decrease the rank by construction).
+            let act = graph.moves[i]
+                .iter()
+                .find(|(m, j)| m.controllable && rank[*j].is_some_and(|rj| rj < r));
+            let mv = match act {
+                Some((m, _)) => StrategyMove::Act(m.clone()),
+                None => StrategyMove::Wait,
+            };
+            strategy.moves.insert(graph.states[i].clone(), mv);
+        }
+        GameResult {
+            winning: rank[0].is_some(),
+            strategy,
+            states: n,
+        }
+    }
+
+    /// Solves the safety game: the controller wins by forever avoiding
+    /// states satisfying `bad`.
+    #[must_use]
+    pub fn solve_safety(&self, bad: &StateFormula) -> GameResult {
+        let graph = self.build_graph();
+        let n = graph.states.len();
+        let mut winning: Vec<bool> = graph
+            .states
+            .iter()
+            .map(|s| !self.exp.satisfies(s, bad))
+            .collect();
+        // Greatest fixpoint: remove states the environment can force out
+        // of W or where the controller cannot stay in W.
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                if !winning[i] {
+                    continue;
+                }
+                let safe_u = graph.moves[i]
+                    .iter()
+                    .filter(|(m, _)| !m.controllable)
+                    .all(|&(_, j)| winning[j]);
+                // The controller must be able to stay in W when it has to
+                // move: delay into W, fire a controllable move into W, or
+                // rest in a state where neither time nor actions force an
+                // exit (no tick and no moves: a quiescent state).
+                let can_wait = graph.tick[i].is_some_and(|j| winning[j]);
+                let can_act = graph.moves[i]
+                    .iter()
+                    .any(|(m, j)| m.controllable && winning[*j]);
+                let quiescent = graph.tick[i].is_none() && graph.moves[i].is_empty();
+                // Environment forced to move into W when time is blocked.
+                let forced = graph.tick[i].is_none()
+                    && graph.moves[i].iter().any(|(m, _)| !m.controllable);
+                if !(safe_u && (can_wait || can_act || quiescent || forced)) {
+                    winning[i] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut strategy = Strategy::default();
+        for i in 0..n {
+            if !winning[i] {
+                continue;
+            }
+            let mv = if graph.tick[i].is_some_and(|j| winning[j]) {
+                StrategyMove::Wait
+            } else if let Some((m, _)) = graph.moves[i]
+                .iter()
+                .find(|(m, j)| m.controllable && winning[*j])
+            {
+                StrategyMove::Act(m.clone())
+            } else {
+                StrategyMove::Wait
+            };
+            strategy.moves.insert(graph.states[i].clone(), mv);
+        }
+        GameResult {
+            winning: winning[0],
+            strategy,
+            states: n,
+        }
+    }
+
+    /// Simulates the closed loop "strategy controller against a
+    /// worst-case-free environment" from the initial state for up to
+    /// `max_steps` discrete steps, returning the visited states. The
+    /// environment plays its uncontrollable moves eagerly (first enabled);
+    /// used in tests and examples to exercise synthesized strategies.
+    #[must_use]
+    pub fn closed_loop(&self, strategy: &Strategy, max_steps: usize) -> Vec<DigitalState> {
+        let mut state = self.exp.initial_state();
+        let mut visited = vec![state.clone()];
+        for _ in 0..max_steps {
+            let Some(mv) = strategy.decide(&state) else { break };
+            let next = match mv {
+                StrategyMove::Act(m) => self
+                    .exp
+                    .moves(&state)
+                    .into_iter()
+                    .find(|(cand, _)| cand == m)
+                    .map(|(_, s)| s),
+                StrategyMove::Wait => {
+                    // Environment may act before the tick; play the first
+                    // uncontrollable move if any, else tick.
+                    let umove = self
+                        .exp
+                        .moves(&state)
+                        .into_iter()
+                        .find(|(m, _)| !m.controllable);
+                    match umove {
+                        Some((_, s)) => Some(s),
+                        None => self.exp.tick(&state),
+                    }
+                }
+            };
+            match next {
+                Some(s) => {
+                    state = s;
+                    visited.push(state.clone());
+                }
+                None => break,
+            }
+        }
+        visited
+    }
+}
+
+fn intern(graph: &mut Graph, state: DigitalState, frontier: &mut Vec<usize>) -> usize {
+    if let Some(&i) = graph.index.get(&state) {
+        return i;
+    }
+    let i = graph.states.len();
+    graph.index.insert(state.clone(), i);
+    graph.states.push(state);
+    graph.moves.push(Vec::new());
+    graph.tick.push(None);
+    frontier.push(i);
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_ta::{ClockAtom, NetworkBuilder};
+
+    /// A game: the controller must catch a window the environment opens.
+    /// Env opens the door (uncontrollable) within 0..=2; controller may
+    /// enter (controllable) only while the door is open (<= 1 time unit
+    /// after opening, enforced with a clock).
+    fn door_game() -> (Network, tempo_ta::AutomatonId, tempo_ta::LocationId) {
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("Door");
+        let closed = a.location_with_invariant("Closed", vec![ClockAtom::le(x, 2)]);
+        let open = a.location_with_invariant("Open", vec![ClockAtom::le(x, 1)]);
+        let inside = a.location("Inside");
+        let missed = a.location("Missed");
+        a.edge(closed, open).reset(x, 0).uncontrollable().done();
+        a.edge(open, inside).guard_clock(ClockAtom::le(x, 1)).done();
+        a.edge(open, missed).guard_clock(ClockAtom::ge(x, 1)).uncontrollable().done();
+        let aid = a.done();
+        (b.build(), aid, inside)
+    }
+
+    #[test]
+    fn reachability_game_winning() {
+        let (net, aid, inside) = door_game();
+        let solver = GameSolver::new(&net);
+        let res = solver.solve_reachability(&StateFormula::at(aid, inside));
+        assert!(res.winning, "controller can enter as soon as the door opens");
+        assert!(res.strategy.size() > 0);
+    }
+
+    #[test]
+    fn reachability_game_losing() {
+        // The environment can keep the controller out: entering requires
+        // x >= 3 but the door closes (invariant) at 1.
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("Door");
+        let open = a.location_with_invariant("Open", vec![ClockAtom::le(x, 1)]);
+        let inside = a.location("Inside");
+        let shut = a.location("Shut");
+        a.edge(open, inside).guard_clock(ClockAtom::ge(x, 3)).done();
+        a.edge(open, shut).uncontrollable().done();
+        let aid = a.done();
+        let net = b.build();
+        let solver = GameSolver::new(&net);
+        let res = solver.solve_reachability(&StateFormula::at(aid, inside));
+        assert!(!res.winning);
+    }
+
+    #[test]
+    fn safety_game() {
+        // Controller must avoid Bad; the uncontrollable edge to Bad is
+        // guarded by x >= 2, and the controller can reset x (self-loop)
+        // whenever x >= 1.
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("A");
+        let ok = a.location("Ok");
+        let bad = a.location("Bad");
+        a.edge(ok, bad).guard_clock(ClockAtom::ge(x, 2)).uncontrollable().done();
+        a.edge(ok, ok).guard_clock(ClockAtom::ge(x, 1)).reset(x, 0).done();
+        let aid = a.done();
+        let net = b.build();
+        let solver = GameSolver::new(&net);
+        let res = solver.solve_safety(&StateFormula::at(aid, bad));
+        assert!(res.winning, "reset x before it reaches 2");
+        // Without the reset edge the controller loses.
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("A");
+        let ok = a.location("Ok");
+        let bad = a.location("Bad");
+        a.edge(ok, bad).guard_clock(ClockAtom::ge(x, 2)).uncontrollable().done();
+        let aid = a.done();
+        let net = b.build();
+        let solver = GameSolver::new(&net);
+        let res = solver.solve_safety(&StateFormula::at(aid, bad));
+        assert!(!res.winning);
+        let _ = x;
+    }
+
+    #[test]
+    fn closed_loop_reaches_goal() {
+        let (net, aid, inside) = door_game();
+        let solver = GameSolver::new(&net);
+        let res = solver.solve_reachability(&StateFormula::at(aid, inside));
+        let visited = solver.closed_loop(&res.strategy, 100);
+        assert!(
+            visited.iter().any(|s| s.locs[aid.index()] == inside),
+            "closed loop must reach Inside"
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! The DALA rover experiment of §IV of the paper: component-based design
+//! of autonomous systems with BIP.
+//!
+//! The BIP model of the rover's functional level (Fig. 6, simplified) is
+//!
+//! 1. verified deadlock-free, both by explicit exploration and
+//!    compositionally in the D-Finder style (component invariants +
+//!    trap-based interaction invariants);
+//! 2. used to synthesize an execution controller that "encodes and
+//!    enforces safety properties by construction";
+//! 3. validated by fault injection: with the controller installed, the
+//!    injected faults (laser expiry, spontaneous communication requests)
+//!    can no longer drive the rover into an unsafe state.
+//!
+//! Run with: `cargo run --release --example dala_robot`
+
+use tempo_core::bip::{
+    check_deadlock_freedom, fault_injection_campaign, synthesize_safety_controller,
+    DfinderVerdict,
+};
+use tempo_models::dala::dala;
+
+fn main() {
+    println!("== E5: the DALA rover functional level in BIP (Fig. 6) ==\n");
+    let d = dala();
+    println!(
+        "components: {}",
+        d.sys
+            .components()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "interactions: {}",
+        d.sys
+            .interactions()
+            .iter()
+            .map(|i| {
+                if i.controllable {
+                    i.name.clone()
+                } else {
+                    format!("{}(fault)", i.name)
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("priorities: {} rule(s)\n", d.sys.priorities().len());
+
+    // ---------------- deadlock analysis ----------------
+    let t0 = std::time::Instant::now();
+    let reachable = d.sys.reachable_states(1_000_000);
+    let explicit_dead = d.sys.find_deadlock(1_000_000);
+    println!(
+        "explicit exploration: {} reachable states, deadlock: {} ({:.2?})",
+        reachable.len(),
+        explicit_dead.is_none().then_some("none").unwrap_or("FOUND"),
+        t0.elapsed()
+    );
+    let t0 = std::time::Instant::now();
+    match check_deadlock_freedom(&d.sys, 1_000_000) {
+        DfinderVerdict::DeadlockFree { candidates, eliminated_by_traps } => println!(
+            "D-Finder (compositional): DEADLOCK-FREE — {candidates} candidate \
+             configuration(s), {eliminated_by_traps} refuted by trap invariants ({:.2?})",
+            t0.elapsed()
+        ),
+        DfinderVerdict::Unknown { suspects } => println!(
+            "D-Finder (compositional): inconclusive, {} suspect(s) passed to the \
+             explicit engine ({:.2?})",
+            suspects.len(),
+            t0.elapsed()
+        ),
+    }
+
+    // ---------------- controller synthesis ----------------
+    let t0 = std::time::Instant::now();
+    let synthesis = synthesize_safety_controller(&d.sys, d.bad(), 1_000_000);
+    println!(
+        "\ncontroller synthesis: initial state controllable = {}, \
+         winning region = {} states ({:.2?})",
+        synthesis.initial_safe,
+        synthesis.controller.size(),
+        t0.elapsed()
+    );
+
+    // ---------------- fault injection ----------------
+    let runs = 100;
+    let steps = 500;
+    println!("\nfault-injection campaign: {runs} random executions × {steps} interactions");
+    let without = fault_injection_campaign(&d.sys, None, d.bad(), runs, steps, 7);
+    println!(
+        "  without controller: {:>3}/{} runs reached an unsafe state",
+        without.unsafe_runs, without.runs
+    );
+    let with = fault_injection_campaign(&d.sys, Some(&synthesis.controller), d.bad(), runs, steps, 7);
+    println!(
+        "  with controller   : {:>3}/{} runs reached an unsafe state \
+         ({} interactions still executed)",
+        with.unsafe_runs, with.runs, with.total_steps
+    );
+    println!(
+        "\npaper's claim reproduced: the controller successfully stops the robot \
+         from reaching undesired/unsafe states — {}",
+        if with.unsafe_runs == 0 && without.unsafe_runs > 0 {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
+    );
+}

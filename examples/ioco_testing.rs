@@ -1,0 +1,94 @@
+//! The model-based-testing experiment of §V of the paper: the ioco
+//! testing theory and its timed variant rtioco.
+//!
+//! * the drinks-dispenser specification is checked against a conforming
+//!   implementation and three mutants, first analytically (the ioco
+//!   relation decided exactly) and then by TorX-style randomized test
+//!   campaigns ("millions of test events can be automatically generated,
+//!   and 'on-the-fly' executed and analysed");
+//! * a timed controller specification is tested online in the
+//!   UPPAAL-TRON style (rtioco): implementations that miss the response
+//!   deadline are caught.
+//!
+//! Run with: `cargo run --release --example ioco_testing`
+
+use tempo_core::ioco::{check_ioco, LtsIut, TestGenerator, TimedTester};
+use tempo_models::vending::{
+    controller_spec, dispenser_good, dispenser_mutant_output, dispenser_mutant_refund,
+    dispenser_mutant_silent, dispenser_spec, FixedDelayController,
+};
+
+fn main() {
+    println!("== E6: model-based testing (ioco / rtioco) ==\n");
+    let spec = dispenser_spec();
+    let implementations: Vec<(&str, tempo_core::ioco::Lts)> = vec![
+        ("good", dispenser_good()),
+        ("mutant-output (tea after one coin)", dispenser_mutant_output()),
+        ("mutant-silent (may swallow the coin)", dispenser_mutant_silent()),
+        ("mutant-refund (undeclared output)", dispenser_mutant_refund()),
+    ];
+
+    // ---------------- the ioco relation, decided exactly ----------------
+    println!("ioco relation (exact decision):");
+    for (name, imp) in &implementations {
+        match check_ioco(imp, &spec) {
+            Ok(()) => println!("  {name:<40} conforms"),
+            Err(v) => println!("  {name:<40} VIOLATES ioco: {v}"),
+        }
+    }
+
+    // ---------------- randomized test campaigns ----------------
+    let tests = 500;
+    let depth = 25;
+    println!("\nTorX-style online campaigns ({tests} tests × ≤{depth} events):");
+    let mut total_events = 0_usize;
+    for (name, imp) in &implementations {
+        let mut gen = TestGenerator::new(&spec, 11);
+        let mut iut = LtsIut::new(imp.clone(), 29);
+        let (failures, first) = gen.campaign(&mut iut, tests, depth);
+        total_events += tests * depth;
+        match first {
+            Some(v) => println!(
+                "  {name:<40} {failures:>3}/{tests} tests failed (first: {})",
+                verdict_summary(&v)
+            ),
+            None => println!("  {name:<40} {failures:>3}/{tests} tests failed"),
+        }
+    }
+    println!("  (~{total_events} test events generated and checked on the fly)");
+
+    // ---------------- offline test-case generation ----------------
+    println!("\noffline test-case generation (sound by construction):");
+    let mut gen = TestGenerator::new(&spec, 99);
+    let sizes: Vec<usize> = (0..50).map(|_| gen.generate(8).size()).collect();
+    println!(
+        "  50 generated test trees of depth ≤ 8: {} .. {} nodes (mean {:.1})",
+        sizes.iter().min().unwrap(),
+        sizes.iter().max().unwrap(),
+        sizes.iter().sum::<usize>() as f64 / sizes.len() as f64
+    );
+
+    // ---------------- rtioco (UPPAAL-TRON analogue) ----------------
+    println!("\nrtioco online testing (req -> resp within 3 time units):");
+    let timed_spec = controller_spec(3);
+    for (name, delay) in [("responds after 1", 1), ("responds after 3", 3), ("responds after 5", 5)] {
+        let mut tester = TimedTester::new(&timed_spec, &["req"], &["resp"], 7);
+        let mut iut = FixedDelayController::new(delay);
+        let (failures, _) = tester.campaign(&mut iut, 50, 60);
+        let expected = delay <= 3;
+        println!(
+            "  IUT {name:<18}: {failures:>2}/50 sessions failed — {}",
+            if (failures == 0) == expected { "as expected" } else { "MISMATCH" }
+        );
+    }
+}
+
+fn verdict_summary(v: &tempo_core::ioco::TestVerdict) -> String {
+    match v {
+        tempo_core::ioco::TestVerdict::Fail(trace, obs) => {
+            let t: Vec<String> = trace.iter().map(ToString::to_string).collect();
+            format!("after ⟨{}⟩ observed {obs}", t.join(" "))
+        }
+        other => format!("{other:?}"),
+    }
+}

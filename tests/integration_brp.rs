@@ -1,0 +1,204 @@
+//! Integration test: the §III.A BRP experiment (Table I) run through all
+//! three MODEST backends on a small instance, checking the cross-backend
+//! consistency the paper demonstrates.
+
+use tempo_core::modest::{Mctau, Modes, Scheduler};
+use tempo_models::brp::brp;
+
+#[test]
+fn table1_shape_on_small_instance() {
+    let model = brp(4, 2, 1);
+    // mctau: exact invariants, exact zeros for unreachable goals,
+    // trivial bounds otherwise.
+    let mctau = Mctau::new(&model.pta);
+    assert!(mctau.check_invariant(&model.ta1()));
+    assert!(mctau.check_invariant(&model.ta2()));
+    assert_eq!(mctau.probability_bounds(&model.pa_goal()).upper, 0.0);
+    assert_eq!(mctau.probability_bounds(&model.pb_goal()).upper, 0.0);
+    assert_eq!(mctau.probability_bounds(&model.p1_goal()).upper, 1.0);
+
+    // mcpta: exact probabilities.
+    let mc = model.mcpta(0, 5_000_000);
+    assert!(mc.check_invariant(&model.ta1()));
+    assert!(mc.check_invariant(&model.ta2()));
+    assert_eq!(mc.pmax(&model.pa_goal()), 0.0);
+    assert_eq!(mc.pmax(&model.pb_goal()), 0.0);
+    let p1 = mc.pmax(&model.p1_goal());
+    let p2 = mc.pmax(&model.p2_goal());
+    assert!(p1 > 0.0 && p1 < 0.01, "P1 = {p1}");
+    assert!(p2 > 0.0 && p2 < p1, "P2 = {p2}");
+    let emax = mc.emax_time(&model.done());
+    assert!(emax.is_finite() && emax > 0.0);
+
+    // Consistency across backends: anything mctau reports unreachable
+    // must have probability 0 in mcpta.
+    for goal in [model.pa_goal(), model.pb_goal()] {
+        if mctau.probability_bounds(&goal).upper == 0.0 {
+            assert_eq!(mc.pmax(&goal), 0.0);
+        }
+    }
+}
+
+#[test]
+fn modes_rare_events_and_expectation() {
+    let model = brp(4, 2, 1);
+    let mc = model.mcpta(0, 5_000_000);
+    let emax = mc.emax_time(&model.done());
+
+    let mut modes = Modes::new(&model.pta, &[], Scheduler::Alap, 2024);
+    let runs = 1000;
+    let horizon = (emax.ceil() as i64) * 10 + 50;
+
+    // Rare events go unobserved with realistic sample sizes (the paper's
+    // point about simulation vs rare events).
+    let pa = model.pa_goal();
+    let obs = modes.observe(runs, horizon, 100_000, |exp, run| {
+        run.first_hit(exp, &pa).is_some()
+    });
+    assert_eq!(obs.observations, 0);
+
+    // The ALAP scheduler's mean completion time approximates Emax.
+    let done = model.done();
+    let est = modes.expected(runs, horizon, 100_000, |exp, run| {
+        run.first_hit(exp, &done).unwrap_or(horizon) as f64
+    });
+    assert!(
+        (est.mean - emax).abs() < emax * 0.25,
+        "modes µ = {} vs mcpta Emax = {emax}",
+        est.mean
+    );
+
+    // All simulated runs satisfy TA1 and TA2 (Table I's "all 10k runs").
+    let ta1 = model.ta1();
+    let safe = modes.observe(200, horizon, 100_000, |exp, run| run.globally(exp, &ta1));
+    assert_eq!(safe.observations, 200);
+}
+
+#[test]
+fn dmax_converges_to_total_success_probability() {
+    let model = brp(2, 1, 1);
+    let mc_plain = model.mcpta(0, 2_000_000);
+    let p_success = mc_plain.pmax(&model.success());
+    let mc_timed = model.mcpta(60, 5_000_000);
+    let d_60 = mc_timed.pmax(&model.dmax_goal(60));
+    // By t=60 a (2,1,1) transfer has certainly resolved, so Dmax(60)
+    // equals the total success probability.
+    assert!(
+        (d_60 - p_success).abs() < 1e-9,
+        "Dmax(60) = {d_60} vs P(success) = {p_success}"
+    );
+}
+
+#[test]
+fn larger_files_fail_more_often() {
+    // Monotonicity in N: more chunks, more opportunities to abort.
+    let p1_small = {
+        let m = brp(2, 1, 1);
+        m.mcpta(0, 2_000_000).pmax(&m.p1_goal())
+    };
+    let p1_large = {
+        let m = brp(6, 1, 1);
+        m.mcpta(0, 5_000_000).pmax(&m.p1_goal())
+    };
+    assert!(p1_large > p1_small, "{p1_large} > {p1_small}");
+}
+
+#[test]
+fn more_retries_help() {
+    let p1_few = {
+        let m = brp(3, 1, 1);
+        m.mcpta(0, 2_000_000).pmax(&m.p1_goal())
+    };
+    let p1_many = {
+        let m = brp(3, 3, 1);
+        m.mcpta(0, 5_000_000).pmax(&m.p1_goal())
+    };
+    assert!(p1_many < p1_few, "{p1_many} < {p1_few}");
+}
+
+/// The BRP rewritten in MODEST *concrete syntax* and parsed with the
+/// `tempo-modest` parser must agree with the programmatically built
+/// model on every probabilistic quantity — a strong end-to-end check of
+/// lexer, parser, compiler and analysis for the paper's §III.
+#[test]
+fn textual_brp_agrees_with_ast_brp() {
+    use tempo_core::expr::Expr;
+    use tempo_core::modest::{compile, parse_modest, Mcpta};
+    use tempo_core::ta::StateFormula;
+
+    let source = r"
+        const N = 2;
+        const MAX = 1;
+        const TD = 1;
+        const TO = 4; // 2*TD + 2
+        clock sc, kc, lc, rv;
+        action put, get, putack, getack;
+        action report_ok, timeout, retry, report_nok, report_dk;
+        int [0, N] i;
+        int [0, MAX] rc;
+        int [0, 3] srep;
+        int [0, 1] kfull;
+        int [0, 1] lfull;
+        int [0, 1] premature;
+
+        process Sender() {
+          invariant(sc <= 0) alt {
+            :: when(i < N) put {= sc = 0 =}; Wait()
+            :: when(i >= N) report_ok {= srep = 1 =}; stop
+          }
+        }
+        process Wait() {
+          invariant(sc <= TO) alt {
+            :: getack {= i = i + 1, rc = 0, sc = 0 =}; Sender()
+            :: when(sc >= TO)
+               timeout {= premature = premature || kfull || lfull =};
+               invariant(sc <= TO) alt {
+                 :: when(rc < MAX) retry {= rc = rc + 1, sc = 0 =}; Sender()
+                 :: when(rc >= MAX && i < N - 1) report_nok {= srep = 2 =}; stop
+                 :: when(rc >= MAX && i >= N - 1) report_dk {= srep = 3 =}; stop
+               }
+          }
+        }
+        process Receiver() {
+          get {= rv = 0 =}; invariant(rv <= 1) putack; Receiver()
+        }
+        process ChannelK() {
+          put palt {
+            :98: {= kc = 0, kfull = 1 =}; invariant(kc <= TD) get {= kfull = 0 =}
+            : 2: {==}
+          }; ChannelK()
+        }
+        process ChannelL() {
+          putack palt {
+            :98: {= lc = 0, lfull = 1 =}; invariant(lc <= TD) getack {= lfull = 0 =}
+            : 2: {==}
+          }; ChannelL()
+        }
+        system Sender() || Receiver() || ChannelK() || ChannelL();
+    ";
+    let textual = parse_modest(source).expect("the textual BRP parses");
+    let pta = compile(&textual);
+    let mc = Mcpta::build(&pta, &[], 5_000_000);
+    let srep = textual.decls().lookup("srep").unwrap();
+    let premature = textual.decls().lookup("premature").unwrap();
+    let p1_text = mc.pmax(&StateFormula::data(
+        Expr::var(srep).eq(Expr::konst(2)) | Expr::var(srep).eq(Expr::konst(3)),
+    ));
+    let p2_text = mc.pmax(&StateFormula::data(Expr::var(srep).eq(Expr::konst(3))));
+    let emax_text = mc.emax_time(&StateFormula::data(Expr::var(srep).ne(Expr::konst(0))));
+    assert!(mc.check_invariant(&StateFormula::data(
+        Expr::var(premature).eq(Expr::konst(0))
+    )));
+
+    let ast = brp(2, 1, 1);
+    let mc_ast = ast.mcpta(0, 5_000_000);
+    let p1_ast = mc_ast.pmax(&ast.p1_goal());
+    let p2_ast = mc_ast.pmax(&ast.p2_goal());
+    let emax_ast = mc_ast.emax_time(&ast.done());
+    assert!((p1_text - p1_ast).abs() < 1e-9, "P1 text {p1_text} vs ast {p1_ast}");
+    assert!((p2_text - p2_ast).abs() < 1e-9, "P2 text {p2_text} vs ast {p2_ast}");
+    assert!(
+        (emax_text - emax_ast).abs() < 1e-6,
+        "Emax text {emax_text} vs ast {emax_ast}"
+    );
+}

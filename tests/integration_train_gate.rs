@@ -1,0 +1,95 @@
+//! Integration test: the full §II.A train-gate experiment chain —
+//! verification (E1), game synthesis (E2) and statistical analysis (E3)
+//! — run end-to-end across `tempo-models`, `tempo-ta`, `tempo-tiga` and
+//! `tempo-smc`.
+
+use tempo_core::smc::StatisticalChecker;
+use tempo_core::ta::{leads_to, DigitalExplorer, ModelChecker, StateFormula};
+use tempo_core::tiga::GameSolver;
+use tempo_models::{train_gate, train_gate_game};
+
+#[test]
+fn e1_verification_properties_hold() {
+    for n in 2..=3 {
+        let tg = train_gate(n);
+        let mut mc = ModelChecker::new(&tg.net);
+        let (safety, _) = mc.always(&tg.safety());
+        assert!(safety.holds(), "N={n}: mutual exclusion");
+        let (dl, _) = mc.deadlock_free();
+        assert!(dl.holds(), "N={n}: deadlock-freedom");
+        for id in 0..n {
+            let (live, _) = leads_to(&tg.net, &tg.appr(id), &tg.cross(id));
+            assert!(live.holds(), "N={n}: Appr({id}) --> Cross({id})");
+        }
+    }
+}
+
+#[test]
+fn e1_all_interleavings_reachable() {
+    let tg = train_gate(2);
+    let mut mc = ModelChecker::new(&tg.net);
+    // Each train can be stopped while the other crosses.
+    for (a, b) in [(0, 1), (1, 0)] {
+        let f = StateFormula::and(vec![
+            StateFormula::at(tg.trains[a], tg.train_locs.stop),
+            StateFormula::at(tg.trains[b], tg.train_locs.cross),
+        ]);
+        assert!(mc.reachable(&f).reachable, "Stop({a}) with Cross({b})");
+    }
+}
+
+#[test]
+fn e2_synthesized_strategy_is_safe() {
+    let g = train_gate_game(2);
+    let solver = GameSolver::new(&g.net);
+    let result = solver.solve_safety(&g.collision());
+    assert!(result.winning, "the safety game is winnable");
+    // Closed loop exercises the strategy against eager environment moves.
+    let run = solver.closed_loop(&result.strategy, 300);
+    assert!(run.len() > 10, "the controlled system keeps running");
+    let exp = DigitalExplorer::new(&g.net);
+    for s in &run {
+        assert!(
+            !exp.satisfies(s, &g.collision()),
+            "strategy must prevent collisions"
+        );
+        assert!(result.strategy.is_winning(s), "the run stays in the winning region");
+    }
+}
+
+#[test]
+fn e3_cdf_shape_matches_fig4() {
+    // Fig. 4's qualitative shape: every CDF is monotone, near 1 by t=100,
+    // and the high-rate train crosses stochastically earlier than the
+    // low-rate one.
+    let n = 3;
+    let tg = train_gate(n);
+    let runs = 300;
+    let grid: Vec<f64> = (1..=10).map(|k| 10.0 * k as f64).collect();
+    let mut at_40 = Vec::new();
+    for id in 0..n {
+        let mut smc = StatisticalChecker::new(&tg.net, tg.rates(), 500 + id as u64);
+        let cdf = smc.cdf(&tg.cross(id), 100.0, runs);
+        let series = cdf.series(&grid);
+        for w in series.windows(2) {
+            assert!(w[0].1 <= w[1].1, "CDF must be monotone");
+        }
+        let final_p = series.last().unwrap().1;
+        assert!(final_p > 0.9, "train {id} crosses by t=100 in most runs: {final_p}");
+        at_40.push(cdf.at(40.0));
+    }
+    assert!(
+        at_40[n - 1] >= at_40[0] - 0.1,
+        "the high-rate train is not substantially slower: {at_40:?}"
+    );
+}
+
+#[test]
+fn smc_safety_agrees_with_model_checker() {
+    // The symbolic engine proves mutual exclusion; simulation must never
+    // observe a violation either.
+    let tg = train_gate(3);
+    let mut smc = StatisticalChecker::new(&tg.net, tg.rates(), 9);
+    let safe_runs = smc.count_globally(&tg.safety(), 150.0, 200);
+    assert_eq!(safe_runs, 200, "no simulated run may violate mutual exclusion");
+}
