@@ -227,7 +227,10 @@ fn count_states(exp: &Explorer<'_>) -> usize {
     let mut passed: HashMap<_, Vec<tempo_core::ta::SymState>> = HashMap::new();
     let mut waiting = VecDeque::new();
     let init = exp.initial_state();
-    passed.entry(init.discrete()).or_default().push(init.clone());
+    passed
+        .entry(init.discrete())
+        .or_default()
+        .push(init.clone());
     waiting.push_back(init);
     let mut count = 0;
     while let Some(state) = waiting.pop_front() {
@@ -246,6 +249,53 @@ fn count_states(exp: &Explorer<'_>) -> usize {
         }
     }
     count
+}
+
+fn p1_parallel_reach(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p1_parallel_reach");
+    group.sample_size(10);
+    // The tentpole speedup experiment: exhaustive safety search on the
+    // 4-train gate at increasing worker counts. Verdict and fixpoint size
+    // are thread-count independent (asserted in integration_parallel.rs);
+    // here only the wall clock varies.
+    let tg = train_gate(4);
+    for threads in [1_usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("safety_n4_threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut mc = ModelChecker::new(&tg.net).with_threads(threads);
+                    let (v, _) = mc.always(&tg.safety());
+                    assert!(v.holds());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn p2_parallel_smc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2_parallel_smc");
+    group.sample_size(10);
+    // Batch simulation on the 3-train gate with the run budget partitioned
+    // across workers (per-worker RNG streams derived from the seed).
+    let tg = train_gate(3);
+    for threads in [1_usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("cdf_2000_runs_threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut smc =
+                        StatisticalChecker::new(&tg.net, tg.rates(), 1).with_threads(threads);
+                    let cdf = smc.cdf(&tg.cross(0), 100.0, 2000);
+                    assert!(cdf.hits() > 0);
+                });
+            },
+        );
+    }
+    group.finish();
 }
 
 fn a2_ablation_mdp(c: &mut Criterion) {
@@ -303,5 +353,7 @@ criterion_group!(
     a1_ablation_extrapolation,
     a2_ablation_mdp,
     a3_ablation_smc,
+    p1_parallel_reach,
+    p2_parallel_smc,
 );
 criterion_main!(benches);

@@ -155,9 +155,18 @@ impl Composite {
     /// The handle for a port exported by child `child_ix` under `name`.
     #[must_use]
     pub fn child_port(&mut self, child_ix: usize, name: &str) -> Option<CPort> {
-        let export_ix = self.children.get(child_ix)?.exports.iter().position(|(n, _)| n == name)?;
-        self.ports.push(PortTarget::Child { child_ix, export_ix });
-        self.port_names.push(format!("{}.{}", self.children[child_ix].name, name));
+        let export_ix = self
+            .children
+            .get(child_ix)?
+            .exports
+            .iter()
+            .position(|(n, _)| n == name)?;
+        self.ports.push(PortTarget::Child {
+            child_ix,
+            export_ix,
+        });
+        self.port_names
+            .push(format!("{}.{}", self.children[child_ix].name, name));
         Some(CPort {
             level_tag: self.level_tag,
             index: self.ports.len() - 1,
@@ -226,7 +235,9 @@ impl Composite {
         let mut b = BipSystemBuilder::new();
         let mut flat = Flattened::default();
         self.flatten_into(&mut b, &mut flat, "");
-        for (low, high, cond, guard, update, controllable, name, ports, kind) in flat.pending_interactions {
+        for (low, high, cond, guard, update, controllable, name, ports, kind) in
+            flat.pending_interactions
+        {
             let _ = (low, high, cond);
             let id = b.interaction(&name, &ports, kind);
             b.set_guard(id, guard);
@@ -262,14 +273,16 @@ impl Composite {
         let mut var_map = Vec::new();
         for info in self.decls.vars().to_vec() {
             let id = if info.is_array {
-                b.decls_mut().array(&format!("{path}.{}", info.name), info.len, info.lo, info.hi)
+                b.decls_mut()
+                    .array(&format!("{path}.{}", info.name), info.len, info.lo, info.hi)
             } else {
-                b.decls_mut().int(&format!("{path}.{}", info.name), info.lo, info.hi)
+                b.decls_mut()
+                    .int(&format!("{path}.{}", info.name), info.lo, info.hi)
             };
             var_map.push(id);
         }
         let _ = var_map; // expressions refer to VarIds minted on `decls_mut`
-        // Local atoms.
+                         // Local atoms.
         let mut atom_ports: Vec<Vec<PortId>> = Vec::new();
         for atom in &self.atoms {
             let mut cb = b.component(&format!("{path}.{}", atom.name));
@@ -298,7 +311,10 @@ impl Composite {
         let resolve = |p: &CPort| -> PortId {
             match self.ports[p.index] {
                 PortTarget::Atom { atom_ix, port_ix } => atom_ports[atom_ix][port_ix],
-                PortTarget::Child { child_ix, export_ix } => child_exports[child_ix][export_ix],
+                PortTarget::Child {
+                    child_ix,
+                    export_ix,
+                } => child_exports[child_ix][export_ix],
             }
         };
         // Queue interactions (all levels' interactions are global after
@@ -378,7 +394,14 @@ impl AtomBuilder<'_> {
     }
 
     /// Adds a guarded transition with update.
-    pub fn transition_full(&mut self, from: usize, to: usize, port: usize, guard: Expr, update: Stmt) {
+    pub fn transition_full(
+        &mut self,
+        from: usize,
+        to: usize,
+        port: usize,
+        guard: Expr,
+        update: Stmt,
+    ) {
         self.spec.transitions.push((from, to, port, guard, update));
     }
 
@@ -388,11 +411,12 @@ impl AtomBuilder<'_> {
         let atom_ix = self.composite.atoms.len();
         let mut handles = Vec::new();
         for port_ix in 0..self.spec.ports.len() {
-            self.composite.ports.push(PortTarget::Atom { atom_ix, port_ix });
-            self.composite.port_names.push(format!(
-                "{}.{}",
-                self.spec.name, self.spec.ports[port_ix]
-            ));
+            self.composite
+                .ports
+                .push(PortTarget::Atom { atom_ix, port_ix });
+            self.composite
+                .port_names
+                .push(format!("{}.{}", self.spec.name, self.spec.ports[port_ix]));
             handles.push(CPort {
                 level_tag: self.composite.level_tag,
                 index: self.composite.ports.len() - 1,

@@ -65,11 +65,7 @@ pub struct SynthesisResult {
 ///
 /// Panics if more than `limit` states are reachable.
 #[must_use]
-pub fn synthesize_safety_controller<F>(
-    sys: &BipSystem,
-    bad: F,
-    limit: usize,
-) -> SynthesisResult
+pub fn synthesize_safety_controller<F>(sys: &BipSystem, bad: F, limit: usize) -> SynthesisResult
 where
     F: Fn(&BipState) -> bool,
 {
@@ -107,9 +103,9 @@ where
             if !winning[i] {
                 continue;
             }
-            let violated = edges[i].iter().any(|&(inter, j)| {
-                !sys.interactions()[inter.0].controllable && !winning[j]
-            });
+            let violated = edges[i]
+                .iter()
+                .any(|&(inter, j)| !sys.interactions()[inter.0].controllable && !winning[j]);
             if violated {
                 winning[i] = false;
                 changed = true;
@@ -264,13 +260,15 @@ mod tests {
             uncontrolled.unsafe_runs > 0,
             "without the controller, random execution eventually drives while degraded"
         );
-        let controlled =
-            fault_injection_campaign(&sys, Some(&res.controller), bad, 50, 100, 99);
+        let controlled = fault_injection_campaign(&sys, Some(&res.controller), bad, 50, 100, 99);
         assert_eq!(
             controlled.unsafe_runs, 0,
             "the synthesized controller blocks unsafe drives"
         );
-        assert!(controlled.total_steps > 0, "the controller does not freeze the system");
+        assert!(
+            controlled.total_steps > 0,
+            "the controller does not freeze the system"
+        );
     }
 
     #[test]

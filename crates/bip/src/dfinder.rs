@@ -72,7 +72,9 @@ pub fn check_deadlock_freedom(sys: &BipSystem, max_candidates: usize) -> Dfinder
     while let Some(partial) = stack.pop() {
         work += 1;
         if work > max_candidates {
-            return DfinderVerdict::Unknown { suspects: Vec::new() };
+            return DfinderVerdict::Unknown {
+                suspects: Vec::new(),
+            };
         }
         if partial.len() == sys.components().len() {
             if surely_enabled_exists(sys, &partial) {
@@ -143,13 +145,13 @@ fn surely_enabled_exists(sys: &BipSystem, control: &[StateId]) -> bool {
         let check = |p: &PortId| -> bool {
             let cid: ComponentId = sys.port_owner(*p);
             let comp = &sys.components()[cid.0];
-            comp.transitions.iter().any(|t| {
-                t.from == control[cid.0] && t.port == *p && t.guard == Expr::truth()
-            })
+            comp.transitions
+                .iter()
+                .any(|t| t.from == control[cid.0] && t.port == *p && t.guard == Expr::truth())
         };
         match inter.kind {
-            InteractionKind::Rendezvous => ports.all(|p| check(p)),
-            InteractionKind::Broadcast => ports.next().is_some_and(|p| check(p)),
+            InteractionKind::Rendezvous => ports.all(&check),
+            InteractionKind::Broadcast => ports.next().is_some_and(check),
         }
     })
 }
@@ -250,8 +252,7 @@ fn trap_refutes(
     loop {
         let mut to_remove: HashSet<(usize, usize)> = HashSet::new();
         for m in modes {
-            let takes_from_trap: Vec<_> =
-                m.takes.iter().filter(|p| trap.contains(*p)).collect();
+            let takes_from_trap: Vec<_> = m.takes.iter().filter(|p| trap.contains(*p)).collect();
             if takes_from_trap.is_empty() {
                 continue;
             }

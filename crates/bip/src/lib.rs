@@ -49,8 +49,8 @@ mod system;
 pub use component::{Component, ComponentId, PortId, StateId, Transition};
 pub use composite::{AtomBuilder, CPort, Composite};
 pub use controller::{
-    fault_injection_campaign, synthesize_safety_controller, FaultInjectionReport,
-    SafetyController, SynthesisResult,
+    fault_injection_campaign, synthesize_safety_controller, FaultInjectionReport, SafetyController,
+    SynthesisResult,
 };
 pub use dfinder::{check_deadlock_freedom, component_invariants, DfinderVerdict};
 pub use system::{

@@ -157,16 +157,13 @@ impl BipSystem {
         for (k, &port) in inter.ports.iter().enumerate() {
             let cid = self.port_owner[port.0];
             let comp = &self.components[cid.0];
-            let choice = comp
-                .transitions
-                .iter()
-                .position(|t| {
-                    t.from == state.control[cid.0]
-                        && t.port == port
-                        && t.guard
-                            .eval_bool(&self.decls, &state.store, &[])
-                            .unwrap_or(false)
-                });
+            let choice = comp.transitions.iter().position(|t| {
+                t.from == state.control[cid.0]
+                    && t.port == port
+                    && t.guard
+                        .eval_bool(&self.decls, &state.store, &[])
+                        .unwrap_or(false)
+            });
             match (choice, inter.kind, k) {
                 (Some(tix), _, _) => participants.push((cid, tix)),
                 (None, InteractionKind::Rendezvous, _) => return None,
@@ -209,7 +206,10 @@ impl BipSystem {
         let participants = self.enabled_participants(state, i)?;
         let inter = &self.interactions[i.0];
         let mut next = state.clone();
-        inter.update.execute(&self.decls, &mut next.store, &[]).ok()?;
+        inter
+            .update
+            .execute(&self.decls, &mut next.store, &[])
+            .ok()?;
         for (cid, tix) in participants {
             let t: &Transition = &self.components[cid.0].transitions[tix];
             t.update.execute(&self.decls, &mut next.store, &[]).ok()?;
@@ -378,7 +378,11 @@ impl BipSystemBuilder {
 
     /// Adds a conditional priority rule.
     pub fn priority_when(&mut self, low: InteractionId, high: InteractionId, condition: Expr) {
-        self.priorities.push(Priority { low, high, condition });
+        self.priorities.push(Priority {
+            low,
+            high,
+            condition,
+        });
     }
 
     /// Finalizes the system.
@@ -514,9 +518,7 @@ impl<'s> Engine<'s> {
         let mut enabled = self.sys.enabled_interactions(&self.state);
         if let Some(ctrl) = &self.allowed {
             if let Some(ok) = ctrl.get(&self.state) {
-                enabled.retain(|i| {
-                    !self.sys.interactions[i.0].controllable || ok.contains(i)
-                });
+                enabled.retain(|i| !self.sys.interactions[i.0].controllable || ok.contains(i));
             }
         }
         if enabled.is_empty() {

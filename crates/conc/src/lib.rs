@@ -1,0 +1,394 @@
+//! Concurrency substrate shared by the tempo analysis engines.
+//!
+//! Everything here is built on `std::thread::scope` and `std::sync` only —
+//! no external dependencies. The pieces:
+//!
+//! * [`ParallelConfig`] — the thread-count knob, defaulting to the machine's
+//!   available parallelism;
+//! * [`run_workers`] — a scoped worker pool returning per-worker results in
+//!   worker order, so merges are deterministic;
+//! * [`WorkQueue`] — a shared waiting list with idle-count termination
+//!   detection and cooperative early stop, for fixpoint explorations;
+//! * [`ShardedMap`] — a mutex-striped hash map for passed lists keyed by
+//!   hashable discrete state;
+//! * [`split_budget`] / [`derive_stream_seed`] — deterministic partitioning
+//!   of a trace budget and per-worker RNG stream derivation for reproducible
+//!   parallel simulation.
+//!
+//! Determinism contract: engines built on these helpers merge per-worker
+//! results in worker-index order, so for a fixed seed *and* fixed thread
+//! count the merged outcome is bitwise-reproducible. Exploration engines
+//! (zone graphs, fixpoints) additionally compute exact, order-independent
+//! verdicts, so their verdicts are identical at any thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// The worker-pool configuration: how many OS threads an analysis may use.
+///
+/// `ParallelConfig::default()` resolves to the machine's available
+/// parallelism; `sequential()` pins the engines to their single-threaded
+/// reference path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParallelConfig {
+    threads: Option<NonZeroUsize>,
+}
+
+impl ParallelConfig {
+    /// Use the machine's available parallelism (resolved lazily).
+    #[must_use]
+    pub fn auto() -> Self {
+        Self::default()
+    }
+
+    /// Pin to the single-threaded reference engine.
+    #[must_use]
+    pub fn sequential() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// Use exactly `threads` workers (`0` is treated as `1`).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig {
+            threads: Some(NonZeroUsize::new(threads.max(1)).expect("max(1) is non-zero")),
+        }
+    }
+
+    /// The resolved worker count (at least 1).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        match self.threads {
+            Some(n) => n.get(),
+            None => std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
+        }
+    }
+
+    /// Whether this configuration resolves to the sequential path.
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        self.threads() == 1
+    }
+}
+
+/// Run `threads` scoped workers and collect their results *in worker order*,
+/// so downstream merges are deterministic regardless of completion order.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn run_workers<R, F>(threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        return vec![f(0)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let f = &f;
+                scope.spawn(move || f(w))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
+
+/// Fold per-worker results in worker order. This is the deterministic-merge
+/// helper: because [`run_workers`] returns results indexed by worker, the
+/// fold order (and therefore e.g. floating-point rounding) is fixed.
+pub fn merge_ordered<T, A>(parts: Vec<T>, init: A, fold: impl FnMut(A, T) -> A) -> A {
+    parts.into_iter().fold(init, fold)
+}
+
+/// Split a total work budget into `parts` near-equal chunks, largest first.
+/// The split is deterministic and exhaustive: the chunks sum to `total`.
+#[must_use]
+pub fn split_budget(total: usize, parts: usize) -> Vec<usize> {
+    let parts = parts.max(1);
+    let base = total / parts;
+    let extra = total % parts;
+    (0..parts).map(|i| base + usize::from(i < extra)).collect()
+}
+
+/// Derive the RNG stream seed for worker `worker` from a base seed.
+///
+/// Uses a SplitMix64-style mix so that nearby worker indices produce
+/// uncorrelated streams; the derivation is pure, so a fixed
+/// `(seed, thread-count)` pair always reproduces the same streams.
+#[must_use]
+pub fn derive_stream_seed(seed: u64, worker: usize) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((worker as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+struct QueueState<T> {
+    queue: VecDeque<T>,
+    idle: usize,
+    stopped: bool,
+}
+
+/// A shared waiting list for N cooperating workers.
+///
+/// [`WorkQueue::pop`] blocks until an item is available and returns `None`
+/// exactly when the exploration is finished: either every worker is idle
+/// with an empty queue (fixpoint reached), or some worker called
+/// [`WorkQueue::stop`] (early exit, e.g. a goal state was found).
+pub struct WorkQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+    workers: usize,
+    stopped: AtomicBool,
+}
+
+impl<T> WorkQueue<T> {
+    /// A queue coordinated among `workers` poppers.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        WorkQueue {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                idle: 0,
+                stopped: false,
+            }),
+            available: Condvar::new(),
+            workers: workers.max(1),
+            stopped: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueue one item and wake a waiting worker.
+    pub fn push(&self, item: T) {
+        let mut st = self.state.lock().expect("queue poisoned");
+        st.queue.push_back(item);
+        drop(st);
+        self.available.notify_one();
+    }
+
+    /// Blocking pop; `None` means the exploration is over (see type docs).
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        loop {
+            if st.stopped {
+                return None;
+            }
+            if let Some(item) = st.queue.pop_front() {
+                return Some(item);
+            }
+            st.idle += 1;
+            if st.idle == self.workers {
+                // Everyone is waiting on an empty queue: fixpoint reached.
+                st.stopped = true;
+                self.stopped.store(true, Ordering::Release);
+                self.available.notify_all();
+                return None;
+            }
+            st = self.available.wait(st).expect("queue poisoned");
+            st.idle -= 1;
+        }
+    }
+
+    /// Request early termination: all current and future `pop`s return
+    /// `None`. Queued items are dropped when the queue is.
+    pub fn stop(&self) {
+        let mut st = self.state.lock().expect("queue poisoned");
+        st.stopped = true;
+        self.stopped.store(true, Ordering::Release);
+        drop(st);
+        self.available.notify_all();
+    }
+
+    /// Cheap check for workers to bail out of long successor loops early.
+    #[must_use]
+    pub fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::Acquire)
+    }
+}
+
+/// A mutex-striped hash map: the key space is split across `shards`
+/// independent `Mutex<HashMap>`s so concurrent writers on different shards
+/// never contend. Used as the passed list of parallel explorations, keyed by
+/// the discrete part of a symbolic state.
+pub struct ShardedMap<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+}
+
+impl<K: Hash + Eq, V> ShardedMap<K, V> {
+    /// A map with `shards` stripes (rounded up to at least 1).
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        ShardedMap {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// The recommended stripe count for `threads` workers: enough stripes
+    /// that two random keys rarely collide on a lock.
+    #[must_use]
+    pub fn for_threads(threads: usize) -> Self {
+        Self::new((threads.max(1) * 16).next_power_of_two())
+    }
+
+    fn shard_index(&self, key: &K) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    /// Lock the shard owning `key`. The guard covers every key in that
+    /// stripe; hold it only for the compare-and-update.
+    pub fn lock_shard(&self, key: &K) -> MutexGuard<'_, HashMap<K, V>> {
+        self.shards[self.shard_index(key)]
+            .lock()
+            .expect("shard poisoned")
+    }
+
+    /// Iterate all shards (for end-of-run aggregation; takes `&mut self`,
+    /// so no worker can still hold a lock).
+    pub fn into_inner(self) -> impl Iterator<Item = HashMap<K, V>> {
+        self.shards
+            .into_iter()
+            .map(|m| m.into_inner().expect("shard poisoned"))
+    }
+
+    /// Total number of values across all shards (locks each shard briefly).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|m| m.lock().expect("shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the map holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn config_resolves_to_at_least_one() {
+        assert_eq!(ParallelConfig::sequential().threads(), 1);
+        assert!(ParallelConfig::sequential().is_sequential());
+        assert_eq!(ParallelConfig::with_threads(0).threads(), 1);
+        assert_eq!(ParallelConfig::with_threads(3).threads(), 3);
+        assert!(ParallelConfig::auto().threads() >= 1);
+    }
+
+    #[test]
+    fn workers_return_in_worker_order() {
+        let results = run_workers(8, |w| {
+            // Finish in reverse order to prove ordering comes from the
+            // index, not completion time.
+            std::thread::sleep(std::time::Duration::from_millis((8 - w as u64) * 2));
+            w * 10
+        });
+        assert_eq!(results, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn budget_split_is_exhaustive_and_balanced() {
+        assert_eq!(split_budget(10, 3), vec![4, 3, 3]);
+        assert_eq!(split_budget(2, 4), vec![1, 1, 0, 0]);
+        assert_eq!(split_budget(0, 3), vec![0, 0, 0]);
+        for (total, parts) in [(1000, 7), (13, 13), (5, 1)] {
+            let chunks = split_budget(total, parts);
+            assert_eq!(chunks.iter().sum::<usize>(), total);
+            assert_eq!(chunks.len(), parts);
+            assert!(chunks.iter().max().unwrap() - chunks.iter().min().unwrap() <= 1);
+        }
+    }
+
+    #[test]
+    fn stream_seeds_are_stable_and_distinct() {
+        let a = derive_stream_seed(42, 0);
+        assert_eq!(a, derive_stream_seed(42, 0));
+        let seeds: std::collections::HashSet<u64> =
+            (0..64).map(|w| derive_stream_seed(42, w)).collect();
+        assert_eq!(seeds.len(), 64);
+    }
+
+    #[test]
+    fn queue_drains_and_terminates() {
+        let queue = WorkQueue::new(4);
+        for i in 0..1000 {
+            queue.push(i);
+        }
+        let popped = AtomicUsize::new(0);
+        run_workers(4, |_| {
+            while let Some(item) = queue.pop() {
+                popped.fetch_add(1, Ordering::Relaxed);
+                // Simulate work that generates a little more work.
+                if item < 50 {
+                    queue.push(item + 1000);
+                }
+            }
+        });
+        assert_eq!(popped.load(Ordering::Relaxed), 1050);
+    }
+
+    #[test]
+    fn queue_stop_is_observed() {
+        let queue = WorkQueue::new(2);
+        queue.push(1);
+        queue.stop();
+        assert!(queue.is_stopped());
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn sharded_map_counts_across_shards() {
+        let map: ShardedMap<u64, Vec<u64>> = ShardedMap::for_threads(4);
+        run_workers(4, |w| {
+            for i in 0..256u64 {
+                let key = i;
+                let mut shard = map.lock_shard(&key);
+                shard.entry(key).or_default().push(w as u64);
+            }
+        });
+        assert_eq!(map.len(), 256);
+        let mut total = 0;
+        for shard in map.into_inner() {
+            for (_, v) in shard {
+                assert_eq!(v.len(), 4);
+                total += v.len();
+            }
+        }
+        assert_eq!(total, 1024);
+    }
+
+    #[test]
+    fn merge_ordered_folds_in_order() {
+        let parts = vec!["a", "b", "c"];
+        let merged = merge_ordered(parts, String::new(), |mut acc, p| {
+            acc.push_str(p);
+            acc
+        });
+        assert_eq!(merged, "abc");
+    }
+}

@@ -39,6 +39,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use tempo_conc::{run_workers, split_budget, ParallelConfig};
 use tempo_ta::{AutomatonId, DigitalExplorer, DigitalState, LocationId, Network, StateFormula};
 
 /// A timed-automata network annotated with location cost rates and edge
@@ -48,6 +49,7 @@ pub struct PricedNetwork {
     net: Network,
     rates: HashMap<(AutomatonId, LocationId), i64>,
     edge_costs: HashMap<(AutomatonId, usize), i64>,
+    threads: usize,
 }
 
 /// The result of a maximum-cost (WCET-style) reachability query.
@@ -91,7 +93,33 @@ impl PricedNetwork {
             net,
             rates: HashMap::new(),
             edge_costs: HashMap::new(),
+            threads: 1,
         }
+    }
+
+    /// Sets the number of worker threads used by the value-iteration
+    /// sweeps of [`max_cost_reach`](Self::max_cost_reach) (and the
+    /// derived [`max_time_reach`](Self::max_time_reach)).
+    ///
+    /// The cost fixpoint is unique, so the result is identical at any
+    /// thread count. [`min_cost_reach`](Self::min_cost_reach) is
+    /// Dijkstra's algorithm and always runs sequentially.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the thread count from a shared [`ParallelConfig`].
+    #[must_use]
+    pub fn with_parallelism(self, config: ParallelConfig) -> Self {
+        self.with_threads(config.threads())
+    }
+
+    /// The configured number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The underlying network.
@@ -284,18 +312,51 @@ impl PricedNetwork {
             .map(|&g| if g { 0 } else { NEG_INF })
             .collect();
         for sweep in 0..=n {
-            let mut changed = false;
-            for s in 0..n {
-                if goal_mask[s] {
-                    continue;
+            let changed = if self.threads > 1 {
+                // Jacobi sweep: each worker relaxes a chunk of states
+                // against a snapshot of `value`, and the improvements are
+                // applied afterwards. Paths of k edges are covered after k
+                // sweeps, so the `sweep == n` cycle check below still
+                // proves a positive-cost cycle (Bellman–Ford bound).
+                let ranges = chunk_ranges(n, self.threads);
+                let (value_ref, goal_ref, succs_ref) = (&value, &goal_mask, &succs);
+                let improved: Vec<(usize, i64)> = run_workers(self.threads, |w| {
+                    ranges[w]
+                        .clone()
+                        .filter(|&s| !goal_ref[s])
+                        .filter_map(|s| {
+                            let best = succs_ref[s]
+                                .iter()
+                                .filter(|&&(t, _)| value_ref[t] > NEG_INF)
+                                .map(|&(t, c)| value_ref[t] + c)
+                                .max()?;
+                            (best > value_ref[s]).then_some((s, best))
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+                let changed = !improved.is_empty();
+                for (s, v) in improved {
+                    value[s] = v;
                 }
-                for &(t, c) in &succs[s] {
-                    if value[t] > NEG_INF && value[t] + c > value[s] {
-                        value[s] = value[t] + c;
-                        changed = true;
+                changed
+            } else {
+                let mut changed = false;
+                for s in 0..n {
+                    if goal_mask[s] {
+                        continue;
+                    }
+                    for &(t, c) in &succs[s] {
+                        if value[t] > NEG_INF && value[t] + c > value[s] {
+                            value[s] = value[t] + c;
+                            changed = true;
+                        }
                     }
                 }
-            }
+                changed
+            };
             if !changed {
                 break;
             }
@@ -319,6 +380,7 @@ impl PricedNetwork {
                 .map(|li| ((AutomatonId(0), LocationId(li)), 1_i64))
                 .collect(),
             edge_costs: HashMap::new(),
+            threads: self.threads,
         };
         timed.max_cost_reach(goal)
     }
@@ -337,9 +399,23 @@ impl PricedNetwork {
                 .map(|li| ((AutomatonId(0), LocationId(li)), 1_i64))
                 .collect(),
             edge_costs: HashMap::new(),
+            threads: self.threads,
         };
         timed.min_cost_reach(goal).map(|r| r.cost)
     }
+}
+
+/// Splits `0..n` into `parts` contiguous index ranges of near-equal size.
+fn chunk_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let mut start = 0;
+    split_budget(n, parts)
+        .into_iter()
+        .map(|len| {
+            let range = start..start + len;
+            start += len;
+            range
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -403,7 +479,9 @@ mod tests {
         let aid = a.done();
         let net = b.build();
         let p = PricedNetwork::new(net);
-        assert!(p.min_cost_reach(&StateFormula::at(aid, LocationId(1))).is_none());
+        assert!(p
+            .min_cost_reach(&StateFormula::at(aid, LocationId(1)))
+            .is_none());
     }
 
     #[test]
@@ -446,7 +524,10 @@ mod tests {
         let mut a = b.automaton("Prog");
         let busy = a.location_with_invariant("Busy", vec![ClockAtom::le(x, 2)]);
         let done = a.location("Done");
-        a.edge(busy, busy).guard_clock(ClockAtom::ge(x, 1)).reset(x, 0).done();
+        a.edge(busy, busy)
+            .guard_clock(ClockAtom::ge(x, 1))
+            .reset(x, 0)
+            .done();
         a.edge(busy, done).guard_clock(ClockAtom::ge(x, 1)).done();
         let prog = a.done();
         let net = b.build();
@@ -466,7 +547,10 @@ mod tests {
         let aid = a.done();
         let net = b.build();
         let p = PricedNetwork::new(net);
-        assert_eq!(p.max_cost_reach(&StateFormula::at(aid, LocationId(1))), None);
+        assert_eq!(
+            p.max_cost_reach(&StateFormula::at(aid, LocationId(1))),
+            None
+        );
     }
 
     #[test]
@@ -477,7 +561,10 @@ mod tests {
         let mut a = b.automaton("A");
         let l0 = a.location_with_invariant("L0", vec![ClockAtom::le(x, 2)]);
         let l1 = a.location("L1");
-        a.edge(l0, l0).guard_clock(ClockAtom::ge(x, 1)).reset(x, 0).done();
+        a.edge(l0, l0)
+            .guard_clock(ClockAtom::ge(x, 1))
+            .reset(x, 0)
+            .done();
         a.edge(l0, l1).done();
         let aid = a.done();
         let net = b.build();

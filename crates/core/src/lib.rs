@@ -49,25 +49,29 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-/// Difference-bound matrices and federations (zone algebra).
-pub use tempo_dbm as dbm;
-/// Bounded-integer data language (variables, expressions, updates).
-pub use tempo_expr as expr;
-/// Timed-automata networks and the symbolic model checker (UPPAAL).
-pub use tempo_ta as ta;
+/// The BIP component framework, D-Finder and controller synthesis.
+pub use tempo_bip as bip;
+/// Worker-pool configuration and deterministic parallel helpers shared
+/// by the analysis engines (thread-count knob, budget splitting,
+/// seed-stream derivation).
+pub use tempo_conc as conc;
 /// Priced timed automata and minimum-cost reachability (UPPAAL-CORA).
 pub use tempo_cora as cora;
-/// Timed games and strategy synthesis (UPPAAL-TIGA).
-pub use tempo_tiga as tiga;
+/// Difference-bound matrices and federations (zone algebra).
+pub use tempo_dbm as dbm;
 /// Timed I/O automata, refinement and composition (ECDAR).
 pub use tempo_ecdar as ecdar;
-/// Stochastic semantics and statistical model checking (UPPAAL-SMC).
-pub use tempo_smc as smc;
+/// Bounded-integer data language (variables, expressions, updates).
+pub use tempo_expr as expr;
+/// Model-based testing: ioco and rtioco.
+pub use tempo_ioco as ioco;
 /// Markov decision processes and value iteration (PRISM-style backend).
 pub use tempo_mdp as mdp;
 /// The MODEST process language and its three analysis backends.
 pub use tempo_modest as modest;
-/// The BIP component framework, D-Finder and controller synthesis.
-pub use tempo_bip as bip;
-/// Model-based testing: ioco and rtioco.
-pub use tempo_ioco as ioco;
+/// Stochastic semantics and statistical model checking (UPPAAL-SMC).
+pub use tempo_smc as smc;
+/// Timed-automata networks and the symbolic model checker (UPPAAL).
+pub use tempo_ta as ta;
+/// Timed games and strategy synthesis (UPPAAL-TIGA).
+pub use tempo_tiga as tiga;

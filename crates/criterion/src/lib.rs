@@ -1,0 +1,244 @@
+//! Vendored, dependency-free stand-in for the parts of the `criterion` crate
+//! that the tempo workspace uses.
+//!
+//! The build environment has no network access to a cargo registry, so the
+//! workspace pins `criterion` to this in-tree implementation via a path
+//! dependency. It keeps the authoring surface (`criterion_group!` /
+//! `criterion_main!`, benchmark groups, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`) and measures wall-clock time per
+//! iteration, printing min / median / max per benchmark. There is no
+//! statistical regression analysis — the numbers are honest measurements,
+//! suitable for comparing variants within one run (e.g. thread-count
+//! scaling), not for cross-run change detection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, handed to each `criterion_group!` target.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; command-line configuration is not
+    /// supported by the vendored harness.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_benchmark(None, &id.into().label, sample_size, f);
+        self
+    }
+}
+
+/// Identifier for one benchmark, optionally parameterised (`name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A parameterised id rendered as `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(Some(&self.name), &id.into().label, self.sample_size, f);
+        self
+    }
+
+    /// Run one benchmark that closes over a shared input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(Some(&self.name), &id.into().label, self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group. Results are printed as benchmarks run, so this only
+    /// exists for API compatibility.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` performs the timing.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, running one untimed warm-up iteration and then
+    /// `sample_size` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = f();
+            let elapsed = start.elapsed();
+            std::hint::black_box(out);
+            self.samples.push(elapsed);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    label: &str,
+    sample_size: usize,
+    mut f: F,
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{label}"),
+        None => label.to_string(),
+    };
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{full:<56} (no samples: closure never called Bencher::iter)");
+        return;
+    }
+    bencher.samples.sort();
+    let min = bencher.samples[0];
+    let max = *bencher.samples.last().unwrap();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    println!(
+        "{full:<56} time: [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(max)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Define a function that runs each listed benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Opaque value barrier to keep the optimiser from deleting benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 500), &500u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(shim_benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        shim_benches();
+    }
+}

@@ -46,7 +46,11 @@ impl Dbm {
             // x0 - xi <= 0: clocks are non-negative.
             data[i] = Bound::LE_ZERO;
         }
-        Dbm { dim, data, empty: false }
+        Dbm {
+            dim,
+            data,
+            empty: false,
+        }
     }
 
     /// The DBM containing exactly the valuation where all clocks are `0`.
@@ -314,10 +318,7 @@ impl Dbm {
         if other.empty {
             return false;
         }
-        self.data
-            .iter()
-            .zip(&other.data)
-            .all(|(a, b)| a <= b)
+        self.data.iter().zip(&other.data).all(|(a, b)| a <= b)
     }
 
     /// Whether the zones intersect.
@@ -467,24 +468,24 @@ impl Dbm {
             // Lower bound of x_i given fixed x_j (j < i): x_j - x_i <= d_ji
             // => x_i >= x_j - d_ji.
             let mut lo = i64::MIN;
-            for j in 0..i {
+            for (j, &vj) in v.iter().enumerate().take(i) {
                 let d = self.data[j * n + i];
                 if d.is_inf() {
                     continue;
                 }
-                let mut candidate = v[j] - d.constant();
+                let mut candidate = vj - d.constant();
                 if d.is_strict() {
                     candidate += 1;
                 }
                 lo = lo.max(candidate);
             }
             let mut hi = i64::MAX;
-            for j in 0..i {
+            for (j, &vj) in v.iter().enumerate().take(i) {
                 let d = self.data[i * n + j];
                 if d.is_inf() {
                     continue;
                 }
-                let mut candidate = v[j] + d.constant();
+                let mut candidate = vj + d.constant();
                 if d.is_strict() {
                     candidate -= 1;
                 }

@@ -40,7 +40,10 @@ impl Federation {
     #[must_use]
     pub fn empty(dim: usize) -> Self {
         assert!(dim >= 1, "a federation needs at least the reference clock");
-        Federation { dim, zones: Vec::new() }
+        Federation {
+            dim,
+            zones: Vec::new(),
+        }
     }
 
     /// The federation containing all clock valuations.
@@ -291,7 +294,12 @@ fn subtract_dbm(a: &Dbm, b: &Dbm) -> Federation {
 
 impl fmt::Debug for Federation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Federation(dim={}, |zones|={})", self.dim, self.zones.len())
+        write!(
+            f,
+            "Federation(dim={}, |zones|={})",
+            self.dim,
+            self.zones.len()
+        )
     }
 }
 

@@ -1,0 +1,95 @@
+//! Direct regression test for the historical proptest failure recorded in
+//! `proptests.proptest-regressions` (seed
+//! `4c534bc17fb36b3c8967e8b9bc769f17f7e4963102c367988e9ca4fa40cafb77`).
+//!
+//! The shrunk counterexample is the `dim = 4` zone
+//!
+//! ```text
+//!     ≤0  ≤0  <0  <0
+//!      ∞  ≤0   ∞   ∞
+//!      ∞   ∞  ≤0   ∞
+//!      ∞   ∞  <0  ≤0
+//! ```
+//!
+//! i.e. `{ x1 ≥ 0, x2 > 0, x3 > 0, x3 < x2 }`: non-empty, but every point
+//! needs `0 < x3 < x2`, so the all-integer grid misses the tightest
+//! configurations and strict-bound handling in the samplers is exercised.
+//! The vendored proptest shim does not replay regression files, so this
+//! reconstructs the exact case and checks every single-zone property from
+//! `proptests.rs` against it.
+
+use tempo_dbm::{Bound, Clock, Dbm};
+
+/// Rebuild the shrunk counterexample exactly as printed.
+fn regression_zone() -> Dbm {
+    let mut z = Dbm::universe(4);
+    z.set_bound_raw(0, 1, Bound::le(0));
+    z.set_bound_raw(0, 2, Bound::lt(0));
+    z.set_bound_raw(0, 3, Bound::lt(0));
+    z.set_bound_raw(3, 2, Bound::lt(0));
+    z.close();
+    z
+}
+
+#[test]
+fn zone_is_nonempty_and_canonical() {
+    let z = regression_zone();
+    assert!(
+        !z.is_empty(),
+        "the regression zone has points, e.g. (0,0,1,0.5)"
+    );
+    // Closing again must be a no-op on a canonical DBM.
+    let mut again = z.clone();
+    again.close();
+    assert_eq!(z, again);
+}
+
+#[test]
+fn sample_rational_is_complete_on_strict_zone() {
+    let z = regression_zone();
+    let p = z
+        .sample_rational()
+        .expect("non-empty zone must yield a rational sample");
+    assert!(
+        z.contains_f64(&p),
+        "sample_rational returned {p:?} outside the zone"
+    );
+    assert_eq!(p[0], 0.0, "reference clock must stay at zero");
+}
+
+#[test]
+fn sample_point_is_sound_on_strict_zone() {
+    let z = regression_zone();
+    // The integer sampler may give up on strict zones, but it must never
+    // return a point outside the zone.
+    if let Some(p) = z.sample_point() {
+        assert!(
+            z.contains(&p),
+            "sample_point returned {p:?} outside the zone"
+        );
+    }
+}
+
+#[test]
+fn extrapolation_idempotent_on_strict_zone() {
+    let z = regression_zone();
+    let max_consts = [0, 8, 8, 8];
+    let mut once = z.clone();
+    once.extrapolate(&max_consts);
+    let mut twice = once.clone();
+    twice.extrapolate(&max_consts);
+    assert_eq!(once, twice);
+}
+
+#[test]
+fn empty_variant_is_handled_by_both_samplers() {
+    // Tightening the same shape into inconsistency must flip `is_empty`
+    // and make both samplers return None instead of fabricating points.
+    let mut z = regression_zone();
+    z.constrain(Clock(2), Clock(3), Bound::lt(0)); // x2 < x3 contradicts x3 < x2
+    assert!(z.is_empty());
+    assert_eq!(z.sample_point(), None);
+    assert_eq!(z.sample_rational(), None);
+    assert!(!z.contains(&[0, 0, 1, 1]));
+    assert!(!z.contains_f64(&[0.0, 0.0, 1.0, 0.5]));
+}

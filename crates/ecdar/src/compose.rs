@@ -78,7 +78,9 @@ pub fn parallel(a: &Tioa, b: &Tioa) -> Result<Tioa, ComposeError> {
         .intersection(&b_alpha)
         .map(|s| (*s).to_owned())
         .collect();
-    Ok(product(a, b, &|action: &str, da: Option<IoDir>, db: Option<IoDir>| {
+    Ok(product(a, b, &|action: &str,
+                       da: Option<IoDir>,
+                       db: Option<IoDir>| {
         if shared.contains(action) {
             // Synchronized: both sides must move; the composite direction
             // is Output if either side outputs (input-output sync), else
@@ -137,19 +139,15 @@ enum SyncKind {
     Blocked,
 }
 
+/// How an action with the given directions in each operand composes.
+type SyncPolicy<'a> = dyn Fn(&str, Option<IoDir>, Option<IoDir>) -> SyncKind + 'a;
+
 /// Generic synchronous product. `policy(action, dir_in_a, dir_in_b)`
 /// decides how each action composes.
-fn product(
-    a: &Tioa,
-    b: &Tioa,
-    policy: &dyn Fn(&str, Option<IoDir>, Option<IoDir>) -> SyncKind,
-) -> Tioa {
+fn product(a: &Tioa, b: &Tioa, policy: &SyncPolicy<'_>) -> Tioa {
     let offset = a.dim() - 1;
     let dir_in = |t: &Tioa, action: &str| -> Option<IoDir> {
-        t.edges()
-            .iter()
-            .find(|e| e.action == action)
-            .map(|e| e.dir)
+        t.edges().iter().find(|e| e.action == action).map(|e| e.dir)
     };
     let mut locations = Vec::new();
     for la in a.locations() {
@@ -250,7 +248,9 @@ mod tests {
         let idle = b.location("Idle");
         let busy = b.location_with_invariant("Busy", vec![TioaAtom::le(x, 4)]);
         b.input(idle, busy, "coin").reset(x).done();
-        b.output(busy, idle, "brew").guard(TioaAtom::ge(x, 1)).done();
+        b.output(busy, idle, "brew")
+            .guard(TioaAtom::ge(x, 1))
+            .done();
         b.build()
     }
 
@@ -293,7 +293,9 @@ mod tests {
             let idle = b.location("Idle");
             let busy = b.location_with_invariant("Busy", vec![TioaAtom::le(x, 6)]);
             b.input(idle, busy, "coin").reset(x).done();
-            b.output(busy, idle, "brew").guard(TioaAtom::ge(x, 2)).done();
+            b.output(busy, idle, "brew")
+                .guard(TioaAtom::ge(x, 2))
+                .done();
             b.build()
         };
         let both = conjunction(&machine(), &spec_b).expect("same directions");

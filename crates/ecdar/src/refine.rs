@@ -75,12 +75,12 @@ pub fn refines(imp: &Tioa, spec: &Tioa) -> Result<(), RefinementError> {
     inputs.dedup();
 
     let intern = |pairs: &mut Vec<(TioaState, TioaState)>,
-                      index: &mut HashMap<(TioaState, TioaState), usize>,
-                      trace_to: &mut Vec<(Option<usize>, String)>,
-                      queue: &mut VecDeque<usize>,
-                      parent: usize,
-                      label: &str,
-                      p: (TioaState, TioaState)|
+                  index: &mut HashMap<(TioaState, TioaState), usize>,
+                  trace_to: &mut Vec<(Option<usize>, String)>,
+                  queue: &mut VecDeque<usize>,
+                  parent: usize,
+                  label: &str,
+                  p: (TioaState, TioaState)|
      -> usize {
         if let Some(&i) = index.get(&p) {
             return i;
@@ -230,14 +230,9 @@ pub fn refines(imp: &Tioa, spec: &Tioa) -> Result<(), RefinementError> {
     let pi = best.expect("initial pair failed, so some pair has a failure");
     let mut steps = Vec::new();
     let mut cur = pi;
-    loop {
-        match &trace_to[cur] {
-            (Some(parent), label) => {
-                steps.push(label.clone());
-                cur = *parent;
-            }
-            (None, _) => break,
-        }
+    while let (Some(parent), label) = &trace_to[cur] {
+        steps.push(label.clone());
+        cur = *parent;
     }
     steps.reverse();
     Err(RefinementError {
@@ -302,7 +297,9 @@ mod tests {
         let idle = b.location("Idle");
         let busy = b.location_with_invariant("Busy", vec![TioaAtom::le(x, 5)]);
         b.input(idle, busy, "coin").reset(x).done();
-        b.output(busy, idle, "coffee").guard(TioaAtom::ge(x, 2)).done();
+        b.output(busy, idle, "coffee")
+            .guard(TioaAtom::ge(x, 2))
+            .done();
         b.build()
     }
 
@@ -314,7 +311,9 @@ mod tests {
         let idle = b.location("Idle");
         let busy = b.location_with_invariant("Busy", vec![TioaAtom::le(x, 3)]);
         b.input(idle, busy, "coin").reset(x).done();
-        b.output(busy, idle, "coffee").guard(TioaAtom::ge(x, 2)).done();
+        b.output(busy, idle, "coffee")
+            .guard(TioaAtom::ge(x, 2))
+            .done();
         b.build()
     }
 
@@ -390,7 +389,9 @@ mod tests {
         let busy = b.location_with_invariant("Busy", vec![TioaAtom::le(x, 5)]);
         b.input(idle, busy, "coin").reset(x).done();
         b.input(idle, idle, "token").done();
-        b.output(busy, idle, "coffee").guard(TioaAtom::ge(x, 2)).done();
+        b.output(busy, idle, "coffee")
+            .guard(TioaAtom::ge(x, 2))
+            .done();
         let generous = b.build();
         assert!(refines(&generous, &spec()).is_ok());
     }

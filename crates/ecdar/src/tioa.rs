@@ -8,9 +8,9 @@
 //! fire against an unknown environment, which is what refinement and
 //! composition quantify over.
 
-use tempo_dbm::{Bound, Clock};
 use std::collections::BTreeMap;
 use std::fmt;
+use tempo_dbm::{Bound, Clock};
 
 /// Direction of an action, from the component's perspective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -38,13 +38,21 @@ impl TioaAtom {
     /// `x ≤ c`.
     #[must_use]
     pub fn le(clock: Clock, bound: i64) -> Self {
-        TioaAtom { clock, upper: true, bound }
+        TioaAtom {
+            clock,
+            upper: true,
+            bound,
+        }
     }
 
     /// `x ≥ c`.
     #[must_use]
     pub fn ge(clock: Clock, bound: i64) -> Self {
-        TioaAtom { clock, upper: false, bound }
+        TioaAtom {
+            clock,
+            upper: false,
+            bound,
+        }
     }
 
     /// Whether the integer valuation satisfies the atom.
@@ -240,7 +248,7 @@ impl<'t> TioaExplorer<'t> {
             .enumerate()
             .map(|(i, &c)| if i == 0 { 0 } else { (c + 1).min(self.clamp) })
             .collect();
-        self.invariant_holds(s.loc, &ticked).then(|| TioaState {
+        self.invariant_holds(s.loc, &ticked).then_some(TioaState {
             loc: s.loc,
             clocks: ticked,
         })
@@ -287,7 +295,13 @@ impl<'t> TioaExplorer<'t> {
 
 impl fmt::Display for Tioa {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "tioa {} ({} locations, {} edges)", self.name, self.locations.len(), self.edges.len())?;
+        writeln!(
+            f,
+            "tioa {} ({} locations, {} edges)",
+            self.name,
+            self.locations.len(),
+            self.edges.len()
+        )?;
         for e in &self.edges {
             let d = if e.dir == IoDir::Input { "?" } else { "!" };
             writeln!(
@@ -439,7 +453,9 @@ mod tests {
         let idle = b.location("Idle");
         let busy = b.location_with_invariant("Busy", vec![TioaAtom::le(x, 5)]);
         b.input(idle, busy, "coin").reset(x).done();
-        b.output(busy, idle, "coffee").guard(TioaAtom::ge(x, 2)).done();
+        b.output(busy, idle, "coffee")
+            .guard(TioaAtom::ge(x, 2))
+            .done();
         b.build()
     }
 
@@ -460,7 +476,10 @@ mod tests {
         let busy = exp.step(&s0, "coin", IoDir::Input);
         assert_eq!(busy.len(), 1);
         let mut s = busy[0].clone();
-        assert!(exp.step(&s, "coffee", IoDir::Output).is_empty(), "guard x >= 2");
+        assert!(
+            exp.step(&s, "coffee", IoDir::Output).is_empty(),
+            "guard x >= 2"
+        );
         s = exp.tick(&s).unwrap();
         s = exp.tick(&s).unwrap();
         assert_eq!(exp.step(&s, "coffee", IoDir::Output).len(), 1);

@@ -83,7 +83,10 @@ impl Decls {
     /// Panics if `lo > hi` or `init` is out of range.
     pub fn int_init(&mut self, name: &str, lo: i64, hi: i64, init: i64) -> VarId {
         assert!(lo <= hi, "empty range for {name}");
-        assert!(lo <= init && init <= hi, "initial value of {name} out of range");
+        assert!(
+            lo <= init && init <= hi,
+            "initial value of {name} out of range"
+        );
         let offset = self.inits.len();
         self.vars.push(VarInfo {
             name: name.to_owned(),
@@ -119,7 +122,7 @@ impl Decls {
             is_array: true,
             offset,
         });
-        self.inits.extend(std::iter::repeat(init).take(len));
+        self.inits.extend(std::iter::repeat_n(init, len));
         VarId {
             idx: (self.vars.len() - 1) as u32,
             offset: offset as u32,
@@ -165,10 +168,13 @@ impl Decls {
     /// Looks up a variable by name.
     #[must_use]
     pub fn lookup(&self, name: &str) -> Option<VarId> {
-        self.vars.iter().position(|v| v.name == name).map(|i| VarId {
-            idx: i as u32,
-            offset: self.vars[i].offset as u32,
-        })
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId {
+                idx: i as u32,
+                offset: self.vars[i].offset as u32,
+            })
     }
 }
 

@@ -52,13 +52,19 @@ impl fmt::Display for EvalError {
                 write!(f, "index {index} out of bounds for {var:?} of length {len}")
             }
             EvalError::RangeViolation { var, value, lo, hi } => {
-                write!(f, "value {value} outside declared range [{lo}, {hi}] of {var:?}")
+                write!(
+                    f,
+                    "value {value} outside declared range [{lo}, {hi}] of {var:?}"
+                )
             }
             EvalError::KindMismatch { var } => {
                 write!(f, "scalar/array kind mismatch on {var:?}")
             }
             EvalError::UnboundSelect { position } => {
-                write!(f, "select placeholder {position} evaluated without a binding")
+                write!(
+                    f,
+                    "select placeholder {position} evaluated without a binding"
+                )
             }
             EvalError::FuelExhausted => write!(f, "statement step budget exhausted"),
             EvalError::Overflow => write!(f, "arithmetic overflow"),

@@ -350,8 +350,14 @@ mod tests {
     #[test]
     fn comparisons_and_logic() {
         let (d, s, a, _) = setup();
-        assert_eq!(Expr::var(a).lt(Expr::konst(4)).eval(&d, &s, &[]).unwrap(), 1);
-        assert_eq!(Expr::var(a).ge(Expr::konst(4)).eval(&d, &s, &[]).unwrap(), 0);
+        assert_eq!(
+            Expr::var(a).lt(Expr::konst(4)).eval(&d, &s, &[]).unwrap(),
+            1
+        );
+        assert_eq!(
+            Expr::var(a).ge(Expr::konst(4)).eval(&d, &s, &[]).unwrap(),
+            0
+        );
         let both = Expr::var(a).gt(Expr::konst(0)) & Expr::var(a).le(Expr::konst(3));
         assert_eq!(both.eval(&d, &s, &[]).unwrap(), 1);
         let either = Expr::var(a).eq(Expr::konst(9)) | Expr::truth();
@@ -403,11 +409,17 @@ mod tests {
     fn min_max() {
         let (d, s, a, _) = setup();
         assert_eq!(
-            Expr::var(a).bin(BinOp::Min, Expr::konst(1)).eval(&d, &s, &[]).unwrap(),
+            Expr::var(a)
+                .bin(BinOp::Min, Expr::konst(1))
+                .eval(&d, &s, &[])
+                .unwrap(),
             1
         );
         assert_eq!(
-            Expr::var(a).bin(BinOp::Max, Expr::konst(1)).eval(&d, &s, &[]).unwrap(),
+            Expr::var(a)
+                .bin(BinOp::Max, Expr::konst(1))
+                .eval(&d, &s, &[])
+                .unwrap(),
             3
         );
     }

@@ -184,7 +184,9 @@ mod tests {
         let i = d.int("i", 0, 6);
         let mut s = d.initial_store();
         for e in [3, 1, 4] {
-            enqueue(list, len, Expr::konst(e)).execute(&d, &mut s, &[]).unwrap();
+            enqueue(list, len, Expr::konst(e))
+                .execute(&d, &mut s, &[])
+                .unwrap();
         }
         assert_eq!(s.get(len), 3);
         // front == 3, tail == 4 (paper's front()/tail()).

@@ -20,18 +20,22 @@ fn arb_expr(a: VarId, b: VarId) -> impl Strategy<Value = Expr> {
         Just(Expr::var(b)),
     ];
     leaf.prop_recursive(3, 24, 2, |inner| {
-        (inner.clone(), inner, prop_oneof![
-            Just(BinOp::Add),
-            Just(BinOp::Sub),
-            Just(BinOp::Mul),
-            Just(BinOp::Min),
-            Just(BinOp::Max),
-            Just(BinOp::Lt),
-            Just(BinOp::Le),
-            Just(BinOp::Eq),
-            Just(BinOp::And),
-            Just(BinOp::Or),
-        ])
+        (
+            inner.clone(),
+            inner,
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::Min),
+                Just(BinOp::Max),
+                Just(BinOp::Lt),
+                Just(BinOp::Le),
+                Just(BinOp::Eq),
+                Just(BinOp::And),
+                Just(BinOp::Or),
+            ],
+        )
             .prop_map(|(l, r, op)| l.bin(op, r))
     })
 }

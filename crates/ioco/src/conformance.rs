@@ -43,7 +43,6 @@ impl std::fmt::Display for IocoViolation {
 /// specification's input alphabet; this function does not require it —
 /// inputs refused by the implementation simply truncate those branches —
 /// but [`Lts::is_input_enabled`] can check it separately.
-#[must_use]
 pub fn check_ioco(imp: &Lts, spec: &Lts) -> Result<(), IocoViolation> {
     type Pair = (BTreeSet<LtsStateId>, BTreeSet<LtsStateId>);
     let start: Pair = (imp.initial_set(), spec.initial_set());

@@ -39,6 +39,6 @@ mod testgen;
 
 pub use conformance::{check_ioco, IocoViolation};
 pub use lts::{Event, Label, Lts, LtsStateId};
-pub use suspension::SuspensionAutomaton;
 pub use rtioco::{TimedEvent, TimedIut, TimedTester, TimedVerdict};
+pub use suspension::SuspensionAutomaton;
 pub use testgen::{Iut, LtsIut, TestCase, TestGenerator, TestVerdict};

@@ -356,7 +356,10 @@ mod tests {
         let out = l.out_set(&paid);
         assert!(out.contains(&Event::Output("tea".to_owned())));
         assert!(out.contains(&Event::Output("coffee".to_owned())));
-        assert!(!out.contains(&Event::Delta), "an output or τ is always possible");
+        assert!(
+            !out.contains(&Event::Delta),
+            "an output or τ is always possible"
+        );
     }
 
     #[test]

@@ -106,9 +106,8 @@ impl<'n> TimedTester<'n> {
         let mut stack: Vec<DigitalState> = set.iter().cloned().collect();
         while let Some(s) = stack.pop() {
             for (mv, next) in self.exp.moves(&s) {
-                let observable = Self::channel_of(&mv.label).is_some_and(|c| {
-                    self.inputs.contains(c) || self.outputs.contains(c)
-                });
+                let observable = Self::channel_of(&mv.label)
+                    .is_some_and(|c| self.inputs.contains(c) || self.outputs.contains(c));
                 if !observable && set.insert(next.clone()) {
                     stack.push(next);
                 }
@@ -126,10 +125,8 @@ impl<'n> TimedTester<'n> {
 
     /// Advances the specification set by one time unit.
     fn delay(&self, set: &BTreeSet<DigitalState>) -> BTreeSet<DigitalState> {
-        let mut next: BTreeSet<DigitalState> = set
-            .iter()
-            .filter_map(|s| self.exp.tick(s))
-            .collect();
+        let mut next: BTreeSet<DigitalState> =
+            set.iter().filter_map(|s| self.exp.tick(s)).collect();
         self.tau_closure(&mut next);
         next
     }
@@ -272,7 +269,10 @@ mod tests {
 
     impl DelayedResponder {
         fn new(delay: i64) -> Self {
-            DelayedResponder { delay, pending: None }
+            DelayedResponder {
+                delay,
+                pending: None,
+            }
         }
     }
 
@@ -330,7 +330,10 @@ mod tests {
         let mut tester = TimedTester::new(&net, &["req"], &["resp"], 3);
         let mut iut = DelayedResponder::new(5);
         let (failures, first) = tester.campaign(&mut iut, 30, 40);
-        assert!(failures > 0, "responding after the 3-unit deadline violates rtioco");
+        assert!(
+            failures > 0,
+            "responding after the 3-unit deadline violates rtioco"
+        );
         match first {
             Some(TimedVerdict::Fail { observed, .. }) => {
                 // Either the late resp itself or the missed deadline (δ).

@@ -375,7 +375,10 @@ mod tests {
         let mut g = TestGenerator::new(&s, 3);
         let mut iut = LtsIut::new(tea_mutant(), 8);
         let (failures, first) = g.campaign(&mut iut, 100, 20);
-        assert!(failures > 0, "exhaustive in the limit: the tea mutant is caught");
+        assert!(
+            failures > 0,
+            "exhaustive in the limit: the tea mutant is caught"
+        );
         match first {
             Some(TestVerdict::Fail(_, Event::Output(x))) => assert_eq!(x, "tea"),
             v => panic!("unexpected first failure {v:?}"),

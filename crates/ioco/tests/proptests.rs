@@ -1,7 +1,9 @@
 //! Property-based tests for the ioco theory on randomly generated LTSs.
 
 use proptest::prelude::*;
-use tempo_ioco::{check_ioco, Label, Lts, LtsIut, LtsStateId, SuspensionAutomaton, TestGenerator, TestVerdict};
+use tempo_ioco::{
+    check_ioco, Label, Lts, LtsIut, LtsStateId, SuspensionAutomaton, TestGenerator, TestVerdict,
+};
 
 const STATES: usize = 4;
 const INPUTS: [&str; 2] = ["a", "b"];
@@ -19,8 +21,12 @@ struct Tr {
 /// τ edges only go to strictly larger state indices, so no τ-cycles.
 fn arb_lts() -> impl Strategy<Value = Lts> {
     prop::collection::vec(
-        (0..STATES, 0..3_u8, 0..2_usize, 0..STATES)
-            .prop_map(|(from, kind, name, to)| Tr { from, kind, name, to }),
+        (0..STATES, 0..3_u8, 0..2_usize, 0..STATES).prop_map(|(from, kind, name, to)| Tr {
+            from,
+            kind,
+            name,
+            to,
+        }),
         1..10,
     )
     .prop_map(|trs| {

@@ -86,11 +86,9 @@ pub fn reach_forall_positive(mdp: &Mdp, goal: &[bool]) -> Vec<bool> {
             let stays = if mdp.is_absorbing(s) {
                 true
             } else {
-                mdp.actions(s).iter().any(|a| {
-                    a.transitions
-                        .iter()
-                        .all(|&(t, p)| p == 0.0 || avoid[t.0])
-                })
+                mdp.actions(s)
+                    .iter()
+                    .any(|a| a.transitions.iter().all(|&(t, p)| p == 0.0 || avoid[t.0]))
             };
             if !stays {
                 avoid[s.0] = false;
@@ -122,7 +120,9 @@ pub fn prob1_exists(mdp: &Mdp, goal: &[bool]) -> Vec<bool> {
                     continue;
                 }
                 let ok = mdp.actions(s).iter().any(|a| {
-                    a.transitions.iter().all(|&(t, p)| p == 0.0 || candidate[t.0])
+                    a.transitions
+                        .iter()
+                        .all(|&(t, p)| p == 0.0 || candidate[t.0])
                         && a.transitions.iter().any(|&(t, p)| p > 0.0 && reach[t.0])
                 });
                 if ok {
@@ -300,12 +300,7 @@ pub struct IntervalResult {
 ///
 /// Panics if `goal.len() != mdp.num_states()` or `precision <= 0`.
 #[must_use]
-pub fn interval_reachability(
-    mdp: &Mdp,
-    opt: Opt,
-    goal: &[bool],
-    precision: f64,
-) -> IntervalResult {
+pub fn interval_reachability(mdp: &Mdp, opt: Opt, goal: &[bool], precision: f64) -> IntervalResult {
     assert_eq!(goal.len(), mdp.num_states(), "goal mask length mismatch");
     assert!(precision > 0.0, "precision must be positive");
     let n = mdp.num_states();
@@ -567,7 +562,8 @@ mod tests {
         let mut b = MdpBuilder::new();
         let s0 = b.add_state();
         let ok = b.add_state();
-        b.add_action(s0, None, 1.0, vec![(s0, 0.9), (ok, 0.1)]).unwrap();
+        b.add_action(s0, None, 1.0, vec![(s0, 0.9), (ok, 0.1)])
+            .unwrap();
         let mdp = b.build(s0).unwrap();
         let goal = mask(2, &[ok]);
         let p = reachability(&mdp, Opt::Max, &goal);
@@ -585,7 +581,8 @@ mod tests {
         let s0 = b.add_state();
         let goal_s = b.add_state();
         let sink = b.add_state();
-        b.add_action(s0, Some("safe"), 0.0, vec![(goal_s, 1.0)]).unwrap();
+        b.add_action(s0, Some("safe"), 0.0, vec![(goal_s, 1.0)])
+            .unwrap();
         b.add_action(s0, Some("risky"), 0.0, vec![(goal_s, 0.3), (sink, 0.7)])
             .unwrap();
         let mdp = b.build(s0).unwrap();
@@ -630,8 +627,14 @@ mod tests {
         b.add_action(s1, None, 0.0, vec![(s2, 1.0)]).unwrap();
         let mdp = b.build(s0).unwrap();
         let goal = mask(3, &[s2]);
-        assert_eq!(bounded_reachability(&mdp, Opt::Max, &goal, 1).initial_value, 0.0);
-        assert_eq!(bounded_reachability(&mdp, Opt::Max, &goal, 2).initial_value, 1.0);
+        assert_eq!(
+            bounded_reachability(&mdp, Opt::Max, &goal, 1).initial_value,
+            0.0
+        );
+        assert_eq!(
+            bounded_reachability(&mdp, Opt::Max, &goal, 2).initial_value,
+            1.0
+        );
     }
 
     #[test]
@@ -640,7 +643,8 @@ mod tests {
         let mut b = MdpBuilder::new();
         let s0 = b.add_state();
         let g = b.add_state();
-        b.add_action(s0, Some("loop"), 1.0, vec![(s0, 1.0)]).unwrap();
+        b.add_action(s0, Some("loop"), 1.0, vec![(s0, 1.0)])
+            .unwrap();
         b.add_action(s0, Some("go"), 1.0, vec![(g, 1.0)]).unwrap();
         let mdp = b.build(s0).unwrap();
         let goal = mask(2, &[g]);
@@ -699,7 +703,8 @@ mod tests {
         let s0 = b.add_state();
         let g = b.add_state();
         let lose = b.add_state();
-        b.add_action(s0, Some("loop"), 0.0, vec![(s0, 1.0)]).unwrap();
+        b.add_action(s0, Some("loop"), 0.0, vec![(s0, 1.0)])
+            .unwrap();
         b.add_action(s0, Some("gamble"), 0.0, vec![(g, 0.5), (lose, 0.5)])
             .unwrap();
         let mdp = b.build(s0).unwrap();
@@ -720,8 +725,13 @@ mod tests {
         let states: Vec<StateId> = (0..13).map(|_| b.add_state()).collect();
         // 0 is the root; 7..=12 are die outcomes 1..=6.
         let coin = |b: &mut MdpBuilder, s: usize, l: usize, r: usize| {
-            b.add_action(states[s], None, 0.0, vec![(states[l], 0.5), (states[r], 0.5)])
-                .unwrap();
+            b.add_action(
+                states[s],
+                None,
+                0.0,
+                vec![(states[l], 0.5), (states[r], 0.5)],
+            )
+            .unwrap();
         };
         coin(&mut b, 0, 1, 2);
         coin(&mut b, 1, 3, 4);

@@ -245,7 +245,9 @@ mod tests {
         let mut b = MdpBuilder::new();
         let s0 = b.add_state();
         let s1 = b.add_state();
-        assert!(b.add_action(s0, None, 0.0, vec![(s1, 0.6), (s0, 0.4)]).is_ok());
+        assert!(b
+            .add_action(s0, None, 0.0, vec![(s1, 0.6), (s0, 0.4)])
+            .is_ok());
         assert!(matches!(
             b.add_action(s0, None, 0.0, vec![(s1, 0.6)]),
             Err(BuildError::BadDistribution { .. })

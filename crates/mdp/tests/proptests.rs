@@ -29,7 +29,8 @@ fn arb_mdp() -> impl Strategy<Value = Mdp> {
                 // Repair floating normalization exactly.
                 let sum: f64 = dist.iter().map(|(_, p)| p).sum();
                 dist.last_mut().expect("non-empty").1 += 1.0 - sum;
-                b.add_action(states[s], None, reward, dist).expect("valid action");
+                b.add_action(states[s], None, reward, dist)
+                    .expect("valid action");
             }
         }
         b.build(states[0]).expect("valid initial state")
@@ -56,8 +57,8 @@ proptest! {
     fn goal_states_have_probability_one(mdp in arb_mdp(), goal in arb_goal()) {
         let pmax = reachability(&mdp, Opt::Max, &goal);
         let pmin = reachability(&mdp, Opt::Min, &goal);
-        for i in 0..N {
-            if goal[i] {
+        for (i, &g) in goal.iter().enumerate() {
+            if g {
                 prop_assert!((pmax.values[i] - 1.0).abs() < 1e-9);
                 prop_assert!((pmin.values[i] - 1.0).abs() < 1e-9);
             }

@@ -22,9 +22,7 @@
 
 use tempo_dbm::Clock;
 use tempo_expr::{Expr, VarId};
-use tempo_modest::{
-    compile, Assignment, Mcpta, ModestModel, PaltBranch, Process, Pta,
-};
+use tempo_modest::{compile, Assignment, Mcpta, ModestModel, PaltBranch, Process, Pta};
 use tempo_ta::{ClockAtom, StateFormula};
 
 /// Sender report values.
@@ -68,7 +66,10 @@ pub struct Brp {
 /// Panics if any parameter is non-positive.
 #[must_use]
 pub fn brp(n: i64, max_retries: i64, td: i64) -> Brp {
-    assert!(n > 0 && max_retries > 0 && td > 0, "parameters must be positive");
+    assert!(
+        n > 0 && max_retries > 0 && td > 0,
+        "parameters must be positive"
+    );
     let mut m = ModestModel::new();
     // Timeout: strictly above the worst-case round trip
     // (data ≤ TD, receiver ack ≤ 1, ack ≤ TD).
@@ -139,8 +140,7 @@ pub fn brp(n: i64, max_retries: i64, td: i64) -> Brp {
                 ),
             ),
             Process::when(
-                Expr::var(rc).ge(Expr::konst(max_retries))
-                    & Expr::var(i).lt(Expr::konst(n - 1)),
+                Expr::var(rc).ge(Expr::konst(max_retries)) & Expr::var(i).lt(Expr::konst(n - 1)),
                 Process::act_with(
                     report_nok,
                     vec![Assignment::Var(srep, Expr::konst(report::NOK))],
@@ -148,8 +148,7 @@ pub fn brp(n: i64, max_retries: i64, td: i64) -> Brp {
                 ),
             ),
             Process::when(
-                Expr::var(rc).ge(Expr::konst(max_retries))
-                    & Expr::var(i).ge(Expr::konst(n - 1)),
+                Expr::var(rc).ge(Expr::konst(max_retries)) & Expr::var(i).ge(Expr::konst(n - 1)),
                 Process::act_with(
                     report_dk,
                     vec![Assignment::Var(srep, Expr::konst(report::DK))],
@@ -412,7 +411,10 @@ mod tests {
         let d_small = mc.pmax(&b.dmax_goal(2));
         let d_large = mc.pmax(&b.dmax_goal(30));
         assert!(d_small <= d_large);
-        assert!(d_large > 0.9, "almost all transfers finish within 30: {d_large}");
+        assert!(
+            d_large > 0.9,
+            "almost all transfers finish within 30: {d_large}"
+        );
     }
 
     #[test]
@@ -423,7 +425,10 @@ mod tests {
         let obs = modes.observe(500, 200, 10_000, |exp, run| {
             run.first_hit(exp, &done).is_some()
         });
-        assert_eq!(obs.observations, 500, "every run reports within the horizon");
+        assert_eq!(
+            obs.observations, 500,
+            "every run reports within the horizon"
+        );
         let ta1 = b.ta1();
         let safe = modes.observe(200, 200, 10_000, |exp, run| run.globally(exp, &ta1));
         assert_eq!(safe.observations, 200, "all runs satisfy TA1");

@@ -159,7 +159,6 @@ pub fn dala() -> Dala {
 
 impl Dala {
     /// The unsafe-state predicate for synthesis and fault injection.
-    #[must_use]
     pub fn bad(&self) -> impl Fn(&BipState) -> bool + '_ {
         let danger = self.danger;
         move |s: &BipState| s.store.get(danger) == 1
@@ -189,8 +188,9 @@ mod tests {
                 let reachable = d.sys.reachable_states(100_000);
                 for s in suspects {
                     assert!(
-                        !reachable.iter().any(|r| r.control == s
-                            && d.sys.enabled_interactions(r).is_empty()),
+                        !reachable
+                            .iter()
+                            .any(|r| r.control == s && d.sys.enabled_interactions(r).is_empty()),
                         "suspect {s:?} is a real deadlock"
                     );
                 }

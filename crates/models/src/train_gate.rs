@@ -109,7 +109,13 @@ pub fn train_gate(n: usize) -> TrainGate {
             .send_indexed(leave_ch, Expr::konst(id_e))
             .done();
         trains.push(t.done());
-        train_locs = Some(TrainLocs { safe, appr, stop, start, cross });
+        train_locs = Some(TrainLocs {
+            safe,
+            appr,
+            stop,
+            start,
+            cross,
+        });
     }
 
     // Fig. 1(c): the queue functions.
@@ -162,9 +168,7 @@ pub fn train_gate(n: usize) -> TrainGate {
         .recv_indexed(appr_ch, Expr::select(0))
         .update(enqueue_sel)
         .done();
-    c.edge(stopping, occ)
-        .send_indexed(stop_ch, tail)
-        .done();
+    c.edge(stopping, occ).send_indexed(stop_ch, tail).done();
     // Occ --leave[e]? (e == front()) / dequeue()--> Free
     c.edge(occ, free)
         .select(0, n_i64 - 1)
@@ -300,7 +304,13 @@ pub fn train_gate_game(n: usize) -> TrainGateGame {
             .uncontrollable()
             .done();
         trains.push(t.done());
-        train_locs = Some(TrainLocs { safe, appr, stop, start, cross });
+        train_locs = Some(TrainLocs {
+            safe,
+            appr,
+            stop,
+            start,
+            cross,
+        });
     }
 
     // Fig. 3: the unconstrained controller — one location, it may always

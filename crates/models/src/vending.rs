@@ -114,7 +114,10 @@ impl FixedDelayController {
     /// Creates the controller implementation.
     #[must_use]
     pub fn new(delay: i64) -> Self {
-        FixedDelayController { delay, pending: None }
+        FixedDelayController {
+            delay,
+            pending: None,
+        }
     }
 }
 

@@ -64,10 +64,10 @@ pub fn wcet_program(iterations: i64) -> WcetProgram {
     // Fetch latencies: leave after exactly HIT (hit) or exactly MISS
     // (miss) cycles.
     let fetch = |cpu: &mut tempo_ta::AutomatonBuilder<'_>,
-                     from: LocationId,
-                     to: LocationId,
-                     guard: Expr,
-                     update: Stmt| {
+                 from: LocationId,
+                 to: LocationId,
+                 guard: Expr,
+                 update: Stmt| {
         for latency in [HIT, MISS] {
             cpu.edge(from, to)
                 .guard_clock(ClockAtom::ge(x, latency))

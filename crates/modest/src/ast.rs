@@ -160,14 +160,14 @@ impl Process {
                     })
                     .collect(),
             ),
-            Process::Alt(ps) => {
-                Process::Alt(ps.into_iter().map(|p| p.then(q.clone())).collect())
-            }
+            Process::Alt(ps) => Process::Alt(ps.into_iter().map(|p| p.then(q.clone())).collect()),
             Process::When(e, p) => Process::When(e, Box::new(p.then(q))),
             Process::WhenClock(c, p) => Process::WhenClock(c, Box::new(p.then(q))),
             Process::Invariant(i, p) => Process::Invariant(i, Box::new(p.then(q))),
             Process::Call(name) => {
-                panic!("sequential composition after call of {name} (only tail calls are supported)")
+                panic!(
+                    "sequential composition after call of {name} (only tail calls are supported)"
+                )
             }
         }
     }

@@ -4,9 +4,7 @@
 //! process becomes one component automaton).
 
 use crate::ast::{Assignment, ModestModel, PaltBranch, Process};
-use crate::pta::{
-    compute_sync, AssignTarget, Pta, PtaAutomaton, PtaBranch, PtaEdge, PtaLocation,
-};
+use crate::pta::{compute_sync, AssignTarget, Pta, PtaAutomaton, PtaBranch, PtaEdge, PtaLocation};
 use std::collections::HashMap;
 use tempo_expr::Expr;
 use tempo_ta::ClockAtom;
@@ -360,7 +358,10 @@ mod tests {
         m.system(&["P"]);
         let pta = compile(&m);
         let exp = PtaExplorer::new(&pta, &[]);
-        assert!(exp.transitions(&exp.initial_state()).is_empty(), "flag == 0 blocks go");
+        assert!(
+            exp.transitions(&exp.initial_state()).is_empty(),
+            "flag == 0 blocks go"
+        );
     }
 
     #[test]

@@ -63,8 +63,8 @@ pub use ast::{ActionId, Assignment, ModestModel, PaltBranch, Process};
 pub use compile::compile;
 pub use mcpta::{Mcpta, McptaStats};
 pub use mctau::{Mctau, ProbabilityBounds};
-pub use parser::{parse_modest, ParseError};
 pub use modes::{Modes, ModesObservation, ModesRun, Scheduler};
+pub use parser::{parse_modest, ParseError};
 pub use pta::{
     compute_sync, AssignTarget, Pta, PtaAutomaton, PtaBranch, PtaEdge, PtaExplorer, PtaLocation,
     PtaState, PtaTransition, SyncKind,

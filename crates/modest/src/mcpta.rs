@@ -208,10 +208,7 @@ mod tests {
                             PaltBranch {
                                 weight: 1,
                                 assignments: vec![
-                                    Assignment::Var(
-                                        tries,
-                                        Expr::var(tries) + Expr::konst(1),
-                                    ),
+                                    Assignment::Var(tries, Expr::var(tries) + Expr::konst(1)),
                                     Assignment::Clock(x, 0),
                                 ],
                                 then: Process::call("Sender"),
@@ -233,7 +230,10 @@ mod tests {
         // Success prob = 1 - 0.25^3.
         let expected = 1.0 - 0.25_f64.powi(3);
         assert!((mc.pmax(&goal) - expected).abs() < 1e-9);
-        assert!((mc.pmin(&goal) - 0.0).abs() < 1e-9, "never sending is allowed");
+        assert!(
+            (mc.pmin(&goal) - 0.0).abs() < 1e-9,
+            "never sending is allowed"
+        );
     }
 
     #[test]
@@ -269,11 +269,20 @@ mod tests {
         // Location 1 of component 0 is the post-a location.
         let goal = StateFormula::at(AutomatonId(0), LocationId(1));
         assert!((mc.pmax(&goal) - 1.0).abs() < 1e-9);
-        assert!((mc.pmin(&goal) - 1.0).abs() < 1e-9, "invariant forces the action");
+        assert!(
+            (mc.pmin(&goal) - 1.0).abs() < 1e-9,
+            "invariant forces the action"
+        );
         let emax = mc.emax_time(&goal);
-        assert!((emax - 3.0).abs() < 1e-9, "wait until the invariant bound: {emax}");
+        assert!(
+            (emax - 3.0).abs() < 1e-9,
+            "wait until the invariant bound: {emax}"
+        );
         let emin = mc.emin_time(&goal);
-        assert!((emin - 1.0).abs() < 1e-9, "move as soon as the guard allows: {emin}");
+        assert!(
+            (emin - 1.0).abs() < 1e-9,
+            "move as soon as the guard allows: {emin}"
+        );
     }
 
     #[test]
@@ -281,12 +290,8 @@ mod tests {
         let (pta, ok) = retry_model();
         let mc = Mcpta::build(&pta, &[], 100_000);
         let tries = pta.decls.lookup("tries").unwrap();
-        assert!(mc.check_invariant(&StateFormula::data(
-            Expr::var(tries).le(Expr::konst(3))
-        )));
-        assert!(!mc.check_invariant(&StateFormula::data(
-            Expr::var(tries).le(Expr::konst(2))
-        )));
+        assert!(mc.check_invariant(&StateFormula::data(Expr::var(tries).le(Expr::konst(3)))));
+        assert!(!mc.check_invariant(&StateFormula::data(Expr::var(tries).le(Expr::konst(2)))));
         let _ = ok;
     }
 }

@@ -11,9 +11,7 @@
 //! P1/P2/Dmax).
 
 use crate::pta::{Pta, SyncKind};
-use tempo_ta::{
-    ChannelKind, ModelChecker, Network, NetworkBuilder, StateFormula, Verdict,
-};
+use tempo_ta::{ChannelKind, ModelChecker, Network, NetworkBuilder, StateFormula, Verdict};
 
 /// Bounds `[lower, upper]` on a probability, as reported by `mctau`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,9 +73,15 @@ impl Mctau {
     pub fn probability_bounds(&self, goal: &StateFormula) -> ProbabilityBounds {
         let mut mc = ModelChecker::new(&self.net);
         if mc.reachable(goal).reachable {
-            ProbabilityBounds { lower: 0.0, upper: 1.0 }
+            ProbabilityBounds {
+                lower: 0.0,
+                upper: 1.0,
+            }
         } else {
-            ProbabilityBounds { lower: 0.0, upper: 0.0 }
+            ProbabilityBounds {
+                lower: 0.0,
+                upper: 0.0,
+            }
         }
     }
 }
@@ -96,9 +100,7 @@ fn over_approximate(pta: &Pta) -> Network {
         .iter()
         .enumerate()
         .map(|(k, name)| match pta.sync[k] {
-            SyncKind::Pair(_, _) => {
-                Some(b.channel_array(name, 1, ChannelKind::Binary, false))
-            }
+            SyncKind::Pair(_, _) => Some(b.channel_array(name, 1, ChannelKind::Binary, false)),
             SyncKind::Local => None,
         })
         .collect();
@@ -141,7 +143,8 @@ fn over_approximate(pta: &Pta) -> Network {
                 if let Some(act) = e.action {
                     if let Some(ch) = channels[act.0] {
                         // Direction: the first user sends.
-                        let sends = matches!(pta.sync[act.0], SyncKind::Pair(first, _) if first == ai);
+                        let sends =
+                            matches!(pta.sync[act.0], SyncKind::Pair(first, _) if first == ai);
                         eb = if sends { eb.send(ch) } else { eb.recv(ch) };
                     }
                 }
@@ -218,12 +221,8 @@ mod tests {
     fn invariants_check_exactly() {
         let (pta, got) = lossy_pair();
         let mctau = Mctau::new(&pta);
-        assert!(mctau.check_invariant(&StateFormula::data(
-            Expr::var(got).le(Expr::konst(1))
-        )));
-        assert!(!mctau.check_invariant(&StateFormula::data(
-            Expr::var(got).eq(Expr::konst(0))
-        )));
+        assert!(mctau.check_invariant(&StateFormula::data(Expr::var(got).le(Expr::konst(1)))));
+        assert!(!mctau.check_invariant(&StateFormula::data(Expr::var(got).eq(Expr::konst(0)))));
     }
 
     #[test]

@@ -141,9 +141,7 @@ impl<'p> Modes<'p> {
                 (_, true, true) => true,
                 (Scheduler::Asap, true, false) => false,
                 (Scheduler::Alap, true, false) => true,
-                (Scheduler::Uniform, true, false) => {
-                    self.rng.gen_range(0..=transitions.len()) == 0
-                }
+                (Scheduler::Uniform, true, false) => self.rng.gen_range(0..=transitions.len()) == 0,
             };
             if take_tick {
                 state = tick.expect("tick checked above");
@@ -171,7 +169,13 @@ impl<'p> Modes<'p> {
 
     /// Runs a Bernoulli experiment: how many of `runs` simulations
     /// satisfy `property`?
-    pub fn observe<F>(&mut self, runs: usize, time_bound: i64, max_steps: usize, mut property: F) -> ModesObservation
+    pub fn observe<F>(
+        &mut self,
+        runs: usize,
+        time_bound: i64,
+        max_steps: usize,
+        mut property: F,
+    ) -> ModesObservation
     where
         F: FnMut(&PtaExplorer<'p>, &ModesRun) -> bool,
     {
@@ -194,7 +198,13 @@ impl<'p> Modes<'p> {
 
     /// Estimates the mean and standard deviation of a run functional
     /// (e.g. completion time for the Emax row of Table I).
-    pub fn expected<F>(&mut self, runs: usize, time_bound: i64, max_steps: usize, mut value: F) -> ModesObservation
+    pub fn expected<F>(
+        &mut self,
+        runs: usize,
+        time_bound: i64,
+        max_steps: usize,
+        mut value: F,
+    ) -> ModesObservation
     where
         F: FnMut(&PtaExplorer<'p>, &ModesRun) -> f64,
     {
@@ -284,7 +294,10 @@ mod tests {
         let obs = alap.expected(50, 100, 100, |exp, run| {
             run.first_hit(exp, &goal).unwrap_or(100) as f64
         });
-        assert!((obs.mean - 5.0).abs() < 1e-9, "ALAP hits at the invariant bound");
+        assert!(
+            (obs.mean - 5.0).abs() < 1e-9,
+            "ALAP hits at the invariant bound"
+        );
         let mut asap = Modes::new(&pta, &[], Scheduler::Asap, 1);
         let obs = asap.expected(50, 100, 100, |exp, run| {
             run.first_hit(exp, &goal).unwrap_or(100) as f64

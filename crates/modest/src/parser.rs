@@ -43,7 +43,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -187,7 +191,11 @@ fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
                     line,
                     col,
                 })?;
-                out.push(Spanned { tok: Tok::Int(value), line, col });
+                out.push(Spanned {
+                    tok: Tok::Int(value),
+                    line,
+                    col,
+                });
                 col += i - start;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -196,7 +204,11 @@ fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
                     i += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
-                out.push(Spanned { tok: Tok::Ident(text), line, col });
+                out.push(Spanned {
+                    tok: Tok::Ident(text),
+                    line,
+                    col,
+                });
                 col += i - start;
             }
             other => {
@@ -802,7 +814,10 @@ mod tests {
         assert_eq!(put_edge.branches.len(), 2);
         assert_eq!(put_edge.branches[0].weight, 98);
         assert_eq!(put_edge.branches[1].weight, 2);
-        assert_eq!(put_edge.branches[1].to, pta.automata[0].initial, "lost → restart");
+        assert_eq!(
+            put_edge.branches[1].to, pta.automata[0].initial,
+            "lost → restart"
+        );
     }
 
     #[test]
@@ -844,7 +859,11 @@ mod tests {
         let pta = compile(&model);
         // Two edges out of the entry location.
         let entry = pta.automata[0].initial;
-        let out = pta.automata[0].edges.iter().filter(|e| e.from == entry).count();
+        let out = pta.automata[0]
+            .edges
+            .iter()
+            .filter(|e| e.from == entry)
+            .count();
         assert_eq!(out, 2);
         // The go edge carries both the clock guard and the data guard.
         let go = pta.automata[0]

@@ -232,7 +232,13 @@ impl<'p> PtaExplorer<'p> {
             .clocks
             .iter()
             .enumerate()
-            .map(|(i, &c)| if i == 0 { 0 } else { (c + 1).min(self.clamp[i]) })
+            .map(|(i, &c)| {
+                if i == 0 {
+                    0
+                } else {
+                    (c + 1).min(self.clamp[i])
+                }
+            })
             .collect();
         self.invariants_hold(&state.locs, &ticked)
             .then(|| PtaState {
@@ -295,34 +301,36 @@ impl<'p> PtaExplorer<'p> {
                             out.push(t);
                         }
                     }
-                    Some(act) => match self.pta.sync[act.0] {
-                        SyncKind::Local => {
-                            let label = self.pta.actions[act.0].clone();
-                            if let Some(t) = self.single_transition(state, ai, e, &label) {
-                                out.push(t);
-                            }
-                        }
-                        SyncKind::Pair(first, second) => {
-                            // Fire from the first component's side only, to
-                            // avoid duplicates.
-                            if ai != first {
-                                continue;
-                            }
-                            let b = &self.pta.automata[second];
-                            for f in b.edges.iter().filter(|f| {
-                                f.from == state.locs[second] && f.action == Some(act)
-                            }) {
-                                if !self.edge_enabled(state, f) {
-                                    continue;
-                                }
-                                if let Some(t) =
-                                    self.paired_transition(state, (ai, e), (second, f), act)
-                                {
+                    Some(act) => {
+                        match self.pta.sync[act.0] {
+                            SyncKind::Local => {
+                                let label = self.pta.actions[act.0].clone();
+                                if let Some(t) = self.single_transition(state, ai, e, &label) {
                                     out.push(t);
                                 }
                             }
+                            SyncKind::Pair(first, second) => {
+                                // Fire from the first component's side only, to
+                                // avoid duplicates.
+                                if ai != first {
+                                    continue;
+                                }
+                                let b = &self.pta.automata[second];
+                                for f in b.edges.iter().filter(|f| {
+                                    f.from == state.locs[second] && f.action == Some(act)
+                                }) {
+                                    if !self.edge_enabled(state, f) {
+                                        continue;
+                                    }
+                                    if let Some(t) =
+                                        self.paired_transition(state, (ai, e), (second, f), act)
+                                    {
+                                        out.push(t);
+                                    }
+                                }
+                            }
                         }
-                    },
+                    }
                 }
             }
         }

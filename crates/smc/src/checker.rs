@@ -6,6 +6,7 @@ use crate::sim::{RatePolicy, Run, Simulator};
 use crate::stats::{
     estimate, estimate_mean, EmpiricalCdf, Estimate, MeanEstimate, Sprt, TestVerdict,
 };
+use tempo_conc::{derive_stream_seed, run_workers, split_budget, ParallelConfig};
 use tempo_ta::{Network, StateFormula};
 
 /// Default cap on the number of actions per simulated run.
@@ -34,16 +35,28 @@ pub const DEFAULT_MAX_STEPS: usize = 100_000;
 pub struct StatisticalChecker<'n> {
     net: &'n Network,
     sim: Simulator<'n>,
+    rates: RatePolicy,
+    seed: u64,
+    threads: usize,
+    /// Batch counter: parallel estimators derive fresh per-worker RNG
+    /// streams for every batch so successive queries stay statistically
+    /// independent while remaining reproducible from the base seed.
+    epoch: u64,
     max_steps: usize,
 }
 
 impl<'n> StatisticalChecker<'n> {
-    /// Creates a checker with the given rate policy and RNG seed.
+    /// Creates a checker with the given rate policy and RNG seed
+    /// (single-threaded simulation).
     #[must_use]
     pub fn new(net: &'n Network, rates: RatePolicy, seed: u64) -> Self {
         StatisticalChecker {
             net,
-            sim: Simulator::new(net, rates, seed),
+            sim: Simulator::new(net, rates.clone(), seed),
+            rates,
+            seed,
+            threads: 1,
+            epoch: 0,
             max_steps: DEFAULT_MAX_STEPS,
         }
     }
@@ -55,6 +68,55 @@ impl<'n> StatisticalChecker<'n> {
         self
     }
 
+    /// Partition fixed-budget estimators (`probability`, `expected`, `cdf`,
+    /// `compare`, `count_globally`) across `threads` workers with
+    /// per-worker RNG streams derived from the seed.
+    ///
+    /// Determinism: for a fixed seed, thread count, and query sequence, the
+    /// results are bitwise-reproducible — per-worker streams are derived
+    /// purely from `(seed, batch, worker)` and merged in worker order. The
+    /// sequential SPRT (`hypothesis`) always runs single-threaded.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Use the worker count resolved from a [`ParallelConfig`].
+    #[must_use]
+    pub fn with_parallelism(self, config: ParallelConfig) -> Self {
+        self.with_threads(config.threads())
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `runs` simulations of horizon `bound` split across the worker
+    /// pool, mapping each run through `eval` and collecting per-worker
+    /// outputs in worker order.
+    fn batch<T, F>(&mut self, bound: f64, runs: usize, eval: F) -> Vec<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&Run) -> T + std::marker::Sync,
+    {
+        self.epoch += 1;
+        let epoch_seed = self
+            .seed
+            .wrapping_add(self.epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let chunks = split_budget(runs, self.threads);
+        let (net, rates, max_steps) = (self.net, &self.rates, self.max_steps);
+        run_workers(self.threads, |worker| {
+            let mut sim =
+                Simulator::new(net, rates.clone(), derive_stream_seed(epoch_seed, worker));
+            (0..chunks[worker])
+                .map(|_| eval(&sim.simulate(bound, max_steps)))
+                .collect()
+        })
+    }
+
     /// Estimates `Pr[<=bound](<> goal)` from `runs` simulations with a
     /// Wilson confidence interval at level `confidence`.
     pub fn probability(
@@ -64,6 +126,17 @@ impl<'n> StatisticalChecker<'n> {
         runs: usize,
         confidence: f64,
     ) -> Estimate {
+        if self.threads > 1 {
+            let net = self.net;
+            let hits = self.batch(bound, runs, |run| {
+                run.satisfies_eventually(net, goal, bound)
+            });
+            let successes = hits
+                .iter()
+                .map(|chunk| chunk.iter().filter(|&&hit| hit).count())
+                .sum();
+            return estimate(successes, runs, confidence);
+        }
         let mut successes = 0;
         for _ in 0..runs {
             let run = self.sim.simulate(bound, self.max_steps);
@@ -99,10 +172,18 @@ impl<'n> StatisticalChecker<'n> {
     /// Estimates the expected value of `value(run)` over `runs`
     /// simulations of horizon `bound` (e.g. completion time), as `modes`
     /// reports for `Emax` in Table I of the paper.
-    pub fn expected<F>(&mut self, bound: f64, runs: usize, mut value: F) -> MeanEstimate
+    pub fn expected<F>(&mut self, bound: f64, runs: usize, value: F) -> MeanEstimate
     where
-        F: FnMut(&Run) -> f64,
+        F: Fn(&Run) -> f64 + std::marker::Sync,
     {
+        if self.threads > 1 {
+            let samples: Vec<f64> = self
+                .batch(bound, runs, value)
+                .into_iter()
+                .flatten()
+                .collect();
+            return estimate_mean(&samples);
+        }
         let samples: Vec<f64> = (0..runs)
             .map(|_| value(&self.sim.simulate(bound, self.max_steps)))
             .collect();
@@ -113,6 +194,17 @@ impl<'n> StatisticalChecker<'n> {
     /// `runs` simulations of horizon `bound` — the data behind Fig. 4 of
     /// the paper.
     pub fn cdf(&mut self, goal: &StateFormula, bound: f64, runs: usize) -> EmpiricalCdf {
+        if self.threads > 1 {
+            let net = self.net;
+            let hit_times = self.batch(bound, runs, |run| {
+                run.first_hit(net, goal).filter(|&t| t <= bound)
+            });
+            let mut cdf = EmpiricalCdf::new(runs);
+            for t in hit_times.into_iter().flatten().flatten() {
+                cdf.add(t);
+            }
+            return cdf;
+        }
         let mut cdf = EmpiricalCdf::new(runs);
         for _ in 0..runs {
             let run = self.sim.simulate(bound, self.max_steps);
@@ -143,13 +235,27 @@ impl<'n> StatisticalChecker<'n> {
     ) -> (std::cmp::Ordering, f64, f64) {
         let mut hits_a = 0_usize;
         let mut hits_b = 0_usize;
-        for _ in 0..runs {
-            let run = self.sim.simulate(bound, self.max_steps);
-            if run.satisfies_eventually(self.net, goal_a, bound) {
-                hits_a += 1;
+        if self.threads > 1 {
+            let net = self.net;
+            let pairs = self.batch(bound, runs, |run| {
+                (
+                    run.satisfies_eventually(net, goal_a, bound),
+                    run.satisfies_eventually(net, goal_b, bound),
+                )
+            });
+            for (a, b) in pairs.into_iter().flatten() {
+                hits_a += usize::from(a);
+                hits_b += usize::from(b);
             }
-            if run.satisfies_eventually(self.net, goal_b, bound) {
-                hits_b += 1;
+        } else {
+            for _ in 0..runs {
+                let run = self.sim.simulate(bound, self.max_steps);
+                if run.satisfies_eventually(self.net, goal_a, bound) {
+                    hits_a += 1;
+                }
+                if run.satisfies_eventually(self.net, goal_b, bound) {
+                    hits_b += 1;
+                }
             }
         }
         let pa = hits_a as f64 / runs as f64;
@@ -168,6 +274,14 @@ impl<'n> StatisticalChecker<'n> {
     /// (safety) run predicate `[]≤bound safe` — used by the paper's
     /// Table I rows TA1/TA2 under `modes` ("all 10k runs satisfied TA1").
     pub fn count_globally(&mut self, safe: &StateFormula, bound: f64, runs: usize) -> usize {
+        if self.threads > 1 {
+            let net = self.net;
+            let safe_runs = self.batch(bound, runs, |run| run.satisfies_globally(net, safe, bound));
+            return safe_runs
+                .iter()
+                .map(|chunk| chunk.iter().filter(|&&ok| ok).count())
+                .sum();
+        }
         (0..runs)
             .filter(|_| {
                 let run = self.sim.simulate(bound, self.max_steps);
@@ -213,12 +327,26 @@ mod tests {
         let (net, aid, heads) = coin_net();
         let mut smc = StatisticalChecker::new(&net, RatePolicy::new(), 11);
         // p = 0.5, test vs 0.1: accept H0 (p >= 0.2).
-        let (verdict, _) =
-            smc.hypothesis(&StateFormula::at(aid, heads), 10.0, 0.1, 0.05, 0.01, 0.01, 10_000);
+        let (verdict, _) = smc.hypothesis(
+            &StateFormula::at(aid, heads),
+            10.0,
+            0.1,
+            0.05,
+            0.01,
+            0.01,
+            10_000,
+        );
         assert_eq!(verdict, TestVerdict::AcceptH0);
         // p = 0.5, test vs 0.9: accept H1 (p <= 0.85).
-        let (verdict, _) =
-            smc.hypothesis(&StateFormula::at(aid, heads), 10.0, 0.9, 0.05, 0.01, 0.01, 10_000);
+        let (verdict, _) = smc.hypothesis(
+            &StateFormula::at(aid, heads),
+            10.0,
+            0.9,
+            0.05,
+            0.01,
+            0.01,
+            10_000,
+        );
         assert_eq!(verdict, TestVerdict::AcceptH1);
     }
 
@@ -226,9 +354,7 @@ mod tests {
     fn expected_duration_bounded_by_invariant() {
         let (net, _, _) = coin_net();
         let mut smc = StatisticalChecker::new(&net, RatePolicy::new(), 3);
-        let m = smc.expected(100.0, 500, |run| {
-            run.steps.first().map_or(0.0, |s| s.delay)
-        });
+        let m = smc.expected(100.0, 500, |run| run.steps.first().map_or(0.0, |s| s.delay));
         // First delay is uniform on [0,1]: mean 0.5.
         assert!((m.mean - 0.5).abs() < 0.08, "mean first delay {m}");
     }
@@ -255,8 +381,7 @@ mod tests {
             StateFormula::at(aid, heads),
             StateFormula::at(aid, tempo_ta::LocationId(2)),
         ]);
-        let (ord, pa, pb) =
-            smc.compare(&done, &StateFormula::at(aid, heads), 10.0, 600, 0.1);
+        let (ord, pa, pb) = smc.compare(&done, &StateFormula::at(aid, heads), 10.0, 600, 0.1);
         assert_eq!(ord, std::cmp::Ordering::Greater, "pa={pa} pb={pb}");
         // A property against itself is Equal.
         let (ord, _, _) = smc.compare(&done, &done, 10.0, 200, 0.05);

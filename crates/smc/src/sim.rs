@@ -131,7 +131,10 @@ impl RatePolicy {
     /// Uniform default rate `1.0` for all invariant-free locations.
     #[must_use]
     pub fn new() -> Self {
-        RatePolicy { default: 1.0, rates: HashMap::new() }
+        RatePolicy {
+            default: 1.0,
+            rates: HashMap::new(),
+        }
     }
 
     /// Sets the default rate.
@@ -221,17 +224,29 @@ impl<'n> Simulator<'n> {
                         let mut cut = state.clone();
                         let d = time_bound - state.time;
                         advance(&mut cut, d);
-                        steps.push(RunStep { delay: d, label: "delay".to_owned(), state: cut });
+                        steps.push(RunStep {
+                            delay: d,
+                            label: "delay".to_owned(),
+                            state: cut,
+                        });
                         break;
                     }
-                    steps.push(RunStep { delay, label, state: next.clone() });
+                    steps.push(RunStep {
+                        delay,
+                        label,
+                        state: next.clone(),
+                    });
                     state = next;
                 }
                 StepOutcome::Quiet { next } => {
                     // Nothing happened until the horizon: record the final
                     // delay so time-indexed properties see the full run.
                     let delay = next.time - state.time;
-                    steps.push(RunStep { delay, label: "delay".to_owned(), state: next });
+                    steps.push(RunStep {
+                        delay,
+                        label: "delay".to_owned(),
+                        state: next,
+                    });
                     break;
                 }
                 StepOutcome::Timelock => {
@@ -240,7 +255,11 @@ impl<'n> Simulator<'n> {
                 }
             }
         }
-        Run { initial, steps, deadlocked }
+        Run {
+            initial,
+            steps,
+            deadlocked,
+        }
     }
 
     /// Samples one stochastic step: the racing delays, the winning
@@ -256,9 +275,11 @@ impl<'n> Simulator<'n> {
         let mut stalled = 0_u32;
         loop {
             // Urgency: if any automaton is urgent/committed, force delay 0.
-            let urgent = current.locs.iter().zip(self.net.automata()).any(|(&l, a)| {
-                a.locations[l.index()].kind != LocationKind::Normal
-            });
+            let urgent = current
+                .locs
+                .iter()
+                .zip(self.net.automata())
+                .any(|(&l, a)| a.locations[l.index()].kind != LocationKind::Normal);
             // Sample each automaton's intended delay.
             let mut best: Option<(usize, f64)> = None;
             for (ai, _) in self.net.automata().iter().enumerate() {
@@ -297,7 +318,11 @@ impl<'n> Simulator<'n> {
             let all = self.enabled_moves(&advanced);
             let winners: Vec<Move> = all
                 .iter()
-                .filter(|m| m.participants.first().is_some_and(|(ai, _, _)| *ai == winner))
+                .filter(|m| {
+                    m.participants
+                        .first()
+                        .is_some_and(|(ai, _, _)| *ai == winner)
+                })
                 .cloned()
                 .collect();
             let moves = if winners.is_empty() { all } else { winners };
@@ -324,11 +349,7 @@ impl<'n> Simulator<'n> {
         }
     }
 
-    fn pick(
-        &mut self,
-        moves: &[Move],
-        state: &ConcreteState,
-    ) -> Option<(String, ConcreteState)> {
+    fn pick(&mut self, moves: &[Move], state: &ConcreteState) -> Option<(String, ConcreteState)> {
         let mv = &moves[self.rng.gen_range(0..moves.len())];
         let next = self.apply(state, mv)?;
         Some((mv.label.clone(), next))
@@ -383,15 +404,16 @@ impl<'n> Simulator<'n> {
                             });
                         }
                         Some(sync) if sync.dir == SyncDir::Send => {
-                            let Ok(idx) =
-                                sync.index.eval(self.net.decls(), &state.store, &sel)
+                            let Ok(idx) = sync.index.eval(self.net.decls(), &state.store, &sel)
                             else {
                                 continue;
                             };
                             let ch = &self.net.channels()[sync.channel.index()];
                             match ch.kind {
                                 ChannelKind::Binary => {
-                                    for (bi, ri, rsel) in self.matching_receivers(state, ai, sync.channel, idx) {
+                                    for (bi, ri, rsel) in
+                                        self.matching_receivers(state, ai, sync.channel, idx)
+                                    {
                                         if any_committed && !committed[ai] && !committed[bi] {
                                             continue;
                                         }
@@ -409,7 +431,9 @@ impl<'n> Simulator<'n> {
                                         continue;
                                     }
                                     let mut participants = vec![(ai, ei, sel.clone())];
-                                    for (bi, ri, rsel) in self.matching_receivers(state, ai, sync.channel, idx) {
+                                    for (bi, ri, rsel) in
+                                        self.matching_receivers(state, ai, sync.channel, idx)
+                                    {
                                         // One receiver edge per automaton
                                         // (first enabled wins; duplicates
                                         // would need combinatorics rarely
@@ -495,7 +519,9 @@ impl<'n> Simulator<'n> {
                 let v = value.eval(self.net.decls(), &next.store, sel).ok()?;
                 next.clocks[clock.index()] = v as f64;
             }
-            e.update.execute(self.net.decls(), &mut next.store, sel).ok()?;
+            e.update
+                .execute(self.net.decls(), &mut next.store, sel)
+                .ok()?;
             next.locs[*ai] = e.to;
         }
         // Reject moves that violate target invariants.
@@ -641,7 +667,9 @@ mod tests {
         let mut sim = Simulator::new(&net, RatePolicy::new(), 1);
         let run = sim.simulate(10.0, 100);
         let goal = StateFormula::at(aid, l1);
-        let hit = run.first_hit(&net, &goal).expect("L1 reached within 1 time unit");
+        let hit = run
+            .first_hit(&net, &goal)
+            .expect("L1 reached within 1 time unit");
         assert!(hit <= 1.0 + 1e-9);
         assert!(run.satisfies_eventually(&net, &goal, 2.0));
         assert!(run.satisfies_globally(&net, &StateFormula::True, 10.0));
@@ -659,7 +687,10 @@ mod tests {
             let l1 = a.location("L1");
             a.edge(l0, l1)
                 .guard_data(tempo_expr::Expr::var(winner).eq(tempo_expr::Expr::konst(0)))
-                .update(tempo_expr::Stmt::assign(winner, tempo_expr::Expr::konst(id)))
+                .update(tempo_expr::Stmt::assign(
+                    winner,
+                    tempo_expr::Expr::konst(id),
+                ))
                 .done();
             (a.done(), l0)
         };
@@ -680,6 +711,9 @@ mod tests {
                 }
             }
         }
-        assert!(fast_wins > 80, "fast component won only {fast_wins}/100 races");
+        assert!(
+            fast_wins > 80,
+            "fast component won only {fast_wins}/100 races"
+        );
     }
 }

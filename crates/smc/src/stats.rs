@@ -51,7 +51,11 @@ pub struct MeanEstimate {
 
 impl fmt::Display for MeanEstimate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "µ={:.3}, σ={:.3} ({} runs)", self.mean, self.std_dev, self.runs)
+        write!(
+            f,
+            "µ={:.3}, σ={:.3} ({} runs)",
+            self.mean, self.std_dev, self.runs
+        )
     }
 }
 
@@ -64,7 +68,10 @@ impl fmt::Display for MeanEstimate {
 #[must_use]
 pub fn estimate(successes: usize, runs: usize, confidence: f64) -> Estimate {
     assert!(runs > 0, "estimation requires at least one run");
-    assert!((0.0..1.0).contains(&confidence) && confidence > 0.0, "confidence must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&confidence) && confidence > 0.0,
+        "confidence must be in (0,1)"
+    );
     let n = runs as f64;
     let p = successes as f64 / n;
     let z = z_quantile(1.0 - (1.0 - confidence) / 2.0);
@@ -102,7 +109,10 @@ pub fn chernoff_runs(epsilon: f64, delta: f64) -> usize {
 /// Panics if `samples` is empty.
 #[must_use]
 pub fn estimate_mean(samples: &[f64]) -> MeanEstimate {
-    assert!(!samples.is_empty(), "estimation requires at least one sample");
+    assert!(
+        !samples.is_empty(),
+        "estimation requires at least one sample"
+    );
     let n = samples.len() as f64;
     let mean = samples.iter().sum::<f64>() / n;
     let var = if samples.len() > 1 {
@@ -162,7 +172,10 @@ impl Sprt {
     pub fn new(theta: f64, delta: f64, alpha: f64, beta: f64) -> Self {
         let p0 = theta + delta;
         let p1 = theta - delta;
-        assert!(p1 > 0.0 && p0 < 1.0, "indifference region must stay within (0,1)");
+        assert!(
+            p1 > 0.0 && p0 < 1.0,
+            "indifference region must stay within (0,1)"
+        );
         assert!(alpha > 0.0 && alpha < 1.0 && beta > 0.0 && beta < 1.0);
         Sprt {
             p0,
@@ -220,7 +233,10 @@ impl EmpiricalCdf {
     /// [`EmpiricalCdf::add`].
     #[must_use]
     pub fn new(population: usize) -> Self {
-        EmpiricalCdf { samples: Vec::new(), population }
+        EmpiricalCdf {
+            samples: Vec::new(),
+            population,
+        }
     }
 
     /// Records one hit time.
@@ -259,7 +275,7 @@ fn z_quantile(p: f64) -> f64 {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];

@@ -74,11 +74,7 @@ impl<'n> DigitalExplorer<'n> {
                 }
             }
         }
-        let clamp = net
-            .max_constants()
-            .into_iter()
-            .map(|c| c + 1)
-            .collect();
+        let clamp = net.max_constants().into_iter().map(|c| c + 1).collect();
         DigitalExplorer { net, clamp }
     }
 
@@ -111,9 +107,11 @@ impl<'n> DigitalExplorer<'n> {
     /// after the tick).
     #[must_use]
     pub fn can_tick(&self, state: &DigitalState) -> bool {
-        let urgent = state.locs.iter().zip(self.net.automata()).any(|(&l, a)| {
-            a.locations[l.index()].kind != LocationKind::Normal
-        });
+        let urgent = state
+            .locs
+            .iter()
+            .zip(self.net.automata())
+            .any(|(&l, a)| a.locations[l.index()].kind != LocationKind::Normal);
         if urgent || self.urgent_sync_enabled(state) {
             return false;
         }
@@ -218,9 +216,7 @@ impl<'n> DigitalExplorer<'n> {
                                 ChannelKind::Binary => {
                                     for (bi, b) in self.net.automata().iter().enumerate() {
                                         if bi == ai
-                                            || (any_committed
-                                                && !committed[ai]
-                                                && !committed[bi])
+                                            || (any_committed && !committed[ai] && !committed[bi])
                                         {
                                             continue;
                                         }
@@ -229,16 +225,16 @@ impl<'n> DigitalExplorer<'n> {
                                                 continue;
                                             }
                                             let Some(rs) = &r.sync else { continue };
-                                            if rs.dir != SyncDir::Recv
-                                                || rs.channel != sync.channel
+                                            if rs.dir != SyncDir::Recv || rs.channel != sync.channel
                                             {
                                                 continue;
                                             }
                                             for rsel in select_values(&r.selects) {
-                                                if rs
-                                                    .index
-                                                    .eval(self.net.decls(), &state.store, &rsel)
-                                                    != Ok(idx)
+                                                if rs.index.eval(
+                                                    self.net.decls(),
+                                                    &state.store,
+                                                    &rsel,
+                                                ) != Ok(idx)
                                                     || !self.edge_enabled(state, r, &rsel)
                                                 {
                                                     continue;
@@ -249,8 +245,7 @@ impl<'n> DigitalExplorer<'n> {
                                                         (ai, ei, sel.clone()),
                                                         (bi, ri, rsel),
                                                     ],
-                                                    controllable: e.controllable
-                                                        && r.controllable,
+                                                    controllable: e.controllable && r.controllable,
                                                 };
                                                 if let Some(next) = self.apply(state, &mv) {
                                                     out.push((mv, next));
@@ -274,16 +269,16 @@ impl<'n> DigitalExplorer<'n> {
                                                 continue;
                                             }
                                             let Some(rs) = &r.sync else { continue };
-                                            if rs.dir != SyncDir::Recv
-                                                || rs.channel != sync.channel
+                                            if rs.dir != SyncDir::Recv || rs.channel != sync.channel
                                             {
                                                 continue;
                                             }
                                             for rsel in select_values(&r.selects) {
-                                                if rs
-                                                    .index
-                                                    .eval(self.net.decls(), &state.store, &rsel)
-                                                    == Ok(idx)
+                                                if rs.index.eval(
+                                                    self.net.decls(),
+                                                    &state.store,
+                                                    &rsel,
+                                                ) == Ok(idx)
                                                     && self.edge_enabled(state, r, &rsel)
                                                 {
                                                     participants.push((bi, ri, rsel));
@@ -325,7 +320,9 @@ impl<'n> DigitalExplorer<'n> {
                 }
                 next.clocks[clock.index()] = v.min(self.clamp[clock.index()]);
             }
-            e.update.execute(self.net.decls(), &mut next.store, sel).ok()?;
+            e.update
+                .execute(self.net.decls(), &mut next.store, sel)
+                .ok()?;
             next.locs[*ai] = e.to;
         }
         self.invariants_hold(&next.locs, &next.clocks)
@@ -398,7 +395,10 @@ mod tests {
         let x = b.clock("x");
         let mut a = b.automaton("A");
         let l0 = a.location_with_invariant("L0", vec![ClockAtom::le(x, 3)]);
-        a.edge(l0, l0).guard_clock(ClockAtom::ge(x, 2)).reset(x, 0).done();
+        a.edge(l0, l0)
+            .guard_clock(ClockAtom::ge(x, 2))
+            .reset(x, 0)
+            .done();
         a.done();
         b.build()
     }
@@ -412,7 +412,10 @@ mod tests {
             s = exp.tick(&s).expect("tick allowed");
             assert_eq!(s.clocks[1], expected);
         }
-        assert!(exp.tick(&s).is_none(), "invariant x <= 3 blocks further delay");
+        assert!(
+            exp.tick(&s).is_none(),
+            "invariant x <= 3 blocks further delay"
+        );
     }
 
     #[test]
@@ -434,7 +437,10 @@ mod tests {
         let x = b.clock("x");
         let mut a = b.automaton("A");
         let l0 = a.location("L0");
-        a.edge(l0, l0).guard_clock(ClockAtom::ge(x, 5)).reset(x, 0).done();
+        a.edge(l0, l0)
+            .guard_clock(ClockAtom::ge(x, 5))
+            .reset(x, 0)
+            .done();
         a.done();
         let net = b.build();
         let exp = DigitalExplorer::new(&net);

@@ -63,11 +63,17 @@ pub enum Action {
 impl std::fmt::Display for Action {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Action::Internal { automaton, edge } => write!(f, "tau(a{}, e{})", automaton.index(), edge),
+            Action::Internal { automaton, edge } => {
+                write!(f, "tau(a{}, e{})", automaton.index(), edge)
+            }
             Action::Sync { label, .. } => write!(f, "{label}"),
         }
     }
 }
+
+/// Per receiving automaton: the enabled receiving edges as
+/// (edge index, selected binding) pairs.
+type ReceiverChoices = Vec<(usize, Vec<i64>)>;
 
 /// The symbolic successor generator for a network.
 ///
@@ -122,7 +128,11 @@ impl<'n> Explorer<'n> {
                 max_consts[atom.j.index()] = max_consts[atom.j.index()].max(c);
             }
         }
-        Explorer { max_consts, net, extrapolate: true }
+        Explorer {
+            max_consts,
+            net,
+            extrapolate: true,
+        }
     }
 
     /// Disables maximal-constant extrapolation (ablation only).
@@ -290,7 +300,10 @@ impl<'n> Explorer<'n> {
                                 self.fire(state, &[(AutomatonId(ai), e, sel.clone())])
                             {
                                 out.push((
-                                    Action::Internal { automaton: AutomatonId(ai), edge: ei },
+                                    Action::Internal {
+                                        automaton: AutomatonId(ai),
+                                        edge: ei,
+                                    },
                                     next,
                                 ));
                             }
@@ -370,7 +383,8 @@ impl<'n> Explorer<'n> {
                             Action::Sync {
                                 label: format!(
                                     "{}[{}]",
-                                    self.net.channels[sync.channel.index()].name, idx
+                                    self.net.channels[sync.channel.index()].name,
+                                    idx
                                 ),
                                 sender: (AutomatonId(ai), ei),
                                 receivers: vec![(AutomatonId(bi), ri)],
@@ -397,7 +411,7 @@ impl<'n> Explorer<'n> {
         let (ai, ei, e, sel) = sender;
         // For each other automaton, collect its enabled receiving edges
         // (data guards only; validated at build time).
-        let mut choices: Vec<(usize, Vec<(usize, Vec<i64>)>)> = Vec::new();
+        let mut choices: Vec<(usize, ReceiverChoices)> = Vec::new();
         for (bi, b) in self.net.automata.iter().enumerate() {
             if bi == ai {
                 continue;
@@ -447,7 +461,8 @@ impl<'n> Explorer<'n> {
                     Action::Sync {
                         label: format!(
                             "{}[{}]!!",
-                            self.net.channels[sync.channel.index()].name, idx
+                            self.net.channels[sync.channel.index()].name,
+                            idx
                         ),
                         sender: (AutomatonId(ai), ei),
                         receivers,
@@ -579,24 +594,19 @@ impl<'n> Explorer<'n> {
                                 ChannelKind::Binary => {
                                     for (bi, b) in self.net.automata.iter().enumerate() {
                                         if bi == ai
-                                            || (any_committed
-                                                && !committed[ai]
-                                                && !committed[bi])
+                                            || (any_committed && !committed[ai] && !committed[bi])
                                         {
                                             continue;
                                         }
-                                        for r in
-                                            b.edges.iter().filter(|r| r.from == state.locs[bi])
+                                        for r in b.edges.iter().filter(|r| r.from == state.locs[bi])
                                         {
                                             let Some(rs) = &r.sync else { continue };
-                                            if rs.dir != SyncDir::Recv
-                                                || rs.channel != sync.channel
+                                            if rs.dir != SyncDir::Recv || rs.channel != sync.channel
                                             {
                                                 continue;
                                             }
                                             for rsel in SelectIter::new(&r.selects) {
-                                                if self.resolve_index(rs, state, &rsel)
-                                                    != Some(idx)
+                                                if self.resolve_index(rs, state, &rsel) != Some(idx)
                                                 {
                                                     continue;
                                                 }
@@ -862,7 +872,10 @@ mod tests {
         let s1 = s.location("S1");
         s.edge(s0, s1).send(bc).done();
         s.done();
-        for (name, guard) in [("R1", Expr::truth()), ("R2", Expr::var(flag).eq(Expr::konst(1)))] {
+        for (name, guard) in [
+            ("R1", Expr::truth()),
+            ("R2", Expr::var(flag).eq(Expr::konst(1))),
+        ] {
             let mut r = b.automaton(name);
             let r0 = r.location("R0");
             let r1 = r.location("R1");

@@ -40,6 +40,7 @@ mod explore;
 mod formula;
 mod liveness;
 mod model;
+mod par_reach;
 mod query;
 mod reach;
 

@@ -59,7 +59,10 @@ pub fn leads_to(net: &Network, phi: &StateFormula, psi: &StateFormula) -> (Verdi
             stats.transitions += 1;
             let key = succ.discrete();
             let entry = passed.entry(key).or_default();
-            if entry.iter().any(|&i| succ.zone.is_subset_of(&states[i].zone)) {
+            if entry
+                .iter()
+                .any(|&i| succ.zone.is_subset_of(&states[i].zone))
+            {
                 continue;
             }
             entry.retain(|&i| !states[i].zone.is_subset_of(&succ.zone));
@@ -88,7 +91,10 @@ pub fn leads_to(net: &Network, phi: &StateFormula, psi: &StateFormula) -> (Verdi
             let mut prefix = Vec::new();
             let mut cur = Some(start);
             while let Some(i) = cur {
-                prefix.push(TraceStep { action: None, state: states[i].clone() });
+                prefix.push(TraceStep {
+                    action: None,
+                    state: states[i].clone(),
+                });
                 cur = parents[i];
             }
             prefix.reverse();
@@ -122,7 +128,16 @@ fn avoid_search(
     let mut on_stack: HashSet<AvoidKey> = HashSet::new();
     let mut done: HashSet<AvoidKey> = HashSet::new();
     let mut path: Vec<SymState> = Vec::new();
-    dfs(net, explorer, start, psi, &mut on_stack, &mut done, &mut path, stats)
+    dfs(
+        net,
+        explorer,
+        start,
+        psi,
+        &mut on_stack,
+        &mut done,
+        &mut path,
+        stats,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -144,9 +159,15 @@ fn dfs(
         // ψ-avoiding cycle.
         let mut steps: Vec<TraceStep> = path
             .iter()
-            .map(|s| TraceStep { action: None, state: s.clone() })
+            .map(|s| TraceStep {
+                action: None,
+                state: s.clone(),
+            })
             .collect();
-        steps.push(TraceStep { action: None, state: state.clone() });
+        steps.push(TraceStep {
+            action: None,
+            state: state.clone(),
+        });
         return Some(Trace { steps });
     }
     if done.contains(&key) {
@@ -161,7 +182,10 @@ fn dfs(
         Some(Trace {
             steps: path
                 .iter()
-                .map(|s| TraceStep { action: None, state: s.clone() })
+                .map(|s| TraceStep {
+                    action: None,
+                    state: s.clone(),
+                })
                 .collect(),
         })
     } else {
@@ -180,7 +204,6 @@ fn dfs(
     result
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,11 +221,7 @@ mod tests {
         a.edge(l1, l0).reset(x, 0).done();
         let aid = a.done();
         let net = b.build();
-        let (v, _) = leads_to(
-            &net,
-            &StateFormula::at(aid, l0),
-            &StateFormula::at(aid, l1),
-        );
+        let (v, _) = leads_to(&net, &StateFormula::at(aid, l0), &StateFormula::at(aid, l1));
         assert!(v.holds());
     }
 
@@ -220,11 +239,7 @@ mod tests {
         a.edge(l2, l0).reset(x, 0).done();
         let aid = a.done();
         let net = b.build();
-        let (v, _) = leads_to(
-            &net,
-            &StateFormula::at(aid, l0),
-            &StateFormula::at(aid, l1),
-        );
+        let (v, _) = leads_to(&net, &StateFormula::at(aid, l0), &StateFormula::at(aid, l1));
         assert!(!v.holds());
     }
 
@@ -241,11 +256,7 @@ mod tests {
         a.edge(l0, l1).guard_clock(ClockAtom::ge(x, 1)).done();
         let aid = a.done();
         let net = b.build();
-        let (v, _) = leads_to(
-            &net,
-            &StateFormula::at(aid, l0),
-            &StateFormula::at(aid, l1),
-        );
+        let (v, _) = leads_to(&net, &StateFormula::at(aid, l0), &StateFormula::at(aid, l1));
         assert!(v.holds());
     }
 
@@ -262,11 +273,7 @@ mod tests {
         a.edge(l0, sink).reset(x, 0).done();
         let aid = a.done();
         let net = b.build();
-        let (v, _) = leads_to(
-            &net,
-            &StateFormula::at(aid, l0),
-            &StateFormula::at(aid, l1),
-        );
+        let (v, _) = leads_to(&net, &StateFormula::at(aid, l0), &StateFormula::at(aid, l1));
         assert!(!v.holds());
         let _ = sink;
     }

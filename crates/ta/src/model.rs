@@ -97,25 +97,41 @@ impl ClockAtom {
     /// `x ≤ c`.
     #[must_use]
     pub fn le(x: Clock, c: i64) -> Self {
-        ClockAtom { i: x, j: Clock::REF, bound: Bound::le(c) }
+        ClockAtom {
+            i: x,
+            j: Clock::REF,
+            bound: Bound::le(c),
+        }
     }
 
     /// `x < c`.
     #[must_use]
     pub fn lt(x: Clock, c: i64) -> Self {
-        ClockAtom { i: x, j: Clock::REF, bound: Bound::lt(c) }
+        ClockAtom {
+            i: x,
+            j: Clock::REF,
+            bound: Bound::lt(c),
+        }
     }
 
     /// `x ≥ c`.
     #[must_use]
     pub fn ge(x: Clock, c: i64) -> Self {
-        ClockAtom { i: Clock::REF, j: x, bound: Bound::le(-c) }
+        ClockAtom {
+            i: Clock::REF,
+            j: x,
+            bound: Bound::le(-c),
+        }
     }
 
     /// `x > c`.
     #[must_use]
     pub fn gt(x: Clock, c: i64) -> Self {
-        ClockAtom { i: Clock::REF, j: x, bound: Bound::lt(-c) }
+        ClockAtom {
+            i: Clock::REF,
+            j: x,
+            bound: Bound::lt(-c),
+        }
     }
 
     /// `xᵢ - xⱼ ≺ c` with an explicit bound.
@@ -632,7 +648,11 @@ impl EdgeBuilder<'_> {
     /// Emits on `channel[index]`.
     #[must_use]
     pub fn send_indexed(mut self, channel: ChannelId, index: Expr) -> Self {
-        self.edge.sync = Some(Sync { channel, index, dir: SyncDir::Send });
+        self.edge.sync = Some(Sync {
+            channel,
+            index,
+            dir: SyncDir::Send,
+        });
         self
     }
 
@@ -645,7 +665,11 @@ impl EdgeBuilder<'_> {
     /// Receives on `channel[index]`.
     #[must_use]
     pub fn recv_indexed(mut self, channel: ChannelId, index: Expr) -> Self {
-        self.edge.sync = Some(Sync { channel, index, dir: SyncDir::Recv });
+        self.edge.sync = Some(Sync {
+            channel,
+            index,
+            dir: SyncDir::Recv,
+        });
         self
     }
 
@@ -708,7 +732,10 @@ mod tests {
         assert_eq!(net.automata().len(), 2);
         assert_eq!(net.automaton(a_id).name, "A");
         assert_eq!(net.automaton_by_name("B"), Some(AutomatonId(1)));
-        assert_eq!(net.automaton(a_id).location_by_name("L1"), Some(LocationId(1)));
+        assert_eq!(
+            net.automaton(a_id).location_by_name("L1"),
+            Some(LocationId(1))
+        );
         assert_eq!(net.max_constants(), vec![0, 5]);
     }
 

@@ -1,0 +1,203 @@
+//! Parallel zone-graph exploration: N workers pulling from a shared waiting
+//! list with a mutex-striped passed list keyed on the discrete part of each
+//! symbolic state.
+//!
+//! The algorithm preserves the sequential engine's inclusion-reduction
+//! semantics exactly: a successor zone is discarded iff some stored zone for
+//! the same discrete state already contains it, and stored zones strictly
+//! contained in a new zone are evicted. Because the explored set is a
+//! fixpoint that does not depend on exploration order, the *verdict* is
+//! identical to the sequential engine's at any thread count; the witness
+//! trace may differ between runs (any valid trace to a goal state), which is
+//! why the sequential path (`threads = 1`) remains the reference oracle for
+//! trace-sensitive uses.
+
+use crate::explore::{Action, Explorer, SymState};
+use crate::formula::StateFormula;
+use crate::model::{LocationId, Network};
+use crate::reach::{Stats, Trace, TraceStep};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use tempo_conc::{ShardedMap, WorkQueue};
+use tempo_dbm::Dbm;
+use tempo_expr::Store;
+
+/// Arena-crossing node handle: worker index + index in that worker's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NodeId {
+    worker: u32,
+    index: u32,
+}
+
+/// One node of a worker-local exploration arena.
+struct Node {
+    state: SymState,
+    parent: Option<(NodeId, Action)>,
+}
+
+type DiscreteKey = (Vec<LocationId>, Store);
+
+/// Explore the zone graph with `threads` workers until a state satisfying
+/// `hit` is popped or the inclusion-reduced fixpoint is exhausted.
+///
+/// Returns the witness trace (if a hit was found) and exploration
+/// statistics aggregated across workers. States where `prune` holds
+/// everywhere are not expanded, mirroring the sequential engine.
+pub(crate) fn parallel_search<H>(
+    net: &Network,
+    explorer: &Explorer<'_>,
+    threads: usize,
+    hit: H,
+    prune: Option<&StateFormula>,
+) -> (Option<Trace>, Stats)
+where
+    H: Fn(&SymState) -> bool + std::marker::Sync,
+{
+    let threads = threads.max(2);
+    let queue: WorkQueue<(NodeId, SymState)> = WorkQueue::new(threads);
+    let passed: ShardedMap<DiscreteKey, Vec<(NodeId, Dbm)>> = ShardedMap::for_threads(threads);
+    let explored = AtomicUsize::new(0);
+    let transitions = AtomicUsize::new(0);
+    let goal_cell: Mutex<Option<NodeId>> = Mutex::new(None);
+
+    let init = explorer.initial_state();
+    let init_id = NodeId {
+        worker: 0,
+        index: 0,
+    };
+    {
+        let key = init.discrete();
+        let mut shard = passed.lock_shard(&key);
+        shard.insert(key, vec![(init_id, init.zone.clone())]);
+    }
+    let mut arenas: Vec<Vec<Node>> = (0..threads).map(|_| Vec::new()).collect();
+    arenas[0].push(Node {
+        state: init.clone(),
+        parent: None,
+    });
+    queue.push((init_id, init));
+
+    std::thread::scope(|scope| {
+        let (queue, passed) = (&queue, &passed);
+        let (explored, transitions, goal_cell) = (&explored, &transitions, &goal_cell);
+        let hit = &hit;
+        for (w, arena) in arenas.iter_mut().enumerate() {
+            scope.spawn(move || {
+                worker(
+                    w as u32,
+                    arena,
+                    queue,
+                    passed,
+                    explored,
+                    transitions,
+                    goal_cell,
+                    net,
+                    explorer,
+                    hit,
+                    prune,
+                )
+            });
+        }
+    });
+
+    let stats = Stats {
+        explored: explored.load(Ordering::Relaxed),
+        transitions: transitions.load(Ordering::Relaxed),
+        stored: passed
+            .into_inner()
+            .map(|m| m.values().map(Vec::len).sum::<usize>())
+            .sum(),
+    };
+    let trace = goal_cell
+        .into_inner()
+        .expect("goal cell poisoned")
+        .map(|goal| build_trace(&arenas, goal));
+    (trace, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker<H>(
+    w: u32,
+    arena: &mut Vec<Node>,
+    queue: &WorkQueue<(NodeId, SymState)>,
+    passed: &ShardedMap<DiscreteKey, Vec<(NodeId, Dbm)>>,
+    explored: &AtomicUsize,
+    transitions: &AtomicUsize,
+    goal_cell: &Mutex<Option<NodeId>>,
+    net: &Network,
+    explorer: &Explorer<'_>,
+    hit: &H,
+    prune: Option<&StateFormula>,
+) where
+    H: Fn(&SymState) -> bool + std::marker::Sync,
+{
+    while let Some((id, state)) = queue.pop() {
+        explored.fetch_add(1, Ordering::Relaxed);
+        if hit(&state) {
+            let mut goal = goal_cell.lock().expect("goal cell poisoned");
+            if goal.is_none() {
+                *goal = Some(id);
+            }
+            drop(goal);
+            queue.stop();
+            return;
+        }
+        if let Some(p) = prune {
+            if p.holds_everywhere(net, &state) {
+                continue;
+            }
+        }
+        for (action, succ) in explorer.successors(&state) {
+            if queue.is_stopped() {
+                return;
+            }
+            transitions.fetch_add(1, Ordering::Relaxed);
+            let key = succ.discrete();
+            let mut shard = passed.lock_shard(&key);
+            let entry = shard.entry(key).or_default();
+            if entry.iter().any(|(_, zone)| succ.zone.is_subset_of(zone)) {
+                continue;
+            }
+            entry.retain(|(_, zone)| !zone.is_subset_of(&succ.zone));
+            let nid = NodeId {
+                worker: w,
+                index: u32::try_from(arena.len()).expect("arena exceeds u32 indices"),
+            };
+            entry.push((nid, succ.zone.clone()));
+            drop(shard);
+            arena.push(Node {
+                state: succ.clone(),
+                parent: Some((id, action)),
+            });
+            queue.push((nid, succ));
+        }
+    }
+}
+
+/// Rebuild the witness by following parent pointers across worker arenas.
+/// Runs strictly after all workers have joined, so every arena is complete.
+fn build_trace(arenas: &[Vec<Node>], goal: NodeId) -> Trace {
+    let mut rev = Vec::new();
+    let mut cur = goal;
+    loop {
+        let node = &arenas[cur.worker as usize][cur.index as usize];
+        match &node.parent {
+            Some((parent, action)) => {
+                rev.push(TraceStep {
+                    action: Some(action.clone()),
+                    state: node.state.clone(),
+                });
+                cur = *parent;
+            }
+            None => {
+                rev.push(TraceStep {
+                    action: None,
+                    state: node.state.clone(),
+                });
+                break;
+            }
+        }
+    }
+    rev.reverse();
+    Trace { steps: rev }
+}

@@ -103,7 +103,11 @@ pub fn check_query(net: &Network, text: &str) -> Result<QueryResult, QueryError>
         Query::Always(f) => {
             let (verdict, stats) = mc.always(&f);
             match verdict {
-                Verdict::Satisfied => QueryResult { satisfied: true, trace: None, stats },
+                Verdict::Satisfied => QueryResult {
+                    satisfied: true,
+                    trace: None,
+                    stats,
+                },
                 Verdict::Violated(t) => QueryResult {
                     satisfied: false,
                     trace: Some(t),
@@ -122,7 +126,11 @@ pub fn check_query(net: &Network, text: &str) -> Result<QueryResult, QueryError>
         Query::LeadsTo(phi, psi) => {
             let (verdict, stats) = leads_to(net, &phi, &psi);
             match verdict {
-                Verdict::Satisfied => QueryResult { satisfied: true, trace: None, stats },
+                Verdict::Satisfied => QueryResult {
+                    satisfied: true,
+                    trace: None,
+                    stats,
+                },
                 Verdict::Violated(t) => QueryResult {
                     satisfied: false,
                     trace: Some(t),
@@ -133,7 +141,11 @@ pub fn check_query(net: &Network, text: &str) -> Result<QueryResult, QueryError>
         Query::DeadlockFree => {
             let (verdict, stats) = mc.deadlock_free();
             match verdict {
-                Verdict::Satisfied => QueryResult { satisfied: true, trace: None, stats },
+                Verdict::Satisfied => QueryResult {
+                    satisfied: true,
+                    trace: None,
+                    stats,
+                },
                 Verdict::Violated(t) => QueryResult {
                     satisfied: false,
                     trace: Some(t),
@@ -151,7 +163,11 @@ pub fn check_query(net: &Network, text: &str) -> Result<QueryResult, QueryError>
 /// Returns [`QueryError`] on syntax errors or unresolved names.
 pub fn parse_formula(net: &Network, text: &str) -> Result<StateFormula, QueryError> {
     let tokens = tokenize(text)?;
-    let mut p = FParser { net, tokens, pos: 0 };
+    let mut p = FParser {
+        net,
+        tokens,
+        pos: 0,
+    };
     let f = p.or_formula()?;
     if p.pos != p.tokens.len() {
         return Err(QueryError {
@@ -315,7 +331,9 @@ impl FParser<'_> {
     }
 
     fn err(&self, msg: impl Into<String>) -> QueryError {
-        QueryError { message: msg.into() }
+        QueryError {
+            message: msg.into(),
+        }
     }
 
     fn or_formula(&mut self) -> Result<StateFormula, QueryError> {
@@ -373,9 +391,7 @@ impl FParser<'_> {
                     .net
                     .automaton(aid)
                     .location_by_name(&loc_name)
-                    .ok_or_else(|| {
-                        self.err(format!("automaton {a} has no location {loc_name}"))
-                    })?;
+                    .ok_or_else(|| self.err(format!("automaton {a} has no location {loc_name}")))?;
                 return Ok(StateFormula::at(aid, lid));
             }
         }
@@ -549,11 +565,23 @@ mod tests {
     fn safety_queries() {
         let net = lamp();
         assert!(check_query(&net, "A[] level <= 2").unwrap().satisfied);
-        assert!(check_query(&net, "A[] not (Lamp.On and level == 0)").unwrap().satisfied);
+        assert!(
+            check_query(&net, "A[] not (Lamp.On and level == 0)")
+                .unwrap()
+                .satisfied
+        );
         assert!(!check_query(&net, "A[] Lamp.Off").unwrap().satisfied);
         // Clock bound: On implies x <= 10 (the invariant).
-        assert!(check_query(&net, "A[] !Lamp.On || x <= 10").unwrap().satisfied);
-        assert!(!check_query(&net, "A[] !Lamp.On || x <= 9").unwrap().satisfied);
+        assert!(
+            check_query(&net, "A[] !Lamp.On || x <= 10")
+                .unwrap()
+                .satisfied
+        );
+        assert!(
+            !check_query(&net, "A[] !Lamp.On || x <= 9")
+                .unwrap()
+                .satisfied
+        );
     }
 
     #[test]

@@ -123,6 +123,12 @@ pub struct ReachResult {
 
 /// The symbolic model checker for a network of timed automata.
 ///
+/// By default the checker runs its single-threaded reference engine. Call
+/// [`ModelChecker::with_threads`] (or [`ModelChecker::with_parallelism`])
+/// to explore the zone graph with a worker pool instead: verdicts are
+/// identical at any thread count, while witness traces may be any valid
+/// trace rather than the BFS-shortest one.
+///
 /// ```
 /// use tempo_ta::{NetworkBuilder, ModelChecker, StateFormula};
 /// let mut b = NetworkBuilder::new();
@@ -139,6 +145,7 @@ pub struct ReachResult {
 #[derive(Debug)]
 pub struct ModelChecker<'n> {
     net: &'n Network,
+    threads: usize,
 }
 
 /// Internal node of the exploration arena (for trace reconstruction).
@@ -148,10 +155,31 @@ struct Node {
 }
 
 impl<'n> ModelChecker<'n> {
-    /// Creates a checker for the network.
+    /// Creates a checker for the network (single-threaded reference
+    /// engine).
     #[must_use]
     pub fn new(net: &'n Network) -> Self {
-        ModelChecker { net }
+        ModelChecker { net, threads: 1 }
+    }
+
+    /// Use `threads` workers for zone-graph exploration (`<= 1` selects the
+    /// sequential reference engine).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Use the worker count resolved from a [`tempo_conc::ParallelConfig`].
+    #[must_use]
+    pub fn with_parallelism(self, config: tempo_conc::ParallelConfig) -> Self {
+        self.with_threads(config.threads())
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The network under analysis.
@@ -189,15 +217,34 @@ impl<'n> ModelChecker<'n> {
     /// BFS over the zone graph with an inclusion-reduced passed list.
     /// Stops when a state intersecting `goal` is found. `prune`: states
     /// fully satisfying it are not expanded (used by bounded searches).
+    /// Dispatches to the parallel engine when more than one worker is
+    /// configured.
     fn search(&mut self, goal: &StateFormula, prune: Option<&StateFormula>) -> ReachResult {
         let explorer = Explorer::with_extra_constants(self.net, &goal.clock_atoms());
+        if self.threads > 1 {
+            let (trace, stats) = crate::par_reach::parallel_search(
+                self.net,
+                &explorer,
+                self.threads,
+                |state: &SymState| goal.holds_somewhere(self.net, state),
+                prune,
+            );
+            return ReachResult {
+                reachable: trace.is_some(),
+                trace,
+                stats,
+            };
+        }
         let mut stats = Stats::default();
         let mut nodes: Vec<Node> = Vec::new();
         let mut passed: HashMap<(Vec<LocationId>, Store), Vec<usize>> = HashMap::new();
         let mut waiting: VecDeque<usize> = VecDeque::new();
 
         let init = explorer.initial_state();
-        nodes.push(Node { state: init, parent: None });
+        nodes.push(Node {
+            state: init,
+            parent: None,
+        });
         waiting.push_back(0);
         passed.insert(nodes[0].state.discrete(), vec![0]);
 
@@ -249,16 +296,33 @@ impl<'n> ModelChecker<'n> {
     }
 
     /// Full exploration checking the symbolic deadlock condition on every
-    /// state.
+    /// state. Dispatches to the parallel engine when more than one worker
+    /// is configured.
     fn deadlock_search(&mut self) -> (Verdict, Stats) {
         let explorer = Explorer::new(self.net);
+        if self.threads > 1 {
+            let (trace, stats) = crate::par_reach::parallel_search(
+                self.net,
+                &explorer,
+                self.threads,
+                |state: &SymState| !explorer.deadlock_federation(state).is_empty(),
+                None,
+            );
+            return match trace {
+                Some(t) => (Verdict::Violated(t), stats),
+                None => (Verdict::Satisfied, stats),
+            };
+        }
         let mut stats = Stats::default();
         let mut nodes: Vec<Node> = Vec::new();
         let mut passed: HashMap<(Vec<LocationId>, Store), Vec<usize>> = HashMap::new();
         let mut waiting: VecDeque<usize> = VecDeque::new();
 
         let init = explorer.initial_state();
-        nodes.push(Node { state: init, parent: None });
+        nodes.push(Node {
+            state: init,
+            parent: None,
+        });
         waiting.push_back(0);
         passed.insert(nodes[0].state.discrete(), vec![0]);
 

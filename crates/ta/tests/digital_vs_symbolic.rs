@@ -114,16 +114,16 @@ proptest! {
         let net = build(&edges, &invariants);
         let digital = digital_reachable(&net);
         let mut mc = ModelChecker::new(&net);
-        for loc in 0..LOCS {
+        for (loc, &dig) in digital.iter().enumerate() {
             let goal = StateFormula::at(tempo_ta::AutomatonId(0), LocationId(loc));
             let symbolic = mc.reachable(&goal).reachable;
             prop_assert_eq!(
                 symbolic,
-                digital[loc],
+                dig,
                 "location L{} disagreement (symbolic {}, digital {})",
                 loc,
                 symbolic,
-                digital[loc]
+                dig
             );
         }
     }
@@ -138,7 +138,7 @@ proptest! {
         let net = build(&edges, &invariants);
         let x = clock_is_x(&net);
         let exp = DigitalExplorer::new(&net);
-        let mut digital = vec![false; LOCS];
+        let mut digital = [false; LOCS];
         let mut seen = HashSet::new();
         let mut queue = VecDeque::new();
         let init = exp.initial_state();
@@ -160,13 +160,13 @@ proptest! {
             }
         }
         let mut mc = ModelChecker::new(&net);
-        for loc in 0..LOCS {
+        for (loc, &dig) in digital.iter().enumerate() {
             let goal = StateFormula::and(vec![
                 StateFormula::at(tempo_ta::AutomatonId(0), LocationId(loc)),
                 StateFormula::clock(ClockAtom::le(x, bound)),
             ]);
             let symbolic = mc.reachable(&goal).reachable;
-            prop_assert_eq!(symbolic, digital[loc], "L{} with x <= {}", loc, bound);
+            prop_assert_eq!(symbolic, dig, "L{} with x <= {}", loc, bound);
         }
     }
 

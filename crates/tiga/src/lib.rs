@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
+use tempo_conc::{run_workers, split_budget, ParallelConfig};
 use tempo_ta::{DigitalExplorer, DigitalMove, DigitalState, Network, StateFormula};
 
 /// What the synthesized controller prescribes in a state.
@@ -79,6 +80,7 @@ pub struct GameResult {
 #[derive(Debug)]
 pub struct GameSolver<'n> {
     exp: DigitalExplorer<'n>,
+    threads: usize,
 }
 
 /// Internal: the explored game graph.
@@ -97,7 +99,31 @@ impl<'n> GameSolver<'n> {
     pub fn new(net: &'n Network) -> Self {
         GameSolver {
             exp: DigitalExplorer::new(net),
+            threads: 1,
         }
+    }
+
+    /// Sets the number of worker threads used by the fixpoint sweeps.
+    ///
+    /// The winning region is the unique fixpoint of the controllable
+    /// predecessor, so verdict and strategy are identical at any thread
+    /// count; `threads = 1` keeps the original sequential sweep.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the thread count from a shared [`ParallelConfig`].
+    #[must_use]
+    pub fn with_parallelism(self, config: ParallelConfig) -> Self {
+        self.with_threads(config.threads())
+    }
+
+    /// The configured number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     fn build_graph(&self) -> Graph {
@@ -146,34 +172,49 @@ impl<'n> GameSolver<'n> {
             .iter()
             .map(|&g| if g { Some(0) } else { None })
             .collect();
+        let becomes_winning = |i: usize, rank: &[Option<usize>]| -> bool {
+            if rank[i].is_some() {
+                return false;
+            }
+            // All uncontrollable moves must stay in W.
+            let safe_u = graph.moves[i]
+                .iter()
+                .filter(|(m, _)| !m.controllable)
+                .all(|&(_, j)| rank[j].is_some());
+            if !safe_u {
+                return false;
+            }
+            let can_act = graph.moves[i]
+                .iter()
+                .any(|(m, j)| m.controllable && rank[*j].is_some());
+            let can_wait = graph.tick[i].is_some_and(|j| rank[j].is_some());
+            // If time is blocked and only uncontrollable moves exist,
+            // the environment is forced to move (into W, by safe_u).
+            let forced =
+                graph.tick[i].is_none() && graph.moves[i].iter().any(|(m, _)| !m.controllable);
+            can_act || can_wait || forced
+        };
         let mut round = 0_usize;
         loop {
             round += 1;
-            let mut added = Vec::new();
-            for i in 0..n {
-                if rank[i].is_some() {
-                    continue;
-                }
-                // All uncontrollable moves must stay in W.
-                let safe_u = graph.moves[i]
-                    .iter()
-                    .filter(|(m, _)| !m.controllable)
-                    .all(|&(_, j)| rank[j].is_some());
-                if !safe_u {
-                    continue;
-                }
-                let can_act = graph.moves[i]
-                    .iter()
-                    .any(|(m, j)| m.controllable && rank[*j].is_some());
-                let can_wait = graph.tick[i].is_some_and(|j| rank[j].is_some());
-                // If time is blocked and only uncontrollable moves exist,
-                // the environment is forced to move (into W, by safe_u).
-                let forced = graph.tick[i].is_none()
-                    && graph.moves[i].iter().any(|(m, _)| !m.controllable);
-                if can_act || can_wait || forced {
-                    added.push(i);
-                }
-            }
+            // Each round scans a snapshot of `rank` and applies additions
+            // afterwards, so chunking the scan across workers yields the
+            // same ranks as the sequential sweep.
+            let added: Vec<usize> = if self.threads > 1 {
+                let ranges = chunk_ranges(n, self.threads);
+                let rank_ref = &rank;
+                run_workers(self.threads, |w| {
+                    ranges[w]
+                        .clone()
+                        .filter(|&i| becomes_winning(i, rank_ref))
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            } else {
+                (0..n).filter(|&i| becomes_winning(i, &rank)).collect()
+            };
             if added.is_empty() {
                 break;
             }
@@ -222,35 +263,60 @@ impl<'n> GameSolver<'n> {
             .collect();
         // Greatest fixpoint: remove states the environment can force out
         // of W or where the controller cannot stay in W.
-        loop {
-            let mut changed = false;
-            for i in 0..n {
-                if !winning[i] {
-                    continue;
+        let stays_winning = |i: usize, winning: &[bool]| -> bool {
+            let safe_u = graph.moves[i]
+                .iter()
+                .filter(|(m, _)| !m.controllable)
+                .all(|&(_, j)| winning[j]);
+            // The controller must be able to stay in W when it has to
+            // move: delay into W, fire a controllable move into W, or
+            // rest in a state where neither time nor actions force an
+            // exit (no tick and no moves: a quiescent state).
+            let can_wait = graph.tick[i].is_some_and(|j| winning[j]);
+            let can_act = graph.moves[i]
+                .iter()
+                .any(|(m, j)| m.controllable && winning[*j]);
+            let quiescent = graph.tick[i].is_none() && graph.moves[i].is_empty();
+            // Environment forced to move into W when time is blocked.
+            let forced =
+                graph.tick[i].is_none() && graph.moves[i].iter().any(|(m, _)| !m.controllable);
+            safe_u && (can_wait || can_act || quiescent || forced)
+        };
+        if self.threads > 1 {
+            // Jacobi-style sweeps: remove against a per-sweep snapshot of
+            // W. The greatest fixpoint is unique, so this terminates on
+            // the same winning region as the in-place sequential sweep.
+            loop {
+                let ranges = chunk_ranges(n, self.threads);
+                let winning_ref = &winning;
+                let removed: Vec<usize> = run_workers(self.threads, |w| {
+                    ranges[w]
+                        .clone()
+                        .filter(|&i| winning_ref[i] && !stays_winning(i, winning_ref))
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+                if removed.is_empty() {
+                    break;
                 }
-                let safe_u = graph.moves[i]
-                    .iter()
-                    .filter(|(m, _)| !m.controllable)
-                    .all(|&(_, j)| winning[j]);
-                // The controller must be able to stay in W when it has to
-                // move: delay into W, fire a controllable move into W, or
-                // rest in a state where neither time nor actions force an
-                // exit (no tick and no moves: a quiescent state).
-                let can_wait = graph.tick[i].is_some_and(|j| winning[j]);
-                let can_act = graph.moves[i]
-                    .iter()
-                    .any(|(m, j)| m.controllable && winning[*j]);
-                let quiescent = graph.tick[i].is_none() && graph.moves[i].is_empty();
-                // Environment forced to move into W when time is blocked.
-                let forced = graph.tick[i].is_none()
-                    && graph.moves[i].iter().any(|(m, _)| !m.controllable);
-                if !(safe_u && (can_wait || can_act || quiescent || forced)) {
+                for i in removed {
                     winning[i] = false;
-                    changed = true;
                 }
             }
-            if !changed {
-                break;
+        } else {
+            loop {
+                let mut changed = false;
+                for i in 0..n {
+                    if winning[i] && !stays_winning(i, &winning) {
+                        winning[i] = false;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
             }
         }
         let mut strategy = Strategy::default();
@@ -287,7 +353,9 @@ impl<'n> GameSolver<'n> {
         let mut state = self.exp.initial_state();
         let mut visited = vec![state.clone()];
         for _ in 0..max_steps {
-            let Some(mv) = strategy.decide(&state) else { break };
+            let Some(mv) = strategy.decide(&state) else {
+                break;
+            };
             let next = match mv {
                 StrategyMove::Act(m) => self
                     .exp
@@ -319,6 +387,19 @@ impl<'n> GameSolver<'n> {
         }
         visited
     }
+}
+
+/// Splits `0..n` into `parts` contiguous index ranges of near-equal size.
+fn chunk_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let mut start = 0;
+    split_budget(n, parts)
+        .into_iter()
+        .map(|len| {
+            let range = start..start + len;
+            start += len;
+            range
+        })
+        .collect()
 }
 
 fn intern(graph: &mut Graph, state: DigitalState, frontier: &mut Vec<usize>) -> usize {
@@ -353,7 +434,10 @@ mod tests {
         let missed = a.location("Missed");
         a.edge(closed, open).reset(x, 0).uncontrollable().done();
         a.edge(open, inside).guard_clock(ClockAtom::le(x, 1)).done();
-        a.edge(open, missed).guard_clock(ClockAtom::ge(x, 1)).uncontrollable().done();
+        a.edge(open, missed)
+            .guard_clock(ClockAtom::ge(x, 1))
+            .uncontrollable()
+            .done();
         let aid = a.done();
         (b.build(), aid, inside)
     }
@@ -363,7 +447,10 @@ mod tests {
         let (net, aid, inside) = door_game();
         let solver = GameSolver::new(&net);
         let res = solver.solve_reachability(&StateFormula::at(aid, inside));
-        assert!(res.winning, "controller can enter as soon as the door opens");
+        assert!(
+            res.winning,
+            "controller can enter as soon as the door opens"
+        );
         assert!(res.strategy.size() > 0);
     }
 
@@ -396,8 +483,14 @@ mod tests {
         let mut a = b.automaton("A");
         let ok = a.location("Ok");
         let bad = a.location("Bad");
-        a.edge(ok, bad).guard_clock(ClockAtom::ge(x, 2)).uncontrollable().done();
-        a.edge(ok, ok).guard_clock(ClockAtom::ge(x, 1)).reset(x, 0).done();
+        a.edge(ok, bad)
+            .guard_clock(ClockAtom::ge(x, 2))
+            .uncontrollable()
+            .done();
+        a.edge(ok, ok)
+            .guard_clock(ClockAtom::ge(x, 1))
+            .reset(x, 0)
+            .done();
         let aid = a.done();
         let net = b.build();
         let solver = GameSolver::new(&net);
@@ -409,7 +502,10 @@ mod tests {
         let mut a = b.automaton("A");
         let ok = a.location("Ok");
         let bad = a.location("Bad");
-        a.edge(ok, bad).guard_clock(ClockAtom::ge(x, 2)).uncontrollable().done();
+        a.edge(ok, bad)
+            .guard_clock(ClockAtom::ge(x, 2))
+            .uncontrollable()
+            .done();
         let aid = a.done();
         let net = b.build();
         let solver = GameSolver::new(&net);

@@ -17,13 +17,24 @@ use tempo_core::modest::{Mctau, Modes, Scheduler};
 use tempo_models::brp::brp;
 
 fn main() {
-    let n: i64 = std::env::var("BRP_N").ok().and_then(|v| v.parse().ok()).unwrap_or(16);
-    let max: i64 = std::env::var("BRP_MAX").ok().and_then(|v| v.parse().ok()).unwrap_or(2);
-    let td: i64 = std::env::var("BRP_TD").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
+    let n: i64 = std::env::var("BRP_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let max: i64 = std::env::var("BRP_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let td: i64 = std::env::var("BRP_TD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     let dmax_bound = 64;
     let runs = 10_000;
 
-    println!("== Table I: results for the BRP model, parameters (N, MAX, TD) = ({n}, {max}, {td}) ==\n");
+    println!(
+        "== Table I: results for the BRP model, parameters (N, MAX, TD) = ({n}, {max}, {td}) ==\n"
+    );
     let model = brp(n, max, td);
 
     // ---------------- mctau ----------------
@@ -76,13 +87,30 @@ fn main() {
         let mut sim = Modes::new(&model.pta, &[], Scheduler::Alap, 2026);
         for _ in 0..runs {
             let run = sim.simulate(horizon, 1_000_000);
-            if run.globally(&exp, &ta1) { counts[0] += 1; }
-            if run.globally(&exp, &ta2) { counts[1] += 1; }
-            if run.first_hit(&exp, &pa).is_some() { counts[2] += 1; }
-            if run.first_hit(&exp, &pb).is_some() { counts[3] += 1; }
-            if run.first_hit(&exp, &p1).is_some() { counts[4] += 1; }
-            if run.first_hit(&exp, &p2).is_some() { counts[5] += 1; }
-            if run.first_hit(&exp, &success).is_some_and(|t| t <= dmax_bound) { counts[6] += 1; }
+            if run.globally(&exp, &ta1) {
+                counts[0] += 1;
+            }
+            if run.globally(&exp, &ta2) {
+                counts[1] += 1;
+            }
+            if run.first_hit(&exp, &pa).is_some() {
+                counts[2] += 1;
+            }
+            if run.first_hit(&exp, &pb).is_some() {
+                counts[3] += 1;
+            }
+            if run.first_hit(&exp, &p1).is_some() {
+                counts[4] += 1;
+            }
+            if run.first_hit(&exp, &p2).is_some() {
+                counts[5] += 1;
+            }
+            if run
+                .first_hit(&exp, &success)
+                .is_some_and(|t| t <= dmax_bound)
+            {
+                counts[6] += 1;
+            }
             durations.push(run.first_hit(&exp, &done).unwrap_or(horizon) as f64);
         }
     }
@@ -113,7 +141,7 @@ fn main() {
     let modes_time = t0.elapsed();
 
     // ---------------- the table ----------------
-    println!("{:<9} {:<14} {:<14} {}", "property", "mctau", "mcpta", "modes");
+    println!("{:<9} {:<14} {:<14} modes", "property", "mctau", "mcpta");
     println!("{:-<70}", "");
     let fmt_bool = |b: bool| if b { "true" } else { "FALSE" }.to_owned();
     let bern = |o: &tempo_core::modest::ModesObservation| {
@@ -132,14 +160,60 @@ fn main() {
             format!("VIOLATED in {} runs", o.runs - o.observations)
         }
     };
-    println!("{:<9} {:<14} {:<14} {}", "TA1", fmt_bool(m_ta1), fmt_bool(c_ta1), safe_bern(&s_ta1, "TA1"));
-    println!("{:<9} {:<14} {:<14} {}", "TA2", fmt_bool(m_ta2), fmt_bool(c_ta2), safe_bern(&s_ta2, "TA2"));
-    println!("{:<9} {:<14} {:<14} {}", "PA", m_pa.to_string(), format_p(c_pa), bern(&s_pa));
-    println!("{:<9} {:<14} {:<14} {}", "PB", m_pb.to_string(), format_p(c_pb), bern(&s_pb));
-    println!("{:<9} {:<14} {:<14} {}", "P1", m_p1.to_string(), format_p(c_p1), bern(&s_p1));
-    println!("{:<9} {:<14} {:<14} {}", "P2", m_p2.to_string(), format_p(c_p2), bern(&s_p2));
-    println!("{:<9} {:<14} {:<14} µ={:.4}, σ={:.2e}", "Dmax", m_dmax.to_string(), format_p(c_dmax), s_dmax.mean, s_dmax.std_dev);
-    println!("{:<9} {:<14} {:<14.3} µ={:.3}, σ={:.3}", "Emax", "n/a", c_emax, s_emax.mean, s_emax.std_dev);
+    println!(
+        "{:<9} {:<14} {:<14} {}",
+        "TA1",
+        fmt_bool(m_ta1),
+        fmt_bool(c_ta1),
+        safe_bern(&s_ta1, "TA1")
+    );
+    println!(
+        "{:<9} {:<14} {:<14} {}",
+        "TA2",
+        fmt_bool(m_ta2),
+        fmt_bool(c_ta2),
+        safe_bern(&s_ta2, "TA2")
+    );
+    println!(
+        "{:<9} {:<14} {:<14} {}",
+        "PA",
+        m_pa.to_string(),
+        format_p(c_pa),
+        bern(&s_pa)
+    );
+    println!(
+        "{:<9} {:<14} {:<14} {}",
+        "PB",
+        m_pb.to_string(),
+        format_p(c_pb),
+        bern(&s_pb)
+    );
+    println!(
+        "{:<9} {:<14} {:<14} {}",
+        "P1",
+        m_p1.to_string(),
+        format_p(c_p1),
+        bern(&s_p1)
+    );
+    println!(
+        "{:<9} {:<14} {:<14} {}",
+        "P2",
+        m_p2.to_string(),
+        format_p(c_p2),
+        bern(&s_p2)
+    );
+    println!(
+        "{:<9} {:<14} {:<14} µ={:.4}, σ={:.2e}",
+        "Dmax",
+        m_dmax.to_string(),
+        format_p(c_dmax),
+        s_dmax.mean,
+        s_dmax.std_dev
+    );
+    println!(
+        "{:<9} {:<14} {:<14.3} µ={:.3}, σ={:.3}",
+        "Emax", "n/a", c_emax, s_emax.mean, s_emax.std_dev
+    );
 
     println!();
     println!(
@@ -152,13 +226,23 @@ fn main() {
     );
     println!();
     println!("Shape checks vs the paper's Table I:");
-    println!("  * mctau: TA1/TA2 exact, PA/PB exactly 0, P1/P2/Dmax only [0, 1] — {}",
-        ok(m_ta1 && m_ta2 && m_pa.upper == 0.0 && m_pb.upper == 0.0
-            && m_p1.upper == 1.0 && m_p2.upper == 1.0));
-    println!("  * mcpta: PA=PB=0, 0 < P2 <= P1 << 1, Dmax ≈ 1 — {}",
-        ok(c_pa == 0.0 && c_pb == 0.0 && c_p2 > 0.0 && c_p2 <= c_p1 && c_p1 < 0.01 && c_dmax > 0.9));
-    println!("  * modes: rare events (PA, PB, P2) unobserved in {runs} runs — {}",
-        ok(s_pa.observations == 0 && s_pb.observations == 0));
+    println!(
+        "  * mctau: TA1/TA2 exact, PA/PB exactly 0, P1/P2/Dmax only [0, 1] — {}",
+        ok(m_ta1
+            && m_ta2
+            && m_pa.upper == 0.0
+            && m_pb.upper == 0.0
+            && m_p1.upper == 1.0
+            && m_p2.upper == 1.0)
+    );
+    println!(
+        "  * mcpta: PA=PB=0, 0 < P2 <= P1 << 1, Dmax ≈ 1 — {}",
+        ok(c_pa == 0.0 && c_pb == 0.0 && c_p2 > 0.0 && c_p2 <= c_p1 && c_p1 < 0.01 && c_dmax > 0.9)
+    );
+    println!(
+        "  * modes: rare events (PA, PB, P2) unobserved in {runs} runs — {}",
+        ok(s_pa.observations == 0 && s_pb.observations == 0)
+    );
 }
 
 fn format_p(p: f64) -> String {

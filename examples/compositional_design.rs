@@ -14,7 +14,9 @@
 //! Run with: `cargo run --release --example compositional_design`
 
 use tempo_core::bip::{check_deadlock_freedom, Composite, DfinderVerdict, InteractionKind};
-use tempo_core::ecdar::{conjunction, find_inconsistency, parallel, refines, TioaAtom, TioaBuilder};
+use tempo_core::ecdar::{
+    conjunction, find_inconsistency, parallel, refines, TioaAtom, TioaBuilder,
+};
 use tempo_core::expr::Expr;
 use tempo_core::modest::{compile, parse_modest, Mcpta};
 use tempo_core::ta::StateFormula;
@@ -35,7 +37,10 @@ fn ecdar_flow() {
     c.input(ci, cp, "req").reset(t).done();
     c.output(cp, ci, "resp").done();
     let contract = c.build();
-    println!("contract consistent: {}", find_inconsistency(&contract).is_none());
+    println!(
+        "contract consistent: {}",
+        find_inconsistency(&contract).is_none()
+    );
 
     // Component A: respond within [2, 6]; Component-level requirement B:
     // never respond before 1.
@@ -58,7 +63,9 @@ fn ecdar_flow() {
     let si = slow.location("Idle");
     let sp = slow.location_with_invariant("Pending", vec![TioaAtom::le(y, 20)]);
     slow.input(si, sp, "req").reset(y).done();
-    slow.output(sp, si, "resp").guard(TioaAtom::ge(y, 12)).done();
+    slow.output(sp, si, "resp")
+        .guard(TioaAtom::ge(y, 12))
+        .done();
     let slow = slow.build();
     match refines(&slow, &contract) {
         Ok(()) => println!("Slow ≤ Contract: refinement holds (unexpected!)"),
@@ -178,7 +185,10 @@ fn bip_flow() {
             "D-Finder on the flattened system: DEADLOCK-FREE ({candidates} candidates examined)"
         ),
         DfinderVerdict::Unknown { suspects } => {
-            println!("D-Finder: {} suspects for explicit checking", suspects.len());
+            println!(
+                "D-Finder: {} suspects for explicit checking",
+                suspects.len()
+            );
         }
     }
     println!(

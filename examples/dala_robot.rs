@@ -15,8 +15,7 @@
 //! Run with: `cargo run --release --example dala_robot`
 
 use tempo_core::bip::{
-    check_deadlock_freedom, fault_injection_campaign, synthesize_safety_controller,
-    DfinderVerdict,
+    check_deadlock_freedom, fault_injection_campaign, synthesize_safety_controller, DfinderVerdict,
 };
 use tempo_models::dala::dala;
 
@@ -56,12 +55,19 @@ fn main() {
     println!(
         "explicit exploration: {} reachable states, deadlock: {} ({:.2?})",
         reachable.len(),
-        explicit_dead.is_none().then_some("none").unwrap_or("FOUND"),
+        if explicit_dead.is_none() {
+            "none"
+        } else {
+            "FOUND"
+        },
         t0.elapsed()
     );
     let t0 = std::time::Instant::now();
     match check_deadlock_freedom(&d.sys, 1_000_000) {
-        DfinderVerdict::DeadlockFree { candidates, eliminated_by_traps } => println!(
+        DfinderVerdict::DeadlockFree {
+            candidates,
+            eliminated_by_traps,
+        } => println!(
             "D-Finder (compositional): DEADLOCK-FREE — {candidates} candidate \
              configuration(s), {eliminated_by_traps} refuted by trap invariants ({:.2?})",
             t0.elapsed()
@@ -94,7 +100,8 @@ fn main() {
         "  without controller: {:>3}/{} runs reached an unsafe state",
         without.unsafe_runs, without.runs
     );
-    let with = fault_injection_campaign(&d.sys, Some(&synthesis.controller), d.bad(), runs, steps, 7);
+    let with =
+        fault_injection_campaign(&d.sys, Some(&synthesis.controller), d.bad(), runs, steps, 7);
     println!(
         "  with controller   : {:>3}/{} runs reached an unsafe state \
          ({} interactions still executed)",

@@ -23,9 +23,18 @@ fn main() {
     let spec = dispenser_spec();
     let implementations: Vec<(&str, tempo_core::ioco::Lts)> = vec![
         ("good", dispenser_good()),
-        ("mutant-output (tea after one coin)", dispenser_mutant_output()),
-        ("mutant-silent (may swallow the coin)", dispenser_mutant_silent()),
-        ("mutant-refund (undeclared output)", dispenser_mutant_refund()),
+        (
+            "mutant-output (tea after one coin)",
+            dispenser_mutant_output(),
+        ),
+        (
+            "mutant-silent (may swallow the coin)",
+            dispenser_mutant_silent(),
+        ),
+        (
+            "mutant-refund (undeclared output)",
+            dispenser_mutant_refund(),
+        ),
     ];
 
     // ---------------- the ioco relation, decided exactly ----------------
@@ -71,14 +80,22 @@ fn main() {
     // ---------------- rtioco (UPPAAL-TRON analogue) ----------------
     println!("\nrtioco online testing (req -> resp within 3 time units):");
     let timed_spec = controller_spec(3);
-    for (name, delay) in [("responds after 1", 1), ("responds after 3", 3), ("responds after 5", 5)] {
+    for (name, delay) in [
+        ("responds after 1", 1),
+        ("responds after 3", 3),
+        ("responds after 5", 5),
+    ] {
         let mut tester = TimedTester::new(&timed_spec, &["req"], &["resp"], 7);
         let mut iut = FixedDelayController::new(delay);
         let (failures, _) = tester.campaign(&mut iut, 50, 60);
         let expected = delay <= 3;
         println!(
             "  IUT {name:<18}: {failures:>2}/50 sessions failed — {}",
-            if (failures == 0) == expected { "as expected" } else { "MISMATCH" }
+            if (failures == 0) == expected {
+                "as expected"
+            } else {
+                "MISMATCH"
+            }
         );
     }
 }

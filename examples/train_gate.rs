@@ -11,23 +11,32 @@
 //!
 //! Run with: `cargo run --release --example train_gate`
 
+use tempo_core::conc::ParallelConfig;
 use tempo_core::smc::StatisticalChecker;
 use tempo_core::ta::{check_query, ModelChecker};
 use tempo_core::tiga::GameSolver;
 use tempo_models::{train_gate, train_gate_game};
 
 fn main() {
-    verification();
-    synthesis();
-    performance();
+    // One knob drives every engine; default = all available cores.
+    // Results are thread-count independent (see README "Parallel
+    // analysis"), so this only affects wall-clock time.
+    let config = ParallelConfig::default();
+    println!(
+        "worker threads: {} (results are identical at any count)\n",
+        config.threads()
+    );
+    verification(config);
+    synthesis(config);
+    performance(config);
 }
 
 /// E1: the §II.A(a) verification queries.
-fn verification() {
+fn verification(config: ParallelConfig) {
     println!("== E1: verification of the Fig. 1 model ==");
     for n in 2..=4 {
         let tg = train_gate(n);
-        let mut mc = ModelChecker::new(&tg.net);
+        let mut mc = ModelChecker::new(&tg.net).with_parallelism(config);
 
         // Safety: the paper's forall-forall query, built programmatically
         // (our query language has no binders).
@@ -39,7 +48,10 @@ fn verification() {
         );
         // Deadlock-freedom and liveness via UPPAAL-style textual queries.
         let dl = check_query(&tg.net, "A[] not deadlock").expect("query parses");
-        println!("N={n}: A[] not deadlock                  : {:5}", dl.satisfied);
+        println!(
+            "N={n}: A[] not deadlock                  : {:5}",
+            dl.satisfied
+        );
         for id in 0..n {
             let q = format!("Train{id}.Appr --> Train{id}.Cross");
             let live = check_query(&tg.net, &q).expect("query parses");
@@ -50,10 +62,10 @@ fn verification() {
 }
 
 /// E2: the §II.A(b) synthesis with the timed game of Figs. 2–3.
-fn synthesis() {
+fn synthesis(config: ParallelConfig) {
     println!("== E2: controller synthesis (UPPAAL-TIGA, Figs. 2-3) ==");
     let g = train_gate_game(2);
-    let solver = GameSolver::new(&g.net);
+    let solver = GameSolver::new(&g.net).with_parallelism(config);
     let result = solver.solve_safety(&g.collision());
     println!(
         "N=2: safety game (never two trains on the bridge): winning = {}, \
@@ -78,7 +90,7 @@ fn synthesis() {
 }
 
 /// E3: the §II.A(c) performance analysis — Fig. 4's CDF.
-fn performance() {
+fn performance(config: ParallelConfig) {
     println!("== E3: Pr[<=100](<> Train(i).Cross) — the Fig. 4 CDF ==");
     let n = 6;
     let tg = train_gate(n);
@@ -87,7 +99,8 @@ fn performance() {
 
     let mut series = Vec::new();
     for id in 0..n {
-        let mut smc = StatisticalChecker::new(&tg.net, tg.rates(), 1000 + id as u64);
+        let mut smc = StatisticalChecker::new(&tg.net, tg.rates(), 1000 + id as u64)
+            .with_parallelism(config);
         let cdf = smc.cdf(&tg.cross(id), 100.0, runs);
         series.push(cdf.series(&grid));
     }

@@ -4,8 +4,7 @@
 //! controller).
 
 use tempo_core::bip::{
-    check_deadlock_freedom, fault_injection_campaign, synthesize_safety_controller,
-    DfinderVerdict,
+    check_deadlock_freedom, fault_injection_campaign, synthesize_safety_controller, DfinderVerdict,
 };
 use tempo_core::ioco::{check_ioco, LtsIut, TestGenerator, TimedTester};
 use tempo_models::dala::dala;
@@ -29,9 +28,18 @@ fn e5_dala_full_chain() {
     let uncontrolled = fault_injection_campaign(&d.sys, None, d.bad(), 60, 300, 3);
     let controlled =
         fault_injection_campaign(&d.sys, Some(&synthesis.controller), d.bad(), 60, 300, 3);
-    assert!(uncontrolled.unsafe_runs > 0, "faults do reach unsafe states unguarded");
-    assert_eq!(controlled.unsafe_runs, 0, "the controller blocks every unsafe run");
-    assert!(controlled.total_steps > 1000, "the controlled system is not frozen");
+    assert!(
+        uncontrolled.unsafe_runs > 0,
+        "faults do reach unsafe states unguarded"
+    );
+    assert_eq!(
+        controlled.unsafe_runs, 0,
+        "the controller blocks every unsafe run"
+    );
+    assert!(
+        controlled.total_steps > 1000,
+        "the controlled system is not frozen"
+    );
 }
 
 #[test]

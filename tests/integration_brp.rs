@@ -186,17 +186,21 @@ fn textual_brp_agrees_with_ast_brp() {
     ));
     let p2_text = mc.pmax(&StateFormula::data(Expr::var(srep).eq(Expr::konst(3))));
     let emax_text = mc.emax_time(&StateFormula::data(Expr::var(srep).ne(Expr::konst(0))));
-    assert!(mc.check_invariant(&StateFormula::data(
-        Expr::var(premature).eq(Expr::konst(0))
-    )));
+    assert!(mc.check_invariant(&StateFormula::data(Expr::var(premature).eq(Expr::konst(0)))));
 
     let ast = brp(2, 1, 1);
     let mc_ast = ast.mcpta(0, 5_000_000);
     let p1_ast = mc_ast.pmax(&ast.p1_goal());
     let p2_ast = mc_ast.pmax(&ast.p2_goal());
     let emax_ast = mc_ast.emax_time(&ast.done());
-    assert!((p1_text - p1_ast).abs() < 1e-9, "P1 text {p1_text} vs ast {p1_ast}");
-    assert!((p2_text - p2_ast).abs() < 1e-9, "P2 text {p2_text} vs ast {p2_ast}");
+    assert!(
+        (p1_text - p1_ast).abs() < 1e-9,
+        "P1 text {p1_text} vs ast {p1_ast}"
+    );
+    assert!(
+        (p2_text - p2_ast).abs() < 1e-9,
+        "P2 text {p2_text} vs ast {p2_ast}"
+    );
     assert!(
         (emax_text - emax_ast).abs() < 1e-6,
         "Emax text {emax_text} vs ast {emax_ast}"

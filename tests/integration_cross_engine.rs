@@ -4,8 +4,10 @@
 //! oracle for the reproduction.
 
 use tempo_core::cora::PricedNetwork;
-use tempo_core::modest::{compile, Assignment, Mcpta, Mctau, Modes, ModestModel, PaltBranch, Process, Scheduler};
 use tempo_core::expr::Expr;
+use tempo_core::modest::{
+    compile, Assignment, Mcpta, Mctau, Modes, ModestModel, PaltBranch, Process, Scheduler,
+};
 use tempo_core::smc::{RatePolicy, StatisticalChecker};
 use tempo_core::ta::{ClockAtom, DigitalExplorer, ModelChecker, NetworkBuilder, StateFormula};
 
@@ -100,7 +102,9 @@ fn mcpta_and_modes_agree_on_probability() {
     let expected = 1.0 - 0.3_f64.powi(2);
     assert!((exact - expected).abs() < 1e-9);
     let mut modes = Modes::new(&pta, &[], Scheduler::Asap, 3);
-    let obs = modes.observe(4000, 50, 100, |exp, run| run.first_hit(exp, &goal).is_some());
+    let obs = modes.observe(4000, 50, 100, |exp, run| {
+        run.first_hit(exp, &goal).is_some()
+    });
     assert!(
         (obs.mean - exact).abs() < 0.03,
         "modes {} vs mcpta {exact}",

@@ -28,7 +28,9 @@ fn fixed_delay(d: i64) -> Tioa {
     let idle = b.location("Idle");
     let busy = b.location_with_invariant("Busy", vec![TioaAtom::le(t, d)]);
     b.input(idle, busy, "req").reset(t).done();
-    b.output(busy, idle, "resp").guard(TioaAtom::ge(t, d)).done();
+    b.output(busy, idle, "resp")
+        .guard(TioaAtom::ge(t, d))
+        .done();
     b.build()
 }
 
@@ -81,7 +83,9 @@ fn conjunction_is_the_tightest_common_contract() {
         let idle = b.location("Idle");
         let busy = b.location_with_invariant("Busy", vec![TioaAtom::le(t, 9)]);
         b.input(idle, busy, "req").reset(t).done();
-        b.output(busy, idle, "resp").guard(TioaAtom::ge(t, 2)).done();
+        b.output(busy, idle, "resp")
+            .guard(TioaAtom::ge(t, 2))
+            .done();
         b.build()
     };
     let late = contract(5); // resp no later than 5.

@@ -1,0 +1,165 @@
+//! Integration test: the parallel engines agree with the sequential
+//! reference paths. Parallel zone-graph reachability must return the same
+//! verdict (and a valid witness trace) as the sequential oracle on the
+//! train-gate at several thread counts, and parallel statistical model
+//! checking must be run-to-run deterministic for a fixed seed and thread
+//! count.
+
+use tempo_core::smc::StatisticalChecker;
+use tempo_core::ta::{Explorer, ModelChecker, Network, StateFormula, Trace};
+use tempo_core::tiga::GameSolver;
+use tempo_models::{train_gate, train_gate_game};
+
+/// Replays a witness trace against the explorer: it must start in the
+/// initial symbolic state, follow real transitions, and end in a state
+/// where the goal holds.
+fn assert_valid_witness(net: &Network, trace: &Trace, goal: &StateFormula) {
+    let explorer = Explorer::new(net);
+    let first = &trace.steps[0];
+    assert!(
+        first.action.is_none(),
+        "trace must start at the initial state"
+    );
+    assert_eq!(first.state, explorer.initial_state());
+    for pair in trace.steps.windows(2) {
+        let (prev, step) = (&pair[0], &pair[1]);
+        let action = step
+            .action
+            .as_ref()
+            .expect("non-initial step has an action");
+        assert!(
+            explorer
+                .successors(&prev.state)
+                .iter()
+                .any(|(a, s)| a == action && s == &step.state),
+            "every step must be a real transition of the zone graph"
+        );
+    }
+    let last = &trace.steps[trace.steps.len() - 1].state;
+    assert!(
+        goal.holds_somewhere(net, last),
+        "trace must end in the goal"
+    );
+}
+
+#[test]
+fn parallel_reach_matches_sequential_on_train_gate() {
+    for n in 2..=3 {
+        let tg = train_gate(n);
+        let goal = StateFormula::and(vec![
+            StateFormula::at(tg.trains[0], tg.train_locs.stop),
+            StateFormula::at(tg.trains[1], tg.train_locs.cross),
+        ]);
+        let seq = ModelChecker::new(&tg.net).reachable(&goal);
+        assert!(seq.reachable, "N={n}: the goal is reachable sequentially");
+        for threads in [2, 3, 4] {
+            let par = ModelChecker::new(&tg.net)
+                .with_threads(threads)
+                .reachable(&goal);
+            assert_eq!(
+                par.reachable, seq.reachable,
+                "N={n}, threads={threads}: verdict must match the oracle"
+            );
+            let trace = par.trace.expect("reachable result carries a witness");
+            assert_valid_witness(&tg.net, &trace, &goal);
+            assert!(par.stats.explored > 0, "stats must count explored states");
+            assert!(par.stats.stored > 0, "stats must count stored zones");
+        }
+    }
+}
+
+#[test]
+fn parallel_safety_and_deadlock_match_sequential() {
+    for n in 2..=3 {
+        let tg = train_gate(n);
+        let (seq_safe, seq_stats) = ModelChecker::new(&tg.net).always(&tg.safety());
+        let (seq_dl, _) = ModelChecker::new(&tg.net).deadlock_free();
+        for threads in [2, 3, 4] {
+            let (par_safe, par_stats) = ModelChecker::new(&tg.net)
+                .with_threads(threads)
+                .always(&tg.safety());
+            assert_eq!(
+                par_safe.holds(),
+                seq_safe.holds(),
+                "N={n}, threads={threads}"
+            );
+            // An exhausted search reaches the same inclusion-reduced
+            // fixpoint regardless of exploration order, so the passed-list
+            // size must agree with the sequential engine exactly.
+            assert_eq!(
+                par_stats.stored, seq_stats.stored,
+                "N={n}, threads={threads}: fixpoint size must match"
+            );
+            let (par_dl, dl_stats) = ModelChecker::new(&tg.net)
+                .with_threads(threads)
+                .deadlock_free();
+            assert_eq!(par_dl.holds(), seq_dl.holds(), "N={n}, threads={threads}");
+            assert!(dl_stats.stored > 0);
+        }
+    }
+}
+
+#[test]
+fn parallel_smc_is_run_to_run_deterministic() {
+    let tg = train_gate(3);
+    for threads in [1, 2, 3, 8] {
+        let run = |seed: u64| {
+            let mut smc = StatisticalChecker::new(&tg.net, tg.rates(), seed).with_threads(threads);
+            let p = smc.probability(&tg.cross(0), 100.0, 120, 0.95);
+            let cdf = smc.cdf(&tg.cross(0), 100.0, 120);
+            let grid: Vec<f64> = (1..=10).map(|k| 10.0 * k as f64).collect();
+            (p, cdf.hits(), cdf.series(&grid))
+        };
+        let (p1, hits1, series1) = run(42);
+        let (p2, hits2, series2) = run(42);
+        assert_eq!(p1, p2, "threads={threads}: estimates must be bitwise equal");
+        assert_eq!(hits1, hits2, "threads={threads}");
+        assert_eq!(series1, series2, "threads={threads}: CDF must be identical");
+        let (p3, _, _) = run(43);
+        assert_ne!(
+            (p1.successes, p1.runs),
+            (p3.successes, usize::MAX),
+            "sanity: a different seed still runs"
+        );
+    }
+}
+
+#[test]
+fn parallel_smc_spreads_work_and_keeps_budget() {
+    // The run budget must be preserved exactly under partitioning, and the
+    // merged estimate must stay in agreement with the sequential one at
+    // the statistical level (same model, same number of runs).
+    let tg = train_gate(2);
+    let runs = 200;
+    let mut seq = StatisticalChecker::new(&tg.net, tg.rates(), 7);
+    let p_seq = seq.probability(&tg.cross(0), 100.0, runs, 0.95);
+    let mut par = StatisticalChecker::new(&tg.net, tg.rates(), 7).with_threads(4);
+    let p_par = par.probability(&tg.cross(0), 100.0, runs, 0.95);
+    assert_eq!(p_seq.runs, runs);
+    assert_eq!(p_par.runs, runs, "partitioned budget must sum to the total");
+    assert!(
+        (p_seq.mean - p_par.mean).abs() < 0.15,
+        "sequential ({}) and parallel ({}) estimates must agree statistically",
+        p_seq.mean,
+        p_par.mean
+    );
+    let safe = par.count_globally(&tg.safety(), 150.0, 160);
+    assert_eq!(safe, 160, "mutual exclusion holds on every simulated run");
+}
+
+#[test]
+fn parallel_game_solver_matches_sequential() {
+    let g = train_gate_game(2);
+    let seq = GameSolver::new(&g.net).solve_safety(&g.collision());
+    for threads in [2, 4] {
+        let par = GameSolver::new(&g.net)
+            .with_threads(threads)
+            .solve_safety(&g.collision());
+        assert_eq!(par.winning, seq.winning, "threads={threads}");
+        assert_eq!(
+            par.strategy.size(),
+            seq.strategy.size(),
+            "threads={threads}: the winning region is a unique fixpoint"
+        );
+    }
+}

@@ -53,7 +53,10 @@ fn e2_synthesized_strategy_is_safe() {
             !exp.satisfies(s, &g.collision()),
             "strategy must prevent collisions"
         );
-        assert!(result.strategy.is_winning(s), "the run stays in the winning region");
+        assert!(
+            result.strategy.is_winning(s),
+            "the run stays in the winning region"
+        );
     }
 }
 
@@ -75,7 +78,10 @@ fn e3_cdf_shape_matches_fig4() {
             assert!(w[0].1 <= w[1].1, "CDF must be monotone");
         }
         let final_p = series.last().unwrap().1;
-        assert!(final_p > 0.9, "train {id} crosses by t=100 in most runs: {final_p}");
+        assert!(
+            final_p > 0.9,
+            "train {id} crosses by t=100 in most runs: {final_p}"
+        );
         at_40.push(cdf.at(40.0));
     }
     assert!(
@@ -91,5 +97,8 @@ fn smc_safety_agrees_with_model_checker() {
     let tg = train_gate(3);
     let mut smc = StatisticalChecker::new(&tg.net, tg.rates(), 9);
     let safe_runs = smc.count_globally(&tg.safety(), 150.0, 200);
-    assert_eq!(safe_runs, 200, "no simulated run may violate mutual exclusion");
+    assert_eq!(
+        safe_runs, 200,
+        "no simulated run may violate mutual exclusion"
+    );
 }
