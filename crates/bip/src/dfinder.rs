@@ -17,6 +17,7 @@ use crate::component::{ComponentId, PortId, StateId};
 use crate::system::{BipSystem, InteractionKind};
 use std::collections::HashSet;
 use tempo_expr::Expr;
+use tempo_obs::{Budget, Outcome, RunReport};
 
 /// The verdict of the compositional check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +54,20 @@ struct Mode {
 /// listed.
 #[must_use]
 pub fn check_deadlock_freedom(sys: &BipSystem, max_candidates: usize) -> DfinderVerdict {
+    check_deadlock_freedom_governed(sys, max_candidates, &Budget::unlimited()).into_value()
+}
+
+/// Compositional deadlock-freedom check under a resource [`Budget`]:
+/// each enumeration step charges one iteration. On exhaustion the
+/// partial verdict is [`DfinderVerdict::Unknown`] with the suspects
+/// found so far — the method is conservative, so an interrupted run
+/// never claims deadlock freedom.
+pub fn check_deadlock_freedom_governed(
+    sys: &BipSystem,
+    max_candidates: usize,
+    budget: &Budget,
+) -> Outcome<DfinderVerdict> {
+    let gov = budget.governor();
     let local = component_invariants(sys);
     let modes = firing_modes(sys);
     let initial_places: Vec<(usize, usize)> = sys
@@ -69,12 +84,21 @@ pub fn check_deadlock_freedom(sys: &BipSystem, max_candidates: usize) -> Dfinder
     let mut eliminated_by_traps = 0_usize;
     let mut work = 0_usize;
     let mut stack: Vec<Vec<StateId>> = vec![Vec::new()];
+    let mut exhausted = false;
     while let Some(partial) = stack.pop() {
+        if !gov.charge_iteration() || !gov.check_time() {
+            exhausted = true;
+            break;
+        }
         work += 1;
         if work > max_candidates {
-            return DfinderVerdict::Unknown {
-                suspects: Vec::new(),
-            };
+            let report = dfinder_report(&gov, candidates, work);
+            return gov.finish_complete(
+                DfinderVerdict::Unknown {
+                    suspects: Vec::new(),
+                },
+                report,
+            );
         }
         if partial.len() == sys.components().len() {
             if surely_enabled_exists(sys, &partial) {
@@ -95,13 +119,32 @@ pub fn check_deadlock_freedom(sys: &BipSystem, max_candidates: usize) -> Dfinder
             stack.push(next);
         }
     }
-    if suspects.is_empty() {
-        DfinderVerdict::DeadlockFree {
-            candidates,
-            eliminated_by_traps,
-        }
-    } else {
-        DfinderVerdict::Unknown { suspects }
+    let report = dfinder_report(&gov, candidates, work);
+    if exhausted {
+        // The enumeration did not finish: freedom cannot be claimed.
+        return gov.finish(DfinderVerdict::Unknown { suspects }, report);
+    }
+    gov.finish_complete(
+        if suspects.is_empty() {
+            DfinderVerdict::DeadlockFree {
+                candidates,
+                eliminated_by_traps,
+            }
+        } else {
+            DfinderVerdict::Unknown { suspects }
+        },
+        report,
+    )
+}
+
+/// [`RunReport`] for the candidate enumeration: candidates examined map
+/// to explored states, enumeration steps to sweeps.
+fn dfinder_report(gov: &tempo_obs::Governor, candidates: usize, work: usize) -> RunReport {
+    RunReport {
+        states_explored: candidates as u64,
+        sweeps: work as u64,
+        wall_time: gov.elapsed(),
+        ..RunReport::default()
     }
 }
 

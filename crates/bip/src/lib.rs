@@ -52,7 +52,9 @@ pub use controller::{
     fault_injection_campaign, synthesize_safety_controller, FaultInjectionReport, SafetyController,
     SynthesisResult,
 };
-pub use dfinder::{check_deadlock_freedom, component_invariants, DfinderVerdict};
+pub use dfinder::{
+    check_deadlock_freedom, check_deadlock_freedom_governed, component_invariants, DfinderVerdict,
+};
 pub use system::{
     BipState, BipSystem, BipSystemBuilder, ComponentBuilder, Engine, Interaction, InteractionId,
     InteractionKind, Priority,

@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
 use tempo_expr::{Decls, Expr, Stmt, Store};
+use tempo_obs::{Budget, Outcome, RunReport};
 
 /// Identifier of an interaction (connector) in a [`BipSystem`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -220,38 +221,125 @@ impl BipSystem {
 
     /// Explores all reachable global states; `limit` bounds the search.
     ///
-    /// # Panics
-    ///
-    /// Panics if more than `limit` states are reachable.
+    /// Exceeding `limit` is not an error: the returned vector is then
+    /// truncated at `limit` states. Use
+    /// [`BipSystem::reachable_states_governed`] to distinguish a complete
+    /// exploration from a truncated one.
     #[must_use]
     pub fn reachable_states(&self, limit: usize) -> Vec<BipState> {
+        self.reachable_states_governed(&Budget::unlimited().with_max_states(limit as u64))
+            .into_value()
+    }
+
+    /// Explores the reachable global states under a resource [`Budget`].
+    ///
+    /// On exhaustion the partial answer is the (genuinely reachable)
+    /// states stored so far.
+    pub fn reachable_states_governed(&self, budget: &Budget) -> Outcome<Vec<BipState>> {
+        let gov = budget.governor();
         let mut seen: HashSet<BipState> = HashSet::new();
         let mut queue: VecDeque<BipState> = VecDeque::new();
-        let init = self.initial_state();
-        seen.insert(init.clone());
-        queue.push_back(init);
+        let mut peak = 0_usize;
+        if gov.charge_state() {
+            let init = self.initial_state();
+            seen.insert(init.clone());
+            queue.push_back(init);
+            peak = 1;
+        }
         let mut out = Vec::new();
-        while let Some(state) = queue.pop_front() {
-            assert!(out.len() < limit, "reachable-state limit {limit} exceeded");
-            for i in self.enabled_interactions(&state) {
-                if let Some(next) = self.execute(&state, i) {
-                    if seen.insert(next.clone()) {
+        'explore: while let Some(state) = queue.pop_front() {
+            if !gov.check_time() {
+                break;
+            }
+            // Record on pop, so a budget trip mid-expansion still keeps
+            // this (genuinely reachable) state in the partial answer.
+            out.push(state);
+            let state = out.last().expect("just pushed");
+            for i in self.enabled_interactions(state) {
+                if let Some(next) = self.execute(state, i) {
+                    if !seen.contains(&next) {
+                        if !gov.charge_state() {
+                            break 'explore;
+                        }
+                        seen.insert(next.clone());
                         queue.push_back(next);
                     }
                 }
             }
-            out.push(state);
+            peak = peak.max(queue.len());
         }
-        out
+        let report = RunReport {
+            states_explored: out.len() as u64,
+            states_stored: seen.len() as u64,
+            peak_waiting: peak as u64,
+            wall_time: gov.elapsed(),
+            ..RunReport::default()
+        };
+        gov.finish(out, report)
     }
 
     /// Explicit-state deadlock check: a reachable state with no enabled
-    /// interaction. Returns a witness if one exists.
+    /// interaction. Returns a witness if one exists within the first
+    /// `limit` stored states ([`BipSystem::find_deadlock_governed`]
+    /// distinguishes "no deadlock" from "search truncated").
     #[must_use]
     pub fn find_deadlock(&self, limit: usize) -> Option<BipState> {
-        self.reachable_states(limit)
-            .into_iter()
-            .find(|s| self.enabled_interactions(s).is_empty())
+        self.find_deadlock_governed(&Budget::unlimited().with_max_states(limit as u64))
+            .into_value()
+    }
+
+    /// Deadlock search under a resource [`Budget`]: a witness found
+    /// within the budget is definitive; exhaustion yields `None` as the
+    /// partial answer ("no deadlock in the explored portion").
+    pub fn find_deadlock_governed(&self, budget: &Budget) -> Outcome<Option<BipState>> {
+        let gov = budget.governor();
+        let mut seen: HashSet<BipState> = HashSet::new();
+        let mut queue: VecDeque<BipState> = VecDeque::new();
+        let mut peak = 0_usize;
+        let mut explored = 0_usize;
+        if gov.charge_state() {
+            let init = self.initial_state();
+            seen.insert(init.clone());
+            queue.push_back(init);
+            peak = 1;
+        }
+        'explore: while let Some(state) = queue.pop_front() {
+            if !gov.check_time() {
+                break;
+            }
+            explored += 1;
+            let enabled = self.enabled_interactions(&state);
+            if enabled.is_empty() {
+                let report = RunReport {
+                    states_explored: explored as u64,
+                    states_stored: seen.len() as u64,
+                    peak_waiting: peak as u64,
+                    wall_time: gov.elapsed(),
+                    ..RunReport::default()
+                };
+                return gov.finish_complete(Some(state), report);
+            }
+            for i in enabled {
+                if let Some(next) = self.execute(&state, i) {
+                    if !seen.contains(&next) {
+                        if !gov.charge_state() {
+                            break 'explore;
+                        }
+                        seen.insert(next.clone());
+                        queue.push_back(next);
+                    }
+                }
+            }
+            peak = peak.max(queue.len());
+        }
+        let report = RunReport {
+            states_explored: explored as u64,
+            states_stored: seen.len() as u64,
+            peak_waiting: peak as u64,
+            wall_time: gov.elapsed(),
+            ..RunReport::default()
+        };
+        gov.finish(None, report)
     }
 }
 

@@ -139,10 +139,30 @@ pub fn derive_stream_seed(seed: u64, worker: usize) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Why a [`WorkQueue`] terminated (why `pop` started returning `None`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopCause {
+    /// Every worker went idle on an empty queue: the exploration reached
+    /// its natural fixpoint.
+    Fixpoint,
+    /// A worker called [`WorkQueue::stop`] — early exit because a
+    /// definitive answer was found (e.g. a goal state).
+    Stopped,
+    /// A worker called [`WorkQueue::stop_exhausted`] — a resource budget
+    /// ran out and the exploration is incomplete.
+    Exhausted,
+}
+
 struct QueueState<T> {
     queue: VecDeque<T>,
     idle: usize,
     stopped: bool,
+    /// Set exactly once, when the queue transitions to stopped.
+    cause: Option<StopCause>,
+    /// True only for the fixpoint transition: the queue is dead for good
+    /// and reusing it is a bug (see [`WorkQueue::push`]).
+    finished: bool,
+    peak: usize,
 }
 
 /// A shared waiting list for N cooperating workers.
@@ -150,7 +170,10 @@ struct QueueState<T> {
 /// [`WorkQueue::pop`] blocks until an item is available and returns `None`
 /// exactly when the exploration is finished: either every worker is idle
 /// with an empty queue (fixpoint reached), or some worker called
-/// [`WorkQueue::stop`] (early exit, e.g. a goal state was found).
+/// [`WorkQueue::stop`] / [`WorkQueue::stop_exhausted`] (cooperative early
+/// exit). [`WorkQueue::stop_cause`] distinguishes the three endings, and
+/// [`WorkQueue::peak_len`] reports the high-water mark of the waiting
+/// list for run reports.
 pub struct WorkQueue<T> {
     state: Mutex<QueueState<T>>,
     available: Condvar,
@@ -167,6 +190,9 @@ impl<T> WorkQueue<T> {
                 queue: VecDeque::new(),
                 idle: 0,
                 stopped: false,
+                cause: None,
+                finished: false,
+                peak: 0,
             }),
             available: Condvar::new(),
             workers: workers.max(1),
@@ -175,9 +201,24 @@ impl<T> WorkQueue<T> {
     }
 
     /// Enqueue one item and wake a waiting worker.
+    ///
+    /// Pushing onto a queue that already reached its **fixpoint** is a
+    /// bug: the workers have all observed termination and the item can
+    /// never be popped. Debug builds assert on it; release builds drop
+    /// the item. (Pushing after an early [`WorkQueue::stop`] /
+    /// [`WorkQueue::stop_exhausted`] is fine — workers race the stop
+    /// flag by design, and such items are silently discarded.)
     pub fn push(&self, item: T) {
         let mut st = self.state.lock().expect("queue poisoned");
+        debug_assert!(
+            !st.finished,
+            "push on a WorkQueue that reached fixpoint: the queue is dead, create a new one"
+        );
+        if st.stopped {
+            return;
+        }
         st.queue.push_back(item);
+        st.peak = st.peak.max(st.queue.len());
         drop(st);
         self.available.notify_one();
     }
@@ -196,6 +237,8 @@ impl<T> WorkQueue<T> {
             if st.idle == self.workers {
                 // Everyone is waiting on an empty queue: fixpoint reached.
                 st.stopped = true;
+                st.finished = true;
+                st.cause = Some(StopCause::Fixpoint);
                 self.stopped.store(true, Ordering::Release);
                 self.available.notify_all();
                 return None;
@@ -205,20 +248,49 @@ impl<T> WorkQueue<T> {
         }
     }
 
-    /// Request early termination: all current and future `pop`s return
-    /// `None`. Queued items are dropped when the queue is.
-    pub fn stop(&self) {
+    fn stop_with(&self, cause: StopCause) {
         let mut st = self.state.lock().expect("queue poisoned");
         st.stopped = true;
+        if st.cause.is_none() {
+            st.cause = Some(cause);
+        }
         self.stopped.store(true, Ordering::Release);
         drop(st);
         self.available.notify_all();
+    }
+
+    /// Request early termination: all current and future `pop`s return
+    /// `None`. Queued items are dropped when the queue is.
+    pub fn stop(&self) {
+        self.stop_with(StopCause::Stopped);
+    }
+
+    /// Budget-aware cooperative stop: like [`WorkQueue::stop`], but
+    /// records that the exploration ended because a resource budget ran
+    /// out, so the caller can report an `Exhausted` outcome instead of a
+    /// definitive verdict.
+    pub fn stop_exhausted(&self) {
+        self.stop_with(StopCause::Exhausted);
     }
 
     /// Cheap check for workers to bail out of long successor loops early.
     #[must_use]
     pub fn is_stopped(&self) -> bool {
         self.stopped.load(Ordering::Acquire)
+    }
+
+    /// Why the queue terminated, or `None` while it is still live. The
+    /// first stop wins: a fixpoint observed before an exhaustion signal
+    /// stays `Fixpoint`, and vice versa.
+    #[must_use]
+    pub fn stop_cause(&self) -> Option<StopCause> {
+        self.state.lock().expect("queue poisoned").cause
+    }
+
+    /// High-water mark of the waiting list over the queue's lifetime.
+    #[must_use]
+    pub fn peak_len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").peak
     }
 }
 
@@ -359,6 +431,102 @@ mod tests {
         queue.stop();
         assert!(queue.is_stopped());
         assert_eq!(queue.pop(), None);
+        assert_eq!(queue.stop_cause(), Some(StopCause::Stopped));
+    }
+
+    #[test]
+    fn queue_reports_fixpoint_cause_and_peak() {
+        let queue = WorkQueue::new(2);
+        for i in 0..10 {
+            queue.push(i);
+        }
+        run_workers(2, |_| while queue.pop().is_some() {});
+        assert_eq!(queue.stop_cause(), Some(StopCause::Fixpoint));
+        assert_eq!(queue.peak_len(), 10);
+    }
+
+    #[test]
+    fn queue_exhausted_stop_is_distinguished() {
+        let queue = WorkQueue::new(2);
+        queue.push(1);
+        queue.stop_exhausted();
+        assert_eq!(queue.pop(), None);
+        assert_eq!(queue.stop_cause(), Some(StopCause::Exhausted));
+        // The first cause wins; a later plain stop does not overwrite it.
+        queue.stop();
+        assert_eq!(queue.stop_cause(), Some(StopCause::Exhausted));
+    }
+
+    #[test]
+    #[should_panic(expected = "reached fixpoint")]
+    #[cfg(debug_assertions)]
+    fn queue_reuse_after_fixpoint_is_a_debug_error() {
+        let queue = WorkQueue::new(1);
+        queue.push(1);
+        while queue.pop().is_some() {}
+        assert_eq!(queue.stop_cause(), Some(StopCause::Fixpoint));
+        // The queue is dead: this push can never be popped.
+        queue.push(2);
+    }
+
+    /// Stress the `stop()`/`push`/`pop` race: concurrent pushers keep
+    /// feeding the queue while the poppers race a stop signal. The
+    /// invariants: nothing deadlocks (no lost wakeups — the test
+    /// finishes), and once `stop` has returned every subsequent `pop`
+    /// returns `None`.
+    #[test]
+    fn queue_stop_push_pop_race_loses_no_wakeups() {
+        for round in 0..100 {
+            let queue = WorkQueue::new(4);
+            let after_stop_pops = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                // Two pushers flood the queue while the race is on.
+                for p in 0..2 {
+                    let queue = &queue;
+                    scope.spawn(move || {
+                        for i in 0..500 {
+                            queue.push(p * 1000 + i);
+                            if queue.is_stopped() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                // One stopper fires mid-flight, then verifies that every
+                // pop *issued after stop() returned* yields None.
+                {
+                    let queue = &queue;
+                    let after_stop_pops = &after_stop_pops;
+                    scope.spawn(move || {
+                        if round % 2 == 0 {
+                            std::thread::yield_now();
+                        }
+                        queue.stop();
+                        for _ in 0..16 {
+                            if queue.pop().is_some() {
+                                after_stop_pops.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                    });
+                }
+                // Four poppers drain until termination. The test
+                // completing at all is the no-lost-wakeup assertion: a
+                // missed notify would leave a popper blocked forever.
+                for _ in 0..4 {
+                    let queue = &queue;
+                    scope.spawn(move || while queue.pop().is_some() {});
+                }
+            });
+            assert_eq!(after_stop_pops.load(Ordering::SeqCst), 0);
+            // The stop may race a natural fixpoint; either way the queue
+            // terminated with a recorded cause and stays terminated.
+            let cause = queue.stop_cause();
+            assert!(
+                cause == Some(StopCause::Stopped) || cause == Some(StopCause::Fixpoint),
+                "unexpected cause {cause:?}"
+            );
+            assert_eq!(queue.pop(), None);
+        }
     }
 
     #[test]

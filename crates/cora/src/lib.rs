@@ -40,6 +40,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use tempo_conc::{run_workers, split_budget, ParallelConfig};
+use tempo_obs::{Budget, Outcome, RunReport};
 use tempo_ta::{AutomatonId, DigitalExplorer, DigitalState, LocationId, Network, StateFormula};
 
 /// A timed-automata network annotated with location cost rates and edge
@@ -168,6 +169,24 @@ impl PricedNetwork {
     /// models with integer costs.
     #[must_use]
     pub fn min_cost_reach(&self, goal: &StateFormula) -> Option<MinCostResult> {
+        self.min_cost_reach_governed(goal, &Budget::unlimited())
+            .into_value()
+    }
+
+    /// Minimum-cost reachability under a resource [`Budget`].
+    ///
+    /// With [`Budget::unlimited`] this is exactly
+    /// [`min_cost_reach`](Self::min_cost_reach). A goal found within the
+    /// budget is definitive (`Complete` — Dijkstra settles states in cost
+    /// order, so the first goal hit is optimal over the whole graph). On
+    /// exhaustion the partial value is `None`: "not reached within the
+    /// settled portion", never a proof of unreachability.
+    pub fn min_cost_reach_governed(
+        &self,
+        goal: &StateFormula,
+        budget: &Budget,
+    ) -> Outcome<Option<MinCostResult>> {
+        let gov = budget.governor();
         let exp = DigitalExplorer::new(&self.net);
         let init = exp.initial_state();
 
@@ -175,13 +194,20 @@ impl PricedNetwork {
         let mut pred: HashMap<DigitalState, (DigitalState, String)> = HashMap::new();
         let mut heap: BinaryHeap<Reverse<(i64, u64)>> = BinaryHeap::new();
         let mut arena: Vec<DigitalState> = Vec::new();
-
-        dist.insert(init.clone(), 0);
-        arena.push(init);
-        heap.push(Reverse((0, 0)));
+        let mut peak = 0usize;
         let mut explored = 0;
 
-        while let Some(Reverse((d, idx))) = heap.pop() {
+        if gov.charge_state() {
+            dist.insert(init.clone(), 0);
+            arena.push(init);
+            heap.push(Reverse((0, 0)));
+            peak = 1;
+        }
+
+        'settle: while let Some(Reverse((d, idx))) = heap.pop() {
+            if !gov.check_time() {
+                break;
+            }
             let state = arena[idx as usize].clone();
             if dist.get(&state).copied() != Some(d) {
                 continue; // stale heap entry
@@ -195,21 +221,30 @@ impl PricedNetwork {
                     cur = prev.clone();
                 }
                 path.reverse();
-                return Some(MinCostResult {
-                    cost: d,
-                    state,
-                    path,
-                    explored,
-                });
+                let report = self.dijkstra_report(&gov, explored, dist.len(), peak);
+                return gov.finish_complete(
+                    Some(MinCostResult {
+                        cost: d,
+                        state,
+                        path,
+                        explored,
+                    }),
+                    report,
+                );
             }
             // Tick successor.
             if let Some(next) = exp.tick(&state) {
                 let nd = d + self.tick_cost(&state);
+                let known = dist.contains_key(&next);
                 if dist.get(&next).is_none_or(|&old| nd < old) {
+                    if !known && !gov.charge_state() {
+                        break 'settle;
+                    }
                     dist.insert(next.clone(), nd);
                     pred.insert(next.clone(), (state.clone(), "delay(1)".to_owned()));
                     arena.push(next);
                     heap.push(Reverse((nd, (arena.len() - 1) as u64)));
+                    peak = peak.max(heap.len());
                 }
             }
             // Action successors.
@@ -225,15 +260,38 @@ impl PricedNetwork {
                     })
                     .sum();
                 let nd = d + edge_cost;
+                let known = dist.contains_key(&next);
                 if dist.get(&next).is_none_or(|&old| nd < old) {
+                    if !known && !gov.charge_state() {
+                        break 'settle;
+                    }
                     dist.insert(next.clone(), nd);
                     pred.insert(next.clone(), (state.clone(), mv.label.clone()));
                     arena.push(next);
                     heap.push(Reverse((nd, (arena.len() - 1) as u64)));
+                    peak = peak.max(heap.len());
                 }
             }
         }
-        None
+        let report = self.dijkstra_report(&gov, explored, dist.len(), peak);
+        gov.finish(None, report)
+    }
+
+    fn dijkstra_report(
+        &self,
+        gov: &tempo_obs::Governor,
+        explored: usize,
+        stored: usize,
+        peak: usize,
+    ) -> RunReport {
+        RunReport {
+            states_explored: explored as u64,
+            states_stored: stored as u64,
+            peak_waiting: peak as u64,
+            sweeps: 0,
+            runs_simulated: 0,
+            wall_time: gov.elapsed(),
+        }
     }
 
     /// Maximum-cost reachability: the most expensive way to reach a
@@ -253,28 +311,58 @@ impl PricedNetwork {
     /// proves a positive-cost cycle.
     #[must_use]
     pub fn max_cost_reach(&self, goal: &StateFormula) -> Option<MaxCost> {
+        self.max_cost_reach_governed(goal, &Budget::unlimited())
+            .into_value()
+    }
+
+    /// Maximum-cost reachability under a resource [`Budget`]. The graph
+    /// build charges the state budget; each value-iteration sweep charges
+    /// the iteration budget. On exhaustion the partial value is `None`:
+    /// no worst-case bound was established (an intermediate longest-path
+    /// value is only a lower bound on the true WCET, so reporting it as a
+    /// bound would be unsound).
+    pub fn max_cost_reach_governed(
+        &self,
+        goal: &StateFormula,
+        budget: &Budget,
+    ) -> Outcome<Option<MaxCost>> {
+        let gov = budget.governor();
         let exp = DigitalExplorer::new(&self.net);
         // Build the reachable graph.
         let mut states: Vec<DigitalState> = Vec::new();
         let mut index: HashMap<DigitalState, usize> = HashMap::new();
         let mut succs: Vec<Vec<(usize, i64)>> = Vec::new();
+        let mut peak = 0usize;
         let init = exp.initial_state();
-        index.insert(init.clone(), 0);
-        states.push(init);
-        succs.push(Vec::new());
-        let mut frontier = vec![0_usize];
-        while let Some(i) = frontier.pop() {
+        if gov.charge_state() {
+            index.insert(init.clone(), 0);
+            states.push(init);
+            succs.push(Vec::new());
+            peak = 1;
+        }
+        let mut frontier: Vec<usize> = if states.is_empty() { vec![] } else { vec![0] };
+        'build: while let Some(i) = frontier.pop() {
+            if !gov.check_time() {
+                break;
+            }
             let state = states[i].clone();
             let mut edges = Vec::new();
             if let Some(next) = exp.tick(&state) {
                 let cost = self.tick_cost(&state);
-                let j = *index.entry(next.clone()).or_insert_with(|| {
-                    states.push(next);
-                    succs.push(Vec::new());
-                    frontier.push(states.len() - 1);
-                    states.len() - 1
-                });
-                edges.push((j, cost));
+                match index.get(&next) {
+                    Some(&j) => edges.push((j, cost)),
+                    None => {
+                        if !gov.charge_state() {
+                            break 'build;
+                        }
+                        let j = states.len();
+                        index.insert(next.clone(), j);
+                        states.push(next);
+                        succs.push(Vec::new());
+                        frontier.push(j);
+                        edges.push((j, cost));
+                    }
+                }
             }
             for (mv, next) in exp.moves(&state) {
                 let cost: i64 = mv
@@ -287,24 +375,40 @@ impl PricedNetwork {
                             .unwrap_or(0)
                     })
                     .sum();
-                let j = *index.entry(next.clone()).or_insert_with(|| {
-                    states.push(next);
-                    succs.push(Vec::new());
-                    frontier.push(states.len() - 1);
-                    states.len() - 1
-                });
-                edges.push((j, cost));
+                match index.get(&next) {
+                    Some(&j) => edges.push((j, cost)),
+                    None => {
+                        if !gov.charge_state() {
+                            break 'build;
+                        }
+                        let j = states.len();
+                        index.insert(next.clone(), j);
+                        states.push(next);
+                        succs.push(Vec::new());
+                        frontier.push(j);
+                        edges.push((j, cost));
+                    }
+                }
             }
+            peak = peak.max(frontier.len());
             succs[i] = edges;
         }
         let n = states.len();
+        let mut sweeps = 0u64;
+        if gov.is_exhausted() {
+            // Incomplete graph: any fixpoint over it would be unsound.
+            let report = self.sweep_report(&gov, n, peak, sweeps);
+            return gov.finish(None, report);
+        }
         // value[s]: the max cost of reaching the goal from s (the goal
         // itself may be passed through; the run stops at the *last* goal
         // visit? No — WCET asks for first arrival, so goal states have
         // value 0 and are not expanded).
         let goal_mask: Vec<bool> = states.iter().map(|s| exp.satisfies(s, goal)).collect();
         if !goal_mask.iter().any(|&g| g) {
-            return None;
+            // The graph is complete here, so unreachability is definitive.
+            let report = self.sweep_report(&gov, n, peak, sweeps);
+            return gov.finish_complete(None, report);
         }
         const NEG_INF: i64 = i64::MIN / 4;
         let mut value: Vec<i64> = goal_mask
@@ -312,6 +416,11 @@ impl PricedNetwork {
             .map(|&g| if g { 0 } else { NEG_INF })
             .collect();
         for sweep in 0..=n {
+            if !gov.charge_iteration() || !gov.check_time() {
+                let report = self.sweep_report(&gov, n, peak, sweeps);
+                return gov.finish(None, report);
+            }
+            sweeps += 1;
             let changed = if self.threads > 1 {
                 // Jacobi sweep: each worker relaxes a chunk of states
                 // against a snapshot of `value`, and the improvements are
@@ -361,19 +470,51 @@ impl PricedNetwork {
                 break;
             }
             if sweep == n {
-                return Some(MaxCost::Unbounded);
+                let report = self.sweep_report(&gov, n, peak, sweeps);
+                return gov.finish_complete(Some(MaxCost::Unbounded), report);
             }
         }
+        let report = self.sweep_report(&gov, n, peak, sweeps);
         if value[0] <= NEG_INF {
-            return None; // initial state cannot reach the goal
+            // initial state cannot reach the goal
+            return gov.finish_complete(None, report);
         }
-        Some(MaxCost::Bounded(value[0]))
+        gov.finish_complete(Some(MaxCost::Bounded(value[0])), report)
+    }
+
+    fn sweep_report(
+        &self,
+        gov: &tempo_obs::Governor,
+        stored: usize,
+        peak: usize,
+        sweeps: u64,
+    ) -> RunReport {
+        RunReport {
+            states_explored: stored as u64,
+            states_stored: stored as u64,
+            peak_waiting: peak as u64,
+            sweeps,
+            runs_simulated: 0,
+            wall_time: gov.elapsed(),
+        }
     }
 
     /// Maximum time to reach `goal` (worst-case completion time; WCET when
     /// the goal is the program's final location).
     #[must_use]
     pub fn max_time_reach(&self, goal: &StateFormula) -> Option<MaxCost> {
+        self.max_time_reach_governed(goal, &Budget::unlimited())
+            .into_value()
+    }
+
+    /// [`max_time_reach`](Self::max_time_reach) under a resource
+    /// [`Budget`]; same partial semantics as
+    /// [`max_cost_reach_governed`](Self::max_cost_reach_governed).
+    pub fn max_time_reach_governed(
+        &self,
+        goal: &StateFormula,
+        budget: &Budget,
+    ) -> Outcome<Option<MaxCost>> {
         let timed = PricedNetwork {
             net: self.net.clone(),
             rates: (0..self.net.automata()[0].locations.len())
@@ -382,7 +523,7 @@ impl PricedNetwork {
             edge_costs: HashMap::new(),
             threads: self.threads,
         };
-        timed.max_cost_reach(goal)
+        timed.max_cost_reach_governed(goal, budget)
     }
 
     /// Minimum time to reach `goal` (cost = elapsed time, edge costs 0):
@@ -390,6 +531,18 @@ impl PricedNetwork {
     /// analyses.
     #[must_use]
     pub fn min_time_reach(&self, goal: &StateFormula) -> Option<i64> {
+        self.min_time_reach_governed(goal, &Budget::unlimited())
+            .into_value()
+    }
+
+    /// [`min_time_reach`](Self::min_time_reach) under a resource
+    /// [`Budget`]; same partial semantics as
+    /// [`min_cost_reach_governed`](Self::min_cost_reach_governed).
+    pub fn min_time_reach_governed(
+        &self,
+        goal: &StateFormula,
+        budget: &Budget,
+    ) -> Outcome<Option<i64>> {
         // Every automaton is always in exactly one location, so putting
         // rate 1 on the locations of one automaton makes each tick cost
         // exactly one time unit.
@@ -401,7 +554,9 @@ impl PricedNetwork {
             edge_costs: HashMap::new(),
             threads: self.threads,
         };
-        timed.min_cost_reach(goal).map(|r| r.cost)
+        timed
+            .min_cost_reach_governed(goal, budget)
+            .map(|r| r.map(|r| r.cost))
     }
 }
 

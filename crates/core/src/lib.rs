@@ -69,6 +69,9 @@ pub use tempo_ioco as ioco;
 pub use tempo_mdp as mdp;
 /// The MODEST process language and its three analysis backends.
 pub use tempo_modest as modest;
+/// Resource budgets, graceful exhaustion and run reports shared by all
+/// analysis engines ([`obs::Budget`], [`obs::Outcome`], [`obs::RunReport`]).
+pub use tempo_obs as obs;
 /// Stochastic semantics and statistical model checking (UPPAAL-SMC).
 pub use tempo_smc as smc;
 /// Timed-automata networks and the symbolic model checker (UPPAAL).

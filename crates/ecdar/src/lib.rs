@@ -49,7 +49,9 @@ mod refine;
 mod tioa;
 
 pub use compose::{conjunction, parallel, ComposeError};
-pub use refine::{find_inconsistency, refines, RefinementError};
+pub use refine::{
+    find_inconsistency, find_inconsistency_governed, refines, refines_governed, RefinementError,
+};
 pub use tioa::{
     IoDir, Tioa, TioaAtom, TioaBuilder, TioaEdge, TioaEdgeBuilder, TioaExplorer, TioaLocation,
     TioaState,

@@ -15,6 +15,25 @@
 
 use crate::tioa::{IoDir, Tioa, TioaExplorer, TioaState};
 use std::collections::{HashMap, HashSet, VecDeque};
+use tempo_obs::{Budget, Governor, Outcome, RunReport};
+
+/// [`RunReport`] for the product-graph engines of this module.
+fn product_report(
+    gov: &Governor,
+    explored: usize,
+    stored: usize,
+    peak: usize,
+    sweeps: u64,
+) -> RunReport {
+    RunReport {
+        states_explored: explored as u64,
+        states_stored: stored as u64,
+        peak_waiting: peak as u64,
+        sweeps,
+        wall_time: gov.elapsed(),
+        ..RunReport::default()
+    }
+}
 
 /// A witness that refinement fails.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +59,23 @@ impl std::fmt::Display for RefinementError {
 ///
 /// Returns a [`RefinementError`] describing the violated obligation.
 pub fn refines(imp: &Tioa, spec: &Tioa) -> Result<(), RefinementError> {
+    refines_governed(imp, spec, &Budget::unlimited()).into_value()
+}
+
+/// Checks `imp ≤ spec` under a resource [`Budget`].
+///
+/// Product pairs are charged against the state budget and the fixpoint
+/// rounds against the iteration budget. A refinement *error* found
+/// within the budget is definitive (kills in the greatest fixpoint are
+/// inductively justified); an exhausted budget yields `Ok(())` as the
+/// partial answer, to be read as "no violation established", never as a
+/// proof of refinement.
+pub fn refines_governed(
+    imp: &Tioa,
+    spec: &Tioa,
+    budget: &Budget,
+) -> Outcome<Result<(), RefinementError>> {
+    let gov = budget.governor();
     let ei = TioaExplorer::new(imp);
     let es = TioaExplorer::new(spec);
     // Collect the reachable product pairs (forward), then refine the
@@ -49,10 +85,15 @@ pub fn refines(imp: &Tioa, spec: &Tioa) -> Result<(), RefinementError> {
     let mut index: HashMap<(TioaState, TioaState), usize> = HashMap::new();
     let mut trace_to: Vec<(Option<usize>, String)> = Vec::new();
     let mut queue: VecDeque<usize> = VecDeque::new();
-    index.insert(start.clone(), 0);
-    pairs.push(start);
-    trace_to.push((None, String::new()));
-    queue.push_back(0);
+    let mut peak = 0_usize;
+    let mut explored = 0_usize;
+    if gov.charge_state() {
+        index.insert(start.clone(), 0);
+        pairs.push(start);
+        trace_to.push((None, String::new()));
+        queue.push_back(0);
+        peak = 1;
+    }
 
     // Product moves per pair: (label, list of successor pair indices the
     // *matching* side may choose from, obligation kind).
@@ -74,6 +115,12 @@ pub fn refines(imp: &Tioa, spec: &Tioa) -> Result<(), RefinementError> {
     inputs.sort_unstable();
     inputs.dedup();
 
+    // Interns a product pair. Charging may fail once the state budget is
+    // exhausted; the pair is still interned (so obligation indices stay
+    // consistent for the current parent) but the outer loop breaks at
+    // its next pop, bounding the overshoot by one pair's out-degree —
+    // and a truncated exploration skips the fixpoint entirely.
+    let gov_ref = &gov;
     let intern = |pairs: &mut Vec<(TioaState, TioaState)>,
                   index: &mut HashMap<(TioaState, TioaState), usize>,
                   trace_to: &mut Vec<(Option<usize>, String)>,
@@ -85,6 +132,7 @@ pub fn refines(imp: &Tioa, spec: &Tioa) -> Result<(), RefinementError> {
         if let Some(&i) = index.get(&p) {
             return i;
         }
+        let _ = gov_ref.charge_state();
         let i = pairs.len();
         index.insert(p.clone(), i);
         pairs.push(p);
@@ -94,6 +142,11 @@ pub fn refines(imp: &Tioa, spec: &Tioa) -> Result<(), RefinementError> {
     };
 
     while let Some(pi) = queue.pop_front() {
+        if gov.is_exhausted() || !gov.check_time() {
+            break;
+        }
+        explored += 1;
+        peak = peak.max(queue.len() + 1);
         let (si, ss) = pairs[pi].clone();
         let mut obs: Vec<Obligation> = Vec::new();
         // 1. Implementation outputs: spec must match.
@@ -170,6 +223,15 @@ pub fn refines(imp: &Tioa, spec: &Tioa) -> Result<(), RefinementError> {
         debug_assert_eq!(obligations.len(), pi + 1);
     }
 
+    let mut sweeps = 0_u64;
+    if gov.is_exhausted() {
+        // Truncated product graph: obligation choice lists may be
+        // missing genuine matching moves, so running the fixpoint could
+        // fabricate spurious failures. Claim nothing.
+        let report = product_report(&gov, explored, pairs.len(), peak, sweeps);
+        return gov.finish(Ok(()), report);
+    }
+
     // Greatest fixpoint: drop pairs with an unmatchable obligation.
     let n = pairs.len();
     let mut alive: Vec<bool> = vec![true; n];
@@ -177,6 +239,10 @@ pub fn refines(imp: &Tioa, spec: &Tioa) -> Result<(), RefinementError> {
     // no candidate move at all) or propagated (all candidates died).
     let mut failure: Vec<Option<(String, bool)>> = vec![None; n];
     loop {
+        if !gov.charge_iteration() || !gov.check_time() {
+            break;
+        }
+        sweeps += 1;
         let mut changed = false;
         for pi in 0..n {
             if !alive[pi] {
@@ -203,8 +269,13 @@ pub fn refines(imp: &Tioa, spec: &Tioa) -> Result<(), RefinementError> {
             break;
         }
     }
+    let report = product_report(&gov, explored, pairs.len(), peak, sweeps);
     if alive[0] {
-        return Ok(());
+        // An interrupted greatest fixpoint only over-approximates the
+        // refinement relation, so a still-alive initial pair proves
+        // nothing when the budget tripped; `finish` keeps the claim
+        // partial in that case.
+        return gov.finish(Ok(()), report);
     }
     // Report the shallowest *primary* failure (an obligation with no
     // candidate at all); propagated failures merely echo deeper causes.
@@ -235,10 +306,15 @@ pub fn refines(imp: &Tioa, spec: &Tioa) -> Result<(), RefinementError> {
         cur = *parent;
     }
     steps.reverse();
-    Err(RefinementError {
-        reason: failure[pi].clone().expect("selected pair failed").0,
-        trace: steps,
-    })
+    // Kills are inductively justified even mid-fixpoint: a dead initial
+    // pair is a definitive counterexample regardless of the budget.
+    gov.finish_complete(
+        Err(RefinementError {
+            reason: failure[pi].clone().expect("selected pair failed").0,
+            trace: steps,
+        }),
+        report,
+    )
 }
 
 fn trace_depth(trace_to: &[(Option<usize>, String)], mut i: usize) -> usize {
@@ -256,33 +332,61 @@ fn trace_depth(trace_to: &[(Option<usize>, String)], mut i: usize) -> usize {
 /// contract). Returns the offending state if any.
 #[must_use]
 pub fn find_inconsistency(spec: &Tioa) -> Option<TioaState> {
+    find_inconsistency_governed(spec, &Budget::unlimited()).into_value()
+}
+
+/// Consistency search under a resource [`Budget`]: an inconsistent state
+/// found within the budget is definitive; exhaustion yields `None` as
+/// the partial answer ("no inconsistency found in the explored part").
+pub fn find_inconsistency_governed(spec: &Tioa, budget: &Budget) -> Outcome<Option<TioaState>> {
+    let gov = budget.governor();
     let exp = TioaExplorer::new(spec);
     let mut seen: HashSet<TioaState> = HashSet::new();
     let mut queue: VecDeque<TioaState> = VecDeque::new();
-    let init = exp.initial_state();
-    seen.insert(init.clone());
-    queue.push_back(init);
-    while let Some(s) = queue.pop_front() {
+    let mut peak = 0_usize;
+    let mut explored = 0_usize;
+    if gov.charge_state() {
+        let init = exp.initial_state();
+        seen.insert(init.clone());
+        queue.push_back(init);
+        peak = 1;
+    }
+    'explore: while let Some(s) = queue.pop_front() {
+        if !gov.check_time() {
+            break;
+        }
+        explored += 1;
         let tick = exp.tick(&s);
         let enabled = exp.enabled(&s);
         let has_output = enabled.iter().any(|(_, d)| *d == IoDir::Output);
         if tick.is_none() && !has_output {
-            return Some(s);
+            let report = product_report(&gov, explored, seen.len(), peak, 0);
+            return gov.finish_complete(Some(s), report);
         }
         if let Some(next) = tick {
-            if seen.insert(next.clone()) {
+            if !seen.contains(&next) {
+                if !gov.charge_state() {
+                    break 'explore;
+                }
+                seen.insert(next.clone());
                 queue.push_back(next);
             }
         }
         for (a, d) in enabled {
             for next in exp.step(&s, &a, d) {
-                if seen.insert(next.clone()) {
+                if !seen.contains(&next) {
+                    if !gov.charge_state() {
+                        break 'explore;
+                    }
+                    seen.insert(next.clone());
                     queue.push_back(next);
                 }
             }
         }
+        peak = peak.max(queue.len());
     }
-    None
+    let report = product_report(&gov, explored, seen.len(), peak, 0);
+    gov.finish(None, report)
 }
 
 #[cfg(test)]

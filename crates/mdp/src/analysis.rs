@@ -4,6 +4,20 @@
 //! the MODEST toolset (Bozga et al., DATE 2012, §III).
 
 use crate::model::{Mdp, StateId};
+use tempo_obs::{Budget, Governor, Outcome, RunReport};
+
+/// [`RunReport`] for a value-iteration engine: every state is stored up
+/// front, so the state counters mirror the model size and `sweeps`
+/// counts Bellman sweeps.
+fn vi_report(gov: &Governor, states: usize, sweeps: usize) -> RunReport {
+    RunReport {
+        states_explored: states as u64,
+        states_stored: states as u64,
+        sweeps: sweeps as u64,
+        wall_time: gov.elapsed(),
+        ..RunReport::default()
+    }
+}
 
 /// Optimization direction over schedulers (resolutions of
 /// nondeterminism).
@@ -151,6 +165,33 @@ pub fn prob1_exists(mdp: &Mdp, goal: &[bool]) -> Vec<bool> {
 /// Panics if `goal.len() != mdp.num_states()`.
 #[must_use]
 pub fn reachability(mdp: &Mdp, opt: Opt, goal: &[bool]) -> Quantitative {
+    reachability_governed(mdp, opt, goal, &Budget::unlimited()).into_value()
+}
+
+/// Unbounded probabilistic reachability under a resource [`Budget`].
+///
+/// The iteration budget bounds the number of Bellman sweeps and the
+/// wall-clock deadline is checked once per sweep. On exhaustion the
+/// partial [`Quantitative`] holds the value vector reached so far (for
+/// `Max` a lower bound on the true probabilities, the qualitative 0/1
+/// states being already exact).
+///
+/// # Panics
+///
+/// Panics if `goal.len() != mdp.num_states()`.
+pub fn reachability_governed(
+    mdp: &Mdp,
+    opt: Opt,
+    goal: &[bool],
+    budget: &Budget,
+) -> Outcome<Quantitative> {
+    let gov = budget.governor();
+    let result = reachability_with(mdp, opt, goal, &gov);
+    let report = vi_report(&gov, mdp.num_states(), result.iterations);
+    gov.finish(result, report)
+}
+
+fn reachability_with(mdp: &Mdp, opt: Opt, goal: &[bool], gov: &Governor) -> Quantitative {
     assert_eq!(goal.len(), mdp.num_states(), "goal mask length mismatch");
     let n = mdp.num_states();
     let mut values = vec![0.0_f64; n];
@@ -184,7 +225,7 @@ pub fn reachability(mdp: &Mdp, opt: Opt, goal: &[bool]) -> Quantitative {
         }
     }
 
-    let iterations = iterate(mdp, opt, &mut values, &fixed, None, MAX_ITERATIONS);
+    let iterations = iterate(mdp, opt, &mut values, &fixed, None, MAX_ITERATIONS, gov);
     let scheduler = extract_scheduler(mdp, opt, &values, None, goal);
     Quantitative {
         initial_value: values[mdp.initial().0],
@@ -201,9 +242,33 @@ pub fn reachability(mdp: &Mdp, opt: Opt, goal: &[bool]) -> Quantitative {
 /// Panics if `goal.len() != mdp.num_states()`.
 #[must_use]
 pub fn bounded_reachability(mdp: &Mdp, opt: Opt, goal: &[bool], steps: usize) -> Quantitative {
+    bounded_reachability_governed(mdp, opt, goal, steps, &Budget::unlimited()).into_value()
+}
+
+/// Step-bounded probabilistic reachability under a resource [`Budget`]:
+/// each of the `steps` backup sweeps charges one iteration. On
+/// exhaustion after `k < steps` sweeps the partial result is the exact
+/// `k`-step value (a lower bound on the `steps`-step value).
+///
+/// # Panics
+///
+/// Panics if `goal.len() != mdp.num_states()`.
+pub fn bounded_reachability_governed(
+    mdp: &Mdp,
+    opt: Opt,
+    goal: &[bool],
+    steps: usize,
+    budget: &Budget,
+) -> Outcome<Quantitative> {
     assert_eq!(goal.len(), mdp.num_states(), "goal mask length mismatch");
+    let gov = budget.governor();
     let mut values: Vec<f64> = goal.iter().map(|&g| f64::from(u8::from(g))).collect();
+    let mut done = 0_usize;
     for _ in 0..steps {
+        if !gov.charge_iteration() || !gov.check_time() {
+            break;
+        }
+        done += 1;
         let prev = values.clone();
         for s in mdp.states() {
             if goal[s.0] {
@@ -213,12 +278,16 @@ pub fn bounded_reachability(mdp: &Mdp, opt: Opt, goal: &[bool], steps: usize) ->
         }
     }
     let scheduler = extract_scheduler(mdp, opt, &values, None, goal);
-    Quantitative {
-        initial_value: values[mdp.initial().0],
-        values,
-        scheduler,
-        iterations: steps,
-    }
+    let report = vi_report(&gov, mdp.num_states(), done);
+    gov.finish(
+        Quantitative {
+            initial_value: values[mdp.initial().0],
+            values,
+            scheduler,
+            iterations: done,
+        },
+        report,
+    )
 }
 
 /// Expected total reward accumulated until reaching `goal`
@@ -233,18 +302,36 @@ pub fn bounded_reachability(mdp: &Mdp, opt: Opt, goal: &[bool], steps: usize) ->
 /// Panics if `goal.len() != mdp.num_states()`.
 #[must_use]
 pub fn expected_reward(mdp: &Mdp, opt: Opt, goal: &[bool]) -> Quantitative {
+    expected_reward_governed(mdp, opt, goal, &Budget::unlimited()).into_value()
+}
+
+/// Expected total reward under a resource [`Budget`]. The budget is
+/// shared between the embedded qualitative reachability analysis and the
+/// reward iteration; on exhaustion the partial values are the current
+/// (under-approximate for `Max`) reward vector.
+///
+/// # Panics
+///
+/// Panics if `goal.len() != mdp.num_states()`.
+pub fn expected_reward_governed(
+    mdp: &Mdp,
+    opt: Opt,
+    goal: &[bool],
+    budget: &Budget,
+) -> Outcome<Quantitative> {
     assert_eq!(goal.len(), mdp.num_states(), "goal mask length mismatch");
+    let gov = budget.governor();
     let n = mdp.num_states();
     // States where the relevant scheduler class reaches the goal a.s.
     let sure: Vec<bool> = match opt {
         Opt::Max => {
             // Emax is finite iff *every* scheduler reaches goal a.s.;
             // approximate with Pmin = 1 via value iteration on Pmin.
-            let pmin = reachability(mdp, Opt::Min, goal);
+            let pmin = reachability_with(mdp, Opt::Min, goal, &gov);
             pmin.values.iter().map(|&v| v > 1.0 - 1e-9).collect()
         }
         Opt::Min => {
-            let pmax = reachability(mdp, Opt::Max, goal);
+            let pmax = reachability_with(mdp, Opt::Max, goal, &gov);
             pmax.values.iter().map(|&v| v > 1.0 - 1e-9).collect()
         }
     };
@@ -259,14 +346,26 @@ pub fn expected_reward(mdp: &Mdp, opt: Opt, goal: &[bool]) -> Quantitative {
             fixed[i] = true;
         }
     }
-    let iterations = iterate(mdp, opt, &mut values, &fixed, Some(goal), MAX_ITERATIONS);
+    let iterations = iterate(
+        mdp,
+        opt,
+        &mut values,
+        &fixed,
+        Some(goal),
+        MAX_ITERATIONS,
+        &gov,
+    );
     let scheduler = extract_scheduler(mdp, opt, &values, Some(goal), goal);
-    Quantitative {
-        initial_value: values[mdp.initial().0],
-        values,
-        scheduler,
-        iterations,
-    }
+    let report = vi_report(&gov, n, iterations);
+    gov.finish(
+        Quantitative {
+            initial_value: values[mdp.initial().0],
+            values,
+            scheduler,
+            iterations,
+        },
+        report,
+    )
 }
 
 /// Result of an interval-iteration query: certified lower and upper
@@ -301,6 +400,23 @@ pub struct IntervalResult {
 /// Panics if `goal.len() != mdp.num_states()` or `precision <= 0`.
 #[must_use]
 pub fn interval_reachability(mdp: &Mdp, opt: Opt, goal: &[bool], precision: f64) -> IntervalResult {
+    interval_reachability_governed(mdp, opt, goal, precision, &Budget::unlimited()).into_value()
+}
+
+/// Interval iteration under a resource [`Budget`]. Every intermediate
+/// `[lower, upper]` pair is already a certified enclosure, so the
+/// partial result on exhaustion is sound — merely wider than requested.
+///
+/// # Panics
+///
+/// Panics if `goal.len() != mdp.num_states()` or `precision <= 0`.
+pub fn interval_reachability_governed(
+    mdp: &Mdp,
+    opt: Opt,
+    goal: &[bool],
+    precision: f64,
+    budget: &Budget,
+) -> Outcome<IntervalResult> {
     assert_eq!(goal.len(), mdp.num_states(), "goal mask length mismatch");
     assert!(precision > 0.0, "precision must be positive");
     let n = mdp.num_states();
@@ -349,10 +465,14 @@ pub fn interval_reachability(mdp: &Mdp, opt: Opt, goal: &[bool], precision: f64)
             fixed[s.0] = true;
         }
     }
+    let gov = budget.governor();
     let mut iterations = 0;
     let mut prev_gap = f64::INFINITY;
     let mut stagnant = 0_u32;
     for _ in 0..MAX_ITERATIONS {
+        if !gov.charge_iteration() || !gov.check_time() {
+            break;
+        }
         iterations += 1;
         let mut gap = 0.0_f64;
         for s in mdp.states() {
@@ -381,13 +501,17 @@ pub fn interval_reachability(mdp: &Mdp, opt: Opt, goal: &[bool], precision: f64)
         }
         prev_gap = gap;
     }
-    IntervalResult {
-        initial_lower: lower[mdp.initial().0],
-        initial_upper: upper[mdp.initial().0],
-        lower,
-        upper,
-        iterations,
-    }
+    let report = vi_report(&gov, n, iterations);
+    gov.finish(
+        IntervalResult {
+            initial_lower: lower[mdp.initial().0],
+            initial_upper: upper[mdp.initial().0],
+            lower,
+            upper,
+            iterations,
+        },
+        report,
+    )
 }
 
 /// One Bellman backup at state `s`. With `rewards = Some(goal)`, the
@@ -428,7 +552,9 @@ fn combine(
     (v, Some(ai))
 }
 
-/// Gauss–Seidel value iteration over non-fixed states.
+/// Gauss–Seidel value iteration over non-fixed states. Each sweep
+/// charges one iteration against the governor; on a tripped budget the
+/// loop stops early with the values computed so far.
 fn iterate(
     mdp: &Mdp,
     opt: Opt,
@@ -436,8 +562,12 @@ fn iterate(
     fixed: &[bool],
     rewards: Option<&[bool]>,
     max_iter: usize,
+    gov: &Governor,
 ) -> usize {
     for it in 0..max_iter {
+        if !gov.charge_iteration() || !gov.check_time() {
+            return it;
+        }
         let mut delta = 0.0_f64;
         for s in mdp.states() {
             if fixed[s.0] {

@@ -40,8 +40,9 @@ mod analysis;
 mod model;
 
 pub use analysis::{
-    bounded_reachability, expected_reward, interval_reachability, prob1_exists, reach_exists,
-    reach_forall_positive, reachability, IntervalResult, Opt, Quantitative, EPSILON,
-    MAX_ITERATIONS,
+    bounded_reachability, bounded_reachability_governed, expected_reward, expected_reward_governed,
+    interval_reachability, interval_reachability_governed, prob1_exists, reach_exists,
+    reach_forall_positive, reachability, reachability_governed, IntervalResult, Opt, Quantitative,
+    EPSILON, MAX_ITERATIONS,
 };
 pub use model::{BuildError, Mdp, MdpAction, MdpBuilder, StateId};

@@ -5,8 +5,10 @@
 use crate::pta::{Pta, PtaExplorer, PtaState};
 use std::collections::HashMap;
 use tempo_mdp::{
-    bounded_reachability, expected_reward, reachability, Mdp, MdpBuilder, Opt, StateId,
+    bounded_reachability, expected_reward, expected_reward_governed, reachability,
+    reachability_governed, Mdp, MdpBuilder, Opt, StateId,
 };
+use tempo_obs::{Budget, Outcome, RunReport};
 use tempo_ta::StateFormula;
 
 /// The `mcpta` analyzer: explores the digital-clocks semantics of a PTA
@@ -42,54 +44,115 @@ impl Mcpta {
     /// # Panics
     ///
     /// Panics if the PTA is not closed (strict bounds) or the state space
-    /// exceeds `max_states`.
+    /// exceeds `max_states`; [`Mcpta::try_build`] reports the latter
+    /// gracefully.
     #[must_use]
     pub fn build(pta: &Pta, extra_atoms: &[tempo_ta::ClockAtom], max_states: usize) -> Self {
+        Self::try_build(
+            pta,
+            extra_atoms,
+            &Budget::unlimited().with_max_states(max_states as u64),
+        )
+        .into_value()
+        .unwrap_or_else(|| panic!("digital-clocks MDP exceeds {max_states} states"))
+    }
+
+    /// Builds the digital-clocks MDP under a resource [`Budget`].
+    ///
+    /// A truncated MDP would silently distort every probability computed
+    /// from it, so on exhaustion the partial answer is `None` — the
+    /// report still records how far the exploration got.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PTA is not closed (strict bounds).
+    pub fn try_build(
+        pta: &Pta,
+        extra_atoms: &[tempo_ta::ClockAtom],
+        budget: &Budget,
+    ) -> Outcome<Option<Self>> {
+        let gov = budget.governor();
         let exp = PtaExplorer::new(pta, extra_atoms);
         let mut builder = MdpBuilder::new();
         let mut index: HashMap<PtaState, StateId> = HashMap::new();
         let mut states: Vec<PtaState> = Vec::new();
+        let mut frontier: Vec<StateId> = Vec::new();
+        let mut peak = 0_usize;
+        let mut explored = 0_usize;
+        let mut s0 = StateId(0);
 
-        let init = exp.initial_state();
-        let s0 = builder.add_state();
-        index.insert(init.clone(), s0);
-        states.push(init);
-        let mut frontier = vec![s0];
+        if gov.charge_state() {
+            let init = exp.initial_state();
+            s0 = builder.add_state();
+            index.insert(init.clone(), s0);
+            states.push(init);
+            frontier.push(s0);
+            peak = 1;
+        }
 
-        while let Some(sid) = frontier.pop() {
-            assert!(
-                states.len() <= max_states,
-                "digital-clocks MDP exceeds {max_states} states"
-            );
+        'build: while let Some(sid) = frontier.pop() {
+            if !gov.check_time() {
+                break;
+            }
+            explored += 1;
             let state = states[sid.index()].clone();
             // Action transitions (reward 0).
             for t in exp.transitions(&state) {
-                let dist: Vec<(StateId, f64)> = t
-                    .successors
-                    .iter()
-                    .map(|(p, next)| {
-                        let id = intern(&mut builder, &mut index, &mut states, &mut frontier, next);
-                        (id, *p)
-                    })
-                    .collect();
+                let mut dist: Vec<(StateId, f64)> = Vec::with_capacity(t.successors.len());
+                for (p, next) in &t.successors {
+                    let Some(id) = intern(
+                        &mut builder,
+                        &mut index,
+                        &mut states,
+                        &mut frontier,
+                        next,
+                        &gov,
+                    ) else {
+                        break 'build;
+                    };
+                    dist.push((id, *p));
+                }
                 builder
                     .add_action(sid, Some(&t.label), 0.0, dist)
                     .expect("explorer produces valid distributions");
             }
             // Tick (reward 1 = one time unit).
             if let Some(next) = exp.tick(&state) {
-                let id = intern(&mut builder, &mut index, &mut states, &mut frontier, &next);
+                let Some(id) = intern(
+                    &mut builder,
+                    &mut index,
+                    &mut states,
+                    &mut frontier,
+                    &next,
+                    &gov,
+                ) else {
+                    break 'build;
+                };
                 builder
                     .add_action(sid, Some("tick"), 1.0, vec![(id, 1.0)])
                     .expect("tick distribution is valid");
             }
+            peak = peak.max(frontier.len());
         }
-        Mcpta {
-            mdp: builder.build(s0).expect("initial state exists"),
-            states,
-            pta: pta.clone(),
-            extra_atoms: extra_atoms.to_vec(),
+        let report = RunReport {
+            states_explored: explored as u64,
+            states_stored: states.len() as u64,
+            peak_waiting: peak as u64,
+            wall_time: gov.elapsed(),
+            ..RunReport::default()
+        };
+        if gov.is_exhausted() || states.is_empty() {
+            return gov.finish(None, report);
         }
+        gov.finish(
+            Some(Mcpta {
+                mdp: builder.build(s0).expect("initial state exists"),
+                states,
+                pta: pta.clone(),
+                extra_atoms: extra_atoms.to_vec(),
+            }),
+            report,
+        )
     }
 
     /// Statistics of the underlying MDP.
@@ -120,6 +183,31 @@ impl Mcpta {
     #[must_use]
     pub fn pmax(&self, goal: &StateFormula) -> f64 {
         reachability(&self.mdp, Opt::Max, &self.goal_mask(goal)).initial_value
+    }
+
+    /// `Pmax` under a resource [`Budget`] (see
+    /// [`tempo_mdp::reachability_governed`] for the partial semantics).
+    pub fn pmax_governed(&self, goal: &StateFormula, budget: &Budget) -> Outcome<f64> {
+        reachability_governed(&self.mdp, Opt::Max, &self.goal_mask(goal), budget)
+            .map(|q| q.initial_value)
+    }
+
+    /// `Pmin` under a resource [`Budget`].
+    pub fn pmin_governed(&self, goal: &StateFormula, budget: &Budget) -> Outcome<f64> {
+        reachability_governed(&self.mdp, Opt::Min, &self.goal_mask(goal), budget)
+            .map(|q| q.initial_value)
+    }
+
+    /// `Emax` (expected time) under a resource [`Budget`].
+    pub fn emax_time_governed(&self, goal: &StateFormula, budget: &Budget) -> Outcome<f64> {
+        expected_reward_governed(&self.mdp, Opt::Max, &self.goal_mask(goal), budget)
+            .map(|q| q.initial_value)
+    }
+
+    /// `Emin` (expected time) under a resource [`Budget`].
+    pub fn emin_time_governed(&self, goal: &StateFormula, budget: &Budget) -> Outcome<f64> {
+        expected_reward_governed(&self.mdp, Opt::Min, &self.goal_mask(goal), budget)
+            .map(|q| q.initial_value)
     }
 
     /// Minimum probability of eventually reaching `goal`.
@@ -164,15 +252,19 @@ fn intern(
     states: &mut Vec<PtaState>,
     frontier: &mut Vec<StateId>,
     state: &PtaState,
-) -> StateId {
+    gov: &tempo_obs::Governor,
+) -> Option<StateId> {
     if let Some(&id) = index.get(state) {
-        return id;
+        return Some(id);
+    }
+    if !gov.charge_state() {
+        return None;
     }
     let id = builder.add_state();
     index.insert(state.clone(), id);
     states.push(state.clone());
     frontier.push(id);
-    id
+    Some(id)
 }
 
 #[cfg(test)]

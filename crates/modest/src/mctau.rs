@@ -11,6 +11,7 @@
 //! P1/P2/Dmax).
 
 use crate::pta::{Pta, SyncKind};
+use tempo_obs::{Budget, Outcome};
 use tempo_ta::{ChannelKind, ModelChecker, Network, NetworkBuilder, StateFormula, Verdict};
 
 /// Bounds `[lower, upper]` on a probability, as reported by `mctau`.
@@ -67,22 +68,48 @@ impl Mctau {
         matches!(verdict, Verdict::Satisfied)
     }
 
+    /// Invariant check under a resource [`Budget`], delegating to the
+    /// governed timed-automata engine. A violation found within the
+    /// budget is definitive; on exhaustion the partial `true` means "no
+    /// violation found in the explored portion".
+    pub fn check_invariant_governed(&self, f: &StateFormula, budget: &Budget) -> Outcome<bool> {
+        let mut mc = ModelChecker::new(&self.net);
+        mc.always_governed(f, budget)
+            .map(|(verdict, _)| matches!(verdict, Verdict::Satisfied))
+    }
+
     /// Bounds on `Pmax(◇ goal)`: exactly `0` if the goal is unreachable
     /// in the over-approximation, else the trivial `[0, 1]`.
     #[must_use]
     pub fn probability_bounds(&self, goal: &StateFormula) -> ProbabilityBounds {
+        self.probability_bounds_governed(goal, &Budget::unlimited())
+            .into_value()
+    }
+
+    /// Probability bounds under a resource [`Budget`]. The exact-zero
+    /// answer requires a *complete* unreachability proof, so on
+    /// exhaustion the partial answer stays at the trivial `[0, 1]`.
+    pub fn probability_bounds_governed(
+        &self,
+        goal: &StateFormula,
+        budget: &Budget,
+    ) -> Outcome<ProbabilityBounds> {
         let mut mc = ModelChecker::new(&self.net);
-        if mc.reachable(goal).reachable {
-            ProbabilityBounds {
-                lower: 0.0,
-                upper: 1.0,
+        let out = mc.reachable_governed(goal, budget);
+        let exhausted = out.is_exhausted();
+        out.map(|res| {
+            if res.reachable || exhausted {
+                ProbabilityBounds {
+                    lower: 0.0,
+                    upper: 1.0,
+                }
+            } else {
+                ProbabilityBounds {
+                    lower: 0.0,
+                    upper: 0.0,
+                }
             }
-        } else {
-            ProbabilityBounds {
-                lower: 0.0,
-                upper: 0.0,
-            }
-        }
+        })
     }
 }
 

@@ -8,7 +8,17 @@
 use crate::pta::{Pta, PtaExplorer, PtaState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use tempo_obs::{Budget, Governor, Outcome, RunReport};
 use tempo_ta::StateFormula;
+
+/// [`RunReport`] for the simulator: only runs and wall time apply.
+fn modes_report(gov: &Governor, completed: usize) -> RunReport {
+    RunReport {
+        runs_simulated: completed as u64,
+        wall_time: gov.elapsed(),
+        ..RunReport::default()
+    }
+}
 
 /// How the simulator resolves scheduling nondeterminism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,26 +184,58 @@ impl<'p> Modes<'p> {
         runs: usize,
         time_bound: i64,
         max_steps: usize,
-        mut property: F,
+        property: F,
     ) -> ModesObservation
     where
         F: FnMut(&PtaExplorer<'p>, &ModesRun) -> bool,
     {
+        self.observe_governed(runs, time_bound, max_steps, property, &Budget::unlimited())
+            .into_value()
+    }
+
+    /// Bernoulli experiment under a resource [`Budget`]: on run-budget or
+    /// deadline exhaustion the partial observation covers the runs that
+    /// completed (its `runs` field is the completed count).
+    pub fn observe_governed<F>(
+        &mut self,
+        runs: usize,
+        time_bound: i64,
+        max_steps: usize,
+        mut property: F,
+        budget: &Budget,
+    ) -> Outcome<ModesObservation>
+    where
+        F: FnMut(&PtaExplorer<'p>, &ModesRun) -> bool,
+    {
+        let gov = budget.governor();
         let mut hits = 0_usize;
+        let mut completed = 0_usize;
         for _ in 0..runs {
+            if !gov.check_time() || !gov.charge_run() {
+                break;
+            }
             let run = self.simulate(time_bound, max_steps);
+            completed += 1;
             if property(&self.exp, &run) {
                 hits += 1;
             }
         }
-        let mean = hits as f64 / runs as f64;
-        ModesObservation {
-            observations: hits,
-            runs,
-            mean,
-            // Sample standard deviation of a Bernoulli observable.
-            std_dev: (mean * (1.0 - mean)).sqrt(),
-        }
+        let mean = if completed == 0 {
+            0.0
+        } else {
+            hits as f64 / completed as f64
+        };
+        let report = modes_report(&gov, completed);
+        gov.finish(
+            ModesObservation {
+                observations: hits,
+                runs: completed,
+                mean,
+                // Sample standard deviation of a Bernoulli observable.
+                std_dev: (mean * (1.0 - mean)).sqrt(),
+            },
+            report,
+        )
     }
 
     /// Estimates the mean and standard deviation of a run functional
@@ -203,30 +245,59 @@ impl<'p> Modes<'p> {
         runs: usize,
         time_bound: i64,
         max_steps: usize,
-        mut value: F,
+        value: F,
     ) -> ModesObservation
     where
         F: FnMut(&PtaExplorer<'p>, &ModesRun) -> f64,
     {
-        let samples: Vec<f64> = (0..runs)
-            .map(|_| {
-                let run = self.simulate(time_bound, max_steps);
-                value(&self.exp, &run)
-            })
-            .collect();
+        self.expected_governed(runs, time_bound, max_steps, value, &Budget::unlimited())
+            .into_value()
+    }
+
+    /// Mean estimation under a resource [`Budget`]: on exhaustion the
+    /// partial observation covers the completed runs (mean `0` when no
+    /// run completed).
+    pub fn expected_governed<F>(
+        &mut self,
+        runs: usize,
+        time_bound: i64,
+        max_steps: usize,
+        mut value: F,
+        budget: &Budget,
+    ) -> Outcome<ModesObservation>
+    where
+        F: FnMut(&PtaExplorer<'p>, &ModesRun) -> f64,
+    {
+        let gov = budget.governor();
+        let mut samples: Vec<f64> = Vec::with_capacity(runs.min(1024));
+        for _ in 0..runs {
+            if !gov.check_time() || !gov.charge_run() {
+                break;
+            }
+            let run = self.simulate(time_bound, max_steps);
+            samples.push(value(&self.exp, &run));
+        }
         let n = samples.len() as f64;
-        let mean = samples.iter().sum::<f64>() / n;
+        let mean = if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().sum::<f64>() / n
+        };
         let var = if samples.len() > 1 {
             samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
         } else {
             0.0
         };
-        ModesObservation {
-            observations: samples.len(),
-            runs,
-            mean,
-            std_dev: var.sqrt(),
-        }
+        let report = modes_report(&gov, samples.len());
+        gov.finish(
+            ModesObservation {
+                observations: samples.len(),
+                runs: samples.len(),
+                mean,
+                std_dev: var.sqrt(),
+            },
+            report,
+        )
     }
 }
 

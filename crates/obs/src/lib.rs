@@ -1,0 +1,522 @@
+//! Resource governance for the tempo analysis engines.
+//!
+//! Every engine in the workspace explores a state space, iterates a
+//! fixpoint, or simulates runs — and on an adversarial model each of
+//! those loops is unbounded. This crate provides the shared vocabulary
+//! that keeps them honest:
+//!
+//! * [`Budget`] — declarative resource limits (wall-clock deadline,
+//!   stored states, fixpoint iterations, simulation runs),
+//! * [`Governor`] — the cheap runtime meter an engine charges work
+//!   against while it runs,
+//! * [`RunReport`] — how much work an analysis actually performed,
+//! * [`Outcome`] — a result that is either `Complete` or `Exhausted`
+//!   with a *sound partial* answer (e.g. "no violation found within the
+//!   states explored so far").
+//!
+//! The contract every engine upholds: with [`Budget::unlimited`] the
+//! governed entry point behaves byte-identically to the ungoverned one;
+//! with any finite budget it terminates promptly, never panics, and the
+//! `Exhausted` wrapper marks the partial answer as non-definitive.
+//!
+//! ```
+//! use tempo_obs::{Budget, Outcome};
+//! use std::time::Duration;
+//!
+//! let budget = Budget::unlimited()
+//!     .with_wall_time(Duration::from_secs(30))
+//!     .with_max_states(1_000_000);
+//! let gov = budget.governor();
+//! let mut sum = 0u64;
+//! for i in 0..10 {
+//!     if !gov.charge_state() {
+//!         break;
+//!     }
+//!     sum += i;
+//! }
+//! let report = gov.report();
+//! let outcome = gov.finish(sum, report);
+//! assert!(matches!(outcome, Outcome::Complete { value: 45, .. }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+/// Declarative resource limits for one analysis invocation.
+///
+/// A budget is a plain value: construct it once, hand a reference to a
+/// governed engine entry point, and reuse it across calls. Every limit
+/// defaults to "unlimited"; builders narrow one dimension at a time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock allowance for the whole call.
+    pub wall: Option<Duration>,
+    /// Maximum states stored/explored (zone-graph nodes, product pairs,
+    /// BIP global states, digital-clocks MDP states).
+    pub max_states: Option<u64>,
+    /// Maximum fixpoint iterations / value-iteration sweeps.
+    pub max_iterations: Option<u64>,
+    /// Maximum simulation runs (SMC, modes).
+    pub max_runs: Option<u64>,
+}
+
+impl Budget {
+    /// A budget with no limits: governed entry points behave exactly
+    /// like their ungoverned counterparts.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Limits total wall-clock time for the call.
+    pub fn with_wall_time(mut self, wall: Duration) -> Self {
+        self.wall = Some(wall);
+        self
+    }
+
+    /// Limits the number of stored/explored states.
+    pub fn with_max_states(mut self, max_states: u64) -> Self {
+        self.max_states = Some(max_states);
+        self
+    }
+
+    /// Limits the number of fixpoint iterations or sweeps.
+    pub fn with_max_iterations(mut self, max_iterations: u64) -> Self {
+        self.max_iterations = Some(max_iterations);
+        self
+    }
+
+    /// Limits the number of simulation runs.
+    pub fn with_max_runs(mut self, max_runs: u64) -> Self {
+        self.max_runs = Some(max_runs);
+        self
+    }
+
+    /// True when no limit is set on any dimension.
+    pub fn is_unlimited(&self) -> bool {
+        self.wall.is_none()
+            && self.max_states.is_none()
+            && self.max_iterations.is_none()
+            && self.max_runs.is_none()
+    }
+
+    /// Starts the clock: returns a [`Governor`] that meters work against
+    /// this budget from now on.
+    pub fn governor(&self) -> Governor {
+        Governor::start(self)
+    }
+}
+
+/// Which resource dimension ran out first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExhaustionReason {
+    /// The wall-clock deadline passed.
+    WallClock,
+    /// The stored-state limit was reached.
+    States,
+    /// The iteration/sweep limit was reached.
+    Iterations,
+    /// The simulation-run limit was reached.
+    Runs,
+}
+
+impl fmt::Display for ExhaustionReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExhaustionReason::WallClock => "wall-clock deadline exceeded",
+            ExhaustionReason::States => "state budget exhausted",
+            ExhaustionReason::Iterations => "iteration budget exhausted",
+            ExhaustionReason::Runs => "simulation-run budget exhausted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How much work an analysis performed, regardless of how it ended.
+///
+/// Engines fill in the fields that make sense for them and leave the
+/// rest at zero (an SMC run has no waiting list; a fixpoint solver
+/// simulates no runs).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// States popped/expanded during exploration.
+    pub states_explored: u64,
+    /// States retained in the passed list / graph / value vector.
+    pub states_stored: u64,
+    /// Peak length of the waiting list (sequential or shared queue).
+    pub peak_waiting: u64,
+    /// Fixpoint sweeps / value-iteration rounds performed.
+    pub sweeps: u64,
+    /// Simulation runs completed.
+    pub runs_simulated: u64,
+    /// Wall-clock time spent inside the call.
+    pub wall_time: Duration,
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "explored {} states (stored {}, peak waiting {}), {} sweeps, {} runs, {:.3}s",
+            self.states_explored,
+            self.states_stored,
+            self.peak_waiting,
+            self.sweeps,
+            self.runs_simulated,
+            self.wall_time.as_secs_f64()
+        )
+    }
+}
+
+/// Result of a governed analysis: complete, or exhausted with a sound
+/// partial answer.
+///
+/// `Exhausted.partial` always carries the weakest sound reading: "within
+/// the work reported, nothing stronger was established". Callers that
+/// only care about definitive verdicts should match on `Complete`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome<T> {
+    /// The analysis ran to completion; `value` is definitive.
+    Complete {
+        /// The definitive result.
+        value: T,
+        /// Work performed.
+        report: RunReport,
+    },
+    /// A budget dimension ran out before the analysis finished.
+    Exhausted {
+        /// Which limit tripped first.
+        reason: ExhaustionReason,
+        /// The sound-but-partial answer (e.g. "not found so far", the
+        /// estimate over the runs completed).
+        partial: T,
+        /// Work performed before the limit tripped.
+        report: RunReport,
+    },
+}
+
+impl<T> Outcome<T> {
+    /// The result value, whether definitive or partial.
+    pub fn value(&self) -> &T {
+        match self {
+            Outcome::Complete { value, .. } => value,
+            Outcome::Exhausted { partial, .. } => partial,
+        }
+    }
+
+    /// Consumes the outcome, returning the (definitive or partial) value.
+    pub fn into_value(self) -> T {
+        match self {
+            Outcome::Complete { value, .. } => value,
+            Outcome::Exhausted { partial, .. } => partial,
+        }
+    }
+
+    /// The run report, however the analysis ended.
+    pub fn report(&self) -> &RunReport {
+        match self {
+            Outcome::Complete { report, .. } | Outcome::Exhausted { report, .. } => report,
+        }
+    }
+
+    /// True when a budget dimension ran out.
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self, Outcome::Exhausted { .. })
+    }
+
+    /// The exhaustion reason, if any.
+    pub fn exhaustion(&self) -> Option<ExhaustionReason> {
+        match self {
+            Outcome::Complete { .. } => None,
+            Outcome::Exhausted { reason, .. } => Some(*reason),
+        }
+    }
+
+    /// Maps the value/partial, preserving completeness and the report.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Outcome<U> {
+        match self {
+            Outcome::Complete { value, report } => Outcome::Complete {
+                value: f(value),
+                report,
+            },
+            Outcome::Exhausted {
+                reason,
+                partial,
+                report,
+            } => Outcome::Exhausted {
+                reason,
+                partial: f(partial),
+                report,
+            },
+        }
+    }
+}
+
+// Latch encoding: 0 = not exhausted, 1..=4 = ExhaustionReason.
+const LATCH_NONE: u8 = 0;
+const LATCH_WALL: u8 = 1;
+const LATCH_STATES: u8 = 2;
+const LATCH_ITERS: u8 = 3;
+const LATCH_RUNS: u8 = 4;
+
+fn reason_of(code: u8) -> Option<ExhaustionReason> {
+    match code {
+        LATCH_WALL => Some(ExhaustionReason::WallClock),
+        LATCH_STATES => Some(ExhaustionReason::States),
+        LATCH_ITERS => Some(ExhaustionReason::Iterations),
+        LATCH_RUNS => Some(ExhaustionReason::Runs),
+        _ => None,
+    }
+}
+
+/// Runtime meter for one analysis call.
+///
+/// The governor is shared by reference across worker threads: all
+/// counters are atomic and the exhaustion latch is first-trip-wins, so
+/// every worker observes the same reason. Charging is wait-free; the
+/// wall clock is only consulted by [`Governor::check_time`] (engines
+/// call it once per popped state / sweep / run, not per instruction).
+#[derive(Debug)]
+pub struct Governor {
+    start: Instant,
+    deadline: Option<Instant>,
+    max_states: u64,
+    max_iterations: u64,
+    max_runs: u64,
+    states: AtomicU64,
+    iterations: AtomicU64,
+    runs: AtomicU64,
+    latch: AtomicU8,
+}
+
+impl Governor {
+    /// Starts metering against `budget` from this instant.
+    pub fn start(budget: &Budget) -> Self {
+        let start = Instant::now();
+        Governor {
+            start,
+            deadline: budget.wall.map(|w| start + w),
+            max_states: budget.max_states.unwrap_or(u64::MAX),
+            max_iterations: budget.max_iterations.unwrap_or(u64::MAX),
+            max_runs: budget.max_runs.unwrap_or(u64::MAX),
+            states: AtomicU64::new(0),
+            iterations: AtomicU64::new(0),
+            runs: AtomicU64::new(0),
+            latch: AtomicU8::new(LATCH_NONE),
+        }
+    }
+
+    fn trip(&self, code: u8) {
+        let _ = self
+            .latch
+            .compare_exchange(LATCH_NONE, code, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    fn charge(&self, counter: &AtomicU64, limit: u64, code: u8) -> bool {
+        let prev = counter.fetch_add(1, Ordering::Relaxed);
+        if prev >= limit {
+            // Past the limit: undo so counters report true work done.
+            counter.fetch_sub(1, Ordering::Relaxed);
+            self.trip(code);
+            return false;
+        }
+        true
+    }
+
+    /// Charges one stored state. Returns `false` (and latches
+    /// [`ExhaustionReason::States`]) once the limit is reached.
+    pub fn charge_state(&self) -> bool {
+        self.charge(&self.states, self.max_states, LATCH_STATES)
+    }
+
+    /// Charges one fixpoint iteration / sweep.
+    pub fn charge_iteration(&self) -> bool {
+        self.charge(&self.iterations, self.max_iterations, LATCH_ITERS)
+    }
+
+    /// Charges one simulation run.
+    pub fn charge_run(&self) -> bool {
+        self.charge(&self.runs, self.max_runs, LATCH_RUNS)
+    }
+
+    /// Checks the wall-clock deadline. Returns `false` (and latches
+    /// [`ExhaustionReason::WallClock`]) once the deadline has passed.
+    pub fn check_time(&self) -> bool {
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.trip(LATCH_WALL);
+                false
+            }
+            _ => true,
+        }
+    }
+
+    /// How many runs may still be charged before the run limit trips.
+    /// `u64::MAX` when unlimited.
+    pub fn runs_remaining(&self) -> u64 {
+        self.max_runs
+            .saturating_sub(self.runs.load(Ordering::Relaxed))
+    }
+
+    /// The reason the budget tripped, if it has.
+    pub fn exhausted(&self) -> Option<ExhaustionReason> {
+        reason_of(self.latch.load(Ordering::Acquire))
+    }
+
+    /// True once any dimension has tripped.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted().is_some()
+    }
+
+    /// Time elapsed since the governor started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// A report seeded with this governor's counters and elapsed time.
+    /// Engines overwrite/extend the fields they track themselves.
+    pub fn report(&self) -> RunReport {
+        RunReport {
+            states_explored: self.states.load(Ordering::Relaxed),
+            states_stored: 0,
+            peak_waiting: 0,
+            sweeps: self.iterations.load(Ordering::Relaxed),
+            runs_simulated: self.runs.load(Ordering::Relaxed),
+            wall_time: self.elapsed(),
+        }
+    }
+
+    /// Wraps a finished analysis: `Complete` if no limit tripped,
+    /// `Exhausted` (with `value` as the sound partial) otherwise.
+    pub fn finish<T>(&self, value: T, mut report: RunReport) -> Outcome<T> {
+        report.wall_time = self.elapsed();
+        match self.exhausted() {
+            None => Outcome::Complete { value, report },
+            Some(reason) => Outcome::Exhausted {
+                reason,
+                partial: value,
+                report,
+            },
+        }
+    }
+
+    /// Like [`Governor::finish`], but forces `Complete` even if a limit
+    /// tripped — for engines that found a definitive answer (e.g. a
+    /// reachability witness) in the same step the budget ran out.
+    pub fn finish_complete<T>(&self, value: T, mut report: RunReport) -> Outcome<T> {
+        report.wall_time = self.elapsed();
+        Outcome::Complete { value, report }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let gov = Budget::unlimited().governor();
+        for _ in 0..10_000 {
+            assert!(gov.charge_state());
+            assert!(gov.charge_iteration());
+            assert!(gov.charge_run());
+        }
+        assert!(gov.check_time());
+        assert!(gov.exhausted().is_none());
+        let r = gov.report();
+        assert_eq!(r.states_explored, 10_000);
+        assert_eq!(r.sweeps, 10_000);
+        assert_eq!(r.runs_simulated, 10_000);
+    }
+
+    #[test]
+    fn state_limit_trips_and_latches() {
+        let gov = Budget::unlimited().with_max_states(3).governor();
+        assert!(gov.charge_state());
+        assert!(gov.charge_state());
+        assert!(gov.charge_state());
+        assert!(!gov.charge_state());
+        assert_eq!(gov.exhausted(), Some(ExhaustionReason::States));
+        // Counter reports true work done, not the failed charge.
+        assert_eq!(gov.report().states_explored, 3);
+        // Latch is first-trip-wins.
+        assert!(!gov.charge_run() || gov.runs_remaining() > 0);
+        assert_eq!(gov.exhausted(), Some(ExhaustionReason::States));
+    }
+
+    #[test]
+    fn zero_run_budget_trips_immediately() {
+        let gov = Budget::unlimited().with_max_runs(0).governor();
+        assert!(!gov.charge_run());
+        assert_eq!(gov.exhausted(), Some(ExhaustionReason::Runs));
+        assert_eq!(gov.runs_remaining(), 0);
+    }
+
+    #[test]
+    fn elapsed_deadline_trips_wall_clock() {
+        let gov = Budget::unlimited()
+            .with_wall_time(Duration::from_millis(0))
+            .governor();
+        assert!(!gov.check_time());
+        assert_eq!(gov.exhausted(), Some(ExhaustionReason::WallClock));
+    }
+
+    #[test]
+    fn finish_wraps_by_latch_state() {
+        let gov = Budget::unlimited().with_max_states(1).governor();
+        assert!(gov.charge_state());
+        let done = gov.finish(42u32, gov.report());
+        assert!(matches!(done, Outcome::Complete { value: 42, .. }));
+
+        assert!(!gov.charge_state());
+        let partial = gov.finish(7u32, gov.report());
+        assert!(partial.is_exhausted());
+        assert_eq!(*partial.value(), 7);
+        assert_eq!(partial.exhaustion(), Some(ExhaustionReason::States));
+        // A definitive hit in the final step stays Complete.
+        let hit = gov.finish_complete(9u32, gov.report());
+        assert!(!hit.is_exhausted());
+    }
+
+    #[test]
+    fn outcome_map_preserves_shape() {
+        let c: Outcome<u32> = Outcome::Complete {
+            value: 2,
+            report: RunReport::default(),
+        };
+        assert_eq!(*c.map(|v| v * 2).value(), 4);
+        let e: Outcome<u32> = Outcome::Exhausted {
+            reason: ExhaustionReason::Runs,
+            partial: 3,
+            report: RunReport::default(),
+        };
+        let m = e.map(|v| v + 1);
+        assert!(m.is_exhausted());
+        assert_eq!(m.into_value(), 4);
+    }
+
+    #[test]
+    fn governor_is_shareable_across_threads() {
+        let gov = Budget::unlimited().with_max_states(1000).governor();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| while gov.charge_state() {});
+            }
+        });
+        assert_eq!(gov.exhausted(), Some(ExhaustionReason::States));
+        assert_eq!(gov.report().states_explored, 1000);
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = RunReport {
+            states_explored: 5,
+            ..RunReport::default()
+        };
+        assert!(format!("{r}").contains("explored 5 states"));
+        assert!(format!("{}", ExhaustionReason::WallClock).contains("deadline"));
+    }
+}

@@ -4,10 +4,21 @@
 
 use crate::sim::{RatePolicy, Run, Simulator};
 use crate::stats::{
-    estimate, estimate_mean, EmpiricalCdf, Estimate, MeanEstimate, Sprt, TestVerdict,
+    estimate, estimate_mean, EmpiricalCdf, Estimate, MeanEstimate, Sprt, StatsError, TestVerdict,
 };
 use tempo_conc::{derive_stream_seed, run_workers, split_budget, ParallelConfig};
+use tempo_obs::{Budget, Governor, Outcome, RunReport};
 use tempo_ta::{Network, StateFormula};
+
+/// [`RunReport`] for a simulation batch: only the run counter and wall
+/// time are meaningful for statistical engines.
+fn sim_report(gov: &Governor, completed: usize) -> RunReport {
+    RunReport {
+        runs_simulated: completed as u64,
+        wall_time: gov.elapsed(),
+        ..RunReport::default()
+    }
+}
 
 /// Default cap on the number of actions per simulated run.
 pub const DEFAULT_MAX_STEPS: usize = 100_000;
@@ -97,7 +108,10 @@ impl<'n> StatisticalChecker<'n> {
     /// Run `runs` simulations of horizon `bound` split across the worker
     /// pool, mapping each run through `eval` and collecting per-worker
     /// outputs in worker order.
-    fn batch<T, F>(&mut self, bound: f64, runs: usize, eval: F) -> Vec<Vec<T>>
+    /// Runs are cut off mid-batch only by the wall-clock deadline; the run
+    /// budget is applied upfront (see [`Self::effective_runs`]) so that a
+    /// fixed `(seed, threads, query)` triple stays bitwise-reproducible.
+    fn batch<T, F>(&mut self, bound: f64, runs: usize, gov: &Governor, eval: F) -> Vec<Vec<T>>
     where
         T: Send,
         F: Fn(&Run) -> T + std::marker::Sync,
@@ -111,14 +125,38 @@ impl<'n> StatisticalChecker<'n> {
         run_workers(self.threads, |worker| {
             let mut sim =
                 Simulator::new(net, rates.clone(), derive_stream_seed(epoch_seed, worker));
-            (0..chunks[worker])
-                .map(|_| eval(&sim.simulate(bound, max_steps)))
-                .collect()
+            let mut out = Vec::with_capacity(chunks[worker]);
+            for _ in 0..chunks[worker] {
+                if !gov.check_time() {
+                    break;
+                }
+                out.push(eval(&sim.simulate(bound, max_steps)));
+                let _ = gov.charge_run();
+            }
+            out
         })
+    }
+
+    /// Caps a requested run count by the governor's remaining run budget.
+    fn effective_runs(runs: usize, gov: &Governor) -> usize {
+        runs.min(usize::try_from(gov.runs_remaining()).unwrap_or(usize::MAX))
+    }
+
+    /// Latches run-budget exhaustion when fewer runs completed than were
+    /// requested and no other limit already tripped.
+    fn settle_runs(gov: &Governor, completed: usize, requested: usize) {
+        if completed < requested && !gov.is_exhausted() {
+            let _ = gov.charge_run();
+        }
     }
 
     /// Estimates `Pr[<=bound](<> goal)` from `runs` simulations with a
     /// Wilson confidence interval at level `confidence`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs == 0` or `confidence` is outside `(0, 1)`; use
+    /// [`Self::probability_governed`] for the non-panicking API.
     pub fn probability(
         &mut self,
         goal: &StateFormula,
@@ -126,25 +164,70 @@ impl<'n> StatisticalChecker<'n> {
         runs: usize,
         confidence: f64,
     ) -> Estimate {
+        self.probability_governed(goal, bound, runs, confidence, &Budget::unlimited())
+            .unwrap_or_else(|e| panic!("{e}"))
+            .into_value()
+            .expect("unlimited budget completes every requested run")
+    }
+
+    /// Estimates `Pr[<=bound](<> goal)` under a resource [`Budget`].
+    ///
+    /// On run-budget or deadline exhaustion the partial answer is the
+    /// Wilson estimate over the runs that did complete, or `None` when no
+    /// run completed. With an unlimited budget the result is
+    /// bit-identical to [`Self::probability`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StatsError`] when `runs == 0` or `confidence` is
+    /// outside `(0, 1)`.
+    pub fn probability_governed(
+        &mut self,
+        goal: &StateFormula,
+        bound: f64,
+        runs: usize,
+        confidence: f64,
+        budget: &Budget,
+    ) -> Result<Outcome<Option<Estimate>>, StatsError> {
+        if runs == 0 {
+            return Err(StatsError::NoRuns);
+        }
+        if !(confidence > 0.0 && confidence < 1.0) {
+            return Err(StatsError::InvalidConfidence(confidence));
+        }
+        let gov = budget.governor();
+        let effective = Self::effective_runs(runs, &gov);
+        let mut successes = 0_usize;
+        let mut completed = 0_usize;
         if self.threads > 1 {
             let net = self.net;
-            let hits = self.batch(bound, runs, |run| {
+            let hits = self.batch(bound, effective, &gov, |run| {
                 run.satisfies_eventually(net, goal, bound)
             });
-            let successes = hits
-                .iter()
-                .map(|chunk| chunk.iter().filter(|&&hit| hit).count())
-                .sum();
-            return estimate(successes, runs, confidence);
-        }
-        let mut successes = 0;
-        for _ in 0..runs {
-            let run = self.sim.simulate(bound, self.max_steps);
-            if run.satisfies_eventually(self.net, goal, bound) {
-                successes += 1;
+            for chunk in &hits {
+                completed += chunk.len();
+                successes += chunk.iter().filter(|&&hit| hit).count();
+            }
+        } else {
+            for _ in 0..effective {
+                if !gov.check_time() || !gov.charge_run() {
+                    break;
+                }
+                let run = self.sim.simulate(bound, self.max_steps);
+                completed += 1;
+                if run.satisfies_eventually(self.net, goal, bound) {
+                    successes += 1;
+                }
             }
         }
-        estimate(successes, runs, confidence)
+        Self::settle_runs(&gov, completed, runs);
+        let est = if completed > 0 {
+            Some(estimate(successes, completed, confidence)?)
+        } else {
+            None
+        };
+        let report = sim_report(&gov, completed);
+        Ok(gov.finish(est, report))
     }
 
     /// Sequential hypothesis test of `Pr[<=bound](<> goal) ≥ theta + delta`
@@ -161,60 +244,167 @@ impl<'n> StatisticalChecker<'n> {
         beta: f64,
         max_runs: usize,
     ) -> (TestVerdict, usize) {
+        self.hypothesis_governed(
+            goal,
+            bound,
+            theta,
+            delta,
+            alpha,
+            beta,
+            max_runs,
+            &Budget::unlimited(),
+        )
+        .into_value()
+    }
+
+    /// Sequential hypothesis test under a resource [`Budget`]: the SPRT
+    /// stops early when the run budget or deadline is exhausted, in which
+    /// case the partial verdict is whatever the test had accumulated
+    /// (usually [`TestVerdict::Undecided`]). A decision reached within
+    /// the budget is definitive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn hypothesis_governed(
+        &mut self,
+        goal: &StateFormula,
+        bound: f64,
+        theta: f64,
+        delta: f64,
+        alpha: f64,
+        beta: f64,
+        max_runs: usize,
+        budget: &Budget,
+    ) -> Outcome<(TestVerdict, usize)> {
+        let gov = budget.governor();
         let mut sprt = Sprt::new(theta, delta, alpha, beta);
         while sprt.verdict() == TestVerdict::Undecided && sprt.observations() < max_runs {
+            if !gov.check_time() || !gov.charge_run() {
+                break;
+            }
             let run = self.sim.simulate(bound, self.max_steps);
             sprt.observe(run.satisfies_eventually(self.net, goal, bound));
         }
-        (sprt.verdict(), sprt.observations())
+        let verdict = sprt.verdict();
+        let report = sim_report(&gov, sprt.observations());
+        if verdict == TestVerdict::Undecided {
+            gov.finish((verdict, sprt.observations()), report)
+        } else {
+            // A decided SPRT is a definitive answer at the requested
+            // strength, however the loop was cut short.
+            gov.finish_complete((verdict, sprt.observations()), report)
+        }
     }
 
     /// Estimates the expected value of `value(run)` over `runs`
     /// simulations of horizon `bound` (e.g. completion time), as `modes`
     /// reports for `Emax` in Table I of the paper.
+    /// # Panics
+    ///
+    /// Panics if `runs == 0`; use [`Self::expected_governed`] for the
+    /// non-panicking API.
     pub fn expected<F>(&mut self, bound: f64, runs: usize, value: F) -> MeanEstimate
     where
         F: Fn(&Run) -> f64 + std::marker::Sync,
     {
-        if self.threads > 1 {
-            let samples: Vec<f64> = self
-                .batch(bound, runs, value)
+        self.expected_governed(bound, runs, value, &Budget::unlimited())
+            .unwrap_or_else(|e| panic!("{e}"))
+            .into_value()
+            .expect("unlimited budget completes every requested run")
+    }
+
+    /// Expected-value estimation under a resource [`Budget`]: on
+    /// exhaustion the partial answer is the mean over the completed runs,
+    /// or `None` when no run completed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NoRuns`] when `runs == 0`.
+    pub fn expected_governed<F>(
+        &mut self,
+        bound: f64,
+        runs: usize,
+        value: F,
+        budget: &Budget,
+    ) -> Result<Outcome<Option<MeanEstimate>>, StatsError>
+    where
+        F: Fn(&Run) -> f64 + std::marker::Sync,
+    {
+        if runs == 0 {
+            return Err(StatsError::NoRuns);
+        }
+        let gov = budget.governor();
+        let effective = Self::effective_runs(runs, &gov);
+        let samples: Vec<f64> = if self.threads > 1 {
+            self.batch(bound, effective, &gov, value)
                 .into_iter()
                 .flatten()
-                .collect();
-            return estimate_mean(&samples);
-        }
-        let samples: Vec<f64> = (0..runs)
-            .map(|_| value(&self.sim.simulate(bound, self.max_steps)))
-            .collect();
-        estimate_mean(&samples)
+                .collect()
+        } else {
+            let mut out = Vec::with_capacity(effective);
+            for _ in 0..effective {
+                if !gov.check_time() || !gov.charge_run() {
+                    break;
+                }
+                out.push(value(&self.sim.simulate(bound, self.max_steps)));
+            }
+            out
+        };
+        Self::settle_runs(&gov, samples.len(), runs);
+        let est = if samples.is_empty() {
+            None
+        } else {
+            Some(estimate_mean(&samples)?)
+        };
+        let report = sim_report(&gov, samples.len());
+        Ok(gov.finish(est, report))
     }
 
     /// Builds the empirical CDF of the first time `goal` is reached, over
     /// `runs` simulations of horizon `bound` — the data behind Fig. 4 of
     /// the paper.
     pub fn cdf(&mut self, goal: &StateFormula, bound: f64, runs: usize) -> EmpiricalCdf {
-        if self.threads > 1 {
-            let net = self.net;
-            let hit_times = self.batch(bound, runs, |run| {
+        self.cdf_governed(goal, bound, runs, &Budget::unlimited())
+            .into_value()
+    }
+
+    /// Empirical-CDF construction under a resource [`Budget`]: on
+    /// exhaustion the partial CDF covers the runs that completed (its
+    /// population is the completed-run count, so it stays a valid CDF).
+    pub fn cdf_governed(
+        &mut self,
+        goal: &StateFormula,
+        bound: f64,
+        runs: usize,
+        budget: &Budget,
+    ) -> Outcome<EmpiricalCdf> {
+        let gov = budget.governor();
+        let effective = Self::effective_runs(runs, &gov);
+        let net = self.net;
+        let hit_times: Vec<Option<f64>> = if self.threads > 1 {
+            self.batch(bound, effective, &gov, |run| {
                 run.first_hit(net, goal).filter(|&t| t <= bound)
-            });
-            let mut cdf = EmpiricalCdf::new(runs);
-            for t in hit_times.into_iter().flatten().flatten() {
-                cdf.add(t);
-            }
-            return cdf;
-        }
-        let mut cdf = EmpiricalCdf::new(runs);
-        for _ in 0..runs {
-            let run = self.sim.simulate(bound, self.max_steps);
-            if let Some(t) = run.first_hit(self.net, goal) {
-                if t <= bound {
-                    cdf.add(t);
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            let mut out = Vec::with_capacity(effective);
+            for _ in 0..effective {
+                if !gov.check_time() || !gov.charge_run() {
+                    break;
                 }
+                let run = self.sim.simulate(bound, self.max_steps);
+                out.push(run.first_hit(net, goal).filter(|&t| t <= bound));
             }
+            out
+        };
+        Self::settle_runs(&gov, hit_times.len(), runs);
+        let completed = hit_times.len();
+        let mut cdf = EmpiricalCdf::new(completed);
+        for t in hit_times.into_iter().flatten() {
+            cdf.add(t);
         }
-        cdf
+        let report = sim_report(&gov, completed);
+        gov.finish(cdf, report)
     }
 
     /// Compares two time-bounded reachability probabilities
@@ -233,23 +423,54 @@ impl<'n> StatisticalChecker<'n> {
         runs: usize,
         indifference: f64,
     ) -> (std::cmp::Ordering, f64, f64) {
+        self.compare_governed(
+            goal_a,
+            goal_b,
+            bound,
+            runs,
+            indifference,
+            &Budget::unlimited(),
+        )
+        .into_value()
+    }
+
+    /// Paired comparison under a resource [`Budget`]: on exhaustion the
+    /// partial ordering is computed over the completed runs (and is
+    /// `Equal` with zero estimates when no run completed).
+    pub fn compare_governed(
+        &mut self,
+        goal_a: &StateFormula,
+        goal_b: &StateFormula,
+        bound: f64,
+        runs: usize,
+        indifference: f64,
+        budget: &Budget,
+    ) -> Outcome<(std::cmp::Ordering, f64, f64)> {
+        let gov = budget.governor();
+        let effective = Self::effective_runs(runs, &gov);
         let mut hits_a = 0_usize;
         let mut hits_b = 0_usize;
+        let mut completed = 0_usize;
         if self.threads > 1 {
             let net = self.net;
-            let pairs = self.batch(bound, runs, |run| {
+            let pairs = self.batch(bound, effective, &gov, |run| {
                 (
                     run.satisfies_eventually(net, goal_a, bound),
                     run.satisfies_eventually(net, goal_b, bound),
                 )
             });
             for (a, b) in pairs.into_iter().flatten() {
+                completed += 1;
                 hits_a += usize::from(a);
                 hits_b += usize::from(b);
             }
         } else {
-            for _ in 0..runs {
+            for _ in 0..effective {
+                if !gov.check_time() || !gov.charge_run() {
+                    break;
+                }
                 let run = self.sim.simulate(bound, self.max_steps);
+                completed += 1;
                 if run.satisfies_eventually(self.net, goal_a, bound) {
                     hits_a += 1;
                 }
@@ -258,8 +479,15 @@ impl<'n> StatisticalChecker<'n> {
                 }
             }
         }
-        let pa = hits_a as f64 / runs as f64;
-        let pb = hits_b as f64 / runs as f64;
+        Self::settle_runs(&gov, completed, runs);
+        let (pa, pb) = if completed == 0 {
+            (0.0, 0.0)
+        } else {
+            (
+                hits_a as f64 / completed as f64,
+                hits_b as f64 / completed as f64,
+            )
+        };
         let ord = if pa - pb > indifference {
             std::cmp::Ordering::Greater
         } else if pb - pa > indifference {
@@ -267,27 +495,55 @@ impl<'n> StatisticalChecker<'n> {
         } else {
             std::cmp::Ordering::Equal
         };
-        (ord, pa, pb)
+        let report = sim_report(&gov, completed);
+        gov.finish((ord, pa, pb), report)
     }
 
     /// Counts how many of `runs` simulations satisfy the *global*
     /// (safety) run predicate `[]≤bound safe` — used by the paper's
     /// Table I rows TA1/TA2 under `modes` ("all 10k runs satisfied TA1").
     pub fn count_globally(&mut self, safe: &StateFormula, bound: f64, runs: usize) -> usize {
+        self.count_globally_governed(safe, bound, runs, &Budget::unlimited())
+            .into_value()
+    }
+
+    /// Safe-run counting under a resource [`Budget`]: on exhaustion the
+    /// partial count covers the completed runs only.
+    pub fn count_globally_governed(
+        &mut self,
+        safe: &StateFormula,
+        bound: f64,
+        runs: usize,
+        budget: &Budget,
+    ) -> Outcome<usize> {
+        let gov = budget.governor();
+        let effective = Self::effective_runs(runs, &gov);
+        let mut safe_count = 0_usize;
+        let mut completed = 0_usize;
         if self.threads > 1 {
             let net = self.net;
-            let safe_runs = self.batch(bound, runs, |run| run.satisfies_globally(net, safe, bound));
-            return safe_runs
-                .iter()
-                .map(|chunk| chunk.iter().filter(|&&ok| ok).count())
-                .sum();
-        }
-        (0..runs)
-            .filter(|_| {
+            let safe_runs = self.batch(bound, effective, &gov, |run| {
+                run.satisfies_globally(net, safe, bound)
+            });
+            for chunk in &safe_runs {
+                completed += chunk.len();
+                safe_count += chunk.iter().filter(|&&ok| ok).count();
+            }
+        } else {
+            for _ in 0..effective {
+                if !gov.check_time() || !gov.charge_run() {
+                    break;
+                }
                 let run = self.sim.simulate(bound, self.max_steps);
-                run.satisfies_globally(self.net, safe, bound)
-            })
-            .count()
+                completed += 1;
+                if run.satisfies_globally(self.net, safe, bound) {
+                    safe_count += 1;
+                }
+            }
+        }
+        Self::settle_runs(&gov, completed, runs);
+        let report = sim_report(&gov, completed);
+        gov.finish(safe_count, report)
     }
 }
 
@@ -386,6 +642,73 @@ mod tests {
         // A property against itself is Equal.
         let (ord, _, _) = smc.compare(&done, &done, 10.0, 200, 0.05);
         assert_eq!(ord, std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn zero_run_budget_is_exhausted_not_a_panic() {
+        let (net, aid, heads) = coin_net();
+        let goal = StateFormula::at(aid, heads);
+        let budget = Budget::unlimited().with_max_runs(0);
+        let mut smc = StatisticalChecker::new(&net, RatePolicy::new(), 9);
+        let out = smc
+            .probability_governed(&goal, 10.0, 100, 0.95, &budget)
+            .expect("inputs are valid");
+        assert!(out.is_exhausted());
+        assert_eq!(*out.value(), None, "no runs completed, no estimate");
+        assert_eq!(out.report().runs_simulated, 0);
+        let out = smc
+            .expected_governed(10.0, 50, |run| run.steps.len() as f64, &budget)
+            .expect("inputs are valid");
+        assert!(out.is_exhausted() && out.value().is_none());
+        let out = smc.cdf_governed(&goal, 10.0, 50, &budget);
+        assert!(out.is_exhausted());
+        assert_eq!(out.value().hits(), 0);
+        let out = smc.count_globally_governed(&goal, 10.0, 50, &budget);
+        assert!(out.is_exhausted());
+        assert_eq!(*out.value(), 0);
+        let out = smc.hypothesis_governed(&goal, 10.0, 0.5, 0.1, 0.05, 0.05, 1000, &budget);
+        assert!(out.is_exhausted());
+        assert_eq!(out.value().0, TestVerdict::Undecided);
+    }
+
+    #[test]
+    fn run_budget_caps_but_keeps_partial_estimate() {
+        let (net, aid, heads) = coin_net();
+        let goal = StateFormula::at(aid, heads);
+        let budget = Budget::unlimited().with_max_runs(40);
+        let mut smc = StatisticalChecker::new(&net, RatePolicy::new(), 9);
+        let out = smc
+            .probability_governed(&goal, 10.0, 1000, 0.95, &budget)
+            .expect("inputs are valid");
+        assert!(out.is_exhausted());
+        let est = out.value().expect("40 runs completed");
+        assert_eq!(est.runs, 40);
+        assert_eq!(out.report().runs_simulated, 40);
+    }
+
+    #[test]
+    fn zero_requested_runs_is_a_typed_error() {
+        let (net, aid, heads) = coin_net();
+        let goal = StateFormula::at(aid, heads);
+        let mut smc = StatisticalChecker::new(&net, RatePolicy::new(), 9);
+        let err = smc
+            .probability_governed(&goal, 10.0, 0, 0.95, &Budget::unlimited())
+            .unwrap_err();
+        assert_eq!(err, crate::stats::StatsError::NoRuns);
+    }
+
+    #[test]
+    fn governed_unlimited_matches_legacy_probability() {
+        let (net, aid, heads) = coin_net();
+        let goal = StateFormula::at(aid, heads);
+        let mut a = StatisticalChecker::new(&net, RatePolicy::new(), 17).with_threads(3);
+        let mut b = StatisticalChecker::new(&net, RatePolicy::new(), 17).with_threads(3);
+        let legacy = a.probability(&goal, 10.0, 300, 0.95);
+        let governed = b
+            .probability_governed(&goal, 10.0, 300, 0.95, &Budget::unlimited())
+            .expect("inputs are valid");
+        assert!(!governed.is_exhausted());
+        assert_eq!(legacy, governed.value().expect("complete"));
     }
 
     #[test]

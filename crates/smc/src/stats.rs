@@ -4,6 +4,33 @@
 
 use std::fmt;
 
+/// Errors from the estimation API: invalid inputs are reported as typed
+/// values instead of panicking, so adversarial or degenerate sample sets
+/// (zero runs, empty sample vectors) flow back to the caller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StatsError {
+    /// `estimate` was asked to summarise zero runs.
+    NoRuns,
+    /// `estimate_mean` was given an empty sample set.
+    NoSamples,
+    /// The confidence level is outside the open interval `(0, 1)`.
+    InvalidConfidence(f64),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::NoRuns => write!(f, "estimation requires at least one run"),
+            StatsError::NoSamples => write!(f, "estimation requires at least one sample"),
+            StatsError::InvalidConfidence(c) => {
+                write!(f, "confidence must be in (0,1), got {c}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
 /// An estimated probability with a confidence interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Estimate {
@@ -62,30 +89,31 @@ impl fmt::Display for MeanEstimate {
 /// Computes an [`Estimate`] from Bernoulli outcomes using the Wilson
 /// score interval at the given confidence level.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `runs == 0` or `confidence` is not in `(0, 1)`.
-#[must_use]
-pub fn estimate(successes: usize, runs: usize, confidence: f64) -> Estimate {
-    assert!(runs > 0, "estimation requires at least one run");
-    assert!(
-        (0.0..1.0).contains(&confidence) && confidence > 0.0,
-        "confidence must be in (0,1)"
-    );
+/// Returns [`StatsError::NoRuns`] if `runs == 0` and
+/// [`StatsError::InvalidConfidence`] if `confidence` is not in `(0, 1)`.
+pub fn estimate(successes: usize, runs: usize, confidence: f64) -> Result<Estimate, StatsError> {
+    if runs == 0 {
+        return Err(StatsError::NoRuns);
+    }
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(StatsError::InvalidConfidence(confidence));
+    }
     let n = runs as f64;
     let p = successes as f64 / n;
     let z = z_quantile(1.0 - (1.0 - confidence) / 2.0);
     let denom = 1.0 + z * z / n;
     let center = (p + z * z / (2.0 * n)) / denom;
     let half = (z / denom) * (p * (1.0 - p) / n + z * z / (4.0 * n * n)).sqrt();
-    Estimate {
+    Ok(Estimate {
         mean: p,
         lower: (center - half).max(0.0),
         upper: (center + half).min(1.0),
         runs,
         successes,
         confidence,
-    }
+    })
 }
 
 /// The number of runs needed so that, by the Chernoff–Hoeffding bound,
@@ -104,15 +132,13 @@ pub fn chernoff_runs(epsilon: f64, delta: f64) -> usize {
 
 /// Estimates the mean and standard deviation of samples.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `samples` is empty.
-#[must_use]
-pub fn estimate_mean(samples: &[f64]) -> MeanEstimate {
-    assert!(
-        !samples.is_empty(),
-        "estimation requires at least one sample"
-    );
+/// Returns [`StatsError::NoSamples`] if `samples` is empty.
+pub fn estimate_mean(samples: &[f64]) -> Result<MeanEstimate, StatsError> {
+    if samples.is_empty() {
+        return Err(StatsError::NoSamples);
+    }
     let n = samples.len() as f64;
     let mean = samples.iter().sum::<f64>() / n;
     let var = if samples.len() > 1 {
@@ -120,11 +146,11 @@ pub fn estimate_mean(samples: &[f64]) -> MeanEstimate {
     } else {
         0.0
     };
-    MeanEstimate {
+    Ok(MeanEstimate {
         mean,
         std_dev: var.sqrt(),
         runs: samples.len(),
-    }
+    })
 }
 
 /// Outcome of a sequential hypothesis test.
@@ -261,9 +287,21 @@ impl EmpiricalCdf {
     }
 
     /// Evaluates the CDF on a grid of time points.
+    ///
+    /// Sorts the samples once and answers each grid point by binary
+    /// search, so a plot over a dense grid costs `O((h + g) log h)`
+    /// instead of rescanning all `h` hits for each of the `g` points.
     #[must_use]
     pub fn series(&self, grid: &[f64]) -> Vec<(f64, f64)> {
-        grid.iter().map(|&t| (t, self.at(t))).collect()
+        if self.population == 0 {
+            return grid.iter().map(|&t| (t, 0.0)).collect();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let pop = self.population as f64;
+        grid.iter()
+            .map(|&t| (t, sorted.partition_point(|&s| s <= t) as f64 / pop))
+            .collect()
     }
 }
 
@@ -321,7 +359,7 @@ mod tests {
 
     #[test]
     fn wilson_interval_contains_mean() {
-        let e = estimate(30, 100, 0.95);
+        let e = estimate(30, 100, 0.95).unwrap();
         assert!((e.mean - 0.3).abs() < 1e-12);
         assert!(e.lower < 0.3 && 0.3 < e.upper);
         assert!(e.lower > 0.2 && e.upper < 0.42);
@@ -329,11 +367,11 @@ mod tests {
 
     #[test]
     fn zero_and_full_successes() {
-        let e = estimate(0, 100, 0.95);
+        let e = estimate(0, 100, 0.95).unwrap();
         assert_eq!(e.mean, 0.0);
         assert_eq!(e.lower, 0.0);
         assert!(e.upper < 0.05);
-        let e = estimate(100, 100, 0.95);
+        let e = estimate(100, 100, 0.95).unwrap();
         assert_eq!(e.mean, 1.0);
         assert_eq!(e.upper, 1.0);
         assert!(e.lower > 0.95);
@@ -349,10 +387,10 @@ mod tests {
 
     #[test]
     fn mean_estimation() {
-        let m = estimate_mean(&[1.0, 2.0, 3.0, 4.0]);
+        let m = estimate_mean(&[1.0, 2.0, 3.0, 4.0]).unwrap();
         assert!((m.mean - 2.5).abs() < 1e-12);
         assert!((m.std_dev - (5.0 / 3.0_f64).sqrt()).abs() < 1e-12);
-        let single = estimate_mean(&[7.0]);
+        let single = estimate_mean(&[7.0]).unwrap();
         assert_eq!(single.std_dev, 0.0);
     }
 
@@ -391,6 +429,39 @@ mod tests {
         let series = cdf.series(&[0.0, 1.0, 2.0, 10.0]);
         for w in series.windows(2) {
             assert!(w[0].1 <= w[1].1, "CDF must be monotone");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_typed_errors() {
+        assert_eq!(estimate(0, 0, 0.95), Err(StatsError::NoRuns));
+        assert_eq!(estimate(1, 2, 1.5), Err(StatsError::InvalidConfidence(1.5)));
+        assert_eq!(estimate(1, 2, 0.0), Err(StatsError::InvalidConfidence(0.0)));
+        assert_eq!(estimate_mean(&[]), Err(StatsError::NoSamples));
+    }
+
+    #[test]
+    fn series_matches_pointwise_cdf_on_random_data() {
+        // Deterministic LCG so the regression is reproducible offline.
+        let mut state = 0x2545_f491_4f6c_dd1d_u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (state >> 11) as f64 / (1_u64 << 53) as f64 * 100.0
+        };
+        let mut cdf = EmpiricalCdf::new(600);
+        for _ in 0..500 {
+            cdf.add(next());
+        }
+        let grid: Vec<f64> = (0..200).map(|_| next()).collect();
+        let fast = cdf.series(&grid);
+        for (i, &t) in grid.iter().enumerate() {
+            assert_eq!(fast[i].0, t);
+            assert!(
+                (fast[i].1 - cdf.at(t)).abs() < 1e-12,
+                "series disagrees with at() at t={t}"
+            );
         }
     }
 

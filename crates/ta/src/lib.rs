@@ -47,10 +47,12 @@ mod reach;
 pub use digital::{DigitalExplorer, DigitalMove, DigitalState};
 pub use explore::{Action, Explorer, SymState};
 pub use formula::StateFormula;
-pub use liveness::leads_to;
+pub use liveness::{leads_to, leads_to_governed};
 pub use model::{
     Automaton, AutomatonBuilder, AutomatonId, Channel, ChannelId, ChannelKind, ClockAtom, Edge,
     EdgeBuilder, Location, LocationId, LocationKind, Network, NetworkBuilder, Sync, SyncDir,
 };
-pub use query::{check_query, parse_formula, parse_query, Query, QueryError, QueryResult};
+pub use query::{
+    check_query, check_query_governed, parse_formula, parse_query, Query, QueryError, QueryResult,
+};
 pub use reach::{ModelChecker, ReachResult, Stats, Trace, TraceStep, Verdict};

@@ -20,9 +20,10 @@
 use crate::explore::{Explorer, SymState};
 use crate::formula::StateFormula;
 use crate::model::{LocationId, Network};
-use crate::reach::{Stats, Trace, TraceStep, Verdict};
+use crate::reach::{exploration_report, Stats, Trace, TraceStep, Verdict};
 use std::collections::{HashMap, HashSet, VecDeque};
 use tempo_expr::Store;
+use tempo_obs::{Budget, Governor, Outcome};
 
 /// Checks the leads-to property `phi --> psi` over the network.
 ///
@@ -32,12 +33,34 @@ use tempo_expr::Store;
 /// predicates are supported; see the module documentation).
 #[must_use]
 pub fn leads_to(net: &Network, phi: &StateFormula, psi: &StateFormula) -> (Verdict, Stats) {
+    leads_to_governed(net, phi, psi, &Budget::unlimited()).into_value()
+}
+
+/// Checks `phi --> psi` under a resource [`Budget`].
+///
+/// A counterexample found within the budget is definitive (`Complete`).
+/// On exhaustion the partial verdict is `Satisfied`, to be read as "no
+/// way to avoid `psi` found within the explored portion" — never as a
+/// proof.
+///
+/// # Panics
+///
+/// Panics if `phi` or `psi` contains clock atoms (only discrete
+/// predicates are supported; see the module documentation).
+pub fn leads_to_governed(
+    net: &Network,
+    phi: &StateFormula,
+    psi: &StateFormula,
+    budget: &Budget,
+) -> Outcome<(Verdict, Stats)> {
     assert!(
         phi.is_discrete() && psi.is_discrete(),
         "leads-to requires discrete (location/data) predicates"
     );
+    let gov = budget.governor();
     let explorer = Explorer::new(net);
     let mut stats = Stats::default();
+    let mut peak = 0usize;
 
     // Phase 1: collect all reachable states (inclusion-reduced), keeping
     // parent links for diagnostics.
@@ -47,12 +70,18 @@ pub fn leads_to(net: &Network, phi: &StateFormula, psi: &StateFormula) -> (Verdi
     let mut waiting: VecDeque<usize> = VecDeque::new();
 
     let init = explorer.initial_state();
-    passed.insert(init.discrete(), vec![0]);
-    states.push(init);
-    parents.push(None);
-    waiting.push_back(0);
+    if gov.charge_state() {
+        passed.insert(init.discrete(), vec![0]);
+        states.push(init);
+        parents.push(None);
+        waiting.push_back(0);
+        peak = 1;
+    }
 
-    while let Some(idx) = waiting.pop_front() {
+    'explore: while let Some(idx) = waiting.pop_front() {
+        if !gov.check_time() {
+            break;
+        }
         stats.explored += 1;
         let state = states[idx].clone();
         for (_, succ) in explorer.successors(&state) {
@@ -65,6 +94,9 @@ pub fn leads_to(net: &Network, phi: &StateFormula, psi: &StateFormula) -> (Verdi
             {
                 continue;
             }
+            if !gov.charge_state() {
+                break 'explore;
+            }
             entry.retain(|&i| !states[i].zone.is_subset_of(&succ.zone));
             states.push(succ);
             parents.push(Some(idx));
@@ -74,18 +106,23 @@ pub fn leads_to(net: &Network, phi: &StateFormula, psi: &StateFormula) -> (Verdi
                 .expect("entry exists")
                 .push(new_idx);
             waiting.push_back(new_idx);
+            peak = peak.max(waiting.len());
         }
     }
     stats.stored = passed.values().map(Vec::len).sum();
 
     // Phase 2: from every reachable φ ∧ ¬ψ state, search the ψ-avoiding
-    // graph for a cycle, a time-divergent stay, or a dead end.
+    // graph for a cycle, a time-divergent stay, or a dead end. Skipped
+    // entirely once the budget tripped during phase 1.
     for start in 0..states.len() {
+        if gov.is_exhausted() {
+            break;
+        }
         let s = &states[start];
         if !phi.holds_somewhere(net, s) || psi.holds_somewhere(net, s) {
             continue;
         }
-        if let Some(bad) = avoid_search(net, &explorer, s, psi, &mut stats) {
+        if let Some(bad) = avoid_search(net, &explorer, s, psi, &mut stats, &gov) {
             // Build a trace: path to `start` via parent links, then the
             // offending suffix.
             let mut prefix = Vec::new();
@@ -99,10 +136,13 @@ pub fn leads_to(net: &Network, phi: &StateFormula, psi: &StateFormula) -> (Verdi
             }
             prefix.reverse();
             prefix.extend(bad.steps);
-            return (Verdict::Violated(Trace { steps: prefix }), stats);
+            let report = exploration_report(&gov, &stats, peak);
+            return gov
+                .finish_complete((Verdict::Violated(Trace { steps: prefix }), stats), report);
         }
     }
-    (Verdict::Satisfied, stats)
+    let report = exploration_report(&gov, &stats, peak);
+    gov.finish((Verdict::Satisfied, stats), report)
 }
 
 /// Key for cycle detection: discrete part plus the exact zone.
@@ -124,6 +164,7 @@ fn avoid_search(
     start: &SymState,
     psi: &StateFormula,
     stats: &mut Stats,
+    gov: &Governor,
 ) -> Option<Trace> {
     let mut on_stack: HashSet<AvoidKey> = HashSet::new();
     let mut done: HashSet<AvoidKey> = HashSet::new();
@@ -137,6 +178,7 @@ fn avoid_search(
         &mut done,
         &mut path,
         stats,
+        gov,
     )
 }
 
@@ -150,7 +192,13 @@ fn dfs(
     done: &mut HashSet<AvoidKey>,
     path: &mut Vec<SymState>,
     stats: &mut Stats,
+    gov: &Governor,
 ) -> Option<Trace> {
+    // Budget trip: unwind without a verdict; the caller reports
+    // `Exhausted`, so the missing branches cannot be misread as checked.
+    if gov.is_exhausted() || !gov.check_time() {
+        return None;
+    }
     if psi.holds_somewhere(net, state) {
         return None; // ψ reached: this branch is fine.
     }
@@ -173,6 +221,9 @@ fn dfs(
     if done.contains(&key) {
         return None;
     }
+    if !gov.charge_state() {
+        return None;
+    }
     on_stack.insert(key.clone());
     path.push(state.clone());
     let succs = explorer.successors(state);
@@ -191,7 +242,7 @@ fn dfs(
     } else {
         let mut found = None;
         for (_, succ) in succs {
-            if let Some(t) = dfs(net, explorer, &succ, psi, on_stack, done, path, stats) {
+            if let Some(t) = dfs(net, explorer, &succ, psi, on_stack, done, path, stats, gov) {
                 found = Some(t);
                 break;
             }

@@ -21,6 +21,7 @@ use std::sync::Mutex;
 use tempo_conc::{ShardedMap, WorkQueue};
 use tempo_dbm::Dbm;
 use tempo_expr::Store;
+use tempo_obs::Governor;
 
 /// Arena-crossing node handle: worker index + index in that worker's arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,18 +39,22 @@ struct Node {
 type DiscreteKey = (Vec<LocationId>, Store);
 
 /// Explore the zone graph with `threads` workers until a state satisfying
-/// `hit` is popped or the inclusion-reduced fixpoint is exhausted.
+/// `hit` is popped, the inclusion-reduced fixpoint is exhausted, or the
+/// governor trips a budget limit (workers then drain cooperatively via
+/// [`WorkQueue::stop_exhausted`]).
 ///
-/// Returns the witness trace (if a hit was found) and exploration
-/// statistics aggregated across workers. States where `prune` holds
-/// everywhere are not expanded, mirroring the sequential engine.
+/// Returns the witness trace (if a hit was found), exploration statistics
+/// aggregated across workers, and the waiting-list high-water mark.
+/// States where `prune` holds everywhere are not expanded, mirroring the
+/// sequential engine.
 pub(crate) fn parallel_search<H>(
     net: &Network,
     explorer: &Explorer<'_>,
     threads: usize,
     hit: H,
     prune: Option<&StateFormula>,
-) -> (Option<Trace>, Stats)
+    gov: &Governor,
+) -> (Option<Trace>, Stats, usize)
 where
     H: Fn(&SymState) -> bool + std::marker::Sync,
 {
@@ -65,41 +70,44 @@ where
         worker: 0,
         index: 0,
     };
-    {
+    let mut arenas: Vec<Vec<Node>> = (0..threads).map(|_| Vec::new()).collect();
+    if gov.charge_state() {
         let key = init.discrete();
         let mut shard = passed.lock_shard(&key);
         shard.insert(key, vec![(init_id, init.zone.clone())]);
+        drop(shard);
+        arenas[0].push(Node {
+            state: init.clone(),
+            parent: None,
+        });
+        queue.push((init_id, init));
+
+        std::thread::scope(|scope| {
+            let (queue, passed) = (&queue, &passed);
+            let (explored, transitions, goal_cell) = (&explored, &transitions, &goal_cell);
+            let hit = &hit;
+            for (w, arena) in arenas.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    worker(
+                        w as u32,
+                        arena,
+                        queue,
+                        passed,
+                        explored,
+                        transitions,
+                        goal_cell,
+                        net,
+                        explorer,
+                        hit,
+                        prune,
+                        gov,
+                    )
+                });
+            }
+        });
     }
-    let mut arenas: Vec<Vec<Node>> = (0..threads).map(|_| Vec::new()).collect();
-    arenas[0].push(Node {
-        state: init.clone(),
-        parent: None,
-    });
-    queue.push((init_id, init));
 
-    std::thread::scope(|scope| {
-        let (queue, passed) = (&queue, &passed);
-        let (explored, transitions, goal_cell) = (&explored, &transitions, &goal_cell);
-        let hit = &hit;
-        for (w, arena) in arenas.iter_mut().enumerate() {
-            scope.spawn(move || {
-                worker(
-                    w as u32,
-                    arena,
-                    queue,
-                    passed,
-                    explored,
-                    transitions,
-                    goal_cell,
-                    net,
-                    explorer,
-                    hit,
-                    prune,
-                )
-            });
-        }
-    });
-
+    let peak = queue.peak_len();
     let stats = Stats {
         explored: explored.load(Ordering::Relaxed),
         transitions: transitions.load(Ordering::Relaxed),
@@ -112,7 +120,7 @@ where
         .into_inner()
         .expect("goal cell poisoned")
         .map(|goal| build_trace(&arenas, goal));
-    (trace, stats)
+    (trace, stats, peak)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -128,10 +136,15 @@ fn worker<H>(
     explorer: &Explorer<'_>,
     hit: &H,
     prune: Option<&StateFormula>,
+    gov: &Governor,
 ) where
     H: Fn(&SymState) -> bool + std::marker::Sync,
 {
     while let Some((id, state)) = queue.pop() {
+        if !gov.check_time() {
+            queue.stop_exhausted();
+            return;
+        }
         explored.fetch_add(1, Ordering::Relaxed);
         if hit(&state) {
             let mut goal = goal_cell.lock().expect("goal cell poisoned");
@@ -157,6 +170,11 @@ fn worker<H>(
             let entry = shard.entry(key).or_default();
             if entry.iter().any(|(_, zone)| succ.zone.is_subset_of(zone)) {
                 continue;
+            }
+            if !gov.charge_state() {
+                drop(shard);
+                queue.stop_exhausted();
+                return;
             }
             entry.retain(|(_, zone)| !zone.is_subset_of(&succ.zone));
             let nid = NodeId {

@@ -18,11 +18,12 @@
 //! (symbolic `!`, `&&`, `||` also accepted).
 
 use crate::formula::StateFormula;
-use crate::liveness::leads_to;
+use crate::liveness::leads_to_governed;
 use crate::model::{ClockAtom, Network};
 use crate::reach::{ModelChecker, Stats, Trace, Verdict};
 use tempo_dbm::Clock;
 use tempo_expr::{BinOp, Expr};
+use tempo_obs::{Budget, Outcome};
 
 /// A parsed query.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,63 +98,50 @@ pub fn parse_query(net: &Network, text: &str) -> Result<Query, QueryError> {
 ///
 /// Returns [`QueryError`] if the query does not parse.
 pub fn check_query(net: &Network, text: &str) -> Result<QueryResult, QueryError> {
+    check_query_governed(net, text, &Budget::unlimited()).map(Outcome::into_value)
+}
+
+/// Parses and checks a query under a resource [`Budget`].
+///
+/// With [`Budget::unlimited`] this is exactly [`check_query`]. On
+/// exhaustion the partial [`QueryResult`] carries the weakest sound
+/// reading for the query form: "goal not found so far" for `E<>`,
+/// "no violation found so far" for `A[]` / `-->` / deadlock-freedom.
+///
+/// # Errors
+///
+/// Returns [`QueryError`] if the query does not parse.
+pub fn check_query_governed(
+    net: &Network,
+    text: &str,
+    budget: &Budget,
+) -> Result<Outcome<QueryResult>, QueryError> {
     let query = parse_query(net, text)?;
     let mut mc = ModelChecker::new(net);
-    Ok(match query {
-        Query::Always(f) => {
-            let (verdict, stats) = mc.always(&f);
-            match verdict {
-                Verdict::Satisfied => QueryResult {
-                    satisfied: true,
-                    trace: None,
-                    stats,
-                },
-                Verdict::Violated(t) => QueryResult {
-                    satisfied: false,
-                    trace: Some(t),
-                    stats,
-                },
-            }
-        }
+    let verdict_outcome = match query {
+        Query::Always(f) => mc.always_governed(&f, budget),
         Query::Eventually(f) => {
-            let res = mc.reachable(&f);
-            QueryResult {
+            return Ok(mc.reachable_governed(&f, budget).map(|res| QueryResult {
                 satisfied: res.reachable,
                 trace: res.trace,
                 stats: res.stats,
-            }
+            }))
         }
-        Query::LeadsTo(phi, psi) => {
-            let (verdict, stats) = leads_to(net, &phi, &psi);
-            match verdict {
-                Verdict::Satisfied => QueryResult {
-                    satisfied: true,
-                    trace: None,
-                    stats,
-                },
-                Verdict::Violated(t) => QueryResult {
-                    satisfied: false,
-                    trace: Some(t),
-                    stats,
-                },
-            }
-        }
-        Query::DeadlockFree => {
-            let (verdict, stats) = mc.deadlock_free();
-            match verdict {
-                Verdict::Satisfied => QueryResult {
-                    satisfied: true,
-                    trace: None,
-                    stats,
-                },
-                Verdict::Violated(t) => QueryResult {
-                    satisfied: false,
-                    trace: Some(t),
-                    stats,
-                },
-            }
-        }
-    })
+        Query::LeadsTo(phi, psi) => leads_to_governed(net, &phi, &psi, budget),
+        Query::DeadlockFree => mc.deadlock_free_governed(budget),
+    };
+    Ok(verdict_outcome.map(|(verdict, stats)| match verdict {
+        Verdict::Satisfied => QueryResult {
+            satisfied: true,
+            trace: None,
+            stats,
+        },
+        Verdict::Violated(t) => QueryResult {
+            satisfied: false,
+            trace: Some(t),
+            stats,
+        },
+    }))
 }
 
 /// Parses a state formula against the network's names.

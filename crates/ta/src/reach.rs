@@ -6,6 +6,20 @@ use crate::formula::StateFormula;
 use crate::model::{LocationId, Network};
 use std::collections::{HashMap, VecDeque};
 use tempo_expr::Store;
+use tempo_obs::{Budget, Governor, Outcome, RunReport};
+
+/// Builds the [`RunReport`] of a zone-graph exploration from its
+/// [`Stats`] and the waiting-list high-water mark.
+pub(crate) fn exploration_report(gov: &Governor, stats: &Stats, peak_waiting: usize) -> RunReport {
+    RunReport {
+        states_explored: stats.explored as u64,
+        states_stored: stats.stored as u64,
+        peak_waiting: peak_waiting as u64,
+        sweeps: 0,
+        runs_simulated: 0,
+        wall_time: gov.elapsed(),
+    }
+}
 
 /// A step of a symbolic diagnostic trace.
 #[derive(Debug, Clone)]
@@ -191,19 +205,61 @@ impl<'n> ModelChecker<'n> {
     /// `E<> goal`: is some state satisfying `goal` reachable?
     #[must_use]
     pub fn reachable(&mut self, goal: &StateFormula) -> ReachResult {
-        self.search(goal, None)
+        self.reachable_governed(goal, &Budget::unlimited())
+            .into_value()
+    }
+
+    /// `E<> goal` under a resource [`Budget`].
+    ///
+    /// With [`Budget::unlimited`] this is exactly [`ModelChecker::reachable`].
+    /// On exhaustion the partial result has `reachable == false`, to be
+    /// read as "no witness found within the explored portion" — the
+    /// `Exhausted` wrapper marks it non-definitive. A witness found in the
+    /// same step the budget trips is still returned as `Complete`, because
+    /// reachability witnesses are sound regardless of coverage.
+    pub fn reachable_governed(
+        &mut self,
+        goal: &StateFormula,
+        budget: &Budget,
+    ) -> Outcome<ReachResult> {
+        let gov = budget.governor();
+        let (res, peak) = self.search(goal, None, &gov);
+        let report = exploration_report(&gov, &res.stats, peak);
+        if res.reachable {
+            gov.finish_complete(res, report)
+        } else {
+            gov.finish(res, report)
+        }
     }
 
     /// `A[] safe`: does `safe` hold in every reachable state (and every
     /// valuation of its zone)? Equivalent to `not E<> not safe`.
     #[must_use]
     pub fn always(&mut self, safe: &StateFormula) -> (Verdict, Stats) {
+        self.always_governed(safe, &Budget::unlimited())
+            .into_value()
+    }
+
+    /// `A[] safe` under a resource [`Budget`].
+    ///
+    /// A violation is definitive (`Complete`) even if found on the last
+    /// budgeted state. On exhaustion the partial verdict is
+    /// `Satisfied`, to be read as "no violation found within the explored
+    /// portion" — never as a proof.
+    pub fn always_governed(
+        &mut self,
+        safe: &StateFormula,
+        budget: &Budget,
+    ) -> Outcome<(Verdict, Stats)> {
         let neg = StateFormula::not(safe.clone());
-        let res = self.search(&neg, None);
+        let gov = budget.governor();
+        let (res, peak) = self.search(&neg, None, &gov);
+        let report = exploration_report(&gov, &res.stats, peak);
         if res.reachable {
-            (Verdict::Violated(res.trace.unwrap_or_default()), res.stats)
+            let value = (Verdict::Violated(res.trace.unwrap_or_default()), res.stats);
+            gov.finish_complete(value, report)
         } else {
-            (Verdict::Satisfied, res.stats)
+            gov.finish((Verdict::Satisfied, res.stats), report)
         }
     }
 
@@ -211,7 +267,22 @@ impl<'n> ModelChecker<'n> {
     /// which no action transition is possible now or after delay.
     #[must_use]
     pub fn deadlock_free(&mut self) -> (Verdict, Stats) {
-        self.deadlock_search()
+        self.deadlock_free_governed(&Budget::unlimited())
+            .into_value()
+    }
+
+    /// `A[] not deadlock` under a resource [`Budget`]. Same partial
+    /// semantics as [`ModelChecker::always_governed`]: a deadlock found is
+    /// definitive, exhaustion means "none found so far".
+    pub fn deadlock_free_governed(&mut self, budget: &Budget) -> Outcome<(Verdict, Stats)> {
+        let gov = budget.governor();
+        let (verdict, stats, peak) = self.deadlock_search(&gov);
+        let report = exploration_report(&gov, &stats, peak);
+        if verdict.holds() {
+            gov.finish((verdict, stats), report)
+        } else {
+            gov.finish_complete((verdict, stats), report)
+        }
     }
 
     /// BFS over the zone graph with an inclusion-reduced passed list.
@@ -219,51 +290,71 @@ impl<'n> ModelChecker<'n> {
     /// fully satisfying it are not expanded (used by bounded searches).
     /// Dispatches to the parallel engine when more than one worker is
     /// configured.
-    fn search(&mut self, goal: &StateFormula, prune: Option<&StateFormula>) -> ReachResult {
+    fn search(
+        &mut self,
+        goal: &StateFormula,
+        prune: Option<&StateFormula>,
+        gov: &Governor,
+    ) -> (ReachResult, usize) {
         let explorer = Explorer::with_extra_constants(self.net, &goal.clock_atoms());
         if self.threads > 1 {
-            let (trace, stats) = crate::par_reach::parallel_search(
+            let (trace, stats, peak) = crate::par_reach::parallel_search(
                 self.net,
                 &explorer,
                 self.threads,
                 |state: &SymState| goal.holds_somewhere(self.net, state),
                 prune,
+                gov,
             );
-            return ReachResult {
-                reachable: trace.is_some(),
-                trace,
-                stats,
-            };
+            return (
+                ReachResult {
+                    reachable: trace.is_some(),
+                    trace,
+                    stats,
+                },
+                peak,
+            );
         }
         let mut stats = Stats::default();
+        let mut peak = 0usize;
         let mut nodes: Vec<Node> = Vec::new();
         let mut passed: HashMap<(Vec<LocationId>, Store), Vec<usize>> = HashMap::new();
         let mut waiting: VecDeque<usize> = VecDeque::new();
 
         let init = explorer.initial_state();
-        nodes.push(Node {
-            state: init,
-            parent: None,
-        });
-        waiting.push_back(0);
-        passed.insert(nodes[0].state.discrete(), vec![0]);
+        if gov.charge_state() {
+            nodes.push(Node {
+                state: init,
+                parent: None,
+            });
+            waiting.push_back(0);
+            peak = 1;
+            passed.insert(nodes[0].state.discrete(), vec![0]);
+        }
 
         while let Some(idx) = waiting.pop_front() {
+            if !gov.check_time() {
+                break;
+            }
             let state = nodes[idx].state.clone();
             stats.explored += 1;
             if goal.holds_somewhere(self.net, &state) {
                 stats.stored = passed.values().map(Vec::len).sum();
-                return ReachResult {
-                    reachable: true,
-                    trace: Some(self.build_trace(&nodes, idx)),
-                    stats,
-                };
+                return (
+                    ReachResult {
+                        reachable: true,
+                        trace: Some(self.build_trace(&nodes, idx)),
+                        stats,
+                    },
+                    peak,
+                );
             }
             if let Some(p) = prune {
                 if p.holds_everywhere(self.net, &state) {
                     continue;
                 }
             }
+            let mut out_of_states = false;
             for (action, succ) in explorer.successors(&state) {
                 stats.transitions += 1;
                 let key = succ.discrete();
@@ -273,6 +364,10 @@ impl<'n> ModelChecker<'n> {
                     .any(|&i| succ.zone.is_subset_of(&nodes[i].state.zone))
                 {
                     continue;
+                }
+                if !gov.charge_state() {
+                    out_of_states = true;
+                    break;
                 }
                 entry.retain(|&i| !nodes[i].state.zone.is_subset_of(&succ.zone));
                 nodes.push(Node {
@@ -285,54 +380,74 @@ impl<'n> ModelChecker<'n> {
                     .expect("entry exists")
                     .push(new_idx);
                 waiting.push_back(new_idx);
+                peak = peak.max(waiting.len());
+            }
+            if out_of_states {
+                break;
             }
         }
         stats.stored = passed.values().map(Vec::len).sum();
-        ReachResult {
-            reachable: false,
-            trace: None,
-            stats,
-        }
+        (
+            ReachResult {
+                reachable: false,
+                trace: None,
+                stats,
+            },
+            peak,
+        )
     }
 
     /// Full exploration checking the symbolic deadlock condition on every
     /// state. Dispatches to the parallel engine when more than one worker
     /// is configured.
-    fn deadlock_search(&mut self) -> (Verdict, Stats) {
+    fn deadlock_search(&mut self, gov: &Governor) -> (Verdict, Stats, usize) {
         let explorer = Explorer::new(self.net);
         if self.threads > 1 {
-            let (trace, stats) = crate::par_reach::parallel_search(
+            let (trace, stats, peak) = crate::par_reach::parallel_search(
                 self.net,
                 &explorer,
                 self.threads,
                 |state: &SymState| !explorer.deadlock_federation(state).is_empty(),
                 None,
+                gov,
             );
             return match trace {
-                Some(t) => (Verdict::Violated(t), stats),
-                None => (Verdict::Satisfied, stats),
+                Some(t) => (Verdict::Violated(t), stats, peak),
+                None => (Verdict::Satisfied, stats, peak),
             };
         }
         let mut stats = Stats::default();
+        let mut peak = 0usize;
         let mut nodes: Vec<Node> = Vec::new();
         let mut passed: HashMap<(Vec<LocationId>, Store), Vec<usize>> = HashMap::new();
         let mut waiting: VecDeque<usize> = VecDeque::new();
 
         let init = explorer.initial_state();
-        nodes.push(Node {
-            state: init,
-            parent: None,
-        });
-        waiting.push_back(0);
-        passed.insert(nodes[0].state.discrete(), vec![0]);
+        if gov.charge_state() {
+            nodes.push(Node {
+                state: init,
+                parent: None,
+            });
+            waiting.push_back(0);
+            peak = 1;
+            passed.insert(nodes[0].state.discrete(), vec![0]);
+        }
 
         while let Some(idx) = waiting.pop_front() {
+            if !gov.check_time() {
+                break;
+            }
             let state = nodes[idx].state.clone();
             stats.explored += 1;
             if !explorer.deadlock_federation(&state).is_empty() {
                 stats.stored = passed.values().map(Vec::len).sum();
-                return (Verdict::Violated(self.build_trace(&nodes, idx)), stats);
+                return (
+                    Verdict::Violated(self.build_trace(&nodes, idx)),
+                    stats,
+                    peak,
+                );
             }
+            let mut out_of_states = false;
             for (action, succ) in explorer.successors(&state) {
                 stats.transitions += 1;
                 let key = succ.discrete();
@@ -342,6 +457,10 @@ impl<'n> ModelChecker<'n> {
                     .any(|&i| succ.zone.is_subset_of(&nodes[i].state.zone))
                 {
                     continue;
+                }
+                if !gov.charge_state() {
+                    out_of_states = true;
+                    break;
                 }
                 entry.retain(|&i| !nodes[i].state.zone.is_subset_of(&succ.zone));
                 nodes.push(Node {
@@ -354,27 +473,51 @@ impl<'n> ModelChecker<'n> {
                     .expect("entry exists")
                     .push(new_idx);
                 waiting.push_back(new_idx);
+                peak = peak.max(waiting.len());
+            }
+            if out_of_states {
+                break;
             }
         }
         stats.stored = passed.values().map(Vec::len).sum();
-        (Verdict::Satisfied, stats)
+        (Verdict::Satisfied, stats, peak)
     }
 
     /// Enumerates all reachable symbolic states (inclusion-reduced).
     #[must_use]
     pub fn reachable_states(&mut self) -> (Vec<SymState>, Stats) {
+        self.reachable_states_governed(&Budget::unlimited())
+            .into_value()
+    }
+
+    /// Enumerates reachable symbolic states under a resource [`Budget`].
+    /// On exhaustion the partial value is the (inclusion-reduced) set of
+    /// states collected so far — a sound under-approximation of the
+    /// reachable set.
+    pub fn reachable_states_governed(
+        &mut self,
+        budget: &Budget,
+    ) -> Outcome<(Vec<SymState>, Stats)> {
+        let gov = budget.governor();
         let explorer = Explorer::new(self.net);
         let mut stats = Stats::default();
+        let mut peak = 0usize;
         let mut states: Vec<SymState> = Vec::new();
         let mut passed: HashMap<(Vec<LocationId>, Store), Vec<usize>> = HashMap::new();
         let mut waiting: VecDeque<usize> = VecDeque::new();
 
         let init = explorer.initial_state();
-        passed.insert(init.discrete(), vec![0]);
-        states.push(init);
-        waiting.push_back(0);
+        if gov.charge_state() {
+            passed.insert(init.discrete(), vec![0]);
+            states.push(init);
+            waiting.push_back(0);
+            peak = 1;
+        }
 
-        while let Some(idx) = waiting.pop_front() {
+        'explore: while let Some(idx) = waiting.pop_front() {
+            if !gov.check_time() {
+                break;
+            }
             let state = states[idx].clone();
             stats.explored += 1;
             for (_, succ) in explorer.successors(&state) {
@@ -387,6 +530,9 @@ impl<'n> ModelChecker<'n> {
                 {
                     continue;
                 }
+                if !gov.charge_state() {
+                    break 'explore;
+                }
                 entry.retain(|&i| !states[i].zone.is_subset_of(&succ.zone));
                 states.push(succ);
                 let new_idx = states.len() - 1;
@@ -395,10 +541,12 @@ impl<'n> ModelChecker<'n> {
                     .expect("entry exists")
                     .push(new_idx);
                 waiting.push_back(new_idx);
+                peak = peak.max(waiting.len());
             }
         }
         stats.stored = passed.values().map(Vec::len).sum();
-        (states, stats)
+        let report = exploration_report(&gov, &stats, peak);
+        gov.finish((states, stats), report)
     }
 
     fn build_trace(&self, nodes: &[Node], mut idx: usize) -> Trace {

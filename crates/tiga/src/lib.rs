@@ -28,6 +28,7 @@
 
 use std::collections::HashMap;
 use tempo_conc::{run_workers, split_budget, ParallelConfig};
+use tempo_obs::{Budget, Governor, Outcome, RunReport};
 use tempo_ta::{DigitalExplorer, DigitalMove, DigitalState, Network, StateFormula};
 
 /// What the synthesized controller prescribes in a state.
@@ -126,39 +127,96 @@ impl<'n> GameSolver<'n> {
         self.threads
     }
 
-    fn build_graph(&self) -> Graph {
+    /// Explores the game graph, charging the governor's state budget.
+    /// Returns the (possibly truncated) graph and the frontier's
+    /// high-water mark; on truncation the governor is left exhausted.
+    fn build_graph(&self, gov: &Governor) -> (Graph, usize) {
         let mut graph = Graph {
             states: Vec::new(),
             index: HashMap::new(),
             moves: Vec::new(),
             tick: Vec::new(),
         };
+        let mut peak = 0usize;
+        if !gov.charge_state() {
+            return (graph, peak);
+        }
         let init = self.exp.initial_state();
         graph.index.insert(init.clone(), 0);
         graph.states.push(init);
         graph.moves.push(Vec::new());
         graph.tick.push(None);
+        peak = 1;
         let mut frontier = vec![0_usize];
-        while let Some(i) = frontier.pop() {
+        'build: while let Some(i) = frontier.pop() {
+            if !gov.check_time() {
+                break;
+            }
             let state = graph.states[i].clone();
             if let Some(next) = self.exp.tick(&state) {
-                let j = intern(&mut graph, next, &mut frontier);
+                let Some(j) = intern(&mut graph, next, &mut frontier, gov) else {
+                    break 'build;
+                };
                 graph.tick[i] = Some(j);
             }
             for (mv, next) in self.exp.moves(&state) {
-                let j = intern(&mut graph, next, &mut frontier);
+                let Some(j) = intern(&mut graph, next, &mut frontier, gov) else {
+                    break 'build;
+                };
                 graph.moves[i].push((mv, j));
             }
+            peak = peak.max(frontier.len());
         }
-        graph
+        (graph, peak)
+    }
+
+    fn game_report(gov: &Governor, states: usize, peak: usize, sweeps: u64) -> RunReport {
+        RunReport {
+            states_explored: states as u64,
+            states_stored: states as u64,
+            peak_waiting: peak as u64,
+            sweeps,
+            runs_simulated: 0,
+            wall_time: gov.elapsed(),
+        }
     }
 
     /// Solves the reachability game: the controller wins by eventually
     /// reaching a state satisfying `goal`, whatever the environment does.
     #[must_use]
     pub fn solve_reachability(&self, goal: &StateFormula) -> GameResult {
-        let graph = self.build_graph();
+        self.solve_reachability_governed(goal, &Budget::unlimited())
+            .into_value()
+    }
+
+    /// Solves the reachability game under a resource [`Budget`].
+    ///
+    /// The winning region grows monotonically from the goal (least
+    /// fixpoint), so on iteration/wall-clock exhaustion the states ranked
+    /// so far are *genuinely* winning: the partial strategy is sound, and
+    /// if the initial state is already ranked the verdict is definitive
+    /// (`Complete`). Exhaustion during graph exploration yields an empty
+    /// strategy with `winning == false` ("not proven winning").
+    pub fn solve_reachability_governed(
+        &self,
+        goal: &StateFormula,
+        budget: &Budget,
+    ) -> Outcome<GameResult> {
+        let gov = budget.governor();
+        let (graph, peak) = self.build_graph(&gov);
         let n = graph.states.len();
+        let mut sweeps = 0u64;
+        if gov.is_exhausted() {
+            let report = Self::game_report(&gov, n, peak, sweeps);
+            return gov.finish(
+                GameResult {
+                    winning: false,
+                    strategy: Strategy::default(),
+                    states: n,
+                },
+                report,
+            );
+        }
         let is_goal: Vec<bool> = graph
             .states
             .iter()
@@ -196,6 +254,10 @@ impl<'n> GameSolver<'n> {
         };
         let mut round = 0_usize;
         loop {
+            if !gov.charge_iteration() || !gov.check_time() {
+                break;
+            }
+            sweeps += 1;
             round += 1;
             // Each round scans a snapshot of `rank` and applies additions
             // afterwards, so chunking the scan across workers yields the
@@ -243,10 +305,19 @@ impl<'n> GameSolver<'n> {
             };
             strategy.moves.insert(graph.states[i].clone(), mv);
         }
-        GameResult {
-            winning: rank[0].is_some(),
+        let winning = rank.first().is_some_and(Option::is_some);
+        let result = GameResult {
+            winning,
             strategy,
             states: n,
+        };
+        let report = Self::game_report(&gov, n, peak, sweeps);
+        if winning {
+            // Ranked states are winning even under an interrupted least
+            // fixpoint, so a ranked initial state is a definitive verdict.
+            gov.finish_complete(result, report)
+        } else {
+            gov.finish(result, report)
         }
     }
 
@@ -254,8 +325,37 @@ impl<'n> GameSolver<'n> {
     /// states satisfying `bad`.
     #[must_use]
     pub fn solve_safety(&self, bad: &StateFormula) -> GameResult {
-        let graph = self.build_graph();
+        self.solve_safety_governed(bad, &Budget::unlimited())
+            .into_value()
+    }
+
+    /// Solves the safety game under a resource [`Budget`].
+    ///
+    /// The safety fixpoint shrinks from above (greatest fixpoint), so an
+    /// interrupted run only has an *over*-approximation of the winning
+    /// region — claiming any state winning would be unsound. On
+    /// exhaustion the partial result therefore has `winning == false` and
+    /// an empty strategy: "no winning strategy proven within the budget".
+    pub fn solve_safety_governed(
+        &self,
+        bad: &StateFormula,
+        budget: &Budget,
+    ) -> Outcome<GameResult> {
+        let gov = budget.governor();
+        let (graph, peak) = self.build_graph(&gov);
         let n = graph.states.len();
+        let mut sweeps = 0u64;
+        if gov.is_exhausted() {
+            let report = Self::game_report(&gov, n, peak, sweeps);
+            return gov.finish(
+                GameResult {
+                    winning: false,
+                    strategy: Strategy::default(),
+                    states: n,
+                },
+                report,
+            );
+        }
         let mut winning: Vec<bool> = graph
             .states
             .iter()
@@ -287,6 +387,10 @@ impl<'n> GameSolver<'n> {
             // W. The greatest fixpoint is unique, so this terminates on
             // the same winning region as the in-place sequential sweep.
             loop {
+                if !gov.charge_iteration() || !gov.check_time() {
+                    break;
+                }
+                sweeps += 1;
                 let ranges = chunk_ranges(n, self.threads);
                 let winning_ref = &winning;
                 let removed: Vec<usize> = run_workers(self.threads, |w| {
@@ -307,6 +411,10 @@ impl<'n> GameSolver<'n> {
             }
         } else {
             loop {
+                if !gov.charge_iteration() || !gov.check_time() {
+                    break;
+                }
+                sweeps += 1;
                 let mut changed = false;
                 for i in 0..n {
                     if winning[i] && !stays_winning(i, &winning) {
@@ -318,6 +426,19 @@ impl<'n> GameSolver<'n> {
                     break;
                 }
             }
+        }
+        if gov.is_exhausted() {
+            // Interrupted greatest fixpoint: `winning` is only an
+            // over-approximation; claim nothing.
+            let report = Self::game_report(&gov, n, peak, sweeps);
+            return gov.finish(
+                GameResult {
+                    winning: false,
+                    strategy: Strategy::default(),
+                    states: n,
+                },
+                report,
+            );
         }
         let mut strategy = Strategy::default();
         for i in 0..n {
@@ -336,11 +457,15 @@ impl<'n> GameSolver<'n> {
             };
             strategy.moves.insert(graph.states[i].clone(), mv);
         }
-        GameResult {
-            winning: winning[0],
-            strategy,
-            states: n,
-        }
+        let report = Self::game_report(&gov, n, peak, sweeps);
+        gov.finish_complete(
+            GameResult {
+                winning: winning.first().copied().unwrap_or(false),
+                strategy,
+                states: n,
+            },
+            report,
+        )
     }
 
     /// Simulates the closed loop "strategy controller against a
@@ -402,9 +527,17 @@ fn chunk_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
         .collect()
 }
 
-fn intern(graph: &mut Graph, state: DigitalState, frontier: &mut Vec<usize>) -> usize {
+fn intern(
+    graph: &mut Graph,
+    state: DigitalState,
+    frontier: &mut Vec<usize>,
+    gov: &Governor,
+) -> Option<usize> {
     if let Some(&i) = graph.index.get(&state) {
-        return i;
+        return Some(i);
+    }
+    if !gov.charge_state() {
+        return None;
     }
     let i = graph.states.len();
     graph.index.insert(state.clone(), i);
@@ -412,7 +545,7 @@ fn intern(graph: &mut Graph, state: DigitalState, frontier: &mut Vec<usize>) -> 
     graph.moves.push(Vec::new());
     graph.tick.push(None);
     frontier.push(i);
-    i
+    Some(i)
 }
 
 #[cfg(test)]

@@ -99,8 +99,8 @@ fn performance(config: ParallelConfig) {
 
     let mut series = Vec::new();
     for id in 0..n {
-        let mut smc = StatisticalChecker::new(&tg.net, tg.rates(), 1000 + id as u64)
-            .with_parallelism(config);
+        let mut smc =
+            StatisticalChecker::new(&tg.net, tg.rates(), 1000 + id as u64).with_parallelism(config);
         let cdf = smc.cdf(&tg.cross(id), 100.0, runs);
         series.push(cdf.series(&grid));
     }
