@@ -11,6 +11,9 @@
 //! * `a2_ablation_mdp`            — value iteration vs step-bounded unrolling;
 //! * `a3_ablation_smc`            — estimation cost vs run budget.
 
+// `criterion_group!` expands to undocumented plumbing functions.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tempo_core::bip::{check_deadlock_freedom, synthesize_safety_controller};
 use tempo_core::ioco::{LtsIut, TestGenerator};

@@ -129,6 +129,28 @@ impl PricedNetwork {
         &self.net
     }
 
+    /// Statically checks the network before running any cost query:
+    /// the lint rules of `tempo-lint` plus the digital-clocks
+    /// closedness requirements of the underlying explorer. On success
+    /// returns the non-blocking findings (warnings) for display.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`LintError`](tempo_lint::LintError) — never
+    /// panics — when the model has error-level findings (or any
+    /// finding under [`LintConfig::strict`](tempo_lint::LintConfig)).
+    pub fn check_first(
+        &self,
+        config: &tempo_lint::LintConfig,
+    ) -> Result<tempo_lint::LintReport, tempo_lint::LintError> {
+        let mut report = tempo_lint::check_network(&self.net);
+        if let Err(e) = DigitalExplorer::try_new(&self.net) {
+            let lint: tempo_lint::LintError = e.into();
+            report.diagnostics.extend(lint.diagnostics);
+        }
+        report.into_result(config)
+    }
+
     /// Sets the cost rate of a location (cost per time unit spent there).
     ///
     /// # Panics
@@ -187,7 +209,21 @@ impl PricedNetwork {
         budget: &Budget,
     ) -> Outcome<Option<MinCostResult>> {
         let gov = budget.governor();
-        let exp = DigitalExplorer::new(&self.net);
+        // Active-clock reduction: clocks read by no guard, invariant, or
+        // goal atom cannot influence enabledness or cost, so dropping
+        // them merges digital states that differ only in dead-clock
+        // values. Costs are per location/edge (indices unchanged), so
+        // the optimum is preserved.
+        let reduction = self.net.reduced_with(&goal.clock_atoms());
+        let (net, goal) = if reduction.is_reduced() {
+            let goal = reduction
+                .map_formula(goal)
+                .expect("goal atoms are kept alive by reduced_with");
+            (reduction.network(), goal)
+        } else {
+            (&self.net, goal.clone())
+        };
+        let exp = DigitalExplorer::new(net);
         let init = exp.initial_state();
 
         let mut dist: HashMap<DigitalState, i64> = HashMap::new();
@@ -213,7 +249,7 @@ impl PricedNetwork {
                 continue; // stale heap entry
             }
             explored += 1;
-            if exp.satisfies(&state, goal) {
+            if exp.satisfies(&state, &goal) {
                 let mut path = Vec::new();
                 let mut cur = state.clone();
                 while let Some((prev, label)) = pred.get(&cur) {
@@ -221,7 +257,7 @@ impl PricedNetwork {
                     cur = prev.clone();
                 }
                 path.reverse();
-                let report = self.dijkstra_report(&gov, explored, dist.len(), peak);
+                let report = self.dijkstra_report(&gov, explored, dist.len(), peak, net.dim());
                 return gov.finish_complete(
                     Some(MinCostResult {
                         cost: d,
@@ -273,7 +309,7 @@ impl PricedNetwork {
                 }
             }
         }
-        let report = self.dijkstra_report(&gov, explored, dist.len(), peak);
+        let report = self.dijkstra_report(&gov, explored, dist.len(), peak, net.dim());
         gov.finish(None, report)
     }
 
@@ -283,6 +319,7 @@ impl PricedNetwork {
         explored: usize,
         stored: usize,
         peak: usize,
+        dim: usize,
     ) -> RunReport {
         RunReport {
             states_explored: explored as u64,
@@ -290,6 +327,8 @@ impl PricedNetwork {
             peak_waiting: peak as u64,
             sweeps: 0,
             runs_simulated: 0,
+            dbm_dim: dim as u64,
+            dbm_dim_model: self.net.dim() as u64,
             wall_time: gov.elapsed(),
         }
     }
@@ -327,7 +366,17 @@ impl PricedNetwork {
         budget: &Budget,
     ) -> Outcome<Option<MaxCost>> {
         let gov = budget.governor();
-        let exp = DigitalExplorer::new(&self.net);
+        // Same active-clock reduction as `min_cost_reach_governed`.
+        let reduction = self.net.reduced_with(&goal.clock_atoms());
+        let (net, goal) = if reduction.is_reduced() {
+            let goal = reduction
+                .map_formula(goal)
+                .expect("goal atoms are kept alive by reduced_with");
+            (reduction.network(), goal)
+        } else {
+            (&self.net, goal.clone())
+        };
+        let exp = DigitalExplorer::new(net);
         // Build the reachable graph.
         let mut states: Vec<DigitalState> = Vec::new();
         let mut index: HashMap<DigitalState, usize> = HashMap::new();
@@ -397,17 +446,17 @@ impl PricedNetwork {
         let mut sweeps = 0u64;
         if gov.is_exhausted() {
             // Incomplete graph: any fixpoint over it would be unsound.
-            let report = self.sweep_report(&gov, n, peak, sweeps);
+            let report = self.sweep_report(&gov, n, peak, sweeps, net.dim());
             return gov.finish(None, report);
         }
         // value[s]: the max cost of reaching the goal from s (the goal
         // itself may be passed through; the run stops at the *last* goal
         // visit? No — WCET asks for first arrival, so goal states have
         // value 0 and are not expanded).
-        let goal_mask: Vec<bool> = states.iter().map(|s| exp.satisfies(s, goal)).collect();
+        let goal_mask: Vec<bool> = states.iter().map(|s| exp.satisfies(s, &goal)).collect();
         if !goal_mask.iter().any(|&g| g) {
             // The graph is complete here, so unreachability is definitive.
-            let report = self.sweep_report(&gov, n, peak, sweeps);
+            let report = self.sweep_report(&gov, n, peak, sweeps, net.dim());
             return gov.finish_complete(None, report);
         }
         const NEG_INF: i64 = i64::MIN / 4;
@@ -417,7 +466,7 @@ impl PricedNetwork {
             .collect();
         for sweep in 0..=n {
             if !gov.charge_iteration() || !gov.check_time() {
-                let report = self.sweep_report(&gov, n, peak, sweeps);
+                let report = self.sweep_report(&gov, n, peak, sweeps, net.dim());
                 return gov.finish(None, report);
             }
             sweeps += 1;
@@ -470,11 +519,11 @@ impl PricedNetwork {
                 break;
             }
             if sweep == n {
-                let report = self.sweep_report(&gov, n, peak, sweeps);
+                let report = self.sweep_report(&gov, n, peak, sweeps, net.dim());
                 return gov.finish_complete(Some(MaxCost::Unbounded), report);
             }
         }
-        let report = self.sweep_report(&gov, n, peak, sweeps);
+        let report = self.sweep_report(&gov, n, peak, sweeps, net.dim());
         if value[0] <= NEG_INF {
             // initial state cannot reach the goal
             return gov.finish_complete(None, report);
@@ -488,6 +537,7 @@ impl PricedNetwork {
         stored: usize,
         peak: usize,
         sweeps: u64,
+        dim: usize,
     ) -> RunReport {
         RunReport {
             states_explored: stored as u64,
@@ -495,6 +545,8 @@ impl PricedNetwork {
             peak_waiting: peak as u64,
             sweeps,
             runs_simulated: 0,
+            dbm_dim: dim as u64,
+            dbm_dim_model: self.net.dim() as u64,
             wall_time: gov.elapsed(),
         }
     }

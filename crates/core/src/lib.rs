@@ -65,6 +65,9 @@ pub use tempo_ecdar as ecdar;
 pub use tempo_expr as expr;
 /// Model-based testing: ioco and rtioco.
 pub use tempo_ioco as ioco;
+/// Static model analysis: lint rules over TA networks, BIP systems and
+/// MODEST models, plus the `check_*_first` gates used by the engines.
+pub use tempo_lint as lint;
 /// Markov decision processes and value iteration (PRISM-style backend).
 pub use tempo_mdp as mdp;
 /// The MODEST process language and its three analysis backends.

@@ -1,0 +1,104 @@
+//! Lint rules over BIP systems (`BIP001`, `BIP002`).
+
+use crate::LintReport;
+use tempo_bip::BipSystem;
+use tempo_obs::Diagnostic;
+
+/// Runs every BIP rule over the system and collects the findings.
+#[must_use]
+pub fn check_bip(sys: &BipSystem) -> LintReport {
+    let mut diagnostics = Vec::new();
+    unbound_ports(sys, &mut diagnostics);
+    unreachable_states(sys, &mut diagnostics);
+    LintReport { diagnostics }
+}
+
+/// BIP001: a port that participates in no interaction can never fire, so
+/// every transition labelled with it is dead — usually a forgotten
+/// connector.
+fn unbound_ports(sys: &BipSystem, out: &mut Vec<Diagnostic>) {
+    for comp in sys.components() {
+        for &port in &comp.ports {
+            let bound = sys.interactions().iter().any(|i| i.ports.contains(&port));
+            if !bound {
+                // Port names are already component-qualified.
+                out.push(Diagnostic::warning(
+                    "BIP001",
+                    Some(sys.port_name(port)),
+                    "port participates in no interaction; \
+                     its transitions can never fire",
+                ));
+            }
+        }
+    }
+}
+
+/// BIP002: a control location with no path from the component's initial
+/// location in the (guard- and glue-oblivious) transition graph.
+fn unreachable_states(sys: &BipSystem, out: &mut Vec<Diagnostic>) {
+    for comp in sys.components() {
+        let mut seen = vec![false; comp.states.len()];
+        let mut stack = vec![comp.initial.0];
+        seen[comp.initial.0] = true;
+        while let Some(s) = stack.pop() {
+            for t in comp.transitions.iter().filter(|t| t.from.0 == s) {
+                if !seen[t.to.0] {
+                    seen[t.to.0] = true;
+                    stack.push(t.to.0);
+                }
+            }
+        }
+        for (i, name) in comp.states.iter().enumerate() {
+            if !seen[i] {
+                out.push(Diagnostic::warning(
+                    "BIP002",
+                    Some(&format!("{}.{name}", comp.name)),
+                    "control location is unreachable from the initial location",
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_bip::BipSystemBuilder;
+
+    #[test]
+    fn unbound_port_and_unreachable_state() {
+        let mut b = BipSystemBuilder::new();
+        let mut c = b.component("C");
+        let s0 = c.state("S0");
+        let s1 = c.state("Orphan");
+        let p = c.port("work");
+        let lonely = c.port("lonely");
+        c.transition(s0, s0, p);
+        c.transition(s1, s0, lonely);
+        c.done();
+        b.rendezvous("go", &[p]);
+        let sys = b.build();
+        let report = check_bip(&sys);
+        let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code.as_str()).collect();
+        assert_eq!(codes, vec!["BIP001", "BIP002"]);
+        assert_eq!(report.diagnostics[0].component.as_deref(), Some("C.lonely"));
+        assert_eq!(report.diagnostics[1].component.as_deref(), Some("C.Orphan"));
+    }
+
+    #[test]
+    fn fully_glued_system_is_clean() {
+        let mut b = BipSystemBuilder::new();
+        let mut ping = b.component("Ping");
+        let p0 = ping.state("P0");
+        let hello = ping.port("hello");
+        ping.transition(p0, p0, hello);
+        ping.done();
+        let mut pong = b.component("Pong");
+        let q0 = pong.state("Q0");
+        let world = pong.port("world");
+        pong.transition(q0, q0, world);
+        pong.done();
+        b.rendezvous("greet", &[hello, world]);
+        assert!(check_bip(&b.build()).is_clean());
+    }
+}

@@ -1,0 +1,320 @@
+//! Conservative interval arithmetic over [`Expr`]s, driven by the
+//! declared `int [lo, hi]` ranges — the engine behind `MOD002`.
+
+use std::collections::HashMap;
+use tempo_expr::{BinOp, Decls, Expr, UnOp, VarId};
+
+/// A conservative over-approximation of an expression's value range,
+/// with flags for the two failure modes a lint cares about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound (saturated on overflow).
+    pub lo: i64,
+    /// Inclusive upper bound (saturated on overflow).
+    pub hi: i64,
+    /// Whether exact 64-bit evaluation could overflow somewhere inside
+    /// the expression.
+    pub overflow: bool,
+    /// Whether a division or remainder could see a zero divisor.
+    pub div_by_zero: bool,
+}
+
+impl Interval {
+    fn exact(lo: i64, hi: i64) -> Interval {
+        Interval {
+            lo,
+            hi,
+            overflow: false,
+            div_by_zero: false,
+        }
+    }
+
+    fn boolean() -> Interval {
+        Interval::exact(0, 1)
+    }
+
+    fn carrying(self, other: Interval, lo: i64, hi: i64, overflow: bool) -> Interval {
+        Interval {
+            lo,
+            hi,
+            overflow: self.overflow || other.overflow || overflow,
+            div_by_zero: self.div_by_zero || other.div_by_zero,
+        }
+    }
+}
+
+/// Per-variable range refinements extracted from enclosing guards.
+pub type Env = HashMap<VarId, (i64, i64)>;
+
+/// The declared range of `id`, refined by `env`.
+fn var_range(decls: &Decls, env: &Env, id: VarId) -> (i64, i64) {
+    let info = decls.info(id);
+    env.get(&id).copied().unwrap_or((info.lo, info.hi))
+}
+
+/// Evaluates a conservative interval for `e` under the declared ranges
+/// refined by `env`.
+pub fn eval(e: &Expr, decls: &Decls, env: &Env) -> Interval {
+    match e {
+        Expr::Const(v) => Interval::exact(*v, *v),
+        Expr::Var(id) => {
+            let (lo, hi) = var_range(decls, env, *id);
+            Interval::exact(lo, hi)
+        }
+        Expr::Index(id, index) => {
+            // The element range is the declared range; the index itself
+            // is checked by the caller (out-of-bounds is a runtime
+            // EvalError, not an overflow).
+            let inner = eval(index, decls, env);
+            let info = decls.info(*id);
+            Interval {
+                lo: info.lo,
+                hi: info.hi,
+                overflow: inner.overflow,
+                div_by_zero: inner.div_by_zero,
+            }
+        }
+        // No enclosing `select` ranges are available statically.
+        Expr::Select(_) => Interval::exact(i64::MIN, i64::MAX),
+        Expr::Unary(op, inner) => {
+            let i = eval(inner, decls, env);
+            match op {
+                UnOp::Not => Interval { lo: 0, hi: 1, ..i },
+                UnOp::Neg => {
+                    let (lo, o1) = neg(i.hi);
+                    let (hi, o2) = neg(i.lo);
+                    Interval {
+                        lo,
+                        hi,
+                        overflow: i.overflow || o1 || o2,
+                        div_by_zero: i.div_by_zero,
+                    }
+                }
+            }
+        }
+        Expr::Binary(op, l, r) => {
+            let a = eval(l, decls, env);
+            let b = eval(r, decls, env);
+            match op {
+                BinOp::Add => combine(a, b, i64::checked_add),
+                BinOp::Sub => combine(a, b, i64::checked_sub),
+                BinOp::Mul => combine(a, b, i64::checked_mul),
+                BinOp::Min => a.carrying(b, a.lo.min(b.lo), a.hi.min(b.hi), false),
+                BinOp::Max => a.carrying(b, a.lo.max(b.lo), a.hi.max(b.hi), false),
+                BinOp::Div => divide(a, b),
+                BinOp::Rem => remainder(a, b),
+                BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::And
+                | BinOp::Or => Interval {
+                    overflow: a.overflow || b.overflow,
+                    div_by_zero: a.div_by_zero || b.div_by_zero,
+                    ..Interval::boolean()
+                },
+            }
+        }
+    }
+}
+
+fn neg(v: i64) -> (i64, bool) {
+    v.checked_neg().map_or((i64::MAX, true), |n| (n, false))
+}
+
+/// Interval of a monotone-in-endpoints operation: the min/max over the
+/// four endpoint combinations, saturating (and flagging) on overflow.
+fn combine(a: Interval, b: Interval, op: fn(i64, i64) -> Option<i64>) -> Interval {
+    let mut lo = i64::MAX;
+    let mut hi = i64::MIN;
+    let mut overflow = false;
+    for x in [a.lo, a.hi] {
+        for y in [b.lo, b.hi] {
+            match op(x, y) {
+                Some(v) => {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                None => {
+                    overflow = true;
+                    // Saturate in the direction of the failed operation.
+                    let sat = if (x > 0) == (y > 0) {
+                        i64::MAX
+                    } else {
+                        i64::MIN
+                    };
+                    lo = lo.min(sat);
+                    hi = hi.max(sat);
+                }
+            }
+        }
+    }
+    a.carrying(b, lo, hi, overflow)
+}
+
+fn divide(a: Interval, b: Interval) -> Interval {
+    let zero_divisor = b.lo <= 0 && b.hi >= 0;
+    // Candidate divisors: the endpoints and ±1 (where the quotient
+    // magnitude peaks), excluding zero.
+    let divisors: Vec<i64> = [b.lo, b.hi, -1, 1]
+        .into_iter()
+        .filter(|&d| d != 0 && d >= b.lo && d <= b.hi)
+        .collect();
+    if divisors.is_empty() {
+        // Division always traps; the value range is irrelevant.
+        return Interval {
+            lo: 0,
+            hi: 0,
+            overflow: a.overflow || b.overflow,
+            div_by_zero: true,
+        };
+    }
+    let mut lo = i64::MAX;
+    let mut hi = i64::MIN;
+    let mut overflow = false;
+    for x in [a.lo, a.hi] {
+        for &d in &divisors {
+            match x.checked_div(d) {
+                Some(v) => {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                None => {
+                    overflow = true; // i64::MIN / -1
+                    lo = i64::MIN;
+                    hi = i64::MAX;
+                }
+            }
+        }
+    }
+    Interval {
+        lo,
+        hi,
+        overflow: a.overflow || b.overflow || overflow,
+        div_by_zero: a.div_by_zero || b.div_by_zero || zero_divisor,
+    }
+}
+
+fn remainder(a: Interval, b: Interval) -> Interval {
+    let zero_divisor = b.lo <= 0 && b.hi >= 0;
+    // |x % d| < |d|, and the sign follows the dividend.
+    let m =
+        b.lo.saturating_abs()
+            .max(b.hi.saturating_abs())
+            .saturating_sub(1);
+    let lo = if a.lo < 0 { -m } else { 0 };
+    let hi = if a.hi > 0 { m } else { 0 };
+    Interval {
+        lo,
+        hi,
+        overflow: a.overflow || b.overflow,
+        div_by_zero: a.div_by_zero || b.div_by_zero || zero_divisor,
+    }
+}
+
+/// Narrows `env` with the comparisons of `guard` (conjunctions and
+/// simple `var ⋈ const` / `const ⋈ var` atoms; anything else is ignored
+/// — refinement is best-effort and only ever *shrinks* ranges).
+pub fn refine(env: &mut Env, guard: &Expr, decls: &Decls) {
+    let Expr::Binary(op, l, r) = guard else {
+        return;
+    };
+    match (op, l.as_ref(), r.as_ref()) {
+        (BinOp::And, _, _) => {
+            refine(env, l, decls);
+            refine(env, r, decls);
+        }
+        (_, Expr::Var(id), Expr::Const(c)) => narrow(env, decls, *id, *op, *c, false),
+        (_, Expr::Const(c), Expr::Var(id)) => narrow(env, decls, *id, *op, *c, true),
+        _ => {}
+    }
+}
+
+fn narrow(env: &mut Env, decls: &Decls, id: VarId, op: BinOp, c: i64, flipped: bool) {
+    let (mut lo, mut hi) = var_range(decls, env, id);
+    // Normalize to `var ⋈ c`.
+    let op = if flipped {
+        match op {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::Ge => BinOp::Le,
+            other => other,
+        }
+    } else {
+        op
+    };
+    match op {
+        BinOp::Lt => hi = hi.min(c.saturating_sub(1)),
+        BinOp::Le => hi = hi.min(c),
+        BinOp::Gt => lo = lo.max(c.saturating_add(1)),
+        BinOp::Ge => lo = lo.max(c),
+        BinOp::Eq => {
+            lo = lo.max(c);
+            hi = hi.min(c);
+        }
+        _ => return,
+    }
+    env.insert(id, (lo, hi));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_mul_track_declared_ranges() {
+        let mut d = Decls::new();
+        let a = d.int("a", 0, 10);
+        let e = Expr::var(a) * Expr::konst(3) + Expr::konst(1);
+        let i = eval(&e, &d, &Env::new());
+        assert_eq!((i.lo, i.hi), (1, 31));
+        assert!(!i.overflow && !i.div_by_zero);
+    }
+
+    #[test]
+    fn multiplication_of_huge_ranges_flags_overflow() {
+        let mut d = Decls::new();
+        let a = d.int("a", 0, 4_000_000_000);
+        let e = Expr::var(a) * Expr::var(a);
+        let i = eval(&e, &d, &Env::new());
+        assert!(i.overflow);
+        assert_eq!(i.hi, i64::MAX);
+    }
+
+    #[test]
+    fn division_by_possibly_zero_is_flagged() {
+        let mut d = Decls::new();
+        let a = d.int("a", 0, 5);
+        let i = eval(
+            &Expr::konst(10).bin(BinOp::Div, Expr::var(a)),
+            &d,
+            &Env::new(),
+        );
+        assert!(i.div_by_zero);
+        let j = eval(
+            &Expr::konst(10).bin(BinOp::Div, Expr::konst(2)),
+            &d,
+            &Env::new(),
+        );
+        assert!(!j.div_by_zero);
+        assert_eq!((j.lo, j.hi), (5, 5));
+    }
+
+    #[test]
+    fn guard_refinement_narrows() {
+        let mut d = Decls::new();
+        let a = d.int("a", 0, 100);
+        let mut env = Env::new();
+        refine(
+            &mut env,
+            &(Expr::var(a).lt(Expr::konst(10)) & Expr::var(a).ge(Expr::konst(2))),
+            &d,
+        );
+        assert_eq!(env[&a], (2, 9));
+        let i = eval(&(Expr::var(a) + Expr::konst(1)), &d, &env);
+        assert_eq!((i.lo, i.hi), (3, 10));
+    }
+}

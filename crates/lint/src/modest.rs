@@ -1,0 +1,330 @@
+//! Lint rules over MODEST models (`MOD001`, `MOD002`).
+
+use crate::interval::{self, Env};
+use crate::LintReport;
+use std::collections::HashMap;
+use tempo_expr::{Decls, Expr};
+use tempo_modest::{Assignment, ModestModel, Process};
+use tempo_obs::Diagnostic;
+
+/// Runs every MODEST rule over the model and collects the findings.
+#[must_use]
+pub fn check_modest(model: &ModestModel) -> LintReport {
+    let mut diagnostics = Vec::new();
+    identifiers(model, &mut diagnostics);
+    undefined_calls(model, &mut diagnostics);
+    overflow_prone(model, &mut diagnostics);
+    LintReport { diagnostics }
+}
+
+/// MOD001 (warning half): the model's namespaces — variables, clocks,
+/// actions, processes — share one identifier space in the concrete
+/// syntax, so a name declared twice shadows its earlier declaration.
+fn identifiers(model: &ModestModel, out: &mut Vec<Diagnostic>) {
+    let mut entries: Vec<(&str, &'static str)> = Vec::new();
+    for v in model.decls().vars() {
+        entries.push((v.name.as_str(), "variable"));
+    }
+    for c in model.clock_names() {
+        entries.push((c.as_str(), "clock"));
+    }
+    for a in model.actions() {
+        entries.push((a.as_str(), "action"));
+    }
+    for (name, _) in model.processes() {
+        entries.push((name.as_str(), "process"));
+    }
+    let mut seen: HashMap<&str, &'static str> = HashMap::new();
+    for (name, kind) in entries {
+        match seen.get(name) {
+            Some(&prev) if prev == kind => out.push(Diagnostic::warning(
+                "MOD001",
+                Some(name),
+                format!("duplicate {kind} declaration; the later one shadows the earlier"),
+            )),
+            Some(&prev) => out.push(Diagnostic::warning(
+                "MOD001",
+                Some(name),
+                format!(
+                    "identifier is declared as both {prev} and {kind}; \
+                     the later declaration shadows the earlier one"
+                ),
+            )),
+            None => {
+                seen.insert(name, kind);
+            }
+        }
+    }
+}
+
+/// MOD001 (error half): a tail call of a process that is never defined
+/// crashes compilation; so does a `system` line naming one.
+fn undefined_calls(model: &ModestModel, out: &mut Vec<Diagnostic>) {
+    for (name, body) in model.processes() {
+        walk_calls(body, &mut |callee| {
+            if model.process(callee).is_none() {
+                out.push(Diagnostic::error(
+                    "MOD001",
+                    Some(name),
+                    format!("calls undefined process `{callee}`"),
+                ));
+            }
+        });
+    }
+    for name in model.system_processes() {
+        if model.process(name).is_none() {
+            out.push(Diagnostic::error(
+                "MOD001",
+                Some(name),
+                "system composition names an undefined process",
+            ));
+        }
+    }
+}
+
+fn walk_calls(p: &Process, visit: &mut impl FnMut(&str)) {
+    match p {
+        Process::Stop | Process::Skip => {}
+        Process::Act(_, _, then) => walk_calls(then, visit),
+        Process::Palt(_, branches) => {
+            for b in branches {
+                walk_calls(&b.then, visit);
+            }
+        }
+        Process::Alt(choices) => {
+            for c in choices {
+                walk_calls(c, visit);
+            }
+        }
+        Process::When(_, p) | Process::WhenClock(_, p) | Process::Invariant(_, p) => {
+            walk_calls(p, visit)
+        }
+        Process::Call(name) => visit(name),
+    }
+}
+
+/// MOD002: interval arithmetic over the declared `int [lo, hi]` ranges,
+/// refined by enclosing `when` guards. Flags expressions that can
+/// overflow 64-bit arithmetic or divide by zero (warnings) and
+/// assignments or indices that are *always* outside their declared range
+/// (errors — "may exceed" alone is deliberately not reported: bounded
+/// protocols routinely guard increments by means invisible to a static
+/// range analysis).
+fn overflow_prone(model: &ModestModel, out: &mut Vec<Diagnostic>) {
+    for (name, body) in model.processes() {
+        walk_ranges(body, model.decls(), &Env::new(), name, out);
+    }
+}
+
+fn walk_ranges(p: &Process, decls: &Decls, env: &Env, proc_name: &str, out: &mut Vec<Diagnostic>) {
+    match p {
+        Process::Stop | Process::Skip | Process::Call(_) => {}
+        Process::Act(_, assignments, then) => {
+            let next = check_assignments(assignments, decls, env, proc_name, out);
+            walk_ranges(then, decls, &next, proc_name, out);
+        }
+        Process::Palt(_, branches) => {
+            for b in branches {
+                let next = check_assignments(&b.assignments, decls, env, proc_name, out);
+                walk_ranges(&b.then, decls, &next, proc_name, out);
+            }
+        }
+        Process::Alt(choices) => {
+            for c in choices {
+                walk_ranges(c, decls, env, proc_name, out);
+            }
+        }
+        Process::When(guard, p) => {
+            check_expr(guard, decls, env, proc_name, "guard", out);
+            let mut refined = env.clone();
+            interval::refine(&mut refined, guard, decls);
+            walk_ranges(p, decls, &refined, proc_name, out);
+        }
+        Process::WhenClock(_, p) | Process::Invariant(_, p) => {
+            walk_ranges(p, decls, env, proc_name, out);
+        }
+    }
+}
+
+/// Checks one assignment block and returns the environment for the
+/// continuation: assigned variables lose their guard refinement (their
+/// new value is no longer constrained by the enclosing `when`).
+fn check_assignments(
+    assignments: &[Assignment],
+    decls: &Decls,
+    env: &Env,
+    proc_name: &str,
+    out: &mut Vec<Diagnostic>,
+) -> Env {
+    let mut next = env.clone();
+    for a in assignments {
+        match a {
+            Assignment::Clock(_, _) => {}
+            Assignment::Var(id, e) => {
+                check_expr(e, decls, &next, proc_name, "assignment", out);
+                let iv = interval::eval(e, decls, &next);
+                let info = decls.info(*id);
+                if iv.hi < info.lo || iv.lo > info.hi {
+                    out.push(Diagnostic::error(
+                        "MOD002",
+                        Some(proc_name),
+                        format!(
+                            "assignment to `{}` is always outside its declared range \
+                             [{}, {}] (value in [{}, {}])",
+                            info.name, info.lo, info.hi, iv.lo, iv.hi
+                        ),
+                    ));
+                }
+                next.remove(id);
+            }
+            Assignment::ArrayElem(id, index, e) => {
+                check_expr(index, decls, &next, proc_name, "array index", out);
+                check_expr(e, decls, &next, proc_name, "assignment", out);
+                let ix = interval::eval(index, decls, &next);
+                let info = decls.info(*id);
+                let len = info.len as i64;
+                if ix.hi < 0 || ix.lo >= len {
+                    out.push(Diagnostic::error(
+                        "MOD002",
+                        Some(proc_name),
+                        format!(
+                            "index into `{}` is always out of bounds \
+                             (index in [{}, {}], length {len})",
+                            info.name, ix.lo, ix.hi
+                        ),
+                    ));
+                }
+                let iv = interval::eval(e, decls, &next);
+                if iv.hi < info.lo || iv.lo > info.hi {
+                    out.push(Diagnostic::error(
+                        "MOD002",
+                        Some(proc_name),
+                        format!(
+                            "assignment to `{}[..]` is always outside its declared \
+                             range [{}, {}] (value in [{}, {}])",
+                            info.name, info.lo, info.hi, iv.lo, iv.hi
+                        ),
+                    ));
+                }
+                next.remove(id);
+            }
+        }
+    }
+    next
+}
+
+fn check_expr(
+    e: &Expr,
+    decls: &Decls,
+    env: &Env,
+    proc_name: &str,
+    what: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let iv = interval::eval(e, decls, env);
+    if iv.overflow {
+        out.push(Diagnostic::warning(
+            "MOD002",
+            Some(proc_name),
+            format!("{what} expression may overflow 64-bit integer arithmetic"),
+        ));
+    }
+    if iv.div_by_zero {
+        out.push(Diagnostic::warning(
+            "MOD002",
+            Some(proc_name),
+            format!("{what} expression may divide by zero"),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_obs::Severity;
+
+    fn codes(report: &LintReport) -> Vec<(&str, Severity)> {
+        report
+            .diagnostics
+            .iter()
+            .map(|d| (d.code.as_str(), d.severity))
+            .collect()
+    }
+
+    #[test]
+    fn shadowed_identifier_is_warned() {
+        let mut m = ModestModel::new();
+        let _c = m.clock("t");
+        let a = m.action("t"); // shadows the clock
+        m.define("P", Process::act(a, Process::stop()));
+        m.system(&["P"]);
+        let report = check_modest(&m);
+        assert_eq!(codes(&report), vec![("MOD001", Severity::Warning)]);
+    }
+
+    #[test]
+    fn undefined_call_is_an_error() {
+        let mut m = ModestModel::new();
+        let a = m.action("a");
+        m.define("P", Process::act(a, Process::call("Ghost")));
+        m.system(&["P"]);
+        let report = check_modest(&m);
+        assert_eq!(codes(&report), vec![("MOD001", Severity::Error)]);
+    }
+
+    #[test]
+    fn guarded_increment_is_clean_unguarded_constant_is_not() {
+        let mut m = ModestModel::new();
+        let a = m.action("a");
+        let x = m.decls_mut().int("x", 0, 5);
+        // when (x < 5) a {= x = x + 1 =} — in range thanks to the guard.
+        m.define(
+            "P",
+            Process::when(
+                Expr::var(x).lt(Expr::konst(5)),
+                Process::act_with(
+                    a,
+                    vec![Assignment::Var(x, Expr::var(x) + Expr::konst(1))],
+                    Process::call("P"),
+                ),
+            ),
+        );
+        m.system(&["P"]);
+        assert!(check_modest(&m).is_clean());
+
+        // x = 99 is always out of [0, 5].
+        let mut m = ModestModel::new();
+        let a = m.action("a");
+        let x = m.decls_mut().int("x", 0, 5);
+        m.define(
+            "P",
+            Process::act_with(
+                a,
+                vec![Assignment::Var(x, Expr::konst(99))],
+                Process::stop(),
+            ),
+        );
+        m.system(&["P"]);
+        let report = check_modest(&m);
+        assert_eq!(codes(&report), vec![("MOD002", Severity::Error)]);
+    }
+
+    #[test]
+    fn overflow_prone_product_is_warned() {
+        let mut m = ModestModel::new();
+        let a = m.action("a");
+        let big = m.decls_mut().int("big", 0, 4_000_000_000);
+        let out = m.decls_mut().int("out", 0, i64::MAX);
+        m.define(
+            "P",
+            Process::act_with(
+                a,
+                vec![Assignment::Var(out, Expr::var(big) * Expr::var(big))],
+                Process::stop(),
+            ),
+        );
+        m.system(&["P"]);
+        let report = check_modest(&m);
+        assert_eq!(codes(&report), vec![("MOD002", Severity::Warning)]);
+    }
+}

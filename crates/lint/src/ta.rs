@@ -1,0 +1,410 @@
+//! Lint rules over networks of timed automata (`TA001`–`TA006`).
+
+use crate::LintReport;
+use std::collections::HashSet;
+use tempo_dbm::{Clock, Dbm};
+use tempo_obs::Diagnostic;
+use tempo_ta::{Automaton, ChannelKind, Network, SyncDir};
+
+/// Runs every TA rule over the network and collects the findings.
+#[must_use]
+pub fn check_network(net: &Network) -> LintReport {
+    let mut diagnostics = Vec::new();
+    unreachable_locations(net, &mut diagnostics);
+    contradictory_guards(net, &mut diagnostics);
+    unmatched_channels(net, &mut diagnostics);
+    clock_usage(net, &mut diagnostics);
+    zeno_candidates(net, &mut diagnostics);
+    LintReport { diagnostics }
+}
+
+/// TA001: locations with no path from the initial location in the
+/// automaton's (guard-oblivious) edge graph can never be entered.
+fn unreachable_locations(net: &Network, out: &mut Vec<Diagnostic>) {
+    for a in net.automata() {
+        let mut seen = vec![false; a.locations.len()];
+        let mut stack = vec![a.initial.index()];
+        seen[a.initial.index()] = true;
+        while let Some(l) = stack.pop() {
+            for e in a.edges.iter().filter(|e| e.from.index() == l) {
+                if !seen[e.to.index()] {
+                    seen[e.to.index()] = true;
+                    stack.push(e.to.index());
+                }
+            }
+        }
+        for (i, l) in a.locations.iter().enumerate() {
+            if !seen[i] {
+                out.push(Diagnostic::warning(
+                    "TA001",
+                    Some(&format!("{}.{}", a.name, l.name)),
+                    "location is unreachable from the initial location",
+                ));
+            }
+        }
+    }
+}
+
+/// TA002: an edge whose clock guard has an empty intersection with its
+/// source-location invariant can never fire — the model author wrote a
+/// contradiction. Checked exactly with a DBM.
+fn contradictory_guards(net: &Network, out: &mut Vec<Diagnostic>) {
+    for a in net.automata() {
+        for (k, e) in a.edges.iter().enumerate() {
+            let mut zone = Dbm::universe(net.dim());
+            for atom in a.locations[e.from.index()]
+                .invariant
+                .iter()
+                .chain(&e.guard_clocks)
+            {
+                zone.constrain(atom.i, atom.j, atom.bound);
+            }
+            if zone.is_empty() {
+                out.push(Diagnostic::error(
+                    "TA002",
+                    Some(&format!("{}.{}", a.name, a.locations[e.from.index()].name)),
+                    format!(
+                        "guard of edge #{k} to {} contradicts the source invariant \
+                         (the conjunction is empty); the edge can never fire",
+                        a.locations[e.to.index()].name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// TA003: a channel whose sends can never meet a receiver (or vice
+/// versa). Binary channels need both directions; broadcast receivers
+/// need at least one sender; a channel used by nobody is dead weight.
+fn unmatched_channels(net: &Network, out: &mut Vec<Diagnostic>) {
+    for (c, ch) in net.channels().iter().enumerate() {
+        let mut sends = 0usize;
+        let mut recvs = 0usize;
+        for a in net.automata() {
+            for e in &a.edges {
+                if let Some(sync) = &e.sync {
+                    if sync.channel.index() == c {
+                        match sync.dir {
+                            SyncDir::Send => sends += 1,
+                            SyncDir::Recv => recvs += 1,
+                        }
+                    }
+                }
+            }
+        }
+        let problem = match (sends, recvs, ch.kind) {
+            (0, 0, _) => Some("channel is declared but never used"),
+            (_, 0, ChannelKind::Binary) => {
+                Some("channel is sent on but never received; senders block forever")
+            }
+            (0, _, _) => Some("channel is received on but never sent; receivers block forever"),
+            _ => None,
+        };
+        if let Some(msg) = problem {
+            out.push(Diagnostic::warning("TA003", Some(&ch.name), msg));
+        }
+    }
+}
+
+/// TA004/TA005: clocks never read (dead — active-clock reduction removes
+/// them) and clocks read but never reset (they drift unbounded, which is
+/// usually a forgotten reset unless the clock measures global time).
+fn clock_usage(net: &Network, out: &mut Vec<Diagnostic>) {
+    let dim = net.dim();
+    let mut read = vec![false; dim];
+    let mut reset = vec![false; dim];
+    for a in net.automata() {
+        for l in &a.locations {
+            for atom in &l.invariant {
+                read[atom.i.index()] = true;
+                read[atom.j.index()] = true;
+            }
+        }
+        for e in &a.edges {
+            for atom in &e.guard_clocks {
+                read[atom.i.index()] = true;
+                read[atom.j.index()] = true;
+            }
+            for (c, _) in &e.resets {
+                reset[c.index()] = true;
+            }
+        }
+    }
+    for (i, name) in net.clock_names().iter().enumerate() {
+        let c = Clock(i + 1);
+        if !read[c.index()] {
+            out.push(Diagnostic::warning(
+                "TA004",
+                Some(name),
+                "clock is never read by any guard or invariant; \
+                 active-clock reduction removes it from the analysis",
+            ));
+        } else if !reset[c.index()] {
+            out.push(Diagnostic::warning(
+                "TA005",
+                Some(name),
+                "clock is read but never reset; it measures global time \
+                 and grows without bound",
+            ));
+        }
+    }
+}
+
+/// TA006: a cycle of purely internal (non-synchronizing) edges on which
+/// no clock is both reset and bounded below by `>= 1` admits runs that
+/// take infinitely many transitions in bounded time (Zeno). Cycles that
+/// synchronize are skipped: their progress may come from the partner.
+fn zeno_candidates(net: &Network, out: &mut Vec<Diagnostic>) {
+    for a in net.automata() {
+        for scc in internal_sccs(a) {
+            // Edges fully inside the SCC, internal only.
+            let edges: Vec<usize> = a
+                .edges
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| {
+                    e.sync.is_none() && scc.contains(&e.from.index()) && scc.contains(&e.to.index())
+                })
+                .map(|(k, _)| k)
+                .collect();
+            // A singleton SCC is only a cycle if it has a self-loop.
+            if scc.len() == 1 && !edges.iter().any(|&k| a.edges[k].from == a.edges[k].to) {
+                continue;
+            }
+            if edges.is_empty() {
+                continue;
+            }
+            let mut reset_clocks = HashSet::new();
+            let mut bounded_clocks = HashSet::new();
+            for &k in &edges {
+                let e = &a.edges[k];
+                for (c, _) in &e.resets {
+                    reset_clocks.insert(c.index());
+                }
+                for atom in &e.guard_clocks {
+                    // A lower bound `x >= c` (c >= 1) is encoded as
+                    // `0 - x <= -c` (or `< -c`).
+                    if atom.i.is_ref() && !atom.j.is_ref() && atom.bound.constant() <= -1 {
+                        bounded_clocks.insert(atom.j.index());
+                    }
+                }
+            }
+            if reset_clocks.intersection(&bounded_clocks).next().is_none() {
+                let mut names: Vec<&str> =
+                    scc.iter().map(|&l| a.locations[l].name.as_str()).collect();
+                names.sort_unstable();
+                out.push(Diagnostic::warning(
+                    "TA006",
+                    Some(&a.name),
+                    format!(
+                        "internal cycle through {{{}}} never enforces time progress \
+                         (no clock is both reset and bounded below on it): Zeno candidate",
+                        names.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Strongly connected components of the automaton's location graph
+/// restricted to internal (non-synchronizing) edges, via Kosaraju.
+fn internal_sccs(a: &Automaton) -> Vec<HashSet<usize>> {
+    let n = a.locations.len();
+    let mut fwd = vec![Vec::new(); n];
+    let mut bwd = vec![Vec::new(); n];
+    for e in a.edges.iter().filter(|e| e.sync.is_none()) {
+        fwd[e.from.index()].push(e.to.index());
+        bwd[e.to.index()].push(e.from.index());
+    }
+    // First pass: finish order on the forward graph.
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        // Iterative DFS with an explicit "exit" marker.
+        let mut stack = vec![(start, false)];
+        while let Some((v, exiting)) = stack.pop() {
+            if exiting {
+                order.push(v);
+                continue;
+            }
+            if seen[v] {
+                continue;
+            }
+            seen[v] = true;
+            stack.push((v, true));
+            for &w in &fwd[v] {
+                if !seen[w] {
+                    stack.push((w, false));
+                }
+            }
+        }
+    }
+    // Second pass: components on the transposed graph.
+    let mut comp = vec![usize::MAX; n];
+    let mut sccs: Vec<HashSet<usize>> = Vec::new();
+    for &start in order.iter().rev() {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let id = sccs.len();
+        let mut members = HashSet::new();
+        let mut stack = vec![start];
+        comp[start] = id;
+        while let Some(v) = stack.pop() {
+            members.insert(v);
+            for &w in &bwd[v] {
+                if comp[w] == usize::MAX {
+                    comp[w] = id;
+                    stack.push(w);
+                }
+            }
+        }
+        sccs.push(members);
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LintConfig;
+    use tempo_ta::{ClockAtom, NetworkBuilder};
+
+    fn codes(report: &LintReport) -> Vec<&str> {
+        report.diagnostics.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn unreachable_location_is_flagged_once() {
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("A");
+        let l0 = a.location("L0");
+        let l1 = a.location("L1");
+        let island = a.location("Island");
+        a.edge(l0, l1)
+            .guard_clock(ClockAtom::ge(x, 1))
+            .reset(x, 0)
+            .done();
+        a.edge(l1, l0)
+            .guard_clock(ClockAtom::ge(x, 1))
+            .reset(x, 0)
+            .done();
+        a.edge(island, l0).done();
+        a.done();
+        let report = check_network(&b.build());
+        assert_eq!(codes(&report), vec!["TA001"]);
+        assert_eq!(report.diagnostics[0].component.as_deref(), Some("A.Island"));
+    }
+
+    #[test]
+    fn contradictory_guard_is_an_error() {
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("A");
+        let l0 = a.location_with_invariant("L0", vec![ClockAtom::le(x, 3)]);
+        let l1 = a.location("L1");
+        // Guard x >= 5 can never hold under invariant x <= 3.
+        a.edge(l0, l1).guard_clock(ClockAtom::ge(x, 5)).done();
+        a.edge(l0, l1)
+            .guard_clock(ClockAtom::ge(x, 1))
+            .reset(x, 0)
+            .done();
+        a.edge(l1, l0).guard_clock(ClockAtom::ge(x, 1)).done();
+        a.done();
+        let net = b.build();
+        let report = check_network(&net);
+        assert_eq!(codes(&report), vec!["TA002"]);
+        // TA002 blocks even in the default (non-strict) configuration.
+        assert!(crate::check_network_first(&net, &LintConfig::default()).is_err());
+    }
+
+    #[test]
+    fn unmatched_channel_variants() {
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let oneway = b.channel("oneway");
+        let unused = b.channel("unused");
+        let _ = unused;
+        let mut a = b.automaton("A");
+        let l0 = a.location("L0");
+        a.edge(l0, l0)
+            .guard_clock(ClockAtom::ge(x, 1))
+            .reset(x, 0)
+            .send(oneway)
+            .done();
+        a.done();
+        let report = check_network(&b.build());
+        assert_eq!(codes(&report), vec!["TA003", "TA003"]);
+    }
+
+    #[test]
+    fn dead_and_drifting_clocks() {
+        let mut b = NetworkBuilder::new();
+        let dead = b.clock("dead");
+        let drift = b.clock("drift");
+        let pace = b.clock("pace");
+        let mut a = b.automaton("A");
+        let l0 = a.location("L0");
+        // `dead` is reset but never read; `drift` is read but never
+        // reset; `pace` keeps the self-loop non-Zeno.
+        a.edge(l0, l0)
+            .guard_clock(ClockAtom::ge(drift, 1))
+            .guard_clock(ClockAtom::ge(pace, 1))
+            .reset(dead, 0)
+            .reset(pace, 0)
+            .done();
+        a.done();
+        let report = check_network(&b.build());
+        assert_eq!(codes(&report), vec!["TA004", "TA005"]);
+    }
+
+    #[test]
+    fn zeno_cycle_is_flagged_and_progress_silences_it() {
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("Busy");
+        let l0 = a.location("L0");
+        let l1 = a.location("L1");
+        // Cycle with an upper bound but no lower bound: Zeno.
+        a.edge(l0, l1).guard_clock(ClockAtom::le(x, 5)).done();
+        a.edge(l1, l0).reset(x, 0).done();
+        a.done();
+        let report = check_network(&b.build());
+        assert_eq!(codes(&report), vec!["TA006"]);
+
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("Paced");
+        let l0 = a.location("L0");
+        let l1 = a.location("L1");
+        a.edge(l0, l1).guard_clock(ClockAtom::ge(x, 1)).done();
+        a.edge(l1, l0).reset(x, 0).done();
+        a.done();
+        assert!(check_network(&b.build()).is_clean());
+    }
+
+    #[test]
+    fn synchronizing_cycles_are_not_zeno_candidates() {
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let c = b.channel("c");
+        let mut a = b.automaton("A");
+        let l0 = a.location("L0");
+        a.edge(l0, l0).send(c).reset(x, 0).done();
+        a.done();
+        let mut p = b.automaton("B");
+        let m0 = p.location("M0");
+        p.edge(m0, m0)
+            .recv(c)
+            .guard_clock(ClockAtom::ge(x, 1))
+            .done();
+        p.done();
+        assert!(check_network(&b.build()).is_clean());
+    }
+}

@@ -48,6 +48,9 @@ pub struct Brp {
     pub td: i64,
     /// The compiled PTA network (Sender ∥ Receiver ∥ ChannelK ∥ ChannelL).
     pub pta: Pta,
+    /// The MODEST source model the PTA was compiled from (for linting
+    /// and inspection).
+    pub model: ModestModel,
     /// Sender report variable (`report::*`).
     pub srep: VarId,
     /// Chunks successfully acknowledged so far.
@@ -242,6 +245,7 @@ pub fn brp(n: i64, max_retries: i64, td: i64) -> Brp {
         max_retries,
         td,
         pta: compile(&m),
+        model: m,
         srep,
         i,
         premature,

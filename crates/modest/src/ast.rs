@@ -218,6 +218,12 @@ impl ModestModel {
         self.clock_names.len() + 1
     }
 
+    /// The declared clock names (index 0 is clock `x1`).
+    #[must_use]
+    pub fn clock_names(&self) -> &[String] {
+        &self.clock_names
+    }
+
     /// Declares an action.
     pub fn action(&mut self, name: &str) -> ActionId {
         self.actions.push(name.to_owned());
@@ -233,6 +239,12 @@ impl ModestModel {
     /// Defines a named process.
     pub fn define(&mut self, name: &str, body: Process) {
         self.processes.push((name.to_owned(), body));
+    }
+
+    /// The process definitions, in declaration order.
+    #[must_use]
+    pub fn processes(&self) -> &[(String, Process)] {
+        &self.processes
     }
 
     /// Looks up a process definition.

@@ -67,5 +67,5 @@ pub use modes::{Modes, ModesObservation, ModesRun, Scheduler};
 pub use parser::{parse_modest, ParseError};
 pub use pta::{
     compute_sync, AssignTarget, Pta, PtaAutomaton, PtaBranch, PtaEdge, PtaExplorer, PtaLocation,
-    PtaState, PtaTransition, SyncKind,
+    PtaReduction, PtaState, PtaTransition, SyncKind,
 };

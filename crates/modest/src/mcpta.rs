@@ -2,7 +2,7 @@
 //! digital-clocks translation to an MDP, solved by the PRISM-like engine
 //! in [`tempo_mdp`] (Bozga et al., DATE 2012, §III).
 
-use crate::pta::{Pta, PtaExplorer, PtaState};
+use crate::pta::{Pta, PtaExplorer, PtaReduction, PtaState};
 use std::collections::HashMap;
 use tempo_mdp::{
     bounded_reachability, expected_reward, expected_reward_governed, reachability,
@@ -20,8 +20,12 @@ use tempo_ta::StateFormula;
 #[derive(Debug)]
 pub struct Mcpta {
     mdp: Mdp,
+    /// Explored states, in the reduced clock space.
     states: Vec<PtaState>,
-    pta: Pta,
+    /// The active-clock reduction applied before exploration; queries are
+    /// mapped through it.
+    reduction: PtaReduction,
+    /// Protected property atoms, already mapped into the reduced space.
     extra_atoms: Vec<tempo_ta::ClockAtom>,
 }
 
@@ -72,7 +76,20 @@ impl Mcpta {
         budget: &Budget,
     ) -> Outcome<Option<Self>> {
         let gov = budget.governor();
-        let exp = PtaExplorer::new(pta, extra_atoms);
+        // Active-clock reduction: clocks read by no guard, invariant or
+        // protected atom cannot influence enabledness or branching, so
+        // the reduced MDP has identical probabilities over smaller (and
+        // fewer) states.
+        let reduction = pta.reduced_with(extra_atoms);
+        let extra_mapped: Vec<tempo_ta::ClockAtom> = extra_atoms
+            .iter()
+            .map(|a| {
+                reduction
+                    .map_atom(a)
+                    .expect("protected atoms are kept alive by reduced_with")
+            })
+            .collect();
+        let exp = PtaExplorer::new(reduction.pta(), &extra_mapped);
         let mut builder = MdpBuilder::new();
         let mut index: HashMap<PtaState, StateId> = HashMap::new();
         let mut states: Vec<PtaState> = Vec::new();
@@ -138,6 +155,8 @@ impl Mcpta {
             states_explored: explored as u64,
             states_stored: states.len() as u64,
             peak_waiting: peak as u64,
+            dbm_dim: reduction.dim() as u64,
+            dbm_dim_model: reduction.original_dim() as u64,
             wall_time: gov.elapsed(),
             ..RunReport::default()
         };
@@ -148,11 +167,18 @@ impl Mcpta {
             Some(Mcpta {
                 mdp: builder.build(s0).expect("initial state exists"),
                 states,
-                pta: pta.clone(),
-                extra_atoms: extra_atoms.to_vec(),
+                reduction,
+                extra_atoms: extra_mapped,
             }),
             report,
         )
+    }
+
+    /// The active-clock reduction applied at build time (reduced and
+    /// original clock-space dimensions, clock map).
+    #[must_use]
+    pub fn reduction(&self) -> &PtaReduction {
+        &self.reduction
     }
 
     /// Statistics of the underlying MDP.
@@ -175,8 +201,14 @@ impl Mcpta {
     /// [`tempo_mdp`] algorithms directly, e.g. interval iteration).
     #[must_use]
     pub fn goal_mask(&self, goal: &StateFormula) -> Vec<bool> {
-        let exp = PtaExplorer::new(&self.pta, &self.extra_atoms);
-        self.states.iter().map(|s| exp.satisfies(s, goal)).collect()
+        let goal = self.reduction.map_formula(goal).expect(
+            "query reads a clock that was reduced away; list its atoms in `extra_atoms` at build time",
+        );
+        let exp = PtaExplorer::new(self.reduction.pta(), &self.extra_atoms);
+        self.states
+            .iter()
+            .map(|s| exp.satisfies(s, &goal))
+            .collect()
     }
 
     /// Maximum probability of eventually reaching `goal`.
@@ -241,8 +273,11 @@ impl Mcpta {
     /// same MDP).
     #[must_use]
     pub fn check_invariant(&self, invariant: &StateFormula) -> bool {
-        let exp = PtaExplorer::new(&self.pta, &self.extra_atoms);
-        self.states.iter().all(|s| exp.satisfies(s, invariant))
+        let invariant = self.reduction.map_formula(invariant).expect(
+            "query reads a clock that was reduced away; list its atoms in `extra_atoms` at build time",
+        );
+        let exp = PtaExplorer::new(self.reduction.pta(), &self.extra_atoms);
+        self.states.iter().all(|s| exp.satisfies(s, &invariant))
     }
 }
 

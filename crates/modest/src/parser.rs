@@ -53,14 +53,32 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+impl From<ParseError> for tempo_obs::Diagnostic {
+    fn from(e: ParseError) -> Self {
+        tempo_obs::Diagnostic::error(
+            "PARSE",
+            None,
+            format!("{}:{}: {}", e.line, e.col, e.message),
+        )
+    }
+}
+
+impl From<ParseError> for tempo_obs::LintError {
+    fn from(e: ParseError) -> Self {
+        tempo_obs::LintError {
+            diagnostics: vec![e.into()],
+        }
+    }
+}
+
 /// Parses a MODEST model from source text.
 ///
 /// # Errors
 ///
 /// Returns a [`ParseError`] pointing at the first offending token.
 pub fn parse_modest(source: &str) -> Result<ModestModel, ParseError> {
-    let tokens = lex(source)?;
-    Parser::new(tokens).model()
+    let (tokens, eof) = lex(source)?;
+    Parser::new(tokens, eof).model()
 }
 
 // --------------------------------------------------------------------
@@ -107,7 +125,7 @@ struct Spanned {
     col: usize,
 }
 
-fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
+fn lex(source: &str) -> Result<(Vec<Spanned>, (usize, usize)), ParseError> {
     let mut out = Vec::new();
     let chars: Vec<char> = source.chars().collect();
     let mut i = 0;
@@ -220,7 +238,7 @@ fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
             }
         }
     }
-    Ok(out)
+    Ok((out, (line, col)))
 }
 
 // --------------------------------------------------------------------
@@ -239,15 +257,19 @@ enum Symbol {
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    /// Position just past the last character of the source, for errors at
+    /// end-of-input (always 1-based, even when the token stream is empty).
+    eof: (usize, usize),
     model: ModestModel,
     symbols: HashMap<String, Symbol>,
 }
 
 impl Parser {
-    fn new(tokens: Vec<Spanned>) -> Self {
+    fn new(tokens: Vec<Spanned>, eof: (usize, usize)) -> Self {
         Parser {
             tokens,
             pos: 0,
+            eof,
             model: ModestModel::new(),
             symbols: HashMap::new(),
         }
@@ -263,8 +285,8 @@ impl Parser {
 
     fn here(&self) -> (usize, usize) {
         self.tokens
-            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
-            .map_or((0, 0), |s| (s.line, s.col))
+            .get(self.pos)
+            .map_or(self.eof, |s| (s.line, s.col))
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
@@ -914,6 +936,28 @@ mod tests {
         assert!(err.to_string().contains("parse error"));
         let err = parse_modest("action a;\nprocess P() { b; stop }\nsystem P();").unwrap_err();
         assert_eq!(err.line, 2, "unknown name b on line 2: {err}");
+    }
+
+    #[test]
+    fn errors_at_end_of_input_point_past_the_last_token() {
+        // Missing `;` after the declaration: the error sits at end of
+        // input, one column past `a` — not the old (0, 0) placeholder.
+        let err = parse_modest("action a").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 9), "{err}");
+        // A trailing newline moves end-of-input to the next line.
+        let err = parse_modest("action a,\n").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 1), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_convert_to_diagnostics() {
+        let err = parse_modest("process P() { ??? }").unwrap_err();
+        let diag: tempo_obs::Diagnostic = err.clone().into();
+        assert_eq!(diag.severity, tempo_obs::Severity::Error);
+        assert_eq!(diag.code, "PARSE");
+        assert!(diag.message.contains(&format!("{}:{}", err.line, err.col)));
+        let lint: tempo_obs::LintError = err.into();
+        assert_eq!(lint.diagnostics.len(), 1);
     }
 
     #[test]

@@ -121,6 +121,178 @@ impl Pta {
     }
 }
 
+/// The result of active-clock reduction over a PTA: the reduced PTA plus
+/// the clock map, mirroring [`tempo_ta::ClockReduction`] for the MODEST
+/// pipeline. A clock read by no guard, invariant or protected atom can
+/// never influence enabledness or branching, so removing it (and its
+/// resets) preserves every probability and expected value; only the
+/// per-state clock vector shrinks.
+#[derive(Debug, Clone)]
+pub struct PtaReduction {
+    pta: Pta,
+    /// `map[i]` is the reduced index of original clock `i` (`None` when
+    /// removed); `map[0]` is the reference clock.
+    map: Vec<Option<Clock>>,
+    original_dim: usize,
+}
+
+impl PtaReduction {
+    /// The reduced PTA.
+    #[must_use]
+    pub fn pta(&self) -> &Pta {
+        &self.pta
+    }
+
+    /// Clock-space dimension after reduction.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.pta.dim
+    }
+
+    /// Clock-space dimension of the original PTA.
+    #[must_use]
+    pub fn original_dim(&self) -> usize {
+        self.original_dim
+    }
+
+    /// Whether any clock was removed.
+    #[must_use]
+    pub fn is_reduced(&self) -> bool {
+        self.pta.dim < self.original_dim
+    }
+
+    /// Maps a constraint atom into the reduced clock space (`None` if it
+    /// reads a removed clock).
+    #[must_use]
+    pub fn map_atom(&self, atom: &ClockAtom) -> Option<ClockAtom> {
+        Some(ClockAtom {
+            i: self.map.get(atom.i.index()).copied().flatten()?,
+            j: self.map.get(atom.j.index()).copied().flatten()?,
+            bound: atom.bound,
+        })
+    }
+
+    /// Maps a state formula into the reduced clock space (`None` if it
+    /// reads a removed clock).
+    #[must_use]
+    pub fn map_formula(&self, f: &StateFormula) -> Option<StateFormula> {
+        Some(match f {
+            StateFormula::True => StateFormula::True,
+            StateFormula::False => StateFormula::False,
+            StateFormula::At(a, l) => StateFormula::At(*a, *l),
+            StateFormula::Data(e) => StateFormula::Data(e.clone()),
+            StateFormula::Clock(atom) => StateFormula::Clock(self.map_atom(atom)?),
+            StateFormula::Not(g) => StateFormula::not(self.map_formula(g)?),
+            StateFormula::And(gs) => StateFormula::and(
+                gs.iter()
+                    .map(|g| self.map_formula(g))
+                    .collect::<Option<Vec<_>>>()?,
+            ),
+            StateFormula::Or(gs) => StateFormula::or(
+                gs.iter()
+                    .map(|g| self.map_formula(g))
+                    .collect::<Option<Vec<_>>>()?,
+            ),
+        })
+    }
+}
+
+impl Pta {
+    /// Active-clock reduction keeping the clocks of `extra` atoms alive
+    /// (pass every property atom used by later queries). See
+    /// [`PtaReduction`].
+    #[must_use]
+    pub fn reduced_with(&self, extra: &[ClockAtom]) -> PtaReduction {
+        let mut read = vec![false; self.dim];
+        read[0] = true;
+        let feed = |read: &mut Vec<bool>, atom: &ClockAtom| {
+            read[atom.i.index()] = true;
+            read[atom.j.index()] = true;
+        };
+        for a in &self.automata {
+            for l in &a.locations {
+                for atom in &l.invariant {
+                    feed(&mut read, atom);
+                }
+            }
+            for e in &a.edges {
+                for atom in &e.guard_clocks {
+                    feed(&mut read, atom);
+                }
+            }
+        }
+        for atom in extra {
+            feed(&mut read, atom);
+        }
+
+        let mut map: Vec<Option<Clock>> = vec![None; self.dim];
+        map[0] = Some(Clock::REF);
+        let mut kept = 0_usize;
+        for i in 1..self.dim {
+            if read[i] {
+                kept += 1;
+                map[i] = Some(Clock(kept));
+            }
+        }
+        let remap = |atom: &ClockAtom| ClockAtom {
+            i: map[atom.i.index()].expect("read clocks are kept"),
+            j: map[atom.j.index()].expect("read clocks are kept"),
+            bound: atom.bound,
+        };
+        let automata = self
+            .automata
+            .iter()
+            .map(|a| PtaAutomaton {
+                name: a.name.clone(),
+                locations: a
+                    .locations
+                    .iter()
+                    .map(|l| PtaLocation {
+                        name: l.name.clone(),
+                        invariant: l.invariant.iter().map(&remap).collect(),
+                    })
+                    .collect(),
+                edges: a
+                    .edges
+                    .iter()
+                    .map(|e| PtaEdge {
+                        from: e.from,
+                        guard_clocks: e.guard_clocks.iter().map(&remap).collect(),
+                        guard_data: e.guard_data.clone(),
+                        action: e.action,
+                        branches: e
+                            .branches
+                            .iter()
+                            .map(|b| PtaBranch {
+                                weight: b.weight,
+                                assignments: b.assignments.clone(),
+                                resets: b
+                                    .resets
+                                    .iter()
+                                    .filter_map(|&(c, v)| map[c.index()].map(|nc| (nc, v)))
+                                    .collect(),
+                                to: b.to,
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+                initial: a.initial,
+            })
+            .collect();
+        PtaReduction {
+            pta: Pta {
+                decls: self.decls.clone(),
+                dim: kept + 1,
+                actions: self.actions.clone(),
+                automata,
+                sync: self.sync.clone(),
+            },
+            map,
+            original_dim: self.dim,
+        }
+    }
+}
+
 /// A concrete digital state of a PTA network.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PtaState {

@@ -135,6 +135,107 @@ impl fmt::Display for ExhaustionReason {
     }
 }
 
+/// Severity of a [`Diagnostic`].
+///
+/// `Error`-level diagnostics make `check_first` engine entry points
+/// refuse to run; warnings are reported but do not block analysis
+/// (unless the caller opts into strict mode).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but analysable: the model runs, the result may not be
+    /// what the modeller intended.
+    Warning,
+    /// Definitely wrong: the model (or query) cannot be analysed
+    /// meaningfully.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding of a static analysis pass — the shared diagnostic
+/// currency of the lint rules, the digital-clocks closedness check and
+/// the parser error bridge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How bad it is.
+    pub severity: Severity,
+    /// Stable rule code (`"TA002"`, `"BIP001"`, `"DIGITAL"`, `"PARSE"`).
+    pub code: String,
+    /// Where it is: an automaton/component/process name, optionally with
+    /// a location (`"Train.Cross"`), or `None` for model-wide findings.
+    pub component: Option<String>,
+    /// Human-readable description of the finding.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a warning-level diagnostic.
+    pub fn warning(code: &str, component: Option<&str>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            code: code.to_owned(),
+            component: component.map(str::to_owned),
+            message: message.into(),
+        }
+    }
+
+    /// Creates an error-level diagnostic.
+    pub fn error(code: &str, component: Option<&str>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            code: code.to_owned(),
+            component: component.map(str::to_owned),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if let Some(c) = &self.component {
+            write!(f, " {c}:")?;
+        }
+        write!(f, " {}", self.message)
+    }
+}
+
+/// The typed refusal of a `check_first` entry point: the diagnostics
+/// that made the engine decline to analyse the model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintError {
+    /// The blocking findings (at least one, usually all at
+    /// [`Severity::Error`]).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintError {
+    /// Wraps blocking diagnostics into an error.
+    #[must_use]
+    pub fn new(diagnostics: Vec<Diagnostic>) -> Self {
+        LintError { diagnostics }
+    }
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model rejected by static analysis:")?;
+        for d in &self.diagnostics {
+            write!(f, "\n  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for LintError {}
+
 /// How much work an analysis performed, regardless of how it ended.
 ///
 /// Engines fill in the fields that make sense for them and leave the
@@ -152,6 +253,12 @@ pub struct RunReport {
     pub sweeps: u64,
     /// Simulation runs completed.
     pub runs_simulated: u64,
+    /// DBM dimension actually used by the analysis, after active-clock
+    /// reduction (`0` for engines that track no clocks).
+    pub dbm_dim: u64,
+    /// DBM dimension of the model as written, before reduction. Equal to
+    /// [`RunReport::dbm_dim`] when no clock was removed.
+    pub dbm_dim_model: u64,
     /// Wall-clock time spent inside the call.
     pub wall_time: Duration,
 }
@@ -167,7 +274,11 @@ impl fmt::Display for RunReport {
             self.sweeps,
             self.runs_simulated,
             self.wall_time.as_secs_f64()
-        )
+        )?;
+        if self.dbm_dim_model > 0 {
+            write!(f, ", dbm dim {}/{}", self.dbm_dim, self.dbm_dim_model)?;
+        }
+        Ok(())
     }
 }
 
@@ -385,6 +496,8 @@ impl Governor {
             peak_waiting: 0,
             sweeps: self.iterations.load(Ordering::Relaxed),
             runs_simulated: self.runs.load(Ordering::Relaxed),
+            dbm_dim: 0,
+            dbm_dim_model: 0,
             wall_time: self.elapsed(),
         }
     }

@@ -8,15 +8,43 @@ use crate::stats::{
 };
 use tempo_conc::{derive_stream_seed, run_workers, split_budget, ParallelConfig};
 use tempo_obs::{Budget, Governor, Outcome, RunReport};
-use tempo_ta::{Network, StateFormula};
+use tempo_ta::{ClockReduction, Network, StateFormula};
 
-/// [`RunReport`] for a simulation batch: only the run counter and wall
-/// time are meaningful for statistical engines.
-fn sim_report(gov: &Governor, completed: usize) -> RunReport {
+/// [`RunReport`] for a simulation batch: the run counter, the clock-space
+/// dimensions and wall time are the meaningful fields for statistical
+/// engines.
+fn sim_report(gov: &Governor, completed: usize, dim: usize, model_dim: usize) -> RunReport {
     RunReport {
         runs_simulated: completed as u64,
+        dbm_dim: dim as u64,
+        dbm_dim_model: model_dim as u64,
         wall_time: gov.elapsed(),
         ..RunReport::default()
+    }
+}
+
+/// Resolves a per-query active-clock reduction: the network to simulate
+/// and the property mapped into its clock space.
+///
+/// Dead clocks gate no delay bound and no guard, so simulators driven by
+/// the same seeds produce identical discrete trajectories over the
+/// reduced network — estimates are byte-identical while each state
+/// carries fewer clocks. Only the parallel batch path uses this (it
+/// builds fresh per-worker simulators every batch); the sequential path
+/// keeps the checker's persistent simulator, and thus its RNG stream, on
+/// the full network.
+fn reduced_query<'a>(
+    reduction: &'a ClockReduction,
+    full: &'a Network,
+    prop: &StateFormula,
+) -> (&'a Network, StateFormula) {
+    if reduction.is_reduced() {
+        let mapped = reduction
+            .map_formula(prop)
+            .expect("property atoms are kept alive by reduced_with");
+        (reduction.network(), mapped)
+    } else {
+        (full, prop.clone())
     }
 }
 
@@ -79,6 +107,28 @@ impl<'n> StatisticalChecker<'n> {
         self
     }
 
+    /// Statically checks a network before simulating it: the lint rules
+    /// of `tempo-lint` plus the digital-clocks closedness requirements
+    /// of the simulator. On success returns the non-blocking findings
+    /// (warnings) for display.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`LintError`](tempo_lint::LintError) — never
+    /// panics — when the model has error-level findings (or any
+    /// finding under [`LintConfig::strict`](tempo_lint::LintConfig)).
+    pub fn check_first(
+        net: &Network,
+        config: &tempo_lint::LintConfig,
+    ) -> Result<tempo_lint::LintReport, tempo_lint::LintError> {
+        let mut report = tempo_lint::check_network(net);
+        if let Err(e) = tempo_ta::DigitalExplorer::try_new(net) {
+            let lint: tempo_lint::LintError = e.into();
+            report.diagnostics.extend(lint.diagnostics);
+        }
+        report.into_result(config)
+    }
+
     /// Partition fixed-budget estimators (`probability`, `expected`, `cdf`,
     /// `compare`, `count_globally`) across `threads` workers with
     /// per-worker RNG streams derived from the seed.
@@ -111,7 +161,14 @@ impl<'n> StatisticalChecker<'n> {
     /// Runs are cut off mid-batch only by the wall-clock deadline; the run
     /// budget is applied upfront (see [`Self::effective_runs`]) so that a
     /// fixed `(seed, threads, query)` triple stays bitwise-reproducible.
-    fn batch<T, F>(&mut self, bound: f64, runs: usize, gov: &Governor, eval: F) -> Vec<Vec<T>>
+    fn batch<T, F>(
+        &mut self,
+        net: &Network,
+        bound: f64,
+        runs: usize,
+        gov: &Governor,
+        eval: F,
+    ) -> Vec<Vec<T>>
     where
         T: Send,
         F: Fn(&Run) -> T + std::marker::Sync,
@@ -121,7 +178,7 @@ impl<'n> StatisticalChecker<'n> {
             .seed
             .wrapping_add(self.epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15));
         let chunks = split_budget(runs, self.threads);
-        let (net, rates, max_steps) = (self.net, &self.rates, self.max_steps);
+        let (rates, max_steps) = (&self.rates, self.max_steps);
         run_workers(self.threads, |worker| {
             let mut sim =
                 Simulator::new(net, rates.clone(), derive_stream_seed(epoch_seed, worker));
@@ -199,10 +256,13 @@ impl<'n> StatisticalChecker<'n> {
         let effective = Self::effective_runs(runs, &gov);
         let mut successes = 0_usize;
         let mut completed = 0_usize;
+        let reduction = self.net.reduced_with(&goal.clock_atoms());
+        let mut dim = self.net.dim();
         if self.threads > 1 {
-            let net = self.net;
-            let hits = self.batch(bound, effective, &gov, |run| {
-                run.satisfies_eventually(net, goal, bound)
+            let (net, goal) = reduced_query(&reduction, self.net, goal);
+            dim = net.dim();
+            let hits = self.batch(net, bound, effective, &gov, |run| {
+                run.satisfies_eventually(net, &goal, bound)
             });
             for chunk in &hits {
                 completed += chunk.len();
@@ -226,7 +286,7 @@ impl<'n> StatisticalChecker<'n> {
         } else {
             None
         };
-        let report = sim_report(&gov, completed);
+        let report = sim_report(&gov, completed, dim, self.net.dim());
         Ok(gov.finish(est, report))
     }
 
@@ -284,7 +344,7 @@ impl<'n> StatisticalChecker<'n> {
             sprt.observe(run.satisfies_eventually(self.net, goal, bound));
         }
         let verdict = sprt.verdict();
-        let report = sim_report(&gov, sprt.observations());
+        let report = sim_report(&gov, sprt.observations(), self.net.dim(), self.net.dim());
         if verdict == TestVerdict::Undecided {
             gov.finish((verdict, sprt.observations()), report)
         } else {
@@ -333,8 +393,10 @@ impl<'n> StatisticalChecker<'n> {
         }
         let gov = budget.governor();
         let effective = Self::effective_runs(runs, &gov);
+        // `value` is an arbitrary run observer (it may read any clock),
+        // so expected-value estimation never reduces the network.
         let samples: Vec<f64> = if self.threads > 1 {
-            self.batch(bound, effective, &gov, value)
+            self.batch(self.net, bound, effective, &gov, value)
                 .into_iter()
                 .flatten()
                 .collect()
@@ -354,7 +416,7 @@ impl<'n> StatisticalChecker<'n> {
         } else {
             Some(estimate_mean(&samples)?)
         };
-        let report = sim_report(&gov, samples.len());
+        let report = sim_report(&gov, samples.len(), self.net.dim(), self.net.dim());
         Ok(gov.finish(est, report))
     }
 
@@ -378,15 +440,19 @@ impl<'n> StatisticalChecker<'n> {
     ) -> Outcome<EmpiricalCdf> {
         let gov = budget.governor();
         let effective = Self::effective_runs(runs, &gov);
-        let net = self.net;
+        let reduction = self.net.reduced_with(&goal.clock_atoms());
+        let mut dim = self.net.dim();
         let hit_times: Vec<Option<f64>> = if self.threads > 1 {
-            self.batch(bound, effective, &gov, |run| {
-                run.first_hit(net, goal).filter(|&t| t <= bound)
+            let (net, goal) = reduced_query(&reduction, self.net, goal);
+            dim = net.dim();
+            self.batch(net, bound, effective, &gov, |run| {
+                run.first_hit(net, &goal).filter(|&t| t <= bound)
             })
             .into_iter()
             .flatten()
             .collect()
         } else {
+            let net = self.net;
             let mut out = Vec::with_capacity(effective);
             for _ in 0..effective {
                 if !gov.check_time() || !gov.charge_run() {
@@ -403,7 +469,7 @@ impl<'n> StatisticalChecker<'n> {
         for t in hit_times.into_iter().flatten() {
             cdf.add(t);
         }
-        let report = sim_report(&gov, completed);
+        let report = sim_report(&gov, completed, dim, self.net.dim());
         gov.finish(cdf, report)
     }
 
@@ -451,12 +517,18 @@ impl<'n> StatisticalChecker<'n> {
         let mut hits_a = 0_usize;
         let mut hits_b = 0_usize;
         let mut completed = 0_usize;
+        let mut atoms = goal_a.clock_atoms();
+        atoms.extend(goal_b.clock_atoms());
+        let reduction = self.net.reduced_with(&atoms);
+        let mut dim = self.net.dim();
         if self.threads > 1 {
-            let net = self.net;
-            let pairs = self.batch(bound, effective, &gov, |run| {
+            let (net, goal_a) = reduced_query(&reduction, self.net, goal_a);
+            let (_, goal_b) = reduced_query(&reduction, self.net, goal_b);
+            dim = net.dim();
+            let pairs = self.batch(net, bound, effective, &gov, |run| {
                 (
-                    run.satisfies_eventually(net, goal_a, bound),
-                    run.satisfies_eventually(net, goal_b, bound),
+                    run.satisfies_eventually(net, &goal_a, bound),
+                    run.satisfies_eventually(net, &goal_b, bound),
                 )
             });
             for (a, b) in pairs.into_iter().flatten() {
@@ -495,7 +567,7 @@ impl<'n> StatisticalChecker<'n> {
         } else {
             std::cmp::Ordering::Equal
         };
-        let report = sim_report(&gov, completed);
+        let report = sim_report(&gov, completed, dim, self.net.dim());
         gov.finish((ord, pa, pb), report)
     }
 
@@ -520,10 +592,13 @@ impl<'n> StatisticalChecker<'n> {
         let effective = Self::effective_runs(runs, &gov);
         let mut safe_count = 0_usize;
         let mut completed = 0_usize;
+        let reduction = self.net.reduced_with(&safe.clock_atoms());
+        let mut dim = self.net.dim();
         if self.threads > 1 {
-            let net = self.net;
-            let safe_runs = self.batch(bound, effective, &gov, |run| {
-                run.satisfies_globally(net, safe, bound)
+            let (net, safe) = reduced_query(&reduction, self.net, safe);
+            dim = net.dim();
+            let safe_runs = self.batch(net, bound, effective, &gov, |run| {
+                run.satisfies_globally(net, &safe, bound)
             });
             for chunk in &safe_runs {
                 completed += chunk.len();
@@ -542,7 +617,7 @@ impl<'n> StatisticalChecker<'n> {
             }
         }
         Self::settle_runs(&gov, completed, runs);
-        let report = sim_report(&gov, completed);
+        let report = sim_report(&gov, completed, dim, self.net.dim());
         gov.finish(safe_count, report)
     }
 }

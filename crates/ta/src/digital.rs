@@ -10,7 +10,42 @@
 
 use crate::explore::SymState;
 use crate::model::{ChannelKind, Edge, LocationId, LocationKind, Network, SyncDir};
+use std::fmt;
 use tempo_expr::Store;
+use tempo_obs::{Diagnostic, LintError};
+
+/// Typed rejection of a non-closed model by the digital-clocks engines:
+/// one [`Diagnostic`] per strict clock bound found.
+///
+/// Convertible into [`LintError`] so `check_first` entry points can
+/// surface closedness violations through the same channel as lint
+/// findings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigitalError {
+    /// One error-level diagnostic (code `DIGITAL`) per strict bound.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl fmt::Display for DigitalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "model is not closed (digital clocks require closed bounds):"
+        )?;
+        for d in &self.diagnostics {
+            write!(f, "\n  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DigitalError {}
+
+impl From<DigitalError> for LintError {
+    fn from(e: DigitalError) -> LintError {
+        LintError::new(e.diagnostics)
+    }
+}
 
 /// A concrete integer-time state.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -51,31 +86,58 @@ pub struct DigitalExplorer<'n> {
 
 impl<'n> DigitalExplorer<'n> {
     /// Creates an explorer, validating that the model is closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model contains strict clock bounds; use
+    /// [`DigitalExplorer::try_new`] for the non-panicking API.
     #[must_use]
     pub fn new(net: &'n Network) -> Self {
+        Self::try_new(net).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates an explorer, collecting a [`DigitalError`] with one
+    /// diagnostic per strict clock bound when the model is not closed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DigitalError`] when any guard or invariant uses a
+    /// strict bound (`<`/`>`), for which the digital semantics is not
+    /// exact.
+    pub fn try_new(net: &'n Network) -> Result<Self, DigitalError> {
+        let mut diagnostics = Vec::new();
         for a in net.automata() {
             for l in &a.locations {
                 for atom in &l.invariant {
-                    assert!(
-                        atom.bound.is_inf() || !atom.bound.is_strict(),
-                        "digital clocks require closed invariants ({} in {})",
-                        l.name,
-                        a.name
-                    );
+                    if !atom.bound.is_inf() && atom.bound.is_strict() {
+                        diagnostics.push(Diagnostic::error(
+                            "DIGITAL",
+                            Some(&format!("{}.{}", a.name, l.name)),
+                            format!(
+                                "digital clocks require closed invariants ({} in {})",
+                                l.name, a.name
+                            ),
+                        ));
+                    }
                 }
             }
             for e in &a.edges {
                 for atom in &e.guard_clocks {
-                    assert!(
-                        atom.bound.is_inf() || !atom.bound.is_strict(),
-                        "digital clocks require closed guards (in {})",
-                        a.name
-                    );
+                    if !atom.bound.is_inf() && atom.bound.is_strict() {
+                        diagnostics.push(Diagnostic::error(
+                            "DIGITAL",
+                            Some(&a.name),
+                            format!("digital clocks require closed guards (in {})", a.name),
+                        ));
+                    }
                 }
             }
         }
+        if !diagnostics.is_empty() {
+            return Err(DigitalError { diagnostics });
+        }
         let clamp = net.max_constants().into_iter().map(|c| c + 1).collect();
-        DigitalExplorer { net, clamp }
+        Ok(DigitalExplorer { net, clamp })
     }
 
     /// The network being explored.
@@ -462,6 +524,23 @@ mod tests {
         a.done();
         let net = b.build();
         let _ = DigitalExplorer::new(&net);
+    }
+
+    #[test]
+    fn try_new_reports_every_strict_bound() {
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("A");
+        let l0 = a.location_with_invariant("L0", vec![ClockAtom::lt(x, 5)]);
+        a.edge(l0, l0).guard_clock(ClockAtom::gt(x, 1)).done();
+        a.done();
+        let net = b.build();
+        let err = DigitalExplorer::try_new(&net).unwrap_err();
+        assert_eq!(err.diagnostics.len(), 2, "one per strict bound");
+        assert!(err.diagnostics.iter().all(|d| d.code == "DIGITAL"));
+        assert!(format!("{err}").contains("closed"));
+        let lint: tempo_obs::LintError = err.into();
+        assert_eq!(lint.diagnostics.len(), 2);
     }
 
     #[test]

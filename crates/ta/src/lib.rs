@@ -43,8 +43,9 @@ mod model;
 mod par_reach;
 mod query;
 mod reach;
+mod reduce;
 
-pub use digital::{DigitalExplorer, DigitalMove, DigitalState};
+pub use digital::{DigitalError, DigitalExplorer, DigitalMove, DigitalState};
 pub use explore::{Action, Explorer, SymState};
 pub use formula::StateFormula;
 pub use liveness::{leads_to, leads_to_governed};
@@ -56,3 +57,4 @@ pub use query::{
     check_query, check_query_governed, parse_formula, parse_query, Query, QueryError, QueryResult,
 };
 pub use reach::{ModelChecker, ReachResult, Stats, Trace, TraceStep, Verdict};
+pub use reduce::{live_clocks, ClockReduction};

@@ -58,6 +58,15 @@ pub fn leads_to_governed(
         "leads-to requires discrete (location/data) predicates"
     );
     let gov = budget.governor();
+    // Discrete predicates read no clocks, so active-clock reduction is
+    // always verdict-preserving here.
+    let model_dim = net.dim();
+    let reduction = net.reduced();
+    let net = if reduction.is_reduced() {
+        reduction.network()
+    } else {
+        net
+    };
     let explorer = Explorer::new(net);
     let mut stats = Stats::default();
     let mut peak = 0usize;
@@ -136,12 +145,12 @@ pub fn leads_to_governed(
             }
             prefix.reverse();
             prefix.extend(bad.steps);
-            let report = exploration_report(&gov, &stats, peak);
+            let report = exploration_report(&gov, &stats, peak, net.dim(), model_dim);
             return gov
                 .finish_complete((Verdict::Violated(Trace { steps: prefix }), stats), report);
         }
     }
-    let report = exploration_report(&gov, &stats, peak);
+    let report = exploration_report(&gov, &stats, peak, net.dim(), model_dim);
     gov.finish((Verdict::Satisfied, stats), report)
 }
 

@@ -9,14 +9,23 @@ use tempo_expr::Store;
 use tempo_obs::{Budget, Governor, Outcome, RunReport};
 
 /// Builds the [`RunReport`] of a zone-graph exploration from its
-/// [`Stats`] and the waiting-list high-water mark.
-pub(crate) fn exploration_report(gov: &Governor, stats: &Stats, peak_waiting: usize) -> RunReport {
+/// [`Stats`], the waiting-list high-water mark, and the DBM dimensions
+/// used (after active-clock reduction) and declared by the model.
+pub(crate) fn exploration_report(
+    gov: &Governor,
+    stats: &Stats,
+    peak_waiting: usize,
+    dbm_dim: usize,
+    dbm_dim_model: usize,
+) -> RunReport {
     RunReport {
         states_explored: stats.explored as u64,
         states_stored: stats.stored as u64,
         peak_waiting: peak_waiting as u64,
         sweeps: 0,
         runs_simulated: 0,
+        dbm_dim: dbm_dim as u64,
+        dbm_dim_model: dbm_dim_model as u64,
         wall_time: gov.elapsed(),
     }
 }
@@ -160,6 +169,7 @@ pub struct ReachResult {
 pub struct ModelChecker<'n> {
     net: &'n Network,
     threads: usize,
+    reduce: bool,
 }
 
 /// Internal node of the exploration arena (for trace reconstruction).
@@ -170,10 +180,23 @@ struct Node {
 
 impl<'n> ModelChecker<'n> {
     /// Creates a checker for the network (single-threaded reference
-    /// engine).
+    /// engine, active-clock reduction enabled).
     #[must_use]
     pub fn new(net: &'n Network) -> Self {
-        ModelChecker { net, threads: 1 }
+        ModelChecker {
+            net,
+            threads: 1,
+            reduce: true,
+        }
+    }
+
+    /// Disables active-clock reduction, exploring the network at its
+    /// declared DBM dimension. Verdicts are identical either way; this
+    /// knob exists for benchmarking and differential testing.
+    #[must_use]
+    pub fn without_reduction(mut self) -> Self {
+        self.reduce = false;
+        self
     }
 
     /// Use `threads` workers for zone-graph exploration (`<= 1` selects the
@@ -223,8 +246,8 @@ impl<'n> ModelChecker<'n> {
         budget: &Budget,
     ) -> Outcome<ReachResult> {
         let gov = budget.governor();
-        let (res, peak) = self.search(goal, None, &gov);
-        let report = exploration_report(&gov, &res.stats, peak);
+        let (res, peak, dim) = self.search(goal, None, &gov);
+        let report = exploration_report(&gov, &res.stats, peak, dim, self.net.dim());
         if res.reachable {
             gov.finish_complete(res, report)
         } else {
@@ -253,8 +276,8 @@ impl<'n> ModelChecker<'n> {
     ) -> Outcome<(Verdict, Stats)> {
         let neg = StateFormula::not(safe.clone());
         let gov = budget.governor();
-        let (res, peak) = self.search(&neg, None, &gov);
-        let report = exploration_report(&gov, &res.stats, peak);
+        let (res, peak, dim) = self.search(&neg, None, &gov);
+        let report = exploration_report(&gov, &res.stats, peak, dim, self.net.dim());
         if res.reachable {
             let value = (Verdict::Violated(res.trace.unwrap_or_default()), res.stats);
             gov.finish_complete(value, report)
@@ -276,8 +299,8 @@ impl<'n> ModelChecker<'n> {
     /// definitive, exhaustion means "none found so far".
     pub fn deadlock_free_governed(&mut self, budget: &Budget) -> Outcome<(Verdict, Stats)> {
         let gov = budget.governor();
-        let (verdict, stats, peak) = self.deadlock_search(&gov);
-        let report = exploration_report(&gov, &stats, peak);
+        let (verdict, stats, peak, dim) = self.deadlock_search(&gov);
+        let report = exploration_report(&gov, &stats, peak, dim, self.net.dim());
         if verdict.holds() {
             gov.finish((verdict, stats), report)
         } else {
@@ -295,14 +318,32 @@ impl<'n> ModelChecker<'n> {
         goal: &StateFormula,
         prune: Option<&StateFormula>,
         gov: &Governor,
-    ) -> (ReachResult, usize) {
-        let explorer = Explorer::with_extra_constants(self.net, &goal.clock_atoms());
+    ) -> (ReachResult, usize, usize) {
+        // Active-clock reduction: drop clocks that neither the model nor
+        // the query reads, shrinking every DBM of the exploration. The
+        // query's atoms are kept alive, so verdicts are unchanged.
+        let mut atoms = goal.clock_atoms();
+        if let Some(p) = prune {
+            atoms.extend(p.clock_atoms());
+        }
+        let reduction = self.reduce.then(|| self.net.reduced_with(&atoms));
+        let (net, goal, prune) = match &reduction {
+            Some(r) if r.is_reduced() => (
+                r.network(),
+                r.map_formula(goal).expect("goal atoms kept alive"),
+                prune.map(|p| r.map_formula(p).expect("prune atoms kept alive")),
+            ),
+            _ => (self.net, goal.clone(), prune.cloned()),
+        };
+        let (goal, prune) = (&goal, prune.as_ref());
+        let dim = net.dim();
+        let explorer = Explorer::with_extra_constants(net, &goal.clock_atoms());
         if self.threads > 1 {
             let (trace, stats, peak) = crate::par_reach::parallel_search(
-                self.net,
+                net,
                 &explorer,
                 self.threads,
-                |state: &SymState| goal.holds_somewhere(self.net, state),
+                |state: &SymState| goal.holds_somewhere(net, state),
                 prune,
                 gov,
             );
@@ -313,6 +354,7 @@ impl<'n> ModelChecker<'n> {
                     stats,
                 },
                 peak,
+                dim,
             );
         }
         let mut stats = Stats::default();
@@ -338,7 +380,7 @@ impl<'n> ModelChecker<'n> {
             }
             let state = nodes[idx].state.clone();
             stats.explored += 1;
-            if goal.holds_somewhere(self.net, &state) {
+            if goal.holds_somewhere(net, &state) {
                 stats.stored = passed.values().map(Vec::len).sum();
                 return (
                     ReachResult {
@@ -347,10 +389,11 @@ impl<'n> ModelChecker<'n> {
                         stats,
                     },
                     peak,
+                    dim,
                 );
             }
             if let Some(p) = prune {
-                if p.holds_everywhere(self.net, &state) {
+                if p.holds_everywhere(net, &state) {
                     continue;
                 }
             }
@@ -394,17 +437,26 @@ impl<'n> ModelChecker<'n> {
                 stats,
             },
             peak,
+            dim,
         )
     }
 
     /// Full exploration checking the symbolic deadlock condition on every
     /// state. Dispatches to the parallel engine when more than one worker
     /// is configured.
-    fn deadlock_search(&mut self, gov: &Governor) -> (Verdict, Stats, usize) {
-        let explorer = Explorer::new(self.net);
+    fn deadlock_search(&mut self, gov: &Governor) -> (Verdict, Stats, usize, usize) {
+        // The deadlock condition only reads guards and invariants, so
+        // active-clock reduction preserves it exactly.
+        let reduction = self.reduce.then(|| self.net.reduced());
+        let net = match &reduction {
+            Some(r) if r.is_reduced() => r.network(),
+            _ => self.net,
+        };
+        let dim = net.dim();
+        let explorer = Explorer::new(net);
         if self.threads > 1 {
             let (trace, stats, peak) = crate::par_reach::parallel_search(
-                self.net,
+                net,
                 &explorer,
                 self.threads,
                 |state: &SymState| !explorer.deadlock_federation(state).is_empty(),
@@ -412,8 +464,8 @@ impl<'n> ModelChecker<'n> {
                 gov,
             );
             return match trace {
-                Some(t) => (Verdict::Violated(t), stats, peak),
-                None => (Verdict::Satisfied, stats, peak),
+                Some(t) => (Verdict::Violated(t), stats, peak, dim),
+                None => (Verdict::Satisfied, stats, peak, dim),
             };
         }
         let mut stats = Stats::default();
@@ -445,6 +497,7 @@ impl<'n> ModelChecker<'n> {
                     Verdict::Violated(self.build_trace(&nodes, idx)),
                     stats,
                     peak,
+                    dim,
                 );
             }
             let mut out_of_states = false;
@@ -480,7 +533,7 @@ impl<'n> ModelChecker<'n> {
             }
         }
         stats.stored = passed.values().map(Vec::len).sum();
-        (Verdict::Satisfied, stats, peak)
+        (Verdict::Satisfied, stats, peak, dim)
     }
 
     /// Enumerates all reachable symbolic states (inclusion-reduced).
@@ -545,7 +598,7 @@ impl<'n> ModelChecker<'n> {
             }
         }
         stats.stored = passed.values().map(Vec::len).sum();
-        let report = exploration_report(&gov, &stats, peak);
+        let report = exploration_report(&gov, &stats, peak, self.net.dim(), self.net.dim());
         gov.finish((states, stats), report)
     }
 

@@ -29,7 +29,7 @@
 use std::collections::HashMap;
 use tempo_conc::{run_workers, split_budget, ParallelConfig};
 use tempo_obs::{Budget, Governor, Outcome, RunReport};
-use tempo_ta::{DigitalExplorer, DigitalMove, DigitalState, Network, StateFormula};
+use tempo_ta::{DigitalError, DigitalExplorer, DigitalMove, DigitalState, Network, StateFormula};
 
 /// What the synthesized controller prescribes in a state.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,16 +41,36 @@ pub enum StrategyMove {
 }
 
 /// A memoryless winning strategy over digital states.
+///
+/// When the game was solved on an actively-reduced network (see
+/// [`tempo_ta::ClockReduction`]), the strategy keys its states in the
+/// reduced clock space and carries the projection; [`Strategy::decide`]
+/// accepts full-network states and projects them transparently, so
+/// callers never observe the reduction.
 #[derive(Debug, Clone, Default)]
 pub struct Strategy {
     moves: HashMap<DigitalState, StrategyMove>,
+    /// Original clock indices of the kept clocks (reduced order), when
+    /// the solve ran on a reduced network.
+    proj: Option<Vec<usize>>,
 }
 
 impl Strategy {
+    fn key(&self, state: &DigitalState) -> DigitalState {
+        match &self.proj {
+            None => state.clone(),
+            Some(kept) => DigitalState {
+                locs: state.locs.clone(),
+                store: state.store.clone(),
+                clocks: kept.iter().map(|&i| state.clocks[i]).collect(),
+            },
+        }
+    }
+
     /// The prescription for a state, if the state is winning.
     #[must_use]
     pub fn decide(&self, state: &DigitalState) -> Option<&StrategyMove> {
-        self.moves.get(state)
+        self.moves.get(&self.key(state))
     }
 
     /// Number of states with a prescription.
@@ -62,7 +82,7 @@ impl Strategy {
     /// Whether the state is in the winning region.
     #[must_use]
     pub fn is_winning(&self, state: &DigitalState) -> bool {
-        self.moves.contains_key(state)
+        self.moves.contains_key(&self.key(state))
     }
 }
 
@@ -96,12 +116,51 @@ struct Graph {
 
 impl<'n> GameSolver<'n> {
     /// Creates a solver for the network (validating closedness).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network contains strict clock bounds; use
+    /// [`GameSolver::try_new`] for the non-panicking API.
     #[must_use]
     pub fn new(net: &'n Network) -> Self {
-        GameSolver {
-            exp: DigitalExplorer::new(net),
+        Self::try_new(net).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a solver, returning a typed [`DigitalError`] (one
+    /// diagnostic per strict clock bound) instead of panicking when the
+    /// model is not closed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DigitalError`] when any guard or invariant uses a
+    /// strict bound, for which the digital-game semantics is not exact.
+    pub fn try_new(net: &'n Network) -> Result<Self, DigitalError> {
+        Ok(GameSolver {
+            exp: DigitalExplorer::try_new(net)?,
             threads: 1,
+        })
+    }
+
+    /// Statically checks a network before solving games on it: the lint
+    /// rules of `tempo-lint` plus the digital-clocks closedness
+    /// requirements of the game semantics. On success returns the
+    /// non-blocking findings (warnings) for display.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`LintError`](tempo_lint::LintError) — never
+    /// panics — when the model has error-level findings (or any
+    /// finding under [`LintConfig::strict`](tempo_lint::LintConfig)).
+    pub fn check_first(
+        net: &Network,
+        config: &tempo_lint::LintConfig,
+    ) -> Result<tempo_lint::LintReport, tempo_lint::LintError> {
+        let mut report = tempo_lint::check_network(net);
+        if let Err(e) = DigitalExplorer::try_new(net) {
+            let lint: tempo_lint::LintError = e.into();
+            report.diagnostics.extend(lint.diagnostics);
         }
+        report.into_result(config)
     }
 
     /// Sets the number of worker threads used by the fixpoint sweeps.
@@ -130,7 +189,7 @@ impl<'n> GameSolver<'n> {
     /// Explores the game graph, charging the governor's state budget.
     /// Returns the (possibly truncated) graph and the frontier's
     /// high-water mark; on truncation the governor is left exhausted.
-    fn build_graph(&self, gov: &Governor) -> (Graph, usize) {
+    fn build_graph(exp: &DigitalExplorer<'_>, gov: &Governor) -> (Graph, usize) {
         let mut graph = Graph {
             states: Vec::new(),
             index: HashMap::new(),
@@ -141,7 +200,7 @@ impl<'n> GameSolver<'n> {
         if !gov.charge_state() {
             return (graph, peak);
         }
-        let init = self.exp.initial_state();
+        let init = exp.initial_state();
         graph.index.insert(init.clone(), 0);
         graph.states.push(init);
         graph.moves.push(Vec::new());
@@ -153,13 +212,13 @@ impl<'n> GameSolver<'n> {
                 break;
             }
             let state = graph.states[i].clone();
-            if let Some(next) = self.exp.tick(&state) {
+            if let Some(next) = exp.tick(&state) {
                 let Some(j) = intern(&mut graph, next, &mut frontier, gov) else {
                     break 'build;
                 };
                 graph.tick[i] = Some(j);
             }
-            for (mv, next) in self.exp.moves(&state) {
+            for (mv, next) in exp.moves(&state) {
                 let Some(j) = intern(&mut graph, next, &mut frontier, gov) else {
                     break 'build;
                 };
@@ -170,13 +229,43 @@ impl<'n> GameSolver<'n> {
         (graph, peak)
     }
 
-    fn game_report(gov: &Governor, states: usize, peak: usize, sweeps: u64) -> RunReport {
+    /// Active-clock reduction for one query: clocks read by no guard,
+    /// invariant or property atom cannot influence enabledness, so the
+    /// reduced game is bisimilar to the full one under clock projection.
+    /// Returns the solving explorer, the mapped property and the
+    /// projection for the [`Strategy`] (if any reduction happened).
+    fn reduced_for(
+        &self,
+        prop: &StateFormula,
+    ) -> (tempo_ta::ClockReduction, StateFormula, Option<Vec<usize>>) {
+        let reduction = self.exp.network().reduced_with(&prop.clock_atoms());
+        if reduction.is_reduced() {
+            let mapped = reduction
+                .map_formula(prop)
+                .expect("property atoms are kept alive by reduced_with");
+            let proj = Some(reduction.kept());
+            (reduction, mapped, proj)
+        } else {
+            (reduction, prop.clone(), None)
+        }
+    }
+
+    fn game_report(
+        &self,
+        gov: &Governor,
+        states: usize,
+        peak: usize,
+        sweeps: u64,
+        dim: usize,
+    ) -> RunReport {
         RunReport {
             states_explored: states as u64,
             states_stored: states as u64,
             peak_waiting: peak as u64,
             sweeps,
             runs_simulated: 0,
+            dbm_dim: dim as u64,
+            dbm_dim_model: self.exp.network().dim() as u64,
             wall_time: gov.elapsed(),
         }
     }
@@ -203,11 +292,14 @@ impl<'n> GameSolver<'n> {
         budget: &Budget,
     ) -> Outcome<GameResult> {
         let gov = budget.governor();
-        let (graph, peak) = self.build_graph(&gov);
+        let (reduction, goal, proj) = self.reduced_for(goal);
+        let exp = DigitalExplorer::new(reduction.network());
+        let dim = reduction.network().dim();
+        let (graph, peak) = Self::build_graph(&exp, &gov);
         let n = graph.states.len();
         let mut sweeps = 0u64;
         if gov.is_exhausted() {
-            let report = Self::game_report(&gov, n, peak, sweeps);
+            let report = self.game_report(&gov, n, peak, sweeps, dim);
             return gov.finish(
                 GameResult {
                     winning: false,
@@ -220,7 +312,7 @@ impl<'n> GameSolver<'n> {
         let is_goal: Vec<bool> = graph
             .states
             .iter()
-            .map(|s| self.exp.satisfies(s, goal))
+            .map(|s| exp.satisfies(s, &goal))
             .collect();
         // Least fixpoint of the controllable predecessor, tracking the
         // round in which each state became winning (its *rank*); the
@@ -284,7 +376,10 @@ impl<'n> GameSolver<'n> {
                 rank[i] = Some(round);
             }
         }
-        let mut strategy = Strategy::default();
+        let mut strategy = Strategy {
+            moves: HashMap::new(),
+            proj,
+        };
         for i in 0..n {
             let Some(r) = rank[i] else { continue };
             if is_goal[i] {
@@ -311,7 +406,7 @@ impl<'n> GameSolver<'n> {
             strategy,
             states: n,
         };
-        let report = Self::game_report(&gov, n, peak, sweeps);
+        let report = self.game_report(&gov, n, peak, sweeps, dim);
         if winning {
             // Ranked states are winning even under an interrupted least
             // fixpoint, so a ranked initial state is a definitive verdict.
@@ -342,11 +437,14 @@ impl<'n> GameSolver<'n> {
         budget: &Budget,
     ) -> Outcome<GameResult> {
         let gov = budget.governor();
-        let (graph, peak) = self.build_graph(&gov);
+        let (reduction, bad, proj) = self.reduced_for(bad);
+        let exp = DigitalExplorer::new(reduction.network());
+        let dim = reduction.network().dim();
+        let (graph, peak) = Self::build_graph(&exp, &gov);
         let n = graph.states.len();
         let mut sweeps = 0u64;
         if gov.is_exhausted() {
-            let report = Self::game_report(&gov, n, peak, sweeps);
+            let report = self.game_report(&gov, n, peak, sweeps, dim);
             return gov.finish(
                 GameResult {
                     winning: false,
@@ -359,7 +457,7 @@ impl<'n> GameSolver<'n> {
         let mut winning: Vec<bool> = graph
             .states
             .iter()
-            .map(|s| !self.exp.satisfies(s, bad))
+            .map(|s| !exp.satisfies(s, &bad))
             .collect();
         // Greatest fixpoint: remove states the environment can force out
         // of W or where the controller cannot stay in W.
@@ -430,7 +528,7 @@ impl<'n> GameSolver<'n> {
         if gov.is_exhausted() {
             // Interrupted greatest fixpoint: `winning` is only an
             // over-approximation; claim nothing.
-            let report = Self::game_report(&gov, n, peak, sweeps);
+            let report = self.game_report(&gov, n, peak, sweeps, dim);
             return gov.finish(
                 GameResult {
                     winning: false,
@@ -440,7 +538,10 @@ impl<'n> GameSolver<'n> {
                 report,
             );
         }
-        let mut strategy = Strategy::default();
+        let mut strategy = Strategy {
+            moves: HashMap::new(),
+            proj,
+        };
         for i in 0..n {
             if !winning[i] {
                 continue;
@@ -457,7 +558,7 @@ impl<'n> GameSolver<'n> {
             };
             strategy.moves.insert(graph.states[i].clone(), mv);
         }
-        let report = Self::game_report(&gov, n, peak, sweeps);
+        let report = self.game_report(&gov, n, peak, sweeps, dim);
         gov.finish_complete(
             GameResult {
                 winning: winning.first().copied().unwrap_or(false),
