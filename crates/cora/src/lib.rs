@@ -41,7 +41,9 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use tempo_conc::{run_workers, split_budget, ParallelConfig};
 use tempo_obs::{Budget, Outcome, RunReport};
-use tempo_ta::{AutomatonId, DigitalExplorer, DigitalState, LocationId, Network, StateFormula};
+use tempo_ta::{
+    AutomatonId, DigitalExplorer, DigitalMove, DigitalState, LocationId, Network, StateFormula,
+};
 
 /// A timed-automata network annotated with location cost rates and edge
 /// costs (a priced/weighted timed automaton, as in UPPAAL-CORA).
@@ -73,6 +75,27 @@ impl MaxCost {
     }
 }
 
+/// One step of an optimal priced path: a unit delay or a joint move,
+/// with the exact cost paid for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostStep {
+    /// The joint move fired, or `None` for one unit-delay tick.
+    pub action: Option<DigitalMove>,
+    /// The cost of this step: the tick cost of the pre-state for a
+    /// delay, the sum of the participating edges' costs for a move.
+    pub cost: i64,
+}
+
+impl CostStep {
+    /// The display label: the move's, or `delay(1)` for a tick.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        self.action
+            .as_ref()
+            .map_or("delay(1)", |m| m.label.as_str())
+    }
+}
+
 /// The result of a minimum-cost reachability query.
 #[derive(Debug, Clone)]
 pub struct MinCostResult {
@@ -80,10 +103,20 @@ pub struct MinCostResult {
     pub cost: i64,
     /// The goal state reached at that cost.
     pub state: DigitalState,
-    /// The action/delay labels along an optimal path.
-    pub path: Vec<String>,
+    /// The optimal path as structured steps whose costs sum exactly to
+    /// [`MinCostResult::cost`] — the raw material of a cost certificate.
+    pub steps: Vec<CostStep>,
     /// Number of distinct states settled by the search.
     pub explored: usize,
+}
+
+impl MinCostResult {
+    /// The action/delay labels along the optimal path (the old
+    /// string-only view of [`MinCostResult::steps`]).
+    #[must_use]
+    pub fn labels(&self) -> Vec<String> {
+        self.steps.iter().map(|s| s.label().to_owned()).collect()
+    }
 }
 
 impl PricedNetwork {
@@ -172,6 +205,19 @@ impl PricedNetwork {
         self.edge_costs.insert((a, edge_index), cost);
     }
 
+    /// The cost rate of a location (`0` unless set).
+    #[must_use]
+    pub fn rate(&self, a: AutomatonId, l: LocationId) -> i64 {
+        self.rates.get(&(a, l)).copied().unwrap_or(0)
+    }
+
+    /// The firing cost of edge `edge_index` of automaton `a` (`0` unless
+    /// set).
+    #[must_use]
+    pub fn edge_cost(&self, a: AutomatonId, edge_index: usize) -> i64 {
+        self.edge_costs.get(&(a, edge_index)).copied().unwrap_or(0)
+    }
+
     /// The cost rate of one tick in the given state: the sum of the rates
     /// of all current locations.
     #[must_use]
@@ -227,7 +273,8 @@ impl PricedNetwork {
         let init = exp.initial_state();
 
         let mut dist: HashMap<DigitalState, i64> = HashMap::new();
-        let mut pred: HashMap<DigitalState, (DigitalState, String)> = HashMap::new();
+        let mut pred: HashMap<DigitalState, (DigitalState, Option<DigitalMove>, i64)> =
+            HashMap::new();
         let mut heap: BinaryHeap<Reverse<(i64, u64)>> = BinaryHeap::new();
         let mut arena: Vec<DigitalState> = Vec::new();
         let mut peak = 0usize;
@@ -250,19 +297,22 @@ impl PricedNetwork {
             }
             explored += 1;
             if exp.satisfies(&state, &goal) {
-                let mut path = Vec::new();
+                let mut steps = Vec::new();
                 let mut cur = state.clone();
-                while let Some((prev, label)) = pred.get(&cur) {
-                    path.push(label.clone());
+                while let Some((prev, action, cost)) = pred.get(&cur) {
+                    steps.push(CostStep {
+                        action: action.clone(),
+                        cost: *cost,
+                    });
                     cur = prev.clone();
                 }
-                path.reverse();
+                steps.reverse();
                 let report = self.dijkstra_report(&gov, explored, dist.len(), peak, net.dim());
                 return gov.finish_complete(
                     Some(MinCostResult {
                         cost: d,
                         state,
-                        path,
+                        steps,
                         explored,
                     }),
                     report,
@@ -270,14 +320,15 @@ impl PricedNetwork {
             }
             // Tick successor.
             if let Some(next) = exp.tick(&state) {
-                let nd = d + self.tick_cost(&state);
+                let tick = self.tick_cost(&state);
+                let nd = d + tick;
                 let known = dist.contains_key(&next);
                 if dist.get(&next).is_none_or(|&old| nd < old) {
                     if !known && !gov.charge_state() {
                         break 'settle;
                     }
                     dist.insert(next.clone(), nd);
-                    pred.insert(next.clone(), (state.clone(), "delay(1)".to_owned()));
+                    pred.insert(next.clone(), (state.clone(), None, tick));
                     arena.push(next);
                     heap.push(Reverse((nd, (arena.len() - 1) as u64)));
                     peak = peak.max(heap.len());
@@ -302,7 +353,7 @@ impl PricedNetwork {
                         break 'settle;
                     }
                     dist.insert(next.clone(), nd);
-                    pred.insert(next.clone(), (state.clone(), mv.label.clone()));
+                    pred.insert(next.clone(), (state.clone(), Some(mv.clone()), edge_cost));
                     arena.push(next);
                     heap.push(Reverse((nd, (arena.len() - 1) as u64)));
                     peak = peak.max(heap.len());
@@ -330,6 +381,7 @@ impl PricedNetwork {
             dbm_dim: dim as u64,
             dbm_dim_model: self.net.dim() as u64,
             wall_time: gov.elapsed(),
+            ..RunReport::default()
         }
     }
 
@@ -548,6 +600,7 @@ impl PricedNetwork {
             dbm_dim: dim as u64,
             dbm_dim_model: self.net.dim() as u64,
             wall_time: gov.elapsed(),
+            ..RunReport::default()
         }
     }
 
@@ -697,7 +750,8 @@ mod tests {
         let p = PricedNetwork::new(net);
         let res = p.min_cost_reach(&StateFormula::at(job, done)).unwrap();
         assert_eq!(res.cost, 0, "no rates or edge costs set");
-        assert!(!res.path.is_empty());
+        assert!(!res.steps.is_empty());
+        assert!(res.steps.iter().all(|s| s.cost == 0));
     }
 
     #[test]
@@ -792,8 +846,25 @@ mod tests {
         p.set_rate(job, LocationId(2), 1); // ViaB: 2 time units → 2
         let res = p.min_cost_reach(&StateFormula::at(job, done)).unwrap();
         // Optimal: Start → ViaB (tau), 2 delays, ViaB → Done (tau).
-        let delays = res.path.iter().filter(|l| l.starts_with("delay")).count();
+        let delays = res.steps.iter().filter(|s| s.action.is_none()).count();
         assert_eq!(delays, 2);
         assert_eq!(res.cost, 2);
+        assert_eq!(res.labels().len(), res.steps.len());
+    }
+
+    #[test]
+    fn step_costs_sum_to_total() {
+        let (net, job, done) = two_routes();
+        let mut p = PricedNetwork::new(net);
+        p.set_rate(job, LocationId(1), 5);
+        p.set_rate(job, LocationId(2), 1);
+        p.set_edge_cost(job, 3, 20);
+        let res = p.min_cost_reach(&StateFormula::at(job, done)).unwrap();
+        assert_eq!(res.cost, 22);
+        let sum: i64 = res.steps.iter().map(|s| s.cost).sum();
+        assert_eq!(sum, res.cost, "per-step costs must sum to the total");
+        // Delay steps pay the tick cost of the pre-state, moves pay edge
+        // costs: the expensive final edge must appear as its own step.
+        assert!(res.steps.iter().any(|s| s.action.is_some() && s.cost == 20));
     }
 }

@@ -18,6 +18,7 @@
 //! | MODEST toolset | [`modest`] (+ [`mdp`]) | one formalism, three solutions: `mctau` (TA over-approximation), `mcpta` (PTA → MDP, PRISM-style), `modes` (simulation) |
 //! | BIP / D-Finder | [`bip`] | component-based design, compositional deadlock detection, safety-controller synthesis |
 //! | TorX / TRON | [`ioco`] | model-based testing: ioco and rtioco, test generation and online testing |
+//! | — (cross-cutting) | [`witness`] | concrete trace realization, per-engine certificates, independent replay validation |
 //!
 //! ## Quickstart
 //!
@@ -81,3 +82,6 @@ pub use tempo_smc as smc;
 pub use tempo_ta as ta;
 /// Timed games and strategy synthesis (UPPAAL-TIGA).
 pub use tempo_tiga as tiga;
+/// Concrete trace realization, per-engine certificates and the
+/// independent cross-engine replay validator.
+pub use tempo_witness as witness;

@@ -44,6 +44,18 @@ pub struct Quantitative {
     pub iterations: usize,
 }
 
+impl Quantitative {
+    /// The memoryless policy extracted from value iteration: for each state,
+    /// the index of the optimal action (`None` on absorbing states). Fixing
+    /// these choices turns the MDP into a Markov chain whose reachability
+    /// probability equals [`Quantitative::values`] — the basis for
+    /// independent certificate checking.
+    #[must_use]
+    pub fn policy(&self) -> &[Option<usize>] {
+        &self.scheduler
+    }
+}
+
 /// Convergence threshold for value iteration (absolute).
 pub const EPSILON: f64 = 1e-10;
 

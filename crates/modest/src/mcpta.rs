@@ -230,6 +230,19 @@ impl Mcpta {
             .map(|q| q.initial_value)
     }
 
+    /// Full quantitative reachability result — per-state values plus the
+    /// memoryless scheduler realizing them — for certification: the
+    /// scheduler induces a Markov chain whose reach probability can be
+    /// recomputed independently of value iteration.
+    pub fn reach_quantitative(
+        &self,
+        opt: Opt,
+        goal: &StateFormula,
+        budget: &Budget,
+    ) -> Outcome<tempo_mdp::Quantitative> {
+        reachability_governed(&self.mdp, opt, &self.goal_mask(goal), budget)
+    }
+
     /// `Emax` (expected time) under a resource [`Budget`].
     pub fn emax_time_governed(&self, goal: &StateFormula, budget: &Budget) -> Outcome<f64> {
         expected_reward_governed(&self.mdp, Opt::Max, &self.goal_mask(goal), budget)

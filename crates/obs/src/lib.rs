@@ -261,6 +261,12 @@ pub struct RunReport {
     pub dbm_dim_model: u64,
     /// Wall-clock time spent inside the call.
     pub wall_time: Duration,
+    /// Size of the certificate produced for this verdict, in bytes of
+    /// its serialized text form (`0` when no certificate was produced).
+    pub certificate_bytes: u64,
+    /// Time spent producing and validating the certificate (zero when no
+    /// certificate was produced).
+    pub certify_time: Duration,
 }
 
 impl fmt::Display for RunReport {
@@ -277,6 +283,14 @@ impl fmt::Display for RunReport {
         )?;
         if self.dbm_dim_model > 0 {
             write!(f, ", dbm dim {}/{}", self.dbm_dim, self.dbm_dim_model)?;
+        }
+        if self.certificate_bytes > 0 {
+            write!(
+                f,
+                ", certificate {} bytes ({:.3}s)",
+                self.certificate_bytes,
+                self.certify_time.as_secs_f64()
+            )?;
         }
         Ok(())
     }
@@ -499,6 +513,8 @@ impl Governor {
             dbm_dim: 0,
             dbm_dim_model: 0,
             wall_time: self.elapsed(),
+            certificate_bytes: 0,
+            certify_time: Duration::ZERO,
         }
     }
 

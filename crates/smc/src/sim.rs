@@ -118,6 +118,35 @@ impl Run {
     }
 }
 
+/// Network-independent rendering: one line per step with location
+/// indices, the action label, the delay taken and the absolute time.
+impl std::fmt::Display for Run {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let locs = |s: &ConcreteState| {
+            s.locs
+                .iter()
+                .map(|l| l.index().to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        writeln!(f, "t=0 ({})", locs(&self.initial))?;
+        for step in &self.steps {
+            writeln!(
+                f,
+                "  --{} @ +{:.3}--> t={:.3} ({})",
+                step.label,
+                step.delay,
+                step.state.time,
+                locs(&step.state)
+            )?;
+        }
+        if self.deadlocked {
+            writeln!(f, "  [deadlocked]")?;
+        }
+        Ok(())
+    }
+}
+
 /// Exponential-delay rates per automaton location. The paper's train-gate
 /// example uses rate `1 + id` for train `id` in the invariant-free `Safe`
 /// location.

@@ -27,6 +27,7 @@ pub(crate) fn exploration_report(
         dbm_dim: dbm_dim as u64,
         dbm_dim_model: dbm_dim_model as u64,
         wall_time: gov.elapsed(),
+        ..RunReport::default()
     }
 }
 
@@ -98,6 +99,26 @@ impl Trace {
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join(" → ")
+    }
+}
+
+/// Network-independent rendering: location *indices* instead of names
+/// (use [`Trace::render`] when the network is at hand).
+impl std::fmt::Display for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for step in &self.steps {
+            let locs: Vec<String> = step
+                .state
+                .locs
+                .iter()
+                .map(|l| l.index().to_string())
+                .collect();
+            match &step.action {
+                None => writeln!(f, "({})", locs.join(", "))?,
+                Some(action) => writeln!(f, "  --{action}--> ({})", locs.join(", "))?,
+            }
+        }
+        Ok(())
     }
 }
 

@@ -84,6 +84,45 @@ impl Strategy {
     pub fn is_winning(&self, state: &DigitalState) -> bool {
         self.moves.contains_key(&self.key(state))
     }
+
+    /// Iterates over the `(state, prescription)` table. States are keyed
+    /// in the strategy's own clock space (see [`Strategy::projection`]).
+    pub fn prescriptions(&self) -> impl Iterator<Item = (&DigitalState, &StrategyMove)> {
+        self.moves.iter()
+    }
+
+    /// Original clock indices of the kept clocks when the game was
+    /// solved on a reduced network; `None` when states use the full
+    /// clock space.
+    #[must_use]
+    pub fn projection(&self) -> Option<&[usize]> {
+        self.proj.as_deref()
+    }
+}
+
+/// Lists every prescription, one `state -> move` line, sorted for a
+/// deterministic rendering of the underlying hash map.
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut entries: Vec<String> = self
+            .moves
+            .iter()
+            .map(|(s, m)| {
+                let locs: Vec<String> = s.locs.iter().map(|l| l.index().to_string()).collect();
+                let mv = match m {
+                    StrategyMove::Wait => "wait".to_owned(),
+                    StrategyMove::Act(m) => m.label.clone(),
+                };
+                format!("({}) {:?} -> {mv}", locs.join(", "), s.clocks)
+            })
+            .collect();
+        entries.sort_unstable();
+        writeln!(f, "strategy over {} states", entries.len())?;
+        for e in entries {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
 }
 
 /// Result of a game solution.
@@ -267,6 +306,7 @@ impl<'n> GameSolver<'n> {
             dbm_dim: dim as u64,
             dbm_dim_model: self.exp.network().dim() as u64,
             wall_time: gov.elapsed(),
+            ..RunReport::default()
         }
     }
 

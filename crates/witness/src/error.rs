@@ -1,0 +1,192 @@
+//! Typed errors for realization, validation and certificate parsing.
+//!
+//! Every rejection carries enough structure for a test (or a caller) to
+//! distinguish *which* semantic rule a mutated certificate broke, rather
+//! than a free-form message: a wrong delay, a wrong cost sum and an
+//! incomplete strategy all fail with different variants.
+
+use std::fmt;
+
+/// A typed rejection from the witness subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WitnessError {
+    /// The certificate text could not be parsed (line number, detail).
+    Format {
+        /// 1-based line of the offending text.
+        line: usize,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The certificate is structurally inconsistent with the network
+    /// (index out of range, wrong clock count, bad denominator, ...).
+    Malformed(String),
+    /// The recorded initial state is not the network's initial state.
+    WrongInitialState,
+    /// A step's delay is negative or fractional where integers are
+    /// required.
+    WrongDelay {
+        /// Index of the offending step.
+        step: usize,
+    },
+    /// A delay was taken in a state where time cannot elapse (urgent or
+    /// committed location, or an enabled urgent synchronization).
+    DelayForbidden {
+        /// Index of the offending step.
+        step: usize,
+    },
+    /// A location invariant is violated after the step's delay or after
+    /// firing its action.
+    InvariantViolated {
+        /// Index of the offending step.
+        step: usize,
+        /// Index of the automaton whose invariant broke.
+        automaton: usize,
+    },
+    /// A participating edge's clock or data guard does not hold.
+    GuardUnsatisfied {
+        /// Index of the offending step.
+        step: usize,
+        /// Index of the participating automaton.
+        automaton: usize,
+    },
+    /// The recorded participants do not form a legal joint move
+    /// (synchronization structure, committed priority, broadcast
+    /// maximality, or no such edge).
+    IllegalMove {
+        /// Index of the offending step.
+        step: usize,
+        /// Which rule was broken.
+        reason: String,
+    },
+    /// Re-executing the step does not reproduce the recorded successor
+    /// state.
+    StateMismatch {
+        /// Index of the offending step.
+        step: usize,
+    },
+    /// The final state of the trace does not satisfy the goal property.
+    GoalNotSatisfied,
+    /// A step's recorded cost differs from the recomputed cost (CORA).
+    CostMismatch {
+        /// Index of the offending step, or `usize::MAX` for the total.
+        step: usize,
+        /// Cost recorded in the certificate.
+        recorded: i64,
+        /// Cost recomputed by the validator.
+        recomputed: i64,
+    },
+    /// The closed loop reaches a state the strategy does not cover
+    /// (TIGA).
+    StrategyIncomplete {
+        /// Human-readable rendering of the uncovered state.
+        state: String,
+    },
+    /// A prescribed move is not enabled (or not controllable) in its
+    /// state (TIGA).
+    PrescriptionUnsound {
+        /// Human-readable rendering of the state.
+        state: String,
+        /// Which rule was broken.
+        reason: String,
+    },
+    /// The closed loop can avoid the reachability goal forever (a cycle
+    /// or dead end without the goal).
+    GoalAvoidable {
+        /// Human-readable rendering of the witness state.
+        state: String,
+    },
+    /// The closed loop reaches a bad state in a safety game.
+    BadStateReached {
+        /// Human-readable rendering of the bad state.
+        state: String,
+    },
+    /// The scheduler's induced Markov chain disagrees with the reported
+    /// value by more than epsilon (MDP/mcpta).
+    ValueMismatch {
+        /// Probability reported by the engine.
+        reported: f64,
+        /// Probability recomputed from the induced chain.
+        recomputed: f64,
+        /// Tolerance that was exceeded.
+        epsilon: f64,
+    },
+    /// The symbolic trace could not be realized as a concrete run.
+    Unrealizable {
+        /// Index of the step at which realization failed.
+        step: usize,
+        /// Why.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WitnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WitnessError::Format { line, detail } => {
+                write!(f, "certificate parse error at line {line}: {detail}")
+            }
+            WitnessError::Malformed(d) => write!(f, "malformed certificate: {d}"),
+            WitnessError::WrongInitialState => {
+                write!(f, "recorded initial state is not the network's")
+            }
+            WitnessError::WrongDelay { step } => write!(f, "step {step}: invalid delay"),
+            WitnessError::DelayForbidden { step } => {
+                write!(f, "step {step}: delay taken where time cannot elapse")
+            }
+            WitnessError::InvariantViolated { step, automaton } => {
+                write!(f, "step {step}: invariant of automaton {automaton} violated")
+            }
+            WitnessError::GuardUnsatisfied { step, automaton } => {
+                write!(f, "step {step}: guard of automaton {automaton} unsatisfied")
+            }
+            WitnessError::IllegalMove { step, reason } => {
+                write!(f, "step {step}: illegal joint move ({reason})")
+            }
+            WitnessError::StateMismatch { step } => {
+                write!(f, "step {step}: replay diverges from the recorded state")
+            }
+            WitnessError::GoalNotSatisfied => {
+                write!(f, "final state does not satisfy the goal property")
+            }
+            WitnessError::CostMismatch {
+                step,
+                recorded,
+                recomputed,
+            } => {
+                if *step == usize::MAX {
+                    write!(f, "total cost {recorded} != recomputed {recomputed}")
+                } else {
+                    write!(
+                        f,
+                        "step {step}: recorded cost {recorded} != recomputed {recomputed}"
+                    )
+                }
+            }
+            WitnessError::StrategyIncomplete { state } => {
+                write!(f, "strategy covers no prescription for {state}")
+            }
+            WitnessError::PrescriptionUnsound { state, reason } => {
+                write!(f, "prescription unsound in {state}: {reason}")
+            }
+            WitnessError::GoalAvoidable { state } => {
+                write!(f, "environment can avoid the goal from {state}")
+            }
+            WitnessError::BadStateReached { state } => {
+                write!(f, "closed loop reaches bad state {state}")
+            }
+            WitnessError::ValueMismatch {
+                reported,
+                recomputed,
+                epsilon,
+            } => write!(
+                f,
+                "scheduler value {recomputed} differs from reported {reported} by more than {epsilon}"
+            ),
+            WitnessError::Unrealizable { step, reason } => {
+                write!(f, "trace unrealizable at step {step}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WitnessError {}

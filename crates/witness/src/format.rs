@@ -1,0 +1,583 @@
+//! A std-only, line-oriented text format for certificates.
+//!
+//! Every certificate starts with the header `tempo-witness v1 <kind>`
+//! (`trace`, `cost`, `strategy`, `scheduler` or `runs`) followed by
+//! kind-specific keyword lines. All numbers are plain decimal tokens;
+//! floats use Rust's shortest round-trip rendering, so
+//! `parse(render(c))` reproduces `c` exactly. Blank lines and leading
+//! whitespace are ignored. Parse failures return
+//! [`WitnessError::Format`] with the 1-based line number.
+//!
+//! ```text
+//! tempo-witness v1 trace
+//! semantics symbolic
+//! denom 3
+//! initial locs 0 1 ; store 2 ; clocks 0 0 0
+//! step 0
+//! delay 3
+//! action tau 0:1
+//! state locs 0 2 ; store 2 ; clocks 0 3 0
+//! ```
+
+use std::fmt::Write as _;
+
+use tempo_expr::Store;
+use tempo_smc::{ConcreteState as SmcState, Run, RunStep};
+use tempo_ta::{LocationId, Network};
+
+use crate::certify::{
+    Certificate, CostCertificate, GameObjective, RunCertificate, SchedulerCertificate,
+    StrategyCertificate, TraceCertificate,
+};
+use crate::error::WitnessError;
+use crate::semantics::store_from_values;
+use crate::trace::{ConcreteState, ConcreteStep, ConcreteTrace, JointAction, TraceSemantics};
+
+/// Renders a certificate in the v1 text format.
+#[must_use]
+pub fn render(cert: &Certificate) -> String {
+    let mut out = String::new();
+    match cert {
+        Certificate::Trace(c) => render_trace_body(&mut out, "trace", &c.trace, None),
+        Certificate::Cost(c) => {
+            render_trace_body(&mut out, "cost", &c.trace, Some(&c.step_costs));
+            let _ = writeln!(out, "total {}", c.total);
+        }
+        Certificate::Strategy(c) => {
+            let _ = writeln!(out, "tempo-witness v1 strategy");
+            let obj = match c.objective {
+                GameObjective::Reach => "reach",
+                GameObjective::Avoid => "avoid",
+            };
+            let _ = writeln!(out, "objective {obj}");
+            for (state, prescription) in &c.prescriptions {
+                let _ = writeln!(out, "state {}", fmt_state(state));
+                match prescription {
+                    None => {
+                        let _ = writeln!(out, "wait");
+                    }
+                    Some(a) => {
+                        let _ = writeln!(out, "act {}", fmt_action(a));
+                    }
+                }
+            }
+        }
+        Certificate::Scheduler(c) => {
+            let _ = writeln!(out, "tempo-witness v1 scheduler");
+            let opt = match c.opt {
+                tempo_mdp::Opt::Max => "max",
+                tempo_mdp::Opt::Min => "min",
+            };
+            let _ = writeln!(out, "opt {opt}");
+            let _ = writeln!(out, "value {:?}", c.value);
+            let _ = writeln!(out, "epsilon {:?}", c.epsilon);
+            let _ = write!(out, "choices");
+            for choice in &c.choices {
+                match choice {
+                    None => out.push_str(" -"),
+                    Some(i) => {
+                        let _ = write!(out, " {i}");
+                    }
+                }
+            }
+            out.push('\n');
+            let _ = write!(out, "goal");
+            for &g in &c.goal {
+                let _ = write!(out, " {}", u8::from(g));
+            }
+            out.push('\n');
+        }
+        Certificate::Runs(c) => {
+            let _ = writeln!(out, "tempo-witness v1 runs");
+            for (i, run) in c.runs.iter().enumerate() {
+                let tag = if run.deadlocked { "deadlocked" } else { "ok" };
+                let _ = writeln!(out, "run {i} {tag}");
+                let _ = writeln!(out, "initial {}", fmt_f64_state(&run.initial));
+                for step in &run.steps {
+                    let _ = writeln!(out, "step {:?} {}", step.delay, step.label);
+                    let _ = writeln!(out, "state {}", fmt_f64_state(&step.state));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parses a certificate from the v1 text format. The network is needed
+/// to rebuild variable stores for stochastic (`runs`) certificates; the
+/// other kinds only validate against it at `validate` time.
+///
+/// # Errors
+///
+/// [`WitnessError::Format`] with the offending 1-based line.
+pub fn parse(net: &Network, text: &str) -> Result<Certificate, WitnessError> {
+    let mut lines = Lines::new(text);
+    let (line, header) = lines.next_line("certificate header")?;
+    let tokens: Vec<&str> = header.split_whitespace().collect();
+    if tokens.len() != 3 || tokens[0] != "tempo-witness" || tokens[1] != "v1" {
+        return Err(fail(line, "expected header `tempo-witness v1 <kind>`"));
+    }
+    match tokens[2] {
+        "trace" => {
+            let (trace, _) = parse_trace_body(&mut lines, false)?;
+            lines.expect_end()?;
+            Ok(Certificate::Trace(TraceCertificate { trace }))
+        }
+        "cost" => {
+            let (trace, step_costs) = parse_trace_body(&mut lines, true)?;
+            let (line, rest) = lines.expect_keyword("total")?;
+            let total = parse_int(line, rest.trim())?;
+            lines.expect_end()?;
+            Ok(Certificate::Cost(CostCertificate {
+                trace,
+                step_costs,
+                total,
+            }))
+        }
+        "strategy" => parse_strategy(&mut lines).map(Certificate::Strategy),
+        "scheduler" => parse_scheduler(&mut lines).map(Certificate::Scheduler),
+        "runs" => parse_runs(&mut lines, net).map(Certificate::Runs),
+        kind => Err(fail(line, &format!("unknown certificate kind `{kind}`"))),
+    }
+}
+
+fn fmt_state(s: &ConcreteState) -> String {
+    let mut out = String::from("locs");
+    for &l in &s.locs {
+        let _ = write!(out, " {l}");
+    }
+    out.push_str(" ; store");
+    for &v in &s.store {
+        let _ = write!(out, " {v}");
+    }
+    out.push_str(" ; clocks");
+    for &c in &s.clocks {
+        let _ = write!(out, " {c}");
+    }
+    out
+}
+
+fn fmt_f64_state(s: &SmcState) -> String {
+    let mut out = String::from("locs");
+    for &l in &s.locs {
+        let _ = write!(out, " {}", l.index());
+    }
+    out.push_str(" ; store");
+    for &v in s.store.as_slice() {
+        let _ = write!(out, " {v}");
+    }
+    out.push_str(" ; clocks");
+    for &c in &s.clocks {
+        let _ = write!(out, " {c:?}");
+    }
+    let _ = write!(out, " ; time {:?}", s.time);
+    out
+}
+
+fn fmt_action(a: &JointAction) -> String {
+    let mut out = a.label.clone();
+    for (ai, ei, sel) in &a.participants {
+        let _ = write!(out, " {ai}:{ei}");
+        for (k, v) in sel.iter().enumerate() {
+            out.push(if k == 0 { ':' } else { ',' });
+            let _ = write!(out, "{v}");
+        }
+    }
+    out
+}
+
+fn render_trace_body(out: &mut String, kind: &str, trace: &ConcreteTrace, costs: Option<&[i64]>) {
+    let _ = writeln!(out, "tempo-witness v1 {kind}");
+    let sem = match trace.semantics {
+        TraceSemantics::Symbolic => "symbolic",
+        TraceSemantics::Digital => "digital",
+    };
+    let _ = writeln!(out, "semantics {sem}");
+    let _ = writeln!(out, "denom {}", trace.denom);
+    let _ = writeln!(out, "initial {}", fmt_state(&trace.initial));
+    for (i, step) in trace.steps.iter().enumerate() {
+        let _ = writeln!(out, "step {i}");
+        let _ = writeln!(out, "delay {}", step.delay);
+        if let Some(a) = &step.action {
+            let _ = writeln!(out, "action {}", fmt_action(a));
+        }
+        let _ = writeln!(out, "state {}", fmt_state(&step.state));
+        if let Some(costs) = costs {
+            let _ = writeln!(out, "cost {}", costs.get(i).copied().unwrap_or(0));
+        }
+    }
+}
+
+/// Line cursor: skips blank lines, tracks 1-based numbers.
+struct Lines<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn new(text: &'a str) -> Self {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Lines { lines, pos: 0 }
+    }
+
+    /// The next non-blank line, or a format error naming what was
+    /// expected.
+    fn next_line(&mut self, expected: &str) -> Result<(usize, &'a str), WitnessError> {
+        let Some(&(n, l)) = self.lines.get(self.pos) else {
+            let last = self.lines.last().map_or(1, |&(n, _)| n + 1);
+            return Err(fail(
+                last,
+                &format!("unexpected end of input, expected {expected}"),
+            ));
+        };
+        self.pos += 1;
+        Ok((n, l))
+    }
+
+    /// Peeks at the next line's first token without consuming it.
+    fn peek_keyword(&self) -> Option<&'a str> {
+        self.lines
+            .get(self.pos)
+            .and_then(|&(_, l)| l.split_whitespace().next())
+    }
+
+    /// Consumes a line that must start with `keyword`; returns the rest.
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(usize, &'a str), WitnessError> {
+        let (n, l) = self.next_line(&format!("`{keyword} ...`"))?;
+        l.strip_prefix(keyword)
+            .filter(|rest| rest.is_empty() || rest.starts_with(char::is_whitespace))
+            .map(|rest| (n, rest))
+            .ok_or_else(|| fail(n, &format!("expected `{keyword} ...`, found `{l}`")))
+    }
+
+    fn expect_end(&mut self) -> Result<(), WitnessError> {
+        if let Some(&(n, l)) = self.lines.get(self.pos) {
+            return Err(fail(n, &format!("trailing content `{l}`")));
+        }
+        Ok(())
+    }
+}
+
+fn fail(line: usize, detail: &str) -> WitnessError {
+    WitnessError::Format {
+        line,
+        detail: detail.to_owned(),
+    }
+}
+
+fn parse_int(line: usize, tok: &str) -> Result<i64, WitnessError> {
+    tok.parse()
+        .map_err(|_| fail(line, &format!("expected an integer, found `{tok}`")))
+}
+
+fn parse_f64(line: usize, tok: &str) -> Result<f64, WitnessError> {
+    tok.parse()
+        .map_err(|_| fail(line, &format!("expected a number, found `{tok}`")))
+}
+
+/// Parses `locs .. ; store .. ; clocks ..` into integer sections.
+fn parse_sections<'a>(
+    line: usize,
+    rest: &'a str,
+    names: &[&str],
+) -> Result<Vec<Vec<&'a str>>, WitnessError> {
+    let mut sections = Vec::new();
+    for (i, part) in rest.split(';').enumerate() {
+        let mut toks = part.split_whitespace();
+        let Some(name) = toks.next() else {
+            return Err(fail(line, "empty state section"));
+        };
+        if names.get(i) != Some(&name) {
+            return Err(fail(
+                line,
+                &format!(
+                    "expected section `{}`, found `{name}`",
+                    names.get(i).unwrap_or(&"?")
+                ),
+            ));
+        }
+        sections.push(toks.collect());
+    }
+    if sections.len() != names.len() {
+        return Err(fail(
+            line,
+            &format!(
+                "expected {} state sections, found {}",
+                names.len(),
+                sections.len()
+            ),
+        ));
+    }
+    Ok(sections)
+}
+
+fn parse_state(line: usize, rest: &str) -> Result<ConcreteState, WitnessError> {
+    let sections = parse_sections(line, rest, &["locs", "store", "clocks"])?;
+    let ints = |toks: &[&str]| -> Result<Vec<i64>, WitnessError> {
+        toks.iter().map(|t| parse_int(line, t)).collect()
+    };
+    let locs = sections[0]
+        .iter()
+        .map(|t| {
+            parse_int(line, t)
+                .and_then(|v| usize::try_from(v).map_err(|_| fail(line, "negative location index")))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(ConcreteState {
+        locs,
+        store: ints(&sections[1])?,
+        clocks: ints(&sections[2])?,
+    })
+}
+
+fn parse_action(line: usize, rest: &str) -> Result<JointAction, WitnessError> {
+    let mut toks = rest.split_whitespace();
+    let Some(label) = toks.next() else {
+        return Err(fail(line, "action needs a label"));
+    };
+    let mut participants = Vec::new();
+    for tok in toks {
+        let mut fields = tok.splitn(3, ':');
+        let ai = fields
+            .next()
+            .and_then(|t| t.parse::<usize>().ok())
+            .ok_or_else(|| fail(line, &format!("bad participant `{tok}`")))?;
+        let ei = fields
+            .next()
+            .and_then(|t| t.parse::<usize>().ok())
+            .ok_or_else(|| fail(line, &format!("bad participant `{tok}`")))?;
+        let sel = match fields.next() {
+            None => Vec::new(),
+            Some(s) => s
+                .split(',')
+                .map(|v| parse_int(line, v))
+                .collect::<Result<_, _>>()?,
+        };
+        participants.push((ai, ei, sel));
+    }
+    if participants.is_empty() {
+        return Err(fail(line, "action needs at least one participant"));
+    }
+    Ok(JointAction {
+        label: label.to_owned(),
+        participants,
+    })
+}
+
+fn parse_trace_body(
+    lines: &mut Lines<'_>,
+    with_costs: bool,
+) -> Result<(ConcreteTrace, Vec<i64>), WitnessError> {
+    let (line, rest) = lines.expect_keyword("semantics")?;
+    let semantics = match rest.trim() {
+        "symbolic" => TraceSemantics::Symbolic,
+        "digital" => TraceSemantics::Digital,
+        other => return Err(fail(line, &format!("unknown semantics `{other}`"))),
+    };
+    let (line, rest) = lines.expect_keyword("denom")?;
+    let denom = parse_int(line, rest.trim())?;
+    let (line, rest) = lines.expect_keyword("initial")?;
+    let initial = parse_state(line, rest)?;
+    let mut steps = Vec::new();
+    let mut costs = Vec::new();
+    while lines.peek_keyword() == Some("step") {
+        let (line, rest) = lines.expect_keyword("step")?;
+        let idx = parse_int(line, rest.trim())?;
+        if idx != steps.len() as i64 {
+            return Err(fail(
+                line,
+                &format!("expected step {}, found {idx}", steps.len()),
+            ));
+        }
+        let (line, rest) = lines.expect_keyword("delay")?;
+        let delay = parse_int(line, rest.trim())?;
+        let action = if lines.peek_keyword() == Some("action") {
+            let (line, rest) = lines.expect_keyword("action")?;
+            Some(parse_action(line, rest)?)
+        } else {
+            None
+        };
+        let (line, rest) = lines.expect_keyword("state")?;
+        let state = parse_state(line, rest)?;
+        if with_costs {
+            let (line, rest) = lines.expect_keyword("cost")?;
+            costs.push(parse_int(line, rest.trim())?);
+        }
+        steps.push(ConcreteStep {
+            delay,
+            action,
+            state,
+        });
+    }
+    Ok((
+        ConcreteTrace {
+            semantics,
+            denom,
+            initial,
+            steps,
+        },
+        costs,
+    ))
+}
+
+fn parse_strategy(lines: &mut Lines<'_>) -> Result<StrategyCertificate, WitnessError> {
+    let (line, rest) = lines.expect_keyword("objective")?;
+    let objective = match rest.trim() {
+        "reach" => GameObjective::Reach,
+        "avoid" => GameObjective::Avoid,
+        other => return Err(fail(line, &format!("unknown objective `{other}`"))),
+    };
+    let mut prescriptions = Vec::new();
+    while lines.peek_keyword() == Some("state") {
+        let (line, rest) = lines.expect_keyword("state")?;
+        let state = parse_state(line, rest)?;
+        let (line, l) = lines.next_line("`wait` or `act ...`")?;
+        let prescription = if l == "wait" {
+            None
+        } else if let Some(rest) = l.strip_prefix("act") {
+            Some(parse_action(line, rest)?)
+        } else {
+            return Err(fail(
+                line,
+                &format!("expected `wait` or `act ...`, found `{l}`"),
+            ));
+        };
+        prescriptions.push((state, prescription));
+    }
+    lines.expect_end()?;
+    Ok(StrategyCertificate {
+        objective,
+        prescriptions,
+    })
+}
+
+fn parse_scheduler(lines: &mut Lines<'_>) -> Result<SchedulerCertificate, WitnessError> {
+    let (line, rest) = lines.expect_keyword("opt")?;
+    let opt = match rest.trim() {
+        "max" => tempo_mdp::Opt::Max,
+        "min" => tempo_mdp::Opt::Min,
+        other => return Err(fail(line, &format!("unknown direction `{other}`"))),
+    };
+    let (line, rest) = lines.expect_keyword("value")?;
+    let value = parse_f64(line, rest.trim())?;
+    let (line, rest) = lines.expect_keyword("epsilon")?;
+    let epsilon = parse_f64(line, rest.trim())?;
+    let (line, rest) = lines.expect_keyword("choices")?;
+    let choices = rest
+        .split_whitespace()
+        .map(|t| {
+            if t == "-" {
+                Ok(None)
+            } else {
+                t.parse::<usize>()
+                    .map(Some)
+                    .map_err(|_| fail(line, &format!("bad choice `{t}`")))
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    let (line, rest) = lines.expect_keyword("goal")?;
+    let goal = rest
+        .split_whitespace()
+        .map(|t| match t {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            other => Err(fail(line, &format!("bad goal flag `{other}`"))),
+        })
+        .collect::<Result<_, _>>()?;
+    lines.expect_end()?;
+    Ok(SchedulerCertificate {
+        opt,
+        value,
+        epsilon,
+        choices,
+        goal,
+    })
+}
+
+fn parse_f64_state(line: usize, rest: &str, net: &Network) -> Result<SmcState, WitnessError> {
+    let sections = parse_sections(line, rest, &["locs", "store", "clocks", "time"])?;
+    let locs: Vec<LocationId> = sections[0]
+        .iter()
+        .map(|t| {
+            t.parse::<usize>()
+                .map(LocationId)
+                .map_err(|_| fail(line, &format!("bad location `{t}`")))
+        })
+        .collect::<Result<_, _>>()?;
+    let values: Vec<i64> = sections[1]
+        .iter()
+        .map(|t| parse_int(line, t))
+        .collect::<Result<_, _>>()?;
+    let store: Store = store_from_values(net, &values).map_err(|e| fail(line, &e.to_string()))?;
+    let clocks: Vec<f64> = sections[2]
+        .iter()
+        .map(|t| parse_f64(line, t))
+        .collect::<Result<_, _>>()?;
+    let [time] = sections[3][..] else {
+        return Err(fail(line, "expected exactly one time value"));
+    };
+    Ok(SmcState {
+        locs,
+        store,
+        clocks,
+        time: parse_f64(line, time)?,
+    })
+}
+
+fn parse_runs(lines: &mut Lines<'_>, net: &Network) -> Result<RunCertificate, WitnessError> {
+    let mut runs = Vec::new();
+    while lines.peek_keyword() == Some("run") {
+        let (line, rest) = lines.expect_keyword("run")?;
+        let mut toks = rest.split_whitespace();
+        let idx: usize = toks
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| fail(line, "run needs an index"))?;
+        if idx != runs.len() {
+            return Err(fail(
+                line,
+                &format!("expected run {}, found {idx}", runs.len()),
+            ));
+        }
+        let deadlocked = match toks.next() {
+            Some("deadlocked") => true,
+            Some("ok") => false,
+            _ => return Err(fail(line, "expected `deadlocked` or `ok`")),
+        };
+        let (line, rest) = lines.expect_keyword("initial")?;
+        let initial = parse_f64_state(line, rest, net)?;
+        let mut steps = Vec::new();
+        while lines.peek_keyword() == Some("step") {
+            let (line, rest) = lines.expect_keyword("step")?;
+            let mut toks = rest.split_whitespace();
+            let delay = toks
+                .next()
+                .map(|t| parse_f64(line, t))
+                .transpose()?
+                .ok_or_else(|| fail(line, "step needs a delay"))?;
+            let label = toks
+                .next()
+                .ok_or_else(|| fail(line, "step needs a label"))?
+                .to_owned();
+            let (line, rest) = lines.expect_keyword("state")?;
+            let state = parse_f64_state(line, rest, net)?;
+            steps.push(RunStep {
+                delay,
+                label,
+                state,
+            });
+        }
+        runs.push(Run {
+            initial,
+            steps,
+            deadlocked,
+        });
+    }
+    lines.expect_end()?;
+    Ok(RunCertificate { runs })
+}

@@ -1,0 +1,476 @@
+//! Concrete trace realization: turning a symbolic zone [`Trace`] into a
+//! fully explicit [`ConcreteTrace`] with exact rational delays.
+//!
+//! A symbolic trace records, per step, the discrete configuration and a
+//! (possibly extrapolated) clock zone; it never commits to concrete
+//! delays. Realization recomputes the *exact* zones along the trace,
+//! propagates the goal constraint backwards to learn where each step
+//! must land, and then walks forward choosing one integer-scaled delay
+//! per step. All arithmetic is exact: clock values are integers over
+//! the denominator `net.dim()`, which is enough to hit every nonempty
+//! DBM zone (the zone's vertices are integral; its open faces admit
+//! points at that granularity).
+//!
+//! The search is a small DFS: a recorded action (or, for liveness
+//! traces, a recorded discrete successor) may be produced by several
+//! joint moves or select bindings, and the goal federation may have
+//! several pieces; the realizer backtracks over these until one choice
+//! realizes, and reports [`WitnessError::Unrealizable`] only when none
+//! does.
+
+use crate::error::WitnessError;
+use crate::semantics::{RState, Replayer};
+use crate::trace::{ConcreteState, ConcreteStep, ConcreteTrace, JointAction, TraceSemantics};
+use tempo_dbm::{Bound, Clock, Dbm};
+use tempo_expr::Store;
+use tempo_ta::{Action, ClockAtom, LocationId, Network, StateFormula, SymState, Trace};
+
+/// One chosen transition of the realization: the concrete joint move
+/// (`None` for a pure delay step — liveness lassos close through time
+/// elapse), its flattened resets (application order, values already
+/// evaluated over the evolving store) and the clock guards it must pass.
+struct Leg {
+    action: Option<JointAction>,
+    resets: Vec<(Clock, i64)>,
+    guards: Vec<ClockAtom>,
+}
+
+/// Discrete effect of a joint move: successor locations and store, plus
+/// the flattened reset list in application order.
+type DiscreteEffect = (Vec<LocationId>, Store, Vec<(Clock, i64)>);
+
+/// Realizes a symbolic trace as a concrete timed run whose final state
+/// satisfies `goal`. The result is guaranteed to pass
+/// [`crate::validate::replay`] (it is replayed before being returned).
+///
+/// # Errors
+///
+/// [`WitnessError::Malformed`] if the trace is empty or does not start
+/// in the network's initial configuration, and
+/// [`WitnessError::Unrealizable`] if no concrete run matches the
+/// symbolic steps (e.g. the trace only exists under extrapolation).
+pub fn realize(
+    net: &Network,
+    trace: &Trace,
+    goal: &StateFormula,
+) -> Result<ConcreteTrace, WitnessError> {
+    let Some(first) = trace.steps.first() else {
+        return Err(WitnessError::Malformed("empty symbolic trace".to_owned()));
+    };
+    let initial_ok = first
+        .state
+        .locs
+        .iter()
+        .zip(net.automata())
+        .all(|(&l, a)| l == a.initial)
+        && first.state.store.as_slice() == net.decls().initial_store().as_slice();
+    if !initial_ok {
+        return Err(WitnessError::WrongInitialState);
+    }
+    let ctx = Ctx {
+        net,
+        r: Replayer::data_only(net),
+        steps: &trace.steps,
+        goal,
+        denom: net.dim().max(1) as i64,
+    };
+    let mut zones = vec![ctx.exact_initial_zone(&first.state)];
+    let mut legs = Vec::new();
+    let result = ctx.search(0, &mut zones, &mut legs);
+    match result {
+        Some(concrete) => {
+            // Safety net: the realizer's output must satisfy its own
+            // independent validator before anyone else sees it.
+            crate::validate::replay(net, &concrete, Some(goal))?;
+            Ok(concrete)
+        }
+        None => Err(WitnessError::Unrealizable {
+            step: trace.len(),
+            reason: "no concrete run matches the symbolic steps and goal".to_owned(),
+        }),
+    }
+}
+
+struct Ctx<'n> {
+    net: &'n Network,
+    r: Replayer<'n>,
+    steps: &'n [tempo_ta::TraceStep],
+    goal: &'n StateFormula,
+    denom: i64,
+}
+
+impl Ctx<'_> {
+    fn probe(&self, s: &SymState) -> RState {
+        RState {
+            locs: s.locs.clone(),
+            store: s.store.clone(),
+            clocks: vec![0; self.net.dim()],
+        }
+    }
+
+    fn can_delay(&self, s: &SymState) -> bool {
+        self.r.can_delay(&self.probe(s))
+    }
+
+    fn invariant_atoms(&self, locs: &[LocationId]) -> Vec<ClockAtom> {
+        self.net
+            .automata()
+            .iter()
+            .zip(locs)
+            .flat_map(|(a, &l)| a.locations[l.index()].invariant.iter().copied())
+            .collect()
+    }
+
+    /// The exact (unextrapolated) initial zone: the origin, delayed under
+    /// the invariant when the initial configuration admits delay.
+    fn exact_initial_zone(&self, s: &SymState) -> Dbm {
+        let mut z = Dbm::zero(self.net.dim());
+        for atom in self.invariant_atoms(&s.locs) {
+            z.constrain(atom.i, atom.j, atom.bound);
+        }
+        if self.can_delay(s) {
+            z.up();
+            for atom in self.invariant_atoms(&s.locs) {
+                z.constrain(atom.i, atom.j, atom.bound);
+            }
+        }
+        z
+    }
+
+    /// Evaluates the discrete effect of a candidate move: successor
+    /// locations and store, plus the flattened reset list (application
+    /// order, concrete values). `None` if a reset is negative or an
+    /// update fails.
+    fn discrete_apply(
+        &self,
+        locs: &[LocationId],
+        store: &Store,
+        participants: &[(usize, usize, Vec<i64>)],
+    ) -> Option<DiscreteEffect> {
+        let decls = self.net.decls();
+        let mut locs = locs.to_vec();
+        let mut store = store.clone();
+        let mut resets = Vec::new();
+        for &(ai, ei, ref sel) in participants {
+            let e = &self.net.automata()[ai].edges[ei];
+            for (clock, value) in &e.resets {
+                let v = value.eval(decls, &store, sel).ok()?;
+                if v < 0 {
+                    return None;
+                }
+                resets.push((*clock, v));
+            }
+            e.update.execute(decls, &mut store, sel).ok()?;
+            locs[ai] = e.to;
+        }
+        Some((locs, store, resets))
+    }
+
+    /// Whether a candidate joint move corresponds to the recorded action.
+    fn action_matches(recorded: &Action, cand: &JointAction) -> bool {
+        match recorded {
+            Action::Internal { automaton, edge } => {
+                cand.participants.len() == 1
+                    && cand.participants[0].0 == automaton.index()
+                    && cand.participants[0].1 == *edge
+            }
+            Action::Sync {
+                sender, receivers, ..
+            } => {
+                cand.participants.len() == receivers.len() + 1
+                    && cand.participants[0].0 == sender.0.index()
+                    && cand.participants[0].1 == sender.1
+                    && receivers
+                        .iter()
+                        .zip(&cand.participants[1..])
+                        .all(|(rec, p)| p.0 == rec.0.index() && p.1 == rec.1)
+            }
+        }
+    }
+
+    /// DFS over candidate moves for step `idx -> idx+1`; at the last
+    /// state, tries each piece of the goal federation.
+    fn search(
+        &self,
+        idx: usize,
+        zones: &mut Vec<Dbm>,
+        legs: &mut Vec<Leg>,
+    ) -> Option<ConcreteTrace> {
+        if idx + 1 == self.steps.len() {
+            return self.finalize(zones, legs);
+        }
+        let here = &self.steps[idx].state;
+        let next = &self.steps[idx + 1];
+        let next_delays = self.can_delay(&next.state);
+        // A recorded stutter (same locations and store, no action) is a
+        // pure delay step: liveness lassos close through time elapse.
+        if next.action.is_none()
+            && here.locs == next.state.locs
+            && here.store.as_slice() == next.state.store.as_slice()
+        {
+            zones.push(zones[idx].clone());
+            legs.push(Leg {
+                action: None,
+                resets: Vec::new(),
+                guards: Vec::new(),
+            });
+            if let Some(found) = self.search(idx + 1, zones, legs) {
+                return Some(found);
+            }
+            zones.pop();
+            legs.pop();
+        }
+        for (cand, _) in self.r.enumerate_moves(&self.probe(here)) {
+            if let Some(recorded) = &next.action {
+                if !Self::action_matches(recorded, &cand) {
+                    continue;
+                }
+            }
+            let Some((locs2, store2, resets)) =
+                self.discrete_apply(&here.locs, &here.store, &cand.participants)
+            else {
+                continue;
+            };
+            if locs2 != next.state.locs || store2.as_slice() != next.state.store.as_slice() {
+                continue;
+            }
+            // Exact successor zone: guards, resets, target invariant,
+            // then delay closure when the successor admits delay.
+            let guards: Vec<ClockAtom> = cand
+                .participants
+                .iter()
+                .flat_map(|&(ai, ei, _)| {
+                    self.net.automata()[ai].edges[ei]
+                        .guard_clocks
+                        .iter()
+                        .copied()
+                })
+                .collect();
+            let mut z = zones[idx].clone();
+            if !guards.iter().all(|a| z.constrain(a.i, a.j, a.bound)) {
+                continue;
+            }
+            for &(c, v) in &resets {
+                z.reset(c, v);
+            }
+            let inv = self.invariant_atoms(&locs2);
+            if !inv.iter().all(|a| z.constrain(a.i, a.j, a.bound)) {
+                continue;
+            }
+            if next_delays {
+                z.up();
+                if !inv.iter().all(|a| z.constrain(a.i, a.j, a.bound)) {
+                    continue;
+                }
+            }
+            zones.push(z);
+            legs.push(Leg {
+                action: Some(cand),
+                resets,
+                guards,
+            });
+            if let Some(found) = self.search(idx + 1, zones, legs) {
+                return Some(found);
+            }
+            zones.pop();
+            legs.pop();
+        }
+        None
+    }
+
+    /// With a complete candidate sequence in hand, tries each goal piece:
+    /// backward constraint propagation, then forward delay picking.
+    fn finalize(&self, zones: &[Dbm], legs: &[Leg]) -> Option<ConcreteTrace> {
+        let last = self.steps.last().expect("non-empty trace");
+        let sym = SymState {
+            locs: last.state.locs.clone(),
+            store: last.state.store.clone(),
+            zone: zones.last().expect("one zone per state").clone(),
+        };
+        let fed = self.goal.sat_federation(self.net, &sym);
+        for g in fed.zones() {
+            if let Some(t) = self.attempt(zones, legs, g) {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn attempt(&self, zones: &[Dbm], legs: &[Leg], goal_zone: &Dbm) -> Option<ConcreteTrace> {
+        let n = legs.len();
+        let delays: Vec<bool> = self
+            .steps
+            .iter()
+            .map(|s| self.can_delay(&s.state))
+            .collect();
+        // Backward pass: X_i = the subset of state i's zone from which
+        // the remaining steps can still reach the goal piece. W_i is the
+        // post-delay, pre-action zone of step i (what the forward pass
+        // aims its delay at).
+        let mut x = if delays[n] {
+            let mut x = goal_zone.clone();
+            x.down();
+            x.intersect(&zones[n]);
+            x
+        } else {
+            goal_zone.clone()
+        };
+        let mut ws: Vec<Dbm> = vec![Dbm::universe(self.net.dim()); n];
+        for i in (0..n).rev() {
+            let mut w = x.clone();
+            // Reset preimage, exactly: free(W ∩ {c = v}) per reset, in
+            // reverse application order.
+            for &(c, v) in legs[i].resets.iter().rev() {
+                if !w.constrain(c, Clock::REF, Bound::le(v))
+                    || !w.constrain(Clock::REF, c, Bound::le(-v))
+                {
+                    return None;
+                }
+                w.free(c);
+            }
+            if !legs[i]
+                .guards
+                .iter()
+                .all(|a| w.constrain(a.i, a.j, a.bound))
+            {
+                return None;
+            }
+            if !w.intersect(&zones[i]) {
+                return None;
+            }
+            x = if delays[i] {
+                let mut x = w.clone();
+                x.down();
+                if !x.intersect(&zones[i]) {
+                    return None;
+                }
+                x
+            } else {
+                w.clone()
+            };
+            ws[i] = w;
+        }
+        if !scale_tighten(&x, self.denom).contains(&vec![0; self.net.dim()]) {
+            return None;
+        }
+        // Forward pass: walk from the origin, choosing the minimal
+        // integer-scaled delay landing in W_i, then firing the move.
+        let mut v = vec![0_i64; self.net.dim()];
+        let mut steps = Vec::with_capacity(n + 1);
+        for (i, leg) in legs.iter().enumerate() {
+            let w = scale_tighten(&ws[i], self.denom);
+            let d = pick_delay(&w, &v, delays[i])?;
+            for (k, c) in v.iter_mut().enumerate() {
+                if k != 0 {
+                    *c += d;
+                }
+            }
+            if !w.contains(&v) {
+                return None;
+            }
+            for &(c, val) in &leg.resets {
+                v[c.index()] = val * self.denom;
+            }
+            steps.push(ConcreteStep {
+                delay: d,
+                action: leg.action.clone(),
+                state: ConcreteState {
+                    locs: self.steps[i + 1]
+                        .state
+                        .locs
+                        .iter()
+                        .map(|l| l.index())
+                        .collect(),
+                    store: self.steps[i + 1].state.store.as_slice().to_vec(),
+                    clocks: v.clone(),
+                },
+            });
+        }
+        // Trailing delay into the goal piece, if the arrival point does
+        // not satisfy it yet.
+        let gsc = scale_tighten(goal_zone, self.denom);
+        if !gsc.contains(&v) {
+            let d = pick_delay(&gsc, &v, delays[n])?;
+            if d == 0 {
+                return None;
+            }
+            for (k, c) in v.iter_mut().enumerate() {
+                if k != 0 {
+                    *c += d;
+                }
+            }
+            if !gsc.contains(&v) {
+                return None;
+            }
+            let last = &self.steps[n].state;
+            steps.push(ConcreteStep {
+                delay: d,
+                action: None,
+                state: ConcreteState {
+                    locs: last.locs.iter().map(|l| l.index()).collect(),
+                    store: last.store.as_slice().to_vec(),
+                    clocks: v.clone(),
+                },
+            });
+        }
+        let first = &self.steps[0].state;
+        Some(ConcreteTrace {
+            semantics: TraceSemantics::Symbolic,
+            denom: self.denom,
+            initial: ConcreteState {
+                locs: first.locs.iter().map(|l| l.index()).collect(),
+                store: first.store.as_slice().to_vec(),
+                clocks: vec![0; self.net.dim()],
+            },
+            steps,
+        })
+    }
+}
+
+/// Maps a zone to its scaled-integer skeleton: every finite bound
+/// `(≺, c)` becomes `(≤, c·denom - [≺ strict])`. For integer vectors,
+/// membership in the result is equivalent to membership of `v/denom`
+/// in the original zone.
+fn scale_tighten(z: &Dbm, denom: i64) -> Dbm {
+    let dim = z.dim();
+    let mut out = Dbm::universe(dim);
+    for i in 0..dim {
+        for j in 0..dim {
+            let b = z.bound(i, j);
+            if !b.is_inf() {
+                out.set_bound_raw(
+                    i,
+                    j,
+                    Bound::le(b.constant() * denom - i64::from(b.is_strict())),
+                );
+            }
+        }
+    }
+    out.close();
+    out
+}
+
+/// The minimal non-negative integer delay taking `v` into the scaled
+/// zone `w` (all bounds non-strict integers), or `None` if none exists.
+/// When the state forbids delay, only `0` is tried.
+fn pick_delay(w: &Dbm, v: &[i64], delay_allowed: bool) -> Option<i64> {
+    if w.is_empty() {
+        return None;
+    }
+    let mut lo = 0_i64;
+    let mut hi = i64::MAX;
+    for (j, &vj) in v.iter().enumerate().skip(1) {
+        let lower = w.bound(0, j);
+        if !lower.is_inf() {
+            lo = lo.max(-lower.constant() - vj);
+        }
+        let upper = w.bound(j, 0);
+        if !upper.is_inf() {
+            hi = hi.min(upper.constant() - vj);
+        }
+    }
+    if !delay_allowed && lo > 0 {
+        return None;
+    }
+    (lo <= hi).then_some(lo)
+}
