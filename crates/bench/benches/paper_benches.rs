@@ -344,6 +344,81 @@ fn a3_ablation_smc(c: &mut Criterion) {
     group.finish();
 }
 
+fn p3_svc(c: &mut Criterion) {
+    use std::sync::Arc;
+    use tempo_core::obs::Budget;
+    use tempo_core::svc::{AnalysisService, JobKind, JobRequest, ServiceConfig, VerdictSource};
+
+    let mut group = c.benchmark_group("p3_svc");
+    group.sample_size(10);
+    // The verdict-cache experiment on the acceptance workload (BRP via
+    // mcpta, whose digital-clocks MDP construction dominates a miss):
+    // a cold miss pays the full engine run, a warm hit is a sharded-map
+    // clone, and a coalesced follower piggybacks on one in-flight run.
+    let model = brp(4, 2, 1);
+    let kind = JobKind::McptaReach {
+        pta: Arc::new(model.pta.clone()),
+        opt: Opt::Max,
+        goal: model.p1_goal(),
+        epsilon: 1e-9,
+    };
+    let request = |kind: &JobKind| JobRequest {
+        tenant: "bench".into(),
+        priority: 0,
+        budget: Budget::unlimited(),
+        kind: kind.clone(),
+    };
+    group.bench_function("mcpta_brp4_cold_miss", |b| {
+        b.iter(|| {
+            // A fresh service per iteration: nothing cached yet.
+            let svc = AnalysisService::new(ServiceConfig::default());
+            let r = svc.run(request(&kind)).expect("computed");
+            assert_eq!(r.source, VerdictSource::Computed);
+            svc.shutdown();
+        });
+    });
+    group.bench_function("mcpta_brp4_warm_hit", |b| {
+        let svc = AnalysisService::new(ServiceConfig::default());
+        let cold = svc.run(request(&kind)).expect("primed");
+        b.iter(|| {
+            let r = svc.run(request(&kind)).expect("hit");
+            assert_eq!(r.source, VerdictSource::MemoryHit);
+            assert_eq!(r.verdict, cold.verdict);
+        });
+        svc.shutdown();
+    });
+    group.bench_function("mcpta_brp4_coalesced", |b| {
+        // Distinct seeds make each iteration a fresh key, so followers
+        // coalesce onto a genuinely in-flight run, never a cache hit.
+        let tg = train_gate(3);
+        let net = Arc::new(tg.net.clone());
+        let mut seed = 0_u64;
+        let svc = AnalysisService::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        b.iter(|| {
+            seed += 1;
+            let job = JobKind::Probability {
+                net: Arc::clone(&net),
+                rates: tg.rates(),
+                seed,
+                goal: tg.cross(0),
+                bound: 100.0,
+                runs: 2000,
+                confidence: 0.95,
+            };
+            let leader = svc.submit(request(&job)).expect("admitted");
+            let follower = svc.submit(request(&job)).expect("admitted");
+            let a = leader.wait().expect("leader");
+            let b2 = follower.wait().expect("follower");
+            assert_eq!(a.verdict, b2.verdict);
+        });
+        svc.shutdown();
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     e1_train_gate_verification,
@@ -358,5 +433,6 @@ criterion_group!(
     a3_ablation_smc,
     p1_parallel_reach,
     p2_parallel_smc,
+    p3_svc,
 );
 criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Stable structural fingerprints for BIP systems, keying the analysis
+//! service's verdict cache.
+//!
+//! Names (components, ports, control locations, interactions) are
+//! diagnostics and excluded — two systems differing only in labels share
+//! cache entries. Everything indexed hashes in order: component, port
+//! and interaction indices are the identities the glue refers to, and a
+//! broadcast's first port is its trigger. The priority *rules* fold
+//! commutatively — a priority relation is a set.
+
+use crate::component::{Component, Transition};
+use crate::system::{BipSystem, Interaction, InteractionKind, Priority};
+use tempo_obs::{Fingerprint, StableDigest, StableHasher};
+
+impl StableDigest for Transition {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_tag("transition");
+        h.write_usize(self.from.0);
+        h.write_usize(self.to.0);
+        h.write_usize(self.port.0);
+        self.guard.digest(h);
+        self.update.digest(h);
+    }
+}
+
+impl StableDigest for Component {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_tag("component");
+        h.write_usize(self.states.len());
+        h.write_usize(self.ports.len());
+        for p in &self.ports {
+            h.write_usize(p.0);
+        }
+        self.transitions.digest(h);
+        h.write_usize(self.initial.0);
+    }
+}
+
+impl StableDigest for Interaction {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_tag("interaction");
+        h.write_usize(self.ports.len());
+        for p in &self.ports {
+            h.write_usize(p.0);
+        }
+        h.write_u8(match self.kind {
+            InteractionKind::Rendezvous => 0,
+            InteractionKind::Broadcast => 1,
+        });
+        self.guard.digest(h);
+        self.update.digest(h);
+        h.write_bool(self.controllable);
+    }
+}
+
+impl StableDigest for Priority {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_tag("priority");
+        h.write_usize(self.low.0);
+        h.write_usize(self.high.0);
+        self.condition.digest(h);
+    }
+}
+
+impl StableDigest for BipSystem {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_tag("bip-system");
+        self.decls.digest(h);
+        self.components.digest(h);
+        h.write_usize(self.port_owner.len());
+        for owner in &self.port_owner {
+            h.write_usize(owner.0);
+        }
+        self.interactions.digest(h);
+        h.write_unordered(self.priorities.iter().map(Fingerprint::of));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BipSystemBuilder;
+    use tempo_obs::Fingerprint;
+
+    fn ping_pong(name_a: &str, name_b: &str) -> crate::BipSystem {
+        let mut b = BipSystemBuilder::new();
+        let mut ping = b.component(name_a);
+        let p0 = ping.state("P0");
+        let hello = ping.port("hello");
+        ping.transition(p0, p0, hello);
+        ping.done();
+        let mut pong = b.component(name_b);
+        let q0 = pong.state("Q0");
+        let world = pong.port("world");
+        pong.transition(q0, q0, world);
+        pong.done();
+        b.rendezvous("greet", &[hello, world]);
+        b.build()
+    }
+
+    #[test]
+    fn renaming_preserves_fingerprint_and_structure_changes_it() {
+        assert_eq!(
+            Fingerprint::of(&ping_pong("Ping", "Pong")),
+            Fingerprint::of(&ping_pong("Left", "Right"))
+        );
+
+        let mut b = BipSystemBuilder::new();
+        let mut ping = b.component("Ping");
+        let p0 = ping.state("P0");
+        let p1 = ping.state("P1"); // extra location: different structure
+        let hello = ping.port("hello");
+        ping.transition(p0, p1, hello);
+        ping.done();
+        let mut pong = b.component("Pong");
+        let q0 = pong.state("Q0");
+        let world = pong.port("world");
+        pong.transition(q0, q0, world);
+        pong.done();
+        b.rendezvous("greet", &[hello, world]);
+        assert_ne!(
+            Fingerprint::of(&b.build()),
+            Fingerprint::of(&ping_pong("Ping", "Pong"))
+        );
+    }
+}

@@ -44,6 +44,7 @@ mod component;
 mod composite;
 mod controller;
 mod dfinder;
+mod digest;
 mod system;
 
 pub use component::{Component, ComponentId, PortId, StateId, Transition};

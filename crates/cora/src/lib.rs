@@ -665,6 +665,31 @@ impl PricedNetwork {
     }
 }
 
+impl tempo_obs::StableDigest for PricedNetwork {
+    /// Structural fingerprint of the priced model: the underlying
+    /// network plus rate and edge-cost annotations. The annotation maps
+    /// fold commutatively (they are keyed sets — iteration order of the
+    /// backing `HashMap` is meaningless); the thread count is excluded
+    /// because the minimum cost does not depend on it.
+    fn digest(&self, h: &mut tempo_obs::StableHasher) {
+        use tempo_obs::Fingerprint;
+        h.write_tag("priced-network");
+        self.net.digest(h);
+        h.write_unordered(
+            self.rates
+                .iter()
+                .filter(|(_, &r)| r != 0)
+                .map(|(&(a, l), &rate)| Fingerprint::of(&(a.index(), l.index(), rate))),
+        );
+        h.write_unordered(
+            self.edge_costs
+                .iter()
+                .filter(|(_, &c)| c != 0)
+                .map(|(&(a, e), &cost)| Fingerprint::of(&(a.index(), e, cost))),
+        );
+    }
+}
+
 /// Splits `0..n` into `parts` contiguous index ranges of near-equal size.
 fn chunk_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
     let mut start = 0;

@@ -78,6 +78,9 @@ pub use tempo_modest as modest;
 pub use tempo_obs as obs;
 /// Stochastic semantics and statistical model checking (UPPAAL-SMC).
 pub use tempo_smc as smc;
+/// Multi-tenant concurrent analysis service with a certified,
+/// content-addressed verdict cache ([`svc::AnalysisService`]).
+pub use tempo_svc as svc;
 /// Timed-automata networks and the symbolic model checker (UPPAAL).
 pub use tempo_ta as ta;
 /// Timed games and strategy synthesis (UPPAAL-TIGA).

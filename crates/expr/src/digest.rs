@@ -1,0 +1,179 @@
+//! [`StableDigest`] implementations for the data language, so models
+//! embedding expressions and updates can be fingerprinted for the
+//! verdict cache.
+//!
+//! Digests follow structure, not names: variables hash by index,
+//! bounds, length and initial values, because two models that differ
+//! only in variable *names* have identical semantics and should share
+//! cache entries. Operator and constructor tags separate domains so
+//! `a + b` and `a - b` (or `Assign` and `AssignIndex`) cannot collide.
+
+use crate::{BinOp, Decls, Expr, Stmt, UnOp, VarId};
+use tempo_obs::{StableDigest, StableHasher};
+
+impl StableDigest for VarId {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_usize(self.index());
+    }
+}
+
+impl StableDigest for BinOp {
+    fn digest(&self, h: &mut StableHasher) {
+        let tag = match self {
+            BinOp::Add => 0u8,
+            BinOp::Sub => 1,
+            BinOp::Mul => 2,
+            BinOp::Div => 3,
+            BinOp::Rem => 4,
+            BinOp::Min => 5,
+            BinOp::Max => 6,
+            BinOp::Lt => 7,
+            BinOp::Le => 8,
+            BinOp::Gt => 9,
+            BinOp::Ge => 10,
+            BinOp::Eq => 11,
+            BinOp::Ne => 12,
+            BinOp::And => 13,
+            BinOp::Or => 14,
+        };
+        h.write_u8(tag);
+    }
+}
+
+impl StableDigest for UnOp {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_u8(match self {
+            UnOp::Neg => 0,
+            UnOp::Not => 1,
+        });
+    }
+}
+
+impl StableDigest for Expr {
+    fn digest(&self, h: &mut StableHasher) {
+        match self {
+            Expr::Const(v) => {
+                h.write_u8(0);
+                h.write_i64(*v);
+            }
+            Expr::Var(id) => {
+                h.write_u8(1);
+                id.digest(h);
+            }
+            Expr::Index(id, idx) => {
+                h.write_u8(2);
+                id.digest(h);
+                idx.digest(h);
+            }
+            Expr::Select(k) => {
+                h.write_u8(3);
+                h.write_usize(*k);
+            }
+            Expr::Unary(op, e) => {
+                h.write_u8(4);
+                op.digest(h);
+                e.digest(h);
+            }
+            Expr::Binary(op, l, r) => {
+                h.write_u8(5);
+                op.digest(h);
+                l.digest(h);
+                r.digest(h);
+            }
+        }
+    }
+}
+
+impl StableDigest for Stmt {
+    fn digest(&self, h: &mut StableHasher) {
+        match self {
+            Stmt::Skip => h.write_u8(0),
+            Stmt::Assign(var, e) => {
+                h.write_u8(1);
+                var.digest(h);
+                e.digest(h);
+            }
+            Stmt::AssignIndex(var, idx, e) => {
+                h.write_u8(2);
+                var.digest(h);
+                idx.digest(h);
+                e.digest(h);
+            }
+            Stmt::Seq(stmts) => {
+                h.write_u8(3);
+                stmts.digest(h);
+            }
+            Stmt::If(cond, then, otherwise) => {
+                h.write_u8(4);
+                cond.digest(h);
+                then.digest(h);
+                otherwise.digest(h);
+            }
+            Stmt::While(cond, body) => {
+                h.write_u8(5);
+                cond.digest(h);
+                body.digest(h);
+            }
+        }
+    }
+}
+
+impl StableDigest for Decls {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_tag("decls");
+        h.write_usize(self.len());
+        let init = self.initial_store();
+        for info in self.vars() {
+            // Names are diagnostics only — hash shape and initial
+            // values, not identifiers.
+            h.write_i64(info.lo);
+            h.write_i64(info.hi);
+            h.write_usize(info.len);
+            h.write_bool(info.is_array);
+            for k in 0..info.len {
+                h.write_i64(init.as_slice()[info.offset() + k]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_obs::Fingerprint;
+
+    #[test]
+    fn renaming_variables_preserves_fingerprint() {
+        let mut a = Decls::new();
+        a.int("x", 0, 5);
+        let mut b = Decls::new();
+        b.int("renamed", 0, 5);
+        assert_eq!(Fingerprint::of(&a), Fingerprint::of(&b));
+
+        let mut c = Decls::new();
+        c.int("x", 0, 6);
+        assert_ne!(Fingerprint::of(&a), Fingerprint::of(&c));
+    }
+
+    #[test]
+    fn expression_structure_is_distinguished() {
+        let mut d = Decls::new();
+        let x = d.int("x", 0, 5);
+        let add = Expr::var(x) + Expr::konst(1);
+        let sub = Expr::var(x) - Expr::konst(1);
+        assert_ne!(Fingerprint::of(&add), Fingerprint::of(&sub));
+        assert_eq!(
+            Fingerprint::of(&(Expr::var(x) + Expr::konst(1))),
+            Fingerprint::of(&add)
+        );
+    }
+
+    #[test]
+    fn statements_are_distinguished_by_shape() {
+        let mut d = Decls::new();
+        let x = d.int("x", 0, 5);
+        let s1 = Stmt::assign(x, Expr::konst(1));
+        let s2 = Stmt::seq(vec![Stmt::assign(x, Expr::konst(1))]);
+        assert_ne!(Fingerprint::of(&s1), Fingerprint::of(&s2));
+    }
+}

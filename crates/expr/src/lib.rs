@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod decls;
+mod digest;
 mod error;
 mod expr;
 mod stmt;

@@ -97,6 +97,32 @@ impl fmt::Display for BuildError {
 
 impl std::error::Error for BuildError {}
 
+impl tempo_obs::StableDigest for MdpAction {
+    /// Digests the reward and the successor distribution. Labels are
+    /// diagnostics and excluded; the distribution is a set of
+    /// `(state, probability)` pairs, so it folds commutatively.
+    fn digest(&self, h: &mut tempo_obs::StableHasher) {
+        h.write_tag("action");
+        h.write_f64(self.reward);
+        h.write_unordered(
+            self.transitions
+                .iter()
+                .map(|&(s, p)| tempo_obs::Fingerprint::of(&(s.index(), p))),
+        );
+    }
+}
+
+impl tempo_obs::StableDigest for Mdp {
+    /// Structural fingerprint of the MDP: per-state action lists in
+    /// order (state and action indices are the identities schedulers
+    /// refer to) plus the initial state.
+    fn digest(&self, h: &mut tempo_obs::StableHasher) {
+        h.write_tag("mdp");
+        self.actions.digest(h);
+        h.write_usize(self.initial.index());
+    }
+}
+
 impl Mdp {
     /// Number of states.
     #[must_use]

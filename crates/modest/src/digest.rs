@@ -1,0 +1,134 @@
+//! Stable structural fingerprints for compiled MODEST models (PTA
+//! networks), keying the analysis service's verdict cache.
+//!
+//! Location, component and action *names* are excluded — only indices,
+//! which are the identities edges and the synchronization table refer
+//! to. Guard and invariant conjunctions fold commutatively; branch lists
+//! stay ordered (branches are a weighted distribution whose targets are
+//! positional).
+
+use crate::ast::ActionId;
+use crate::pta::{AssignTarget, Pta, PtaAutomaton, PtaBranch, PtaEdge, PtaLocation, SyncKind};
+use tempo_obs::{Fingerprint, StableDigest, StableHasher};
+
+impl StableDigest for AssignTarget {
+    fn digest(&self, h: &mut StableHasher) {
+        match self {
+            AssignTarget::Var(id) => {
+                h.write_u8(0);
+                id.digest(h);
+            }
+            AssignTarget::ArrayElem(id, idx) => {
+                h.write_u8(1);
+                id.digest(h);
+                idx.digest(h);
+            }
+        }
+    }
+}
+
+impl StableDigest for PtaBranch {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_tag("branch");
+        h.write_u64(self.weight);
+        h.write_usize(self.assignments.len());
+        for (target, e) in &self.assignments {
+            target.digest(h);
+            e.digest(h);
+        }
+        h.write_usize(self.resets.len());
+        for (clock, v) in &self.resets {
+            h.write_usize(clock.index());
+            h.write_i64(*v);
+        }
+        h.write_usize(self.to);
+    }
+}
+
+impl StableDigest for PtaEdge {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_tag("pta-edge");
+        h.write_usize(self.from);
+        h.write_unordered(self.guard_clocks.iter().map(Fingerprint::of));
+        self.guard_data.digest(h);
+        self.action.map(|a: ActionId| a.0).digest(h);
+        self.branches.digest(h);
+    }
+}
+
+impl StableDigest for PtaLocation {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_tag("pta-location");
+        h.write_unordered(self.invariant.iter().map(Fingerprint::of));
+    }
+}
+
+impl StableDigest for PtaAutomaton {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_tag("pta-automaton");
+        self.locations.digest(h);
+        self.edges.digest(h);
+        h.write_usize(self.initial);
+    }
+}
+
+impl StableDigest for SyncKind {
+    fn digest(&self, h: &mut StableHasher) {
+        match self {
+            SyncKind::Local => h.write_u8(0),
+            SyncKind::Pair(a, b) => {
+                h.write_u8(1);
+                h.write_usize(*a);
+                h.write_usize(*b);
+            }
+        }
+    }
+}
+
+impl StableDigest for Pta {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_tag("pta");
+        self.decls.digest(h);
+        h.write_usize(self.dim);
+        // Action names are labels; only their count and sync structure
+        // are semantic.
+        h.write_usize(self.actions.len());
+        self.automata.digest(h);
+        self.sync.digest(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_expr::Decls;
+
+    fn one_loc_pta(dim: usize) -> Pta {
+        let automata = vec![PtaAutomaton {
+            name: "P".to_owned(),
+            locations: vec![PtaLocation {
+                name: "l0".to_owned(),
+                invariant: Vec::new(),
+            }],
+            edges: Vec::new(),
+            initial: 0,
+        }];
+        Pta {
+            decls: Decls::new(),
+            dim,
+            actions: Vec::new(),
+            automata,
+            sync: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure_not_names() {
+        let a = one_loc_pta(2);
+        let mut b = one_loc_pta(2);
+        b.automata[0].name = "Renamed".to_owned();
+        b.automata[0].locations[0].name = "elsewhere".to_owned();
+        assert_eq!(Fingerprint::of(&a), Fingerprint::of(&b));
+        assert_ne!(Fingerprint::of(&a), Fingerprint::of(&one_loc_pta(3)));
+    }
+}

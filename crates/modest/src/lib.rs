@@ -53,6 +53,7 @@
 
 mod ast;
 mod compile;
+mod digest;
 mod mcpta;
 mod mctau;
 mod modes;

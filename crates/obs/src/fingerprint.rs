@@ -1,0 +1,397 @@
+//! Stable structural fingerprints for verdict caching.
+//!
+//! A [`Fingerprint`] is a 128-bit content address of a model or query:
+//! two structurally identical inputs always produce the same
+//! fingerprint, regardless of when or where they were built. The
+//! analysis service keys its verdict cache on fingerprints, so the hash
+//! must be *stable* — it depends only on the bytes fed to it, never on
+//! pointer values, `HashMap` iteration order, or the standard library's
+//! randomized `DefaultHasher` state.
+//!
+//! Producers implement [`StableDigest`] and feed a [`StableHasher`]:
+//!
+//! * `write_tag` provides domain separation, so a location list and an
+//!   edge list with the same numeric content hash differently;
+//! * every variable-length sequence must be preceded by its length
+//!   (the `write_*` helpers for slices do this), so concatenations
+//!   cannot collide;
+//! * [`StableHasher::write_unordered`] folds a set of element
+//!   fingerprints commutatively, for positions where the model's
+//!   semantics are order-independent (conjunctions of guard atoms,
+//!   invariant atoms, rate maps) — reordering such elements must not
+//!   change the fingerprint, because it does not change any verdict.
+//!
+//! Fingerprints are *identifiers, not proofs*: the on-disk cache tier
+//! additionally replays each entry's certificate against the live model
+//! before serving it, so even an (astronomically unlikely) collision or
+//! a corrupted entry degrades to a recompute, never to a wrong answer.
+
+use std::fmt;
+
+/// A 128-bit stable content hash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint {
+    hi: u64,
+    lo: u64,
+}
+
+impl Fingerprint {
+    /// Fingerprints a value through its [`StableDigest`] implementation.
+    #[must_use]
+    pub fn of<T: StableDigest + ?Sized>(value: &T) -> Self {
+        let mut h = StableHasher::new();
+        value.digest(&mut h);
+        h.finish()
+    }
+
+    /// Combines fingerprints in order (for composite cache keys where
+    /// each position has a fixed meaning).
+    #[must_use]
+    pub fn combine(parts: &[Fingerprint]) -> Self {
+        let mut h = StableHasher::new();
+        h.write_tag("combine");
+        h.write_usize(parts.len());
+        for p in parts {
+            h.write_u64(p.hi);
+            h.write_u64(p.lo);
+        }
+        h.finish()
+    }
+
+    /// The 32-character lower-case hex rendering (filename-safe).
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parses the rendering of [`Fingerprint::to_hex`].
+    #[must_use]
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(Fingerprint { hi, lo })
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// SplitMix64 finalizer: the avalanche function both hasher lanes use.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic 128-bit streaming hasher (two independently keyed
+/// SplitMix64 lanes). Unlike `std::collections::hash_map::DefaultHasher`
+/// it is seed-free and its output is part of the cache format: the same
+/// byte stream always produces the same [`Fingerprint`].
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    a: u64,
+    b: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher with the fixed initial state.
+    #[must_use]
+    pub fn new() -> Self {
+        StableHasher {
+            a: 0x9e37_79b9_7f4a_7c15,
+            b: 0x6a09_e667_f3bc_c909,
+        }
+    }
+
+    /// Feeds one 64-bit word.
+    pub fn write_u64(&mut self, v: u64) {
+        self.a = mix(self.a ^ v);
+        self.b = mix(self.b.wrapping_add(v).wrapping_add(0x2545_f491_4f6c_dd1d));
+    }
+
+    /// Feeds a signed word (two's-complement bits).
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds a `usize` (widened, so 32- and 64-bit builds agree).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_u64(u64::from(v));
+    }
+
+    /// Feeds a boolean.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u64(u64::from(v));
+    }
+
+    /// Feeds a float by its exact bit pattern (`-0.0` and `0.0` differ;
+    /// every NaN payload is its own value — fingerprints identify
+    /// structure, they do not do numeric reasoning).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feeds a length-prefixed byte string.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_usize(bytes.len());
+        // Pack bytes into words; the length prefix disambiguates the
+        // zero-padded tail.
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(w));
+        }
+    }
+
+    /// Feeds a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Domain separation: feed a static tag before each structural
+    /// section so differently-shaped content cannot collide.
+    pub fn write_tag(&mut self, tag: &str) {
+        self.write_str(tag);
+    }
+
+    /// Folds a *set* of element fingerprints commutatively: the result
+    /// is independent of iteration order. Use exactly where the model's
+    /// semantics are order-independent (e.g. the atoms of a guard
+    /// conjunction); everywhere else, element order is significant and
+    /// must go through the ordered `write_*` calls.
+    pub fn write_unordered<I: IntoIterator<Item = Fingerprint>>(&mut self, parts: I) {
+        let mut sum_hi = 0u64;
+        let mut sum_lo = 0u64;
+        let mut xor_hi = 0u64;
+        let mut count = 0usize;
+        for p in parts {
+            // Re-mix each element so that sums of related fingerprints
+            // do not cancel structurally.
+            let h = mix(p.hi ^ 0x5851_f42d_4c95_7f2d);
+            let l = mix(p.lo ^ 0x1405_7b7e_f767_814f);
+            sum_hi = sum_hi.wrapping_add(h);
+            sum_lo = sum_lo.wrapping_add(l);
+            xor_hi ^= mix(h.wrapping_add(l));
+            count += 1;
+        }
+        self.write_tag("unordered");
+        self.write_usize(count);
+        self.write_u64(sum_hi);
+        self.write_u64(sum_lo);
+        self.write_u64(xor_hi);
+    }
+
+    /// The accumulated 128-bit fingerprint.
+    #[must_use]
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint {
+            hi: mix(self.a ^ self.b.rotate_left(32)),
+            lo: mix(self.b ^ self.a.rotate_left(17)),
+        }
+    }
+}
+
+/// Structural digest into a [`StableHasher`]. Implementations must be
+/// deterministic functions of the value's *semantics-relevant*
+/// structure: no addresses, no hash-map iteration order, and
+/// order-independent folding exactly where reordering preserves every
+/// verdict.
+pub trait StableDigest {
+    /// Feeds this value's structure into `h`.
+    fn digest(&self, h: &mut StableHasher);
+}
+
+impl StableDigest for Fingerprint {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_u64(self.hi);
+        h.write_u64(self.lo);
+    }
+}
+
+impl StableDigest for u64 {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_u64(*self);
+    }
+}
+
+impl StableDigest for i64 {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_i64(*self);
+    }
+}
+
+impl StableDigest for usize {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_usize(*self);
+    }
+}
+
+impl StableDigest for bool {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_bool(*self);
+    }
+}
+
+impl StableDigest for f64 {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_f64(*self);
+    }
+}
+
+impl StableDigest for str {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl StableDigest for String {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl<T: StableDigest> StableDigest for Option<T> {
+    fn digest(&self, h: &mut StableHasher) {
+        match self {
+            None => h.write_u8(0),
+            Some(v) => {
+                h.write_u8(1);
+                v.digest(h);
+            }
+        }
+    }
+}
+
+impl<T: StableDigest> StableDigest for [T] {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_usize(self.len());
+        for v in self {
+            v.digest(h);
+        }
+    }
+}
+
+impl<T: StableDigest> StableDigest for Vec<T> {
+    fn digest(&self, h: &mut StableHasher) {
+        self.as_slice().digest(h);
+    }
+}
+
+impl<T: StableDigest + ?Sized> StableDigest for &T {
+    fn digest(&self, h: &mut StableHasher) {
+        (**self).digest(h);
+    }
+}
+
+impl<A: StableDigest, B: StableDigest> StableDigest for (A, B) {
+    fn digest(&self, h: &mut StableHasher) {
+        self.0.digest(h);
+        self.1.digest(h);
+    }
+}
+
+impl<A: StableDigest, B: StableDigest, C: StableDigest> StableDigest for (A, B, C) {
+    fn digest(&self, h: &mut StableHasher) {
+        self.0.digest(h);
+        self.1.digest(h);
+        self.2.digest(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_deterministic() {
+        let a = Fingerprint::of("the same input");
+        let b = Fingerprint::of("the same input");
+        assert_eq!(a, b);
+        assert_ne!(a, Fingerprint::of("a different input"));
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        let f = Fingerprint::of(&42u64);
+        let hex = f.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(Fingerprint::from_hex(&hex), Some(f));
+        assert_eq!(Fingerprint::from_hex("xyz"), None);
+        assert_eq!(Fingerprint::from_hex(&hex[..31]), None);
+        assert_eq!(Fingerprint::from_hex(&format!("{hex}0")), None);
+    }
+
+    #[test]
+    fn length_prefix_prevents_concatenation_collisions() {
+        let ab: Vec<String> = vec!["ab".into(), "c".into()];
+        let a_bc: Vec<String> = vec!["a".into(), "bc".into()];
+        assert_ne!(Fingerprint::of(&ab), Fingerprint::of(&a_bc));
+    }
+
+    #[test]
+    fn unordered_fold_is_commutative_but_content_sensitive() {
+        let parts = [
+            Fingerprint::of("x"),
+            Fingerprint::of("y"),
+            Fingerprint::of("z"),
+        ];
+        let mut fwd = StableHasher::new();
+        fwd.write_unordered(parts.iter().copied());
+        let mut rev = StableHasher::new();
+        rev.write_unordered(parts.iter().rev().copied());
+        assert_eq!(fwd.finish(), rev.finish());
+
+        let mut other = StableHasher::new();
+        other.write_unordered([Fingerprint::of("x"), Fingerprint::of("w")]);
+        assert_ne!(fwd.finish(), other.finish());
+
+        // Multiplicity matters: {x, x} != {x}.
+        let mut single = StableHasher::new();
+        single.write_unordered([Fingerprint::of("x")]);
+        let mut double = StableHasher::new();
+        double.write_unordered([Fingerprint::of("x"), Fingerprint::of("x")]);
+        assert_ne!(single.finish(), double.finish());
+    }
+
+    #[test]
+    fn tags_separate_domains() {
+        let mut a = StableHasher::new();
+        a.write_tag("locations");
+        a.write_u64(3);
+        let mut b = StableHasher::new();
+        b.write_tag("edges");
+        b.write_u64(3);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn float_bits_distinguish_sign_of_zero() {
+        assert_ne!(Fingerprint::of(&0.0_f64), Fingerprint::of(&-0.0_f64));
+        assert_eq!(Fingerprint::of(&1.5_f64), Fingerprint::of(&1.5_f64));
+    }
+
+    #[test]
+    fn combine_is_positional() {
+        let x = Fingerprint::of("x");
+        let y = Fingerprint::of("y");
+        assert_ne!(Fingerprint::combine(&[x, y]), Fingerprint::combine(&[y, x]));
+        assert_eq!(Fingerprint::combine(&[x, y]), Fingerprint::combine(&[x, y]));
+    }
+}

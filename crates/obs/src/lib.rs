@@ -46,12 +46,22 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
 
+pub use tempo_conc::CancelToken;
+
+mod fingerprint;
+
+pub use fingerprint::{Fingerprint, StableDigest, StableHasher};
+
 /// Declarative resource limits for one analysis invocation.
 ///
 /// A budget is a plain value: construct it once, hand a reference to a
 /// governed engine entry point, and reuse it across calls. Every limit
 /// defaults to "unlimited"; builders narrow one dimension at a time.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// The builders are `#[must_use]`: they return a *new* budget rather
+/// than mutating in place, so dropping the return value silently
+/// discards the configured limit.
+#[derive(Clone, Debug, Default)]
 pub struct Budget {
     /// Wall-clock allowance for the whole call.
     pub wall: Option<Duration>,
@@ -62,40 +72,78 @@ pub struct Budget {
     pub max_iterations: Option<u64>,
     /// Maximum simulation runs (SMC, modes).
     pub max_runs: Option<u64>,
+    /// Optional cooperative cancellation token: the governor polls it at
+    /// the same cadence as the wall-clock deadline, so an analysis can
+    /// be stopped externally (job cancellation, service shutdown).
+    pub cancel: Option<CancelToken>,
 }
+
+/// Two budgets are equal when their limits agree and they share the
+/// same cancellation token (both `None`, or clones of one token).
+impl PartialEq for Budget {
+    fn eq(&self, other: &Self) -> bool {
+        self.wall == other.wall
+            && self.max_states == other.max_states
+            && self.max_iterations == other.max_iterations
+            && self.max_runs == other.max_runs
+            && match (&self.cancel, &other.cancel) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a.same_as(b),
+                _ => false,
+            }
+    }
+}
+
+impl Eq for Budget {}
 
 impl Budget {
     /// A budget with no limits: governed entry points behave exactly
     /// like their ungoverned counterparts.
+    #[must_use]
     pub fn unlimited() -> Self {
         Self::default()
     }
 
     /// Limits total wall-clock time for the call.
+    #[must_use = "the builder returns a new budget; dropping it discards the limit"]
     pub fn with_wall_time(mut self, wall: Duration) -> Self {
         self.wall = Some(wall);
         self
     }
 
     /// Limits the number of stored/explored states.
+    #[must_use = "the builder returns a new budget; dropping it discards the limit"]
     pub fn with_max_states(mut self, max_states: u64) -> Self {
         self.max_states = Some(max_states);
         self
     }
 
     /// Limits the number of fixpoint iterations or sweeps.
+    #[must_use = "the builder returns a new budget; dropping it discards the limit"]
     pub fn with_max_iterations(mut self, max_iterations: u64) -> Self {
         self.max_iterations = Some(max_iterations);
         self
     }
 
     /// Limits the number of simulation runs.
+    #[must_use = "the builder returns a new budget; dropping it discards the limit"]
     pub fn with_max_runs(mut self, max_runs: u64) -> Self {
         self.max_runs = Some(max_runs);
         self
     }
 
-    /// True when no limit is set on any dimension.
+    /// Attaches a cooperative cancellation token. Cancelling the token
+    /// makes the governor report [`ExhaustionReason::Cancelled`] at its
+    /// next deadline poll, so the engine unwinds with a sound partial
+    /// answer exactly as on any other budget exhaustion.
+    #[must_use = "the builder returns a new budget; dropping it discards the token"]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// True when no limit is set on any dimension. A cancellation token
+    /// does not count as a limit: until cancelled it never trips.
     pub fn is_unlimited(&self) -> bool {
         self.wall.is_none()
             && self.max_states.is_none()
@@ -121,6 +169,9 @@ pub enum ExhaustionReason {
     Iterations,
     /// The simulation-run limit was reached.
     Runs,
+    /// The budget's [`CancelToken`] was cancelled: the caller (job
+    /// owner, service shutdown) asked the analysis to stop.
+    Cancelled,
 }
 
 impl fmt::Display for ExhaustionReason {
@@ -130,6 +181,7 @@ impl fmt::Display for ExhaustionReason {
             ExhaustionReason::States => "state budget exhausted",
             ExhaustionReason::Iterations => "iteration budget exhausted",
             ExhaustionReason::Runs => "simulation-run budget exhausted",
+            ExhaustionReason::Cancelled => "cancelled by caller",
         };
         f.write_str(s)
     }
@@ -269,6 +321,31 @@ pub struct RunReport {
     pub certify_time: Duration,
 }
 
+impl RunReport {
+    /// Folds `other` into `self`, so the analysis service can aggregate
+    /// per-job reports into a tenant- or service-level rollup.
+    ///
+    /// Additive work counters (`states_explored`, `states_stored`,
+    /// `sweeps`, `runs_simulated`, `wall_time`, `certificate_bytes`,
+    /// `certify_time`) are summed — the merged report answers "how much
+    /// work did these jobs perform in total". High-water marks
+    /// (`peak_waiting`) and model dimensions (`dbm_dim`,
+    /// `dbm_dim_model`) are maxed: a rollup's peak is the worst
+    /// individual peak, not their sum.
+    pub fn merge(&mut self, other: &RunReport) {
+        self.states_explored += other.states_explored;
+        self.states_stored += other.states_stored;
+        self.peak_waiting = self.peak_waiting.max(other.peak_waiting);
+        self.sweeps += other.sweeps;
+        self.runs_simulated += other.runs_simulated;
+        self.dbm_dim = self.dbm_dim.max(other.dbm_dim);
+        self.dbm_dim_model = self.dbm_dim_model.max(other.dbm_dim_model);
+        self.wall_time += other.wall_time;
+        self.certificate_bytes += other.certificate_bytes;
+        self.certify_time += other.certify_time;
+    }
+}
+
 impl fmt::Display for RunReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -303,6 +380,7 @@ impl fmt::Display for RunReport {
 /// the work reported, nothing stronger was established". Callers that
 /// only care about definitive verdicts should match on `Complete`.
 #[derive(Clone, Debug, PartialEq)]
+#[must_use = "an Outcome distinguishes definitive from partial answers; check it"]
 pub enum Outcome<T> {
     /// The analysis ran to completion; `value` is definitive.
     Complete {
@@ -360,6 +438,27 @@ impl<T> Outcome<T> {
         }
     }
 
+    /// Borrows the outcome's value: `Outcome<T>` → `Outcome<&T>` with
+    /// the report cloned, preserving completeness. Useful to inspect or
+    /// `map` over a result without consuming it.
+    pub fn as_ref(&self) -> Outcome<&T> {
+        match self {
+            Outcome::Complete { value, report } => Outcome::Complete {
+                value,
+                report: report.clone(),
+            },
+            Outcome::Exhausted {
+                reason,
+                partial,
+                report,
+            } => Outcome::Exhausted {
+                reason: *reason,
+                partial,
+                report: report.clone(),
+            },
+        }
+    }
+
     /// Maps the value/partial, preserving completeness and the report.
     pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Outcome<U> {
         match self {
@@ -380,12 +479,13 @@ impl<T> Outcome<T> {
     }
 }
 
-// Latch encoding: 0 = not exhausted, 1..=4 = ExhaustionReason.
+// Latch encoding: 0 = not exhausted, 1..=5 = ExhaustionReason.
 const LATCH_NONE: u8 = 0;
 const LATCH_WALL: u8 = 1;
 const LATCH_STATES: u8 = 2;
 const LATCH_ITERS: u8 = 3;
 const LATCH_RUNS: u8 = 4;
+const LATCH_CANCEL: u8 = 5;
 
 fn reason_of(code: u8) -> Option<ExhaustionReason> {
     match code {
@@ -393,6 +493,7 @@ fn reason_of(code: u8) -> Option<ExhaustionReason> {
         LATCH_STATES => Some(ExhaustionReason::States),
         LATCH_ITERS => Some(ExhaustionReason::Iterations),
         LATCH_RUNS => Some(ExhaustionReason::Runs),
+        LATCH_CANCEL => Some(ExhaustionReason::Cancelled),
         _ => None,
     }
 }
@@ -408,6 +509,7 @@ fn reason_of(code: u8) -> Option<ExhaustionReason> {
 pub struct Governor {
     start: Instant,
     deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
     max_states: u64,
     max_iterations: u64,
     max_runs: u64,
@@ -424,6 +526,7 @@ impl Governor {
         Governor {
             start,
             deadline: budget.wall.map(|w| start + w),
+            cancel: budget.cancel.clone(),
             max_states: budget.max_states.unwrap_or(u64::MAX),
             max_iterations: budget.max_iterations.unwrap_or(u64::MAX),
             max_runs: budget.max_runs.unwrap_or(u64::MAX),
@@ -467,9 +570,18 @@ impl Governor {
         self.charge(&self.runs, self.max_runs, LATCH_RUNS)
     }
 
-    /// Checks the wall-clock deadline. Returns `false` (and latches
-    /// [`ExhaustionReason::WallClock`]) once the deadline has passed.
+    /// Checks the wall-clock deadline *and* the cancellation token (both
+    /// are polled at the same cadence: once per popped state / sweep /
+    /// run). Returns `false` and latches [`ExhaustionReason::Cancelled`]
+    /// on cancellation, or [`ExhaustionReason::WallClock`] once the
+    /// deadline has passed.
     pub fn check_time(&self) -> bool {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                self.trip(LATCH_CANCEL);
+                return false;
+            }
+        }
         match self.deadline {
             Some(d) if Instant::now() >= d => {
                 self.trip(LATCH_WALL);
@@ -538,6 +650,129 @@ impl Governor {
     pub fn finish_complete<T>(&self, value: T, mut report: RunReport) -> Outcome<T> {
         report.wall_time = self.elapsed();
         Outcome::Complete { value, report }
+    }
+}
+
+/// Service-level counters for a long-running analysis frontend: cache
+/// effectiveness, admission-control decisions, and queue pressure.
+///
+/// All counters are atomic, so one `ServiceStats` can be shared by
+/// reference across scheduler, workers and cache. Read a consistent-ish
+/// view with [`ServiceStats::snapshot`] (each counter is read once; the
+/// snapshot is not a cross-counter transaction).
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    hits: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_rejected: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    rejected: AtomicU64,
+    cancelled: AtomicU64,
+    queue_peak: AtomicU64,
+}
+
+impl ServiceStats {
+    /// Fresh, all-zero counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts a verdict served from the in-memory cache tier.
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a verdict served from the on-disk tier after its
+    /// certificate replayed successfully.
+    pub fn record_disk_hit(&self) {
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an on-disk entry rejected by certificate replay (corrupted
+    /// or stale) and transparently recomputed.
+    pub fn record_disk_rejected(&self) {
+        self.disk_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a job that had to run an engine (no cache tier hit).
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a job coalesced onto an identical in-flight computation.
+    pub fn record_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a submission refused by admission control (queue full,
+    /// tenant saturated, shutdown).
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a job cancelled before or during execution.
+    pub fn record_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises the queue-depth high-water mark to `depth` if larger.
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters.
+    #[must_use]
+    pub fn snapshot(&self) -> ServiceCounters {
+        ServiceCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_rejected: self.disk_rejected.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            queue_peak: self.queue_peak.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of [`ServiceStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceCounters {
+    /// Verdicts served from the in-memory cache.
+    pub hits: u64,
+    /// Verdicts served from the on-disk tier (certificate replayed).
+    pub disk_hits: u64,
+    /// On-disk entries rejected by certificate replay and recomputed.
+    pub disk_rejected: u64,
+    /// Jobs that ran an engine.
+    pub misses: u64,
+    /// Jobs coalesced onto an identical in-flight computation.
+    pub coalesced: u64,
+    /// Submissions refused by admission control.
+    pub rejected: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Queue-depth high-water mark.
+    pub queue_peak: u64,
+}
+
+impl fmt::Display for ServiceCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits {} (disk {}, rejected {}), misses {}, coalesced {}, rejected {}, cancelled {}, queue peak {}",
+            self.hits,
+            self.disk_hits,
+            self.disk_rejected,
+            self.misses,
+            self.coalesced,
+            self.rejected,
+            self.cancelled,
+            self.queue_peak
+        )
     }
 }
 
@@ -637,6 +872,141 @@ mod tests {
         });
         assert_eq!(gov.exhausted(), Some(ExhaustionReason::States));
         assert_eq!(gov.report().states_explored, 1000);
+    }
+
+    #[test]
+    fn cancellation_trips_via_check_time() {
+        let token = CancelToken::new();
+        let gov = Budget::unlimited().with_cancel(token.clone()).governor();
+        assert!(gov.check_time());
+        assert!(gov.exhausted().is_none());
+        token.cancel();
+        assert!(!gov.check_time());
+        assert_eq!(gov.exhausted(), Some(ExhaustionReason::Cancelled));
+        // First trip wins: a later deadline check keeps the cancel reason.
+        assert!(!gov.check_time());
+        assert_eq!(gov.exhausted(), Some(ExhaustionReason::Cancelled));
+        let out = gov.finish(3u32, gov.report());
+        assert_eq!(out.exhaustion(), Some(ExhaustionReason::Cancelled));
+    }
+
+    #[test]
+    fn budget_equality_respects_cancel_token_identity() {
+        let token = CancelToken::new();
+        let a = Budget::unlimited().with_max_states(5);
+        let b = Budget::unlimited().with_max_states(5);
+        assert_eq!(a, b);
+        let c = b.clone().with_cancel(token.clone());
+        assert_ne!(a, c);
+        assert_eq!(c, Budget::unlimited().with_max_states(5).with_cancel(token));
+        assert_ne!(
+            c,
+            Budget::unlimited()
+                .with_max_states(5)
+                .with_cancel(CancelToken::new())
+        );
+        // A cancel token is not a resource limit.
+        assert!(Budget::unlimited()
+            .with_cancel(CancelToken::new())
+            .is_unlimited());
+    }
+
+    #[test]
+    fn run_report_merge_sums_counters_and_maxes_peaks() {
+        let a = RunReport {
+            states_explored: 10,
+            states_stored: 7,
+            peak_waiting: 4,
+            sweeps: 2,
+            runs_simulated: 100,
+            dbm_dim: 5,
+            dbm_dim_model: 6,
+            wall_time: Duration::from_millis(30),
+            certificate_bytes: 128,
+            certify_time: Duration::from_millis(3),
+        };
+        let b = RunReport {
+            states_explored: 1,
+            states_stored: 2,
+            peak_waiting: 9,
+            sweeps: 3,
+            runs_simulated: 50,
+            dbm_dim: 3,
+            dbm_dim_model: 4,
+            wall_time: Duration::from_millis(20),
+            certificate_bytes: 64,
+            certify_time: Duration::from_millis(1),
+        };
+        let mut merged = a.clone();
+        merged.merge(&b);
+        // Additive counters equal the sum of the parts.
+        assert_eq!(
+            merged.states_explored,
+            a.states_explored + b.states_explored
+        );
+        assert_eq!(merged.states_stored, a.states_stored + b.states_stored);
+        assert_eq!(merged.sweeps, a.sweeps + b.sweeps);
+        assert_eq!(merged.runs_simulated, a.runs_simulated + b.runs_simulated);
+        assert_eq!(merged.wall_time, a.wall_time + b.wall_time);
+        assert_eq!(
+            merged.certificate_bytes,
+            a.certificate_bytes + b.certificate_bytes
+        );
+        assert_eq!(merged.certify_time, a.certify_time + b.certify_time);
+        // High-water marks take the max.
+        assert_eq!(merged.peak_waiting, 9);
+        assert_eq!(merged.dbm_dim, 5);
+        assert_eq!(merged.dbm_dim_model, 6);
+        // Merging zero is the identity.
+        let mut same = a.clone();
+        same.merge(&RunReport::default());
+        assert_eq!(same, a);
+    }
+
+    #[test]
+    fn outcome_as_ref_preserves_shape() {
+        let c: Outcome<String> = Outcome::Complete {
+            value: "yes".to_owned(),
+            report: RunReport::default(),
+        };
+        let r = c.as_ref();
+        assert!(!r.is_exhausted());
+        assert_eq!(*r.value(), "yes");
+        let e: Outcome<String> = Outcome::Exhausted {
+            reason: ExhaustionReason::Runs,
+            partial: "so far".to_owned(),
+            report: RunReport::default(),
+        };
+        let r = e.as_ref();
+        assert_eq!(r.exhaustion(), Some(ExhaustionReason::Runs));
+        assert_eq!(*r.into_value(), "so far");
+        // The original is still usable after as_ref.
+        assert_eq!(e.into_value(), "so far");
+    }
+
+    #[test]
+    fn service_stats_counts_and_snapshots() {
+        let stats = ServiceStats::new();
+        stats.record_hit();
+        stats.record_hit();
+        stats.record_disk_hit();
+        stats.record_disk_rejected();
+        stats.record_miss();
+        stats.record_coalesced();
+        stats.record_rejected();
+        stats.record_cancelled();
+        stats.observe_queue_depth(7);
+        stats.observe_queue_depth(3); // does not lower the peak
+        let snap = stats.snapshot();
+        assert_eq!(snap.hits, 2);
+        assert_eq!(snap.disk_hits, 1);
+        assert_eq!(snap.disk_rejected, 1);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.coalesced, 1);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.cancelled, 1);
+        assert_eq!(snap.queue_peak, 7);
+        assert!(format!("{snap}").contains("queue peak 7"));
     }
 
     #[test]

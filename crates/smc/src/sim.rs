@@ -191,6 +191,23 @@ impl RatePolicy {
     }
 }
 
+impl tempo_obs::StableDigest for RatePolicy {
+    /// Structural fingerprint of the rate assignment. Explicit entries
+    /// equal to the default are dropped first (they are observationally
+    /// identical to unset locations) and the rest fold commutatively —
+    /// `HashMap` iteration order is meaningless.
+    fn digest(&self, h: &mut tempo_obs::StableHasher) {
+        h.write_tag("rate-policy");
+        h.write_f64(self.default);
+        h.write_unordered(
+            self.rates
+                .iter()
+                .filter(|&(_, &r)| r.to_bits() != self.default.to_bits())
+                .map(|(&(a, l), &r)| tempo_obs::Fingerprint::of(&(a.index(), l.index(), r))),
+        );
+    }
+}
+
 /// A stochastic simulator for a network of timed automata.
 ///
 /// ```

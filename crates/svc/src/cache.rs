@@ -1,0 +1,167 @@
+//! The two-tier, content-addressed verdict cache.
+//!
+//! * **Memory tier** — a mutex-striped [`ShardedMap`] from cache key to
+//!   verdict. Entries were validated when produced (the certificate
+//!   pipeline replays every certificate before the engine returns), so
+//!   a memory hit is served without re-validation.
+//! * **Disk tier** (optional) — one text file per certified verdict in
+//!   the `tempo-witness` v1 format, preceded by a small header carrying
+//!   the canonical verdict line. Disk entries outlive the process and
+//!   are therefore *not* trusted: on every hit the certificate is
+//!   parsed and replayed against the live model through the independent
+//!   validator, and any mismatch (truncation, bit-flips, a stale file
+//!   for a since-changed model that happens to collide) rejects the
+//!   entry and falls back to recomputation.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use tempo_conc::ShardedMap;
+use tempo_obs::{Budget, Fingerprint, RunReport};
+use tempo_witness::format;
+
+use crate::job::{JobKind, JobVerdict};
+
+/// Header line of a disk-tier cache file.
+const DISK_MAGIC: &str = "tempo-svc-cache v1";
+
+/// A cached verdict: the canonical answer, the work of the run that
+/// produced it, and the rendered certificate (when the verdict admits
+/// one) for the disk tier.
+#[derive(Clone)]
+pub(crate) struct CachedVerdict {
+    pub verdict: JobVerdict,
+    pub report: RunReport,
+    pub certificate: Option<Arc<String>>,
+}
+
+/// Outcome of a disk-tier probe, distinguishing "nothing there" from
+/// "something there that failed certificate replay".
+pub(crate) enum DiskLookup {
+    /// No file for this key.
+    Absent,
+    /// A file existed but was corrupted or stale; the caller recomputes.
+    Rejected,
+    /// The certificate replayed successfully against the live model.
+    Hit(CachedVerdict),
+}
+
+pub(crate) struct VerdictCache {
+    memory: ShardedMap<Fingerprint, CachedVerdict>,
+    disk: Option<PathBuf>,
+}
+
+impl VerdictCache {
+    pub(crate) fn new(shards: usize, disk: Option<PathBuf>) -> Self {
+        if let Some(dir) = &disk {
+            // Best-effort: a failure here surfaces later as disk misses.
+            let _ = fs::create_dir_all(dir);
+        }
+        VerdictCache {
+            memory: ShardedMap::new(shards),
+            disk,
+        }
+    }
+
+    pub(crate) fn lookup_memory(&self, key: &Fingerprint) -> Option<CachedVerdict> {
+        self.memory.lock_shard(key).get(key).cloned()
+    }
+
+    /// Inserts into the memory tier and, when the kind persists and a
+    /// certificate exists, writes the disk file atomically (temp file +
+    /// rename) so a crashed writer never leaves a half-entry.
+    pub(crate) fn insert(&self, key: Fingerprint, kind: &JobKind, cached: &CachedVerdict) {
+        self.memory.lock_shard(&key).insert(key, cached.clone());
+        let (Some(dir), Some(cert), true) =
+            (&self.disk, &cached.certificate, kind.persists_to_disk())
+        else {
+            return;
+        };
+        let path = entry_path(dir, &key);
+        let tmp = path.with_extension("tmp");
+        let body = format!(
+            "{DISK_MAGIC}\nverdict {}\n\n{cert}",
+            cached.verdict.render()
+        );
+        // Best-effort persistence: an IO error only costs future warm
+        // starts, never correctness.
+        let ok = fs::File::create(&tmp)
+            .and_then(|mut f| f.write_all(body.as_bytes()))
+            .and_then(|()| fs::rename(&tmp, &path));
+        if ok.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+
+    /// Probes the disk tier for `key`, replaying any stored certificate
+    /// against the live model behind `kind` before trusting it.
+    pub(crate) fn lookup_disk(
+        &self,
+        key: &Fingerprint,
+        kind: &JobKind,
+        budget: &Budget,
+    ) -> DiskLookup {
+        let Some(dir) = &self.disk else {
+            return DiskLookup::Absent;
+        };
+        let path = entry_path(dir, key);
+        let Ok(text) = fs::read_to_string(&path) else {
+            return DiskLookup::Absent;
+        };
+        match Self::revalidate(&text, kind, budget) {
+            Some(cached) => {
+                // Promote to the memory tier so the replay cost is paid
+                // once per process, not once per request.
+                self.memory.lock_shard(key).insert(*key, cached.clone());
+                DiskLookup::Hit(cached)
+            }
+            None => DiskLookup::Rejected,
+        }
+    }
+
+    /// Parses and fully re-validates one disk entry. `None` on any
+    /// defect — the entry is treated as corrupted.
+    fn revalidate(text: &str, kind: &JobKind, budget: &Budget) -> Option<CachedVerdict> {
+        let mut lines = text.lines();
+        if lines.next()?.trim() != DISK_MAGIC {
+            return None;
+        }
+        let verdict_line = lines.next()?.trim().strip_prefix("verdict ")?.to_owned();
+        let verdict = JobVerdict::parse(&verdict_line)?;
+        let cert_text: String = {
+            let rest: Vec<&str> = lines.collect();
+            rest.join("\n")
+        };
+        // `runs` certificates need concrete declarations to parse; every
+        // kind the disk tier persists is network-independent to *parse*
+        // (validation always runs against the live model).
+        let cert = format::parse_standalone(&cert_text).ok()?;
+        kind.validate_cached(&verdict, &cert, budget).ok()?;
+        let report = RunReport {
+            certificate_bytes: cert_text.len() as u64,
+            ..RunReport::default()
+        };
+        Some(CachedVerdict {
+            verdict,
+            report,
+            certificate: Some(Arc::new(cert_text)),
+        })
+    }
+
+    /// Number of entries in the memory tier (tests and diagnostics).
+    pub(crate) fn memory_len(&self) -> usize {
+        self.memory.len()
+    }
+
+    /// The disk path an entry for `key` would live at, if a disk tier is
+    /// configured (tests use this to tamper with entries).
+    pub(crate) fn disk_path(&self, key: &Fingerprint) -> Option<PathBuf> {
+        self.disk.as_ref().map(|dir| entry_path(dir, key))
+    }
+}
+
+fn entry_path(dir: &Path, key: &Fingerprint) -> PathBuf {
+    dir.join(format!("{}.wit", key.to_hex()))
+}

@@ -1,0 +1,48 @@
+//! # tempo-svc — a multi-tenant concurrent analysis service with a
+//! certified, content-addressed verdict cache
+//!
+//! Every engine in the workspace answers one query on one model in one
+//! call. This crate turns them into a long-running *service*: clients
+//! submit jobs `{model, query, engine, budget, priority}` for any of the
+//! seven analysis engines ([`JobKind`]) and get back [`JobHandle`]s they
+//! can wait on or cancel, while a shared worker pool executes the runs.
+//!
+//! The pieces, and where the paper's tool-integration story meets
+//! systems engineering:
+//!
+//! * **Scheduling** — a bounded [`tempo_conc::PriorityWorkQueue`] with
+//!   priority aging (no starvation) feeds the workers; admission control
+//!   is typed ([`Rejected::QueueFull`], per-tenant quotas) so overload
+//!   produces backpressure, never silent drops.
+//! * **Content-addressed caching** — each job is keyed by a stable
+//!   structural fingerprint ([`tempo_obs::Fingerprint`]) of its model,
+//!   query, engine configuration and budget class. Renaming model
+//!   labels or reordering guard conjunctions hits the same cache slot;
+//!   a different seed, direction or budget class never does.
+//! * **Certified persistence** — the optional on-disk tier stores only
+//!   verdicts that carry a `tempo-witness` certificate, and *replays the
+//!   certificate against the live model* before serving any disk hit:
+//!   a corrupted or stale entry is rejected and transparently
+//!   recomputed. Trust in the cache reduces to trust in the independent
+//!   replay validator, not in the file system.
+//! * **Coalescing** — identical concurrent requests share one engine
+//!   run; the run is cancelled only when *all* its owners cancel.
+//! * **Cancellation & shutdown** — job cancellation and service
+//!   shutdown both flow through [`tempo_conc::CancelToken`]s polled by
+//!   the engines' governors, so every analysis unwinds cooperatively
+//!   with a sound partial answer; [`AnalysisService::shutdown`] drains
+//!   the queue deterministically and resolves every outstanding handle.
+//! * **Observability** — per-job [`tempo_obs::RunReport`]s roll up into
+//!   per-tenant totals, and [`tempo_obs::ServiceStats`] counts hits,
+//!   misses, coalesced and rejected jobs and the queue's high-water
+//!   mark.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod job;
+mod service;
+
+pub use job::{JobError, JobKind, JobRequest, JobResult, JobVerdict, Rejected, VerdictSource};
+pub use service::{AnalysisService, JobHandle, ServiceConfig};

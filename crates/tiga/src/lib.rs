@@ -689,6 +689,18 @@ fn intern(
     Some(i)
 }
 
+impl tempo_obs::StableDigest for GameSolver<'_> {
+    /// Structural fingerprint of the game: the underlying network (whose
+    /// edge digests already include controllability) under a game tag,
+    /// so the same network analyzed as a plain model and as a game never
+    /// shares a cache slot. Thread count is excluded — synthesis is
+    /// deterministic in the verdict.
+    fn digest(&self, h: &mut tempo_obs::StableHasher) {
+        h.write_tag("timed-game");
+        self.exp.network().digest(h);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

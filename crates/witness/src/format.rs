@@ -141,6 +141,33 @@ pub fn parse(net: &Network, text: &str) -> Result<Certificate, WitnessError> {
     }
 }
 
+/// Parses a certificate without a network. Works for every kind except
+/// `runs`, whose variable stores can only be rebuilt against concrete
+/// declarations — exactly the kinds the analysis service persists for
+/// models that have no [`Network`] (MDPs, compiled MODEST models).
+///
+/// # Errors
+///
+/// [`WitnessError::Format`] with the offending 1-based line; a `runs`
+/// certificate fails with a message directing callers to [`parse`].
+pub fn parse_standalone(text: &str) -> Result<Certificate, WitnessError> {
+    let first = text
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty())
+        .unwrap_or("");
+    if first.split_whitespace().nth(2) == Some("runs") {
+        return Err(WitnessError::Format {
+            line: 1,
+            detail: "`runs` certificates need a network; use `parse`".to_owned(),
+        });
+    }
+    // All network-dependent parsing lives under the `runs` kind, so an
+    // empty network never gets consulted for the remaining kinds.
+    let empty = tempo_ta::NetworkBuilder::new().build();
+    parse(&empty, text)
+}
+
 fn fmt_state(s: &ConcreteState) -> String {
     let mut out = String::from("locs");
     for &l in &s.locs {

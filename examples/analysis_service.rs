@@ -1,0 +1,191 @@
+//! Closed-loop stress of the analysis service (EXPERIMENTS.md, "Analysis
+//! service" table): a fleet of tenant threads replays a mixed
+//! train-gate / BRP / DALA workload against one shared
+//! [`AnalysisService`], so most submissions repeat earlier ones — the
+//! realistic regime for a verification service in a CI loop. The run
+//! prints per-source latency percentiles (computed vs memory hit vs
+//! coalesced) and the final service counters.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tempo_core::mdp::Opt;
+use tempo_core::obs::Budget;
+use tempo_core::svc::{AnalysisService, JobKind, JobRequest, ServiceConfig, VerdictSource};
+use tempo_models::{brp, dala, train_gate, train_gate_game};
+
+/// The job mix: the paper's three model families, queried through five
+/// different engines.
+fn build_workload() -> Vec<(&'static str, JobKind)> {
+    let tg = train_gate(3);
+    let net = Arc::new(tg.net.clone());
+    let game = train_gate_game(2);
+    let model = brp(2, 2, 1);
+    vec![
+        (
+            "train-gate(3)  E<> cross(0)        [ta]",
+            JobKind::Reach {
+                net: Arc::clone(&net),
+                goal: tg.cross(0),
+            },
+        ),
+        (
+            "train-gate(3)  appr --> cross      [ta]",
+            JobKind::LeadsTo {
+                net: Arc::clone(&net),
+                phi: tg.appr(0),
+                psi: tg.cross(0),
+            },
+        ),
+        (
+            "train-gate-game(2) avoid collision [tiga]",
+            JobKind::SafetyGame {
+                net: Arc::new(game.net.clone()),
+                bad: game.collision(),
+            },
+        ),
+        (
+            "train-gate(3)  Pr[<=100](<> cross) [smc]",
+            JobKind::Probability {
+                net,
+                rates: tg.rates(),
+                seed: 42,
+                goal: tg.cross(0),
+                bound: 100.0,
+                runs: 738,
+                confidence: 0.95,
+            },
+        ),
+        (
+            "brp(2,2)       Pmax(<> p1)         [mcpta]",
+            JobKind::McptaReach {
+                pta: Arc::new(model.pta.clone()),
+                opt: Opt::Max,
+                goal: model.p1_goal(),
+                epsilon: 1e-9,
+            },
+        ),
+        (
+            "dala           deadlock search     [bip]",
+            JobKind::BipDeadlock {
+                sys: Arc::new(dala().sys.clone()),
+            },
+        ),
+    ]
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    const TENANTS: usize = 4;
+    const ROUNDS: usize = 8;
+
+    let svc = Arc::new(AnalysisService::new(ServiceConfig {
+        workers: 4,
+        queue_capacity: 128,
+        ..ServiceConfig::default()
+    }));
+    let workload = Arc::new(build_workload());
+    // (source, latency) samples from every tenant thread.
+    let samples: Arc<Mutex<Vec<(VerdictSource, Duration)>>> = Arc::new(Mutex::new(Vec::new()));
+
+    println!(
+        "analysis service: {TENANTS} tenants x {ROUNDS} rounds x {} jobs",
+        workload.len()
+    );
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..TENANTS {
+            let svc = Arc::clone(&svc);
+            let workload = Arc::clone(&workload);
+            let samples = Arc::clone(&samples);
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    for (i, (_, kind)) in workload.iter().enumerate() {
+                        let begun = Instant::now();
+                        let result = svc.run(JobRequest {
+                            tenant: format!("tenant-{t}"),
+                            // Later rounds age past earlier ones anyway;
+                            // stagger initial priorities per tenant.
+                            priority: (round * workload.len() + i) as i64 % 3,
+                            budget: Budget::unlimited(),
+                            kind: kind.clone(),
+                        });
+                        let elapsed = begun.elapsed();
+                        match result {
+                            Ok(r) => samples.lock().unwrap().push((r.source, elapsed)),
+                            Err(e) => panic!("job failed: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall = started.elapsed();
+
+    // Verdict agreement across the whole run is implied by the cache
+    // contract; spot-check it by re-running everything warm.
+    println!("\n{:<44} verdict", "job");
+    for (name, kind) in workload.iter() {
+        let r = svc
+            .run(JobRequest {
+                tenant: "report".into(),
+                priority: 0,
+                budget: Budget::unlimited(),
+                kind: kind.clone(),
+            })
+            .expect("warm re-run");
+        assert_eq!(r.source, VerdictSource::MemoryHit);
+        println!("{name:<44} {}", r.verdict);
+    }
+
+    let mut by_source: Vec<(VerdictSource, Vec<Duration>)> = vec![
+        (VerdictSource::Computed, Vec::new()),
+        (VerdictSource::MemoryHit, Vec::new()),
+        (VerdictSource::Coalesced, Vec::new()),
+        (VerdictSource::DiskHit, Vec::new()),
+    ];
+    for (source, lat) in samples.lock().unwrap().iter() {
+        if let Some((_, v)) = by_source.iter_mut().find(|(s, _)| s == source) {
+            v.push(*lat);
+        }
+    }
+    println!(
+        "\n{:<12} {:>6} {:>12} {:>12} {:>12}",
+        "source", "n", "p50", "p90", "max"
+    );
+    for (source, mut lats) in by_source {
+        if lats.is_empty() {
+            continue;
+        }
+        lats.sort();
+        println!(
+            "{:<12} {:>6} {:>9.3} ms {:>9.3} ms {:>9.3} ms",
+            format!("{source:?}"),
+            lats.len(),
+            percentile(&lats, 0.5).as_secs_f64() * 1e3,
+            percentile(&lats, 0.9).as_secs_f64() * 1e3,
+            percentile(&lats, 1.0).as_secs_f64() * 1e3,
+        );
+    }
+
+    let stats = svc.shutdown();
+    println!("\ncounters: {stats}");
+    println!("wall time: {:.3} s", wall.as_secs_f64());
+    let total = TENANTS * ROUNDS * workload.len();
+    assert_eq!(
+        (stats.hits + stats.disk_hits + stats.misses + stats.coalesced) as usize,
+        total + workload.len(),
+        "every submission is accounted for exactly once"
+    );
+    // The whole point of the cache: each distinct job computes once, all
+    // repeats are served without touching an engine.
+    assert_eq!(stats.misses as usize, workload.len());
+    assert_eq!(stats.rejected, 0);
+}
