@@ -45,6 +45,7 @@ mod composite;
 mod controller;
 mod dfinder;
 mod digest;
+mod por;
 mod system;
 
 pub use component::{Component, ComponentId, PortId, StateId, Transition};
@@ -56,6 +57,7 @@ pub use controller::{
 pub use dfinder::{
     check_deadlock_freedom, check_deadlock_freedom_governed, component_invariants, DfinderVerdict,
 };
+pub use por::BipPor;
 pub use system::{
     BipState, BipSystem, BipSystemBuilder, ComponentBuilder, Engine, Interaction, InteractionId,
     InteractionKind, Priority,

@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
 use tempo_expr::{Decls, Expr, Stmt, Store};
-use tempo_obs::{Budget, Outcome, RunReport};
+use tempo_obs::{Budget, ExploreConfig, Outcome, RunReport};
 
 /// Identifier of an interaction (connector) in a [`BipSystem`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -291,12 +291,36 @@ impl BipSystem {
     /// Deadlock search under a resource [`Budget`]: a witness found
     /// within the budget is definitive; exhaustion yields `None` as the
     /// partial answer ("no deadlock in the explored portion").
+    ///
+    /// Applies the default [`ExploreConfig`] — see
+    /// [`BipSystem::find_deadlock_with`] for the knobs.
     pub fn find_deadlock_governed(&self, budget: &Budget) -> Outcome<Option<BipState>> {
+        self.find_deadlock_with(ExploreConfig::default(), budget)
+    }
+
+    /// [`BipSystem::find_deadlock_governed`] with explicit reduction
+    /// knobs. The `por` knob enables the persistent-set reduction of
+    /// [`crate::BipPor`] — sound for deadlock search by Godefroid's
+    /// theorem, and conservative: states where no persistent candidate
+    /// shrinks the expansion are expanded in full. The `symmetry` knob
+    /// is currently ignored by the BIP engine (interactions are wired to
+    /// concrete ports, so there is no template identity to fold on).
+    pub fn find_deadlock_with(
+        &self,
+        config: ExploreConfig,
+        budget: &Budget,
+    ) -> Outcome<Option<BipState>> {
+        let por = config
+            .por
+            .then(|| crate::BipPor::analyze(self))
+            .filter(crate::BipPor::is_active);
         let gov = budget.governor();
         let mut seen: HashSet<BipState> = HashSet::new();
         let mut queue: VecDeque<BipState> = VecDeque::new();
         let mut peak = 0_usize;
         let mut explored = 0_usize;
+        let mut por_ample = 0_usize;
+        let mut por_fallback = 0_usize;
         if gov.charge_state() {
             let init = self.initial_state();
             seen.insert(init.clone());
@@ -314,12 +338,26 @@ impl BipSystem {
                     states_explored: explored as u64,
                     states_stored: seen.len() as u64,
                     peak_waiting: peak as u64,
+                    por_ample_states: por_ample as u64,
+                    por_fallback_states: por_fallback as u64,
                     wall_time: gov.elapsed(),
                     ..RunReport::default()
                 };
                 return gov.finish_complete(Some(state), report);
             }
-            for i in enabled {
+            let expand = match por.as_ref().and_then(|p| p.persistent(&enabled)) {
+                Some(mine) => {
+                    por_ample += 1;
+                    mine
+                }
+                None => {
+                    if por.is_some() {
+                        por_fallback += 1;
+                    }
+                    enabled
+                }
+            };
+            for i in expand {
                 if let Some(next) = self.execute(&state, i) {
                     if !seen.contains(&next) {
                         if !gov.charge_state() {
@@ -336,6 +374,8 @@ impl BipSystem {
             states_explored: explored as u64,
             states_stored: seen.len() as u64,
             peak_waiting: peak as u64,
+            por_ample_states: por_ample as u64,
+            por_fallback_states: por_fallback as u64,
             wall_time: gov.elapsed(),
             ..RunReport::default()
         };
@@ -766,6 +806,107 @@ mod tests {
         let sys = b.build();
         // gate == 0: both enabled.
         assert_eq!(sys.enabled_interactions(&sys.initial_state()).len(), 2);
+    }
+
+    /// Two independent bounded counters: each component owns a local
+    /// interaction incrementing its own variable up to 3. The only
+    /// deadlock is (3, 3).
+    fn independent_counters(shared_guard: bool) -> BipSystem {
+        let mut b = BipSystemBuilder::new();
+        let x0 = b.decls_mut().int("x0", 0, 3);
+        let x1 = b.decls_mut().int("x1", 0, 3);
+        let mut ports = Vec::new();
+        for name in ["C0", "C1"] {
+            let mut c = b.component(name);
+            let s = c.state("S");
+            let p = c.port("inc");
+            c.transition(s, s, p);
+            c.done();
+            ports.push(p);
+        }
+        for (k, (&p, var)) in ports.iter().zip([x0, x1]).enumerate() {
+            let i = b.rendezvous(if k == 0 { "inc0" } else { "inc1" }, &[p]);
+            let guard = Expr::var(var).lt(Expr::konst(3));
+            b.set_guard(
+                i,
+                if shared_guard {
+                    // Reading the *other* counter couples the components.
+                    guard & Expr::var(if k == 0 { x1 } else { x0 }).ge(Expr::konst(0))
+                } else {
+                    guard
+                },
+            );
+            b.set_update(i, Stmt::assign(var, Expr::var(var) + Expr::konst(1)));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn persistent_set_reduces_independent_counters() {
+        let sys = independent_counters(false);
+        let full = sys.find_deadlock_with(ExploreConfig::unreduced(), &Budget::unlimited());
+        let reduced = sys.find_deadlock_with(ExploreConfig::default(), &Budget::unlimited());
+        assert!(full.value().is_some(), "the (3, 3) deadlock exists");
+        assert!(
+            reduced.value().is_some(),
+            "reduction preserves the deadlock"
+        );
+        assert_eq!(full.value(), reduced.value(), "same unique witness");
+        assert!(
+            reduced.report().states_explored < full.report().states_explored,
+            "reduced {} vs full {}",
+            reduced.report().states_explored,
+            full.report().states_explored
+        );
+        assert!(reduced.report().por_ample_states > 0);
+        assert_eq!(full.report().por_ample_states, 0);
+    }
+
+    #[test]
+    fn persistent_set_falls_back_on_shared_data() {
+        let sys = independent_counters(true);
+        assert!(
+            !crate::BipPor::analyze(&sys).is_active(),
+            "cross-component guard reads defeat the candidate analysis"
+        );
+        let reduced = sys.find_deadlock_with(ExploreConfig::default(), &Budget::unlimited());
+        let full = sys.find_deadlock_with(ExploreConfig::unreduced(), &Budget::unlimited());
+        assert_eq!(full.value(), reduced.value());
+        assert_eq!(
+            full.report().states_explored,
+            reduced.report().states_explored,
+            "inactive reduction must not change the exploration"
+        );
+    }
+
+    #[test]
+    fn persistent_set_ignores_prioritized_interactions() {
+        // Like the independent counters, but a priority rule couples the
+        // two local interactions: the analysis must refuse both.
+        let mut b = BipSystemBuilder::new();
+        let x0 = b.decls_mut().int("x0", 0, 3);
+        let x1 = b.decls_mut().int("x1", 0, 3);
+        let mut ports = Vec::new();
+        for name in ["C0", "C1"] {
+            let mut c = b.component(name);
+            let s = c.state("S");
+            let p = c.port("inc");
+            c.transition(s, s, p);
+            c.done();
+            ports.push(p);
+        }
+        let i0 = b.rendezvous("inc0", &[ports[0]]);
+        b.set_guard(i0, Expr::var(x0).lt(Expr::konst(3)));
+        b.set_update(i0, Stmt::assign(x0, Expr::var(x0) + Expr::konst(1)));
+        let i1 = b.rendezvous("inc1", &[ports[1]]);
+        b.set_guard(i1, Expr::var(x1).lt(Expr::konst(3)));
+        b.set_update(i1, Stmt::assign(x1, Expr::var(x1) + Expr::konst(1)));
+        b.priority(i0, i1);
+        let sys = b.build();
+        assert!(!crate::BipPor::analyze(&sys).is_active());
+        let full = sys.find_deadlock_with(ExploreConfig::unreduced(), &Budget::unlimited());
+        let reduced = sys.find_deadlock_with(ExploreConfig::default(), &Budget::unlimited());
+        assert_eq!(full.value(), reduced.value());
     }
 
     #[test]

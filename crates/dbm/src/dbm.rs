@@ -104,6 +104,33 @@ impl Dbm {
         self.data[k] = b;
     }
 
+    /// The zone with clocks renamed: entry `(perm[i], perm[j])` of the
+    /// result equals entry `(i, j)` of `self`. `perm` must be a
+    /// permutation of `0..dim` fixing the reference clock (`perm[0] ==
+    /// 0`); canonical form and emptiness are preserved, since renaming
+    /// clocks permutes rows and columns without changing any bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a reference-fixing permutation of the
+    /// right length.
+    #[must_use]
+    pub fn permute(&self, perm: &[usize]) -> Dbm {
+        assert_eq!(perm.len(), self.dim, "permutation length must match dim");
+        assert_eq!(perm[0], 0, "the reference clock cannot be renamed");
+        let mut data = vec![Bound::INF; self.dim * self.dim];
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                data[perm[i] * self.dim + perm[j]] = self.data[i * self.dim + j];
+            }
+        }
+        Dbm {
+            dim: self.dim,
+            data,
+            empty: self.empty,
+        }
+    }
+
     /// Restores canonical (shortest-path-closed) form with Floyd–Warshall
     /// and recomputes emptiness. `O(dim³)`.
     pub fn close(&mut self) {

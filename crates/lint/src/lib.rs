@@ -17,6 +17,7 @@
 //! | TA004  | warning  | clock never read by any guard or invariant |
 //! | TA005  | warning  | clock read but never reset (unbounded drift) |
 //! | TA006  | warning  | internal cycle with no time progress (Zeno candidate) |
+//! | TA007  | warning  | near-miss symmetry orbit: template instances that differ |
 //! | BIP001 | warning  | port bound to no interaction |
 //! | BIP002 | warning  | component state unreachable in the transition graph |
 //! | MOD001 | mixed    | duplicate/shadowed identifier (warning), call of an undefined process (error) |
@@ -175,6 +176,11 @@ pub fn rules() -> &'static [Rule] {
             code: "TA006",
             severity: Severity::Warning,
             description: "internal cycle with no enforced time progress (Zeno candidate)",
+        },
+        Rule {
+            code: "TA007",
+            severity: Severity::Warning,
+            description: "components almost form a symmetry orbit but an edit breaks it",
         },
         Rule {
             code: "BIP001",

@@ -15,6 +15,7 @@ pub fn check_network(net: &Network) -> LintReport {
     unmatched_channels(net, &mut diagnostics);
     clock_usage(net, &mut diagnostics);
     zeno_candidates(net, &mut diagnostics);
+    symmetry_near_misses(net, &mut diagnostics);
     LintReport { diagnostics }
 }
 
@@ -208,6 +209,26 @@ fn zeno_candidates(net: &Network, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// TA007: automata that look like replicated instances of one template
+/// (same location count and edge/channel shape) but break the symmetry
+/// checks — an edited guard on one copy, a shared "private" clock, a
+/// duplicated identity constant. The modeller probably intended the
+/// components to be interchangeable; the edit silently costs the up-to-
+/// `k!` state-space division of template-symmetry reduction.
+fn symmetry_near_misses(net: &Network, out: &mut Vec<Diagnostic>) {
+    for miss in tempo_ta::near_miss_orbits(net) {
+        out.push(Diagnostic::warning(
+            "TA007",
+            Some(&miss.automata.join(", ")),
+            format!(
+                "components look like instances of one template but cannot \
+                 form a symmetry orbit: {}",
+                miss.reason
+            ),
+        ));
+    }
+}
+
 /// Strongly connected components of the automaton's location graph
 /// restricted to internal (non-synchronizing) edges, via Kosaraju.
 fn internal_sccs(a: &Automaton) -> Vec<HashSet<usize>> {
@@ -387,6 +408,97 @@ mod tests {
         a.edge(l1, l0).reset(x, 0).done();
         a.done();
         assert!(check_network(&b.build()).is_clean());
+    }
+
+    /// Two trains on a `go[i]` channel array plus a gate; `bounds` gives
+    /// each train's approach guard, `gate_guard` an optional clock read
+    /// by the gate (breaking clock privacy when it names a train clock).
+    fn two_trains(bounds: [i64; 2], gate_reads_x0: bool) -> tempo_ta::Network {
+        use tempo_expr::Expr;
+        let mut b = NetworkBuilder::new();
+        let go = b.channel_array("go", 2, tempo_ta::ChannelKind::Binary, false);
+        let mut clocks = Vec::new();
+        for (i, bound) in bounds.into_iter().enumerate() {
+            let x = b.clock(&format!("x{i}"));
+            clocks.push(x);
+            let mut a = b.automaton(&format!("Train{i}"));
+            let far = a.location("Far");
+            let near = a.location("Near");
+            a.edge(far, near)
+                .guard_clock(ClockAtom::ge(x, bound))
+                .reset(x, 0)
+                .send_indexed(go, Expr::konst(i as i64))
+                .done();
+            a.edge(near, far).guard_clock(ClockAtom::ge(x, 1)).done();
+            a.done();
+        }
+        let mut g = b.automaton("Gate");
+        let g0 = g.location("G0");
+        let mut e = g.edge(g0, g0).recv_indexed(go, Expr::konst(0));
+        if gate_reads_x0 {
+            e = e.guard_clock(ClockAtom::ge(clocks[0], 1));
+        }
+        e.done();
+        let mut e = g.edge(g0, g0).recv_indexed(go, Expr::konst(1));
+        if gate_reads_x0 {
+            e = e.guard_clock(ClockAtom::ge(clocks[0], 1));
+        }
+        e.done();
+        g.done();
+        b.build()
+    }
+
+    #[test]
+    fn near_miss_symmetry_is_flagged_and_true_orbits_are_not() {
+        // Identical except for one guard constant: TA007.
+        let report = check_network(&two_trains([5, 7], false));
+        let ta007: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "TA007")
+            .collect();
+        assert_eq!(ta007.len(), 1);
+        assert_eq!(ta007[0].component.as_deref(), Some("Train0, Train1"));
+
+        // Equal guards: a genuine orbit, no TA007.
+        let report = check_network(&two_trains([5, 5], false));
+        assert!(report.diagnostics.iter().all(|d| d.code != "TA007"));
+    }
+
+    #[test]
+    fn shared_member_clock_breaks_the_orbit() {
+        // The gate reads Train0's clock: x0 is no longer private.
+        let report = check_network(&two_trains([5, 5], true));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "TA007" && d.message.contains("x0")));
+    }
+
+    #[test]
+    fn scalar_channel_twins_get_the_array_slot_hint() {
+        let mut b = NetworkBuilder::new();
+        let go = b.channel("go");
+        for i in 0..2 {
+            let x = b.clock(&format!("x{i}"));
+            let mut a = b.automaton(&format!("Worker{i}"));
+            let l0 = a.location("L0");
+            a.edge(l0, l0)
+                .guard_clock(ClockAtom::ge(x, 1))
+                .reset(x, 0)
+                .send(go)
+                .done();
+            a.done();
+        }
+        let mut g = b.automaton("Sink");
+        let g0 = g.location("G0");
+        g.edge(g0, g0).recv(go).done();
+        g.done();
+        let report = check_network(&b.build());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "TA007" && d.message.contains("channel-array slot")));
     }
 
     #[test]

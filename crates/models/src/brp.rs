@@ -22,7 +22,9 @@
 
 use tempo_dbm::Clock;
 use tempo_expr::{Expr, VarId};
-use tempo_modest::{compile, Assignment, Mcpta, ModestModel, PaltBranch, Process, Pta};
+use tempo_modest::{
+    compile, Assignment, Mcpta, McptaConfig, ModestModel, PaltBranch, Process, Pta,
+};
 use tempo_ta::{ClockAtom, StateFormula};
 
 /// Sender report values.
@@ -331,12 +333,32 @@ impl Brp {
     /// model constants and the state space stays small).
     #[must_use]
     pub fn mcpta(&self, time_bound: i64, max_states: usize) -> Mcpta {
+        self.mcpta_with(time_bound, McptaConfig::default(), max_states)
+    }
+
+    /// [`Brp::mcpta`] with explicit build options — BRP is mostly
+    /// waiting (timeout countdowns, channel transit), so Dirac tick-chain
+    /// compression ([`McptaConfig::compress_ticks`]) removes a large
+    /// share of its digital states without changing any Table I value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state space exceeds `max_states`.
+    #[must_use]
+    pub fn mcpta_with(&self, time_bound: i64, config: McptaConfig, max_states: usize) -> Mcpta {
         let extra = if time_bound > 0 {
             vec![ClockAtom::le(self.gt, time_bound)]
         } else {
             Vec::new()
         };
-        Mcpta::build(&self.pta, &extra, max_states)
+        Mcpta::try_build_with(
+            &self.pta,
+            &extra,
+            config,
+            &tempo_obs::Budget::unlimited().with_max_states(max_states as u64),
+        )
+        .into_value()
+        .unwrap_or_else(|| panic!("digital-clocks MDP exceeds {max_states} states"))
     }
 }
 
@@ -419,6 +441,31 @@ mod tests {
             d_large > 0.9,
             "almost all transfers finish within 30: {d_large}"
         );
+    }
+
+    #[test]
+    fn tick_compression_shrinks_brp_without_changing_table_one() {
+        let b = small();
+        let full = b.mcpta(0, 2_000_000);
+        let compressed = b.mcpta_with(
+            0,
+            McptaConfig {
+                compress_ticks: true,
+            },
+            2_000_000,
+        );
+        assert!(
+            compressed.stats().states < full.stats().states,
+            "compressed {} vs full {}",
+            compressed.stats().states,
+            full.stats().states
+        );
+        for goal in [b.p1_goal(), b.p2_goal(), b.pa_goal(), b.pb_goal()] {
+            assert!((compressed.pmax(&goal) - full.pmax(&goal)).abs() < 1e-12);
+        }
+        assert!((compressed.pmin(&b.success()) - full.pmin(&b.success())).abs() < 1e-12);
+        assert!((compressed.emax_time(&b.done()) - full.emax_time(&b.done())).abs() < 1e-9);
+        assert!(compressed.check_invariant(&b.ta1()) && compressed.check_invariant(&b.ta2()));
     }
 
     #[test]

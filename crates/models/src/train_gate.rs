@@ -69,6 +69,9 @@ pub fn train_gate(n: usize) -> TrainGate {
     let list = b.decls_mut().array("list", n + 1, 0, n_i64 - 1);
     let len = b.decls_mut().int("len", 0, n_i64);
     let idx = b.decls_mut().int("i", 0, n_i64);
+    // `list` holds train *identities*: declaring that lets the symmetry
+    // reduction permute queue contents along with the trains.
+    b.mark_id_var(list);
 
     // Trains (Fig. 1(a)).
     let mut trains = Vec::new();
@@ -403,6 +406,26 @@ mod tests {
             StateFormula::at(tg.trains[1], tg.train_locs.appr),
         ]);
         assert!(mc.reachable(&both_waiting).reachable);
+    }
+
+    #[test]
+    fn symmetry_reduces_three_train_safety() {
+        use tempo_ta::ExploreConfig;
+        let tg = train_gate(3);
+        let safety = tg.safety();
+        let mut full = ModelChecker::new(&tg.net).with_config(ExploreConfig::unreduced());
+        let (v_full, s_full) = full.always(&safety);
+        let mut red = ModelChecker::new(&tg.net);
+        let (v_red, s_red) = red.always(&safety);
+        assert_eq!(v_full.holds(), v_red.holds());
+        assert!(v_red.holds());
+        assert!(s_red.sym_orbits > 0, "train orbit detected");
+        assert!(
+            s_red.explored < s_full.explored,
+            "symmetry must shrink the exploration: {} vs {}",
+            s_red.explored,
+            s_full.explored
+        );
     }
 
     #[test]

@@ -62,7 +62,7 @@ mod pta;
 
 pub use ast::{ActionId, Assignment, ModestModel, PaltBranch, Process};
 pub use compile::compile;
-pub use mcpta::{Mcpta, McptaStats};
+pub use mcpta::{Mcpta, McptaConfig, McptaStats};
 pub use mctau::{Mctau, ProbabilityBounds};
 pub use modes::{Modes, ModesObservation, ModesRun, Scheduler};
 pub use parser::{parse_modest, ParseError};

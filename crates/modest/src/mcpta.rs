@@ -40,6 +40,26 @@ pub struct McptaStats {
     pub transitions: usize,
 }
 
+/// Build-time options for the digital-clocks MDP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct McptaConfig {
+    /// Dirac tick-chain compression: a digital state whose only
+    /// behaviour is the unit delay is a pure waiting point, and a run of
+    /// such states collapses into one tick transition carrying the
+    /// accumulated time as its reward. A waiting state is skipped only
+    /// while its protected-atom truth vector matches the chain's start
+    /// (locations and variables cannot change under tick), so every
+    /// probability and expected time computed from the compressed MDP is
+    /// identical — under the same contract [`Mcpta::build`] already
+    /// imposes: `extra_atoms` covers every clock constraint later
+    /// queries read.
+    ///
+    /// Off by default because *step*-bounded queries
+    /// ([`Mcpta::pmax_bounded`]) count MDP steps, and compression
+    /// changes how many steps a unit of time takes.
+    pub compress_ticks: bool,
+}
+
 impl Mcpta {
     /// Builds the digital-clocks MDP for the PTA. `extra_atoms` must
     /// cover every clock constraint used in later queries (so that the
@@ -73,6 +93,21 @@ impl Mcpta {
     pub fn try_build(
         pta: &Pta,
         extra_atoms: &[tempo_ta::ClockAtom],
+        budget: &Budget,
+    ) -> Outcome<Option<Self>> {
+        Self::try_build_with(pta, extra_atoms, McptaConfig::default(), budget)
+    }
+
+    /// [`Mcpta::try_build`] with explicit build options (see
+    /// [`McptaConfig`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PTA is not closed (strict bounds).
+    pub fn try_build_with(
+        pta: &Pta,
+        extra_atoms: &[tempo_ta::ClockAtom],
+        config: McptaConfig,
         budget: &Budget,
     ) -> Outcome<Option<Self>> {
         let gov = budget.governor();
@@ -134,7 +169,27 @@ impl Mcpta {
                     .expect("explorer produces valid distributions");
             }
             // Tick (reward 1 = one time unit).
-            if let Some(next) = exp.tick(&state) {
+            if let Some(mut next) = exp.tick(&state) {
+                let mut waited = 1.0;
+                if config.compress_ticks {
+                    // Walk the Dirac chain: keep skipping `next` while it
+                    // is a pure waiting point — no action transitions,
+                    // and observationally identical to `state` (its
+                    // protected-atom truth vector agrees; locations and
+                    // variables cannot change under tick).
+                    while atoms_agree(&extra_mapped, &state, &next)
+                        && exp.transitions(&next).is_empty()
+                    {
+                        let Some(after) = exp.tick(&next) else { break };
+                        if after == next {
+                            // Every clock clamped: the tick fixpoint
+                            // self-loop must stay a stored state.
+                            break;
+                        }
+                        next = after;
+                        waited += 1.0;
+                    }
+                }
                 let Some(id) = intern(
                     &mut builder,
                     &mut index,
@@ -146,7 +201,7 @@ impl Mcpta {
                     break 'build;
                 };
                 builder
-                    .add_action(sid, Some("tick"), 1.0, vec![(id, 1.0)])
+                    .add_action(sid, Some("tick"), waited, vec![(id, 1.0)])
                     .expect("tick distribution is valid");
             }
             peak = peak.max(frontier.len());
@@ -294,6 +349,18 @@ impl Mcpta {
     }
 }
 
+/// Whether every protected atom has the same truth value in both states.
+/// Along a tick chain this is the whole observable difference: locations
+/// and variables are tick-invariant, and queries read clocks only
+/// through protected atoms.
+fn atoms_agree(atoms: &[tempo_ta::ClockAtom], a: &PtaState, b: &PtaState) -> bool {
+    let sat = |s: &PtaState, atom: &tempo_ta::ClockAtom| {
+        atom.bound
+            .satisfied_by(s.clocks[atom.i.index()] - s.clocks[atom.j.index()])
+    };
+    atoms.iter().all(|atom| sat(a, atom) == sat(b, atom))
+}
+
 fn intern(
     builder: &mut MdpBuilder,
     index: &mut HashMap<PtaState, StateId>,
@@ -422,6 +489,37 @@ mod tests {
         assert!(
             (emin - 1.0).abs() < 1e-9,
             "move as soon as the guard allows: {emin}"
+        );
+    }
+
+    #[test]
+    fn tick_compression_preserves_values_on_fewer_states() {
+        let (pta, ok) = retry_model();
+        let goal = StateFormula::data(Expr::var(ok).eq(Expr::konst(1)));
+        let full = Mcpta::build(&pta, &[], 100_000);
+        let compressed = Mcpta::try_build_with(
+            &pta,
+            &[],
+            McptaConfig {
+                compress_ticks: true,
+            },
+            &Budget::unlimited(),
+        )
+        .into_value()
+        .expect("unlimited build completes");
+        // The retry loop waits two ticks before every attempt; those
+        // waiting points collapse.
+        assert!(
+            compressed.stats().states < full.stats().states,
+            "compressed {} vs full {}",
+            compressed.stats().states,
+            full.stats().states
+        );
+        assert!((compressed.pmax(&goal) - full.pmax(&goal)).abs() < 1e-12);
+        assert!((compressed.pmin(&goal) - full.pmin(&goal)).abs() < 1e-12);
+        assert!(
+            compressed.emin_time(&goal).is_infinite() && full.emin_time(&goal).is_infinite(),
+            "the third failure is terminal either way"
         );
     }
 

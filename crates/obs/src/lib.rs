@@ -319,6 +319,18 @@ pub struct RunReport {
     /// Time spent producing and validating the certificate (zero when no
     /// certificate was produced).
     pub certify_time: Duration,
+    /// States expanded with a reduced (ample) successor set by
+    /// partial-order reduction.
+    pub por_ample_states: u64,
+    /// States where an ample candidate existed but the cycle proviso
+    /// forced a fall-back to full expansion.
+    pub por_fallback_states: u64,
+    /// Symmetry orbits of structurally identical components detected
+    /// (`0` when symmetry reduction was off or found nothing).
+    pub sym_orbits: u64,
+    /// Successor states folded onto an already-known orbit
+    /// representative by symmetry canonicalization.
+    pub sym_states_avoided: u64,
 }
 
 impl RunReport {
@@ -343,6 +355,10 @@ impl RunReport {
         self.wall_time += other.wall_time;
         self.certificate_bytes += other.certificate_bytes;
         self.certify_time += other.certify_time;
+        self.por_ample_states += other.por_ample_states;
+        self.por_fallback_states += other.por_fallback_states;
+        self.sym_orbits = self.sym_orbits.max(other.sym_orbits);
+        self.sym_states_avoided += other.sym_states_avoided;
     }
 }
 
@@ -369,7 +385,87 @@ impl fmt::Display for RunReport {
                 self.certify_time.as_secs_f64()
             )?;
         }
+        if self.por_ample_states > 0 || self.por_fallback_states > 0 {
+            write!(
+                f,
+                ", por {} ample / {} fallback",
+                self.por_ample_states, self.por_fallback_states
+            )?;
+        }
+        if self.sym_orbits > 0 {
+            write!(
+                f,
+                ", symmetry {} orbit(s), {} states avoided",
+                self.sym_orbits, self.sym_states_avoided
+            )?;
+        }
         Ok(())
+    }
+}
+
+/// Knobs for the explicit-state exploration engines: which
+/// semantics-preserving state-space reductions to attempt.
+///
+/// Both reductions are *conservative*: they only apply where the engine
+/// can prove them sound for the model and query at hand, and silently
+/// fall back to full exploration otherwise. Verdicts (status, witness
+/// existence, tags) are identical with any combination of knobs; only
+/// the amount of work recorded in [`RunReport`] changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreConfig {
+    /// Ample-set partial-order reduction: expand only one independent,
+    /// invisible component where the ample conditions hold.
+    pub por: bool,
+    /// Template-symmetry reduction: fold states of structurally
+    /// identical components onto a canonical orbit representative.
+    pub symmetry: bool,
+}
+
+impl Default for ExploreConfig {
+    /// Both reductions on — they are sound by construction and each
+    /// engine disables them itself where soundness cannot be
+    /// established (e.g. liveness search).
+    fn default() -> Self {
+        ExploreConfig {
+            por: true,
+            symmetry: true,
+        }
+    }
+}
+
+impl ExploreConfig {
+    /// Everything off: the unreduced reference semantics.
+    #[must_use]
+    pub fn unreduced() -> Self {
+        ExploreConfig {
+            por: false,
+            symmetry: false,
+        }
+    }
+
+    /// Sets the partial-order-reduction knob.
+    #[must_use]
+    pub fn with_por(mut self, on: bool) -> Self {
+        self.por = on;
+        self
+    }
+
+    /// Sets the symmetry-reduction knob.
+    #[must_use]
+    pub fn with_symmetry(mut self, on: bool) -> Self {
+        self.symmetry = on;
+        self
+    }
+}
+
+impl StableDigest for ExploreConfig {
+    /// The knobs participate in content-addressed cache keys: a reduced
+    /// and an unreduced run report different work, so their verdicts
+    /// must not share a byte-identical cache slot.
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_tag("explore-config");
+        h.write_u8(u8::from(self.por));
+        h.write_u8(u8::from(self.symmetry));
     }
 }
 
@@ -627,6 +723,10 @@ impl Governor {
             wall_time: self.elapsed(),
             certificate_bytes: 0,
             certify_time: Duration::ZERO,
+            por_ample_states: 0,
+            por_fallback_states: 0,
+            sym_orbits: 0,
+            sym_states_avoided: 0,
         }
     }
 
@@ -924,6 +1024,10 @@ mod tests {
             wall_time: Duration::from_millis(30),
             certificate_bytes: 128,
             certify_time: Duration::from_millis(3),
+            por_ample_states: 6,
+            por_fallback_states: 4,
+            sym_orbits: 2,
+            sym_states_avoided: 11,
         };
         let b = RunReport {
             states_explored: 1,
@@ -936,6 +1040,10 @@ mod tests {
             wall_time: Duration::from_millis(20),
             certificate_bytes: 64,
             certify_time: Duration::from_millis(1),
+            por_ample_states: 1,
+            por_fallback_states: 2,
+            sym_orbits: 5,
+            sym_states_avoided: 3,
         };
         let mut merged = a.clone();
         merged.merge(&b);
@@ -953,8 +1061,21 @@ mod tests {
             a.certificate_bytes + b.certificate_bytes
         );
         assert_eq!(merged.certify_time, a.certify_time + b.certify_time);
+        assert_eq!(
+            merged.por_ample_states,
+            a.por_ample_states + b.por_ample_states
+        );
+        assert_eq!(
+            merged.por_fallback_states,
+            a.por_fallback_states + b.por_fallback_states
+        );
+        assert_eq!(
+            merged.sym_states_avoided,
+            a.sym_states_avoided + b.sym_states_avoided
+        );
         // High-water marks take the max.
         assert_eq!(merged.peak_waiting, 9);
+        assert_eq!(merged.sym_orbits, 5);
         assert_eq!(merged.dbm_dim, 5);
         assert_eq!(merged.dbm_dim_model, 6);
         // Merging zero is the identity.

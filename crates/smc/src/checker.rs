@@ -39,13 +39,17 @@ fn reduced_query<'a>(
     prop: &StateFormula,
 ) -> (&'a Network, StateFormula) {
     if reduction.is_reduced() {
-        let mapped = reduction
-            .map_formula(prop)
-            .expect("property atoms are kept alive by reduced_with");
-        (reduction.network(), mapped)
-    } else {
-        (full, prop.clone())
+        // `reduced_with` keeps every clock read by any template or by the
+        // atoms it was given, so a property mapped against the reduction
+        // computed from its own atoms always survives. A `None` here
+        // means the reduction was computed for a *different* atom set
+        // (caller mismatch); simulating the full network is always
+        // correct, so fall back instead of panicking.
+        if let Some(mapped) = reduction.map_formula(prop) {
+            return (reduction.network(), mapped);
+        }
     }
+    (full, prop.clone())
 }
 
 /// Default cap on the number of actions per simulated run.
@@ -224,7 +228,7 @@ impl<'n> StatisticalChecker<'n> {
         self.probability_governed(goal, bound, runs, confidence, &Budget::unlimited())
             .unwrap_or_else(|e| panic!("{e}"))
             .into_value()
-            .expect("unlimited budget completes every requested run")
+            .expect("an unlimited budget without a cancel token cannot stop short")
     }
 
     /// Estimates `Pr[<=bound](<> goal)` under a resource [`Budget`].
@@ -237,7 +241,8 @@ impl<'n> StatisticalChecker<'n> {
     /// # Errors
     ///
     /// Returns a [`StatsError`] when `runs == 0` or `confidence` is
-    /// outside `(0, 1)`.
+    /// outside `(0, 1)`, and [`StatsError::Cancelled`] when the budget's
+    /// cancellation token trips before the first run completes.
     pub fn probability_governed(
         &mut self,
         goal: &StateFormula,
@@ -284,10 +289,26 @@ impl<'n> StatisticalChecker<'n> {
         let est = if completed > 0 {
             Some(estimate(successes, completed, confidence)?)
         } else {
+            Self::check_cancelled(&gov)?;
             None
         };
         let report = sim_report(&gov, completed, dim, self.net.dim());
         Ok(gov.finish(est, report))
+    }
+
+    /// Surfaces cancellation-before-any-data as the typed
+    /// [`StatsError::Cancelled`] — callers holding the [`CancelToken`]
+    /// (job runners, service shutdown) asked for the abort, so an empty
+    /// `Exhausted` outcome would only make them second-guess the
+    /// estimator. Mid-batch cancellation still yields a partial estimate
+    /// via the ordinary `Exhausted` path.
+    ///
+    /// [`CancelToken`]: tempo_obs::CancelToken
+    fn check_cancelled(gov: &Governor) -> Result<(), StatsError> {
+        if gov.exhausted() == Some(tempo_obs::ExhaustionReason::Cancelled) {
+            return Err(StatsError::Cancelled);
+        }
+        Ok(())
     }
 
     /// Sequential hypothesis test of `Pr[<=bound](<> goal) ≥ theta + delta`
@@ -368,7 +389,7 @@ impl<'n> StatisticalChecker<'n> {
         self.expected_governed(bound, runs, value, &Budget::unlimited())
             .unwrap_or_else(|e| panic!("{e}"))
             .into_value()
-            .expect("unlimited budget completes every requested run")
+            .expect("an unlimited budget without a cancel token cannot stop short")
     }
 
     /// Expected-value estimation under a resource [`Budget`]: on
@@ -377,7 +398,9 @@ impl<'n> StatisticalChecker<'n> {
     ///
     /// # Errors
     ///
-    /// Returns [`StatsError::NoRuns`] when `runs == 0`.
+    /// Returns [`StatsError::NoRuns`] when `runs == 0`, and
+    /// [`StatsError::Cancelled`] when the budget's cancellation token
+    /// trips before the first run completes.
     pub fn expected_governed<F>(
         &mut self,
         bound: f64,
@@ -412,6 +435,7 @@ impl<'n> StatisticalChecker<'n> {
         };
         Self::settle_runs(&gov, samples.len(), runs);
         let est = if samples.is_empty() {
+            Self::check_cancelled(&gov)?;
             None
         } else {
             Some(estimate_mean(&samples)?)
@@ -744,6 +768,65 @@ mod tests {
         let out = smc.hypothesis_governed(&goal, 10.0, 0.5, 0.1, 0.05, 0.05, 1000, &budget);
         assert!(out.is_exhausted());
         assert_eq!(out.value().0, TestVerdict::Undecided);
+    }
+
+    #[test]
+    fn mismatched_reduction_falls_back_to_full_network() {
+        // Regression: a property whose clock the reduction removed (the
+        // reduction was computed for a different query's atoms) used to
+        // panic in `reduced_query`. It now simulates the full network.
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let d = b.clock("d");
+        let mut a = b.automaton("A");
+        let l0 = a.location_with_invariant("L0", vec![ClockAtom::le(x, 5)]);
+        let l1 = a.location("L1");
+        a.edge(l0, l1)
+            .guard_clock(ClockAtom::ge(x, 2))
+            .reset(d, 0)
+            .done();
+        a.done();
+        let net = b.build();
+        // Computed with no keep-alive atoms: `d` is gone.
+        let reduction = net.reduced();
+        assert!(reduction.is_reduced());
+        let prop = StateFormula::clock(ClockAtom::le(d, 10));
+        assert!(reduction.map_formula(&prop).is_none(), "d was removed");
+        let (sim_net, mapped) = reduced_query(&reduction, &net, &prop);
+        assert_eq!(sim_net.dim(), net.dim(), "fell back to the full network");
+        assert_eq!(mapped, prop);
+        // The matched pairing still uses the reduced network.
+        let matched = net.reduced_with(&prop.clock_atoms());
+        let (sim_net, _) = reduced_query(&matched, &net, &prop);
+        assert_eq!(sim_net.dim(), matched.dim());
+    }
+
+    #[test]
+    fn cancellation_is_a_typed_error_not_a_panic() {
+        // Regression: a `CancelToken` cancelled before the first run used
+        // to leave the estimator with an empty `Exhausted` outcome that
+        // downstream `.expect("unlimited budget completes every requested
+        // run")` calls turned into a panic. It is a typed error now.
+        let (net, aid, heads) = coin_net();
+        let goal = StateFormula::at(aid, heads);
+        let token = tempo_obs::CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel(token);
+        let mut smc = StatisticalChecker::new(&net, RatePolicy::new(), 9);
+        let err = smc
+            .probability_governed(&goal, 10.0, 100, 0.95, &budget)
+            .unwrap_err();
+        assert_eq!(err, StatsError::Cancelled);
+        let err = smc
+            .expected_governed(10.0, 100, |run| run.steps.len() as f64, &budget)
+            .unwrap_err();
+        assert_eq!(err, StatsError::Cancelled);
+        // The parallel batch path takes the same typed exit.
+        let mut par = StatisticalChecker::new(&net, RatePolicy::new(), 9).with_threads(3);
+        let err = par
+            .probability_governed(&goal, 10.0, 100, 0.95, &budget)
+            .unwrap_err();
+        assert_eq!(err, StatsError::Cancelled);
     }
 
     #[test]

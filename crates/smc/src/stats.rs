@@ -15,6 +15,9 @@ pub enum StatsError {
     NoSamples,
     /// The confidence level is outside the open interval `(0, 1)`.
     InvalidConfidence(f64),
+    /// The budget's cancellation token was cancelled before any run
+    /// completed, so there is no data to estimate from.
+    Cancelled,
 }
 
 impl fmt::Display for StatsError {
@@ -24,6 +27,9 @@ impl fmt::Display for StatsError {
             StatsError::NoSamples => write!(f, "estimation requires at least one sample"),
             StatsError::InvalidConfidence(c) => {
                 write!(f, "confidence must be in (0,1), got {c}")
+            }
+            StatsError::Cancelled => {
+                write!(f, "cancelled before any run completed")
             }
         }
     }

@@ -10,7 +10,8 @@ use tempo_cora::PricedNetwork;
 use tempo_mdp::{Mdp, Opt};
 use tempo_modest::{Mcpta, Pta};
 use tempo_obs::{
-    Budget, ExhaustionReason, Fingerprint, Outcome, RunReport, StableDigest, StableHasher,
+    Budget, ExhaustionReason, ExploreConfig, Fingerprint, Outcome, RunReport, StableDigest,
+    StableHasher,
 };
 use tempo_smc::{Estimate, RatePolicy};
 use tempo_ta::{Network, StateFormula};
@@ -33,6 +34,10 @@ pub enum JobKind {
         net: Arc<Network>,
         /// The goal formula.
         goal: StateFormula,
+        /// State-space reduction knobs for the exploration engine.
+        /// Part of the cache key: a reduced and an unreduced run answer
+        /// the same question but report different work.
+        explore: ExploreConfig,
     },
     /// Leads-to / response checking (`phi --> psi`).
     LeadsTo {
@@ -148,9 +153,10 @@ impl JobKind {
         h.write_tag("tempo-svc-job");
         h.write_tag(self.engine_tag());
         match self {
-            JobKind::Reach { net, goal } => {
+            JobKind::Reach { net, goal, explore } => {
                 net.digest(&mut h);
                 goal.digest(&mut h);
+                explore.digest(&mut h);
             }
             JobKind::LeadsTo { net, phi, psi } => {
                 net.digest(&mut h);
@@ -231,9 +237,9 @@ impl JobKind {
     /// replayable certificate.
     pub(crate) fn execute(&self, budget: &Budget) -> Result<Execution, JobError> {
         match self {
-            JobKind::Reach { net, goal } => {
-                let (out, cert) =
-                    certify::certified_reachable(net, goal, budget).map_err(engine_err)?;
+            JobKind::Reach { net, goal, explore } => {
+                let (out, cert) = certify::certified_reachable_with(net, goal, *explore, budget)
+                    .map_err(engine_err)?;
                 let (res, report) = split(out)?;
                 Ok(Execution {
                     verdict: JobVerdict::Reachable(res.reachable),
@@ -377,9 +383,11 @@ impl JobKind {
         budget: &Budget,
     ) -> Result<(), String> {
         match (self, verdict, cert) {
-            (JobKind::Reach { net, goal }, JobVerdict::Reachable(true), Certificate::Trace(c)) => {
-                c.validate(net, goal).map_err(|e| e.to_string())
-            }
+            (
+                JobKind::Reach { net, goal, .. },
+                JobVerdict::Reachable(true),
+                Certificate::Trace(c),
+            ) => c.validate(net, goal).map_err(|e| e.to_string()),
             (
                 JobKind::LeadsTo { net, psi, .. },
                 JobVerdict::LeadsTo(false),
@@ -743,6 +751,38 @@ mod tests {
         }
         assert_eq!(JobVerdict::parse("gibberish"), None);
         assert_eq!(JobVerdict::parse("mdp-value zz"), None);
+    }
+
+    #[test]
+    fn reduction_knobs_partition_the_cache() {
+        let mut b = tempo_ta::NetworkBuilder::new();
+        let mut a = b.automaton("A");
+        let l0 = a.location("L0");
+        let l1 = a.location("L1");
+        a.edge(l0, l1).done();
+        let a = a.done();
+        let net = Arc::new(b.build());
+        let goal = StateFormula::at(a, l1);
+        let key = |explore: ExploreConfig| {
+            JobKind::Reach {
+                net: Arc::clone(&net),
+                goal: goal.clone(),
+                explore,
+            }
+            .cache_key(&Budget::unlimited())
+        };
+        // Same knobs: shared slot (the common CI-loop hit path).
+        assert_eq!(key(ExploreConfig::default()), key(ExploreConfig::default()));
+        // Different knobs answer the same question but report different
+        // work, so they must not serve each other's cached reports.
+        assert_ne!(
+            key(ExploreConfig::default()),
+            key(ExploreConfig::unreduced())
+        );
+        assert_ne!(
+            key(ExploreConfig::unreduced().with_por(true)),
+            key(ExploreConfig::unreduced().with_symmetry(true))
+        );
     }
 
     #[test]

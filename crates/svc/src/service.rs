@@ -344,7 +344,7 @@ impl JobHandle {
 ///
 /// ```
 /// use std::sync::Arc;
-/// use tempo_obs::Budget;
+/// use tempo_obs::{Budget, ExploreConfig};
 /// use tempo_svc::{AnalysisService, JobKind, JobRequest, ServiceConfig};
 /// use tempo_ta::{ClockAtom, NetworkBuilder, StateFormula};
 ///
@@ -365,6 +365,7 @@ impl JobHandle {
 ///     kind: JobKind::Reach {
 ///         net,
 ///         goal: StateFormula::at(a, l1),
+///         explore: ExploreConfig::default(),
 ///     },
 /// }).expect("admitted");
 /// let result = job.wait().expect("completed");

@@ -276,6 +276,42 @@ impl<'n> Explorer<'n> {
             .collect()
     }
 
+    /// Whether any automaton currently occupies a committed location
+    /// (used by partial-order reduction to fall back to full expansion:
+    /// committed semantics restricts which automata may fire).
+    pub(crate) fn any_committed(&self, state: &SymState) -> bool {
+        self.committed_set(state).iter().any(|&c| c)
+    }
+
+    /// Successors produced by the internal (unsynchronized) edges of a
+    /// single automaton. Used by ample-set partial-order reduction; the
+    /// caller guarantees no committed location is active.
+    pub(crate) fn internal_successors(
+        &self,
+        state: &SymState,
+        ai: usize,
+    ) -> Vec<(Action, SymState)> {
+        let a = &self.net.automata[ai];
+        let mut out = Vec::new();
+        for (ei, e) in a.edges.iter().enumerate() {
+            if e.from != state.locs[ai] || e.sync.is_some() {
+                continue;
+            }
+            for sel in SelectIter::new(&e.selects) {
+                if let Some(next) = self.fire(state, &[(AutomatonId(ai), e, sel.clone())]) {
+                    out.push((
+                        Action::Internal {
+                            automaton: AutomatonId(ai),
+                            edge: ei,
+                        },
+                        next,
+                    ));
+                }
+            }
+        }
+        out
+    }
+
     /// Computes all symbolic successors with their actions. Successor
     /// zones are delay-closed and extrapolated; empty successors are
     /// dropped.

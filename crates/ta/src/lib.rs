@@ -42,9 +42,11 @@ mod formula;
 mod liveness;
 mod model;
 mod par_reach;
+mod por;
 mod query;
 mod reach;
 mod reduce;
+mod symmetry;
 
 pub use digital::{DigitalError, DigitalExplorer, DigitalMove, DigitalState};
 pub use explore::{Action, Explorer, SymState};
@@ -54,8 +56,11 @@ pub use model::{
     Automaton, AutomatonBuilder, AutomatonId, Channel, ChannelId, ChannelKind, ClockAtom, Edge,
     EdgeBuilder, Location, LocationId, LocationKind, Network, NetworkBuilder, Sync, SyncDir,
 };
+pub use por::Por;
 pub use query::{
     check_query, check_query_governed, parse_formula, parse_query, Query, QueryError, QueryResult,
 };
 pub use reach::{ModelChecker, ReachResult, Stats, Trace, TraceStep, Verdict};
 pub use reduce::{live_clocks, ClockReduction};
+pub use symmetry::{near_miss_orbits, NearMiss, Perm, Symmetry};
+pub use tempo_obs::ExploreConfig;

@@ -16,6 +16,13 @@
 //! is uniform over each symbolic state; this matches the location-based
 //! liveness queries of the paper's train-gate example
 //! (`Train(0).Appr --> Train(0).Cross`).
+//!
+//! The state-space reductions of the reachability engines stay **off**
+//! here, deliberately: ample-set reduction with the simple subsumption-
+//! based C3 proviso can still collapse `ψ`-avoiding cycles that this
+//! check must observe, and symmetry folding permutes the `φ`-anchored
+//! process (`Train(0)` above) out of the orbit representative. Liveness
+//! keeps the unreduced zone graph as its search space.
 
 use crate::explore::{Explorer, SymState};
 use crate::formula::StateFormula;

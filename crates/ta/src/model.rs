@@ -6,7 +6,7 @@
 //! language (Bozga et al., DATE 2012, §II).
 
 use tempo_dbm::{Bound, Clock};
-use tempo_expr::{Decls, Expr, Stmt};
+use tempo_expr::{Decls, Expr, Stmt, VarId};
 
 /// Identifier of a channel (or channel array) in a [`Network`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -245,6 +245,7 @@ pub struct Network {
     pub(crate) clock_names: Vec<String>,
     pub(crate) channels: Vec<Channel>,
     pub(crate) automata: Vec<Automaton>,
+    pub(crate) id_vars: Vec<VarId>,
 }
 
 impl Network {
@@ -264,6 +265,14 @@ impl Network {
     #[must_use]
     pub fn channels(&self) -> &[Channel] {
         &self.channels
+    }
+
+    /// Variables declared (via [`NetworkBuilder::mark_id_var`]) to hold
+    /// component identities — the scalarset contract that template-symmetry
+    /// reduction builds its orbit permutations from.
+    #[must_use]
+    pub fn id_vars(&self) -> &[VarId] {
+        &self.id_vars
     }
 
     /// The automata of the network.
@@ -369,6 +378,7 @@ pub struct NetworkBuilder {
     clock_names: Vec<String>,
     channels: Vec<Channel>,
     automata: Vec<Automaton>,
+    id_vars: Vec<VarId>,
 }
 
 impl NetworkBuilder {
@@ -426,6 +436,19 @@ impl NetworkBuilder {
         ChannelId(self.channels.len() - 1)
     }
 
+    /// Declares that a variable (scalar or array) holds *component
+    /// identities*: every value it ever takes is either a replicated
+    /// template's id or a neutral filler constant. This is UPPAAL's
+    /// scalarset contract, stated explicitly by the modeller; symmetry
+    /// reduction permutes the values of marked variables alongside the
+    /// components themselves, and conservatively switches itself off
+    /// when it sees an id flow anywhere it cannot track.
+    pub fn mark_id_var(&mut self, var: VarId) {
+        if !self.id_vars.contains(&var) {
+            self.id_vars.push(var);
+        }
+    }
+
     /// Starts building an automaton. Call [`AutomatonBuilder::done`] to
     /// add it to the network.
     pub fn automaton(&mut self, name: &str) -> AutomatonBuilder<'_> {
@@ -454,6 +477,7 @@ impl NetworkBuilder {
             clock_names: self.clock_names,
             channels: self.channels,
             automata: self.automata,
+            id_vars: self.id_vars,
         };
         net.validate();
         net

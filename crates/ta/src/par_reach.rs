@@ -11,11 +11,20 @@
 //! trace may differ between runs (any valid trace to a goal state), which is
 //! why the sequential path (`threads = 1`) remains the reference oracle for
 //! trace-sensitive uses.
+//!
+//! Partial-order and symmetry reduction are applied per successor
+//! computation exactly as in the sequential engine ([`crate::por`],
+//! [`crate::symmetry`]): states are canonicalized *before* the passed-list
+//! probe, and the C3 cycle proviso re-expands a state fully whenever any of
+//! its ample successors was subsumed. Both analyses are order-independent,
+//! so verdicts stay identical at any thread count.
 
 use crate::explore::{Action, Explorer, SymState};
 use crate::formula::StateFormula;
 use crate::model::{LocationId, Network};
+use crate::por::Por;
 use crate::reach::{Stats, Trace, TraceStep};
+use crate::symmetry::Symmetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use tempo_conc::{ShardedMap, WorkQueue};
@@ -30,13 +39,23 @@ struct NodeId {
     index: u32,
 }
 
-/// One node of a worker-local exploration arena.
+/// One node of a worker-local exploration arena. `perm` is the index of
+/// the symmetry permutation that canonicalized the state (`0` when
+/// symmetry is off).
 struct Node {
     state: SymState,
     parent: Option<(NodeId, Action)>,
+    perm: usize,
 }
 
 type DiscreteKey = (Vec<LocationId>, Store);
+
+/// Shared atomic counters for the reduction statistics.
+struct Reductions {
+    por_ample: AtomicUsize,
+    por_fallback: AtomicUsize,
+    sym_avoided: AtomicUsize,
+}
 
 /// Explore the zone graph with `threads` workers until a state satisfying
 /// `hit` is popped, the inclusion-reduced fixpoint is exhausted, or the
@@ -47,12 +66,15 @@ type DiscreteKey = (Vec<LocationId>, Store);
 /// aggregated across workers, and the waiting-list high-water mark.
 /// States where `prune` holds everywhere are not expanded, mirroring the
 /// sequential engine.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn parallel_search<H>(
     net: &Network,
     explorer: &Explorer<'_>,
     threads: usize,
     hit: H,
     prune: Option<&StateFormula>,
+    por: Option<&Por>,
+    sym: Option<&Symmetry>,
     gov: &Governor,
 ) -> (Option<Trace>, Stats, usize)
 where
@@ -63,9 +85,18 @@ where
     let passed: ShardedMap<DiscreteKey, Vec<(NodeId, Dbm)>> = ShardedMap::for_threads(threads);
     let explored = AtomicUsize::new(0);
     let transitions = AtomicUsize::new(0);
+    let reductions = Reductions {
+        por_ample: AtomicUsize::new(0),
+        por_fallback: AtomicUsize::new(0),
+        sym_avoided: AtomicUsize::new(0),
+    };
     let goal_cell: Mutex<Option<NodeId>> = Mutex::new(None);
 
     let init = explorer.initial_state();
+    let (init, init_perm) = match sym {
+        Some(s) => s.canonicalize(net, &init),
+        None => (init, 0),
+    };
     let init_id = NodeId {
         worker: 0,
         index: 0,
@@ -79,12 +110,14 @@ where
         arenas[0].push(Node {
             state: init.clone(),
             parent: None,
+            perm: init_perm,
         });
         queue.push((init_id, init));
 
         std::thread::scope(|scope| {
             let (queue, passed) = (&queue, &passed);
             let (explored, transitions, goal_cell) = (&explored, &transitions, &goal_cell);
+            let reductions = &reductions;
             let hit = &hit;
             for (w, arena) in arenas.iter_mut().enumerate() {
                 scope.spawn(move || {
@@ -95,11 +128,14 @@ where
                         passed,
                         explored,
                         transitions,
+                        reductions,
                         goal_cell,
                         net,
                         explorer,
                         hit,
                         prune,
+                        por,
+                        sym,
                         gov,
                     )
                 });
@@ -115,11 +151,15 @@ where
             .into_inner()
             .map(|m| m.values().map(Vec::len).sum::<usize>())
             .sum(),
+        por_ample: reductions.por_ample.load(Ordering::Relaxed),
+        por_fallback: reductions.por_fallback.load(Ordering::Relaxed),
+        sym_orbits: sym.map_or(0, Symmetry::orbit_count),
+        sym_avoided: reductions.sym_avoided.load(Ordering::Relaxed),
     };
     let trace = goal_cell
         .into_inner()
         .expect("goal cell poisoned")
-        .map(|goal| build_trace(&arenas, goal));
+        .map(|goal| build_trace(&arenas, goal, net, sym));
     (trace, stats, peak)
 }
 
@@ -131,11 +171,14 @@ fn worker<H>(
     passed: &ShardedMap<DiscreteKey, Vec<(NodeId, Dbm)>>,
     explored: &AtomicUsize,
     transitions: &AtomicUsize,
+    reductions: &Reductions,
     goal_cell: &Mutex<Option<NodeId>>,
     net: &Network,
     explorer: &Explorer<'_>,
     hit: &H,
     prune: Option<&StateFormula>,
+    por: Option<&Por>,
+    sym: Option<&Symmetry>,
     gov: &Governor,
 ) where
     H: Fn(&SymState) -> bool + std::marker::Sync,
@@ -160,62 +203,109 @@ fn worker<H>(
                 continue;
             }
         }
-        for (action, succ) in explorer.successors(&state) {
-            if queue.is_stopped() {
-                return;
+        let (mut pending, mut used_ample) = match por {
+            Some(p) => match p.ample(explorer, &state) {
+                Some(s) => (s, true),
+                None => (explorer.successors(&state), false),
+            },
+            None => (explorer.successors(&state), false),
+        };
+        if por.is_some() {
+            if used_ample {
+                reductions.por_ample.fetch_add(1, Ordering::Relaxed);
+            } else {
+                reductions.por_fallback.fetch_add(1, Ordering::Relaxed);
             }
-            transitions.fetch_add(1, Ordering::Relaxed);
-            let key = succ.discrete();
-            let mut shard = passed.lock_shard(&key);
-            let entry = shard.entry(key).or_default();
-            if entry.iter().any(|(_, zone)| succ.zone.is_subset_of(zone)) {
+        }
+        loop {
+            let mut any_subsumed = false;
+            for (action, succ) in pending {
+                if queue.is_stopped() {
+                    return;
+                }
+                transitions.fetch_add(1, Ordering::Relaxed);
+                let (succ, perm) = match sym {
+                    Some(s) => s.canonicalize(net, &succ),
+                    None => (succ, 0),
+                };
+                let key = succ.discrete();
+                let mut shard = passed.lock_shard(&key);
+                let entry = shard.entry(key).or_default();
+                if entry.iter().any(|(_, zone)| succ.zone.is_subset_of(zone)) {
+                    any_subsumed = true;
+                    if perm != 0 {
+                        reductions.sym_avoided.fetch_add(1, Ordering::Relaxed);
+                    }
+                    continue;
+                }
+                if !gov.charge_state() {
+                    drop(shard);
+                    queue.stop_exhausted();
+                    return;
+                }
+                entry.retain(|(_, zone)| !zone.is_subset_of(&succ.zone));
+                let nid = NodeId {
+                    worker: w,
+                    index: u32::try_from(arena.len()).expect("arena exceeds u32 indices"),
+                };
+                entry.push((nid, succ.zone.clone()));
+                drop(shard);
+                arena.push(Node {
+                    state: succ.clone(),
+                    parent: Some((id, action)),
+                    perm,
+                });
+                queue.push((nid, succ));
+            }
+            // C3 cycle proviso — same rule as the sequential engine: an
+            // ample successor was subsumed by a stored state, so the
+            // reduced expansion may close a cycle that starves the
+            // deferred transitions. Re-expand fully; already-inserted
+            // ample successors dedup via the inclusion check.
+            if used_ample && any_subsumed {
+                pending = explorer.successors(&state);
+                used_ample = false;
+                reductions.por_ample.fetch_sub(1, Ordering::Relaxed);
+                reductions.por_fallback.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            if !gov.charge_state() {
-                drop(shard);
-                queue.stop_exhausted();
-                return;
-            }
-            entry.retain(|(_, zone)| !zone.is_subset_of(&succ.zone));
-            let nid = NodeId {
-                worker: w,
-                index: u32::try_from(arena.len()).expect("arena exceeds u32 indices"),
-            };
-            entry.push((nid, succ.zone.clone()));
-            drop(shard);
-            arena.push(Node {
-                state: succ.clone(),
-                parent: Some((id, action)),
-            });
-            queue.push((nid, succ));
+            break;
         }
     }
 }
 
-/// Rebuild the witness by following parent pointers across worker arenas.
+/// Rebuild the witness by following parent pointers across worker arenas,
+/// then realize it into a concrete run of the original network when
+/// symmetry reduction canonicalized the stored states.
 /// Runs strictly after all workers have joined, so every arena is complete.
-fn build_trace(arenas: &[Vec<Node>], goal: NodeId) -> Trace {
+fn build_trace(arenas: &[Vec<Node>], goal: NodeId, net: &Network, sym: Option<&Symmetry>) -> Trace {
     let mut rev = Vec::new();
     let mut cur = goal;
     loop {
         let node = &arenas[cur.worker as usize][cur.index as usize];
         match &node.parent {
             Some((parent, action)) => {
-                rev.push(TraceStep {
-                    action: Some(action.clone()),
-                    state: node.state.clone(),
-                });
+                rev.push((node.state.clone(), Some(action.clone()), node.perm));
                 cur = *parent;
             }
             None => {
-                rev.push(TraceStep {
-                    action: None,
-                    state: node.state.clone(),
-                });
+                rev.push((node.state.clone(), None, node.perm));
                 break;
             }
         }
     }
     rev.reverse();
-    Trace { steps: rev }
+    let steps = match sym {
+        Some(s) => crate::symmetry::realize(s, net, &rev),
+        None => rev
+            .into_iter()
+            .map(|(state, action, _)| (state, action))
+            .collect(),
+    };
+    Trace {
+        steps: steps
+            .into_iter()
+            .map(|(state, action)| TraceStep { action, state })
+            .collect(),
+    }
 }

@@ -4,9 +4,11 @@
 use crate::explore::{Action, Explorer, SymState};
 use crate::formula::StateFormula;
 use crate::model::{LocationId, Network};
+use crate::por::Por;
+use crate::symmetry::Symmetry;
 use std::collections::{HashMap, VecDeque};
 use tempo_expr::Store;
-use tempo_obs::{Budget, Governor, Outcome, RunReport};
+use tempo_obs::{Budget, ExploreConfig, Governor, Outcome, RunReport};
 
 /// Builds the [`RunReport`] of a zone-graph exploration from its
 /// [`Stats`], the waiting-list high-water mark, and the DBM dimensions
@@ -27,6 +29,10 @@ pub(crate) fn exploration_report(
         dbm_dim: dbm_dim as u64,
         dbm_dim_model: dbm_dim_model as u64,
         wall_time: gov.elapsed(),
+        por_ample_states: stats.por_ample as u64,
+        por_fallback_states: stats.por_fallback as u64,
+        sym_orbits: stats.sym_orbits as u64,
+        sym_states_avoided: stats.sym_avoided as u64,
         ..RunReport::default()
     }
 }
@@ -151,6 +157,18 @@ pub struct Stats {
     pub stored: usize,
     /// Successor computations.
     pub transitions: usize,
+    /// States expanded with a reduced (ample) successor set.
+    pub por_ample: usize,
+    /// States expanded fully although partial-order reduction was active
+    /// (committed locations, no enabled candidate, or the C3 cycle
+    /// proviso re-expanded the state).
+    pub por_fallback: usize,
+    /// Orbit groups of replicated components detected by the symmetry
+    /// analysis (`0` when the reduction is off or found nothing).
+    pub sym_orbits: usize,
+    /// Successor states that were folded into an already-stored orbit
+    /// representative instead of being stored themselves.
+    pub sym_avoided: usize,
 }
 
 /// Result of a reachability query: whether a goal state was found, the
@@ -191,23 +209,29 @@ pub struct ModelChecker<'n> {
     net: &'n Network,
     threads: usize,
     reduce: bool,
+    config: ExploreConfig,
 }
 
 /// Internal node of the exploration arena (for trace reconstruction).
+/// `perm` is the index of the symmetry permutation that canonicalized
+/// the state (`0` — the identity — when symmetry is off).
 struct Node {
     state: SymState,
     parent: Option<(usize, Action)>,
+    perm: usize,
 }
 
 impl<'n> ModelChecker<'n> {
     /// Creates a checker for the network (single-threaded reference
-    /// engine, active-clock reduction enabled).
+    /// engine; active-clock reduction, ample-set partial-order reduction
+    /// and template-symmetry reduction enabled).
     #[must_use]
     pub fn new(net: &'n Network) -> Self {
         ModelChecker {
             net,
             threads: 1,
             reduce: true,
+            config: ExploreConfig::default(),
         }
     }
 
@@ -218,6 +242,22 @@ impl<'n> ModelChecker<'n> {
     pub fn without_reduction(mut self) -> Self {
         self.reduce = false;
         self
+    }
+
+    /// Sets the state-space reduction knobs (partial-order and symmetry
+    /// reduction). Both are on by default and conservative: each
+    /// switches itself off on any model/property where its soundness
+    /// conditions are not met, so verdicts are identical at any setting.
+    #[must_use]
+    pub fn with_config(mut self, config: ExploreConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The configured reduction knobs.
+    #[must_use]
+    pub fn config(&self) -> ExploreConfig {
+        self.config
     }
 
     /// Use `threads` workers for zone-graph exploration (`<= 1` selects the
@@ -348,16 +388,40 @@ impl<'n> ModelChecker<'n> {
             atoms.extend(p.clock_atoms());
         }
         let reduction = self.reduce.then(|| self.net.reduced_with(&atoms));
+        // Graceful fallback: if a property atom's clock was dropped
+        // anyway (a mapping bug or a degenerate model), explore the
+        // unreduced network instead of panicking — verdicts only.
         let (net, goal, prune) = match &reduction {
-            Some(r) if r.is_reduced() => (
-                r.network(),
-                r.map_formula(goal).expect("goal atoms kept alive"),
-                prune.map(|p| r.map_formula(p).expect("prune atoms kept alive")),
-            ),
+            Some(r) if r.is_reduced() => {
+                match (r.map_formula(goal), prune.map(|p| r.map_formula(p))) {
+                    (Some(g), None) => (r.network(), g, None),
+                    (Some(g), Some(Some(p))) => (r.network(), g, Some(p)),
+                    _ => (self.net, goal.clone(), prune.cloned()),
+                }
+            }
             _ => (self.net, goal.clone(), prune.cloned()),
         };
         let (goal, prune) = (&goal, prune.as_ref());
         let dim = net.dim();
+
+        // State-space reductions, each conservative by construction: the
+        // analyses return nothing whenever their soundness conditions
+        // are not met by this model + property.
+        let mut formulas: Vec<&StateFormula> = vec![goal];
+        if let Some(p) = prune {
+            formulas.push(p);
+        }
+        let por = self
+            .config
+            .por
+            .then(|| Por::analyze(net, &formulas))
+            .filter(Por::is_active);
+        let sym = if self.config.symmetry {
+            Symmetry::detect(net, &formulas)
+        } else {
+            None
+        };
+
         let explorer = Explorer::with_extra_constants(net, &goal.clock_atoms());
         if self.threads > 1 {
             let (trace, stats, peak) = crate::par_reach::parallel_search(
@@ -366,6 +430,8 @@ impl<'n> ModelChecker<'n> {
                 self.threads,
                 |state: &SymState| goal.holds_somewhere(net, state),
                 prune,
+                por.as_ref(),
+                sym.as_ref(),
                 gov,
             );
             return (
@@ -378,17 +444,25 @@ impl<'n> ModelChecker<'n> {
                 dim,
             );
         }
-        let mut stats = Stats::default();
+        let mut stats = Stats {
+            sym_orbits: sym.as_ref().map_or(0, Symmetry::orbit_count),
+            ..Stats::default()
+        };
         let mut peak = 0usize;
         let mut nodes: Vec<Node> = Vec::new();
         let mut passed: HashMap<(Vec<LocationId>, Store), Vec<usize>> = HashMap::new();
         let mut waiting: VecDeque<usize> = VecDeque::new();
 
         let init = explorer.initial_state();
+        let (init, init_perm) = match &sym {
+            Some(s) => s.canonicalize(net, &init),
+            None => (init, 0),
+        };
         if gov.charge_state() {
             nodes.push(Node {
                 state: init,
                 parent: None,
+                perm: init_perm,
             });
             waiting.push_back(0);
             peak = 1;
@@ -406,7 +480,7 @@ impl<'n> ModelChecker<'n> {
                 return (
                     ReachResult {
                         reachable: true,
-                        trace: Some(self.build_trace(&nodes, idx)),
+                        trace: Some(build_trace(&nodes, idx, net, sym.as_ref())),
                         stats,
                     },
                     peak,
@@ -418,33 +492,73 @@ impl<'n> ModelChecker<'n> {
                     continue;
                 }
             }
+            let (mut pending, mut used_ample) = match &por {
+                Some(p) => match p.ample(&explorer, &state) {
+                    Some(s) => (s, true),
+                    None => (explorer.successors(&state), false),
+                },
+                None => (explorer.successors(&state), false),
+            };
+            if por.is_some() {
+                if used_ample {
+                    stats.por_ample += 1;
+                } else {
+                    stats.por_fallback += 1;
+                }
+            }
             let mut out_of_states = false;
-            for (action, succ) in explorer.successors(&state) {
-                stats.transitions += 1;
-                let key = succ.discrete();
-                let entry = passed.entry(key).or_default();
-                if entry
-                    .iter()
-                    .any(|&i| succ.zone.is_subset_of(&nodes[i].state.zone))
-                {
+            loop {
+                let mut any_subsumed = false;
+                for (action, succ) in pending {
+                    stats.transitions += 1;
+                    let (succ, perm) = match &sym {
+                        Some(s) => s.canonicalize(net, &succ),
+                        None => (succ, 0),
+                    };
+                    let key = succ.discrete();
+                    let entry = passed.entry(key).or_default();
+                    if entry
+                        .iter()
+                        .any(|&i| succ.zone.is_subset_of(&nodes[i].state.zone))
+                    {
+                        any_subsumed = true;
+                        if perm != 0 {
+                            stats.sym_avoided += 1;
+                        }
+                        continue;
+                    }
+                    if !gov.charge_state() {
+                        out_of_states = true;
+                        break;
+                    }
+                    entry.retain(|&i| !nodes[i].state.zone.is_subset_of(&succ.zone));
+                    nodes.push(Node {
+                        state: succ,
+                        parent: Some((idx, action)),
+                        perm,
+                    });
+                    let new_idx = nodes.len() - 1;
+                    passed
+                        .get_mut(&nodes[new_idx].state.discrete())
+                        .expect("entry exists")
+                        .push(new_idx);
+                    waiting.push_back(new_idx);
+                    peak = peak.max(waiting.len());
+                }
+                // C3 cycle proviso: an ample successor was subsumed by an
+                // already-stored state, i.e. the reduced expansion may
+                // close a cycle along which the deferred transitions
+                // would be ignored forever. Re-expand this state fully
+                // (already-inserted ample successors dedup via the
+                // inclusion check).
+                if used_ample && any_subsumed && !out_of_states {
+                    pending = explorer.successors(&state);
+                    used_ample = false;
+                    stats.por_ample -= 1;
+                    stats.por_fallback += 1;
                     continue;
                 }
-                if !gov.charge_state() {
-                    out_of_states = true;
-                    break;
-                }
-                entry.retain(|&i| !nodes[i].state.zone.is_subset_of(&succ.zone));
-                nodes.push(Node {
-                    state: succ,
-                    parent: Some((idx, action)),
-                });
-                let new_idx = nodes.len() - 1;
-                passed
-                    .get_mut(&nodes[new_idx].state.discrete())
-                    .expect("entry exists")
-                    .push(new_idx);
-                waiting.push_back(new_idx);
-                peak = peak.max(waiting.len());
+                break;
             }
             if out_of_states {
                 break;
@@ -474,6 +588,17 @@ impl<'n> ModelChecker<'n> {
             _ => self.net,
         };
         let dim = net.dim();
+        // The deadlock predicate is invariant under template automorphisms
+        // (permuting identical components maps enabled transitions to
+        // enabled transitions), so symmetry reduction is sound here.
+        // Partial-order reduction is not: ample automata are exactly the
+        // ones that keep firing, and skipping interleavings could hide a
+        // deadlock of the *other* components. Keep it off.
+        let sym = if self.config.symmetry {
+            Symmetry::detect(net, &[])
+        } else {
+            None
+        };
         let explorer = Explorer::new(net);
         if self.threads > 1 {
             let (trace, stats, peak) = crate::par_reach::parallel_search(
@@ -482,6 +607,8 @@ impl<'n> ModelChecker<'n> {
                 self.threads,
                 |state: &SymState| !explorer.deadlock_federation(state).is_empty(),
                 None,
+                None,
+                sym.as_ref(),
                 gov,
             );
             return match trace {
@@ -489,17 +616,25 @@ impl<'n> ModelChecker<'n> {
                 None => (Verdict::Satisfied, stats, peak, dim),
             };
         }
-        let mut stats = Stats::default();
+        let mut stats = Stats {
+            sym_orbits: sym.as_ref().map_or(0, Symmetry::orbit_count),
+            ..Stats::default()
+        };
         let mut peak = 0usize;
         let mut nodes: Vec<Node> = Vec::new();
         let mut passed: HashMap<(Vec<LocationId>, Store), Vec<usize>> = HashMap::new();
         let mut waiting: VecDeque<usize> = VecDeque::new();
 
         let init = explorer.initial_state();
+        let (init, init_perm) = match &sym {
+            Some(s) => s.canonicalize(net, &init),
+            None => (init, 0),
+        };
         if gov.charge_state() {
             nodes.push(Node {
                 state: init,
                 parent: None,
+                perm: init_perm,
             });
             waiting.push_back(0);
             peak = 1;
@@ -515,7 +650,7 @@ impl<'n> ModelChecker<'n> {
             if !explorer.deadlock_federation(&state).is_empty() {
                 stats.stored = passed.values().map(Vec::len).sum();
                 return (
-                    Verdict::Violated(self.build_trace(&nodes, idx)),
+                    Verdict::Violated(build_trace(&nodes, idx, net, sym.as_ref())),
                     stats,
                     peak,
                     dim,
@@ -524,12 +659,19 @@ impl<'n> ModelChecker<'n> {
             let mut out_of_states = false;
             for (action, succ) in explorer.successors(&state) {
                 stats.transitions += 1;
+                let (succ, perm) = match &sym {
+                    Some(s) => s.canonicalize(net, &succ),
+                    None => (succ, 0),
+                };
                 let key = succ.discrete();
                 let entry = passed.entry(key).or_default();
                 if entry
                     .iter()
                     .any(|&i| succ.zone.is_subset_of(&nodes[i].state.zone))
                 {
+                    if perm != 0 {
+                        stats.sym_avoided += 1;
+                    }
                     continue;
                 }
                 if !gov.charge_state() {
@@ -540,6 +682,7 @@ impl<'n> ModelChecker<'n> {
                 nodes.push(Node {
                     state: succ,
                     parent: Some((idx, action)),
+                    perm,
                 });
                 let new_idx = nodes.len() - 1;
                 passed
@@ -622,30 +765,41 @@ impl<'n> ModelChecker<'n> {
         let report = exploration_report(&gov, &stats, peak, self.net.dim(), self.net.dim());
         gov.finish((states, stats), report)
     }
+}
 
-    fn build_trace(&self, nodes: &[Node], mut idx: usize) -> Trace {
-        let mut rev = Vec::new();
-        loop {
-            let node = &nodes[idx];
-            match &node.parent {
-                Some((p, action)) => {
-                    rev.push(TraceStep {
-                        action: Some(action.clone()),
-                        state: node.state.clone(),
-                    });
-                    idx = *p;
-                }
-                None => {
-                    rev.push(TraceStep {
-                        action: None,
-                        state: node.state.clone(),
-                    });
-                    break;
-                }
+/// Reconstructs the witness trace from the exploration arena. When
+/// symmetry reduction canonicalized states along the way, the stored
+/// chain mixes orbit representatives from different permutations; the
+/// realization pass maps every step back into one concrete execution of
+/// the original network.
+fn build_trace(nodes: &[Node], mut idx: usize, net: &Network, sym: Option<&Symmetry>) -> Trace {
+    let mut rev = Vec::new();
+    loop {
+        let node = &nodes[idx];
+        match &node.parent {
+            Some((p, action)) => {
+                rev.push((node.state.clone(), Some(action.clone()), node.perm));
+                idx = *p;
+            }
+            None => {
+                rev.push((node.state.clone(), None, node.perm));
+                break;
             }
         }
-        rev.reverse();
-        Trace { steps: rev }
+    }
+    rev.reverse();
+    let steps = match sym {
+        Some(s) => crate::symmetry::realize(s, net, &rev),
+        None => rev
+            .into_iter()
+            .map(|(state, action, _)| (state, action))
+            .collect(),
+    };
+    Trace {
+        steps: steps
+            .into_iter()
+            .map(|(state, action)| TraceStep { action, state })
+            .collect(),
     }
 }
 

@@ -283,6 +283,7 @@ impl Network {
                 clock_names,
                 channels: self.channels.clone(),
                 automata,
+                id_vars: self.id_vars.clone(),
             },
             map,
             removed,

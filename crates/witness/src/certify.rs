@@ -27,7 +27,7 @@ use std::time::Instant;
 use tempo_cora::{MinCostResult, PricedNetwork};
 use tempo_mdp::{Mdp, Opt, Quantitative};
 use tempo_modest::Mcpta;
-use tempo_obs::{Budget, Outcome};
+use tempo_obs::{Budget, ExploreConfig, Outcome};
 use tempo_smc::{Estimate, RatePolicy, Run, Simulator, StatisticalChecker};
 use tempo_ta::{AutomatonId, DigitalState, Network, ReachResult, StateFormula, Stats, Verdict};
 use tempo_tiga::{GameResult, GameSolver, Strategy, StrategyMove};
@@ -646,7 +646,26 @@ pub fn certified_reachable(
     goal: &StateFormula,
     budget: &Budget,
 ) -> Certified<ReachResult, Option<TraceCertificate>> {
-    let mut mc = tempo_ta::ModelChecker::new(net);
+    certified_reachable_with(net, goal, ExploreConfig::default(), budget)
+}
+
+/// [`certified_reachable`] with explicit exploration knobs. The
+/// certificate pipeline is reduction-agnostic: a symmetry-folded engine
+/// trace is realized back through the orbit permutations into a
+/// concrete run of the *original* network, so validation never sees the
+/// reduced state space.
+///
+/// # Errors
+///
+/// A [`WitnessError`] if the engine's trace cannot be realized or fails
+/// validation — either indicates an engine bug.
+pub fn certified_reachable_with(
+    net: &Network,
+    goal: &StateFormula,
+    config: ExploreConfig,
+    budget: &Budget,
+) -> Certified<ReachResult, Option<TraceCertificate>> {
+    let mut mc = tempo_ta::ModelChecker::new(net).with_config(config);
     let mut out = mc.reachable_governed(goal, budget);
     let started = Instant::now();
     let cert = match &out.value().trace {

@@ -10,7 +10,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use tempo_core::mdp::Opt;
-use tempo_core::obs::Budget;
+use tempo_core::obs::{Budget, ExploreConfig};
 use tempo_core::svc::{AnalysisService, JobKind, JobRequest, ServiceConfig, VerdictSource};
 use tempo_models::{brp, dala, train_gate, train_gate_game};
 
@@ -27,6 +27,7 @@ fn build_workload() -> Vec<(&'static str, JobKind)> {
             JobKind::Reach {
                 net: Arc::clone(&net),
                 goal: tg.cross(0),
+                explore: ExploreConfig::default(),
             },
         ),
         (

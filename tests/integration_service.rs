@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use proptest::prelude::*;
 use tempo_core::mdp::Opt;
-use tempo_core::obs::Budget;
+use tempo_core::obs::{Budget, ExploreConfig};
 use tempo_core::svc::{
     AnalysisService, JobError, JobKind, JobRequest, JobVerdict, Rejected, ServiceConfig,
     VerdictSource,
@@ -53,6 +53,7 @@ fn workload() -> Vec<JobKind> {
         JobKind::Reach {
             net: Arc::clone(&net),
             goal: tg.cross(0),
+            explore: ExploreConfig::default(),
         },
         JobKind::LeadsTo {
             net: Arc::clone(&net),
@@ -181,6 +182,7 @@ proptest! {
             let kind = JobKind::Reach {
                 net: Arc::clone(&net),
                 goal,
+                explore: ExploreConfig::default(),
             };
             let fresh = svc.run(request("rand", kind.clone())).expect("fresh");
             let cached = svc.run(request("rand", kind)).expect("cached");
@@ -518,6 +520,7 @@ fn tenant_reports_roll_up_across_jobs() {
             JobKind::Reach {
                 net: Arc::clone(&net),
                 goal: tg.cross(0),
+                explore: ExploreConfig::default(),
             },
         ))
         .expect("reach");
@@ -527,6 +530,7 @@ fn tenant_reports_roll_up_across_jobs() {
             JobKind::Reach {
                 net,
                 goal: tg.cross(1),
+                explore: ExploreConfig::default(),
             },
         ))
         .expect("reach");
