@@ -24,6 +24,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod spill;
+
+pub use spill::{fnv64, RecordRef, SpillError, StateLog, SPILL_MAGIC};
+
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};

@@ -1,0 +1,394 @@
+//! Append-only spill log for out-of-core state storage.
+//!
+//! [`StateLog`] is the disk substrate of the exploration engines'
+//! spill stores: an append-only file of length-prefixed, checksummed
+//! records. The log is deliberately dumb — it knows nothing about
+//! symbolic states; engines serialize their own records and keep an
+//! in-memory index of [`RecordRef`] handles.
+//!
+//! Corruption discipline (mirroring the certificate pipeline): a torn
+//! or bit-flipped record is *always* detected at read time and surfaces
+//! as a typed [`SpillError`], never as silently wrong bytes. Each
+//! record carries its payload length and an FNV-1a checksum; the file
+//! starts with a magic header so a foreign file is rejected outright.
+//!
+//! The log is safe to share across worker threads: appends serialize on
+//! an internal mutex, reads go through a separate handle so they never
+//! block writers longer than one record copy.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Magic header of a spill log file (identifies format + version).
+pub const SPILL_MAGIC: &[u8; 8] = b"TMPSPL1\n";
+
+/// Per-record header: payload length (u32 LE) + FNV-1a 64 checksum
+/// (u64 LE) of the payload.
+const RECORD_HEADER: usize = 4 + 8;
+
+/// 64-bit FNV-1a over a byte slice — the log's payload checksum.
+/// Self-contained on purpose: this crate sits below the observability
+/// crate that hosts the engines' stable content hasher.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Handle to one record in a [`StateLog`]: byte offset of the record
+/// header and payload length. Engines keep these in their in-memory
+/// index and fault the payload back with [`StateLog::read`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordRef {
+    /// Byte offset of the record header within the log file.
+    pub offset: u64,
+    /// Payload length in bytes (excluding the record header).
+    pub len: u32,
+}
+
+impl RecordRef {
+    /// Total on-disk footprint of the record, header included.
+    #[must_use]
+    pub fn disk_bytes(self) -> u64 {
+        RECORD_HEADER as u64 + u64::from(self.len)
+    }
+}
+
+/// Typed failure of a spill-log operation. Every variant is loud by
+/// design: an engine that hits one must abort the analysis with an
+/// error, never guess at the lost state.
+///
+/// The I/O variant stores the OS error's kind and rendering instead of
+/// the [`std::io::Error`] itself so that the whole enum stays `Clone`
+/// and `PartialEq` — callers embed it in their own comparable error
+/// types (e.g. the witness pipeline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpillError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// What the log was doing when the error hit.
+        context: String,
+        /// The OS error's kind.
+        kind: std::io::ErrorKind,
+        /// The OS error's rendering.
+        message: String,
+    },
+    /// A record extends past the end of the file — the tail was torn
+    /// off by a crash or an external truncation.
+    Torn {
+        /// Offset of the torn record's header.
+        offset: u64,
+        /// Bytes the record claimed to need.
+        expected: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// A record's bytes do not match their checksum, or its payload
+    /// fails to decode — the file was corrupted in place.
+    Corrupt {
+        /// Offset of the corrupt record's header.
+        offset: u64,
+        /// What exactly failed.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SpillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpillError::Io {
+                context, message, ..
+            } => {
+                write!(f, "spill log I/O failure while {context}: {message}")
+            }
+            SpillError::Torn {
+                offset,
+                expected,
+                available,
+            } => write!(
+                f,
+                "spill log torn at offset {offset}: record needs {expected} bytes, {available} available"
+            ),
+            SpillError::Corrupt { offset, detail } => {
+                write!(f, "spill log corrupt at offset {offset}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpillError {}
+
+impl SpillError {
+    /// Wraps an OS error with the operation it interrupted.
+    #[must_use]
+    pub fn io(context: &str, source: std::io::Error) -> Self {
+        SpillError::Io {
+            context: context.to_owned(),
+            kind: source.kind(),
+            message: source.to_string(),
+        }
+    }
+}
+
+/// The append-only spill log: a file of checksummed records.
+///
+/// Appends are serialized on an internal mutex and return a
+/// [`RecordRef`]; reads reopen their own cursor, verify length and
+/// checksum, and hand back the payload. The file is created fresh by
+/// [`StateLog::create`] and removed again when the log is dropped —
+/// spill files are scratch space, not artifacts.
+#[derive(Debug)]
+pub struct StateLog {
+    path: PathBuf,
+    writer: Mutex<File>,
+    reader: Mutex<File>,
+    /// Total bytes appended (header + payload), for spill accounting.
+    bytes: AtomicU64,
+}
+
+impl StateLog {
+    /// Creates (truncating) the log file at `path` and writes the magic
+    /// header.
+    ///
+    /// # Errors
+    ///
+    /// [`SpillError::Io`] when the file cannot be created or written.
+    pub fn create(path: &Path) -> Result<StateLog, SpillError> {
+        let mut writer = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| SpillError::io("creating the spill log", e))?;
+        writer
+            .write_all(SPILL_MAGIC)
+            .map_err(|e| SpillError::io("writing the spill log header", e))?;
+        let reader = File::open(path).map_err(|e| SpillError::io("opening the spill log", e))?;
+        Ok(StateLog {
+            path: path.to_path_buf(),
+            writer: Mutex::new(writer),
+            reader: Mutex::new(reader),
+            bytes: AtomicU64::new(SPILL_MAGIC.len() as u64),
+        })
+    }
+
+    /// The path of the underlying file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Total bytes written so far, header included.
+    #[must_use]
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Appends one record and returns its handle.
+    ///
+    /// # Errors
+    ///
+    /// [`SpillError::Io`] when the write fails; the log is then in an
+    /// undefined state and the analysis must abort (loudly, per the
+    /// corruption discipline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds `u32::MAX` bytes.
+    pub fn append(&self, payload: &[u8]) -> Result<RecordRef, SpillError> {
+        let len = u32::try_from(payload.len()).expect("spill record exceeds u32 length");
+        let mut file = self.writer.lock().expect("spill log writer poisoned");
+        let offset = file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| SpillError::io("seeking to the spill log tail", e))?;
+        let mut header = [0u8; RECORD_HEADER];
+        header[..4].copy_from_slice(&len.to_le_bytes());
+        header[4..].copy_from_slice(&fnv64(payload).to_le_bytes());
+        file.write_all(&header)
+            .and_then(|()| file.write_all(payload))
+            .map_err(|e| SpillError::io("appending a spill record", e))?;
+        drop(file);
+        let rec = RecordRef { offset, len };
+        self.bytes.fetch_add(rec.disk_bytes(), Ordering::Relaxed);
+        Ok(rec)
+    }
+
+    /// Reads a record back, verifying its length prefix and checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`SpillError::Torn`] when the file ends inside the record,
+    /// [`SpillError::Corrupt`] when the stored header disagrees with the
+    /// handle or the checksum does not match, [`SpillError::Io`] on any
+    /// filesystem failure.
+    pub fn read(&self, rec: RecordRef) -> Result<Vec<u8>, SpillError> {
+        let mut file = self.reader.lock().expect("spill log reader poisoned");
+        let file_len = file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| SpillError::io("sizing the spill log", e))?;
+        let needed = rec.offset + rec.disk_bytes();
+        if needed > file_len {
+            return Err(SpillError::Torn {
+                offset: rec.offset,
+                expected: rec.disk_bytes(),
+                available: file_len.saturating_sub(rec.offset),
+            });
+        }
+        file.seek(SeekFrom::Start(rec.offset))
+            .map_err(|e| SpillError::io("seeking to a spill record", e))?;
+        let mut header = [0u8; RECORD_HEADER];
+        file.read_exact(&mut header)
+            .map_err(|e| SpillError::io("reading a spill record header", e))?;
+        let stored_len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+        let stored_sum = u64::from_le_bytes(header[4..].try_into().expect("8 bytes"));
+        if stored_len != rec.len {
+            return Err(SpillError::Corrupt {
+                offset: rec.offset,
+                detail: format!(
+                    "record length mismatch: index says {}, file says {stored_len}",
+                    rec.len
+                ),
+            });
+        }
+        let mut payload = vec![0u8; rec.len as usize];
+        file.read_exact(&mut payload)
+            .map_err(|e| SpillError::io("reading a spill record payload", e))?;
+        drop(file);
+        let sum = fnv64(&payload);
+        if sum != stored_sum {
+            return Err(SpillError::Corrupt {
+                offset: rec.offset,
+                detail: format!(
+                    "checksum mismatch: stored {stored_sum:#018x}, computed {sum:#018x}"
+                ),
+            });
+        }
+        Ok(payload)
+    }
+}
+
+impl Drop for StateLog {
+    /// Best-effort removal: spill files are scratch space and carry no
+    /// state that outlives the analysis.
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tempo-spill-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_records() {
+        let path = temp_path("roundtrip.log");
+        let log = StateLog::create(&path).expect("create");
+        let a = log.append(b"first record").expect("append a");
+        let b = log.append(&[0u8; 1000]).expect("append b");
+        let c = log.append(b"").expect("append empty");
+        assert_eq!(log.read(a).expect("read a"), b"first record");
+        assert_eq!(log.read(b).expect("read b"), vec![0u8; 1000]);
+        assert_eq!(log.read(c).expect("read c"), Vec::<u8>::new());
+        assert_eq!(
+            log.bytes_written(),
+            SPILL_MAGIC.len() as u64 + a.disk_bytes() + b.disk_bytes() + c.disk_bytes()
+        );
+    }
+
+    #[test]
+    fn truncation_reports_torn() {
+        let path = temp_path("torn.log");
+        let log = StateLog::create(&path).expect("create");
+        let rec = log.append(b"this record will be torn").expect("append");
+        // Tear the file mid-record, as a crash would.
+        let keep = rec.offset + rec.disk_bytes() - 5;
+        let f = OpenOptions::new().write(true).open(&path).expect("open");
+        f.set_len(keep).expect("truncate");
+        match log.read(rec) {
+            Err(SpillError::Torn {
+                offset,
+                expected,
+                available,
+            }) => {
+                assert_eq!(offset, rec.offset);
+                assert_eq!(expected, rec.disk_bytes());
+                assert_eq!(available, rec.disk_bytes() - 5);
+            }
+            other => panic!("expected Torn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bit_flip_reports_corrupt() {
+        let path = temp_path("corrupt.log");
+        let log = StateLog::create(&path).expect("create");
+        let rec = log.append(b"payload under test").expect("append");
+        // Flip one payload bit in place.
+        let mut f = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .expect("open");
+        let pos = rec.offset + RECORD_HEADER as u64 + 3;
+        f.seek(SeekFrom::Start(pos)).expect("seek");
+        let mut byte = [0u8; 1];
+        f.read_exact(&mut byte).expect("read");
+        byte[0] ^= 0x40;
+        f.seek(SeekFrom::Start(pos)).expect("seek back");
+        f.write_all(&byte).expect("write");
+        match log.read(rec) {
+            Err(SpillError::Corrupt { offset, detail }) => {
+                assert_eq!(offset, rec.offset);
+                assert!(detail.contains("checksum"), "detail: {detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_removes_the_file() {
+        let path = temp_path("dropped.log");
+        {
+            let log = StateLog::create(&path).expect("create");
+            log.append(b"x").expect("append");
+            assert!(path.exists());
+        }
+        assert!(!path.exists(), "spill file should be scratch space");
+    }
+
+    #[test]
+    fn concurrent_appends_all_read_back() {
+        let path = temp_path("concurrent.log");
+        let log = StateLog::create(&path).expect("create");
+        let refs: Mutex<Vec<(u8, RecordRef)>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for w in 0u8..4 {
+                let (log, refs) = (&log, &refs);
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let payload = vec![w; 10 + i];
+                        let r = log.append(&payload).expect("append");
+                        refs.lock().expect("refs").push((w, r));
+                    }
+                });
+            }
+        });
+        for (w, r) in refs.into_inner().expect("refs") {
+            let payload = log.read(r).expect("read");
+            assert!(payload.iter().all(|&b| b == w));
+        }
+    }
+}

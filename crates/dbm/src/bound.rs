@@ -158,6 +158,15 @@ impl Bound {
     pub fn raw(self) -> i64 {
         self.raw
     }
+
+    /// Reconstructs a bound from its raw packed representation, the
+    /// inverse of [`Bound::raw`]. Every `i64` is a structurally valid
+    /// bound (`i64::MAX` is `∞`), so deserialization cannot fail here;
+    /// semantic validation happens when the containing DBM is closed.
+    #[must_use]
+    pub fn from_raw(raw: i64) -> Self {
+        Bound { raw }
+    }
 }
 
 impl Add for Bound {

@@ -131,6 +131,28 @@ impl Dbm {
         }
     }
 
+    /// Reconstructs a zone from a flat row-major bound matrix, as
+    /// produced by serializing [`Dbm::as_slice`]. The matrix is closed
+    /// defensively (identity on canonical input) so emptiness and
+    /// canonical form are recomputed rather than trusted — deserialized
+    /// bytes never carry semantic authority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `bounds.len() != dim * dim`.
+    #[must_use]
+    pub fn from_bounds(dim: usize, bounds: Vec<Bound>) -> Self {
+        assert!(dim >= 1, "a DBM needs at least the reference clock");
+        assert_eq!(bounds.len(), dim * dim, "bound matrix size mismatch");
+        let mut z = Dbm {
+            dim,
+            data: bounds,
+            empty: false,
+        };
+        z.close();
+        z
+    }
+
     /// Restores canonical (shortest-path-closed) form with Floyd–Warshall
     /// and recomputes emptiness. `O(dim³)`.
     pub fn close(&mut self) {

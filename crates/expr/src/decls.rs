@@ -256,6 +256,15 @@ impl Store {
     pub fn as_slice(&self) -> &[i64] {
         &self.values
     }
+
+    /// Reconstructs a store from flattened values, the inverse of
+    /// [`Store::as_slice`] — for deserializing spilled states. The
+    /// caller is responsible for the values matching the declaration
+    /// table they will be read against.
+    #[must_use]
+    pub fn from_values(values: Vec<i64>) -> Self {
+        Store { values }
+    }
 }
 
 impl fmt::Debug for Store {

@@ -43,14 +43,21 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
 
 pub use tempo_conc::CancelToken;
 
 mod fingerprint;
+mod store;
 
 pub use fingerprint::{Fingerprint, StableDigest, StableHasher};
+pub use store::{
+    create_state_log, payload_digest, ResidentStore, SpillMetrics, SpillStore, Spillable,
+    StateStore,
+};
+pub use tempo_conc::{RecordRef, SpillError, StateLog};
 
 /// Declarative resource limits for one analysis invocation.
 ///
@@ -331,6 +338,14 @@ pub struct RunReport {
     /// Successor states folded onto an already-known orbit
     /// representative by symmetry canonicalization.
     pub sym_states_avoided: u64,
+    /// States whose full representation was written to the spill log
+    /// instead of staying resident (`0` when spilling was off).
+    pub spilled_states: u64,
+    /// Bytes appended to the spill log, record headers included.
+    pub spill_bytes: u64,
+    /// Full records faulted back in from the spill log (each fault is a
+    /// disk read that the resident zone summary could not rule out).
+    pub spill_faults: u64,
 }
 
 impl RunReport {
@@ -359,6 +374,73 @@ impl RunReport {
         self.por_fallback_states += other.por_fallback_states;
         self.sym_orbits = self.sym_orbits.max(other.sym_orbits);
         self.sym_states_avoided += other.sym_states_avoided;
+        self.spilled_states += other.spilled_states;
+        self.spill_bytes += other.spill_bytes;
+        self.spill_faults += other.spill_faults;
+    }
+
+    /// Renders the report as one machine-readable line for persistence
+    /// (the disk cache stores it next to the verdict so a disk hit can
+    /// restore the producing run's work counters). Durations are
+    /// serialized as integer nanoseconds; the leading version tag lets
+    /// [`RunReport::parse_line`] reject lines from a future layout.
+    #[must_use]
+    pub fn render_line(&self) -> String {
+        format!(
+            "v1 {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+            self.states_explored,
+            self.states_stored,
+            self.peak_waiting,
+            self.sweeps,
+            self.runs_simulated,
+            self.dbm_dim,
+            self.dbm_dim_model,
+            self.wall_time.as_nanos(),
+            self.certificate_bytes,
+            self.certify_time.as_nanos(),
+            self.por_ample_states,
+            self.por_fallback_states,
+            self.sym_orbits,
+            self.sym_states_avoided,
+            self.spilled_states,
+            self.spill_bytes,
+            self.spill_faults,
+        )
+    }
+
+    /// Parses a line produced by [`RunReport::render_line`]. `None` on
+    /// any defect (wrong version, missing or non-numeric field) — the
+    /// caller treats the line as absent, never as a partial report.
+    #[must_use]
+    pub fn parse_line(line: &str) -> Option<RunReport> {
+        let mut parts = line.split_ascii_whitespace();
+        if parts.next()? != "v1" {
+            return None;
+        }
+        let mut next_u64 = || parts.next()?.parse::<u64>().ok();
+        let report = RunReport {
+            states_explored: next_u64()?,
+            states_stored: next_u64()?,
+            peak_waiting: next_u64()?,
+            sweeps: next_u64()?,
+            runs_simulated: next_u64()?,
+            dbm_dim: next_u64()?,
+            dbm_dim_model: next_u64()?,
+            wall_time: Duration::from_nanos(next_u64()?),
+            certificate_bytes: next_u64()?,
+            certify_time: Duration::from_nanos(next_u64()?),
+            por_ample_states: next_u64()?,
+            por_fallback_states: next_u64()?,
+            sym_orbits: next_u64()?,
+            sym_states_avoided: next_u64()?,
+            spilled_states: next_u64()?,
+            spill_bytes: next_u64()?,
+            spill_faults: next_u64()?,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(report)
     }
 }
 
@@ -399,8 +481,30 @@ impl fmt::Display for RunReport {
                 self.sym_orbits, self.sym_states_avoided
             )?;
         }
+        if self.spilled_states > 0 || self.spill_faults > 0 {
+            write!(
+                f,
+                ", spilled {} states ({} bytes, {} faults)",
+                self.spilled_states, self.spill_bytes, self.spill_faults
+            )?;
+        }
         Ok(())
     }
+}
+
+/// Where and how much an exploration engine may spill to disk.
+///
+/// `path` is a directory: the engine creates its append-only spill log
+/// inside it (scratch space, removed when the run ends).
+/// `resident_budget` is the number of symbolic states kept fully in
+/// memory; states beyond it are written to the log, with only a compact
+/// zone summary staying resident for inclusion prefiltering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillConfig {
+    /// Directory for the spill log.
+    pub path: PathBuf,
+    /// Number of states kept fully resident before spilling begins.
+    pub resident_budget: usize,
 }
 
 /// Knobs for the explicit-state exploration engines: which
@@ -411,7 +515,7 @@ impl fmt::Display for RunReport {
 /// fall back to full exploration otherwise. Verdicts (status, witness
 /// existence, tags) are identical with any combination of knobs; only
 /// the amount of work recorded in [`RunReport`] changes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExploreConfig {
     /// Ample-set partial-order reduction: expand only one independent,
     /// invisible component where the ample conditions hold.
@@ -419,16 +523,22 @@ pub struct ExploreConfig {
     /// Template-symmetry reduction: fold states of structurally
     /// identical components onto a canonical orbit representative.
     pub symmetry: bool,
+    /// Out-of-core exploration: spill passed/waiting states past a
+    /// resident budget to an on-disk log. `None` (the default) keeps
+    /// everything in memory. Spilling never changes verdicts or
+    /// exploration statistics, only where states physically live.
+    pub spill: Option<SpillConfig>,
 }
 
 impl Default for ExploreConfig {
     /// Both reductions on — they are sound by construction and each
     /// engine disables them itself where soundness cannot be
-    /// established (e.g. liveness search).
+    /// established (e.g. liveness search). Spilling off.
     fn default() -> Self {
         ExploreConfig {
             por: true,
             symmetry: true,
+            spill: None,
         }
     }
 }
@@ -440,6 +550,7 @@ impl ExploreConfig {
         ExploreConfig {
             por: false,
             symmetry: false,
+            spill: None,
         }
     }
 
@@ -456,16 +567,40 @@ impl ExploreConfig {
         self.symmetry = on;
         self
     }
+
+    /// Enables disk spilling: states beyond `resident_budget` are
+    /// written to an append-only log inside the directory `path`, and
+    /// inclusion checks fault them back only on a possible-subsumption
+    /// hit. Use the fallible `try_*` engine entry points with this knob
+    /// set; spill I/O failures surface as typed errors there.
+    #[must_use]
+    pub fn with_spill(mut self, path: impl Into<PathBuf>, resident_budget: usize) -> Self {
+        self.spill = Some(SpillConfig {
+            path: path.into(),
+            resident_budget,
+        });
+        self
+    }
 }
 
 impl StableDigest for ExploreConfig {
     /// The knobs participate in content-addressed cache keys: a reduced
     /// and an unreduced run report different work, so their verdicts
-    /// must not share a byte-identical cache slot.
+    /// must not share a byte-identical cache slot. Spilling digests its
+    /// presence and resident budget but *not* the scratch path: the
+    /// work performed depends on the budget, never on where the scratch
+    /// file happens to live.
     fn digest(&self, h: &mut StableHasher) {
         h.write_tag("explore-config");
         h.write_u8(u8::from(self.por));
         h.write_u8(u8::from(self.symmetry));
+        match &self.spill {
+            None => h.write_u8(0),
+            Some(s) => {
+                h.write_u8(1);
+                h.write_u64(s.resident_budget as u64);
+            }
+        }
     }
 }
 
@@ -727,6 +862,9 @@ impl Governor {
             por_fallback_states: 0,
             sym_orbits: 0,
             sym_states_avoided: 0,
+            spilled_states: 0,
+            spill_bytes: 0,
+            spill_faults: 0,
         }
     }
 
@@ -765,6 +903,7 @@ pub struct ServiceStats {
     hits: AtomicU64,
     disk_hits: AtomicU64,
     disk_rejected: AtomicU64,
+    disk_evicted: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
     rejected: AtomicU64,
@@ -794,6 +933,12 @@ impl ServiceStats {
     /// or stale) and transparently recomputed.
     pub fn record_disk_rejected(&self) {
         self.disk_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a rejected on-disk entry that was also deleted, so future
+    /// cold starts do not repay the parse-and-replay failure.
+    pub fn record_disk_evicted(&self) {
+        self.disk_evicted.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts a job that had to run an engine (no cache tier hit).
@@ -829,6 +974,7 @@ impl ServiceStats {
             hits: self.hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             disk_rejected: self.disk_rejected.load(Ordering::Relaxed),
+            disk_evicted: self.disk_evicted.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -847,6 +993,8 @@ pub struct ServiceCounters {
     pub disk_hits: u64,
     /// On-disk entries rejected by certificate replay and recomputed.
     pub disk_rejected: u64,
+    /// Rejected on-disk entries deleted from the disk tier.
+    pub disk_evicted: u64,
     /// Jobs that ran an engine.
     pub misses: u64,
     /// Jobs coalesced onto an identical in-flight computation.
@@ -863,10 +1011,11 @@ impl fmt::Display for ServiceCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "hits {} (disk {}, rejected {}), misses {}, coalesced {}, rejected {}, cancelled {}, queue peak {}",
+            "hits {} (disk {}, rejected {}, evicted {}), misses {}, coalesced {}, rejected {}, cancelled {}, queue peak {}",
             self.hits,
             self.disk_hits,
             self.disk_rejected,
+            self.disk_evicted,
             self.misses,
             self.coalesced,
             self.rejected,
@@ -1028,6 +1177,9 @@ mod tests {
             por_fallback_states: 4,
             sym_orbits: 2,
             sym_states_avoided: 11,
+            spilled_states: 40,
+            spill_bytes: 4096,
+            spill_faults: 9,
         };
         let b = RunReport {
             states_explored: 1,
@@ -1044,6 +1196,9 @@ mod tests {
             por_fallback_states: 2,
             sym_orbits: 5,
             sym_states_avoided: 3,
+            spilled_states: 2,
+            spill_bytes: 256,
+            spill_faults: 1,
         };
         let mut merged = a.clone();
         merged.merge(&b);
@@ -1073,6 +1228,9 @@ mod tests {
             merged.sym_states_avoided,
             a.sym_states_avoided + b.sym_states_avoided
         );
+        assert_eq!(merged.spilled_states, a.spilled_states + b.spilled_states);
+        assert_eq!(merged.spill_bytes, a.spill_bytes + b.spill_bytes);
+        assert_eq!(merged.spill_faults, a.spill_faults + b.spill_faults);
         // High-water marks take the max.
         assert_eq!(merged.peak_waiting, 9);
         assert_eq!(merged.sym_orbits, 5);

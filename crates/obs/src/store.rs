@@ -1,0 +1,558 @@
+//! The `StateStore` abstraction: where an exploration engine's
+//! passed/waiting lists physically live.
+//!
+//! Explicit-state engines keep two collections: an arena of discovered
+//! states (for trace reconstruction) and an inclusion-reduced passed
+//! list partitioned by a discrete key. [`StateStore`] cuts both behind
+//! one trait with two implementations:
+//!
+//! * [`ResidentStore`] — everything in memory, byte-for-byte the
+//!   behaviour the engines had before the abstraction existed;
+//! * [`SpillStore`] — out-of-core: the first `resident_budget` states
+//!   stay fully in memory, every later state is serialized into an
+//!   append-only [`StateLog`] and only a compact summary (plus its
+//!   content fingerprint) stays resident. Inclusion checks probe the
+//!   summary first and fault the full record from disk only on a
+//!   possible-subsumption hit.
+//!
+//! The trait is engine-agnostic on purpose: any state type implementing
+//! [`Spillable`] (timed-automata symbolic states today; MDP and BIP
+//! discrete states are the planned next tenants) can live in either
+//! store, and engines carry arbitrary resident per-node metadata `M`
+//! (parent edges, permutation indices) alongside.
+//!
+//! Correctness contract: spilling must never change verdicts *or*
+//! exploration statistics. The summary prefilter is a sound necessary
+//! condition — it may only skip disk faults, never flip the outcome of
+//! a cover check — and every faulted record is verified against its
+//! length, checksum, and content [`Fingerprint`] before it is trusted.
+//! A torn or bit-flipped record surfaces as a typed
+//! [`SpillError`], never as a wrong answer.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tempo_conc::{RecordRef, SpillError, StateLog};
+
+use crate::{Fingerprint, SpillConfig, StableHasher};
+
+/// What a state type must provide to live in a [`StateStore`].
+///
+/// `covered_by` is the exact partial order used for inclusion
+/// reduction (zone subset for timed automata; plain equality is a
+/// valid choice for engines without a lattice). The two `may_*`
+/// prefilters answer from a resident [`Spillable::Summary`] alone and
+/// must be *sound necessary conditions*: returning `false` asserts the
+/// exact check would also fail, while `true` only licenses a disk
+/// fault followed by the exact check.
+pub trait Spillable: Sized + Clone {
+    /// Discrete key partitioning the passed list.
+    type Key: Eq + Hash + Clone;
+    /// Compact resident summary of one stored state.
+    type Summary;
+
+    /// The discrete key of this state.
+    fn key(&self) -> Self::Key;
+    /// The resident summary kept for this state when it spills.
+    fn summary(&self) -> Self::Summary;
+    /// Exact cover check: is `self` subsumed by `other`?
+    fn covered_by(&self, other: &Self) -> bool;
+    /// Sound necessary condition for `state.covered_by(stored)` given
+    /// only the stored state's summary.
+    fn may_cover(stored: &Self::Summary, state: &Self) -> bool;
+    /// Sound necessary condition for `stored.covered_by(state)` given
+    /// only the stored state's summary.
+    fn may_be_covered(stored: &Self::Summary, state: &Self) -> bool;
+    /// Serializes the state for the spill log.
+    fn encode(&self) -> Vec<u8>;
+    /// Deserializes a state from spill-log bytes. The error string
+    /// describes the defect; callers wrap it into [`SpillError::Corrupt`].
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformation when `bytes` is not a valid
+    /// encoding.
+    fn decode(bytes: &[u8]) -> Result<Self, String>;
+}
+
+/// Out-of-core accounting of one store (all zero for a
+/// [`ResidentStore`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillMetrics {
+    /// States whose full representation went to the spill log.
+    pub spilled_states: u64,
+    /// Bytes appended to the spill log, record headers included.
+    pub spill_bytes: u64,
+    /// Full records faulted back in from the log.
+    pub spill_faults: u64,
+}
+
+/// Storage behind an exploration engine's passed/waiting lists.
+///
+/// `insert` performs the engine's whole store-side insertion step:
+/// evict stored states covered by the new one, append it to the arena
+/// and the passed partition, and enqueue it on the waiting list. The
+/// engine keeps the probe (`is_subsumed`) separate because budget
+/// charging sits between probe and insert.
+///
+/// Every fallible method reports [`SpillError`] — a [`ResidentStore`]
+/// never fails, a [`SpillStore`] fails loudly on any I/O or corruption.
+pub trait StateStore<S: Spillable, M> {
+    /// Inclusion probe: is `state` covered by a stored state with the
+    /// same key?
+    ///
+    /// # Errors
+    ///
+    /// [`SpillError`] when a possible-subsumption hit faults a record
+    /// that cannot be read back intact.
+    fn is_subsumed(&mut self, state: &S) -> Result<bool, SpillError>;
+
+    /// Evicts stored states covered by `state`, stores it with its
+    /// resident metadata, enqueues it, and returns its node id.
+    ///
+    /// # Errors
+    ///
+    /// [`SpillError`] when spilling the state or faulting an eviction
+    /// candidate fails.
+    fn insert(&mut self, state: S, meta: M) -> Result<usize, SpillError>;
+
+    /// Pops the next waiting node id (FIFO).
+    fn pop_waiting(&mut self) -> Option<usize>;
+
+    /// Current waiting-list length (for high-water tracking).
+    fn waiting_len(&self) -> usize;
+
+    /// Loads the full state of node `id`, faulting from disk if spilled.
+    ///
+    /// # Errors
+    ///
+    /// [`SpillError`] when the record cannot be read back intact.
+    fn load(&mut self, id: usize) -> Result<S, SpillError>;
+
+    /// The resident metadata of node `id`.
+    fn meta(&self, id: usize) -> &M;
+
+    /// States currently retained in the passed list (after inclusion
+    /// eviction).
+    fn stored(&self) -> usize;
+
+    /// Out-of-core accounting so far.
+    fn metrics(&self) -> SpillMetrics;
+}
+
+/// The all-in-memory store: the engines' original data layout
+/// (`Vec` arena + `HashMap` passed list + `VecDeque` waiting list)
+/// behind the [`StateStore`] trait. Never fails.
+pub struct ResidentStore<S: Spillable, M> {
+    nodes: Vec<(S, M)>,
+    passed: HashMap<S::Key, Vec<usize>>,
+    waiting: VecDeque<usize>,
+}
+
+impl<S: Spillable, M> ResidentStore<S, M> {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        ResidentStore {
+            nodes: Vec::new(),
+            passed: HashMap::new(),
+            waiting: VecDeque::new(),
+        }
+    }
+}
+
+impl<S: Spillable, M> Default for ResidentStore<S, M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Spillable, M> StateStore<S, M> for ResidentStore<S, M> {
+    fn is_subsumed(&mut self, state: &S) -> Result<bool, SpillError> {
+        let Some(entry) = self.passed.get(&state.key()) else {
+            return Ok(false);
+        };
+        Ok(entry.iter().any(|&i| state.covered_by(&self.nodes[i].0)))
+    }
+
+    fn insert(&mut self, state: S, meta: M) -> Result<usize, SpillError> {
+        let id = self.nodes.len();
+        let nodes = &self.nodes;
+        let entry = self.passed.entry(state.key()).or_default();
+        entry.retain(|&i| !nodes[i].0.covered_by(&state));
+        entry.push(id);
+        self.nodes.push((state, meta));
+        self.waiting.push_back(id);
+        Ok(id)
+    }
+
+    fn pop_waiting(&mut self) -> Option<usize> {
+        self.waiting.pop_front()
+    }
+
+    fn waiting_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    fn load(&mut self, id: usize) -> Result<S, SpillError> {
+        Ok(self.nodes[id].0.clone())
+    }
+
+    fn meta(&self, id: usize) -> &M {
+        &self.nodes[id].1
+    }
+
+    fn stored(&self) -> usize {
+        self.passed.values().map(Vec::len).sum()
+    }
+
+    fn metrics(&self) -> SpillMetrics {
+        SpillMetrics::default()
+    }
+}
+
+/// Content fingerprint of a spill-record payload, the store-level
+/// integrity key: recomputed on every fault and compared against the
+/// value captured at append time, so even a log whose checksum happens
+/// to collide cannot smuggle altered bytes back into the engine.
+#[must_use]
+pub fn payload_digest(payload: &[u8]) -> Fingerprint {
+    let mut h = StableHasher::new();
+    h.write_tag("spill-record");
+    h.write_bytes(payload);
+    h.finish()
+}
+
+/// Where a spill-store node's full state lives.
+enum Place<S: Spillable> {
+    /// Fully in memory (within the resident budget).
+    Resident(S),
+    /// On disk; only the summary and integrity fingerprint are resident.
+    Spilled {
+        summary: S::Summary,
+        rec: RecordRef,
+        digest: Fingerprint,
+    },
+}
+
+/// Process-wide sequence for unique spill-log file names, so several
+/// concurrent analyses may share one spill directory.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Creates a fresh uniquely-named state log inside `config.path`.
+///
+/// # Errors
+///
+/// [`SpillError::Io`] when the directory or file cannot be created.
+pub fn create_state_log(config: &SpillConfig) -> Result<StateLog, SpillError> {
+    std::fs::create_dir_all(&config.path).map_err(|e| {
+        SpillError::io(
+            &format!("creating spill directory {}", config.path.display()),
+            e,
+        )
+    })?;
+    let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+    let name = format!("state.{}.{seq}.log", std::process::id());
+    StateLog::create(&config.path.join(name))
+}
+
+/// The disk-backed store: an append-only [`StateLog`] of encoded
+/// states with a resident index of `(offset, len, summary,
+/// fingerprint)` per spilled node. See the module docs for the
+/// correctness contract.
+pub struct SpillStore<S: Spillable, M> {
+    log: StateLog,
+    resident_budget: usize,
+    resident: usize,
+    nodes: Vec<(Place<S>, M)>,
+    passed: HashMap<S::Key, Vec<usize>>,
+    waiting: VecDeque<usize>,
+    metrics: SpillMetrics,
+}
+
+/// Faults one record back from the log, verifying checksum and content
+/// fingerprint before decoding.
+fn fault<S: Spillable>(
+    log: &StateLog,
+    rec: RecordRef,
+    digest: Fingerprint,
+    metrics: &mut SpillMetrics,
+) -> Result<S, SpillError> {
+    metrics.spill_faults += 1;
+    let payload = log.read(rec)?;
+    if payload_digest(&payload) != digest {
+        return Err(SpillError::Corrupt {
+            offset: rec.offset,
+            detail: "payload fingerprint mismatch".to_owned(),
+        });
+    }
+    S::decode(&payload).map_err(|detail| SpillError::Corrupt {
+        offset: rec.offset,
+        detail,
+    })
+}
+
+impl<S: Spillable, M> SpillStore<S, M> {
+    /// Opens a fresh spill store per `config`: creates the directory
+    /// and a uniquely-named log file inside it (removed again on drop).
+    ///
+    /// # Errors
+    ///
+    /// [`SpillError::Io`] when the scratch file cannot be created.
+    pub fn create(config: &SpillConfig) -> Result<Self, SpillError> {
+        Ok(SpillStore {
+            log: create_state_log(config)?,
+            resident_budget: config.resident_budget,
+            resident: 0,
+            nodes: Vec::new(),
+            passed: HashMap::new(),
+            waiting: VecDeque::new(),
+            metrics: SpillMetrics::default(),
+        })
+    }
+
+    /// The path of the underlying log file (tests use it to inject
+    /// corruption).
+    #[must_use]
+    pub fn log_path(&self) -> &Path {
+        self.log.path()
+    }
+
+    /// Exact cover check against stored node `i`, faulting if spilled —
+    /// `check` receives (stored, probe) in that order.
+    fn covered(
+        &mut self,
+        i: usize,
+        state: &S,
+        prefilter: fn(&S::Summary, &S) -> bool,
+        check: fn(&S, &S) -> bool,
+    ) -> Result<bool, SpillError> {
+        match &self.nodes[i].0 {
+            Place::Resident(stored) => Ok(check(stored, state)),
+            Place::Spilled {
+                summary,
+                rec,
+                digest,
+            } => {
+                if !prefilter(summary, state) {
+                    return Ok(false);
+                }
+                let (rec, digest) = (*rec, *digest);
+                let stored = fault::<S>(&self.log, rec, digest, &mut self.metrics)?;
+                Ok(check(&stored, state))
+            }
+        }
+    }
+}
+
+impl<S: Spillable, M> StateStore<S, M> for SpillStore<S, M> {
+    fn is_subsumed(&mut self, state: &S) -> Result<bool, SpillError> {
+        let ids = match self.passed.get(&state.key()) {
+            Some(entry) => entry.clone(),
+            None => return Ok(false),
+        };
+        for i in ids {
+            // stored covers state ⟺ state.covered_by(stored)
+            if self.covered(i, state, S::may_cover, |stored, s| s.covered_by(stored))? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    fn insert(&mut self, state: S, meta: M) -> Result<usize, SpillError> {
+        let key = state.key();
+        let ids = self.passed.get(&key).cloned().unwrap_or_default();
+        let mut kept = Vec::with_capacity(ids.len() + 1);
+        for i in ids {
+            // evict ⟺ stored.covered_by(state)
+            let evict = self.covered(i, &state, S::may_be_covered, |stored, s| {
+                stored.covered_by(s)
+            })?;
+            if !evict {
+                kept.push(i);
+            }
+        }
+        let place = if self.resident < self.resident_budget {
+            self.resident += 1;
+            Place::Resident(state)
+        } else {
+            let payload = state.encode();
+            let rec = self.log.append(&payload)?;
+            self.metrics.spilled_states += 1;
+            Place::Spilled {
+                summary: state.summary(),
+                rec,
+                digest: payload_digest(&payload),
+            }
+        };
+        let id = self.nodes.len();
+        kept.push(id);
+        self.nodes.push((place, meta));
+        self.passed.insert(key, kept);
+        self.waiting.push_back(id);
+        Ok(id)
+    }
+
+    fn pop_waiting(&mut self) -> Option<usize> {
+        self.waiting.pop_front()
+    }
+
+    fn waiting_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    fn load(&mut self, id: usize) -> Result<S, SpillError> {
+        match &self.nodes[id].0 {
+            Place::Resident(s) => Ok(s.clone()),
+            Place::Spilled { rec, digest, .. } => {
+                let (rec, digest) = (*rec, *digest);
+                fault::<S>(&self.log, rec, digest, &mut self.metrics)
+            }
+        }
+    }
+
+    fn meta(&self, id: usize) -> &M {
+        &self.nodes[id].1
+    }
+
+    fn stored(&self) -> usize {
+        self.passed.values().map(Vec::len).sum()
+    }
+
+    fn metrics(&self) -> SpillMetrics {
+        SpillMetrics {
+            spill_bytes: self.log.bytes_written(),
+            ..self.metrics
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy spillable state: key = value mod 4, cover = `<=` on value
+    /// (so larger values subsume smaller ones within a key class), and
+    /// the summary is the value itself (exact prefilter).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Toy(u64);
+
+    impl Spillable for Toy {
+        type Key = u64;
+        type Summary = u64;
+
+        fn key(&self) -> u64 {
+            self.0 % 4
+        }
+        fn summary(&self) -> u64 {
+            self.0
+        }
+        fn covered_by(&self, other: &Self) -> bool {
+            self.0 <= other.0
+        }
+        fn may_cover(stored: &u64, state: &Self) -> bool {
+            state.0 <= *stored
+        }
+        fn may_be_covered(stored: &u64, state: &Self) -> bool {
+            *stored <= state.0
+        }
+        fn encode(&self) -> Vec<u8> {
+            self.0.to_le_bytes().to_vec()
+        }
+        fn decode(bytes: &[u8]) -> Result<Self, String> {
+            let arr: [u8; 8] = bytes.try_into().map_err(|_| "bad length".to_owned())?;
+            Ok(Toy(u64::from_le_bytes(arr)))
+        }
+    }
+
+    fn spill_dir(name: &str) -> SpillConfig {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tempo-store-test-{}-{name}", std::process::id()));
+        SpillConfig {
+            path: p,
+            resident_budget: 0,
+        }
+    }
+
+    fn exercise(store: &mut dyn StateStore<Toy, u32>) {
+        assert!(!store.is_subsumed(&Toy(4)).unwrap());
+        store.insert(Toy(4), 0).unwrap(); // key 0
+        store.insert(Toy(5), 1).unwrap(); // key 1
+        assert!(store.is_subsumed(&Toy(4)).unwrap(), "4 covered by 4");
+        assert!(!store.is_subsumed(&Toy(8)).unwrap(), "8 beats 4");
+        // Inserting 8 evicts 4 (same key class, covered).
+        store.insert(Toy(8), 2).unwrap();
+        assert_eq!(store.stored(), 2);
+        assert_eq!(store.pop_waiting(), Some(0));
+        assert_eq!(
+            store.load(0).unwrap(),
+            Toy(4),
+            "evicted nodes stay loadable"
+        );
+        assert_eq!(*store.meta(2), 2);
+    }
+
+    #[test]
+    fn resident_and_spill_agree() {
+        let mut resident: ResidentStore<Toy, u32> = ResidentStore::new();
+        exercise(&mut resident);
+        assert_eq!(resident.metrics(), SpillMetrics::default());
+
+        let cfg = spill_dir("agree");
+        let mut spill: SpillStore<Toy, u32> = SpillStore::create(&cfg).unwrap();
+        exercise(&mut spill);
+        let m = spill.metrics();
+        assert_eq!(m.spilled_states, 3, "budget 0 spills everything");
+        assert!(m.spill_bytes > 0);
+        assert!(m.spill_faults > 0);
+        drop(spill);
+        let _ = std::fs::remove_dir_all(&cfg.path);
+    }
+
+    #[test]
+    fn resident_budget_keeps_prefix_in_memory() {
+        let cfg = SpillConfig {
+            resident_budget: 2,
+            ..spill_dir("budget")
+        };
+        let mut store: SpillStore<Toy, ()> = SpillStore::create(&cfg).unwrap();
+        store.insert(Toy(1), ()).unwrap();
+        store.insert(Toy(2), ()).unwrap();
+        store.insert(Toy(3), ()).unwrap();
+        assert_eq!(store.metrics().spilled_states, 1);
+        // Loading a resident node is not a fault.
+        let faults = store.metrics().spill_faults;
+        store.load(0).unwrap();
+        assert_eq!(store.metrics().spill_faults, faults);
+        store.load(2).unwrap();
+        assert_eq!(store.metrics().spill_faults, faults + 1);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&cfg.path);
+    }
+
+    #[test]
+    fn torn_log_fails_loud_not_wrong() {
+        let cfg = spill_dir("torn");
+        let mut store: SpillStore<Toy, ()> = SpillStore::create(&cfg).unwrap();
+        store.insert(Toy(7), ()).unwrap();
+        // Tear the log mid-record.
+        let path = store.log_path().to_path_buf();
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        match store.load(0) {
+            Err(SpillError::Torn { .. }) => {}
+            other => panic!("expected Torn, got {other:?}"),
+        }
+        // The probe that would fault the torn record also fails loud.
+        match store.is_subsumed(&Toy(3)) {
+            Err(SpillError::Torn { .. }) => {}
+            other => panic!("expected Torn, got {other:?}"),
+        }
+        drop(store);
+        let _ = std::fs::remove_dir_all(&cfg.path);
+    }
+}

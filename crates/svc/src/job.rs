@@ -238,8 +238,9 @@ impl JobKind {
     pub(crate) fn execute(&self, budget: &Budget) -> Result<Execution, JobError> {
         match self {
             JobKind::Reach { net, goal, explore } => {
-                let (out, cert) = certify::certified_reachable_with(net, goal, *explore, budget)
-                    .map_err(engine_err)?;
+                let (out, cert) =
+                    certify::certified_reachable_with(net, goal, explore.clone(), budget)
+                        .map_err(engine_err)?;
                 let (res, report) = split(out)?;
                 Ok(Execution {
                     verdict: JobVerdict::Reachable(res.reachable),

@@ -246,7 +246,12 @@ impl Inner {
                 );
                 return;
             }
-            DiskLookup::Rejected => self.stats.record_disk_rejected(),
+            DiskLookup::Rejected { evicted } => {
+                self.stats.record_disk_rejected();
+                if evicted {
+                    self.stats.record_disk_evicted();
+                }
+            }
             DiskLookup::Absent => {}
         }
         self.stats.record_miss();

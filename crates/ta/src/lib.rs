@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod codec;
 mod digest;
 mod digital;
 mod explore;
@@ -48,6 +49,7 @@ mod reach;
 mod reduce;
 mod symmetry;
 
+pub use codec::{decode_state, encode_state, ZoneSummary};
 pub use digital::{DigitalError, DigitalExplorer, DigitalMove, DigitalState};
 pub use explore::{Action, Explorer, SymState};
 pub use formula::StateFormula;
@@ -63,4 +65,4 @@ pub use query::{
 pub use reach::{ModelChecker, ReachResult, Stats, Trace, TraceStep, Verdict};
 pub use reduce::{live_clocks, ClockReduction};
 pub use symmetry::{near_miss_orbits, NearMiss, Perm, Symmetry};
-pub use tempo_obs::ExploreConfig;
+pub use tempo_obs::{ExploreConfig, SpillConfig, SpillError, SpillMetrics};

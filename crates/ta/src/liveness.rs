@@ -30,7 +30,7 @@ use crate::model::{LocationId, Network};
 use crate::reach::{exploration_report, Stats, Trace, TraceStep, Verdict};
 use std::collections::{HashMap, HashSet, VecDeque};
 use tempo_expr::Store;
-use tempo_obs::{Budget, Governor, Outcome};
+use tempo_obs::{Budget, Governor, Outcome, SpillMetrics};
 
 /// Checks the leads-to property `phi --> psi` over the network.
 ///
@@ -152,12 +152,26 @@ pub fn leads_to_governed(
             }
             prefix.reverse();
             prefix.extend(bad.steps);
-            let report = exploration_report(&gov, &stats, peak, net.dim(), model_dim);
+            let report = exploration_report(
+                &gov,
+                &stats,
+                peak,
+                net.dim(),
+                model_dim,
+                SpillMetrics::default(),
+            );
             return gov
                 .finish_complete((Verdict::Violated(Trace { steps: prefix }), stats), report);
         }
     }
-    let report = exploration_report(&gov, &stats, peak, net.dim(), model_dim);
+    let report = exploration_report(
+        &gov,
+        &stats,
+        peak,
+        net.dim(),
+        model_dim,
+        SpillMetrics::default(),
+    );
     gov.finish((Verdict::Satisfied, stats), report)
 }
 

@@ -18,19 +18,31 @@
 //! probe, and the C3 cycle proviso re-expands a state fully whenever any of
 //! its ample successors was subsumed. Both analyses are order-independent,
 //! so verdicts stay identical at any thread count.
+//!
+//! When a [`SpillConfig`] is active, states beyond the resident budget are
+//! serialized into a shared append-only [`StateLog`] and only a
+//! [`ZoneSummary`] plus content fingerprint stays resident, mirroring the
+//! sequential [`tempo_obs::SpillStore`]. Lock order is shard → log: a
+//! worker may fault a record while holding a passed-list shard, and the
+//! log's reader/writer mutexes are leaves, so no cycle is possible. Any
+//! I/O failure or corrupt record stops every worker and surfaces as a
+//! typed [`SpillError`] — never a wrong verdict.
 
+use crate::codec::{decode_state, encode_state, ZoneSummary};
 use crate::explore::{Action, Explorer, SymState};
 use crate::formula::StateFormula;
 use crate::model::{LocationId, Network};
 use crate::por::Por;
 use crate::reach::{Stats, Trace, TraceStep};
 use crate::symmetry::Symmetry;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use tempo_conc::{ShardedMap, WorkQueue};
+use tempo_conc::{RecordRef, ShardedMap, SpillError, StateLog, WorkQueue};
 use tempo_dbm::Dbm;
 use tempo_expr::Store;
-use tempo_obs::Governor;
+use tempo_obs::{
+    create_state_log, payload_digest, Fingerprint, Governor, SpillConfig, SpillMetrics,
+};
 
 /// Arena-crossing node handle: worker index + index in that worker's arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,9 +55,31 @@ struct NodeId {
 /// the symmetry permutation that canonicalized the state (`0` when
 /// symmetry is off).
 struct Node {
-    state: SymState,
+    place: NodePlace,
     parent: Option<(NodeId, Action)>,
     perm: usize,
+}
+
+/// Where an arena node's full state lives.
+enum NodePlace {
+    /// Fully in memory.
+    Resident(SymState),
+    /// In the shared spill log; faulted back for trace reconstruction.
+    Spilled(RecordRef, Fingerprint),
+}
+
+/// A passed-list entry: the zone of a stored state, resident or spilled
+/// behind its summary.
+enum Stored {
+    Resident(Dbm),
+    Spilled(ZoneSummary, RecordRef, Fingerprint),
+}
+
+/// A waiting-list item: the full state, or a spill-log reference faulted
+/// on pop.
+enum Payload {
+    Full(SymState),
+    Ref(RecordRef, Fingerprint),
 }
 
 type DiscreteKey = (Vec<LocationId>, Store);
@@ -57,15 +91,89 @@ struct Reductions {
     sym_avoided: AtomicUsize,
 }
 
+/// Shared out-of-core context: the spill log plus residency accounting.
+struct SpillCtx {
+    log: StateLog,
+    resident_budget: usize,
+    resident: AtomicUsize,
+    spilled: AtomicU64,
+    faults: AtomicU64,
+}
+
+impl SpillCtx {
+    fn create(config: &SpillConfig) -> Result<Self, SpillError> {
+        Ok(SpillCtx {
+            log: create_state_log(config)?,
+            resident_budget: config.resident_budget,
+            resident: AtomicUsize::new(0),
+            spilled: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+        })
+    }
+
+    /// Faults one record back from the shared log, verifying checksum and
+    /// content fingerprint before decoding.
+    fn fault(&self, rec: RecordRef, digest: Fingerprint) -> Result<SymState, SpillError> {
+        self.faults.fetch_add(1, Ordering::Relaxed);
+        let payload = self.log.read(rec)?;
+        if payload_digest(&payload) != digest {
+            return Err(SpillError::Corrupt {
+                offset: rec.offset,
+                detail: "payload fingerprint mismatch".to_owned(),
+            });
+        }
+        decode_state(&payload).map_err(|detail| SpillError::Corrupt {
+            offset: rec.offset,
+            detail,
+        })
+    }
+
+    fn metrics(&self) -> SpillMetrics {
+        SpillMetrics {
+            spilled_states: self.spilled.load(Ordering::Relaxed),
+            spill_bytes: self.log.bytes_written(),
+            spill_faults: self.faults.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Builds the three representations of a newly stored state: its
+/// passed-list entry, its arena place, and its waiting-list payload —
+/// resident within the budget, spilled to the shared log beyond it.
+fn place_state(
+    spill: Option<&SpillCtx>,
+    state: &SymState,
+) -> Result<(Stored, NodePlace, Payload), SpillError> {
+    if let Some(ctx) = spill {
+        // fetch_add hands out exactly `resident_budget` residency slots.
+        if ctx.resident.fetch_add(1, Ordering::Relaxed) >= ctx.resident_budget {
+            let payload = encode_state(state);
+            let rec = ctx.log.append(&payload)?;
+            let digest = payload_digest(&payload);
+            ctx.spilled.fetch_add(1, Ordering::Relaxed);
+            return Ok((
+                Stored::Spilled(ZoneSummary::of(&state.zone), rec, digest),
+                NodePlace::Spilled(rec, digest),
+                Payload::Ref(rec, digest),
+            ));
+        }
+    }
+    Ok((
+        Stored::Resident(state.zone.clone()),
+        NodePlace::Resident(state.clone()),
+        Payload::Full(state.clone()),
+    ))
+}
+
 /// Explore the zone graph with `threads` workers until a state satisfying
 /// `hit` is popped, the inclusion-reduced fixpoint is exhausted, or the
 /// governor trips a budget limit (workers then drain cooperatively via
 /// [`WorkQueue::stop_exhausted`]).
 ///
 /// Returns the witness trace (if a hit was found), exploration statistics
-/// aggregated across workers, and the waiting-list high-water mark.
-/// States where `prune` holds everywhere are not expanded, mirroring the
-/// sequential engine.
+/// aggregated across workers, the waiting-list high-water mark, and the
+/// out-of-core accounting. States where `prune` holds everywhere are not
+/// expanded, mirroring the sequential engine.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn parallel_search<H>(
     net: &Network,
@@ -75,14 +183,17 @@ pub(crate) fn parallel_search<H>(
     prune: Option<&StateFormula>,
     por: Option<&Por>,
     sym: Option<&Symmetry>,
+    spill: Option<&SpillConfig>,
     gov: &Governor,
-) -> (Option<Trace>, Stats, usize)
+) -> Result<(Option<Trace>, Stats, usize, SpillMetrics), SpillError>
 where
     H: Fn(&SymState) -> bool + std::marker::Sync,
 {
     let threads = threads.max(2);
-    let queue: WorkQueue<(NodeId, SymState)> = WorkQueue::new(threads);
-    let passed: ShardedMap<DiscreteKey, Vec<(NodeId, Dbm)>> = ShardedMap::for_threads(threads);
+    let spill = spill.map(SpillCtx::create).transpose()?;
+    let spill = spill.as_ref();
+    let queue: WorkQueue<(NodeId, Payload)> = WorkQueue::new(threads);
+    let passed: ShardedMap<DiscreteKey, Vec<(NodeId, Stored)>> = ShardedMap::for_threads(threads);
     let explored = AtomicUsize::new(0);
     let transitions = AtomicUsize::new(0);
     let reductions = Reductions {
@@ -91,6 +202,7 @@ where
         sym_avoided: AtomicUsize::new(0),
     };
     let goal_cell: Mutex<Option<NodeId>> = Mutex::new(None);
+    let error_cell: Mutex<Option<SpillError>> = Mutex::new(None);
 
     let init = explorer.initial_state();
     let (init, init_perm) = match sym {
@@ -103,21 +215,22 @@ where
     };
     let mut arenas: Vec<Vec<Node>> = (0..threads).map(|_| Vec::new()).collect();
     if gov.charge_state() {
+        let (stored, node_place, payload) = place_state(spill, &init)?;
         let key = init.discrete();
         let mut shard = passed.lock_shard(&key);
-        shard.insert(key, vec![(init_id, init.zone.clone())]);
+        shard.insert(key, vec![(init_id, stored)]);
         drop(shard);
         arenas[0].push(Node {
-            state: init.clone(),
+            place: node_place,
             parent: None,
             perm: init_perm,
         });
-        queue.push((init_id, init));
+        queue.push((init_id, payload));
 
         std::thread::scope(|scope| {
             let (queue, passed) = (&queue, &passed);
             let (explored, transitions, goal_cell) = (&explored, &transitions, &goal_cell);
-            let reductions = &reductions;
+            let (reductions, error_cell) = (&reductions, &error_cell);
             let hit = &hit;
             for (w, arena) in arenas.iter_mut().enumerate() {
                 scope.spawn(move || {
@@ -130,12 +243,14 @@ where
                         transitions,
                         reductions,
                         goal_cell,
+                        error_cell,
                         net,
                         explorer,
                         hit,
                         prune,
                         por,
                         sym,
+                        spill,
                         gov,
                     )
                 });
@@ -143,6 +258,9 @@ where
         });
     }
 
+    if let Some(err) = error_cell.into_inner().expect("error cell poisoned") {
+        return Err(err);
+    }
     let peak = queue.peak_len();
     let stats = Stats {
         explored: explored.load(Ordering::Relaxed),
@@ -156,38 +274,70 @@ where
         sym_orbits: sym.map_or(0, Symmetry::orbit_count),
         sym_avoided: reductions.sym_avoided.load(Ordering::Relaxed),
     };
+    let metrics = spill.map(SpillCtx::metrics).unwrap_or_default();
     let trace = goal_cell
         .into_inner()
         .expect("goal cell poisoned")
-        .map(|goal| build_trace(&arenas, goal, net, sym));
-    (trace, stats, peak)
+        .map(|goal| build_trace(&arenas, goal, net, sym, spill))
+        .transpose()?;
+    Ok((trace, stats, peak, metrics))
+}
+
+/// Records the first spill failure and stops every worker: a torn or
+/// corrupt record must abort the whole query, never skew its verdict.
+fn fail(
+    error_cell: &Mutex<Option<SpillError>>,
+    queue: &WorkQueue<(NodeId, Payload)>,
+    err: SpillError,
+) {
+    let mut cell = error_cell.lock().expect("error cell poisoned");
+    if cell.is_none() {
+        *cell = Some(err);
+    }
+    drop(cell);
+    queue.stop();
 }
 
 #[allow(clippy::too_many_arguments)]
 fn worker<H>(
     w: u32,
     arena: &mut Vec<Node>,
-    queue: &WorkQueue<(NodeId, SymState)>,
-    passed: &ShardedMap<DiscreteKey, Vec<(NodeId, Dbm)>>,
+    queue: &WorkQueue<(NodeId, Payload)>,
+    passed: &ShardedMap<DiscreteKey, Vec<(NodeId, Stored)>>,
     explored: &AtomicUsize,
     transitions: &AtomicUsize,
     reductions: &Reductions,
     goal_cell: &Mutex<Option<NodeId>>,
+    error_cell: &Mutex<Option<SpillError>>,
     net: &Network,
     explorer: &Explorer<'_>,
     hit: &H,
     prune: Option<&StateFormula>,
     por: Option<&Por>,
     sym: Option<&Symmetry>,
+    spill: Option<&SpillCtx>,
     gov: &Governor,
 ) where
     H: Fn(&SymState) -> bool + std::marker::Sync,
 {
-    while let Some((id, state)) = queue.pop() {
+    while let Some((id, payload)) = queue.pop() {
         if !gov.check_time() {
             queue.stop_exhausted();
             return;
         }
+        let state = match payload {
+            Payload::Full(s) => s,
+            Payload::Ref(rec, digest) => {
+                let ctx = spill.expect("spilled payload without spill context");
+                match ctx.fault(rec, digest) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        fail(error_cell, queue, e);
+                        return;
+                    }
+                }
+            }
+        };
         explored.fetch_add(1, Ordering::Relaxed);
         if hit(&state) {
             let mut goal = goal_cell.lock().expect("goal cell poisoned");
@@ -231,7 +381,34 @@ fn worker<H>(
                 let key = succ.discrete();
                 let mut shard = passed.lock_shard(&key);
                 let entry = shard.entry(key).or_default();
-                if entry.iter().any(|(_, zone)| succ.zone.is_subset_of(zone)) {
+                // Inclusion probe: succ ⊆ some stored zone? Spilled
+                // entries answer from the summary when they can and
+                // fault the full record only on a possible hit.
+                let mut subsumed = false;
+                for (_, stored) in entry.iter() {
+                    let covers = match stored {
+                        Stored::Resident(zone) => succ.zone.is_subset_of(zone),
+                        Stored::Spilled(summary, rec, digest) => {
+                            if !summary.may_contain(&succ.zone) {
+                                continue;
+                            }
+                            let ctx = spill.expect("spilled entry without spill context");
+                            match ctx.fault(*rec, *digest) {
+                                Ok(full) => succ.zone.is_subset_of(&full.zone),
+                                Err(e) => {
+                                    drop(shard);
+                                    fail(error_cell, queue, e);
+                                    return;
+                                }
+                            }
+                        }
+                    };
+                    if covers {
+                        subsumed = true;
+                        break;
+                    }
+                }
+                if subsumed {
                     any_subsumed = true;
                     if perm != 0 {
                         reductions.sym_avoided.fetch_add(1, Ordering::Relaxed);
@@ -243,19 +420,58 @@ fn worker<H>(
                     queue.stop_exhausted();
                     return;
                 }
-                entry.retain(|(_, zone)| !zone.is_subset_of(&succ.zone));
+                // Evict stored zones strictly contained in the new one.
+                let old = std::mem::take(entry);
+                let mut kept = Vec::with_capacity(old.len() + 1);
+                let mut fault_err = None;
+                for item in old {
+                    let evict = match &item.1 {
+                        Stored::Resident(zone) => zone.is_subset_of(&succ.zone),
+                        Stored::Spilled(summary, rec, digest) => {
+                            if !summary.may_be_contained_in(&succ.zone) {
+                                false
+                            } else {
+                                let ctx = spill.expect("spilled entry without spill context");
+                                match ctx.fault(*rec, *digest) {
+                                    Ok(full) => full.zone.is_subset_of(&succ.zone),
+                                    Err(e) => {
+                                        fault_err = Some(e);
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                    };
+                    if !evict {
+                        kept.push(item);
+                    }
+                }
+                if let Some(e) = fault_err {
+                    drop(shard);
+                    fail(error_cell, queue, e);
+                    return;
+                }
                 let nid = NodeId {
                     worker: w,
                     index: u32::try_from(arena.len()).expect("arena exceeds u32 indices"),
                 };
-                entry.push((nid, succ.zone.clone()));
+                let (stored, node_place, queue_payload) = match place_state(spill, &succ) {
+                    Ok(triple) => triple,
+                    Err(e) => {
+                        drop(shard);
+                        fail(error_cell, queue, e);
+                        return;
+                    }
+                };
+                kept.push((nid, stored));
+                *entry = kept;
                 drop(shard);
                 arena.push(Node {
-                    state: succ.clone(),
+                    place: node_place,
                     parent: Some((id, action)),
                     perm,
                 });
-                queue.push((nid, succ));
+                queue.push((nid, queue_payload));
             }
             // C3 cycle proviso — same rule as the sequential engine: an
             // ample successor was subsumed by a stored state, so the
@@ -275,21 +491,34 @@ fn worker<H>(
 }
 
 /// Rebuild the witness by following parent pointers across worker arenas,
-/// then realize it into a concrete run of the original network when
-/// symmetry reduction canonicalized the stored states.
+/// faulting spilled states back from the shared log, then realize it into
+/// a concrete run of the original network when symmetry reduction
+/// canonicalized the stored states.
 /// Runs strictly after all workers have joined, so every arena is complete.
-fn build_trace(arenas: &[Vec<Node>], goal: NodeId, net: &Network, sym: Option<&Symmetry>) -> Trace {
+fn build_trace(
+    arenas: &[Vec<Node>],
+    goal: NodeId,
+    net: &Network,
+    sym: Option<&Symmetry>,
+    spill: Option<&SpillCtx>,
+) -> Result<Trace, SpillError> {
     let mut rev = Vec::new();
     let mut cur = goal;
     loop {
         let node = &arenas[cur.worker as usize][cur.index as usize];
+        let state = match &node.place {
+            NodePlace::Resident(s) => s.clone(),
+            NodePlace::Spilled(rec, digest) => spill
+                .expect("spilled node without spill context")
+                .fault(*rec, *digest)?,
+        };
         match &node.parent {
             Some((parent, action)) => {
-                rev.push((node.state.clone(), Some(action.clone()), node.perm));
+                rev.push((state, Some(action.clone()), node.perm));
                 cur = *parent;
             }
             None => {
-                rev.push((node.state.clone(), None, node.perm));
+                rev.push((state, None, node.perm));
                 break;
             }
         }
@@ -302,10 +531,10 @@ fn build_trace(arenas: &[Vec<Node>], goal: NodeId, net: &Network, sym: Option<&S
             .map(|(state, action, _)| (state, action))
             .collect(),
     };
-    Trace {
+    Ok(Trace {
         steps: steps
             .into_iter()
             .map(|(state, action)| TraceStep { action, state })
             .collect(),
-    }
+    })
 }

@@ -8,17 +8,39 @@ use crate::por::Por;
 use crate::symmetry::Symmetry;
 use std::collections::{HashMap, VecDeque};
 use tempo_expr::Store;
-use tempo_obs::{Budget, ExploreConfig, Governor, Outcome, RunReport};
+use tempo_obs::{
+    Budget, ExploreConfig, Governor, Outcome, ResidentStore, RunReport, SpillError, SpillMetrics,
+    SpillStore, StateStore,
+};
+
+/// Resident per-node metadata kept by the exploration stores: the
+/// parent edge (for trace reconstruction) and the index of the
+/// symmetry permutation that canonicalized the state (`0` — the
+/// identity — when symmetry is off).
+pub(crate) type NodeMeta = (Option<(usize, Action)>, usize);
+
+/// The [`StateStore`] behind a zone-graph exploration, chosen by the
+/// spill knob of [`ExploreConfig`].
+fn make_store(
+    config: &ExploreConfig,
+) -> Result<Box<dyn StateStore<SymState, NodeMeta>>, SpillError> {
+    Ok(match &config.spill {
+        Some(spill) => Box::new(SpillStore::create(spill)?),
+        None => Box::new(ResidentStore::new()),
+    })
+}
 
 /// Builds the [`RunReport`] of a zone-graph exploration from its
-/// [`Stats`], the waiting-list high-water mark, and the DBM dimensions
-/// used (after active-clock reduction) and declared by the model.
+/// [`Stats`], the waiting-list high-water mark, the DBM dimensions
+/// used (after active-clock reduction) and declared by the model, and
+/// the out-of-core accounting of the state store.
 pub(crate) fn exploration_report(
     gov: &Governor,
     stats: &Stats,
     peak_waiting: usize,
     dbm_dim: usize,
     dbm_dim_model: usize,
+    spill: SpillMetrics,
 ) -> RunReport {
     RunReport {
         states_explored: stats.explored as u64,
@@ -33,6 +55,9 @@ pub(crate) fn exploration_report(
         por_fallback_states: stats.por_fallback as u64,
         sym_orbits: stats.sym_orbits as u64,
         sym_states_avoided: stats.sym_avoided as u64,
+        spilled_states: spill.spilled_states,
+        spill_bytes: spill.spill_bytes,
+        spill_faults: spill.spill_faults,
         ..RunReport::default()
     }
 }
@@ -212,15 +237,6 @@ pub struct ModelChecker<'n> {
     config: ExploreConfig,
 }
 
-/// Internal node of the exploration arena (for trace reconstruction).
-/// `perm` is the index of the symmetry permutation that canonicalized
-/// the state (`0` — the identity — when symmetry is off).
-struct Node {
-    state: SymState,
-    parent: Option<(usize, Action)>,
-    perm: usize,
-}
-
 impl<'n> ModelChecker<'n> {
     /// Creates a checker for the network (single-threaded reference
     /// engine; active-clock reduction, ample-set partial-order reduction
@@ -257,7 +273,7 @@ impl<'n> ModelChecker<'n> {
     /// The configured reduction knobs.
     #[must_use]
     pub fn config(&self) -> ExploreConfig {
-        self.config
+        self.config.clone()
     }
 
     /// Use `threads` workers for zone-graph exploration (`<= 1` selects the
@@ -301,19 +317,45 @@ impl<'n> ModelChecker<'n> {
     /// `Exhausted` wrapper marks it non-definitive. A witness found in the
     /// same step the budget trips is still returned as `Complete`, because
     /// reachability witnesses are sound regardless of coverage.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a spill-store failure, which is only possible when
+    /// [`ExploreConfig::with_spill`] is set — use
+    /// [`ModelChecker::try_reachable_governed`] then.
     pub fn reachable_governed(
         &mut self,
         goal: &StateFormula,
         budget: &Budget,
     ) -> Outcome<ReachResult> {
+        self.try_reachable_governed(goal, budget)
+            .expect("spill store failed; use try_reachable_governed with ExploreConfig::with_spill")
+    }
+
+    /// `E<> goal` under a resource [`Budget`], surfacing spill-store
+    /// failures as typed errors.
+    ///
+    /// With the default in-memory store this never fails; with
+    /// [`ExploreConfig::with_spill`] any I/O failure or torn/corrupt
+    /// spill record aborts the query with a [`SpillError`] — never a
+    /// wrong verdict.
+    ///
+    /// # Errors
+    ///
+    /// [`SpillError`] when the disk-backed state store fails.
+    pub fn try_reachable_governed(
+        &mut self,
+        goal: &StateFormula,
+        budget: &Budget,
+    ) -> Result<Outcome<ReachResult>, SpillError> {
         let gov = budget.governor();
-        let (res, peak, dim) = self.search(goal, None, &gov);
-        let report = exploration_report(&gov, &res.stats, peak, dim, self.net.dim());
-        if res.reachable {
+        let (res, peak, dim, spill) = self.search(goal, None, &gov)?;
+        let report = exploration_report(&gov, &res.stats, peak, dim, self.net.dim(), spill);
+        Ok(if res.reachable {
             gov.finish_complete(res, report)
         } else {
             gov.finish(res, report)
-        }
+        })
     }
 
     /// `A[] safe`: does `safe` hold in every reachable state (and every
@@ -330,21 +372,43 @@ impl<'n> ModelChecker<'n> {
     /// budgeted state. On exhaustion the partial verdict is
     /// `Satisfied`, to be read as "no violation found within the explored
     /// portion" — never as a proof.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a spill-store failure, which is only possible when
+    /// [`ExploreConfig::with_spill`] is set — use
+    /// [`ModelChecker::try_always_governed`] then.
     pub fn always_governed(
         &mut self,
         safe: &StateFormula,
         budget: &Budget,
     ) -> Outcome<(Verdict, Stats)> {
+        self.try_always_governed(safe, budget)
+            .expect("spill store failed; use try_always_governed with ExploreConfig::with_spill")
+    }
+
+    /// `A[] safe` under a resource [`Budget`], surfacing spill-store
+    /// failures as typed errors (see
+    /// [`ModelChecker::try_reachable_governed`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SpillError`] when the disk-backed state store fails.
+    pub fn try_always_governed(
+        &mut self,
+        safe: &StateFormula,
+        budget: &Budget,
+    ) -> Result<Outcome<(Verdict, Stats)>, SpillError> {
         let neg = StateFormula::not(safe.clone());
         let gov = budget.governor();
-        let (res, peak, dim) = self.search(&neg, None, &gov);
-        let report = exploration_report(&gov, &res.stats, peak, dim, self.net.dim());
-        if res.reachable {
+        let (res, peak, dim, spill) = self.search(&neg, None, &gov)?;
+        let report = exploration_report(&gov, &res.stats, peak, dim, self.net.dim(), spill);
+        Ok(if res.reachable {
             let value = (Verdict::Violated(res.trace.unwrap_or_default()), res.stats);
             gov.finish_complete(value, report)
         } else {
             gov.finish((Verdict::Satisfied, res.stats), report)
-        }
+        })
     }
 
     /// `A[] not deadlock`: no reachable state contains a valuation from
@@ -358,15 +422,37 @@ impl<'n> ModelChecker<'n> {
     /// `A[] not deadlock` under a resource [`Budget`]. Same partial
     /// semantics as [`ModelChecker::always_governed`]: a deadlock found is
     /// definitive, exhaustion means "none found so far".
+    ///
+    /// # Panics
+    ///
+    /// Panics on a spill-store failure, which is only possible when
+    /// [`ExploreConfig::with_spill`] is set — use
+    /// [`ModelChecker::try_deadlock_free_governed`] then.
     pub fn deadlock_free_governed(&mut self, budget: &Budget) -> Outcome<(Verdict, Stats)> {
+        self.try_deadlock_free_governed(budget).expect(
+            "spill store failed; use try_deadlock_free_governed with ExploreConfig::with_spill",
+        )
+    }
+
+    /// `A[] not deadlock` under a resource [`Budget`], surfacing
+    /// spill-store failures as typed errors (see
+    /// [`ModelChecker::try_reachable_governed`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SpillError`] when the disk-backed state store fails.
+    pub fn try_deadlock_free_governed(
+        &mut self,
+        budget: &Budget,
+    ) -> Result<Outcome<(Verdict, Stats)>, SpillError> {
         let gov = budget.governor();
-        let (verdict, stats, peak, dim) = self.deadlock_search(&gov);
-        let report = exploration_report(&gov, &stats, peak, dim, self.net.dim());
-        if verdict.holds() {
+        let (verdict, stats, peak, dim, spill) = self.deadlock_search(&gov)?;
+        let report = exploration_report(&gov, &stats, peak, dim, self.net.dim(), spill);
+        Ok(if verdict.holds() {
             gov.finish((verdict, stats), report)
         } else {
             gov.finish_complete((verdict, stats), report)
-        }
+        })
     }
 
     /// BFS over the zone graph with an inclusion-reduced passed list.
@@ -379,7 +465,7 @@ impl<'n> ModelChecker<'n> {
         goal: &StateFormula,
         prune: Option<&StateFormula>,
         gov: &Governor,
-    ) -> (ReachResult, usize, usize) {
+    ) -> Result<(ReachResult, usize, usize, SpillMetrics), SpillError> {
         // Active-clock reduction: drop clocks that neither the model nor
         // the query reads, shrinking every DBM of the exploration. The
         // query's atoms are kept alive, so verdicts are unchanged.
@@ -424,7 +510,7 @@ impl<'n> ModelChecker<'n> {
 
         let explorer = Explorer::with_extra_constants(net, &goal.clock_atoms());
         if self.threads > 1 {
-            let (trace, stats, peak) = crate::par_reach::parallel_search(
+            let (trace, stats, peak, spill) = crate::par_reach::parallel_search(
                 net,
                 &explorer,
                 self.threads,
@@ -432,9 +518,10 @@ impl<'n> ModelChecker<'n> {
                 prune,
                 por.as_ref(),
                 sym.as_ref(),
+                self.config.spill.as_ref(),
                 gov,
-            );
-            return (
+            )?;
+            return Ok((
                 ReachResult {
                     reachable: trace.is_some(),
                     trace,
@@ -442,16 +529,15 @@ impl<'n> ModelChecker<'n> {
                 },
                 peak,
                 dim,
-            );
+                spill,
+            ));
         }
         let mut stats = Stats {
             sym_orbits: sym.as_ref().map_or(0, Symmetry::orbit_count),
             ..Stats::default()
         };
         let mut peak = 0usize;
-        let mut nodes: Vec<Node> = Vec::new();
-        let mut passed: HashMap<(Vec<LocationId>, Store), Vec<usize>> = HashMap::new();
-        let mut waiting: VecDeque<usize> = VecDeque::new();
+        let mut store = make_store(&self.config)?;
 
         let init = explorer.initial_state();
         let (init, init_perm) = match &sym {
@@ -459,33 +545,30 @@ impl<'n> ModelChecker<'n> {
             None => (init, 0),
         };
         if gov.charge_state() {
-            nodes.push(Node {
-                state: init,
-                parent: None,
-                perm: init_perm,
-            });
-            waiting.push_back(0);
+            store.insert(init, (None, init_perm))?;
             peak = 1;
-            passed.insert(nodes[0].state.discrete(), vec![0]);
         }
 
-        while let Some(idx) = waiting.pop_front() {
+        while let Some(idx) = store.pop_waiting() {
             if !gov.check_time() {
                 break;
             }
-            let state = nodes[idx].state.clone();
+            let state = store.load(idx)?;
             stats.explored += 1;
             if goal.holds_somewhere(net, &state) {
-                stats.stored = passed.values().map(Vec::len).sum();
-                return (
+                stats.stored = store.stored();
+                let trace = build_trace(store.as_mut(), idx, net, sym.as_ref())?;
+                let spill = store.metrics();
+                return Ok((
                     ReachResult {
                         reachable: true,
-                        trace: Some(build_trace(&nodes, idx, net, sym.as_ref())),
+                        trace: Some(trace),
                         stats,
                     },
                     peak,
                     dim,
-                );
+                    spill,
+                ));
             }
             if let Some(p) = prune {
                 if p.holds_everywhere(net, &state) {
@@ -515,12 +598,7 @@ impl<'n> ModelChecker<'n> {
                         Some(s) => s.canonicalize(net, &succ),
                         None => (succ, 0),
                     };
-                    let key = succ.discrete();
-                    let entry = passed.entry(key).or_default();
-                    if entry
-                        .iter()
-                        .any(|&i| succ.zone.is_subset_of(&nodes[i].state.zone))
-                    {
+                    if store.is_subsumed(&succ)? {
                         any_subsumed = true;
                         if perm != 0 {
                             stats.sym_avoided += 1;
@@ -531,19 +609,8 @@ impl<'n> ModelChecker<'n> {
                         out_of_states = true;
                         break;
                     }
-                    entry.retain(|&i| !nodes[i].state.zone.is_subset_of(&succ.zone));
-                    nodes.push(Node {
-                        state: succ,
-                        parent: Some((idx, action)),
-                        perm,
-                    });
-                    let new_idx = nodes.len() - 1;
-                    passed
-                        .get_mut(&nodes[new_idx].state.discrete())
-                        .expect("entry exists")
-                        .push(new_idx);
-                    waiting.push_back(new_idx);
-                    peak = peak.max(waiting.len());
+                    store.insert(succ, (Some((idx, action)), perm))?;
+                    peak = peak.max(store.waiting_len());
                 }
                 // C3 cycle proviso: an ample successor was subsumed by an
                 // already-stored state, i.e. the reduced expansion may
@@ -564,8 +631,9 @@ impl<'n> ModelChecker<'n> {
                 break;
             }
         }
-        stats.stored = passed.values().map(Vec::len).sum();
-        (
+        stats.stored = store.stored();
+        let spill = store.metrics();
+        Ok((
             ReachResult {
                 reachable: false,
                 trace: None,
@@ -573,13 +641,17 @@ impl<'n> ModelChecker<'n> {
             },
             peak,
             dim,
-        )
+            spill,
+        ))
     }
 
     /// Full exploration checking the symbolic deadlock condition on every
     /// state. Dispatches to the parallel engine when more than one worker
     /// is configured.
-    fn deadlock_search(&mut self, gov: &Governor) -> (Verdict, Stats, usize, usize) {
+    fn deadlock_search(
+        &mut self,
+        gov: &Governor,
+    ) -> Result<(Verdict, Stats, usize, usize, SpillMetrics), SpillError> {
         // The deadlock condition only reads guards and invariants, so
         // active-clock reduction preserves it exactly.
         let reduction = self.reduce.then(|| self.net.reduced());
@@ -601,7 +673,7 @@ impl<'n> ModelChecker<'n> {
         };
         let explorer = Explorer::new(net);
         if self.threads > 1 {
-            let (trace, stats, peak) = crate::par_reach::parallel_search(
+            let (trace, stats, peak, spill) = crate::par_reach::parallel_search(
                 net,
                 &explorer,
                 self.threads,
@@ -609,21 +681,20 @@ impl<'n> ModelChecker<'n> {
                 None,
                 None,
                 sym.as_ref(),
+                self.config.spill.as_ref(),
                 gov,
-            );
-            return match trace {
-                Some(t) => (Verdict::Violated(t), stats, peak, dim),
-                None => (Verdict::Satisfied, stats, peak, dim),
-            };
+            )?;
+            return Ok(match trace {
+                Some(t) => (Verdict::Violated(t), stats, peak, dim, spill),
+                None => (Verdict::Satisfied, stats, peak, dim, spill),
+            });
         }
         let mut stats = Stats {
             sym_orbits: sym.as_ref().map_or(0, Symmetry::orbit_count),
             ..Stats::default()
         };
         let mut peak = 0usize;
-        let mut nodes: Vec<Node> = Vec::new();
-        let mut passed: HashMap<(Vec<LocationId>, Store), Vec<usize>> = HashMap::new();
-        let mut waiting: VecDeque<usize> = VecDeque::new();
+        let mut store = make_store(&self.config)?;
 
         let init = explorer.initial_state();
         let (init, init_perm) = match &sym {
@@ -631,30 +702,21 @@ impl<'n> ModelChecker<'n> {
             None => (init, 0),
         };
         if gov.charge_state() {
-            nodes.push(Node {
-                state: init,
-                parent: None,
-                perm: init_perm,
-            });
-            waiting.push_back(0);
+            store.insert(init, (None, init_perm))?;
             peak = 1;
-            passed.insert(nodes[0].state.discrete(), vec![0]);
         }
 
-        while let Some(idx) = waiting.pop_front() {
+        while let Some(idx) = store.pop_waiting() {
             if !gov.check_time() {
                 break;
             }
-            let state = nodes[idx].state.clone();
+            let state = store.load(idx)?;
             stats.explored += 1;
             if !explorer.deadlock_federation(&state).is_empty() {
-                stats.stored = passed.values().map(Vec::len).sum();
-                return (
-                    Verdict::Violated(build_trace(&nodes, idx, net, sym.as_ref())),
-                    stats,
-                    peak,
-                    dim,
-                );
+                stats.stored = store.stored();
+                let trace = build_trace(store.as_mut(), idx, net, sym.as_ref())?;
+                let spill = store.metrics();
+                return Ok((Verdict::Violated(trace), stats, peak, dim, spill));
             }
             let mut out_of_states = false;
             for (action, succ) in explorer.successors(&state) {
@@ -663,12 +725,7 @@ impl<'n> ModelChecker<'n> {
                     Some(s) => s.canonicalize(net, &succ),
                     None => (succ, 0),
                 };
-                let key = succ.discrete();
-                let entry = passed.entry(key).or_default();
-                if entry
-                    .iter()
-                    .any(|&i| succ.zone.is_subset_of(&nodes[i].state.zone))
-                {
+                if store.is_subsumed(&succ)? {
                     if perm != 0 {
                         stats.sym_avoided += 1;
                     }
@@ -678,26 +735,16 @@ impl<'n> ModelChecker<'n> {
                     out_of_states = true;
                     break;
                 }
-                entry.retain(|&i| !nodes[i].state.zone.is_subset_of(&succ.zone));
-                nodes.push(Node {
-                    state: succ,
-                    parent: Some((idx, action)),
-                    perm,
-                });
-                let new_idx = nodes.len() - 1;
-                passed
-                    .get_mut(&nodes[new_idx].state.discrete())
-                    .expect("entry exists")
-                    .push(new_idx);
-                waiting.push_back(new_idx);
-                peak = peak.max(waiting.len());
+                store.insert(succ, (Some((idx, action)), perm))?;
+                peak = peak.max(store.waiting_len());
             }
             if out_of_states {
                 break;
             }
         }
-        stats.stored = passed.values().map(Vec::len).sum();
-        (Verdict::Satisfied, stats, peak, dim)
+        stats.stored = store.stored();
+        let spill = store.metrics();
+        Ok((Verdict::Satisfied, stats, peak, dim, spill))
     }
 
     /// Enumerates all reachable symbolic states (inclusion-reduced).
@@ -762,27 +809,41 @@ impl<'n> ModelChecker<'n> {
             }
         }
         stats.stored = passed.values().map(Vec::len).sum();
-        let report = exploration_report(&gov, &stats, peak, self.net.dim(), self.net.dim());
+        let report = exploration_report(
+            &gov,
+            &stats,
+            peak,
+            self.net.dim(),
+            self.net.dim(),
+            SpillMetrics::default(),
+        );
         gov.finish((states, stats), report)
     }
 }
 
-/// Reconstructs the witness trace from the exploration arena. When
-/// symmetry reduction canonicalized states along the way, the stored
-/// chain mixes orbit representatives from different permutations; the
-/// realization pass maps every step back into one concrete execution of
-/// the original network.
-fn build_trace(nodes: &[Node], mut idx: usize, net: &Network, sym: Option<&Symmetry>) -> Trace {
+/// Reconstructs the witness trace from the exploration store, faulting
+/// spilled states back from disk as needed. When symmetry reduction
+/// canonicalized states along the way, the stored chain mixes orbit
+/// representatives from different permutations; the realization pass
+/// maps every step back into one concrete execution of the original
+/// network.
+fn build_trace(
+    store: &mut dyn StateStore<SymState, NodeMeta>,
+    mut idx: usize,
+    net: &Network,
+    sym: Option<&Symmetry>,
+) -> Result<Trace, SpillError> {
     let mut rev = Vec::new();
     loop {
-        let node = &nodes[idx];
-        match &node.parent {
+        let state = store.load(idx)?;
+        let (parent, perm) = store.meta(idx).clone();
+        match parent {
             Some((p, action)) => {
-                rev.push((node.state.clone(), Some(action.clone()), node.perm));
-                idx = *p;
+                rev.push((state, Some(action), perm));
+                idx = p;
             }
             None => {
-                rev.push((node.state.clone(), None, node.perm));
+                rev.push((state, None, perm));
                 break;
             }
         }
@@ -795,12 +856,12 @@ fn build_trace(nodes: &[Node], mut idx: usize, net: &Network, sym: Option<&Symme
             .map(|(state, action, _)| (state, action))
             .collect(),
     };
-    Trace {
+    Ok(Trace {
         steps: steps
             .into_iter()
             .map(|(state, action)| TraceStep { action, state })
             .collect(),
-    }
+    })
 }
 
 #[cfg(test)]

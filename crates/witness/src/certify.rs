@@ -658,7 +658,9 @@ pub fn certified_reachable(
 /// # Errors
 ///
 /// A [`WitnessError`] if the engine's trace cannot be realized or fails
-/// validation — either indicates an engine bug.
+/// validation — either indicates an engine bug — or a
+/// [`WitnessError::Spill`] if the engine's out-of-core state store
+/// failed (only possible with [`ExploreConfig::with_spill`]).
 pub fn certified_reachable_with(
     net: &Network,
     goal: &StateFormula,
@@ -666,7 +668,7 @@ pub fn certified_reachable_with(
     budget: &Budget,
 ) -> Certified<ReachResult, Option<TraceCertificate>> {
     let mut mc = tempo_ta::ModelChecker::new(net).with_config(config);
-    let mut out = mc.reachable_governed(goal, budget);
+    let mut out = mc.try_reachable_governed(goal, budget)?;
     let started = Instant::now();
     let cert = match &out.value().trace {
         Some(trace) if out.value().reachable => {

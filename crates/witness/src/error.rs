@@ -117,6 +117,16 @@ pub enum WitnessError {
         /// Why.
         reason: String,
     },
+    /// The engine's out-of-core state store failed (I/O, torn or
+    /// corrupt spill record): the query was aborted before producing a
+    /// verdict.
+    Spill(tempo_obs::SpillError),
+}
+
+impl From<tempo_obs::SpillError> for WitnessError {
+    fn from(e: tempo_obs::SpillError) -> Self {
+        WitnessError::Spill(e)
+    }
 }
 
 impl fmt::Display for WitnessError {
@@ -185,6 +195,7 @@ impl fmt::Display for WitnessError {
             WitnessError::Unrealizable { step, reason } => {
                 write!(f, "trace unrealizable at step {step}: {reason}")
             }
+            WitnessError::Spill(e) => write!(f, "state store failure: {e}"),
         }
     }
 }

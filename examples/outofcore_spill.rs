@@ -1,0 +1,71 @@
+//! Prints the RAM-vs-disk crossover table recorded in EXPERIMENTS.md: a
+//! resident-budget sweep of the out-of-core state store on the
+//! train-gate `A[]` safety fixpoint at N = 6. Each row runs the same
+//! exploration with a smaller share of the passed/waiting lists held in
+//! memory; verdict and `Stats` are asserted identical to the all-in-RAM
+//! reference at every budget, so the table measures *only* the I/O
+//! cost of spilling. Run with
+//! `cargo run --release --example outofcore_spill`.
+
+use std::time::Instant;
+
+use tempo_core::obs::{Budget, ExploreConfig};
+use tempo_core::ta::ModelChecker;
+use tempo_models::train_gate;
+
+fn main() {
+    let n = 6;
+    let tg = train_gate(n);
+    let safety = tg.safety();
+    let dir = std::env::temp_dir().join(format!("tempo-spill-sweep-{}", std::process::id()));
+
+    // All-in-RAM reference: the verdict and stats every spilled run
+    // must reproduce, and the wall-clock baseline of the table.
+    let t0 = Instant::now();
+    let reference = ModelChecker::new(&tg.net)
+        .try_always_governed(&safety, &Budget::unlimited())
+        .expect("resident store cannot fail");
+    let ram_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (ref_verdict, ref_stats) = reference.value().clone();
+    println!(
+        "train-gate({n}) A[] safety, out-of-core sweep (release); \
+         RAM reference: {} states stored, {ram_ms:.1} ms",
+        ref_stats.stored
+    );
+    println!(
+        "{:>8} | {:>8} {:>9} {:>10} {:>8} | {:>8} {:>6}",
+        "budget", "spilled", "faults", "log bytes", "ms", "vs RAM", "ok"
+    );
+
+    for budget in [usize::MAX, 65536, 16384, 4096, 1024, 256, 64, 0] {
+        let config = if budget == usize::MAX {
+            ExploreConfig::default()
+        } else {
+            ExploreConfig::default().with_spill(&dir, budget)
+        };
+        let t0 = Instant::now();
+        let out = ModelChecker::new(&tg.net)
+            .with_config(config)
+            .try_always_governed(&safety, &Budget::unlimited())
+            .expect("spilled run completes");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (verdict, stats) = out.value();
+        assert_eq!(verdict.holds(), ref_verdict.holds(), "verdict moved");
+        assert_eq!(stats, &ref_stats, "stats moved at budget {budget}");
+        let r = out.report();
+        let label = if budget == usize::MAX {
+            "RAM".to_owned()
+        } else {
+            budget.to_string()
+        };
+        println!(
+            "{label:>8} | {:>8} {:>9} {:>10} {ms:>8.1} | {:>7.2}x {:>6}",
+            r.spilled_states,
+            r.spill_faults,
+            r.spill_bytes,
+            ms / ram_ms,
+            "yes"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

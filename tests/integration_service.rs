@@ -275,6 +275,7 @@ fn tampered_disk_certificate_is_rejected_and_recomputed() {
     let stats = svc.shutdown();
     assert_eq!(stats.disk_hits, 1);
     assert_eq!(stats.disk_rejected, 0);
+    assert_eq!(stats.disk_evicted, 0);
 
     // Tamper with the claimed value inside the certificate: replay must
     // reject it and the service must recompute the correct verdict.
@@ -288,6 +289,9 @@ fn tampered_disk_certificate_is_rejected_and_recomputed() {
     let stats = svc.shutdown();
     assert_eq!(stats.disk_rejected, 1);
     assert_eq!(stats.misses, 1);
+    // The dead entry is deleted on rejection (and re-persisted by the
+    // recompute), so it never re-pays the replay cost.
+    assert_eq!(stats.disk_evicted, 1);
 
     // Truncation (a crashed writer, a bad block) is also rejected.
     std::fs::write(&path, &pristine[..pristine.len() / 2]).expect("truncate");
@@ -296,6 +300,53 @@ fn tampered_disk_certificate_is_rejected_and_recomputed() {
     assert_eq!(r.verdict.render(), original.verdict.render());
     let stats = svc.shutdown();
     assert_eq!(stats.disk_rejected, 1);
+    assert_eq!(stats.disk_evicted, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression: a disk hit used to rebuild its [`RunReport`] from scratch
+/// with only `certificate_bytes` set, so warm starts reported zero
+/// states explored and zero wall time into the per-tenant rollups. The
+/// original run's report line is persisted in the entry header and must
+/// come back on the hit.
+#[test]
+fn disk_hit_preserves_the_original_run_report() {
+    let dir = unique_dir("report");
+    let model = train_gate(2);
+    let kind = JobKind::Reach {
+        net: Arc::new(model.net.clone()),
+        goal: model.cross(0),
+        explore: ExploreConfig::default(),
+    };
+    let config = || ServiceConfig {
+        workers: 1,
+        disk_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    };
+
+    let svc = AnalysisService::new(config());
+    let original = svc.run(request("t", kind.clone())).expect("computed");
+    assert_eq!(original.source, VerdictSource::Computed);
+    assert!(original.report.states_explored > 0);
+    svc.shutdown();
+
+    // Fresh process: the verdict comes from disk, and the report is the
+    // original run's work, not a zeroed-out shell.
+    let svc = AnalysisService::new(config());
+    let warm = svc.run(request("t", kind)).expect("disk hit");
+    assert_eq!(warm.source, VerdictSource::DiskHit);
+    assert_eq!(warm.verdict.render(), original.verdict.render());
+    assert_eq!(
+        warm.report.states_explored, original.report.states_explored,
+        "disk hit must preserve the producing run's states_explored"
+    );
+    assert_eq!(warm.report.states_stored, original.report.states_stored);
+    assert_eq!(warm.report.wall_time, original.report.wall_time);
+    assert!(warm.report.wall_time.as_nanos() > 0);
+    // The rollup the tenant sees aggregates the true work too.
+    let rollup = svc.tenant_report("t").expect("tenant rollup");
+    assert_eq!(rollup.states_explored, original.report.states_explored);
+    svc.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
 
