@@ -419,6 +419,61 @@ fn p3_svc(c: &mut Criterion) {
     group.finish();
 }
 
+fn p4_flow(c: &mut Criterion) {
+    use tempo_core::obs::{Budget, ExploreConfig};
+
+    let mut group = c.benchmark_group("p4_flow");
+    group.sample_size(10);
+    // The dataflow-pass experiment: exhaustive search for the (unreachable)
+    // collision on the 4-train gate, so the run covers the whole reachable
+    // space. LU extrapolation + slicing is isolated from POR/symmetry to
+    // make the shrink attributable to the flow passes alone.
+    let tg = train_gate(4);
+    let collision = tempo_core::ta::StateFormula::not(tg.safety());
+    group.bench_function("collision_n4_unreduced", |b| {
+        b.iter(|| {
+            let out = ModelChecker::new(&tg.net)
+                .with_config(ExploreConfig::unreduced())
+                .try_reachable_governed(&collision, &Budget::unlimited())
+                .expect("in-memory store");
+            assert!(!out.value().reachable);
+        });
+    });
+    group.bench_function("collision_n4_lu_slice", |b| {
+        b.iter(|| {
+            let out = ModelChecker::new(&tg.net)
+                .with_config(ExploreConfig::unreduced().with_lu(true).with_slice(true))
+                .try_reachable_governed(&collision, &Budget::unlimited())
+                .expect("in-memory store");
+            assert!(!out.value().reachable);
+            assert!(out.report().lu_tightened > 0);
+        });
+    });
+    // The digital-clocks side: BRP's MDP build with the variable-range
+    // and LU passes on vs off.
+    let model = brp(4, 2, 1);
+    group.bench_function("mcpta_brp4_flow_off", |b| {
+        b.iter(|| {
+            let mc = model.mcpta_with(
+                0,
+                tempo_core::modest::McptaConfig {
+                    flow: false,
+                    ..tempo_core::modest::McptaConfig::default()
+                },
+                5_000_000,
+            );
+            assert!(mc.stats().states > 0);
+        });
+    });
+    group.bench_function("mcpta_brp4_flow_on", |b| {
+        b.iter(|| {
+            let mc = model.mcpta(0, 5_000_000);
+            assert!(mc.stats().states > 0);
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     e1_train_gate_verification,
@@ -434,5 +489,6 @@ criterion_group!(
     p1_parallel_reach,
     p2_parallel_smc,
     p3_svc,
+    p4_flow,
 );
 criterion_main!(benches);

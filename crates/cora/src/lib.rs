@@ -41,8 +41,10 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use tempo_conc::{run_workers, split_budget, ParallelConfig};
 use tempo_obs::{Budget, Outcome, RunReport};
+use tempo_ta::flow::FlowMetrics;
 use tempo_ta::{
-    AutomatonId, DigitalExplorer, DigitalMove, DigitalState, LocationId, Network, StateFormula,
+    AutomatonId, DigitalExplorer, DigitalMove, DigitalState, LocationId, Network, NetworkLu,
+    StateFormula,
 };
 
 /// A timed-automata network annotated with location cost rates and edge
@@ -53,6 +55,7 @@ pub struct PricedNetwork {
     rates: HashMap<(AutomatonId, LocationId), i64>,
     edge_costs: HashMap<(AutomatonId, usize), i64>,
     threads: usize,
+    flow: bool,
 }
 
 /// The result of a maximum-cost (WCET-style) reachability query.
@@ -128,7 +131,18 @@ impl PricedNetwork {
             rates: HashMap::new(),
             edge_costs: HashMap::new(),
             threads: 1,
+            flow: true,
         }
+    }
+
+    /// Disables the dataflow passes (query-directed slicing and
+    /// per-location LU tick clamps), falling back to the global maximal
+    /// constants. The optimum is identical either way — this switch
+    /// exists for differential testing and measurement.
+    #[must_use]
+    pub fn without_flow(mut self) -> Self {
+        self.flow = false;
+        self
     }
 
     /// Sets the number of worker threads used by the value-iteration
@@ -255,21 +269,39 @@ impl PricedNetwork {
         budget: &Budget,
     ) -> Outcome<Option<MinCostResult>> {
         let gov = budget.governor();
+        let (sliced, mut metrics) = self.run_slice();
+        let base: &Network = sliced.as_ref().map_or(&self.net, |s| &s.net);
         // Active-clock reduction: clocks read by no guard, invariant, or
         // goal atom cannot influence enabledness or cost, so dropping
         // them merges digital states that differ only in dead-clock
         // values. Costs are per location/edge (indices unchanged), so
         // the optimum is preserved.
-        let reduction = self.net.reduced_with(&goal.clock_atoms());
+        let reduction = base.reduced_with(&goal.clock_atoms());
+        if let Some(s) = &sliced {
+            if s.disabled_edges > 0 {
+                let plain = self.net.reduced_with(&goal.clock_atoms()).removed().len();
+                metrics.sliced_clocks = reduction.removed().len().saturating_sub(plain) as u64;
+            }
+        }
         let (net, goal) = if reduction.is_reduced() {
             let goal = reduction
                 .map_formula(goal)
                 .expect("goal atoms are kept alive by reduced_with");
             (reduction.network(), goal)
         } else {
-            (&self.net, goal.clone())
+            (base, goal.clone())
         };
-        let exp = DigitalExplorer::new(net);
+        let mut exp = DigitalExplorer::new(net);
+        if self.flow {
+            // Per-location LU tick clamp: sound for the cost search
+            // because clamp-merged states share their location vector
+            // (hence tick rates) and are guard-equivalent, and the cost
+            // certificate replays the recorded move list rather than
+            // comparing recorded states.
+            let lu = NetworkLu::analyze(net, &goal.clock_atoms());
+            metrics.lu_tightened = lu.tightened(&net.max_constants());
+            exp = exp.with_lu(lu);
+        }
         let init = exp.initial_state();
 
         let mut dist: HashMap<DigitalState, i64> = HashMap::new();
@@ -307,7 +339,13 @@ impl PricedNetwork {
                     cur = prev.clone();
                 }
                 steps.reverse();
-                let report = self.dijkstra_report(&gov, explored, dist.len(), peak, net.dim());
+                let report = metrics.stamp(self.dijkstra_report(
+                    &gov,
+                    explored,
+                    dist.len(),
+                    peak,
+                    net.dim(),
+                ));
                 return gov.finish_complete(
                     Some(MinCostResult {
                         cost: d,
@@ -360,8 +398,22 @@ impl PricedNetwork {
                 }
             }
         }
-        let report = self.dijkstra_report(&gov, explored, dist.len(), peak, net.dim());
+        let report =
+            metrics.stamp(self.dijkstra_report(&gov, explored, dist.len(), peak, net.dim()));
         gov.finish(None, report)
+    }
+
+    /// Runs query-directed slicing when the dataflow passes are enabled
+    /// and collects its run-report metrics.
+    fn run_slice(&self) -> (Option<tempo_ta::Slice>, FlowMetrics) {
+        let mut metrics = FlowMetrics::default();
+        let sliced = self.flow.then(|| tempo_ta::slice(&self.net));
+        if let Some(s) = &sliced {
+            metrics.sliced_edges = s.disabled_edges;
+            metrics.vars_narrowed = s.vars_narrowed;
+            metrics.sliced_vars = s.dead_vars.len() as u64;
+        }
+        (sliced, metrics)
     }
 
     fn dijkstra_report(
@@ -418,17 +470,34 @@ impl PricedNetwork {
         budget: &Budget,
     ) -> Outcome<Option<MaxCost>> {
         let gov = budget.governor();
-        // Same active-clock reduction as `min_cost_reach_governed`.
-        let reduction = self.net.reduced_with(&goal.clock_atoms());
+        // Same slicing + active-clock reduction + per-location LU clamp
+        // pipeline as `min_cost_reach_governed`. The clamp preserves
+        // both the finite worst case (clamp-merged states are
+        // cost-bisimilar) and unboundedness (a positive-cost cycle
+        // exists in the clamped graph iff one exists exactly).
+        let (sliced, mut metrics) = self.run_slice();
+        let base: &Network = sliced.as_ref().map_or(&self.net, |s| &s.net);
+        let reduction = base.reduced_with(&goal.clock_atoms());
+        if let Some(s) = &sliced {
+            if s.disabled_edges > 0 {
+                let plain = self.net.reduced_with(&goal.clock_atoms()).removed().len();
+                metrics.sliced_clocks = reduction.removed().len().saturating_sub(plain) as u64;
+            }
+        }
         let (net, goal) = if reduction.is_reduced() {
             let goal = reduction
                 .map_formula(goal)
                 .expect("goal atoms are kept alive by reduced_with");
             (reduction.network(), goal)
         } else {
-            (&self.net, goal.clone())
+            (base, goal.clone())
         };
-        let exp = DigitalExplorer::new(net);
+        let mut exp = DigitalExplorer::new(net);
+        if self.flow {
+            let lu = NetworkLu::analyze(net, &goal.clock_atoms());
+            metrics.lu_tightened = lu.tightened(&net.max_constants());
+            exp = exp.with_lu(lu);
+        }
         // Build the reachable graph.
         let mut states: Vec<DigitalState> = Vec::new();
         let mut index: HashMap<DigitalState, usize> = HashMap::new();
@@ -498,7 +567,7 @@ impl PricedNetwork {
         let mut sweeps = 0u64;
         if gov.is_exhausted() {
             // Incomplete graph: any fixpoint over it would be unsound.
-            let report = self.sweep_report(&gov, n, peak, sweeps, net.dim());
+            let report = metrics.stamp(self.sweep_report(&gov, n, peak, sweeps, net.dim()));
             return gov.finish(None, report);
         }
         // value[s]: the max cost of reaching the goal from s (the goal
@@ -508,7 +577,7 @@ impl PricedNetwork {
         let goal_mask: Vec<bool> = states.iter().map(|s| exp.satisfies(s, &goal)).collect();
         if !goal_mask.iter().any(|&g| g) {
             // The graph is complete here, so unreachability is definitive.
-            let report = self.sweep_report(&gov, n, peak, sweeps, net.dim());
+            let report = metrics.stamp(self.sweep_report(&gov, n, peak, sweeps, net.dim()));
             return gov.finish_complete(None, report);
         }
         const NEG_INF: i64 = i64::MIN / 4;
@@ -518,7 +587,7 @@ impl PricedNetwork {
             .collect();
         for sweep in 0..=n {
             if !gov.charge_iteration() || !gov.check_time() {
-                let report = self.sweep_report(&gov, n, peak, sweeps, net.dim());
+                let report = metrics.stamp(self.sweep_report(&gov, n, peak, sweeps, net.dim()));
                 return gov.finish(None, report);
             }
             sweeps += 1;
@@ -571,11 +640,11 @@ impl PricedNetwork {
                 break;
             }
             if sweep == n {
-                let report = self.sweep_report(&gov, n, peak, sweeps, net.dim());
+                let report = metrics.stamp(self.sweep_report(&gov, n, peak, sweeps, net.dim()));
                 return gov.finish_complete(Some(MaxCost::Unbounded), report);
             }
         }
-        let report = self.sweep_report(&gov, n, peak, sweeps, net.dim());
+        let report = metrics.stamp(self.sweep_report(&gov, n, peak, sweeps, net.dim()));
         if value[0] <= NEG_INF {
             // initial state cannot reach the goal
             return gov.finish_complete(None, report);
@@ -627,6 +696,7 @@ impl PricedNetwork {
                 .collect(),
             edge_costs: HashMap::new(),
             threads: self.threads,
+            flow: self.flow,
         };
         timed.max_cost_reach_governed(goal, budget)
     }
@@ -658,6 +728,7 @@ impl PricedNetwork {
                 .collect(),
             edge_costs: HashMap::new(),
             threads: self.threads,
+            flow: self.flow,
         };
         timed
             .min_cost_reach_governed(goal, budget)

@@ -64,6 +64,9 @@ pub use tempo_dbm as dbm;
 pub use tempo_ecdar as ecdar;
 /// Bounded-integer data language (variables, expressions, updates).
 pub use tempo_expr as expr;
+/// Abstract-interpretation dataflow passes: LU clock bounds, variable
+/// ranges, cone-of-influence slicing support.
+pub use tempo_flow as flow;
 /// Model-based testing: ioco and rtioco.
 pub use tempo_ioco as ioco;
 /// Static model analysis: lint rules over TA networks, BIP systems and

@@ -438,6 +438,56 @@ impl Dbm {
         }
     }
 
+    /// LU extrapolation (`Extra_LU`, Behrmann–Bouyer–Larsen–Pelánek):
+    /// like [`Dbm::extrapolate`], but the two rules use *separate*
+    /// constants — `lower[i]` is the largest constant clock `i` is
+    /// compared against in a lower-bound position (`x ≥ c`, `x > c`)
+    /// and `upper[j]` the largest upper-bound constant (`x ≤ c`,
+    /// `x < c`, invariants). Since `Extra_M` is the special case
+    /// `L = U = M`, splitting the polarities only ever abstracts *more*
+    /// while preserving reachability of every location/guard whose
+    /// constants are covered. Use `-1` for a clock never compared in
+    /// that polarity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower.len() != dim` or `upper.len() != dim`.
+    // The nested loop reads `lower[i]`/`upper[j]` while writing the
+    // flattened matrix cell `i * n + j`; an iterator chain would obscure
+    // the row/column symmetry.
+    #[allow(clippy::needless_range_loop)]
+    pub fn extrapolate_lu(&mut self, lower: &[i64], upper: &[i64]) {
+        assert_eq!(lower.len(), self.dim, "lower constants length mismatch");
+        assert_eq!(upper.len(), self.dim, "upper constants length mismatch");
+        if self.empty {
+            return;
+        }
+        let n = self.dim;
+        let mut changed = false;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let k = i * n + j;
+                let b = self.data[k];
+                if b.is_inf() {
+                    continue;
+                }
+                if i != 0 && b > Bound::le(lower[i]) {
+                    self.data[k] = Bound::INF;
+                    changed = true;
+                } else if b < Bound::lt(-upper[j]) {
+                    self.data[k] = Bound::lt(-upper[j]);
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            self.close();
+        }
+    }
+
     /// Returns a rational valuation (as `f64`s with denominator `dim`)
     /// contained in the zone, or `None` iff the zone is empty.
     ///
@@ -625,6 +675,35 @@ mod tests {
 
     fn c(i: usize) -> Clock {
         Clock(i)
+    }
+
+    #[test]
+    fn extrapolate_lu_with_equal_bounds_matches_extra_m() {
+        // L = U = M must reproduce Extra_M exactly on a sampled zone.
+        let mut a = Dbm::universe(3);
+        a.constrain(c(1), Clock::REF, Bound::le(12));
+        a.constrain(Clock::REF, c(1), Bound::le(-7));
+        a.constrain(c(2), c(1), Bound::le(3));
+        let mut b = a.clone();
+        a.extrapolate(&[0, 5, 5]);
+        b.extrapolate_lu(&[0, 5, 5], &[0, 5, 5]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extrapolate_lu_widens_strictly_more_than_extra_m() {
+        // Clock 1 has only a lower-bound guard (L = 10, U = -1): once
+        // past every upper-bound constant (there are none), the zone's
+        // lower bound x1 >= 7 is unobservable and must be dropped —
+        // Extra_M (M = 10) would keep it.
+        let mut lu = Dbm::universe(2);
+        lu.constrain(Clock::REF, c(1), Bound::le(-7));
+        let mut m = lu.clone();
+        lu.extrapolate_lu(&[0, 10], &[0, -1]);
+        m.extrapolate(&[0, 10]);
+        assert!(!m.contains(&[0, 3]), "Extra_M keeps the lower bound");
+        assert!(lu.contains(&[0, 3]), "Extra_LU drops it (no U guard)");
+        assert!(lu.contains(&[0, 100]));
     }
 
     #[test]

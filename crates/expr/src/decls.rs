@@ -151,6 +151,25 @@ impl Decls {
         self.vars.len()
     }
 
+    /// The [`VarId`] of the `i`-th declared variable (declaration
+    /// order, as in [`Decls::vars`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn id_at(&self, i: usize) -> VarId {
+        VarId {
+            idx: u32::try_from(i).expect("variable index fits u32"),
+            offset: u32::try_from(self.vars[i].offset).expect("store offset fits u32"),
+        }
+    }
+
+    /// Iterates the ids of all declared variables in declaration order.
+    pub fn ids(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.vars.len()).map(|i| self.id_at(i))
+    }
+
     /// Whether the table is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {

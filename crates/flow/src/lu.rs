@@ -1,0 +1,242 @@
+//! Per-clock, per-location lower/upper (LU) bound solver.
+//!
+//! Classic maximal-constant extrapolation (`Extra_M`) abstracts every
+//! zone with one constant per clock — the largest constant the clock is
+//! ever compared against anywhere in the model. Behrmann, Bouyer,
+//! Larsen and Pelánek observed that *lower*-bound guards (`x ≥ c`,
+//! `x > c`) and *upper*-bound constraints (`x ≤ c`, `x < c`,
+//! invariants) play asymmetric roles, and that both only matter from
+//! the locations that can still reach them without resetting the clock.
+//!
+//! This module computes, for each location `l` of one automaton and
+//! each clock `x`, the largest lower-bound constant `L(l, x)` and
+//! upper-bound constant `U(l, x)` observable on any path from `l`
+//! before `x` is reset, by a backward worklist fixpoint:
+//!
+//! ```text
+//! L(l, x) = max( own atoms at l  ∪  { L(l', x) | l →(no reset of x) l' } )
+//! ```
+//!
+//! Both tables are monotonically non-increasing along reset-free paths
+//! by construction — the property that makes per-location digital-clock
+//! clamping and per-state `Extra_LU` zone extrapolation sound.
+
+/// "No bound observable": the neutral element of the LU lattice.
+/// Clocks are non-negative, so `-1` is strictly below every meaningful
+/// constant and `Extra_LU` treats it as −∞.
+pub const NO_BOUND: i64 = -1;
+
+/// One edge of the location graph, as seen by the LU solver.
+#[derive(Clone, Debug)]
+pub struct LuEdge {
+    /// Source location index.
+    pub from: usize,
+    /// Target location index.
+    pub to: usize,
+    /// Clocks reset by the edge (indices into the solver's clock
+    /// space).
+    pub resets: Vec<usize>,
+    /// Lower-bound guard atoms `(clock, constant)` — from `x ≥ c` /
+    /// `x > c`.
+    pub lower: BoundAtoms,
+    /// Upper-bound guard atoms `(clock, constant)` — from `x ≤ c` /
+    /// `x < c`.
+    pub upper: BoundAtoms,
+}
+
+/// A list of `(clock, constant)` bound atoms of one polarity.
+pub type BoundAtoms = Vec<(usize, i64)>;
+
+/// One automaton's location graph for the LU solver.
+#[derive(Clone, Debug)]
+pub struct LuAutomaton {
+    /// Number of locations.
+    pub locations: usize,
+    /// Edges between them.
+    pub edges: Vec<LuEdge>,
+    /// Per-location invariant atoms, same encoding as guards:
+    /// `(lower_atoms, upper_atoms)`.
+    pub invariants: Vec<(BoundAtoms, BoundAtoms)>,
+}
+
+/// The solved LU tables of one automaton: `lower[l][x]` / `upper[l][x]`
+/// are the largest constants of the respective polarity observable from
+/// location `l` before clock `x` is reset ([`NO_BOUND`] when none).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LuBounds {
+    /// `lower[location][clock]`.
+    pub lower: Vec<Vec<i64>>,
+    /// `upper[location][clock]`.
+    pub upper: Vec<Vec<i64>>,
+}
+
+impl LuBounds {
+    /// Solves the backward fixpoint for one automaton over `clocks`
+    /// clock indices.
+    #[must_use]
+    pub fn solve(a: &LuAutomaton, clocks: usize) -> LuBounds {
+        let mut lower = vec![vec![NO_BOUND; clocks]; a.locations];
+        let mut upper = vec![vec![NO_BOUND; clocks]; a.locations];
+        // Seed with the location-local observations: invariants at the
+        // location itself plus guards of outgoing edges (evaluated
+        // while still at the source).
+        for l in 0..a.locations {
+            let (inv_lo, inv_up) = &a.invariants[l];
+            for &(x, c) in inv_lo {
+                lower[l][x] = lower[l][x].max(c);
+            }
+            for &(x, c) in inv_up {
+                upper[l][x] = upper[l][x].max(c);
+            }
+        }
+        for e in &a.edges {
+            for &(x, c) in &e.lower {
+                lower[e.from][x] = lower[e.from][x].max(c);
+            }
+            for &(x, c) in &e.upper {
+                upper[e.from][x] = upper[e.from][x].max(c);
+            }
+        }
+        // Backward propagation along reset-free edges until stable.
+        // Termination: entries only grow and are bounded by the largest
+        // seeded constant.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for e in &a.edges {
+                for x in 0..clocks {
+                    if e.resets.contains(&x) {
+                        continue;
+                    }
+                    if lower[e.to][x] > lower[e.from][x] {
+                        lower[e.from][x] = lower[e.to][x];
+                        changed = true;
+                    }
+                    if upper[e.to][x] > upper[e.from][x] {
+                        upper[e.from][x] = upper[e.to][x];
+                        changed = true;
+                    }
+                }
+            }
+        }
+        LuBounds { lower, upper }
+    }
+
+    /// Folds constant `c` into both tables of clock `x` at every
+    /// location — used to protect query atoms, which are observable
+    /// everywhere.
+    pub fn protect(&mut self, x: usize, c: i64) {
+        for row in &mut self.lower {
+            row[x] = row[x].max(c);
+        }
+        for row in &mut self.upper {
+            row[x] = row[x].max(c);
+        }
+    }
+
+    /// The per-clock global maxima over all locations (what `Extra_M`
+    /// would use if it split L from U).
+    #[must_use]
+    pub fn global(&self, clocks: usize) -> (Vec<i64>, Vec<i64>) {
+        let mut lo = vec![NO_BOUND; clocks];
+        let mut up = vec![NO_BOUND; clocks];
+        for l in 0..self.lower.len() {
+            for x in 0..clocks {
+                lo[x] = lo[x].max(self.lower[l][x]);
+                up[x] = up[x].max(self.upper[l][x]);
+            }
+        }
+        (lo, up)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// L0 --(x ≥ 5, reset x)--> L1 --(x ≤ 2)--> L2.
+    fn chain() -> LuAutomaton {
+        LuAutomaton {
+            locations: 3,
+            edges: vec![
+                LuEdge {
+                    from: 0,
+                    to: 1,
+                    resets: vec![0],
+                    lower: vec![(0, 5)],
+                    upper: vec![],
+                },
+                LuEdge {
+                    from: 1,
+                    to: 2,
+                    resets: vec![],
+                    lower: vec![],
+                    upper: vec![(0, 2)],
+                },
+            ],
+            invariants: vec![(vec![], vec![]); 3],
+        }
+    }
+
+    #[test]
+    fn bounds_stop_at_resets_and_split_polarity() {
+        let b = LuBounds::solve(&chain(), 1);
+        // At L0 the only lower bound is the local guard 5; the upper
+        // bound 2 behind the reset must NOT leak backwards.
+        assert_eq!(b.lower[0][0], 5);
+        assert_eq!(b.upper[0][0], NO_BOUND);
+        // At L1 the upper bound 2 of the outgoing guard is visible.
+        assert_eq!(b.upper[1][0], 2);
+        assert_eq!(b.lower[1][0], NO_BOUND);
+        // L2 is terminal: nothing observable.
+        assert_eq!(b.lower[2][0], NO_BOUND);
+        assert_eq!(b.upper[2][0], NO_BOUND);
+    }
+
+    #[test]
+    fn reset_free_edges_propagate_backwards() {
+        let a = LuAutomaton {
+            locations: 3,
+            edges: vec![
+                LuEdge {
+                    from: 0,
+                    to: 1,
+                    resets: vec![],
+                    lower: vec![],
+                    upper: vec![],
+                },
+                LuEdge {
+                    from: 1,
+                    to: 2,
+                    resets: vec![],
+                    lower: vec![(0, 7)],
+                    upper: vec![],
+                },
+            ],
+            invariants: vec![(vec![], vec![]); 3],
+        };
+        let b = LuBounds::solve(&a, 1);
+        assert_eq!(b.lower[0][0], 7, "guard at L1 is observable from L0");
+    }
+
+    #[test]
+    fn bounds_are_monotone_along_reset_free_paths() {
+        let b = LuBounds::solve(&chain(), 1);
+        // Along every reset-free edge, the source bound dominates the
+        // target bound — the soundness invariant of per-location
+        // clamping.
+        assert!(b.upper[1][0] >= b.upper[2][0]);
+        assert!(b.lower[1][0] >= b.lower[2][0]);
+    }
+
+    #[test]
+    fn protect_folds_into_every_location() {
+        let mut b = LuBounds::solve(&chain(), 1);
+        b.protect(0, 9);
+        for l in 0..3 {
+            assert_eq!(b.lower[l][0].max(b.upper[l][0]), 9);
+        }
+        let (lo, up) = b.global(1);
+        assert_eq!((lo[0], up[0]), (9, 9));
+    }
+}

@@ -96,9 +96,9 @@ pub fn eval(e: &Expr, decls: &Decls, env: &Env) -> Interval {
             let a = eval(l, decls, env);
             let b = eval(r, decls, env);
             match op {
-                BinOp::Add => combine(a, b, i64::checked_add),
-                BinOp::Sub => combine(a, b, i64::checked_sub),
-                BinOp::Mul => combine(a, b, i64::checked_mul),
+                BinOp::Add => combine(a, b, |x, y| x + y),
+                BinOp::Sub => combine(a, b, |x, y| x - y),
+                BinOp::Mul => combine(a, b, |x, y| x * y),
                 BinOp::Min => a.carrying(b, a.lo.min(b.lo), a.hi.min(b.hi), false),
                 BinOp::Max => a.carrying(b, a.lo.max(b.lo), a.hi.max(b.hi), false),
                 BinOp::Div => divide(a, b),
@@ -125,33 +125,28 @@ fn neg(v: i64) -> (i64, bool) {
 }
 
 /// Interval of a monotone-in-endpoints operation: the min/max over the
-/// four endpoint combinations, saturating (and flagging) on overflow.
-fn combine(a: Interval, b: Interval, op: fn(i64, i64) -> Option<i64>) -> Interval {
-    let mut lo = i64::MAX;
-    let mut hi = i64::MIN;
-    let mut overflow = false;
+/// four endpoint combinations, computed exactly in `i128` (a 64-bit
+/// add, subtract or multiply always fits) and clamped back to `i64`.
+/// Exact arithmetic saturates each bound in the direction it actually
+/// left the representable range — a per-operand sign heuristic gets
+/// subtraction wrong (`5 - i64::MIN` overflows *upward*) and makes the
+/// result interval exclude the value the model would wrap to.
+fn combine(a: Interval, b: Interval, op: fn(i128, i128) -> i128) -> Interval {
+    let mut lo = i128::MAX;
+    let mut hi = i128::MIN;
     for x in [a.lo, a.hi] {
         for y in [b.lo, b.hi] {
-            match op(x, y) {
-                Some(v) => {
-                    lo = lo.min(v);
-                    hi = hi.max(v);
-                }
-                None => {
-                    overflow = true;
-                    // Saturate in the direction of the failed operation.
-                    let sat = if (x > 0) == (y > 0) {
-                        i64::MAX
-                    } else {
-                        i64::MIN
-                    };
-                    lo = lo.min(sat);
-                    hi = hi.max(sat);
-                }
-            }
+            let v = op(i128::from(x), i128::from(y));
+            lo = lo.min(v);
+            hi = hi.max(v);
         }
     }
-    a.carrying(b, lo, hi, overflow)
+    let overflow = lo < i128::from(i64::MIN) || hi > i128::from(i64::MAX);
+    a.carrying(b, clamp64(lo), clamp64(hi), overflow)
+}
+
+fn clamp64(v: i128) -> i64 {
+    i64::try_from(v).unwrap_or(if v > 0 { i64::MAX } else { i64::MIN })
 }
 
 fn divide(a: Interval, b: Interval) -> Interval {
@@ -281,6 +276,19 @@ mod tests {
         let e = Expr::var(a) * Expr::var(a);
         let i = eval(&e, &d, &Env::new());
         assert!(i.overflow);
+        assert_eq!(i.hi, i64::MAX);
+    }
+
+    #[test]
+    fn subtraction_overflow_saturates_in_the_right_direction() {
+        let mut d = Decls::new();
+        let big = d.int("big", i64::MIN, -4_000_000_000);
+        // 5 - big overflows *upward* at big = i64::MIN: the result range
+        // must be [4e9 + 5, i64::MAX], not include spurious negatives.
+        let e = Expr::konst(5) - Expr::var(big);
+        let i = eval(&e, &d, &Env::new());
+        assert!(i.overflow);
+        assert_eq!(i.lo, 4_000_000_005);
         assert_eq!(i.hi, i64::MAX);
     }
 

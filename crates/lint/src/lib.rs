@@ -18,10 +18,12 @@
 //! | TA005  | warning  | clock read but never reset (unbounded drift) |
 //! | TA006  | warning  | internal cycle with no time progress (Zeno candidate) |
 //! | TA007  | warning  | near-miss symmetry orbit: template instances that differ |
+//! | TA008  | warning  | variable written but never read on a path to an observable expression |
 //! | BIP001 | warning  | port bound to no interaction |
 //! | BIP002 | warning  | component state unreachable in the transition graph |
 //! | MOD001 | mixed    | duplicate/shadowed identifier (warning), call of an undefined process (error) |
 //! | MOD002 | mixed    | 64-bit-overflow-prone expression (warning), assignment definitely out of range (error) |
+//! | MOD003 | error    | `when` guard provably false under range analysis (unreachable branch) |
 //!
 //! ## Example
 //!
@@ -183,6 +185,11 @@ pub fn rules() -> &'static [Rule] {
             description: "components almost form a symmetry orbit but an edit breaks it",
         },
         Rule {
+            code: "TA008",
+            severity: Severity::Warning,
+            description: "variable written but never read on a path to an observable expression",
+        },
+        Rule {
             code: "BIP001",
             severity: Severity::Warning,
             description: "port bound to no interaction",
@@ -201,6 +208,11 @@ pub fn rules() -> &'static [Rule] {
             code: "MOD002",
             severity: Severity::Error,
             description: "overflow-prone integer expression or out-of-range assignment",
+        },
+        Rule {
+            code: "MOD003",
+            severity: Severity::Error,
+            description: "guard provably false under range analysis (unreachable branch)",
         },
     ];
     RULES

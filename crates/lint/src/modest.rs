@@ -1,9 +1,10 @@
-//! Lint rules over MODEST models (`MOD001`, `MOD002`).
+//! Lint rules over MODEST models (`MOD001`–`MOD003`).
 
 use crate::interval::{self, Env};
 use crate::LintReport;
 use std::collections::HashMap;
 use tempo_expr::{Decls, Expr};
+use tempo_flow::Truth;
 use tempo_modest::{Assignment, ModestModel, Process};
 use tempo_obs::Diagnostic;
 
@@ -136,6 +137,20 @@ fn walk_ranges(p: &Process, decls: &Decls, env: &Env, proc_name: &str, out: &mut
         }
         Process::When(guard, p) => {
             check_expr(guard, decls, env, proc_name, "guard", out);
+            // MOD003: `Truth::False` is a *proof* that no valuation in
+            // the declared ranges (refined by the enclosing guards)
+            // satisfies the guard — the branch is semantically dead.
+            // Don't descend: findings under an unreachable guard would
+            // be noise.
+            if guard_truth(guard, decls, env) == Truth::False {
+                out.push(Diagnostic::error(
+                    "MOD003",
+                    Some(proc_name),
+                    "`when` guard is provably false under the declared \
+                     variable ranges; the branch is unreachable",
+                ));
+                return;
+            }
             let mut refined = env.clone();
             interval::refine(&mut refined, guard, decls);
             walk_ranges(p, decls, &refined, proc_name, out);
@@ -144,6 +159,17 @@ fn walk_ranges(p: &Process, decls: &Decls, env: &Env, proc_name: &str, out: &mut
             walk_ranges(p, decls, env, proc_name, out);
         }
     }
+}
+
+/// Three-valued truth of `guard` under the lint refinement environment,
+/// via the semantic interval domain of `tempo-flow` (which, unlike the
+/// overflow-tracking domain above, decides comparisons).
+fn guard_truth(guard: &Expr, decls: &Decls, env: &Env) -> Truth {
+    let fenv: tempo_flow::Env = env
+        .iter()
+        .map(|(&id, &(lo, hi))| (id, tempo_flow::Interval::new(lo, hi)))
+        .collect();
+    tempo_flow::truth(guard, decls, &fenv, &[])
 }
 
 /// Checks one assignment block and returns the environment for the
@@ -307,6 +333,85 @@ mod tests {
         m.system(&["P"]);
         let report = check_modest(&m);
         assert_eq!(codes(&report), vec![("MOD002", Severity::Error)]);
+    }
+
+    #[test]
+    fn provably_false_guard_is_an_unreachable_branch_error() {
+        let mut m = ModestModel::new();
+        let a = m.action("a");
+        let x = m.decls_mut().int("x", 0, 5);
+        // x > 100 can never hold for x in [0, 5].
+        m.define(
+            "P",
+            Process::when(
+                Expr::var(x).gt(Expr::konst(100)),
+                Process::act(a, Process::stop()),
+            ),
+        );
+        m.system(&["P"]);
+        let report = check_modest(&m);
+        assert_eq!(codes(&report), vec![("MOD003", Severity::Error)]);
+    }
+
+    #[test]
+    fn guard_refinement_feeds_nested_unreachability() {
+        let mut m = ModestModel::new();
+        let a = m.action("a");
+        let x = m.decls_mut().int("x", 0, 100);
+        // Outer guard x < 3 narrows x to [0, 2]; the nested x > 50 is
+        // then provably false even though it is satisfiable on its own.
+        m.define(
+            "P",
+            Process::when(
+                Expr::var(x).lt(Expr::konst(3)),
+                Process::when(
+                    Expr::var(x).gt(Expr::konst(50)),
+                    Process::act(a, Process::stop()),
+                ),
+            ),
+        );
+        m.system(&["P"]);
+        let report = check_modest(&m);
+        assert_eq!(codes(&report), vec![("MOD003", Severity::Error)]);
+
+        // The satisfiable nested guard alone is clean.
+        let mut m = ModestModel::new();
+        let a = m.action("a");
+        let x = m.decls_mut().int("x", 0, 100);
+        m.define(
+            "P",
+            Process::when(
+                Expr::var(x).gt(Expr::konst(50)),
+                Process::act(a, Process::stop()),
+            ),
+        );
+        m.system(&["P"]);
+        assert!(check_modest(&m).is_clean());
+    }
+
+    #[test]
+    fn large_constant_subtraction_reports_a_range_error() {
+        let mut m = ModestModel::new();
+        let a = m.action("a");
+        let big = m.decls_mut().int("big", i64::MIN, -4_000_000_000);
+        let out = m.decls_mut().int("out", 0, 100);
+        // 5 - big is at least 4e9 + 5, far above out's range; before the
+        // exact-i128 interval fix the wrong-direction saturation made
+        // the value interval straddle the range and the error vanished.
+        m.define(
+            "P",
+            Process::act_with(
+                a,
+                vec![Assignment::Var(out, Expr::konst(5) - Expr::var(big))],
+                Process::stop(),
+            ),
+        );
+        m.system(&["P"]);
+        let report = check_modest(&m);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "MOD002" && d.severity == Severity::Error));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Lint rules over networks of timed automata (`TA001`–`TA006`).
+//! Lint rules over networks of timed automata (`TA001`–`TA008`).
 
 use crate::LintReport;
 use std::collections::HashSet;
@@ -14,6 +14,7 @@ pub fn check_network(net: &Network) -> LintReport {
     contradictory_guards(net, &mut diagnostics);
     unmatched_channels(net, &mut diagnostics);
     clock_usage(net, &mut diagnostics);
+    dead_variable_writes(net, &mut diagnostics);
     zeno_candidates(net, &mut diagnostics);
     symmetry_near_misses(net, &mut diagnostics);
     LintReport { diagnostics }
@@ -149,6 +150,24 @@ fn clock_usage(net: &Network, out: &mut Vec<Diagnostic>) {
                  and grows without bound",
             ));
         }
+    }
+}
+
+/// TA008: variables that are written somewhere but lie outside the
+/// cone-of-influence closure of every observable expression (data
+/// guards, synchronization indices, clock-reset values). The check is
+/// semantic, not syntactic: a variable read only by updates of *other*
+/// dead variables is still dead — no value it ever takes can influence
+/// the behaviour, and query-directed slicing freezes it.
+fn dead_variable_writes(net: &Network, out: &mut Vec<Diagnostic>) {
+    for id in tempo_ta::flow::dead_variables(net) {
+        out.push(Diagnostic::warning(
+            "TA008",
+            Some(&net.decls().info(id).name),
+            "variable is written but never read on any path to a guard, \
+             synchronization index or clock reset; its updates cannot \
+             influence the behaviour (dead code, or a forgotten guard)",
+        ));
     }
 }
 
@@ -383,6 +402,37 @@ mod tests {
         a.done();
         let report = check_network(&b.build());
         assert_eq!(codes(&report), vec!["TA004", "TA005"]);
+    }
+
+    #[test]
+    fn write_only_variable_is_flagged_and_a_read_silences_it() {
+        use tempo_expr::{Expr, Stmt};
+        let build = |ghost_guards: bool| {
+            let mut b = NetworkBuilder::new();
+            let x = b.clock("x");
+            let obs = b.decls_mut().int("obs", 0, 9);
+            let ghost = b.decls_mut().int("ghost", 0, 9);
+            let mut a = b.automaton("A");
+            let l0 = a.location("L0");
+            let mut e = a
+                .edge(l0, l0)
+                .guard_clock(ClockAtom::ge(x, 1))
+                .reset(x, 0)
+                .update(Stmt::assign(ghost, Expr::var(obs) + Expr::konst(1)));
+            e = if ghost_guards {
+                // Reading `ghost` in a guard pulls it into the cone.
+                e.guard_data(Expr::var(ghost).lt(Expr::konst(5)))
+            } else {
+                e.guard_data(Expr::var(obs).lt(Expr::konst(5)))
+            };
+            e.done();
+            a.done();
+            b.build()
+        };
+        let report = check_network(&build(false));
+        assert_eq!(codes(&report), vec!["TA008"]);
+        assert_eq!(report.diagnostics[0].component.as_deref(), Some("ghost"));
+        assert!(check_network(&build(true)).is_clean());
     }
 
     #[test]

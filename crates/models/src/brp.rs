@@ -451,6 +451,7 @@ mod tests {
             0,
             McptaConfig {
                 compress_ticks: true,
+                ..McptaConfig::default()
             },
             2_000_000,
         );

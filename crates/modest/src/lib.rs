@@ -67,6 +67,6 @@ pub use mctau::{Mctau, ProbabilityBounds};
 pub use modes::{Modes, ModesObservation, ModesRun, Scheduler};
 pub use parser::{parse_modest, ParseError};
 pub use pta::{
-    compute_sync, AssignTarget, Pta, PtaAutomaton, PtaBranch, PtaEdge, PtaExplorer, PtaLocation,
-    PtaReduction, PtaState, PtaTransition, SyncKind,
+    compute_sync, pta_ranges, slice, AssignTarget, Pta, PtaAutomaton, PtaBranch, PtaEdge,
+    PtaExplorer, PtaLocation, PtaLu, PtaReduction, PtaSlice, PtaState, PtaTransition, SyncKind,
 };

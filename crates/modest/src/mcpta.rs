@@ -2,13 +2,15 @@
 //! digital-clocks translation to an MDP, solved by the PRISM-like engine
 //! in [`tempo_mdp`] (Bozga et al., DATE 2012, §III).
 
-use crate::pta::{Pta, PtaExplorer, PtaReduction, PtaState};
-use std::collections::HashMap;
+use crate::pta::{Pta, PtaExplorer, PtaLu, PtaReduction, PtaState};
+use std::collections::{BTreeSet, HashMap};
+use tempo_expr::VarId;
 use tempo_mdp::{
     bounded_reachability, expected_reward, expected_reward_governed, reachability,
     reachability_governed, Mdp, MdpBuilder, Opt, StateId,
 };
 use tempo_obs::{Budget, Outcome, RunReport};
+use tempo_ta::flow::FlowMetrics;
 use tempo_ta::StateFormula;
 
 /// The `mcpta` analyzer: explores the digital-clocks semantics of a PTA
@@ -41,7 +43,7 @@ pub struct McptaStats {
 }
 
 /// Build-time options for the digital-clocks MDP.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct McptaConfig {
     /// Dirac tick-chain compression: a digital state whose only
     /// behaviour is the unit delay is a pure waiting point, and a run of
@@ -58,6 +60,20 @@ pub struct McptaConfig {
     /// ([`Mcpta::pmax_bounded`]) count MDP steps, and compression
     /// changes how many steps a unit of time takes.
     pub compress_ticks: bool,
+    /// Dataflow passes (on by default): query-directed slicing of
+    /// provably dead edges and the per-location LU tick clamp. Both are
+    /// exact for every probability and expected value — the switch
+    /// exists for differential testing and measurement.
+    pub flow: bool,
+}
+
+impl Default for McptaConfig {
+    fn default() -> Self {
+        McptaConfig {
+            compress_ticks: false,
+            flow: true,
+        }
+    }
 }
 
 impl Mcpta {
@@ -110,12 +126,48 @@ impl Mcpta {
         config: McptaConfig,
         budget: &Budget,
     ) -> Outcome<Option<Self>> {
+        Self::try_build_frozen(pta, extra_atoms, None, config, budget)
+    }
+
+    /// [`Mcpta::try_build_with`] with variable freezing: `freeze` lists
+    /// every variable later queries read in `Data` atoms, and slicing
+    /// may then remove assignments to write-only variables outside the
+    /// cone of influence of all guards — merging digital states that
+    /// differ only in values nothing observable depends on. The same
+    /// caller contract as `extra_atoms`, extended to variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PTA is not closed (strict bounds).
+    pub fn try_build_frozen(
+        pta: &Pta,
+        extra_atoms: &[tempo_ta::ClockAtom],
+        freeze: Option<&BTreeSet<VarId>>,
+        config: McptaConfig,
+        budget: &Budget,
+    ) -> Outcome<Option<Self>> {
         let gov = budget.governor();
+        let mut metrics = FlowMetrics::default();
+        // Query-directed slicing first: provably dead edges cannot carry
+        // probability mass, and stranded pair partners die with them.
+        let sliced = config.flow.then(|| crate::pta::slice(pta, freeze));
+        let base: &Pta = sliced.as_ref().map_or(pta, |s| &s.pta);
+        if let Some(s) = &sliced {
+            metrics.sliced_edges = s.disabled_edges;
+            metrics.vars_narrowed = s.vars_narrowed;
+            metrics.sliced_vars = s.dead_vars.len() as u64;
+        }
         // Active-clock reduction: clocks read by no guard, invariant or
         // protected atom cannot influence enabledness or branching, so
         // the reduced MDP has identical probabilities over smaller (and
         // fewer) states.
-        let reduction = pta.reduced_with(extra_atoms);
+        let reduction = base.reduced_with(extra_atoms);
+        if let Some(s) = &sliced {
+            if s.disabled_edges > 0 {
+                let plain = pta.reduced_with(extra_atoms).dim();
+                metrics.sliced_clocks = (plain as u64).saturating_sub(reduction.dim() as u64);
+            }
+        }
         let extra_mapped: Vec<tempo_ta::ClockAtom> = extra_atoms
             .iter()
             .map(|a| {
@@ -124,7 +176,16 @@ impl Mcpta {
                     .expect("protected atoms are kept alive by reduced_with")
             })
             .collect();
-        let exp = PtaExplorer::new(reduction.pta(), &extra_mapped);
+        let mut exp = PtaExplorer::new(reduction.pta(), &extra_mapped);
+        if config.flow {
+            // Per-location LU tick clamp: clamp-merged states share
+            // locations, stores and the truth of every still-observable
+            // clock constraint, so the quotient MDP is probabilistically
+            // bisimilar to the globally-clamped one.
+            let lu = PtaLu::analyze(reduction.pta(), &extra_mapped);
+            metrics.lu_tightened = lu.tightened(&reduction.pta().max_constants());
+            exp = exp.with_lu(lu);
+        }
         let mut builder = MdpBuilder::new();
         let mut index: HashMap<PtaState, StateId> = HashMap::new();
         let mut states: Vec<PtaState> = Vec::new();
@@ -206,7 +267,7 @@ impl Mcpta {
             }
             peak = peak.max(frontier.len());
         }
-        let report = RunReport {
+        let report = metrics.stamp(RunReport {
             states_explored: explored as u64,
             states_stored: states.len() as u64,
             peak_waiting: peak as u64,
@@ -214,7 +275,7 @@ impl Mcpta {
             dbm_dim_model: reduction.original_dim() as u64,
             wall_time: gov.elapsed(),
             ..RunReport::default()
-        };
+        });
         if gov.is_exhausted() || states.is_empty() {
             return gov.finish(None, report);
         }
@@ -502,6 +563,7 @@ mod tests {
             &[],
             McptaConfig {
                 compress_ticks: true,
+                ..McptaConfig::default()
             },
             &Budget::unlimited(),
         )

@@ -3,8 +3,13 @@
 //! `modes`.
 
 use crate::ast::ActionId;
+use std::collections::BTreeSet;
 use tempo_dbm::Clock;
-use tempo_expr::{Decls, Expr, Store, VarId};
+use tempo_expr::{Decls, Expr, Stmt, Store, VarId};
+use tempo_flow::{
+    eval, expr_can_trap, expr_vars, relevant_vars, stmt_assignments, truth, Command, Env,
+    LuAutomaton, LuBounds, LuEdge, RangeAnalysis, Truth, NO_BOUND,
+};
 use tempo_ta::{ClockAtom, StateFormula};
 
 /// One probabilistic branch of a PTA edge.
@@ -293,6 +298,335 @@ impl Pta {
     }
 }
 
+/// Splits one clock constraint into LU solver atoms, mirroring the
+/// network adapter in `tempo_ta::flow`: diagonal constraints fold `|c|`
+/// into both polarities of both clocks, matching the conservative
+/// treatment of [`Pta::max_constants`].
+fn atom_lu(atom: &ClockAtom, lower: &mut Vec<(usize, i64)>, upper: &mut Vec<(usize, i64)>) {
+    if atom.bound.is_inf() {
+        return;
+    }
+    let c = atom.bound.constant();
+    match (atom.i.is_ref(), atom.j.is_ref()) {
+        (false, true) => upper.push((atom.i.index(), c)),
+        (true, false) => lower.push((atom.j.index(), -c)),
+        (false, false) => {
+            let m = c.saturating_abs();
+            for x in [atom.i.index(), atom.j.index()] {
+                lower.push((x, m));
+                upper.push((x, m));
+            }
+        }
+        (true, true) => {}
+    }
+}
+
+/// Per-location LU clock-bound tables of a PTA: one solved table per
+/// component automaton, combined per state by pointwise maximum (see
+/// `tempo_ta::flow::NetworkLu` for the soundness argument — component
+/// solutions are non-increasing along reset-free edges and unchanged
+/// for non-participants of a synchronization).
+#[derive(Debug, Clone)]
+pub struct PtaLu {
+    per_automaton: Vec<LuBounds>,
+    dim: usize,
+}
+
+impl PtaLu {
+    /// Solves the LU fixpoint of every component automaton; the
+    /// `protect` atoms (property bounds, observable in every location)
+    /// are folded into the tables. Each probabilistic branch becomes
+    /// its own solver edge (same guard, its own resets and target).
+    #[must_use]
+    pub fn analyze(pta: &Pta, protect: &[ClockAtom]) -> PtaLu {
+        let dim = pta.dim;
+        let mut per_automaton: Vec<LuBounds> = pta
+            .automata
+            .iter()
+            .map(|a| {
+                let lu = LuAutomaton {
+                    locations: a.locations.len(),
+                    edges: a
+                        .edges
+                        .iter()
+                        .flat_map(|e| {
+                            let mut lower = Vec::new();
+                            let mut upper = Vec::new();
+                            for atom in &e.guard_clocks {
+                                atom_lu(atom, &mut lower, &mut upper);
+                            }
+                            e.branches
+                                .iter()
+                                .map(|b| LuEdge {
+                                    from: e.from,
+                                    to: b.to,
+                                    resets: b.resets.iter().map(|(c, _)| c.index()).collect(),
+                                    lower: lower.clone(),
+                                    upper: upper.clone(),
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                        .collect(),
+                    invariants: a
+                        .locations
+                        .iter()
+                        .map(|l| {
+                            let mut lower = Vec::new();
+                            let mut upper = Vec::new();
+                            for atom in &l.invariant {
+                                atom_lu(atom, &mut lower, &mut upper);
+                            }
+                            (lower, upper)
+                        })
+                        .collect(),
+                };
+                LuBounds::solve(&lu, dim)
+            })
+            .collect();
+        if let Some(first) = per_automaton.first_mut() {
+            let mut lower = Vec::new();
+            let mut upper = Vec::new();
+            for atom in protect {
+                atom_lu(atom, &mut lower, &mut upper);
+            }
+            for (x, c) in lower.into_iter().chain(upper) {
+                first.protect(x, c);
+            }
+        }
+        PtaLu { per_automaton, dim }
+    }
+
+    /// Writes the per-clock tick clamp for the discrete configuration
+    /// `locs` into `out`: `max(L, U) + 1` of the pointwise component
+    /// maxima, so a clock past every constant still observable from
+    /// here stops counting one unit above the largest such constant.
+    pub fn clamp(&self, locs: &[usize], out: &mut Vec<i64>) {
+        out.clear();
+        out.resize(self.dim, NO_BOUND);
+        for (b, &l) in self.per_automaton.iter().zip(locs) {
+            for (x, slot) in out.iter_mut().enumerate().skip(1) {
+                let m = b.lower[l][x].max(b.upper[l][x]);
+                if m > *slot {
+                    *slot = m;
+                }
+            }
+        }
+        for v in out.iter_mut() {
+            *v = (*v).max(0) + 1;
+        }
+    }
+
+    /// How many `(location, clock)` pairs have an LU bound strictly
+    /// tighter than the clock's global maximal constant — the
+    /// `lu_tightened` run-report metric.
+    #[must_use]
+    pub fn tightened(&self, max_consts: &[i64]) -> u64 {
+        let mut n = 0;
+        for b in &self.per_automaton {
+            for l in 0..b.lower.len() {
+                for (x, &m) in max_consts.iter().enumerate().take(self.dim).skip(1) {
+                    if b.lower[l][x] < m || b.upper[l][x] < m {
+                        n += 1;
+                    }
+                }
+            }
+        }
+        n
+    }
+}
+
+/// One branch's assignments as a [`Stmt`] for the dataflow solvers.
+fn branch_stmt(b: &PtaBranch) -> Stmt {
+    Stmt::Seq(
+        b.assignments
+            .iter()
+            .map(|(target, e)| match target {
+                AssignTarget::Var(id) => Stmt::Assign(*id, e.clone()),
+                AssignTarget::ArrayElem(id, idx) => Stmt::AssignIndex(*id, idx.clone(), e.clone()),
+            })
+            .collect(),
+    )
+}
+
+/// The global interval range fixpoint of a PTA: every branch of every
+/// edge is one guarded command.
+#[must_use]
+pub fn pta_ranges(pta: &Pta) -> RangeAnalysis {
+    let mut commands = Vec::new();
+    for a in &pta.automata {
+        for e in &a.edges {
+            for b in &e.branches {
+                commands.push(Command {
+                    guard: e.guard_data.clone(),
+                    update: branch_stmt(b),
+                    selects: Vec::new(),
+                });
+            }
+        }
+    }
+    RangeAnalysis::run(&pta.decls, &commands)
+}
+
+/// The result of slicing a PTA (see [`slice`]).
+#[derive(Debug, Clone)]
+pub struct PtaSlice {
+    /// The sliced PTA: disabled edges keep their index but can never
+    /// fire (guard rewritten to `false`, branches dropped).
+    pub pta: Pta,
+    /// Edges disabled: guard provably false under the range fixpoint,
+    /// or a pair-synchronizing action whose partner component has no
+    /// live edge for that action.
+    pub disabled_edges: u64,
+    /// Variables whose range fixpoint is strictly inside the declared
+    /// range.
+    pub vars_narrowed: u64,
+    /// Write-only variables outside the cone of influence of every
+    /// observable expression (guards and array indices of live edges).
+    pub dead_vars: Vec<VarId>,
+    /// Assignments to dead variables removed by freezing.
+    pub frozen_assignments: u64,
+}
+
+/// Query-directed slicing of a PTA.
+///
+/// Two reductions, both exact for every probability and expected value:
+///
+/// * **Dead edges** — an edge whose data guard is provably false under
+///   the global range fixpoint can never fire, and disabling it may
+///   strand pair-synchronizing partners, which die in the same fixpoint
+///   loop. Edge indices are preserved.
+/// * **Variable freezing** — when `freeze` is given, assignments to
+///   variables outside the cone of influence of every observable
+///   expression (and not in `freeze`) are removed, merging digital
+///   states that differ only in values nothing can ever read. Only
+///   assignments that provably cannot trap (no division/remainder/array
+///   read on the right-hand side, value inside the target's declared
+///   range) are removed, preserving the branch-failure semantics of the
+///   explorer. Pass the variables later queries read in `freeze`; with
+///   `None` no assignment is touched and dead variables are only
+///   reported.
+#[must_use]
+pub fn slice(pta: &Pta, freeze: Option<&BTreeSet<VarId>>) -> PtaSlice {
+    let ranges = pta_ranges(pta);
+    let env = ranges.env(&pta.decls);
+    let vars_narrowed = ranges.narrowed(&pta.decls) as u64;
+    let mut out = pta.clone();
+
+    // Pass 1: guard-false edges, then strand pair partners to fixpoint.
+    let mut disabled: Vec<Vec<bool>> = pta
+        .automata
+        .iter()
+        .map(|a| {
+            a.edges
+                .iter()
+                .map(|e| truth(&e.guard_data, &pta.decls, &env, &[]) == Truth::False)
+                .collect()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        let live_action = |ai: usize, act: ActionId, disabled: &[Vec<bool>]| {
+            pta.automata[ai]
+                .edges
+                .iter()
+                .enumerate()
+                .any(|(ei, e)| e.action == Some(act) && !disabled[ai][ei])
+        };
+        for (ai, a) in pta.automata.iter().enumerate() {
+            for (ei, e) in a.edges.iter().enumerate() {
+                if disabled[ai][ei] {
+                    continue;
+                }
+                let Some(act) = e.action else { continue };
+                let SyncKind::Pair(first, second) = pta.sync[act.0] else {
+                    continue;
+                };
+                let partner = if ai == first { second } else { first };
+                if !live_action(partner, act, &disabled) {
+                    disabled[ai][ei] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut disabled_edges = 0_u64;
+    for (ai, a) in out.automata.iter_mut().enumerate() {
+        for (ei, e) in a.edges.iter_mut().enumerate() {
+            if disabled[ai][ei] {
+                disabled_edges += 1;
+                e.guard_clocks.clear();
+                e.guard_data = Expr::konst(0);
+                e.branches.clear();
+            }
+        }
+    }
+
+    // Pass 2: cone of influence over the live edges.
+    let mut seeds = BTreeSet::new();
+    let mut assigns = Vec::new();
+    for a in &out.automata {
+        for e in &a.edges {
+            expr_vars(&e.guard_data, &mut seeds);
+            for b in &e.branches {
+                for (target, _) in &b.assignments {
+                    if let AssignTarget::ArrayElem(_, idx) = target {
+                        expr_vars(idx, &mut seeds);
+                    }
+                }
+                stmt_assignments(&branch_stmt(b), &mut assigns);
+            }
+        }
+    }
+    if let Some(protect) = freeze {
+        seeds.extend(protect.iter().copied());
+    }
+    let relevant = relevant_vars(seeds, &assigns);
+    let written: BTreeSet<VarId> = assigns.iter().map(|a| a.target).collect();
+    let dead_vars: Vec<VarId> = written
+        .into_iter()
+        .filter(|v| !relevant.contains(v))
+        .collect();
+
+    // Pass 3: freeze dead variables, preserving trap semantics.
+    let mut frozen_assignments = 0_u64;
+    if freeze.is_some() {
+        let empty = Env::new();
+        for a in &mut out.automata {
+            for e in &mut a.edges {
+                for b in &mut e.branches {
+                    b.assignments.retain(|(target, rhs)| {
+                        let AssignTarget::Var(id) = target else {
+                            return true;
+                        };
+                        if !dead_vars.contains(id) || expr_can_trap(rhs) {
+                            return true;
+                        }
+                        let declared = tempo_flow::var_interval(&pta.decls, &empty, *id);
+                        let value = eval(rhs, &pta.decls, &env, &[]);
+                        let fits =
+                            !value.is_empty() && value.lo >= declared.lo && value.hi <= declared.hi;
+                        if fits {
+                            frozen_assignments += 1;
+                        }
+                        !fits
+                    });
+                }
+            }
+        }
+    }
+
+    PtaSlice {
+        pta: out,
+        disabled_edges,
+        vars_narrowed,
+        dead_vars,
+        frozen_assignments,
+    }
+}
+
 /// A concrete digital state of a PTA network.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PtaState {
@@ -326,6 +660,11 @@ pub struct PtaTransition {
 pub struct PtaExplorer<'p> {
     pta: &'p Pta,
     clamp: Vec<i64>,
+    /// Per-location LU tables; when present, ticks clamp each clock at
+    /// the current location vector's bound instead of the global
+    /// maximal constant, merging digital states that are
+    /// guard-equivalent for everything still observable.
+    lu: Option<PtaLu>,
 }
 
 impl<'p> PtaExplorer<'p> {
@@ -369,7 +708,18 @@ impl<'p> PtaExplorer<'p> {
         PtaExplorer {
             pta,
             clamp: consts.into_iter().map(|c| c + 1).collect(),
+            lu: None,
         }
+    }
+
+    /// Switches tick clamping to the per-location LU tables. The caller
+    /// must solve the tables with the same protected atoms passed as
+    /// `extra_atoms` to [`PtaExplorer::new`], so property constants stay
+    /// observable everywhere.
+    #[must_use]
+    pub fn with_lu(mut self, lu: PtaLu) -> Self {
+        self.lu = Some(lu);
+        self
     }
 
     /// The PTA under exploration.
@@ -400,17 +750,17 @@ impl<'p> PtaExplorer<'p> {
     /// The unit-delay successor, if the invariants permit it.
     #[must_use]
     pub fn tick(&self, state: &PtaState) -> Option<PtaState> {
+        let local = self.lu.as_ref().map(|lu| {
+            let mut out = Vec::new();
+            lu.clamp(&state.locs, &mut out);
+            out
+        });
+        let clamp = local.as_deref().unwrap_or(&self.clamp);
         let ticked: Vec<i64> = state
             .clocks
             .iter()
             .enumerate()
-            .map(|(i, &c)| {
-                if i == 0 {
-                    0
-                } else {
-                    (c + 1).min(self.clamp[i])
-                }
-            })
+            .map(|(i, &c)| if i == 0 { 0 } else { (c + 1).min(clamp[i]) })
             .collect();
         self.invariants_hold(&state.locs, &ticked)
             .then(|| PtaState {

@@ -346,6 +346,22 @@ pub struct RunReport {
     /// Full records faulted back in from the spill log (each fault is a
     /// disk read that the resident zone summary could not rule out).
     pub spill_faults: u64,
+    /// `(location, clock)` pairs whose LU extrapolation bound is
+    /// strictly tighter than the clock's global maximal constant (`0`
+    /// when LU extrapolation was off or found nothing to tighten).
+    pub lu_tightened: u64,
+    /// Variables whose range-analysis fixpoint interval is strictly
+    /// tighter than their declared range.
+    pub vars_narrowed: u64,
+    /// Clocks removed by query-directed slicing beyond what plain
+    /// active-clock reduction removes.
+    pub sliced_clocks: u64,
+    /// Variables frozen (write-only, outside the query's cone of
+    /// influence) by slicing.
+    pub sliced_vars: u64,
+    /// Edges disabled by slicing (synchronization-dead or with a guard
+    /// proven empty by range analysis).
+    pub sliced_edges: u64,
 }
 
 impl RunReport {
@@ -377,6 +393,11 @@ impl RunReport {
         self.spilled_states += other.spilled_states;
         self.spill_bytes += other.spill_bytes;
         self.spill_faults += other.spill_faults;
+        self.lu_tightened = self.lu_tightened.max(other.lu_tightened);
+        self.vars_narrowed = self.vars_narrowed.max(other.vars_narrowed);
+        self.sliced_clocks = self.sliced_clocks.max(other.sliced_clocks);
+        self.sliced_vars = self.sliced_vars.max(other.sliced_vars);
+        self.sliced_edges = self.sliced_edges.max(other.sliced_edges);
     }
 
     /// Renders the report as one machine-readable line for persistence
@@ -387,7 +408,7 @@ impl RunReport {
     #[must_use]
     pub fn render_line(&self) -> String {
         format!(
-            "v1 {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+            "v2 {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
             self.states_explored,
             self.states_stored,
             self.peak_waiting,
@@ -405,20 +426,31 @@ impl RunReport {
             self.spilled_states,
             self.spill_bytes,
             self.spill_faults,
+            self.lu_tightened,
+            self.vars_narrowed,
+            self.sliced_clocks,
+            self.sliced_vars,
+            self.sliced_edges,
         )
     }
 
     /// Parses a line produced by [`RunReport::render_line`]. `None` on
     /// any defect (wrong version, missing or non-numeric field) — the
     /// caller treats the line as absent, never as a partial report.
+    /// Accepts the legacy `v1` layout (written before the dataflow-pass
+    /// counters existed) with the five flow fields read as zero, so old
+    /// disk-cache entries keep validating.
     #[must_use]
     pub fn parse_line(line: &str) -> Option<RunReport> {
         let mut parts = line.split_ascii_whitespace();
-        if parts.next()? != "v1" {
-            return None;
-        }
+        let version = parts.next()?;
+        let has_flow = match version {
+            "v1" => false,
+            "v2" => true,
+            _ => return None,
+        };
         let mut next_u64 = || parts.next()?.parse::<u64>().ok();
-        let report = RunReport {
+        let mut report = RunReport {
             states_explored: next_u64()?,
             states_stored: next_u64()?,
             peak_waiting: next_u64()?,
@@ -436,7 +468,15 @@ impl RunReport {
             spilled_states: next_u64()?,
             spill_bytes: next_u64()?,
             spill_faults: next_u64()?,
+            ..RunReport::default()
         };
+        if has_flow {
+            report.lu_tightened = next_u64()?;
+            report.vars_narrowed = next_u64()?;
+            report.sliced_clocks = next_u64()?;
+            report.sliced_vars = next_u64()?;
+            report.sliced_edges = next_u64()?;
+        }
         if parts.next().is_some() {
             return None;
         }
@@ -488,6 +528,20 @@ impl fmt::Display for RunReport {
                 self.spilled_states, self.spill_bytes, self.spill_faults
             )?;
         }
+        if self.lu_tightened > 0 || self.vars_narrowed > 0 {
+            write!(
+                f,
+                ", flow {} lu bound(s) tightened, {} var(s) narrowed",
+                self.lu_tightened, self.vars_narrowed
+            )?;
+        }
+        if self.sliced_clocks > 0 || self.sliced_vars > 0 || self.sliced_edges > 0 {
+            write!(
+                f,
+                ", sliced {} clock(s) / {} var(s) / {} edge(s)",
+                self.sliced_clocks, self.sliced_vars, self.sliced_edges
+            )?;
+        }
         Ok(())
     }
 }
@@ -523,6 +577,17 @@ pub struct ExploreConfig {
     /// Template-symmetry reduction: fold states of structurally
     /// identical components onto a canonical orbit representative.
     pub symmetry: bool,
+    /// LU (lower/upper) clock-bound extrapolation: per-location,
+    /// per-polarity maximal constants from a backward dataflow fixpoint
+    /// replace the single global maximal constant where sound
+    /// (reachability only — liveness and deadlock search keep the
+    /// classic extrapolation regardless of this knob).
+    pub lu: bool,
+    /// Query-directed slicing: disable edges that can provably never
+    /// fire (guard empty under range analysis, or synchronizing on a
+    /// channel with no possible partner) before exploration, letting
+    /// active-clock reduction remove the clocks they held live.
+    pub slice: bool,
     /// Out-of-core exploration: spill passed/waiting states past a
     /// resident budget to an on-disk log. `None` (the default) keeps
     /// everything in memory. Spilling never changes verdicts or
@@ -531,13 +596,15 @@ pub struct ExploreConfig {
 }
 
 impl Default for ExploreConfig {
-    /// Both reductions on — they are sound by construction and each
+    /// All reductions on — they are sound by construction and each
     /// engine disables them itself where soundness cannot be
     /// established (e.g. liveness search). Spilling off.
     fn default() -> Self {
         ExploreConfig {
             por: true,
             symmetry: true,
+            lu: true,
+            slice: true,
             spill: None,
         }
     }
@@ -550,6 +617,8 @@ impl ExploreConfig {
         ExploreConfig {
             por: false,
             symmetry: false,
+            lu: false,
+            slice: false,
             spill: None,
         }
     }
@@ -565,6 +634,20 @@ impl ExploreConfig {
     #[must_use]
     pub fn with_symmetry(mut self, on: bool) -> Self {
         self.symmetry = on;
+        self
+    }
+
+    /// Sets the LU-extrapolation knob.
+    #[must_use]
+    pub fn with_lu(mut self, on: bool) -> Self {
+        self.lu = on;
+        self
+    }
+
+    /// Sets the query-directed-slicing knob.
+    #[must_use]
+    pub fn with_slice(mut self, on: bool) -> Self {
+        self.slice = on;
         self
     }
 
@@ -594,6 +677,8 @@ impl StableDigest for ExploreConfig {
         h.write_tag("explore-config");
         h.write_u8(u8::from(self.por));
         h.write_u8(u8::from(self.symmetry));
+        h.write_u8(u8::from(self.lu));
+        h.write_u8(u8::from(self.slice));
         match &self.spill {
             None => h.write_u8(0),
             Some(s) => {
@@ -865,6 +950,7 @@ impl Governor {
             spilled_states: 0,
             spill_bytes: 0,
             spill_faults: 0,
+            ..RunReport::default()
         }
     }
 
@@ -1180,6 +1266,11 @@ mod tests {
             spilled_states: 40,
             spill_bytes: 4096,
             spill_faults: 9,
+            lu_tightened: 3,
+            vars_narrowed: 2,
+            sliced_clocks: 1,
+            sliced_vars: 4,
+            sliced_edges: 6,
         };
         let b = RunReport {
             states_explored: 1,
@@ -1199,6 +1290,11 @@ mod tests {
             spilled_states: 2,
             spill_bytes: 256,
             spill_faults: 1,
+            lu_tightened: 8,
+            vars_narrowed: 1,
+            sliced_clocks: 2,
+            sliced_vars: 3,
+            sliced_edges: 5,
         };
         let mut merged = a.clone();
         merged.merge(&b);
@@ -1236,10 +1332,46 @@ mod tests {
         assert_eq!(merged.sym_orbits, 5);
         assert_eq!(merged.dbm_dim, 5);
         assert_eq!(merged.dbm_dim_model, 6);
+        // Flow artifacts are per-model analysis facts, also maxed.
+        assert_eq!(merged.lu_tightened, 8);
+        assert_eq!(merged.vars_narrowed, 2);
+        assert_eq!(merged.sliced_clocks, 2);
+        assert_eq!(merged.sliced_vars, 4);
+        assert_eq!(merged.sliced_edges, 6);
         // Merging zero is the identity.
         let mut same = a.clone();
         same.merge(&RunReport::default());
         assert_eq!(same, a);
+    }
+
+    #[test]
+    fn run_report_line_round_trips_and_accepts_legacy_v1() {
+        let report = RunReport {
+            states_explored: 11,
+            states_stored: 7,
+            wall_time: Duration::from_nanos(12_345),
+            lu_tightened: 4,
+            vars_narrowed: 3,
+            sliced_clocks: 2,
+            sliced_vars: 1,
+            sliced_edges: 9,
+            ..RunReport::default()
+        };
+        let line = report.render_line();
+        assert!(line.starts_with("v2 "));
+        assert_eq!(RunReport::parse_line(&line), Some(report));
+        // Legacy v1 lines (17 fields, no flow counters) still parse,
+        // with the flow counters read as zero.
+        let legacy = "v1 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17";
+        let parsed = RunReport::parse_line(legacy).expect("v1 parses");
+        assert_eq!(parsed.states_explored, 1);
+        assert_eq!(parsed.spill_faults, 17);
+        assert_eq!(parsed.lu_tightened, 0);
+        assert_eq!(parsed.sliced_edges, 0);
+        // Defects: unknown version, truncated v2, trailing garbage.
+        assert_eq!(RunReport::parse_line("v3 1 2"), None);
+        assert_eq!(RunReport::parse_line(&line[..line.len() - 2]), None);
+        assert_eq!(RunReport::parse_line(&format!("{line} 99")), None);
     }
 
     #[test]

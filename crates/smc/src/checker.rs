@@ -8,6 +8,7 @@ use crate::stats::{
 };
 use tempo_conc::{derive_stream_seed, run_workers, split_budget, ParallelConfig};
 use tempo_obs::{Budget, Governor, Outcome, RunReport};
+use tempo_ta::flow::FlowMetrics;
 use tempo_ta::{ClockReduction, Network, StateFormula};
 
 /// [`RunReport`] for a simulation batch: the run counter, the clock-space
@@ -86,6 +87,7 @@ pub struct StatisticalChecker<'n> {
     /// independent while remaining reproducible from the base seed.
     epoch: u64,
     max_steps: usize,
+    flow: bool,
 }
 
 impl<'n> StatisticalChecker<'n> {
@@ -101,7 +103,36 @@ impl<'n> StatisticalChecker<'n> {
             threads: 1,
             epoch: 0,
             max_steps: DEFAULT_MAX_STEPS,
+            flow: true,
         }
+    }
+
+    /// Disables query-directed slicing on the parallel batch path,
+    /// simulating the unsliced network. Estimates are byte-identical
+    /// either way — this switch exists for differential testing.
+    #[must_use]
+    pub fn without_flow(mut self) -> Self {
+        self.flow = false;
+        self
+    }
+
+    /// Query-directed slicing for the parallel batch path: provably
+    /// disabled edges are never enabled, so per-batch simulators on the
+    /// sliced network enumerate identical enabled-move lists, consume
+    /// identical RNG streams and produce byte-identical trajectories,
+    /// while active-clock reduction gets to remove the clocks those
+    /// edges guarded. The sequential path keeps the checker's
+    /// persistent full-network simulator, exactly as it does for the
+    /// clock reduction itself.
+    fn sliced_base(&self) -> (Option<tempo_ta::Slice>, FlowMetrics) {
+        let mut metrics = FlowMetrics::default();
+        let sliced = (self.flow && self.threads > 1).then(|| tempo_ta::slice(self.net));
+        if let Some(s) = &sliced {
+            metrics.sliced_edges = s.disabled_edges;
+            metrics.vars_narrowed = s.vars_narrowed;
+            metrics.sliced_vars = s.dead_vars.len() as u64;
+        }
+        (sliced, metrics)
     }
 
     /// Overrides the per-run step cap.
@@ -261,10 +292,12 @@ impl<'n> StatisticalChecker<'n> {
         let effective = Self::effective_runs(runs, &gov);
         let mut successes = 0_usize;
         let mut completed = 0_usize;
-        let reduction = self.net.reduced_with(&goal.clock_atoms());
+        let (sliced, metrics) = self.sliced_base();
+        let base: &Network = sliced.as_ref().map_or(self.net, |s| &s.net);
+        let reduction = base.reduced_with(&goal.clock_atoms());
         let mut dim = self.net.dim();
         if self.threads > 1 {
-            let (net, goal) = reduced_query(&reduction, self.net, goal);
+            let (net, goal) = reduced_query(&reduction, base, goal);
             dim = net.dim();
             let hits = self.batch(net, bound, effective, &gov, |run| {
                 run.satisfies_eventually(net, &goal, bound)
@@ -292,7 +325,7 @@ impl<'n> StatisticalChecker<'n> {
             Self::check_cancelled(&gov)?;
             None
         };
-        let report = sim_report(&gov, completed, dim, self.net.dim());
+        let report = metrics.stamp(sim_report(&gov, completed, dim, self.net.dim()));
         Ok(gov.finish(est, report))
     }
 
@@ -464,10 +497,12 @@ impl<'n> StatisticalChecker<'n> {
     ) -> Outcome<EmpiricalCdf> {
         let gov = budget.governor();
         let effective = Self::effective_runs(runs, &gov);
-        let reduction = self.net.reduced_with(&goal.clock_atoms());
+        let (sliced, metrics) = self.sliced_base();
+        let base: &Network = sliced.as_ref().map_or(self.net, |s| &s.net);
+        let reduction = base.reduced_with(&goal.clock_atoms());
         let mut dim = self.net.dim();
         let hit_times: Vec<Option<f64>> = if self.threads > 1 {
-            let (net, goal) = reduced_query(&reduction, self.net, goal);
+            let (net, goal) = reduced_query(&reduction, base, goal);
             dim = net.dim();
             self.batch(net, bound, effective, &gov, |run| {
                 run.first_hit(net, &goal).filter(|&t| t <= bound)
@@ -493,7 +528,7 @@ impl<'n> StatisticalChecker<'n> {
         for t in hit_times.into_iter().flatten() {
             cdf.add(t);
         }
-        let report = sim_report(&gov, completed, dim, self.net.dim());
+        let report = metrics.stamp(sim_report(&gov, completed, dim, self.net.dim()));
         gov.finish(cdf, report)
     }
 
@@ -543,11 +578,13 @@ impl<'n> StatisticalChecker<'n> {
         let mut completed = 0_usize;
         let mut atoms = goal_a.clock_atoms();
         atoms.extend(goal_b.clock_atoms());
-        let reduction = self.net.reduced_with(&atoms);
+        let (sliced, metrics) = self.sliced_base();
+        let base: &Network = sliced.as_ref().map_or(self.net, |s| &s.net);
+        let reduction = base.reduced_with(&atoms);
         let mut dim = self.net.dim();
         if self.threads > 1 {
-            let (net, goal_a) = reduced_query(&reduction, self.net, goal_a);
-            let (_, goal_b) = reduced_query(&reduction, self.net, goal_b);
+            let (net, goal_a) = reduced_query(&reduction, base, goal_a);
+            let (_, goal_b) = reduced_query(&reduction, base, goal_b);
             dim = net.dim();
             let pairs = self.batch(net, bound, effective, &gov, |run| {
                 (
@@ -591,7 +628,7 @@ impl<'n> StatisticalChecker<'n> {
         } else {
             std::cmp::Ordering::Equal
         };
-        let report = sim_report(&gov, completed, dim, self.net.dim());
+        let report = metrics.stamp(sim_report(&gov, completed, dim, self.net.dim()));
         gov.finish((ord, pa, pb), report)
     }
 
@@ -616,10 +653,12 @@ impl<'n> StatisticalChecker<'n> {
         let effective = Self::effective_runs(runs, &gov);
         let mut safe_count = 0_usize;
         let mut completed = 0_usize;
-        let reduction = self.net.reduced_with(&safe.clock_atoms());
+        let (sliced, metrics) = self.sliced_base();
+        let base: &Network = sliced.as_ref().map_or(self.net, |s| &s.net);
+        let reduction = base.reduced_with(&safe.clock_atoms());
         let mut dim = self.net.dim();
         if self.threads > 1 {
-            let (net, safe) = reduced_query(&reduction, self.net, safe);
+            let (net, safe) = reduced_query(&reduction, base, safe);
             dim = net.dim();
             let safe_runs = self.batch(net, bound, effective, &gov, |run| {
                 run.satisfies_globally(net, &safe, bound)
@@ -641,7 +680,7 @@ impl<'n> StatisticalChecker<'n> {
             }
         }
         Self::settle_runs(&gov, completed, runs);
-        let report = sim_report(&gov, completed, dim, self.net.dim());
+        let report = metrics.stamp(sim_report(&gov, completed, dim, self.net.dim()));
         gov.finish(safe_count, report)
     }
 }

@@ -10,8 +10,8 @@ use tempo_cora::PricedNetwork;
 use tempo_mdp::{Mdp, Opt};
 use tempo_modest::{Mcpta, Pta};
 use tempo_obs::{
-    Budget, ExhaustionReason, ExploreConfig, Fingerprint, Outcome, RunReport, StableDigest,
-    StableHasher,
+    Budget, ExhaustionReason, ExploreConfig, Fingerprint, LintError, Outcome, RunReport,
+    StableDigest, StableHasher,
 };
 use tempo_smc::{Estimate, RatePolicy};
 use tempo_ta::{Network, StateFormula};
@@ -136,6 +136,36 @@ impl JobKind {
             JobKind::MdpReach { .. } => "mdp-reach",
             JobKind::McptaReach { .. } => "mcpta-reach",
             JobKind::BipDeadlock { .. } => "bip-deadlock",
+        }
+    }
+
+    /// Runs the static-analysis gate of the engine this job targets —
+    /// the same `check_first` entry point a direct caller of the engine
+    /// would use — under the default (errors-block) configuration.
+    ///
+    /// Kinds whose model has no lint substrate (an explicit [`Mdp`], a
+    /// compiled [`Pta`] whose MODEST source was checked at compile
+    /// time) pass trivially.
+    ///
+    /// # Errors
+    ///
+    /// The typed [`LintError`] with every blocking diagnostic; the
+    /// service wraps it in [`Rejected::Lint`] at admission.
+    pub fn lint_gate(&self) -> Result<(), LintError> {
+        let config = tempo_lint::LintConfig::default();
+        match self {
+            JobKind::Reach { net, .. } | JobKind::LeadsTo { net, .. } => {
+                tempo_lint::check_network_first(net, &config).map(drop)
+            }
+            JobKind::MinCost { pnet, .. } => pnet.check_first(&config).map(drop),
+            JobKind::ReachGame { net, .. } | JobKind::SafetyGame { net, .. } => {
+                tempo_tiga::GameSolver::check_first(net, &config).map(drop)
+            }
+            JobKind::Probability { net, .. } => {
+                tempo_smc::StatisticalChecker::check_first(net, &config).map(drop)
+            }
+            JobKind::MdpReach { .. } | JobKind::McptaReach { .. } => Ok(()),
+            JobKind::BipDeadlock { sys } => tempo_lint::check_bip_first(sys, &config).map(drop),
         }
     }
 
@@ -659,7 +689,7 @@ impl std::error::Error for JobError {}
 
 /// Typed admission-control refusal: the service never silently drops a
 /// submission, it tells the caller which limit pushed back.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Rejected {
     /// The work queue is at capacity — backpressure; retry later.
     QueueFull,
@@ -667,15 +697,20 @@ pub enum Rejected {
     TenantQuotaExceeded,
     /// The service is shutting down and accepts no new work.
     ShuttingDown,
+    /// The model failed its static-analysis gate: the engine would
+    /// refuse it (or produce a meaningless verdict), so admission
+    /// refuses it first, with the blocking diagnostics attached.
+    Lint(LintError),
 }
 
 impl fmt::Display for Rejected {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Rejected::QueueFull => "queue full",
-            Rejected::TenantQuotaExceeded => "tenant quota exceeded",
-            Rejected::ShuttingDown => "service shutting down",
-        })
+        match self {
+            Rejected::QueueFull => f.write_str("queue full"),
+            Rejected::TenantQuotaExceeded => f.write_str("tenant quota exceeded"),
+            Rejected::ShuttingDown => f.write_str("service shutting down"),
+            Rejected::Lint(e) => write!(f, "{e}"),
+        }
     }
 }
 

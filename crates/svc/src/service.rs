@@ -431,6 +431,12 @@ impl AnalysisService {
             inner.stats.record_rejected();
             return Err(Rejected::ShuttingDown);
         }
+        // Admission lint gate: a model the engine would refuse never
+        // reaches the queue (or the cache) in the first place.
+        if let Err(e) = req.kind.lint_gate() {
+            inner.stats.record_rejected();
+            return Err(Rejected::Lint(e));
+        }
         let key = req.kind.cache_key(&req.budget);
         let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
         let slot = Arc::new(Slot::new());

@@ -82,6 +82,13 @@ pub struct DigitalMove {
 pub struct DigitalExplorer<'n> {
     net: &'n Network,
     clamp: Vec<i64>,
+    /// Per-location LU tables; when present, ticks clamp each clock at
+    /// `max(L, U) + 1` of the *current* location vector instead of the
+    /// global maximal constant. Sound because the solved bounds are
+    /// non-increasing along reset-free paths: once a clock passes every
+    /// constant still observable from here, its exact value can never
+    /// matter again.
+    lu: Option<crate::flow::NetworkLu>,
 }
 
 impl<'n> DigitalExplorer<'n> {
@@ -137,7 +144,22 @@ impl<'n> DigitalExplorer<'n> {
             return Err(DigitalError { diagnostics });
         }
         let clamp = net.max_constants().into_iter().map(|c| c + 1).collect();
-        Ok(DigitalExplorer { net, clamp })
+        Ok(DigitalExplorer {
+            net,
+            clamp,
+            lu: None,
+        })
+    }
+
+    /// Switches tick clamping to the per-location LU tables. Used by
+    /// engines whose certificates replay recorded *move lists* (cost
+    /// traces); engines that publish state-indexed artifacts (game
+    /// strategies) must keep the global clamp so that replayed states
+    /// match the solved domain.
+    #[must_use]
+    pub fn with_lu(mut self, lu: crate::flow::NetworkLu) -> Self {
+        self.lu = Some(lu);
+        self
     }
 
     /// The network being explored.
@@ -182,17 +204,22 @@ impl<'n> DigitalExplorer<'n> {
     }
 
     fn ticked_clocks(&self, state: &DigitalState) -> Vec<i64> {
+        let local = self.lu.as_ref().map(|lu| {
+            let mut lower = Vec::new();
+            let mut upper = Vec::new();
+            lu.state_bounds(&state.locs, &mut lower, &mut upper);
+            lower
+                .iter()
+                .zip(&upper)
+                .map(|(&l, &u)| l.max(u).max(0) + 1)
+                .collect::<Vec<i64>>()
+        });
+        let clamp = local.as_deref().unwrap_or(&self.clamp);
         state
             .clocks
             .iter()
             .enumerate()
-            .map(|(i, &c)| {
-                if i == 0 {
-                    0
-                } else {
-                    (c + 1).min(self.clamp[i])
-                }
-            })
+            .map(|(i, &c)| if i == 0 { 0 } else { (c + 1).min(clamp[i]) })
             .collect()
     }
 

@@ -97,6 +97,10 @@ pub struct Explorer<'n> {
     /// When `false`, zones are not extrapolated (for the extrapolation
     /// ablation bench; termination is then not guaranteed in general).
     extrapolate: bool,
+    /// Per-location LU bounds; when present, zones are widened with
+    /// `Extra_LU` over the state's location vector instead of the
+    /// global maximal-constant `Extra_M`.
+    lu: Option<crate::flow::NetworkLu>,
 }
 
 impl<'n> Explorer<'n> {
@@ -108,6 +112,7 @@ impl<'n> Explorer<'n> {
             max_consts: net.max_constants(),
             net,
             extrapolate: true,
+            lu: None,
         }
     }
 
@@ -132,6 +137,7 @@ impl<'n> Explorer<'n> {
             max_consts,
             net,
             extrapolate: true,
+            lu: None,
         }
     }
 
@@ -139,6 +145,18 @@ impl<'n> Explorer<'n> {
     #[must_use]
     pub fn without_extrapolation(mut self) -> Self {
         self.extrapolate = false;
+        self
+    }
+
+    /// Switches extrapolation to per-location `Extra_LU` with the given
+    /// solved bound tables. Sound for reachability: the LU abstraction
+    /// preserves reachability of every location/data configuration and
+    /// of all protected clock constraints, but coarsens zones — do not
+    /// combine with exact-zone analyses (deadlock federations,
+    /// liveness).
+    #[must_use]
+    pub fn with_lu(mut self, lu: crate::flow::NetworkLu) -> Self {
+        self.lu = Some(lu);
         self
     }
 
@@ -261,7 +279,15 @@ impl<'n> Explorer<'n> {
             self.apply_invariants(&state.locs, &mut state.zone);
         }
         if self.extrapolate {
-            state.zone.extrapolate(&self.max_consts);
+            match &self.lu {
+                Some(lu) => {
+                    let mut lower = Vec::new();
+                    let mut upper = Vec::new();
+                    lu.state_bounds(&state.locs, &mut lower, &mut upper);
+                    state.zone.extrapolate_lu(&lower, &upper);
+                }
+                None => state.zone.extrapolate(&self.max_consts),
+            }
         }
     }
 

@@ -39,6 +39,7 @@ mod codec;
 mod digest;
 mod digital;
 mod explore;
+pub mod flow;
 mod formula;
 mod liveness;
 mod model;
@@ -47,11 +48,13 @@ mod por;
 mod query;
 mod reach;
 mod reduce;
+pub mod slice;
 mod symmetry;
 
 pub use codec::{decode_state, encode_state, ZoneSummary};
 pub use digital::{DigitalError, DigitalExplorer, DigitalMove, DigitalState};
 pub use explore::{Action, Explorer, SymState};
+pub use flow::NetworkLu;
 pub use formula::StateFormula;
 pub use liveness::{leads_to, leads_to_governed};
 pub use model::{
@@ -64,5 +67,6 @@ pub use query::{
 };
 pub use reach::{ModelChecker, ReachResult, Stats, Trace, TraceStep, Verdict};
 pub use reduce::{live_clocks, ClockReduction};
+pub use slice::{slice, Slice};
 pub use symmetry::{near_miss_orbits, NearMiss, Perm, Symmetry};
 pub use tempo_obs::{ExploreConfig, SpillConfig, SpillError, SpillMetrics};

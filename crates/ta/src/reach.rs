@@ -235,6 +235,7 @@ pub struct ModelChecker<'n> {
     threads: usize,
     reduce: bool,
     config: ExploreConfig,
+    last_flow: crate::flow::FlowMetrics,
 }
 
 impl<'n> ModelChecker<'n> {
@@ -248,6 +249,7 @@ impl<'n> ModelChecker<'n> {
             threads: 1,
             reduce: true,
             config: ExploreConfig::default(),
+            last_flow: crate::flow::FlowMetrics::default(),
         }
     }
 
@@ -350,7 +352,14 @@ impl<'n> ModelChecker<'n> {
     ) -> Result<Outcome<ReachResult>, SpillError> {
         let gov = budget.governor();
         let (res, peak, dim, spill) = self.search(goal, None, &gov)?;
-        let report = exploration_report(&gov, &res.stats, peak, dim, self.net.dim(), spill);
+        let report = self.last_flow.stamp(exploration_report(
+            &gov,
+            &res.stats,
+            peak,
+            dim,
+            self.net.dim(),
+            spill,
+        ));
         Ok(if res.reachable {
             gov.finish_complete(res, report)
         } else {
@@ -402,7 +411,14 @@ impl<'n> ModelChecker<'n> {
         let neg = StateFormula::not(safe.clone());
         let gov = budget.governor();
         let (res, peak, dim, spill) = self.search(&neg, None, &gov)?;
-        let report = exploration_report(&gov, &res.stats, peak, dim, self.net.dim(), spill);
+        let report = self.last_flow.stamp(exploration_report(
+            &gov,
+            &res.stats,
+            peak,
+            dim,
+            self.net.dim(),
+            spill,
+        ));
         Ok(if res.reachable {
             let value = (Verdict::Violated(res.trace.unwrap_or_default()), res.stats);
             gov.finish_complete(value, report)
@@ -466,14 +482,32 @@ impl<'n> ModelChecker<'n> {
         prune: Option<&StateFormula>,
         gov: &Governor,
     ) -> Result<(ReachResult, usize, usize, SpillMetrics), SpillError> {
-        // Active-clock reduction: drop clocks that neither the model nor
-        // the query reads, shrinking every DBM of the exploration. The
-        // query's atoms are kept alive, so verdicts are unchanged.
+        self.last_flow = crate::flow::FlowMetrics::default();
         let mut atoms = goal.clock_atoms();
         if let Some(p) = prune {
             atoms.extend(p.clock_atoms());
         }
-        let reduction = self.reduce.then(|| self.net.reduced_with(&atoms));
+        // Query-directed slicing: disable edges that provably never fire
+        // (empty data guards under the range fixpoint, partnerless
+        // synchronizations) before the clock analysis, so that clocks
+        // only those edges observed can be dropped as well.
+        let sliced = self.config.slice.then(|| crate::slice::slice(self.net));
+        let base: &Network = sliced.as_ref().map_or(self.net, |s| &s.net);
+        if let Some(s) = &sliced {
+            self.last_flow.sliced_edges = s.disabled_edges;
+            self.last_flow.vars_narrowed = s.vars_narrowed;
+            self.last_flow.sliced_vars = s.dead_vars.len() as u64;
+        }
+        // Active-clock reduction: drop clocks that neither the model nor
+        // the query reads, shrinking every DBM of the exploration. The
+        // query's atoms are kept alive, so verdicts are unchanged.
+        let reduction = self.reduce.then(|| base.reduced_with(&atoms));
+        if let (Some(s), Some(r)) = (&sliced, &reduction) {
+            if s.disabled_edges > 0 {
+                let plain = self.net.reduced_with(&atoms).removed().len();
+                self.last_flow.sliced_clocks = (r.removed().len().saturating_sub(plain)) as u64;
+            }
+        }
         // Graceful fallback: if a property atom's clock was dropped
         // anyway (a mapping bug or a degenerate model), explore the
         // unreduced network instead of panicking — verdicts only.
@@ -482,10 +516,10 @@ impl<'n> ModelChecker<'n> {
                 match (r.map_formula(goal), prune.map(|p| r.map_formula(p))) {
                     (Some(g), None) => (r.network(), g, None),
                     (Some(g), Some(Some(p))) => (r.network(), g, Some(p)),
-                    _ => (self.net, goal.clone(), prune.cloned()),
+                    _ => (base, goal.clone(), prune.cloned()),
                 }
             }
-            _ => (self.net, goal.clone(), prune.cloned()),
+            _ => (base, goal.clone(), prune.cloned()),
         };
         let (goal, prune) = (&goal, prune.as_ref());
         let dim = net.dim();
@@ -508,7 +542,27 @@ impl<'n> ModelChecker<'n> {
             None
         };
 
-        let explorer = Explorer::with_extra_constants(net, &goal.clock_atoms());
+        // Per-location LU extrapolation: strictly coarser than Extra_M
+        // (so strictly fewer symbolic states), sound for reachability
+        // with the property atoms protected at every location. Witness
+        // traces are renormalized through a classic-extrapolation
+        // explorer afterwards, so the trace contract (every step is a
+        // literal state of the plain zone graph) survives the coarser
+        // quotient.
+        let replay = self
+            .config
+            .lu
+            .then(|| Explorer::with_extra_constants(net, &goal.clock_atoms()));
+        let mut explorer = Explorer::with_extra_constants(net, &goal.clock_atoms());
+        if self.config.lu {
+            let mut protect = goal.clock_atoms();
+            if let Some(p) = prune {
+                protect.extend(p.clock_atoms());
+            }
+            let lu = crate::flow::NetworkLu::analyze(net, &protect);
+            self.last_flow.lu_tightened = lu.tightened(&net.max_constants());
+            explorer = explorer.with_lu(lu);
+        }
         if self.threads > 1 {
             let (trace, stats, peak, spill) = crate::par_reach::parallel_search(
                 net,
@@ -521,6 +575,7 @@ impl<'n> ModelChecker<'n> {
                 self.config.spill.as_ref(),
                 gov,
             )?;
+            let trace = trace.map(|t| renormalize_trace(replay.as_ref(), t));
             return Ok((
                 ReachResult {
                     reachable: trace.is_some(),
@@ -558,6 +613,7 @@ impl<'n> ModelChecker<'n> {
             if goal.holds_somewhere(net, &state) {
                 stats.stored = store.stored();
                 let trace = build_trace(store.as_mut(), idx, net, sym.as_ref())?;
+                let trace = renormalize_trace(replay.as_ref(), trace);
                 let spill = store.metrics();
                 return Ok((
                     ReachResult {
@@ -819,6 +875,46 @@ impl<'n> ModelChecker<'n> {
         );
         gov.finish((states, stats), report)
     }
+}
+
+/// Replays a witness's action sequence through a classic-extrapolation
+/// explorer. LU extrapolation stores coarser zones than the plain zone
+/// graph, but the trace contract is that every step is literally a
+/// state of that graph (independent replayers walk [`Explorer`]
+/// successors). Soundness of the ⌈LU⌉ quotient guarantees the action
+/// sequence is also a path of the classic graph; should it not be (a
+/// bug), the stored trace is returned unchanged so the downstream
+/// validators flag it instead of this pass masking it.
+fn renormalize_trace(replay: Option<&Explorer>, trace: Trace) -> Trace {
+    let Some(explorer) = replay else {
+        return trace;
+    };
+    if trace.steps.is_empty() || trace.steps[0].action.is_some() {
+        return trace;
+    }
+    let mut state = explorer.initial_state();
+    let mut steps = vec![TraceStep {
+        action: None,
+        state: state.clone(),
+    }];
+    for step in &trace.steps[1..] {
+        let Some(action) = &step.action else {
+            return trace;
+        };
+        let Some((_, succ)) = explorer
+            .successors(&state)
+            .into_iter()
+            .find(|(a, _)| a == action)
+        else {
+            return trace;
+        };
+        state = succ;
+        steps.push(TraceStep {
+            action: Some(action.clone()),
+            state: state.clone(),
+        });
+    }
+    Trace { steps }
 }
 
 /// Reconstructs the witness trace from the exploration store, faulting

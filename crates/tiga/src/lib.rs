@@ -29,6 +29,7 @@
 use std::collections::HashMap;
 use tempo_conc::{run_workers, split_budget, ParallelConfig};
 use tempo_obs::{Budget, Governor, Outcome, RunReport};
+use tempo_ta::flow::FlowMetrics;
 use tempo_ta::{DigitalError, DigitalExplorer, DigitalMove, DigitalState, Network, StateFormula};
 
 /// What the synthesized controller prescribes in a state.
@@ -141,6 +142,7 @@ pub struct GameResult {
 pub struct GameSolver<'n> {
     exp: DigitalExplorer<'n>,
     threads: usize,
+    flow: bool,
 }
 
 /// Internal: the explored game graph.
@@ -177,7 +179,18 @@ impl<'n> GameSolver<'n> {
         Ok(GameSolver {
             exp: DigitalExplorer::try_new(net)?,
             threads: 1,
+            flow: true,
         })
+    }
+
+    /// Disables query-directed slicing, solving the game on the
+    /// unreduced network. The verdict and winning region are identical
+    /// either way — this switch exists for differential testing and
+    /// measurement.
+    #[must_use]
+    pub fn without_flow(mut self) -> Self {
+        self.flow = false;
+        self
     }
 
     /// Statically checks a network before solving games on it: the lint
@@ -268,24 +281,57 @@ impl<'n> GameSolver<'n> {
         (graph, peak)
     }
 
-    /// Active-clock reduction for one query: clocks read by no guard,
-    /// invariant or property atom cannot influence enabledness, so the
-    /// reduced game is bisimilar to the full one under clock projection.
-    /// Returns the solving explorer, the mapped property and the
-    /// projection for the [`Strategy`] (if any reduction happened).
+    /// Query-directed slicing followed by active-clock reduction for one
+    /// query: provably disabled edges change neither player's options
+    /// (their guards are false in every reachable store), and clocks read
+    /// by no remaining guard, invariant or property atom cannot influence
+    /// enabledness, so the reduced game is bisimilar to the full one
+    /// under clock projection. Returns the solving network, the mapped
+    /// property, the projection for the [`Strategy`] (if any reduction
+    /// happened) and the dataflow metrics.
+    ///
+    /// The per-location LU tick clamp of the cost engine is deliberately
+    /// *not* used here: strategies are state-indexed artifacts that the
+    /// independent witness checker replays against exact digital states,
+    /// so coarsening the state abstraction would break the certificate's
+    /// strategy lookups.
     fn reduced_for(
         &self,
         prop: &StateFormula,
-    ) -> (tempo_ta::ClockReduction, StateFormula, Option<Vec<usize>>) {
-        let reduction = self.exp.network().reduced_with(&prop.clock_atoms());
+    ) -> (
+        tempo_ta::ClockReduction,
+        StateFormula,
+        Option<Vec<usize>>,
+        FlowMetrics,
+    ) {
+        let mut metrics = FlowMetrics::default();
+        let sliced = self.flow.then(|| tempo_ta::slice(self.exp.network()));
+        let base: &Network = sliced.as_ref().map_or(self.exp.network(), |s| &s.net);
+        if let Some(s) = &sliced {
+            metrics.sliced_edges = s.disabled_edges;
+            metrics.vars_narrowed = s.vars_narrowed;
+            metrics.sliced_vars = s.dead_vars.len() as u64;
+        }
+        let reduction = base.reduced_with(&prop.clock_atoms());
+        if let Some(s) = &sliced {
+            if s.disabled_edges > 0 {
+                let plain = self
+                    .exp
+                    .network()
+                    .reduced_with(&prop.clock_atoms())
+                    .removed()
+                    .len();
+                metrics.sliced_clocks = reduction.removed().len().saturating_sub(plain) as u64;
+            }
+        }
         if reduction.is_reduced() {
             let mapped = reduction
                 .map_formula(prop)
                 .expect("property atoms are kept alive by reduced_with");
             let proj = Some(reduction.kept());
-            (reduction, mapped, proj)
+            (reduction, mapped, proj, metrics)
         } else {
-            (reduction, prop.clone(), None)
+            (reduction, prop.clone(), None, metrics)
         }
     }
 
@@ -332,14 +378,14 @@ impl<'n> GameSolver<'n> {
         budget: &Budget,
     ) -> Outcome<GameResult> {
         let gov = budget.governor();
-        let (reduction, goal, proj) = self.reduced_for(goal);
+        let (reduction, goal, proj, metrics) = self.reduced_for(goal);
         let exp = DigitalExplorer::new(reduction.network());
         let dim = reduction.network().dim();
         let (graph, peak) = Self::build_graph(&exp, &gov);
         let n = graph.states.len();
         let mut sweeps = 0u64;
         if gov.is_exhausted() {
-            let report = self.game_report(&gov, n, peak, sweeps, dim);
+            let report = metrics.stamp(self.game_report(&gov, n, peak, sweeps, dim));
             return gov.finish(
                 GameResult {
                     winning: false,
@@ -446,7 +492,7 @@ impl<'n> GameSolver<'n> {
             strategy,
             states: n,
         };
-        let report = self.game_report(&gov, n, peak, sweeps, dim);
+        let report = metrics.stamp(self.game_report(&gov, n, peak, sweeps, dim));
         if winning {
             // Ranked states are winning even under an interrupted least
             // fixpoint, so a ranked initial state is a definitive verdict.
@@ -477,14 +523,14 @@ impl<'n> GameSolver<'n> {
         budget: &Budget,
     ) -> Outcome<GameResult> {
         let gov = budget.governor();
-        let (reduction, bad, proj) = self.reduced_for(bad);
+        let (reduction, bad, proj, metrics) = self.reduced_for(bad);
         let exp = DigitalExplorer::new(reduction.network());
         let dim = reduction.network().dim();
         let (graph, peak) = Self::build_graph(&exp, &gov);
         let n = graph.states.len();
         let mut sweeps = 0u64;
         if gov.is_exhausted() {
-            let report = self.game_report(&gov, n, peak, sweeps, dim);
+            let report = metrics.stamp(self.game_report(&gov, n, peak, sweeps, dim));
             return gov.finish(
                 GameResult {
                     winning: false,
@@ -568,7 +614,7 @@ impl<'n> GameSolver<'n> {
         if gov.is_exhausted() {
             // Interrupted greatest fixpoint: `winning` is only an
             // over-approximation; claim nothing.
-            let report = self.game_report(&gov, n, peak, sweeps, dim);
+            let report = metrics.stamp(self.game_report(&gov, n, peak, sweeps, dim));
             return gov.finish(
                 GameResult {
                     winning: false,
@@ -598,7 +644,7 @@ impl<'n> GameSolver<'n> {
             };
             strategy.moves.insert(graph.states[i].clone(), mv);
         }
-        let report = self.game_report(&gov, n, peak, sweeps, dim);
+        let report = metrics.stamp(self.game_report(&gov, n, peak, sweeps, dim));
         gov.finish_complete(
             GameResult {
                 winning: winning.first().copied().unwrap_or(false),

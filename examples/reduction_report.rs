@@ -45,6 +45,7 @@ fn main() {
         0,
         McptaConfig {
             compress_ticks: true,
+            ..McptaConfig::default()
         },
         2_000_000,
     );

@@ -158,6 +158,24 @@ fn ta006_net() -> Network {
     b.build()
 }
 
+/// TA008: variable `ghost` is written on every loop but read by no
+/// guard, synchronization index or clock reset.
+fn ta008_net() -> Network {
+    use tempo_core::expr::Stmt;
+    let mut b = NetworkBuilder::new();
+    let x = b.clock("x");
+    let ghost = b.decls_mut().int("ghost", 0, 9);
+    let mut a = b.automaton("A");
+    let l0 = a.location("L0");
+    a.edge(l0, l0)
+        .guard_clock(ClockAtom::ge(x, 1))
+        .reset(x, 0)
+        .update(Stmt::assign(ghost, Expr::var(ghost) + Expr::konst(1)))
+        .done();
+    a.done();
+    b.build()
+}
+
 #[test]
 fn each_ta_rule_fires_exactly_once_and_every_engine_refuses() {
     type Fixture = (&'static str, fn() -> Network);
@@ -168,6 +186,7 @@ fn each_ta_rule_fires_exactly_once_and_every_engine_refuses() {
         ("TA004", ta004_net),
         ("TA005", ta005_net),
         ("TA006", ta006_net),
+        ("TA008", ta008_net),
     ];
     let strict = LintConfig::strict();
     for (code, build) in cases {
@@ -282,6 +301,77 @@ fn modest_rules_fire_exactly_once_and_gate_refuses() {
     let report = lint::check_modest(&m);
     assert_eq!(codes(&report), vec!["MOD002"], "{:?}", report.diagnostics);
     assert!(lint::check_modest_first(&m, &LintConfig::default()).is_err());
+
+    // MOD002 (error): interval arithmetic is exact in i128, so a
+    // subtraction that overflows i64 upward is pinned above the target
+    // range instead of wrapping past it.
+    let mut m = ModestModel::new();
+    let a = m.action("a");
+    let big = m.decls_mut().int("big", i64::MIN, -4_000_000_000);
+    let out = m.decls_mut().int("out", 0, 100);
+    m.define(
+        "P",
+        Process::act_with(
+            a,
+            vec![Assignment::Var(out, Expr::konst(5) - Expr::var(big))],
+            Process::stop(),
+        ),
+    );
+    m.system(&["P"]);
+    let report = lint::check_modest(&m);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "MOD002" && d.message.contains("outside its declared range")),
+        "{:?}",
+        report.diagnostics
+    );
+    assert!(lint::check_modest_first(&m, &LintConfig::default()).is_err());
+
+    // MOD003 (error): a `when` guard that is provably false under the
+    // declared variable ranges makes its branch unreachable.
+    let mut m = ModestModel::new();
+    let a = m.action("a");
+    let x = m.decls_mut().int("x", 0, 5);
+    m.define(
+        "P",
+        Process::when(
+            Expr::var(x).gt(Expr::konst(100)),
+            Process::act(a, Process::stop()),
+        ),
+    );
+    m.system(&["P"]);
+    let report = lint::check_modest(&m);
+    assert_eq!(codes(&report), vec!["MOD003"], "{:?}", report.diagnostics);
+    assert!(lint::check_modest_first(&m, &LintConfig::default()).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Rule inventory: the README table and the registry must agree.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn readme_rule_table_matches_registry() {
+    let readme = include_str!("../README.md");
+    let documented: Vec<&str> = readme
+        .lines()
+        .filter_map(|line| {
+            let cell = line.strip_prefix('|')?.split('|').next()?.trim();
+            (cell.len() >= 5
+                && (cell.starts_with("TA") || cell.starts_with("BIP") || cell.starts_with("MOD"))
+                && cell
+                    .chars()
+                    .skip(cell.len() - 3)
+                    .all(|c| c.is_ascii_digit()))
+            .then_some(cell)
+        })
+        .collect();
+    let registered: Vec<&str> = lint::rules().iter().map(|r| r.code).collect();
+    assert_eq!(
+        documented, registered,
+        "README lint table out of sync with lint::rules()"
+    );
 }
 
 // ---------------------------------------------------------------------------

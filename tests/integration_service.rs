@@ -172,6 +172,15 @@ proptest! {
         workers in 1_usize..=4,
     ) {
         let net = Arc::new(build_random_net(&edges, &invariants));
+        // Random nets can contain genuine modelling errors (a guard
+        // contradicting an invariant is TA002); the admission lint gate
+        // refuses those by design, so they are not inputs of this
+        // property.
+        if tempo_core::lint::check_network_first(&net, &tempo_core::lint::LintConfig::default())
+            .is_err()
+        {
+            return;
+        }
         let svc = AnalysisService::new(ServiceConfig {
             workers,
             ..ServiceConfig::default()
@@ -414,6 +423,55 @@ fn coalescing_shares_one_run_and_survives_leader_cancellation() {
     let stats = svc.shutdown();
     assert_eq!(stats.coalesced, 1);
     assert!(stats.cancelled >= 2);
+}
+
+/// The admission lint gate refuses a model its engine would refuse —
+/// before it consumes queue capacity, tenant quota, or a cache slot —
+/// with the blocking diagnostics attached.
+#[test]
+fn admission_lint_gate_rejects_broken_models_with_diagnostics() {
+    // Guard x >= 5 under invariant x <= 3: TA002, error severity.
+    let mut b = NetworkBuilder::new();
+    let x = b.clock("x");
+    let mut a = b.automaton("A");
+    let l0 = a.location_with_invariant("L0", vec![ClockAtom::le(x, 3)]);
+    let l1 = a.location("L1");
+    a.edge(l0, l1).guard_clock(ClockAtom::ge(x, 5)).done();
+    a.edge(l0, l1)
+        .guard_clock(ClockAtom::ge(x, 1))
+        .reset(x, 0)
+        .done();
+    a.edge(l1, l0).guard_clock(ClockAtom::ge(x, 1)).done();
+    a.done();
+    let net = Arc::new(b.build());
+
+    let svc = AnalysisService::new(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let kind = JobKind::Reach {
+        net: Arc::clone(&net),
+        goal: StateFormula::at(AutomatonId(0), LocationId(1)),
+        explore: ExploreConfig::default(),
+    };
+    match svc.submit(request("t", kind)).err() {
+        Some(Rejected::Lint(e)) => {
+            assert!(e.diagnostics.iter().any(|d| d.code == "TA002"), "{e}");
+        }
+        other => panic!("expected Rejected::Lint, got {other:?}"),
+    }
+    // The same refusal covers the game engines' gate.
+    let bad_game = JobKind::SafetyGame {
+        net,
+        bad: StateFormula::at(AutomatonId(0), LocationId(1)),
+    };
+    assert!(matches!(
+        svc.submit(request("t", bad_game)).err(),
+        Some(Rejected::Lint(_))
+    ));
+    let stats = svc.shutdown();
+    assert_eq!(stats.rejected, 2);
+    assert_eq!(stats.misses, 0, "nothing was queued");
 }
 
 /// Backpressure is typed: a full queue refuses with `QueueFull`, a
