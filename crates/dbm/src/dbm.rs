@@ -447,7 +447,9 @@ impl Dbm {
     /// `L = U = M`, splitting the polarities only ever abstracts *more*
     /// while preserving reachability of every location/guard whose
     /// constants are covered. Use `-1` for a clock never compared in
-    /// that polarity.
+    /// that polarity; the upper-bound relaxation is clamped at `(≤, 0)`
+    /// in that case so extrapolated zones never admit negative clock
+    /// valuations.
     ///
     /// # Panics
     ///
@@ -477,9 +479,24 @@ impl Dbm {
                 if i != 0 && b > Bound::le(lower[i]) {
                     self.data[k] = Bound::INF;
                     changed = true;
-                } else if b < Bound::lt(-upper[j]) {
-                    self.data[k] = Bound::lt(-upper[j]);
-                    changed = true;
+                } else {
+                    // `upper[j] == -1` (never upper-bounded) would make
+                    // the relaxation target `(<, 1)`, which on row 0
+                    // reads `x_j > -1` and admits negative clock
+                    // valuations; clamp to `(≤, 0)` so `dbm[0][j] ≤
+                    // (≤, 0)` stays invariant (as in UPPAAL's
+                    // `extrapolateLUBounds`). Still a relaxation: any
+                    // bound below `(<, -upper[j])` is also below
+                    // `(≤, 0)` when `-upper[j] > 0`.
+                    let target = if upper[j] < 0 {
+                        Bound::le(0)
+                    } else {
+                        Bound::lt(-upper[j])
+                    };
+                    if b < target {
+                        self.data[k] = target;
+                        changed = true;
+                    }
                 }
             }
         }
@@ -704,6 +721,23 @@ mod tests {
         assert!(!m.contains(&[0, 3]), "Extra_M keeps the lower bound");
         assert!(lu.contains(&[0, 3]), "Extra_LU drops it (no U guard)");
         assert!(lu.contains(&[0, 100]));
+    }
+
+    #[test]
+    fn extrapolate_lu_never_admits_negative_clocks() {
+        // Clock 1 is never upper-bounded (U = -1): the naive relaxation
+        // target for dbm[0][1] would be (<, -(-1)) = (<, 1), i.e.
+        // x1 > -1, letting the extrapolated zone dip below zero. The
+        // clamp must stop at (≤, 0).
+        let mut z = Dbm::universe(2);
+        z.constrain(Clock::REF, c(1), Bound::le(-7)); // x1 >= 7
+        z.extrapolate_lu(&[0, 10], &[0, -1]);
+        assert!(z.contains(&[0, 0]), "lower bound must still be dropped");
+        assert!(
+            z.bound(0, 1) <= Bound::le(0),
+            "row 0 must keep x1 >= 0, got {:?}",
+            z.bound(0, 1)
+        );
     }
 
     #[test]

@@ -381,10 +381,16 @@ impl RangeAnalysis {
                 iv
             })
             .collect();
-        // Chaotic iteration with widening after a few stable-free
-        // rounds: cheap, terminating, and precise enough for the
-        // bounded counters these models use.
-        for round in 0..64 {
+        // Chaotic iteration to an actual fixpoint: plain joins for the
+        // first rounds (precision), then widening, which jumps every
+        // still-growing bound to ±∞ — so at most two more changes per
+        // variable and the loop terminates without a round cap. A cap
+        // that could exit while `changed` is still true would return an
+        // UNDER-approximation, and every client (slicing's dead-edge
+        // rule, MOD003, mcpta domain narrowing) needs an
+        // over-approximation to be sound.
+        let mut round = 0;
+        loop {
             let mut changed = false;
             for cmd in commands {
                 let mut env: Env = (0..n).map(|i| (decls.id_at(i), ranges[i])).collect();
@@ -415,6 +421,7 @@ impl RangeAnalysis {
             if !changed {
                 break;
             }
+            round += 1;
         }
         RangeAnalysis { ranges }
     }
@@ -504,8 +511,11 @@ pub fn transfer(
         }
         Stmt::While(cond, body) => {
             // Conservative loop summary: run the body abstractly until
-            // its written set stabilizes under widening.
-            for round in 0..8 {
+            // its written set stabilizes — joins first, then widening,
+            // which bounds the iteration count without a round cap (a
+            // cap could exit before the fixpoint and under-approximate).
+            let mut round = 0;
+            loop {
                 let mut body_env = env.clone();
                 refine(&mut body_env, cond, decls);
                 let mut body_out = Vec::new();
@@ -527,6 +537,7 @@ pub fn transfer(
                 if !changed {
                     break;
                 }
+                round += 1;
             }
         }
     }
@@ -587,6 +598,43 @@ mod tests {
         let ra = RangeAnalysis::run(&d, &cmds);
         assert_eq!(ra.range(x).hi, i64::MAX);
         assert_eq!(ra.narrowed(&d), 0);
+    }
+
+    #[test]
+    fn range_fixpoint_is_not_round_capped() {
+        // A dependency chain whose commands are listed tail-first makes
+        // exactly one new variable change per round: `x_k` can only
+        // become 1 the round after `x_{k-1}` did, so 100 links need
+        // ~100 rounds. A round-capped iteration (the old 64-round exit)
+        // would stop while still changing and leave the tail variables
+        // at their initial [0, 0] — an UNDER-approximation that turns
+        // the concretely reachable guard `x_99 == 1` provably false.
+        let mut d = Decls::new();
+        let vars: Vec<VarId> = (0..100)
+            .map(|i| d.int(&format!("x{i}"), 0, 1))
+            .collect();
+        let mut cmds: Vec<Command> = (1..vars.len())
+            .rev()
+            .map(|k| Command {
+                guard: Expr::var(vars[k - 1]).eq(Expr::konst(1)),
+                update: Stmt::assign(vars[k], Expr::konst(1)),
+                selects: vec![],
+            })
+            .collect();
+        cmds.push(Command {
+            guard: Expr::truth(),
+            update: Stmt::assign(vars[0], Expr::konst(1)),
+            selects: vec![],
+        });
+        let ra = RangeAnalysis::run(&d, &cmds);
+        let last = *vars.last().unwrap();
+        assert!(
+            ra.range(last).lo <= 1 && 1 <= ra.range(last).hi,
+            "reachable value 1 missing from {:?}",
+            ra.range(last)
+        );
+        let g = Expr::var(last).eq(Expr::konst(1));
+        assert_ne!(truth(&g, &d, &ra.env(&d), &[]), Truth::False);
     }
 
     #[test]

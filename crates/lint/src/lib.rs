@@ -23,7 +23,7 @@
 //! | BIP002 | warning  | component state unreachable in the transition graph |
 //! | MOD001 | mixed    | duplicate/shadowed identifier (warning), call of an undefined process (error) |
 //! | MOD002 | mixed    | 64-bit-overflow-prone expression (warning), assignment definitely out of range (error) |
-//! | MOD003 | error    | `when` guard provably false under range analysis (unreachable branch) |
+//! | MOD003 | warning  | `when` guard provably false under range analysis (unreachable branch) |
 //!
 //! ## Example
 //!
@@ -211,7 +211,7 @@ pub fn rules() -> &'static [Rule] {
         },
         Rule {
             code: "MOD003",
-            severity: Severity::Error,
+            severity: Severity::Warning,
             description: "guard provably false under range analysis (unreachable branch)",
         },
     ];

@@ -141,9 +141,13 @@ fn walk_ranges(p: &Process, decls: &Decls, env: &Env, proc_name: &str, out: &mut
             // the declared ranges (refined by the enclosing guards)
             // satisfies the guard — the branch is semantically dead.
             // Don't descend: findings under an unreachable guard would
-            // be noise.
+            // be noise. A warning, not an error: provably-false guards
+            // are routine in parameter instantiations (`i < N-1` with
+            // N = 1) and the slicing pass exploits them as dead edges,
+            // so they must not block admission by default (matching
+            // TA008 dead-variable).
             if guard_truth(guard, decls, env) == Truth::False {
-                out.push(Diagnostic::error(
+                out.push(Diagnostic::warning(
                     "MOD003",
                     Some(proc_name),
                     "`when` guard is provably false under the declared \
@@ -336,7 +340,7 @@ mod tests {
     }
 
     #[test]
-    fn provably_false_guard_is_an_unreachable_branch_error() {
+    fn provably_false_guard_is_an_unreachable_branch_warning() {
         let mut m = ModestModel::new();
         let a = m.action("a");
         let x = m.decls_mut().int("x", 0, 5);
@@ -350,7 +354,7 @@ mod tests {
         );
         m.system(&["P"]);
         let report = check_modest(&m);
-        assert_eq!(codes(&report), vec![("MOD003", Severity::Error)]);
+        assert_eq!(codes(&report), vec![("MOD003", Severity::Warning)]);
     }
 
     #[test]
@@ -372,7 +376,7 @@ mod tests {
         );
         m.system(&["P"]);
         let report = check_modest(&m);
-        assert_eq!(codes(&report), vec![("MOD003", Severity::Error)]);
+        assert_eq!(codes(&report), vec![("MOD003", Severity::Warning)]);
 
         // The satisfiable nested guard alone is clean.
         let mut m = ModestModel::new();
