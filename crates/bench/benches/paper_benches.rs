@@ -474,6 +474,77 @@ fn p4_flow(c: &mut Criterion) {
     group.finish();
 }
 
+fn p5_rare(c: &mut Criterion) {
+    use tempo_core::cora::PricedNetwork;
+    use tempo_core::rare::{PricedChecker, RareChecker, SplitConfig, SplitMethod};
+    use tempo_core::smc::RatePolicy;
+    use tempo_core::ta::LocationId;
+    use tempo_models::chain;
+
+    let mut group = c.benchmark_group("p5_rare");
+    group.sample_size(10);
+    // The rare-event experiment: fixed-effort vs RESTART on the analytic
+    // 2^-16 chain, and the priced estimator's per-run cost accounting
+    // overhead against the plain SMC estimator on the same batch.
+    let ch = chain(16);
+    let goal = ch.goal();
+    let bound = ch.time_bound();
+    group.bench_function("fixed_effort_chain16", |b| {
+        b.iter(|| {
+            let mut rc = RareChecker::new(&ch.net, RatePolicy::new(), 1);
+            let est = rc.probability(&goal, bound, &SplitConfig::default());
+            assert!(est.lower > 0.0);
+        });
+    });
+    group.bench_function("restart_chain16", |b| {
+        b.iter(|| {
+            let mut rc = RareChecker::new(&ch.net, RatePolicy::new(), 1);
+            let config = SplitConfig {
+                method: SplitMethod::Restart,
+                replications: 64,
+                ..SplitConfig::default()
+            };
+            let est = rc.probability(&goal, bound, &config);
+            assert!(est.p_hat >= 0.0);
+        });
+    });
+    for threads in [1_usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("fixed_effort_chain16_threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut rc =
+                        RareChecker::new(&ch.net, RatePolicy::new(), 1).with_threads(threads);
+                    let est = rc.probability(&goal, bound, &SplitConfig::default());
+                    assert!(est.lower > 0.0);
+                });
+            },
+        );
+    }
+    let small = chain(6);
+    let mut pnet = PricedNetwork::new(small.net.clone());
+    for li in 0..small.net.automata()[small.aut.index()].locations.len() {
+        pnet.set_rate(small.aut, LocationId(li), 1);
+    }
+    group.bench_function("priced_cost_probability_2000", |b| {
+        b.iter(|| {
+            let mut chk = PricedChecker::new(&pnet, RatePolicy::new(), 1);
+            let est =
+                chk.cost_probability(&small.goal(), f64::INFINITY, small.time_bound(), 2000, 0.95);
+            assert!(est.runs == 2000);
+        });
+    });
+    group.bench_function("plain_probability_2000", |b| {
+        b.iter(|| {
+            let mut smc = StatisticalChecker::new(&small.net, RatePolicy::new(), 1);
+            let est = smc.probability(&small.goal(), small.time_bound(), 2000, 0.95);
+            assert!(est.runs == 2000);
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     e1_train_gate_verification,
@@ -490,5 +561,6 @@ criterion_group!(
     p2_parallel_smc,
     p3_svc,
     p4_flow,
+    p5_rare,
 );
 criterion_main!(benches);

@@ -177,9 +177,13 @@ impl PricedNetwork {
     }
 
     /// Statically checks the network before running any cost query:
-    /// the lint rules of `tempo-lint` plus the digital-clocks
-    /// closedness requirements of the underlying explorer. On success
-    /// returns the non-blocking findings (warnings) for display.
+    /// the lint rules of `tempo-lint`, the digital-clocks closedness
+    /// requirements of the underlying explorer, and the price
+    /// assignment itself (rule CORA001: no negative cost rate or edge
+    /// cost — Dijkstra, the UPPAAL-CORA semantics and cost-bounded
+    /// probability queries all assume cost is monotone along a run).
+    /// On success returns the non-blocking findings (warnings) for
+    /// display.
     ///
     /// # Errors
     ///
@@ -195,27 +199,60 @@ impl PricedNetwork {
             let lint: tempo_lint::LintError = e.into();
             report.diagnostics.extend(lint.diagnostics);
         }
+        report.diagnostics.extend(self.lint_prices());
         report.into_result(config)
     }
 
-    /// Sets the cost rate of a location (cost per time unit spent there).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the rate is negative (Dijkstra requires non-negative
-    /// costs, as does UPPAAL-CORA).
+    /// The CORA001 pass over this price assignment: every negative
+    /// location rate or edge cost is an error-level diagnostic. Named
+    /// entries are reported in a deterministic order.
+    #[must_use]
+    pub fn lint_prices(&self) -> Vec<tempo_lint::Diagnostic> {
+        let mut found: Vec<(String, String)> = Vec::new();
+        for (&(a, l), &rate) in &self.rates {
+            if rate < 0 {
+                let automaton = &self.net.automata()[a.index()];
+                found.push((
+                    automaton.name.clone(),
+                    format!(
+                        "location `{}` has negative cost rate {rate}; \
+                         cost-bounded queries assume monotone cost",
+                        automaton.locations[l.index()].name
+                    ),
+                ));
+            }
+        }
+        for (&(a, ei), &cost) in &self.edge_costs {
+            if cost < 0 {
+                found.push((
+                    self.net.automata()[a.index()].name.clone(),
+                    format!(
+                        "edge #{ei} has negative firing cost {cost}; \
+                         cost-bounded queries assume monotone cost"
+                    ),
+                ));
+            }
+        }
+        found.sort();
+        found
+            .into_iter()
+            .map(|(component, msg)| tempo_lint::Diagnostic::error("CORA001", Some(&component), msg))
+            .collect()
+    }
+
+    /// Sets the cost rate of a location (cost per time unit spent
+    /// there). Negative rates are accepted here but rejected by
+    /// [`check_first`](Self::check_first) (rule CORA001): the engines
+    /// assume monotone cost, and a lint refusal beats a panic for
+    /// models built from untrusted input.
     pub fn set_rate(&mut self, a: AutomatonId, l: LocationId, rate: i64) {
-        assert!(rate >= 0, "cost rates must be non-negative");
         self.rates.insert((a, l), rate);
     }
 
     /// Sets the firing cost of edge `edge_index` of automaton `a`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cost is negative.
+    /// Negative costs are accepted here but rejected by
+    /// [`check_first`](Self::check_first) (rule CORA001).
     pub fn set_edge_cost(&mut self, a: AutomatonId, edge_index: usize, cost: i64) {
-        assert!(cost >= 0, "edge costs must be non-negative");
         self.edge_costs.insert((a, edge_index), cost);
     }
 

@@ -79,6 +79,10 @@ pub use tempo_modest as modest;
 /// Resource budgets, graceful exhaustion and run reports shared by all
 /// analysis engines ([`obs::Budget`], [`obs::Outcome`], [`obs::RunReport`]).
 pub use tempo_obs as obs;
+/// Priced statistical model checking and importance-splitting
+/// rare-event simulation (UPPAAL-CORA costs × UPPAAL-SMC runs, `modes`'
+/// rare-event mode).
+pub use tempo_rare as rare;
 /// Stochastic semantics and statistical model checking (UPPAAL-SMC).
 pub use tempo_smc as smc;
 /// Multi-tenant concurrent analysis service with a certified,

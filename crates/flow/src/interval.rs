@@ -610,9 +610,7 @@ mod tests {
         // at their initial [0, 0] — an UNDER-approximation that turns
         // the concretely reachable guard `x_99 == 1` provably false.
         let mut d = Decls::new();
-        let vars: Vec<VarId> = (0..100)
-            .map(|i| d.int(&format!("x{i}"), 0, 1))
-            .collect();
+        let vars: Vec<VarId> = (0..100).map(|i| d.int(&format!("x{i}"), 0, 1)).collect();
         let mut cmds: Vec<Command> = (1..vars.len())
             .rev()
             .map(|k| Command {

@@ -24,6 +24,7 @@
 //! | MOD001 | mixed    | duplicate/shadowed identifier (warning), call of an undefined process (error) |
 //! | MOD002 | mixed    | 64-bit-overflow-prone expression (warning), assignment definitely out of range (error) |
 //! | MOD003 | warning  | `when` guard provably false under range analysis (unreachable branch) |
+//! | CORA001 | error   | negative location cost rate or edge cost on a priced network |
 //!
 //! ## Example
 //!
@@ -213,6 +214,11 @@ pub fn rules() -> &'static [Rule] {
             code: "MOD003",
             severity: Severity::Warning,
             description: "guard provably false under range analysis (unreachable branch)",
+        },
+        Rule {
+            code: "CORA001",
+            severity: Severity::Error,
+            description: "negative location cost rate or edge cost (cost-bounded queries assume monotone cost)",
         },
     ];
     RULES

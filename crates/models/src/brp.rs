@@ -362,6 +362,194 @@ impl Brp {
     }
 }
 
+/// BRP as a plain network of timed automata, with the channel loss
+/// probability encoded structurally for the uniform-choice stochastic
+/// semantics of `tempo-smc`: at each channel's committed `Choice`
+/// location, 49 duplicate "deliver" edges race against 1 "lose" edge,
+/// so a message is lost with probability exactly `1/50 = 0.02` — the
+/// same per-message loss as the MODEST model of [`brp`]. Loss is
+/// signalled to the sender over a `lost` channel (the standard
+/// premium-channel shortcut), so no probability mass hides in timing.
+///
+/// P1 is therefore analytically identical to the MODEST model's:
+/// with per-try failure `q = 1 − 0.98²` a chunk aborts with
+/// probability `q^(MAX+1)`, and
+/// `P1 = 1 − (1 − q^(MAX+1))^N`. That makes this network the SMC side
+/// of the engine-vs-engine differential against `mcpta`'s exact Pmax
+/// on the compiled MODEST BRP.
+#[derive(Debug)]
+pub struct BrpNetwork {
+    /// Number of chunks `N`.
+    pub n: i64,
+    /// Maximum number of retransmissions `MAX`.
+    pub max_retries: i64,
+    /// The network (Sender ∥ ChannelK ∥ Receiver ∥ ChannelL).
+    pub net: tempo_ta::Network,
+    /// The sender automaton.
+    pub sender: tempo_ta::AutomatonId,
+    /// The sender's absorbing failure location (report `NOK` or `DK`).
+    pub failed: tempo_ta::LocationId,
+    /// The sender's absorbing success location (report `OK`).
+    pub done: tempo_ta::LocationId,
+    /// Sender report variable (`report::*`).
+    pub srep: VarId,
+    /// Chunks successfully acknowledged so far.
+    pub i: VarId,
+    /// Retransmissions of the current chunk.
+    pub rc: VarId,
+}
+
+impl BrpNetwork {
+    /// P1: the sender eventually reports no success (`NOK` or `DK`).
+    #[must_use]
+    pub fn p1_goal(&self) -> StateFormula {
+        StateFormula::at(self.sender, self.failed)
+    }
+
+    /// The success state (`srep == OK`).
+    #[must_use]
+    pub fn success(&self) -> StateFormula {
+        StateFormula::at(self.sender, self.done)
+    }
+
+    /// The analytic P1 value (identical to the MODEST model's).
+    #[must_use]
+    pub fn exact_p1(&self) -> f64 {
+        let q: f64 = 1.0 - 0.98 * 0.98;
+        let per_chunk = q.powi(self.max_retries as i32 + 1);
+        1.0 - (1.0 - per_chunk).powi(self.n as i32)
+    }
+
+    /// A time horizon by which every run has reported: each try takes
+    /// at most `2·TD + 2` time units and there are at most
+    /// `N·(MAX+1)` tries, plus slack for the committed cascades.
+    #[must_use]
+    pub fn time_bound(&self, td: i64) -> f64 {
+        (self.n * (self.max_retries + 1) * (2 * td + 2) + 4) as f64
+    }
+}
+
+/// Builds the TA-network BRP with parameters `(N, MAX, TD)`; see
+/// [`BrpNetwork`] for the loss encoding.
+///
+/// # Panics
+///
+/// Panics if any parameter is non-positive.
+#[must_use]
+pub fn brp_network(n: i64, max_retries: i64, td: i64) -> BrpNetwork {
+    assert!(
+        n > 0 && max_retries > 0 && td > 0,
+        "parameters must be positive"
+    );
+    let mut b = tempo_ta::NetworkBuilder::new();
+    let to = 2 * td + 2;
+
+    let sc = b.clock("sc"); // sender timer
+    let kc = b.clock("kc"); // data-channel transit
+    let lc = b.clock("lc"); // ack-channel transit
+
+    let i = b.decls_mut().int("i", 0, n);
+    let rc = b.decls_mut().int("rc", 0, max_retries);
+    let srep = b.decls_mut().int("srep", 0, 3);
+
+    let put = b.channel("put");
+    let get = b.channel("get");
+    let putack = b.channel("putack");
+    let ack = b.channel("ack");
+    let lost = b.channel("lost");
+
+    // Sender: committed dispatch (send next chunk or report), a timed
+    // wait bounded by the timeout, and a committed timeout handler.
+    let mut s = b.automaton("Sender");
+    let next = s.committed_location("Next");
+    let wait = s.location_with_invariant("Wait", vec![ClockAtom::le(sc, to)]);
+    let timeout = s.committed_location("Timeout");
+    let done = s.location("Done");
+    let failed = s.location("Failed");
+    s.edge(next, wait)
+        .guard_data(Expr::var(i).lt(Expr::konst(n)))
+        .send(put)
+        .reset(sc, 0)
+        .update(tempo_expr::Stmt::assign(rc, Expr::konst(0)))
+        .done();
+    s.edge(next, done)
+        .guard_data(Expr::var(i).ge(Expr::konst(n)))
+        .update(tempo_expr::Stmt::assign(srep, Expr::konst(report::OK)))
+        .done();
+    s.edge(wait, next)
+        .recv(ack)
+        .update(tempo_expr::Stmt::assign(i, Expr::var(i) + Expr::konst(1)))
+        .done();
+    s.edge(wait, timeout).recv(lost).done();
+    s.edge(timeout, wait)
+        .guard_data(Expr::var(rc).lt(Expr::konst(max_retries)))
+        .send(put)
+        .reset(sc, 0)
+        .update(tempo_expr::Stmt::assign(rc, Expr::var(rc) + Expr::konst(1)))
+        .done();
+    s.edge(timeout, failed)
+        .guard_data(
+            Expr::var(rc).ge(Expr::konst(max_retries)) & Expr::var(i).lt(Expr::konst(n - 1)),
+        )
+        .update(tempo_expr::Stmt::assign(srep, Expr::konst(report::NOK)))
+        .done();
+    s.edge(timeout, failed)
+        .guard_data(
+            Expr::var(rc).ge(Expr::konst(max_retries)) & Expr::var(i).ge(Expr::konst(n - 1)),
+        )
+        .update(tempo_expr::Stmt::assign(srep, Expr::konst(report::DK)))
+        .done();
+    let sender = s.done();
+
+    // Data channel K: 49 deliver edges vs 1 lose edge at the committed
+    // choice — per-message loss 0.02 under uniform move choice.
+    let mut k = b.automaton("ChannelK");
+    let kidle = k.location("KIdle");
+    let kchoice = k.committed_location("KChoice");
+    let ktransit = k.location_with_invariant("KTransit", vec![ClockAtom::le(kc, td)]);
+    k.edge(kidle, kchoice).recv(put).reset(kc, 0).done();
+    for _ in 0..49 {
+        k.edge(kchoice, ktransit).done();
+    }
+    k.edge(kchoice, kidle).send(lost).done();
+    k.edge(ktransit, kidle).send(get).done();
+    k.done();
+
+    // Receiver: ack every frame immediately (duplicates included).
+    let mut r = b.automaton("Receiver");
+    let ridle = r.location("RIdle");
+    let rack = r.committed_location("RAck");
+    r.edge(ridle, rack).recv(get).done();
+    r.edge(rack, ridle).send(putack).done();
+    r.done();
+
+    // Ack channel L: same 49-vs-1 loss structure.
+    let mut l = b.automaton("ChannelL");
+    let lidle = l.location("LIdle");
+    let lchoice = l.committed_location("LChoice");
+    let ltransit = l.location_with_invariant("LTransit", vec![ClockAtom::le(lc, td)]);
+    l.edge(lidle, lchoice).recv(putack).reset(lc, 0).done();
+    for _ in 0..49 {
+        l.edge(lchoice, ltransit).done();
+    }
+    l.edge(lchoice, lidle).send(lost).done();
+    l.edge(ltransit, lidle).send(ack).done();
+    l.done();
+
+    let net = b.build();
+    BrpNetwork {
+        n,
+        max_retries,
+        net,
+        sender,
+        failed,
+        done,
+        srep,
+        i,
+        rc,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,6 +655,25 @@ mod tests {
         assert!((compressed.pmin(&b.success()) - full.pmin(&b.success())).abs() < 1e-12);
         assert!((compressed.emax_time(&b.done()) - full.emax_time(&b.done())).abs() < 1e-9);
         assert!(compressed.check_invariant(&b.ta1()) && compressed.check_invariant(&b.ta2()));
+    }
+
+    #[test]
+    fn network_brp_smc_estimate_matches_analytic_p1() {
+        // The TA-network encoding must carry exactly the MODEST model's
+        // probability structure: estimate P1 by simulation and check the
+        // confidence interval brackets the closed form (≈ 3.13e-3 for
+        // N = 2, MAX = 1 — large enough for plain Monte Carlo).
+        let b = brp_network(2, 1, 1);
+        let mut smc = tempo_smc::StatisticalChecker::new(&b.net, tempo_smc::RatePolicy::new(), 7);
+        let est = smc.probability(&b.p1_goal(), b.time_bound(1), 20_000, 0.99);
+        let exact = b.exact_p1();
+        assert!(
+            est.lower <= exact && exact <= est.upper,
+            "CI [{}, {}] misses analytic P1 = {exact}",
+            est.lower,
+            est.upper
+        );
+        assert!(est.mean > 0.0, "rare but observable at 20k runs");
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! A rare-event chain: `k` consecutive fair binary choices must all
+//! come out "up" to reach the goal.
+//!
+//! Each stage `L0 … L(k-1)` offers exactly two unguarded internal
+//! edges — one to the next stage, one to the absorbing `Fail` sink —
+//! so under the uniform-choice stochastic semantics of `tempo-smc`
+//! every stage advances with probability exactly `1/2`. The goal
+//! probability is therefore analytic: `P(<> Goal) = 2^-k`, which at
+//! `k = 20` is ≈ `9.54e-7` — the validation oracle for the
+//! importance-splitting engine (ISSUE 9 asks for an exact reference
+//! probability `p ≤ 1e-6`).
+//!
+//! Every stage carries the invariant `x ≤ 1` with `x` reset on both
+//! outgoing edges, so runs take real time (duration ≤ `k`) and the
+//! model prices naturally: a location cost rate on the stages makes
+//! cost-bounded queries (`P[cost ≤ C](<> Goal)`) non-trivial.
+
+use tempo_dbm::Clock;
+use tempo_ta::{AutomatonId, ClockAtom, LocationId, Network, NetworkBuilder, StateFormula};
+
+/// The chain model with its property handles.
+#[derive(Debug)]
+pub struct Chain {
+    /// Number of fair binary stages `k`.
+    pub k: usize,
+    /// The network (one automaton).
+    pub net: Network,
+    /// The single automaton.
+    pub aut: AutomatonId,
+    /// Stage locations `L0 … L(k-1)`, then the goal.
+    pub stages: Vec<LocationId>,
+    /// The goal location (all `k` choices came out "up").
+    pub goal_loc: LocationId,
+    /// The absorbing failure sink.
+    pub fail_loc: LocationId,
+    /// The stage clock (reset on every choice).
+    pub x: Clock,
+}
+
+impl Chain {
+    /// The goal formula `<> Goal`, with analytic probability `2^-k`.
+    #[must_use]
+    pub fn goal(&self) -> StateFormula {
+        StateFormula::at(self.aut, self.goal_loc)
+    }
+
+    /// The analytic goal probability `2^-k`.
+    #[must_use]
+    pub fn exact_probability(&self) -> f64 {
+        0.5_f64.powi(self.k as i32)
+    }
+
+    /// A time bound that every run respects (each stage delays at most
+    /// one time unit).
+    #[must_use]
+    pub fn time_bound(&self) -> f64 {
+        self.k as f64 + 1.0
+    }
+}
+
+/// Builds the `k`-stage chain; `k = 20` gives `p = 2^-20 ≈ 9.5e-7`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > 1000` (the goal probability would
+/// underflow any meaningful estimate).
+#[must_use]
+pub fn chain(k: usize) -> Chain {
+    assert!(k > 0 && k <= 1000, "k must be in 1..=1000");
+    let mut b = NetworkBuilder::new();
+    let x = b.clock("x");
+    let mut a = b.automaton("Chain");
+    let stages: Vec<LocationId> = (0..k)
+        .map(|i| a.location_with_invariant(&format!("L{i}"), vec![ClockAtom::le(x, 1)]))
+        .collect();
+    let goal_loc = a.location("Goal");
+    let fail_loc = a.location("Fail");
+    for (i, &from) in stages.iter().enumerate() {
+        let up = if i + 1 < k { stages[i + 1] } else { goal_loc };
+        a.edge(from, up).reset(x, 0).done();
+        a.edge(from, fail_loc).reset(x, 0).done();
+    }
+    // Absorbing self-loops keep both sinks deadlock-free so runs end at
+    // the time bound, not in a spurious timelock.
+    a.edge(goal_loc, goal_loc)
+        .guard_clock(ClockAtom::ge(x, 0))
+        .done();
+    a.edge(fail_loc, fail_loc)
+        .guard_clock(ClockAtom::ge(x, 0))
+        .done();
+    let aut = a.done();
+    let net = b.build();
+    Chain {
+        k,
+        net,
+        aut,
+        stages,
+        goal_loc,
+        fail_loc,
+        x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_is_built_and_goal_probability_is_analytic() {
+        let c = chain(20);
+        assert_eq!(c.stages.len(), 20);
+        assert!((c.exact_probability() - 9.536_743_164_062_5e-7).abs() < 1e-18);
+        assert!(c.exact_probability() <= 1e-6);
+    }
+
+    #[test]
+    fn chain_goal_is_reachable_and_fail_absorbing() {
+        let c = chain(5);
+        let mut mc = tempo_ta::ModelChecker::new(&c.net);
+        assert!(mc.reachable(&c.goal()).reachable);
+        let mut mc = tempo_ta::ModelChecker::new(&c.net);
+        assert!(
+            mc.reachable(&StateFormula::at(c.aut, c.fail_loc)).reachable,
+            "fail sink reachable"
+        );
+    }
+}

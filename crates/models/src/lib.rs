@@ -19,12 +19,14 @@
 #![warn(missing_docs)]
 
 pub mod brp;
+pub mod chain;
 pub mod dala;
 pub mod train_gate;
 pub mod vending;
 pub mod wcet;
 
-pub use brp::{brp, Brp};
+pub use brp::{brp, brp_network, Brp, BrpNetwork};
+pub use chain::{chain, Chain};
 pub use dala::{dala, Dala};
 pub use train_gate::{train_gate, train_gate_game, TrainGate, TrainGateGame, TrainLocs};
 pub use wcet::{wcet_program, WcetProgram};

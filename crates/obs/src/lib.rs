@@ -362,6 +362,15 @@ pub struct RunReport {
     /// Edges disabled by slicing (synchronization-dead or with a guard
     /// proven empty by range analysis).
     pub sliced_edges: u64,
+    /// Importance-splitting levels between the initial state and the
+    /// goal (`0` for engines that do not split).
+    pub splitting_levels: u64,
+    /// Split trajectories spawned from stored level-entry states
+    /// (fixed-effort restarts beyond the first stage, RESTART clones).
+    pub splits_spawned: u64,
+    /// Total trajectory segments simulated across all splitting stages,
+    /// including the naive-MC case where it equals `runs_simulated`.
+    pub runs_total: u64,
 }
 
 impl RunReport {
@@ -398,6 +407,9 @@ impl RunReport {
         self.sliced_clocks = self.sliced_clocks.max(other.sliced_clocks);
         self.sliced_vars = self.sliced_vars.max(other.sliced_vars);
         self.sliced_edges = self.sliced_edges.max(other.sliced_edges);
+        self.splitting_levels = self.splitting_levels.max(other.splitting_levels);
+        self.splits_spawned += other.splits_spawned;
+        self.runs_total += other.runs_total;
     }
 
     /// Renders the report as one machine-readable line for persistence
@@ -408,7 +420,7 @@ impl RunReport {
     #[must_use]
     pub fn render_line(&self) -> String {
         format!(
-            "v2 {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+            "v3 {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
             self.states_explored,
             self.states_stored,
             self.peak_waiting,
@@ -431,6 +443,9 @@ impl RunReport {
             self.sliced_clocks,
             self.sliced_vars,
             self.sliced_edges,
+            self.splitting_levels,
+            self.splits_spawned,
+            self.runs_total,
         )
     }
 
@@ -438,15 +453,18 @@ impl RunReport {
     /// any defect (wrong version, missing or non-numeric field) — the
     /// caller treats the line as absent, never as a partial report.
     /// Accepts the legacy `v1` layout (written before the dataflow-pass
-    /// counters existed) with the five flow fields read as zero, so old
-    /// disk-cache entries keep validating.
+    /// counters existed) with the five flow fields read as zero, and the
+    /// legacy `v2` layout (before the splitting counters) with the three
+    /// splitting fields read as zero, so old disk-cache entries keep
+    /// validating.
     #[must_use]
     pub fn parse_line(line: &str) -> Option<RunReport> {
         let mut parts = line.split_ascii_whitespace();
         let version = parts.next()?;
-        let has_flow = match version {
-            "v1" => false,
-            "v2" => true,
+        let (has_flow, has_splitting) = match version {
+            "v1" => (false, false),
+            "v2" => (true, false),
+            "v3" => (true, true),
             _ => return None,
         };
         let mut next_u64 = || parts.next()?.parse::<u64>().ok();
@@ -476,6 +494,11 @@ impl RunReport {
             report.sliced_clocks = next_u64()?;
             report.sliced_vars = next_u64()?;
             report.sliced_edges = next_u64()?;
+        }
+        if has_splitting {
+            report.splitting_levels = next_u64()?;
+            report.splits_spawned = next_u64()?;
+            report.runs_total = next_u64()?;
         }
         if parts.next().is_some() {
             return None;
@@ -540,6 +563,13 @@ impl fmt::Display for RunReport {
                 f,
                 ", sliced {} clock(s) / {} var(s) / {} edge(s)",
                 self.sliced_clocks, self.sliced_vars, self.sliced_edges
+            )?;
+        }
+        if self.splitting_levels > 0 || self.splits_spawned > 0 {
+            write!(
+                f,
+                ", splitting {} level(s), {} split(s), {} segment(s)",
+                self.splitting_levels, self.splits_spawned, self.runs_total
             )?;
         }
         Ok(())
@@ -1271,6 +1301,9 @@ mod tests {
             sliced_clocks: 1,
             sliced_vars: 4,
             sliced_edges: 6,
+            splitting_levels: 12,
+            splits_spawned: 300,
+            runs_total: 450,
         };
         let b = RunReport {
             states_explored: 1,
@@ -1295,6 +1328,9 @@ mod tests {
             sliced_clocks: 2,
             sliced_vars: 3,
             sliced_edges: 5,
+            splitting_levels: 7,
+            splits_spawned: 40,
+            runs_total: 90,
         };
         let mut merged = a.clone();
         merged.merge(&b);
@@ -1338,6 +1374,12 @@ mod tests {
         assert_eq!(merged.sliced_clocks, 2);
         assert_eq!(merged.sliced_vars, 4);
         assert_eq!(merged.sliced_edges, 6);
+        // Splitting: the level count is a per-query analysis fact
+        // (maxed); spawned splits and simulated segments are work
+        // performed (summed).
+        assert_eq!(merged.splitting_levels, 12);
+        assert_eq!(merged.splits_spawned, a.splits_spawned + b.splits_spawned);
+        assert_eq!(merged.runs_total, a.runs_total + b.runs_total);
         // Merging zero is the identity.
         let mut same = a.clone();
         same.merge(&RunReport::default());
@@ -1345,7 +1387,7 @@ mod tests {
     }
 
     #[test]
-    fn run_report_line_round_trips_and_accepts_legacy_v1() {
+    fn run_report_line_round_trips_and_accepts_legacy_versions() {
         let report = RunReport {
             states_explored: 11,
             states_stored: 7,
@@ -1355,10 +1397,13 @@ mod tests {
             sliced_clocks: 2,
             sliced_vars: 1,
             sliced_edges: 9,
+            splitting_levels: 6,
+            splits_spawned: 120,
+            runs_total: 240,
             ..RunReport::default()
         };
         let line = report.render_line();
-        assert!(line.starts_with("v2 "));
+        assert!(line.starts_with("v3 "));
         assert_eq!(RunReport::parse_line(&line), Some(report));
         // Legacy v1 lines (17 fields, no flow counters) still parse,
         // with the flow counters read as zero.
@@ -1368,9 +1413,17 @@ mod tests {
         assert_eq!(parsed.spill_faults, 17);
         assert_eq!(parsed.lu_tightened, 0);
         assert_eq!(parsed.sliced_edges, 0);
-        // Defects: unknown version, truncated v2, trailing garbage.
-        assert_eq!(RunReport::parse_line("v3 1 2"), None);
-        assert_eq!(RunReport::parse_line(&line[..line.len() - 2]), None);
+        // Legacy v2 lines (22 fields, no splitting counters) parse with
+        // the splitting counters read as zero.
+        let legacy = "v2 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22";
+        let parsed = RunReport::parse_line(legacy).expect("v2 parses");
+        assert_eq!(parsed.sliced_edges, 22);
+        assert_eq!(parsed.splitting_levels, 0);
+        assert_eq!(parsed.runs_total, 0);
+        // Defects: unknown version, truncated v3, trailing garbage.
+        assert_eq!(RunReport::parse_line("v4 1 2"), None);
+        let truncated = line.rsplit_once(' ').expect("fields").0;
+        assert_eq!(RunReport::parse_line(truncated), None);
         assert_eq!(RunReport::parse_line(&format!("{line} 99")), None);
     }
 

@@ -1,0 +1,362 @@
+//! Compile-time distance-to-goal scoring: the importance function that
+//! drives level placement for the splitting engines.
+//!
+//! The score of a concrete state is a sum of integer progress terms
+//! derived statically from the network and the goal formula:
+//!
+//! * **Location distance** — for every automaton named by an `At` atom
+//!   of the goal, a reverse breadth-first search from the goal
+//!   locations over the (sliced) edge relation assigns each location
+//!   its edge distance to the goal; the term is how much closer the
+//!   automaton's current location is than its initial one.
+//! * **Milestone atoms** — variable-versus-constant comparisons
+//!   harvested from the goal formula's data atoms and from the data
+//!   guards of edges that enter a goal location (`rc >= MAX` on BRP's
+//!   abort edge, for instance). Each contributes the number of integer
+//!   steps the variable has moved from its initial value toward the
+//!   threshold, so progress inside a location loop is visible.
+//!
+//! The search runs on the query-independent slice of the network
+//! ([`tempo_ta::slice`]): provably disabled edges are inert self-loops
+//! there, so they add no spurious shortcuts to the distance field.
+//!
+//! The score is a *heuristic*: the splitting estimators never rely on
+//! it for correctness (the final level is the goal predicate itself),
+//! only for variance reduction. A score of constant `0` degrades
+//! splitting to naive Monte Carlo, nothing worse.
+
+use tempo_expr::{BinOp, Expr, VarId};
+use tempo_smc::ConcreteState;
+use tempo_ta::{Network, StateFormula};
+
+/// An integer progress term over one variable: distance-to-threshold
+/// that shrinks as the variable moves toward `target`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Milestone {
+    var: VarId,
+    /// The value at which the comparison becomes satisfied.
+    target: i64,
+    /// `true` when progress means increasing the variable.
+    ascending: bool,
+    /// Distance of the initial store from the target (always `> 0`).
+    initial_distance: i64,
+}
+
+impl Milestone {
+    fn distance(&self, v: i64) -> i64 {
+        if self.ascending {
+            (self.target - v).max(0)
+        } else {
+            (v - self.target).max(0)
+        }
+    }
+
+    /// Progress covered so far: initial distance minus current distance
+    /// (negative when the variable moved away from the threshold).
+    fn progress(&self, v: i64) -> i64 {
+        self.initial_distance - self.distance(v)
+    }
+}
+
+/// The static importance function for a `(network, goal)` pair; see the
+/// module documentation for its construction.
+#[derive(Debug, Clone)]
+pub struct GoalScore {
+    /// Per automaton, per location: progress contribution
+    /// (`dist(initial) - dist(loc)`); all zero for automata the goal
+    /// does not mention.
+    loc_score: Vec<Vec<i64>>,
+    milestones: Vec<Milestone>,
+    /// The maximum attainable sum (`score` of a state that is at every
+    /// goal location with every milestone satisfied).
+    max_score: i64,
+}
+
+impl GoalScore {
+    /// Builds the importance function for `goal` over `net`.
+    #[must_use]
+    pub fn new(net: &Network, goal: &StateFormula) -> GoalScore {
+        let sliced = tempo_ta::slice(net);
+        let base = &sliced.net;
+        let mut goal_locs: Vec<Vec<bool>> = base
+            .automata()
+            .iter()
+            .map(|a| vec![false; a.locations.len()])
+            .collect();
+        collect_goal_locs(goal, &mut goal_locs);
+
+        let init = net.decls().initial_store();
+        let mut milestones: Vec<Milestone> = Vec::new();
+        let mut push = |e: &Expr| {
+            for m in harvest_comparisons(e) {
+                let initial_distance = m_distance(&m, init.get(m.0));
+                let ms = Milestone {
+                    var: m.0,
+                    target: m.1,
+                    ascending: m.2,
+                    initial_distance,
+                };
+                if initial_distance > 0 && !milestones.contains(&ms) {
+                    milestones.push(ms);
+                }
+            }
+        };
+        collect_goal_exprs(goal, &mut push);
+        for (ai, a) in base.automata().iter().enumerate() {
+            for e in &a.edges {
+                if goal_locs[ai][e.to.index()] && e.from != e.to {
+                    push(&e.guard_data);
+                }
+            }
+        }
+
+        let mut loc_score = Vec::with_capacity(base.automata().len());
+        let mut max_score = 0_i64;
+        for (ai, a) in base.automata().iter().enumerate() {
+            if !goal_locs[ai].iter().any(|&g| g) {
+                loc_score.push(vec![0; a.locations.len()]);
+                continue;
+            }
+            let dist = reverse_bfs(a, &goal_locs[ai]);
+            let d0 = dist[a.initial.index()];
+            let unreachable = a.locations.len();
+            let scores: Vec<i64> = dist
+                .iter()
+                .map(|&d| {
+                    if d == usize::MAX {
+                        // Cannot reach the goal from here at all: worse
+                        // than any reachable location.
+                        -(unreachable as i64)
+                    } else {
+                        d0_sat(d0) - d as i64
+                    }
+                })
+                .collect();
+            max_score += d0_sat(d0);
+            loc_score.push(scores);
+        }
+        max_score += milestones.iter().map(|m| m.initial_distance).sum::<i64>();
+        GoalScore {
+            loc_score,
+            milestones,
+            max_score,
+        }
+    }
+
+    /// The importance of a concrete state; the initial state scores `0`.
+    #[must_use]
+    pub fn score(&self, state: &ConcreteState) -> i64 {
+        let locs: i64 = state
+            .locs
+            .iter()
+            .zip(&self.loc_score)
+            .map(|(l, s)| s[l.index()])
+            .sum();
+        let vars: i64 = self
+            .milestones
+            .iter()
+            .map(|m| m.progress(state.store.get(m.var)))
+            .sum();
+        locs + vars
+    }
+
+    /// The maximum attainable score.
+    #[must_use]
+    pub fn max_score(&self) -> i64 {
+        self.max_score
+    }
+
+    /// Evenly spaced level thresholds over `(0, max_score]`, at most
+    /// `max_levels` of them and always ending at `max_score`. Empty when
+    /// the model offers no static gradient (`max_score == 0`), in which
+    /// case splitting degrades to naive Monte Carlo.
+    #[must_use]
+    pub fn thresholds(&self, max_levels: usize) -> Vec<i64> {
+        if self.max_score <= 0 || max_levels == 0 {
+            return Vec::new();
+        }
+        let stride = (self.max_score as usize).div_ceil(max_levels) as i64;
+        let mut out: Vec<i64> = (1..)
+            .map(|k| k * stride)
+            .take_while(|&t| t < self.max_score)
+            .collect();
+        out.push(self.max_score);
+        out
+    }
+}
+
+/// Initial distance clamped at `>= 0` (the initial location can itself
+/// be a goal location, giving distance 0 and no gradient).
+fn d0_sat(d0: usize) -> i64 {
+    if d0 == usize::MAX {
+        0
+    } else {
+        d0 as i64
+    }
+}
+
+fn collect_goal_locs(f: &StateFormula, out: &mut [Vec<bool>]) {
+    match f {
+        StateFormula::At(a, l) => out[a.index()][l.index()] = true,
+        StateFormula::And(gs) | StateFormula::Or(gs) => {
+            for g in gs {
+                collect_goal_locs(g, out);
+            }
+        }
+        // Negated locations are avoidance targets, not progress.
+        StateFormula::Not(_)
+        | StateFormula::True
+        | StateFormula::False
+        | StateFormula::Data(_)
+        | StateFormula::Clock(_) => {}
+    }
+}
+
+fn collect_goal_exprs(f: &StateFormula, push: &mut impl FnMut(&Expr)) {
+    match f {
+        StateFormula::Data(e) => push(e),
+        StateFormula::And(gs) | StateFormula::Or(gs) => {
+            for g in gs {
+                collect_goal_exprs(g, push);
+            }
+        }
+        StateFormula::Not(_)
+        | StateFormula::True
+        | StateFormula::False
+        | StateFormula::At(..)
+        | StateFormula::Clock(_) => {}
+    }
+}
+
+/// Distance of `v` from the milestone target `(var, target, ascending)`.
+fn m_distance(m: &(VarId, i64, bool), v: i64) -> i64 {
+    if m.2 {
+        (m.1 - v).max(0)
+    } else {
+        (v - m.1).max(0)
+    }
+}
+
+/// Extracts `(var, target, ascending)` triples from variable-versus-
+/// constant comparisons, recursing through conjunctions and
+/// disjunctions. Equality picks the direction from nowhere — both
+/// directions are emitted and the zero-initial-distance one is dropped
+/// by the caller.
+fn harvest_comparisons(e: &Expr) -> Vec<(VarId, i64, bool)> {
+    let mut out = Vec::new();
+    walk(e, &mut out);
+    out
+}
+
+fn walk(e: &Expr, out: &mut Vec<(VarId, i64, bool)>) {
+    let Expr::Binary(op, lhs, rhs) = e else {
+        return;
+    };
+    match op {
+        BinOp::And | BinOp::Or => {
+            walk(lhs, out);
+            walk(rhs, out);
+        }
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq => {
+            // Normalize to `var <op> const`.
+            let (var, c, op) = match (&**lhs, &**rhs) {
+                (Expr::Var(v), Expr::Const(c)) => (*v, *c, *op),
+                (Expr::Const(c), Expr::Var(v)) => (*v, *c, flip(*op)),
+                _ => return,
+            };
+            match op {
+                BinOp::Ge => out.push((var, c, true)),
+                BinOp::Gt => out.push((var, c + 1, true)),
+                BinOp::Le => out.push((var, c, false)),
+                BinOp::Lt => out.push((var, c - 1, false)),
+                BinOp::Eq => {
+                    out.push((var, c, true));
+                    out.push((var, c, false));
+                }
+                _ => unreachable!("filtered above"),
+            }
+        }
+        _ => {}
+    }
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+/// Multi-source reverse BFS over an automaton's edge relation (guards
+/// ignored): `dist[l]` is the minimum number of edges from `l` to any
+/// goal location, `usize::MAX` when unreachable.
+fn reverse_bfs(a: &tempo_ta::Automaton, goals: &[bool]) -> Vec<usize> {
+    let n = a.locations.len();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in &a.edges {
+        if e.from != e.to {
+            preds[e.to.index()].push(e.from.index());
+        }
+    }
+    let mut dist = vec![usize::MAX; n];
+    let mut queue: Vec<usize> = (0..n).filter(|&l| goals[l]).collect();
+    for &g in &queue {
+        dist[g] = 0;
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let l = queue[head];
+        head += 1;
+        for &p in &preds[l] {
+            if dist[p] == usize::MAX {
+                dist[p] = dist[l] + 1;
+                queue.push(p);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_smc::{RatePolicy, Simulator};
+
+    #[test]
+    fn chain_score_counts_stages() {
+        let c = tempo_models::chain(8);
+        let gs = GoalScore::new(&c.net, &c.goal());
+        assert_eq!(gs.max_score(), 8);
+        assert_eq!(gs.thresholds(32), (1..=8).collect::<Vec<i64>>());
+        let sim = Simulator::new(&c.net, RatePolicy::new(), 1);
+        assert_eq!(gs.score(&sim.initial_state()), 0);
+    }
+
+    #[test]
+    fn chain_thresholds_merge_to_cap() {
+        let c = tempo_models::chain(40);
+        let gs = GoalScore::new(&c.net, &c.goal());
+        let ts = gs.thresholds(10);
+        assert!(ts.len() <= 10, "{ts:?}");
+        assert_eq!(*ts.last().unwrap(), 40);
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn brp_score_has_location_and_milestone_gradient() {
+        let b = tempo_models::brp_network(2, 4, 1);
+        let gs = GoalScore::new(&b.net, &b.p1_goal());
+        // Sender location distance (Next -> Wait -> Timeout -> Failed)
+        // plus the `rc >= MAX` retransmission milestone.
+        assert!(
+            gs.max_score() >= 5,
+            "expected location + rc gradient, got {}",
+            gs.max_score()
+        );
+        let sim = Simulator::new(&b.net, RatePolicy::new(), 1);
+        assert_eq!(gs.score(&sim.initial_state()), 0);
+    }
+}

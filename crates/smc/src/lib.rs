@@ -25,6 +25,6 @@ mod stats;
 pub use checker::{StatisticalChecker, DEFAULT_MAX_STEPS};
 pub use sim::{ConcreteState, RatePolicy, Run, RunStep, Simulator};
 pub use stats::{
-    chernoff_runs, estimate, estimate_mean, EmpiricalCdf, Estimate, MeanEstimate, Sprt, StatsError,
-    TestVerdict,
+    chernoff_runs, estimate, estimate_mean, wald_interval, wilson_interval, EmpiricalCdf, Estimate,
+    MeanEstimate, Sprt, StatsError, TestVerdict,
 };

@@ -61,6 +61,12 @@ pub struct RunStep {
     pub delay: f64,
     /// A label describing the action (channel or `tau`).
     pub label: String,
+    /// The `(automaton, edge, selects)` triples of the joint move that
+    /// fired (sender first for synchronizations). Empty for pure delay
+    /// steps, and for runs parsed back from a certificate — the
+    /// independent replayer re-derives the move from the label instead
+    /// of trusting this field.
+    pub participants: Vec<(usize, usize, Vec<i64>)>,
     /// The state reached after the action.
     pub state: ConcreteState,
 }
@@ -256,6 +262,23 @@ impl<'n> Simulator<'n> {
     /// actions, whichever comes first.
     pub fn simulate(&mut self, time_bound: f64, max_steps: usize) -> Run {
         let initial = self.initial_state();
+        self.simulate_from(initial, time_bound, max_steps)
+    }
+
+    /// Simulates one run starting from an arbitrary concrete state,
+    /// continuing until the *absolute* horizon `time_bound` (compared
+    /// against `start.time`, which need not be zero) or `max_steps`
+    /// actions. The importance-splitting engine uses this to continue
+    /// trajectories from stored level-entry states; appending the
+    /// returned steps to the prefix that produced `start` yields a legal
+    /// run of the network from its initial state.
+    pub fn simulate_from(
+        &mut self,
+        start: ConcreteState,
+        time_bound: f64,
+        max_steps: usize,
+    ) -> Run {
+        let initial = start;
         let mut state = initial.clone();
         let mut steps = Vec::new();
         let mut deadlocked = false;
@@ -264,7 +287,12 @@ impl<'n> Simulator<'n> {
                 break;
             }
             match self.step(&state, time_bound - state.time) {
-                StepOutcome::Action { delay, label, next } => {
+                StepOutcome::Action {
+                    delay,
+                    label,
+                    participants,
+                    next,
+                } => {
                     if state.time + delay > time_bound {
                         // The property horizon is reached during the delay.
                         let mut cut = state.clone();
@@ -273,6 +301,7 @@ impl<'n> Simulator<'n> {
                         steps.push(RunStep {
                             delay: d,
                             label: "delay".to_owned(),
+                            participants: Vec::new(),
                             state: cut,
                         });
                         break;
@@ -280,6 +309,7 @@ impl<'n> Simulator<'n> {
                     steps.push(RunStep {
                         delay,
                         label,
+                        participants,
                         state: next.clone(),
                     });
                     state = next;
@@ -291,6 +321,7 @@ impl<'n> Simulator<'n> {
                     steps.push(RunStep {
                         delay,
                         label: "delay".to_owned(),
+                        participants: Vec::new(),
                         state: next,
                     });
                     break;
@@ -373,10 +404,11 @@ impl<'n> Simulator<'n> {
                 .collect();
             let moves = if winners.is_empty() { all } else { winners };
             if !moves.is_empty() {
-                if let Some((label, next)) = self.pick(&moves, &advanced) {
+                if let Some((label, participants, next)) = self.pick(&moves, &advanced) {
                     return StepOutcome::Action {
                         delay: total_delay + delay,
                         label,
+                        participants,
                         next,
                     };
                 }
@@ -395,10 +427,15 @@ impl<'n> Simulator<'n> {
         }
     }
 
-    fn pick(&mut self, moves: &[Move], state: &ConcreteState) -> Option<(String, ConcreteState)> {
+    #[allow(clippy::type_complexity)]
+    fn pick(
+        &mut self,
+        moves: &[Move],
+        state: &ConcreteState,
+    ) -> Option<(String, Vec<(usize, usize, Vec<i64>)>, ConcreteState)> {
         let mv = &moves[self.rng.gen_range(0..moves.len())];
         let next = self.apply(state, mv)?;
-        Some((mv.label.clone(), next))
+        Some((mv.label.clone(), mv.participants.clone(), next))
     }
 
     /// The maximum delay automaton `ai` may take before violating its own
@@ -596,6 +633,7 @@ enum StepOutcome {
     Action {
         delay: f64,
         label: String,
+        participants: Vec<(usize, usize, Vec<i64>)>,
         next: ConcreteState,
     },
     /// Nothing fired before the time budget ran out; `next` is the state

@@ -93,13 +93,32 @@ impl fmt::Display for MeanEstimate {
 }
 
 /// Computes an [`Estimate`] from Bernoulli outcomes using the Wilson
-/// score interval at the given confidence level.
+/// score interval at the given confidence level. Alias of
+/// [`wilson_interval`], kept as the default CI construction of every
+/// probability-estimating engine.
 ///
 /// # Errors
 ///
 /// Returns [`StatsError::NoRuns`] if `runs == 0` and
 /// [`StatsError::InvalidConfidence`] if `confidence` is not in `(0, 1)`.
 pub fn estimate(successes: usize, runs: usize, confidence: f64) -> Result<Estimate, StatsError> {
+    wilson_interval(successes, runs, confidence)
+}
+
+/// The Wilson score interval: inverts the normal test on the *score*
+/// scale, so the interval stays inside `[0, 1]`, never collapses to a
+/// point at 0 or n successes, and keeps close-to-nominal coverage for
+/// the extreme proportions rare-event estimation produces.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NoRuns`] if `runs == 0` and
+/// [`StatsError::InvalidConfidence`] if `confidence` is not in `(0, 1)`.
+pub fn wilson_interval(
+    successes: usize,
+    runs: usize,
+    confidence: f64,
+) -> Result<Estimate, StatsError> {
     if runs == 0 {
         return Err(StatsError::NoRuns);
     }
@@ -116,6 +135,42 @@ pub fn estimate(successes: usize, runs: usize, confidence: f64) -> Result<Estima
         mean: p,
         lower: (center - half).max(0.0),
         upper: (center + half).min(1.0),
+        runs,
+        successes,
+        confidence,
+    })
+}
+
+/// The Wald (normal-approximation) interval `p̂ ± z·√(p̂(1−p̂)/n)`,
+/// provided for comparison only: at rare-event proportions it
+/// degenerates — zero observed successes give the empty interval
+/// `[0, 0]`, claiming certainty after finitely many runs. The
+/// regression tests pin both constructions side by side; engines use
+/// [`wilson_interval`].
+///
+/// # Errors
+///
+/// Returns [`StatsError::NoRuns`] if `runs == 0` and
+/// [`StatsError::InvalidConfidence`] if `confidence` is not in `(0, 1)`.
+pub fn wald_interval(
+    successes: usize,
+    runs: usize,
+    confidence: f64,
+) -> Result<Estimate, StatsError> {
+    if runs == 0 {
+        return Err(StatsError::NoRuns);
+    }
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(StatsError::InvalidConfidence(confidence));
+    }
+    let n = runs as f64;
+    let p = successes as f64 / n;
+    let z = z_quantile(1.0 - (1.0 - confidence) / 2.0);
+    let half = z * (p * (1.0 - p) / n).sqrt();
+    Ok(Estimate {
+        mean: p,
+        lower: (p - half).max(0.0),
+        upper: (p + half).min(1.0),
         runs,
         successes,
         confidence,
@@ -369,6 +424,33 @@ mod tests {
         assert!((e.mean - 0.3).abs() < 1e-12);
         assert!(e.lower < 0.3 && 0.3 < e.upper);
         assert!(e.lower > 0.2 && e.upper < 0.42);
+    }
+
+    #[test]
+    fn wilson_and_wald_pinned_on_known_bernoulli_sample() {
+        // 30/100 successes at 95%: textbook values for both intervals.
+        // Wilson: center (p + z²/2n)/(1 + z²/n), half-width per
+        // Wilson (1927); Wald: p ± 1.96·√(0.3·0.7/100).
+        let wilson = wilson_interval(30, 100, 0.95).unwrap();
+        assert!((wilson.lower - 0.218_94).abs() < 5e-4, "{}", wilson.lower);
+        assert!((wilson.upper - 0.395_86).abs() < 5e-4, "{}", wilson.upper);
+        let wald = wald_interval(30, 100, 0.95).unwrap();
+        assert!((wald.lower - 0.210_18).abs() < 5e-4, "{}", wald.lower);
+        assert!((wald.upper - 0.389_82).abs() < 5e-4, "{}", wald.upper);
+        // `estimate` is the Wilson construction.
+        assert_eq!(estimate(30, 100, 0.95).unwrap(), wilson);
+
+        // Rare-event regime: 0 successes in 10⁶ runs of a p ≈ 1e-9
+        // property. Wald collapses to the empty interval [0, 0] —
+        // certainty after a million runs is visibly wrong. Wilson keeps
+        // a non-degenerate upper bound ≈ z²/(n + z²) ≈ 3.8e-6 that
+        // still covers the true probability.
+        let wald = wald_interval(0, 1_000_000, 0.95).unwrap();
+        assert_eq!((wald.lower, wald.upper), (0.0, 0.0));
+        let wilson = wilson_interval(0, 1_000_000, 0.95).unwrap();
+        assert_eq!(wilson.lower, 0.0);
+        assert!(wilson.upper > 1e-9, "Wilson must still cover p ≈ 1e-9");
+        assert!((wilson.upper - 3.84e-6).abs() < 2e-7, "{}", wilson.upper);
     }
 
     #[test]

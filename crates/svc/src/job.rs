@@ -13,6 +13,7 @@ use tempo_obs::{
     Budget, ExhaustionReason, ExploreConfig, Fingerprint, LintError, Outcome, RunReport,
     StableDigest, StableHasher,
 };
+use tempo_rare::{certified_cost_probability, certified_splitting_probability, SplitConfig};
 use tempo_smc::{Estimate, RatePolicy};
 use tempo_ta::{Network, StateFormula};
 use tempo_witness::certify::{self, Certificate, GameObjective};
@@ -89,6 +90,44 @@ pub enum JobKind {
         /// Confidence level (e.g. `0.95`).
         confidence: f64,
     },
+    /// Cost-bounded probability estimation on a priced network
+    /// (`Pr[cost <= cost_bound, time <= bound](<> goal)`).
+    PricedSmc {
+        /// The priced network under simulation.
+        pnet: Arc<PricedNetwork>,
+        /// Exit-rate policy for stochastic delays.
+        rates: RatePolicy,
+        /// Simulation seed (part of the cache key).
+        seed: u64,
+        /// The goal formula.
+        goal: StateFormula,
+        /// Accumulated-cost bound per run.
+        cost_bound: f64,
+        /// Time bound per run.
+        bound: f64,
+        /// Number of runs requested.
+        runs: usize,
+        /// Confidence level.
+        confidence: f64,
+    },
+    /// Rare-event probability estimation by importance splitting
+    /// (`Pr[<=bound](<> goal)` for goals far below naive Monte Carlo's
+    /// resolution).
+    RareEvent {
+        /// The network under simulation.
+        net: Arc<Network>,
+        /// Exit-rate policy for stochastic delays.
+        rates: RatePolicy,
+        /// Simulation seed (part of the cache key).
+        seed: u64,
+        /// The goal formula.
+        goal: StateFormula,
+        /// Time bound per run.
+        bound: f64,
+        /// Splitting-engine configuration (part of the cache key: a
+        /// different effort or method is a different experiment).
+        config: SplitConfig,
+    },
     /// Quantitative reachability on an explicit MDP (value iteration).
     MdpReach {
         /// The MDP under analysis.
@@ -133,6 +172,8 @@ impl JobKind {
             JobKind::ReachGame { .. } => "tiga-reach-game",
             JobKind::SafetyGame { .. } => "tiga-safety-game",
             JobKind::Probability { .. } => "smc-probability",
+            JobKind::PricedSmc { .. } => "smc-priced",
+            JobKind::RareEvent { .. } => "rare-splitting",
             JobKind::MdpReach { .. } => "mdp-reach",
             JobKind::McptaReach { .. } => "mcpta-reach",
             JobKind::BipDeadlock { .. } => "bip-deadlock",
@@ -157,11 +198,13 @@ impl JobKind {
             JobKind::Reach { net, .. } | JobKind::LeadsTo { net, .. } => {
                 tempo_lint::check_network_first(net, &config).map(drop)
             }
-            JobKind::MinCost { pnet, .. } => pnet.check_first(&config).map(drop),
+            JobKind::MinCost { pnet, .. } | JobKind::PricedSmc { pnet, .. } => {
+                pnet.check_first(&config).map(drop)
+            }
             JobKind::ReachGame { net, .. } | JobKind::SafetyGame { net, .. } => {
                 tempo_tiga::GameSolver::check_first(net, &config).map(drop)
             }
-            JobKind::Probability { net, .. } => {
+            JobKind::Probability { net, .. } | JobKind::RareEvent { net, .. } => {
                 tempo_smc::StatisticalChecker::check_first(net, &config).map(drop)
             }
             JobKind::MdpReach { .. } | JobKind::McptaReach { .. } => Ok(()),
@@ -222,6 +265,40 @@ impl JobKind {
                 h.write_usize(*runs);
                 h.write_f64(*confidence);
             }
+            JobKind::PricedSmc {
+                pnet,
+                rates,
+                seed,
+                goal,
+                cost_bound,
+                bound,
+                runs,
+                confidence,
+            } => {
+                pnet.digest(&mut h);
+                rates.digest(&mut h);
+                h.write_u64(*seed);
+                goal.digest(&mut h);
+                h.write_f64(*cost_bound);
+                h.write_f64(*bound);
+                h.write_usize(*runs);
+                h.write_f64(*confidence);
+            }
+            JobKind::RareEvent {
+                net,
+                rates,
+                seed,
+                goal,
+                bound,
+                config,
+            } => {
+                net.digest(&mut h);
+                rates.digest(&mut h);
+                h.write_u64(*seed);
+                goal.digest(&mut h);
+                h.write_f64(*bound);
+                digest_split_config(config, &mut h);
+            }
             JobKind::MdpReach {
                 mdp,
                 opt,
@@ -258,7 +335,10 @@ impl JobKind {
     pub fn persists_to_disk(&self) -> bool {
         !matches!(
             self,
-            JobKind::Probability { .. } | JobKind::BipDeadlock { .. }
+            JobKind::Probability { .. }
+                | JobKind::PricedSmc { .. }
+                | JobKind::RareEvent { .. }
+                | JobKind::BipDeadlock { .. }
         )
     }
 
@@ -347,6 +427,80 @@ impl JobKind {
                     verdict: JobVerdict::Probability(est),
                     report,
                     certificate: Some(Certificate::Runs(cert)),
+                })
+            }
+            JobKind::PricedSmc {
+                pnet,
+                rates,
+                seed,
+                goal,
+                cost_bound,
+                bound,
+                runs,
+                confidence,
+            } => {
+                let (out, cert) = certified_cost_probability(
+                    pnet,
+                    rates,
+                    *seed,
+                    goal,
+                    *cost_bound,
+                    *bound,
+                    *runs,
+                    *confidence,
+                    WITNESS_RUNS.min(*runs),
+                    budget,
+                )
+                .map_err(engine_err)?;
+                let (est, report) = split(out)?;
+                let est = est.ok_or_else(|| {
+                    JobError::Engine("priced statistical checker produced no estimate".to_owned())
+                })?;
+                Ok(Execution {
+                    verdict: JobVerdict::PricedProbability(est),
+                    report,
+                    certificate: Some(Certificate::PricedRuns(cert)),
+                })
+            }
+            JobKind::RareEvent {
+                net,
+                rates,
+                seed,
+                goal,
+                bound,
+                config,
+            } => {
+                // The splitting engine certifies its goal trajectories
+                // through the priced replay path; an unpriced query uses
+                // the zero-cost pricing, under which every certified cost
+                // is exactly 0.
+                let pnet = PricedNetwork::new((**net).clone());
+                let (out, cert) = certified_splitting_probability(
+                    &pnet,
+                    rates,
+                    *seed,
+                    goal,
+                    *bound,
+                    config,
+                    WITNESS_RUNS,
+                    budget,
+                )
+                .map_err(engine_err)?;
+                let (est, report) = split(out)?;
+                let est = est.ok_or_else(|| {
+                    JobError::Engine("splitting engine produced no estimate".to_owned())
+                })?;
+                Ok(Execution {
+                    verdict: JobVerdict::RareProbability {
+                        p_hat: est.p_hat,
+                        lower: est.lower,
+                        upper: est.upper,
+                        confidence: est.confidence,
+                        runs_total: est.runs_total,
+                        splits_spawned: est.splits_spawned,
+                    },
+                    report,
+                    certificate: Some(Certificate::PricedRuns(cert)),
                 })
             }
             JobKind::MdpReach {
@@ -508,6 +662,22 @@ fn opt_tag(opt: Opt) -> u8 {
     }
 }
 
+/// Digests every field of a splitting configuration: two rare-event
+/// jobs share a cache slot only when they are the same experiment.
+fn digest_split_config(config: &SplitConfig, h: &mut StableHasher) {
+    h.write_tag("split-config");
+    h.write_u8(match config.method {
+        tempo_rare::SplitMethod::FixedEffort => 0,
+        tempo_rare::SplitMethod::Restart => 1,
+    });
+    h.write_usize(config.effort);
+    h.write_usize(config.branch);
+    h.write_usize(config.replications);
+    h.write_usize(config.max_levels);
+    h.write_f64(config.confidence);
+    h.write_usize(config.max_particles);
+}
+
 /// Quantizes each budget limit to its bit-length class, so near-equal
 /// budgets share cache entries while an unlimited run and a tightly
 /// boxed one do not. The cancellation token never participates: it is
@@ -570,6 +740,23 @@ pub enum JobVerdict {
     GameWinning(bool),
     /// The statistical estimate.
     Probability(Estimate),
+    /// The cost-bounded statistical estimate.
+    PricedProbability(Estimate),
+    /// The importance-splitting rare-event estimate.
+    RareProbability {
+        /// Point estimate of the rare-event probability.
+        p_hat: f64,
+        /// Lower confidence bound.
+        lower: f64,
+        /// Upper confidence bound.
+        upper: f64,
+        /// Confidence level of `[lower, upper]`.
+        confidence: f64,
+        /// Simulated trajectory segments (comparable to naive runs).
+        runs_total: u64,
+        /// Cloned continuations spawned beyond the root level.
+        splits_spawned: u64,
+    },
     /// Value of the MDP's initial state.
     MdpValue(f64),
     /// Value of the compiled MODEST model's initial state.
@@ -608,6 +795,29 @@ impl JobVerdict {
                 e.successes,
                 hex64(e.confidence)
             ),
+            JobVerdict::PricedProbability(e) => format!(
+                "priced-probability {} {} {} {} {} {}",
+                hex64(e.mean),
+                hex64(e.lower),
+                hex64(e.upper),
+                e.runs,
+                e.successes,
+                hex64(e.confidence)
+            ),
+            JobVerdict::RareProbability {
+                p_hat,
+                lower,
+                upper,
+                confidence,
+                runs_total,
+                splits_spawned,
+            } => format!(
+                "rare-probability {} {} {} {} {runs_total} {splits_spawned}",
+                hex64(*p_hat),
+                hex64(*lower),
+                hex64(*upper),
+                hex64(*confidence)
+            ),
             JobVerdict::MdpValue(v) => format!("mdp-value {}", hex64(*v)),
             JobVerdict::McptaValue(v) => format!("mcpta-value {}", hex64(*v)),
             JobVerdict::BipDeadlock(b) => format!("bip-deadlock {b}"),
@@ -639,6 +849,26 @@ impl JobVerdict {
                     confidence: parse_hex64(confidence)?,
                 }))
             }
+            ["priced-probability", mean, lower, upper, runs, successes, confidence] => {
+                Some(JobVerdict::PricedProbability(Estimate {
+                    mean: parse_hex64(mean)?,
+                    lower: parse_hex64(lower)?,
+                    upper: parse_hex64(upper)?,
+                    runs: runs.parse().ok()?,
+                    successes: successes.parse().ok()?,
+                    confidence: parse_hex64(confidence)?,
+                }))
+            }
+            ["rare-probability", p_hat, lower, upper, confidence, runs_total, splits] => {
+                Some(JobVerdict::RareProbability {
+                    p_hat: parse_hex64(p_hat)?,
+                    lower: parse_hex64(lower)?,
+                    upper: parse_hex64(upper)?,
+                    confidence: parse_hex64(confidence)?,
+                    runs_total: runs_total.parse().ok()?,
+                    splits_spawned: splits.parse().ok()?,
+                })
+            }
             ["mdp-value", v] => Some(JobVerdict::MdpValue(parse_hex64(v)?)),
             ["mcpta-value", v] => Some(JobVerdict::McptaValue(parse_hex64(v)?)),
             ["bip-deadlock", b] => Some(JobVerdict::BipDeadlock(flag(b)?)),
@@ -656,6 +886,13 @@ impl fmt::Display for JobVerdict {
             JobVerdict::MinCost(Some(c)) => write!(f, "min-cost: {c}"),
             JobVerdict::GameWinning(b) => write!(f, "winning: {b}"),
             JobVerdict::Probability(e) => write!(f, "probability: {e}"),
+            JobVerdict::PricedProbability(e) => write!(f, "priced probability: {e}"),
+            JobVerdict::RareProbability {
+                p_hat,
+                lower,
+                upper,
+                ..
+            } => write!(f, "rare probability: {p_hat} in [{lower}, {upper}]"),
             JobVerdict::MdpValue(v) => write!(f, "value: {v}"),
             JobVerdict::McptaValue(v) => write!(f, "value: {v}"),
             JobVerdict::BipDeadlock(b) => write!(f, "deadlock: {b}"),
@@ -777,6 +1014,22 @@ mod tests {
                 successes: 301,
                 confidence: 0.95,
             }),
+            JobVerdict::PricedProbability(Estimate {
+                mean: 1.0 / 7.0,
+                lower: 0.0,
+                upper: 1.0,
+                runs: 64,
+                successes: 9,
+                confidence: 0.99,
+            }),
+            JobVerdict::RareProbability {
+                p_hat: 9.5e-7,
+                lower: 4.3e-7,
+                upper: 2.1e-6,
+                confidence: 0.95,
+                runs_total: 2688,
+                splits_spawned: 2560,
+            },
             JobVerdict::MdpValue(1.0 / 3.0),
             JobVerdict::McptaValue(0.0),
             JobVerdict::BipDeadlock(false),

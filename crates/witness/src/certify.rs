@@ -56,6 +56,9 @@ pub enum Certificate {
     Scheduler(SchedulerCertificate),
     /// A batch of stochastic runs (SMC).
     Runs(RunCertificate),
+    /// A batch of priced stochastic runs with claimed costs (rare-event
+    /// / priced SMC).
+    PricedRuns(PricedRunCertificate),
 }
 
 /// A concrete trace witnessing that some state satisfying the goal is
@@ -617,6 +620,50 @@ impl RunCertificate {
     pub fn validate(&self, net: &Network) -> Result<(), WitnessError> {
         for run in &self.runs {
             replay_run(net, run)?;
+        }
+        Ok(())
+    }
+}
+
+/// A batch of priced stochastic runs, each paired with the accumulated
+/// cost the priced simulator claims for it. Validation replays every
+/// run with its *recorded* synchronizations (a different move with the
+/// same label cannot stand in) and re-sums the cost — delay times the
+/// pre-state's location-rate sum, plus the participating edges' prices
+/// — in recording order, so the claimed value must match bit for bit.
+#[derive(Debug, Clone)]
+pub struct PricedRunCertificate {
+    /// The exported runs, with participants recorded per step.
+    pub runs: Vec<Run>,
+    /// The claimed accumulated cost of each run, aligned with `runs`.
+    pub costs: Vec<f64>,
+}
+
+impl PricedRunCertificate {
+    /// Validates every run with [`crate::replay_priced_run`] and checks
+    /// the re-summed cost equals the claimed one exactly.
+    ///
+    /// # Errors
+    ///
+    /// The first failing run's typed [`WitnessError`];
+    /// [`WitnessError::RunCostMismatch`] on any cost disagreement.
+    pub fn validate(&self, pnet: &PricedNetwork) -> Result<(), WitnessError> {
+        if self.costs.len() != self.runs.len() {
+            return Err(WitnessError::Malformed(format!(
+                "{} costs for {} runs",
+                self.costs.len(),
+                self.runs.len()
+            )));
+        }
+        for (i, (run, &recorded)) in self.runs.iter().zip(&self.costs).enumerate() {
+            let recomputed = crate::validate::replay_priced_run(pnet, run)?;
+            if recomputed.to_bits() != recorded.to_bits() {
+                return Err(WitnessError::RunCostMismatch {
+                    run: i,
+                    recorded,
+                    recomputed,
+                });
+            }
         }
         Ok(())
     }

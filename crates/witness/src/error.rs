@@ -75,6 +75,16 @@ pub enum WitnessError {
         /// Cost recomputed by the validator.
         recomputed: i64,
     },
+    /// A priced run's claimed accumulated cost differs from the cost the
+    /// validator re-summed from rates, delays and edge prices.
+    RunCostMismatch {
+        /// Index of the offending run in its certificate.
+        run: usize,
+        /// Cost claimed by the certificate.
+        recorded: f64,
+        /// Cost re-summed by the validator.
+        recomputed: f64,
+    },
     /// The closed loop reaches a state the strategy does not cover
     /// (TIGA).
     StrategyIncomplete {
@@ -172,6 +182,14 @@ impl fmt::Display for WitnessError {
                     )
                 }
             }
+            WitnessError::RunCostMismatch {
+                run,
+                recorded,
+                recomputed,
+            } => write!(
+                f,
+                "run {run}: claimed cost {recorded} != re-summed {recomputed}"
+            ),
             WitnessError::StrategyIncomplete { state } => {
                 write!(f, "strategy covers no prescription for {state}")
             }

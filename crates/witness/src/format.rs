@@ -1,8 +1,8 @@
 //! A std-only, line-oriented text format for certificates.
 //!
 //! Every certificate starts with the header `tempo-witness v1 <kind>`
-//! (`trace`, `cost`, `strategy`, `scheduler` or `runs`) followed by
-//! kind-specific keyword lines. All numbers are plain decimal tokens;
+//! (`trace`, `cost`, `strategy`, `scheduler`, `runs` or `priced-runs`)
+//! followed by kind-specific keyword lines. All numbers are plain decimal tokens;
 //! floats use Rust's shortest round-trip rendering, so
 //! `parse(render(c))` reproduces `c` exactly. Blank lines and leading
 //! whitespace are ignored. Parse failures return
@@ -26,8 +26,8 @@ use tempo_smc::{ConcreteState as SmcState, Run, RunStep};
 use tempo_ta::{LocationId, Network};
 
 use crate::certify::{
-    Certificate, CostCertificate, GameObjective, RunCertificate, SchedulerCertificate,
-    StrategyCertificate, TraceCertificate,
+    Certificate, CostCertificate, GameObjective, PricedRunCertificate, RunCertificate,
+    SchedulerCertificate, StrategyCertificate, TraceCertificate,
 };
 use crate::error::WitnessError;
 use crate::semantics::store_from_values;
@@ -99,6 +99,29 @@ pub fn render(cert: &Certificate) -> String {
                 }
             }
         }
+        Certificate::PricedRuns(c) => {
+            let _ = writeln!(out, "tempo-witness v1 priced-runs");
+            for (i, (run, cost)) in c.runs.iter().zip(&c.costs).enumerate() {
+                let tag = if run.deadlocked { "deadlocked" } else { "ok" };
+                let _ = writeln!(out, "run {i} {tag} cost {cost:?}");
+                let _ = writeln!(out, "initial {}", fmt_f64_state(&run.initial));
+                for step in &run.steps {
+                    // Participants are serialized (unlike plain `runs`):
+                    // the priced validator re-sums the prices of exactly
+                    // the edges the simulator fired.
+                    let _ = write!(out, "step {:?} {}", step.delay, step.label);
+                    for (ai, ei, sel) in &step.participants {
+                        let _ = write!(out, " {ai}:{ei}");
+                        for (k, v) in sel.iter().enumerate() {
+                            out.push(if k == 0 { ':' } else { ',' });
+                            let _ = write!(out, "{v}");
+                        }
+                    }
+                    out.push('\n');
+                    let _ = writeln!(out, "state {}", fmt_f64_state(&step.state));
+                }
+            }
+        }
     }
     out
 }
@@ -137,6 +160,7 @@ pub fn parse(net: &Network, text: &str) -> Result<Certificate, WitnessError> {
         "strategy" => parse_strategy(&mut lines).map(Certificate::Strategy),
         "scheduler" => parse_scheduler(&mut lines).map(Certificate::Scheduler),
         "runs" => parse_runs(&mut lines, net).map(Certificate::Runs),
+        "priced-runs" => parse_priced_runs(&mut lines, net).map(Certificate::PricedRuns),
         kind => Err(fail(line, &format!("unknown certificate kind `{kind}`"))),
     }
 }
@@ -156,13 +180,16 @@ pub fn parse_standalone(text: &str) -> Result<Certificate, WitnessError> {
         .map(str::trim)
         .find(|l| !l.is_empty())
         .unwrap_or("");
-    if first.split_whitespace().nth(2) == Some("runs") {
+    if matches!(
+        first.split_whitespace().nth(2),
+        Some("runs" | "priced-runs")
+    ) {
         return Err(WitnessError::Format {
             line: 1,
-            detail: "`runs` certificates need a network; use `parse`".to_owned(),
+            detail: "run certificates need a network; use `parse`".to_owned(),
         });
     }
-    // All network-dependent parsing lives under the `runs` kind, so an
+    // All network-dependent parsing lives under the run kinds, so an
     // empty network never gets consulted for the remaining kinds.
     let empty = tempo_ta::NetworkBuilder::new().build();
     parse(&empty, text)
@@ -596,6 +623,7 @@ fn parse_runs(lines: &mut Lines<'_>, net: &Network) -> Result<RunCertificate, Wi
             steps.push(RunStep {
                 delay,
                 label,
+                participants: Vec::new(),
                 state,
             });
         }
@@ -607,4 +635,95 @@ fn parse_runs(lines: &mut Lines<'_>, net: &Network) -> Result<RunCertificate, Wi
     }
     lines.expect_end()?;
     Ok(RunCertificate { runs })
+}
+
+/// Parses one `ai:ei[:sel,sel,...]` participant token.
+fn parse_participant(line: usize, tok: &str) -> Result<(usize, usize, Vec<i64>), WitnessError> {
+    let mut fields = tok.splitn(3, ':');
+    let ai = fields
+        .next()
+        .and_then(|t| t.parse::<usize>().ok())
+        .ok_or_else(|| fail(line, &format!("bad participant `{tok}`")))?;
+    let ei = fields
+        .next()
+        .and_then(|t| t.parse::<usize>().ok())
+        .ok_or_else(|| fail(line, &format!("bad participant `{tok}`")))?;
+    let sel = match fields.next() {
+        None => Vec::new(),
+        Some(s) => s
+            .split(',')
+            .map(|v| parse_int(line, v))
+            .collect::<Result<_, _>>()?,
+    };
+    Ok((ai, ei, sel))
+}
+
+fn parse_priced_runs(
+    lines: &mut Lines<'_>,
+    net: &Network,
+) -> Result<PricedRunCertificate, WitnessError> {
+    let mut runs = Vec::new();
+    let mut costs = Vec::new();
+    while lines.peek_keyword() == Some("run") {
+        let (line, rest) = lines.expect_keyword("run")?;
+        let mut toks = rest.split_whitespace();
+        let idx: usize = toks
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| fail(line, "run needs an index"))?;
+        if idx != runs.len() {
+            return Err(fail(
+                line,
+                &format!("expected run {}, found {idx}", runs.len()),
+            ));
+        }
+        let deadlocked = match toks.next() {
+            Some("deadlocked") => true,
+            Some("ok") => false,
+            _ => return Err(fail(line, "expected `deadlocked` or `ok`")),
+        };
+        if toks.next() != Some("cost") {
+            return Err(fail(line, "expected `cost <value>`"));
+        }
+        let cost = toks
+            .next()
+            .map(|t| parse_f64(line, t))
+            .transpose()?
+            .ok_or_else(|| fail(line, "cost needs a value"))?;
+        let (line, rest) = lines.expect_keyword("initial")?;
+        let initial = parse_f64_state(line, rest, net)?;
+        let mut steps = Vec::new();
+        while lines.peek_keyword() == Some("step") {
+            let (line, rest) = lines.expect_keyword("step")?;
+            let mut toks = rest.split_whitespace();
+            let delay = toks
+                .next()
+                .map(|t| parse_f64(line, t))
+                .transpose()?
+                .ok_or_else(|| fail(line, "step needs a delay"))?;
+            let label = toks
+                .next()
+                .ok_or_else(|| fail(line, "step needs a label"))?
+                .to_owned();
+            let participants = toks
+                .map(|t| parse_participant(line, t))
+                .collect::<Result<_, _>>()?;
+            let (line, rest) = lines.expect_keyword("state")?;
+            let state = parse_f64_state(line, rest, net)?;
+            steps.push(RunStep {
+                delay,
+                label,
+                participants,
+                state,
+            });
+        }
+        runs.push(Run {
+            initial,
+            steps,
+            deadlocked,
+        });
+        costs.push(cost);
+    }
+    lines.expect_end()?;
+    Ok(PricedRunCertificate { runs, costs })
 }

@@ -45,4 +45,4 @@ pub mod format;
 pub use error::WitnessError;
 pub use realize::realize;
 pub use trace::{ConcreteState, ConcreteStep, ConcreteTrace, JointAction, TraceSemantics};
-pub use validate::{replay, replay_run};
+pub use validate::{replay, replay_priced_run, replay_run};

@@ -14,8 +14,9 @@
 use crate::error::WitnessError;
 use crate::semantics::{RState, Replayer};
 use crate::trace::{ConcreteTrace, TraceSemantics};
+use tempo_cora::PricedNetwork;
 use tempo_smc::Run;
-use tempo_ta::{ClockAtom, LocationKind, Network, StateFormula};
+use tempo_ta::{AutomatonId, ClockAtom, LocationKind, Network, StateFormula};
 
 /// Tolerance for comparing `f64` clock values during stochastic replay.
 const F64_TOL: f64 = 1e-9;
@@ -163,7 +164,7 @@ pub fn replay_run(net: &Network, run: &Run) -> Result<(), WitnessError> {
         let next = if step.label == "delay" {
             mid
         } else {
-            find_matching_move(net, &r, &mid, step, i)?
+            find_matching_move(net, &r, &mid, step, i, None)?
         };
         if !states_close(&next, &step.state) {
             return Err(WitnessError::StateMismatch { step: i });
@@ -171,6 +172,100 @@ pub fn replay_run(net: &Network, run: &Run) -> Result<(), WitnessError> {
         cur = step.state.clone();
     }
     Ok(())
+}
+
+/// Replays a priced stochastic run and re-sums its accumulated cost.
+///
+/// Beyond the legality checks of [`replay_run`], each non-delay step
+/// must carry its recorded participants (the exact synchronizing edges)
+/// and those participants must be one of the legal joint moves at the
+/// step's state — the edge prices of a *different* move with the same
+/// label cannot be substituted. The returned cost is accumulated in
+/// recording order (`delay × Σ location rates`, then the participating
+/// edges' prices), so a simulator that sums the same way reproduces it
+/// bit-for-bit.
+///
+/// # Errors
+///
+/// Typed [`WitnessError`]s as for [`replay_run`];
+/// [`WitnessError::IllegalMove`] when a step's recorded participants do
+/// not form a legal joint move.
+pub fn replay_priced_run(pnet: &PricedNetwork, run: &Run) -> Result<f64, WitnessError> {
+    let net = pnet.network();
+    let r = Replayer::data_only(net);
+    let initial = &run.initial;
+    let init_ok = initial.locs.len() == net.automata().len()
+        && initial
+            .locs
+            .iter()
+            .zip(net.automata())
+            .all(|(&l, a)| l == a.initial)
+        && initial.store.as_slice() == net.decls().initial_store().as_slice()
+        && initial.clocks.len() == net.dim()
+        && initial.clocks.iter().all(|&c| c.abs() <= F64_TOL)
+        && initial.time.abs() <= F64_TOL;
+    if !init_ok {
+        return Err(WitnessError::WrongInitialState);
+    }
+    let mut cur = initial.clone();
+    let mut cost = 0.0_f64;
+    for (i, step) in run.steps.iter().enumerate() {
+        if step.delay < -F64_TOL || !step.delay.is_finite() {
+            return Err(WitnessError::WrongDelay { step: i });
+        }
+        let urgent = cur
+            .locs
+            .iter()
+            .zip(net.automata())
+            .any(|(&l, a)| a.locations[l.index()].kind != LocationKind::Normal);
+        if urgent && step.delay > F64_TOL {
+            return Err(WitnessError::DelayForbidden { step: i });
+        }
+        // Locations are fixed during the delay, so the whole delay is
+        // priced at the pre-state's rate sum.
+        let rate_sum: i64 = cur
+            .locs
+            .iter()
+            .enumerate()
+            .map(|(ai, &l)| pnet.rate(AutomatonId(ai), l))
+            .sum();
+        cost += step.delay * rate_sum as f64;
+        let mut mid = cur.clone();
+        for (k, c) in mid.clocks.iter_mut().enumerate() {
+            if k != 0 {
+                *c += step.delay;
+            }
+        }
+        mid.time += step.delay;
+        if let Some(a) = invariant_violation_f64(net, &mid) {
+            return Err(WitnessError::InvariantViolated {
+                step: i,
+                automaton: a,
+            });
+        }
+        let next = if step.label == "delay" {
+            mid
+        } else {
+            if step.participants.is_empty() {
+                return Err(WitnessError::IllegalMove {
+                    step: i,
+                    reason: "priced step records no participants".to_owned(),
+                });
+            }
+            let next = find_matching_move(net, &r, &mid, step, i, Some(&step.participants))?;
+            cost += step
+                .participants
+                .iter()
+                .map(|&(ai, ei, _)| pnet.edge_cost(AutomatonId(ai), ei))
+                .sum::<i64>() as f64;
+            next
+        };
+        if !states_close(&next, &step.state) {
+            return Err(WitnessError::StateMismatch { step: i });
+        }
+        cur = step.state.clone();
+    }
+    Ok(cost)
 }
 
 fn atom_holds_f64(atom: &ClockAtom, clocks: &[f64]) -> bool {
@@ -197,13 +292,16 @@ fn invariant_violation_f64(net: &Network, s: &tempo_smc::ConcreteState) -> Optio
 
 /// Searches the data-level joint moves for one with the recorded label
 /// whose clock guards hold at the `f64` valuation and whose application
-/// reproduces the recorded successor.
+/// reproduces the recorded successor. With `expected` set, only the
+/// joint move with exactly those participants qualifies — priced
+/// replay must pin down the edges whose prices it re-sums.
 fn find_matching_move(
     net: &Network,
     r: &Replayer<'_>,
     mid: &tempo_smc::ConcreteState,
     step: &tempo_smc::RunStep,
     i: usize,
+    expected: Option<&[(usize, usize, Vec<i64>)]>,
 ) -> Result<tempo_smc::ConcreteState, WitnessError> {
     // Enumerate candidates at the data level (the clockless replayer
     // ignores clock guards; they are re-checked here in f64).
@@ -216,6 +314,11 @@ fn find_matching_move(
     for (action, _) in r.enumerate_moves(&probe) {
         if action.label != step.label {
             continue;
+        }
+        if let Some(exp) = expected {
+            if action.participants != exp {
+                continue;
+            }
         }
         label_seen = true;
         let guards_ok = action.participants.iter().all(|&(ai, ei, _)| {
@@ -236,10 +339,15 @@ fn find_matching_move(
     if label_seen {
         Err(WitnessError::StateMismatch { step: i })
     } else {
-        Err(WitnessError::IllegalMove {
-            step: i,
-            reason: format!("no enabled move labelled `{}`", step.label),
-        })
+        let reason = if expected.is_some() {
+            format!(
+                "recorded participants are not a legal `{}` move",
+                step.label
+            )
+        } else {
+            format!("no enabled move labelled `{}`", step.label)
+        };
+        Err(WitnessError::IllegalMove { step: i, reason })
     }
 }
 

@@ -351,6 +351,48 @@ fn modest_rules_fire_exactly_once_and_gate_refuses() {
     assert!(lint::check_modest_first(&m, &LintConfig::default()).is_ok());
 }
 
+/// CORA001: negative cost rates / edge costs on a priced network. The
+/// clean fixture passes the default gate; mutating either price kind
+/// below zero turns into an error-level refusal from
+/// `PricedNetwork::check_first` — the gate the priced and rare-event
+/// engines run before any cost query.
+#[test]
+fn cora001_negative_prices_are_refused() {
+    let fixture = || {
+        let mut b = NetworkBuilder::new();
+        let x = b.clock("x");
+        let mut a = b.automaton("Job");
+        let l0 = a.location_with_invariant("Work", vec![ClockAtom::le(x, 5)]);
+        let l1 = a.location("Done");
+        a.edge(l0, l1).guard_clock(ClockAtom::ge(x, 1)).done();
+        a.edge(l1, l1).done();
+        a.done();
+        b.build()
+    };
+
+    // Clean: non-negative prices, no CORA001 finding.
+    let mut clean = cora::PricedNetwork::new(fixture());
+    clean.set_rate(AutomatonId(0), LocationId(0), 2);
+    clean.set_edge_cost(AutomatonId(0), 0, 3);
+    assert!(clean.lint_prices().is_empty());
+    let report = clean.check_first(&LintConfig::default()).expect("clean");
+    assert!(!codes(&report).contains(&"CORA001"));
+
+    // Mutated: one negative rate and one negative edge cost. Both are
+    // error-level, so even the default (non-strict) gate refuses.
+    let mut bad = cora::PricedNetwork::new(fixture());
+    bad.set_rate(AutomatonId(0), LocationId(0), -2);
+    bad.set_edge_cost(AutomatonId(0), 0, -1);
+    let found = bad.lint_prices();
+    assert_eq!(found.len(), 2, "{found:?}");
+    assert!(found.iter().all(|d| d.code == "CORA001"));
+    let err = bad.check_first(&LintConfig::default()).unwrap_err();
+    assert!(
+        err.diagnostics.iter().any(|d| d.code == "CORA001"),
+        "{err:?}"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Rule inventory: the README table and the registry must agree.
 // ---------------------------------------------------------------------------
@@ -363,7 +405,10 @@ fn readme_rule_table_matches_registry() {
         .filter_map(|line| {
             let cell = line.strip_prefix('|')?.split('|').next()?.trim();
             (cell.len() >= 5
-                && (cell.starts_with("TA") || cell.starts_with("BIP") || cell.starts_with("MOD"))
+                && (cell.starts_with("TA")
+                    || cell.starts_with("BIP")
+                    || cell.starts_with("MOD")
+                    || cell.starts_with("CORA"))
                 && cell
                     .chars()
                     .skip(cell.len() - 3)
