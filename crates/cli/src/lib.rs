@@ -1,0 +1,130 @@
+//! `tempo-cli`: the `tempo` command-line frontend.
+//!
+//! `tempo check <file.tempo>` parses a `tempo-lang` model, elaborates
+//! it onto the engine each `assert` line needs, routes every query
+//! through the analysis service (`tempo-svc` — admission control, lint
+//! gating, verdict cache), and reports one documented exit code plus an
+//! optional versioned result document (`--json`).
+//!
+//! ## Exit codes and the `status` field
+//!
+//! | code | status         | meaning                                        |
+//! |------|----------------|------------------------------------------------|
+//! | 0    | `pass`         | every checked assert holds                     |
+//! | 1    | `fail`         | at least one assert is violated                |
+//! | 2    | `parse-error`  | lexing, parsing or elaboration failed (`TLxxx`)|
+//! | 3    | `lint-error`   | the engine's static-analysis gate refused it   |
+//! | 4    | `exhausted`    | a budget dimension ran out mid-analysis        |
+//! | 5    | `rejected`     | service admission refused the job              |
+//! | 6    | `usage`        | malformed command line or engine misrouting    |
+//! | 7    | `io-error`     | input unreadable or output unwritable          |
+//! | 8    | `engine-error` | the engine failed (or was cancelled)           |
+//!
+//! The result document is versioned (`"schema": "tempo-result v1"`) and
+//! deterministic apart from `duration_ms` and each assert's cache
+//! `source` tag: verdict strings (floats as `hex64` bit patterns), the
+//! input's SHA-256, and the model's structural fingerprint are
+//! byte-identical across worker counts and warm-cache reruns.
+
+pub mod args;
+pub mod check;
+
+pub use args::{parse_args, CheckArgs, Command, Engine, USAGE};
+pub use check::{run_check, CheckOutcome};
+
+/// Process-level outcome classes, in severity order. The numeric value
+/// is the documented exit code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Every checked assert holds.
+    Pass,
+    /// At least one assert is violated.
+    Fail,
+    /// Lexing, parsing or elaboration failed (`TLxxx`).
+    ParseError,
+    /// The engine's static-analysis gate refused the model.
+    LintError,
+    /// A budget dimension ran out before the engine finished.
+    Exhausted,
+    /// Service admission refused the job (queue, quota, shutdown).
+    Rejected,
+    /// Malformed command line, bad assert index, engine misrouting.
+    Usage,
+    /// Input unreadable or output unwritable.
+    Io,
+    /// The engine failed or was cancelled.
+    EngineError,
+}
+
+impl Status {
+    /// The documented process exit code.
+    #[must_use]
+    pub fn code(self) -> i32 {
+        match self {
+            Status::Pass => 0,
+            Status::Fail => 1,
+            Status::ParseError => 2,
+            Status::LintError => 3,
+            Status::Exhausted => 4,
+            Status::Rejected => 5,
+            Status::Usage => 6,
+            Status::Io => 7,
+            Status::EngineError => 8,
+        }
+    }
+
+    /// The `status` string of the result document.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Status::Pass => "pass",
+            Status::Fail => "fail",
+            Status::ParseError => "parse-error",
+            Status::LintError => "lint-error",
+            Status::Exhausted => "exhausted",
+            Status::Rejected => "rejected",
+            Status::Usage => "usage",
+            Status::Io => "io-error",
+            Status::EngineError => "engine-error",
+        }
+    }
+}
+
+/// Full CLI entry point: parse `argv`, run, print, return the exit
+/// code. `main` stays a one-liner so integration tests can drive the
+/// same path in-process.
+#[must_use]
+pub fn run(argv: &[String]) -> i32 {
+    let cmd = match parse_args(argv) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("tempo: {msg}");
+            eprintln!("{USAGE}");
+            return Status::Usage.code();
+        }
+    };
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Status::Pass.code()
+        }
+        Command::Version => {
+            println!("tempo {}", env!("CARGO_PKG_VERSION"));
+            Status::Pass.code()
+        }
+        Command::Check(args) => {
+            let outcome = run_check(&args);
+            print!("{}", outcome.human);
+            if let Some(path) = &args.json {
+                let text = outcome.doc.render();
+                if path.as_os_str() == "-" {
+                    print!("{text}");
+                } else if let Err(e) = std::fs::write(path, text) {
+                    eprintln!("tempo: cannot write {}: {e}", path.display());
+                    return Status::Io.code();
+                }
+            }
+            outcome.status.code()
+        }
+    }
+}

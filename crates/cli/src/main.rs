@@ -1,0 +1,6 @@
+//! The `tempo` binary: see [`tempo_cli`] for the library behind it.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(tempo_cli::run(&argv));
+}

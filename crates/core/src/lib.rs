@@ -69,6 +69,9 @@ pub use tempo_expr as expr;
 pub use tempo_flow as flow;
 /// Model-based testing: ioco and rtioco.
 pub use tempo_ioco as ioco;
+/// The `tempo-lang` textual frontend: parser, machine IR, elaboration
+/// onto every engine substrate, pretty-printer, corpus headers.
+pub use tempo_lang as lang;
 /// Static model analysis: lint rules over TA networks, BIP systems and
 /// MODEST models, plus the `check_*_first` gates used by the engines.
 pub use tempo_lint as lint;

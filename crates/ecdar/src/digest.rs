@@ -1,0 +1,114 @@
+//! Stable structural fingerprints for TIOA specifications.
+//!
+//! Lets the analysis service key its verdict cache by specification
+//! content: two builds of the same TIOA fingerprint identically, and
+//! renaming the automaton, its locations or its clocks does not change
+//! the fingerprint (names are diagnostics; refinement depends only on
+//! structure). Action names *do* hash — they are the synchronisation
+//! alphabet, so renaming an action changes which behaviours refine.
+//! Invariant and guard conjunctions fold commutatively; locations and
+//! edges hash in order because indices are the identity the automaton
+//! refers to.
+
+use crate::tioa::{IoDir, Tioa, TioaAtom, TioaEdge, TioaLocation};
+use tempo_obs::{Fingerprint, StableDigest, StableHasher};
+
+impl StableDigest for TioaAtom {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_usize(self.clock.index());
+        h.write_bool(self.upper);
+        h.write_i64(self.bound);
+    }
+}
+
+impl StableDigest for TioaEdge {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_tag("tioa-edge");
+        h.write_usize(self.from);
+        h.write_usize(self.to);
+        h.write_str(&self.action);
+        h.write_u8(match self.dir {
+            IoDir::Input => 0,
+            IoDir::Output => 1,
+        });
+        // A guard is a conjunction: reordering its atoms preserves the
+        // edge's semantics. Resets all write zero, so order (and even
+        // duplicates) cannot matter either.
+        h.write_unordered(self.guard.iter().map(Fingerprint::of));
+        h.write_unordered(self.resets.iter().map(|c| {
+            let mut rh = StableHasher::new();
+            rh.write_usize(c.index());
+            rh.finish()
+        }));
+    }
+}
+
+impl StableDigest for TioaLocation {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_tag("tioa-location");
+        h.write_unordered(self.invariant.iter().map(Fingerprint::of));
+    }
+}
+
+impl StableDigest for Tioa {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_tag("tioa");
+        // Clocks are identified by index; only their count is structure.
+        h.write_usize(self.clock_names.len());
+        self.locations.digest(h);
+        self.edges.digest(h);
+        h.write_usize(self.initial);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{TioaAtom, TioaBuilder};
+    use tempo_obs::Fingerprint;
+
+    fn machine(name: &str, deadline: i64) -> crate::Tioa {
+        let mut b = TioaBuilder::new(name);
+        let x = b.clock("x");
+        let idle = b.location("Idle");
+        let busy = b.location_with_invariant("Busy", vec![TioaAtom::le(x, deadline)]);
+        b.input(idle, busy, "coin").reset(x).done();
+        b.output(busy, idle, "coffee")
+            .guard(TioaAtom::ge(x, 2))
+            .done();
+        b.build()
+    }
+
+    #[test]
+    fn renaming_preserves_fingerprint_but_bounds_do_not() {
+        assert_eq!(
+            Fingerprint::of(&machine("Machine", 5)),
+            Fingerprint::of(&machine("Renamed", 5))
+        );
+        assert_ne!(
+            Fingerprint::of(&machine("Machine", 5)),
+            Fingerprint::of(&machine("Machine", 6))
+        );
+    }
+
+    #[test]
+    fn action_names_and_directions_are_structure() {
+        let build = |action: &str, output: bool| {
+            let mut b = TioaBuilder::new("M");
+            let l = b.location("L");
+            if output {
+                b.output(l, l, action).done();
+            } else {
+                b.input(l, l, action).done();
+            }
+            b.build()
+        };
+        assert_ne!(
+            Fingerprint::of(&build("a", true)),
+            Fingerprint::of(&build("b", true))
+        );
+        assert_ne!(
+            Fingerprint::of(&build("a", true)),
+            Fingerprint::of(&build("a", false))
+        );
+    }
+}

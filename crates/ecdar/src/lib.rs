@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod compose;
+mod digest;
 mod refine;
 mod tioa;
 

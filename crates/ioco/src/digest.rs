@@ -1,0 +1,72 @@
+//! Stable structural fingerprints for labelled transition systems.
+//!
+//! Lets the analysis service key its verdict cache by model content:
+//! two builds of the same LTS fingerprint identically, and renaming
+//! states does not change the fingerprint (state names are diagnostics;
+//! conformance depends only on structure). Label names *do* hash — they
+//! are the observable alphabet, so renaming an action changes which
+//! implementations conform. Transitions hash in order because state
+//! indices are the identity the system refers to.
+
+use crate::lts::{Label, Lts};
+use tempo_obs::{StableDigest, StableHasher};
+
+impl StableDigest for Label {
+    fn digest(&self, h: &mut StableHasher) {
+        match self {
+            Label::Input(a) => {
+                h.write_u8(0);
+                h.write_str(a);
+            }
+            Label::Output(a) => {
+                h.write_u8(1);
+                h.write_str(a);
+            }
+            Label::Tau => h.write_u8(2),
+        }
+    }
+}
+
+impl StableDigest for Lts {
+    fn digest(&self, h: &mut StableHasher) {
+        h.write_tag("lts");
+        // States are identified by index; only their count is structure.
+        h.write_usize(self.num_states());
+        let ts = self.transitions();
+        h.write_usize(ts.len());
+        for (from, label, to) in ts {
+            h.write_usize(from.0);
+            label.digest(h);
+            h.write_usize(to.0);
+        }
+        h.write_usize(self.initial().0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Label, Lts};
+    use tempo_obs::Fingerprint;
+
+    fn vending(names: [&str; 2], coffee: &str) -> Lts {
+        let mut l = Lts::new();
+        let idle = l.state(names[0]);
+        let busy = l.state(names[1]);
+        l.set_initial(idle);
+        l.transition(idle, Label::input("coin"), busy);
+        l.transition(busy, Label::output(coffee), idle);
+        l
+    }
+
+    #[test]
+    fn state_names_are_diagnostics_but_labels_are_structure() {
+        assert_eq!(
+            Fingerprint::of(&vending(["Idle", "Busy"], "coffee")),
+            Fingerprint::of(&vending(["S0", "S1"], "coffee"))
+        );
+        assert_ne!(
+            Fingerprint::of(&vending(["Idle", "Busy"], "coffee")),
+            Fingerprint::of(&vending(["Idle", "Busy"], "tea"))
+        );
+    }
+}

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod conformance;
+mod digest;
 mod lts;
 mod rtioco;
 mod suspension;

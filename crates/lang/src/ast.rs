@@ -1,0 +1,423 @@
+//! Abstract syntax of `tempo-lang`.
+//!
+//! The tree is *span-carrying but span-insensitive*: every name is an
+//! [`Ident`] holding its source [`Span`], and `Ident` equality ignores
+//! the span. This is what makes the pretty-printer round-trip contract
+//! (`parse(render(m)) == m`) expressible as plain `PartialEq` — the
+//! re-parsed tree has different positions but compares equal.
+
+use crate::token::Span;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A name with its source position. Equality and hashing ignore the
+/// span.
+#[derive(Clone, Debug, Default)]
+pub struct Ident {
+    /// The name itself.
+    pub name: String,
+    /// Where it appears in the source.
+    pub span: Span,
+}
+
+impl Ident {
+    /// An identifier with a default (zero) span, for programmatically
+    /// built trees (generators, tests).
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Ident {
+            name: name.to_owned(),
+            span: Span::default(),
+        }
+    }
+}
+
+impl PartialEq for Ident {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+    }
+}
+
+impl Eq for Ident {}
+
+impl Hash for Ident {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.name.hash(state);
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// A compile-time integer expression (over `param`s and literals);
+/// appears in clock bounds, variable ranges, process arguments and
+/// array sizes, and must constant-fold during elaboration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IntExpr {
+    /// Literal.
+    Lit(i64),
+    /// Reference to a `param` (or, inside a process body, a formal
+    /// parameter of the process; inside data expressions, a variable).
+    Name(Ident),
+    /// Array-element reference `v[e]` (data expressions only).
+    Index(Ident, Box<IntExpr>),
+    /// Unary negation.
+    Neg(Box<IntExpr>),
+    /// Binary arithmetic.
+    Bin(IntOp, Box<IntExpr>, Box<IntExpr>),
+}
+
+/// Arithmetic operators of [`IntExpr`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntOp {
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/` (truncated).
+    Div,
+}
+
+/// Comparison operators shared by guards, formulas and probability
+/// bounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<=`.
+    Le,
+    /// `<`.
+    Lt,
+    /// `>=`.
+    Ge,
+    /// `>`.
+    Gt,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+}
+
+impl CmpOp {
+    /// The surface-syntax spelling.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Le => "<=",
+            CmpOp::Lt => "<",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        }
+    }
+}
+
+/// A clock reference: a plain clock or one element of a clock array
+/// (`y[id]`; the index must constant-fold at elaboration).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClockRef {
+    /// Declared clock (array) name.
+    pub name: Ident,
+    /// Array index, if any.
+    pub index: Option<Box<IntExpr>>,
+}
+
+/// A clock constraint `x ⋈ e` or `x - y ⋈ e`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClockConstraint {
+    /// Left clock.
+    pub clock: ClockRef,
+    /// Optional second clock for difference constraints.
+    pub minus: Option<ClockRef>,
+    /// Comparison operator (`==`/`!=` are rejected at elaboration for
+    /// difference constraints; `==` on a single clock expands to a
+    /// conjunction).
+    pub op: CmpOp,
+    /// Bound (constant-folds over params).
+    pub bound: IntExpr,
+}
+
+/// One atom inside a `when { ... }` guard: either a clock constraint or
+/// a boolean expression over data variables. The parser classifies by
+/// the declared kind of the leading name.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GuardAtom {
+    /// Clock constraint.
+    Clock(ClockConstraint),
+    /// Data comparison `e ⋈ e`.
+    Data(IntExpr, CmpOp, IntExpr),
+}
+
+/// One update inside a `{ ... }` block after an event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Update {
+    /// Clock reset `x := e` (e over params and data variables).
+    ClockReset(ClockRef, IntExpr),
+    /// Variable assignment `v := e` or `v[i] := e`.
+    Assign(Ident, Option<Box<IntExpr>>, IntExpr),
+}
+
+/// The event of a prefix.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventSpec {
+    /// Internal step.
+    Tau,
+    /// Send `c!`.
+    Send(Ident),
+    /// Receive `c?`.
+    Recv(Ident),
+}
+
+/// A sequential process term.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Proc {
+    /// Deadlocked process (refuses everything, lets time pass).
+    Stop,
+    /// Terminated process (same operational behaviour as `STOP` in this
+    /// fragment; kept distinct for pretty-printing and documentation).
+    Skip,
+    /// Call of a named process with integer arguments.
+    Call(Ident, Vec<IntExpr>),
+    /// Guarded, decorated event prefix
+    /// `when {g} e {u} -> P` (guard and updates optional).
+    Prefix {
+        /// Conjunction of guard atoms (empty = `true`).
+        guards: Vec<GuardAtom>,
+        /// The event.
+        event: EventSpec,
+        /// Updates applied when the event fires.
+        updates: Vec<Update>,
+        /// Continuation.
+        then: Box<Proc>,
+    },
+    /// `inv {atoms} P`: the constraint must hold while the process
+    /// waits at `P`'s initial state.
+    Invariant(Vec<ClockConstraint>, Box<Proc>),
+    /// External choice `P [] Q [] ...`.
+    ExtChoice(Vec<Proc>),
+    /// Internal choice `P |~| Q |~| ...` (resolves instantaneously via
+    /// committed τ-branching).
+    IntChoice(Vec<Proc>),
+}
+
+/// Channel synchronization kinds, mirroring `tempo-ta`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelKind {
+    /// Binary handshake.
+    Handshake,
+    /// Handshake that suppresses delay while enabled.
+    Urgent,
+    /// One sender, all ready receivers.
+    Broadcast,
+}
+
+/// `channel` / `urgent channel` / `broadcast channel` declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChannelDecl {
+    /// Kind of every channel in this declaration.
+    pub kind: ChannelKind,
+    /// Declared names.
+    pub names: Vec<Ident>,
+}
+
+/// `clock x` or `clock y[N]` declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClockDecl {
+    /// Declared name.
+    pub name: Ident,
+    /// Array size, if any (constant-folds over params).
+    pub size: Option<IntExpr>,
+}
+
+/// `var v: lo..hi = init` or `var v[N]: lo..hi = init` declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VarDecl {
+    /// Declared name.
+    pub name: Ident,
+    /// Array size, if any.
+    pub size: Option<IntExpr>,
+    /// Inclusive lower bound.
+    pub lo: IntExpr,
+    /// Inclusive upper bound.
+    pub hi: IntExpr,
+    /// Initial value (defaults to `lo` when omitted).
+    pub init: Option<IntExpr>,
+}
+
+/// `param N = 3` declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamDecl {
+    /// Declared name.
+    pub name: Ident,
+    /// Bound value.
+    pub value: i64,
+}
+
+/// `process Name(p1, p2) = body` definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProcessDef {
+    /// Process name.
+    pub name: Ident,
+    /// Formal integer parameters.
+    pub params: Vec<Ident>,
+    /// Body term.
+    pub body: Proc,
+}
+
+/// One component instance of the `system` line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Component {
+    /// Called process.
+    pub process: Ident,
+    /// Integer arguments.
+    pub args: Vec<IntExpr>,
+    /// Channels hidden in this component (`\ {a, b}`): their events
+    /// become internal τ steps.
+    pub hide: Vec<Ident>,
+    /// Channel renamings (`[[old := new, ...]]`), applied before
+    /// hiding and synchronization.
+    pub rename: Vec<(Ident, Ident)>,
+    /// Instance alias (`as T0`); defaults to the process name.
+    pub alias: Option<Ident>,
+}
+
+impl Component {
+    /// The name this instance is known by in formulas and refinement
+    /// asserts.
+    #[must_use]
+    pub fn instance_name(&self) -> &str {
+        self.alias.as_ref().unwrap_or(&self.process).name.as_str()
+    }
+}
+
+/// The `system` composition: components joined by `||`, each `||`
+/// optionally carrying a sync set. The union of all sync sets is the
+/// set of synchronized channels (UPPAAL-style global handshake);
+/// events on unsynchronized channels are internal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemDef {
+    /// Component instances, in composition order.
+    pub components: Vec<Component>,
+    /// Sync set attached to the `||` before component `i + 1`
+    /// (`syncs[i]` sits between `components[i]` and `components[i+1]`).
+    pub syncs: Vec<Vec<Ident>>,
+}
+
+/// A state formula of the assert language.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Formula {
+    /// Constant truth.
+    True,
+    /// Constant falsity.
+    False,
+    /// `Component.Location` atom.
+    AtLoc(Ident, Ident),
+    /// Clock constraint atom.
+    Clock(ClockConstraint),
+    /// Data comparison atom.
+    Data(IntExpr, CmpOp, IntExpr),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+}
+
+/// Options of a `Pr[...]` assert.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SmcOpts {
+    /// Number of simulation runs (`runs = 2000` by default).
+    pub runs: Option<u64>,
+    /// Confidence level (`confidence = 0.95` by default).
+    pub confidence: Option<f64>,
+}
+
+/// The query of one `assert` line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AssertKind {
+    /// `assert deadlock free`.
+    DeadlockFree,
+    /// `assert E<> f` — reachability.
+    Reach(Formula),
+    /// `assert A[] f` — invariance.
+    Always(Formula),
+    /// `assert f --> g` — leads-to.
+    LeadsTo(Formula, Formula),
+    /// `assert Pmax[<> f] ⋈ p` — maximal reachability probability on
+    /// the digital-clocks MDP.
+    Pmax(Formula, CmpOp, f64),
+    /// `assert Pmin[<> f] ⋈ p`.
+    Pmin(Formula, CmpOp, f64),
+    /// `assert Pr[<= b](<> f) ⋈ p {runs = .., confidence = ..}` —
+    /// statistical estimation.
+    Pr {
+        /// Time bound per run.
+        bound: IntExpr,
+        /// Goal formula.
+        goal: Formula,
+        /// Comparison against the estimate's mean.
+        cmp: CmpOp,
+        /// Probability threshold.
+        prob: f64,
+        /// Run count / confidence options.
+        opts: SmcOpts,
+    },
+    /// `assert Imp refines Spec` — alternating timed refinement of two
+    /// component instances (ECDAR).
+    Refines(Ident, Ident),
+    /// `assert Imp ioco Spec` — input-output conformance of two
+    /// component instances.
+    Ioco(Ident, Ident),
+}
+
+/// One `assert` line with its position.
+///
+/// Equality ignores the span (like [`Ident`]) so ASTs compare
+/// structurally across re-parses of re-rendered source.
+#[derive(Clone, Debug)]
+pub struct AssertDef {
+    /// The query.
+    pub kind: AssertKind,
+    /// Position of the `assert` keyword.
+    pub span: Span,
+}
+
+impl PartialEq for AssertDef {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
+/// A parsed `tempo-lang` model: declarations, process definitions, the
+/// system composition and the assert list.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Model {
+    /// `param` declarations.
+    pub params: Vec<ParamDecl>,
+    /// Channel declarations.
+    pub channels: Vec<ChannelDecl>,
+    /// Clock declarations.
+    pub clocks: Vec<ClockDecl>,
+    /// Variable declarations.
+    pub vars: Vec<VarDecl>,
+    /// Process definitions.
+    pub processes: Vec<ProcessDef>,
+    /// The system composition (absent models cannot be analyzed, only
+    /// parsed and pretty-printed).
+    pub system: Option<SystemDef>,
+    /// Assert lines, in source order (`--assert N` indexes here).
+    pub asserts: Vec<AssertDef>,
+}
+
+impl Model {
+    /// Looks up a process definition by name.
+    #[must_use]
+    pub fn process(&self, name: &str) -> Option<&ProcessDef> {
+        self.processes.iter().find(|p| p.name.name == name)
+    }
+}

@@ -1,0 +1,356 @@
+//! Canonical pretty-printer: `parse(render(m)) == m` for every model
+//! the parser can produce (identifier spans are ignored by AST
+//! equality, so the re-parsed tree compares equal even though every
+//! position changed).
+//!
+//! The renderer inserts parentheses exactly where precedence demands
+//! them, so a render→parse→render cycle is a fixpoint after the first
+//! render.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a model in canonical form.
+#[must_use]
+pub fn render(m: &Model) -> String {
+    let mut out = String::new();
+    for p in &m.params {
+        let _ = writeln!(out, "param {} = {}", p.name, p.value);
+    }
+    for c in &m.channels {
+        let kw = match c.kind {
+            ChannelKind::Handshake => "channel",
+            ChannelKind::Urgent => "urgent channel",
+            ChannelKind::Broadcast => "broadcast channel",
+        };
+        let names: Vec<&str> = c.names.iter().map(|n| n.name.as_str()).collect();
+        let _ = writeln!(out, "{kw} {}", names.join(", "));
+    }
+    for c in &m.clocks {
+        match &c.size {
+            None => {
+                let _ = writeln!(out, "clock {}", c.name);
+            }
+            Some(e) => {
+                let _ = writeln!(out, "clock {}[{}]", c.name, int_expr(e, 0));
+            }
+        }
+    }
+    for v in &m.vars {
+        let mut line = format!("var {}", v.name);
+        if let Some(e) = &v.size {
+            let _ = write!(line, "[{}]", int_expr(e, 0));
+        }
+        let _ = write!(line, ": {}..{}", int_expr(&v.lo, 0), int_expr(&v.hi, 0));
+        if let Some(e) = &v.init {
+            let _ = write!(line, " = {}", int_expr(e, 0));
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    for p in &m.processes {
+        out.push('\n');
+        let mut head = format!("process {}", p.name);
+        if !p.params.is_empty() {
+            let names: Vec<&str> = p.params.iter().map(|n| n.name.as_str()).collect();
+            let _ = write!(head, "({})", names.join(", "));
+        }
+        let _ = writeln!(out, "{head} =");
+        let _ = writeln!(out, "  {}", proc(&p.body, 0));
+    }
+    if let Some(sys) = &m.system {
+        out.push('\n');
+        let mut line = "system ".to_owned();
+        for (i, c) in sys.components.iter().enumerate() {
+            if i > 0 {
+                line.push_str(" ||");
+                let set = &sys.syncs[i - 1];
+                if !set.is_empty() {
+                    let names: Vec<&str> = set.iter().map(|n| n.name.as_str()).collect();
+                    let _ = write!(line, " {{{}}}", names.join(", "));
+                }
+                line.push(' ');
+            }
+            line.push_str(&component(c));
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    if !m.asserts.is_empty() {
+        out.push('\n');
+    }
+    for a in &m.asserts {
+        let _ = writeln!(out, "assert {}", assert_kind(&a.kind));
+    }
+    out
+}
+
+fn component(c: &Component) -> String {
+    let mut s = c.process.name.clone();
+    if !c.args.is_empty() {
+        let args: Vec<String> = c.args.iter().map(|a| int_expr(a, 0)).collect();
+        let _ = write!(s, "({})", args.join(", "));
+    }
+    if !c.hide.is_empty() {
+        let names: Vec<&str> = c.hide.iter().map(|n| n.name.as_str()).collect();
+        let _ = write!(s, " \\ {{{}}}", names.join(", "));
+    }
+    if !c.rename.is_empty() {
+        let pairs: Vec<String> = c
+            .rename
+            .iter()
+            .map(|(o, n)| format!("{} := {}", o.name, n.name))
+            .collect();
+        let _ = write!(s, " [[{}]]", pairs.join(", "));
+    }
+    if let Some(a) = &c.alias {
+        let _ = write!(s, " as {}", a.name);
+    }
+    s
+}
+
+/// Process-operator levels: 0 = internal choice, 1 = external choice,
+/// 2 = term (prefix, `inv`, atoms). A construct whose level is below
+/// the level its position requires is parenthesized.
+fn proc(p: &Proc, min_level: u8) -> String {
+    let (level, body) = match p {
+        Proc::Stop => (2, "STOP".to_owned()),
+        Proc::Skip => (2, "SKIP".to_owned()),
+        Proc::Call(name, args) => {
+            let mut s = name.name.clone();
+            if !args.is_empty() {
+                let rendered: Vec<String> = args.iter().map(|a| int_expr(a, 0)).collect();
+                let _ = write!(s, "({})", rendered.join(", "));
+            }
+            (2, s)
+        }
+        Proc::Prefix {
+            guards,
+            event,
+            updates,
+            then,
+        } => {
+            let mut s = String::new();
+            if !guards.is_empty() {
+                let atoms: Vec<String> = guards.iter().map(guard_atom).collect();
+                let _ = write!(s, "when {{{}}} ", atoms.join(", "));
+            }
+            match event {
+                EventSpec::Tau => s.push_str("tau"),
+                EventSpec::Send(c) => {
+                    let _ = write!(s, "{}!", c.name);
+                }
+                EventSpec::Recv(c) => {
+                    let _ = write!(s, "{}?", c.name);
+                }
+            }
+            if !updates.is_empty() {
+                let us: Vec<String> = updates.iter().map(update).collect();
+                let _ = write!(s, " {{{}}}", us.join(", "));
+            }
+            let _ = write!(s, " -> {}", proc(then, 2));
+            (2, s)
+        }
+        Proc::Invariant(atoms, body) => {
+            let ccs: Vec<String> = atoms.iter().map(clock_constraint).collect();
+            (2, format!("inv {{{}}} {}", ccs.join(", "), proc(body, 2)))
+        }
+        Proc::ExtChoice(parts) => {
+            let rendered: Vec<String> = parts.iter().map(|q| proc(q, 2)).collect();
+            (1, rendered.join(" [] "))
+        }
+        Proc::IntChoice(parts) => {
+            let rendered: Vec<String> = parts.iter().map(|q| proc(q, 1)).collect();
+            (0, rendered.join(" |~| "))
+        }
+    };
+    if level < min_level {
+        format!("({body})")
+    } else {
+        body
+    }
+}
+
+fn guard_atom(g: &GuardAtom) -> String {
+    match g {
+        GuardAtom::Clock(cc) => clock_constraint(cc),
+        GuardAtom::Data(a, op, b) => {
+            format!("{} {} {}", int_expr(a, 0), op.symbol(), int_expr(b, 0))
+        }
+    }
+}
+
+fn clock_ref(c: &ClockRef) -> String {
+    match &c.index {
+        None => c.name.name.clone(),
+        Some(e) => format!("{}[{}]", c.name, int_expr(e, 0)),
+    }
+}
+
+fn clock_constraint(cc: &ClockConstraint) -> String {
+    let mut s = clock_ref(&cc.clock);
+    if let Some(m) = &cc.minus {
+        let _ = write!(s, " - {}", clock_ref(m));
+    }
+    let _ = write!(s, " {} {}", cc.op.symbol(), int_expr(&cc.bound, 0));
+    s
+}
+
+fn update(u: &Update) -> String {
+    match u {
+        Update::ClockReset(c, e) => format!("{} := {}", clock_ref(c), int_expr(e, 0)),
+        Update::Assign(v, None, e) => format!("{} := {}", v.name, int_expr(e, 0)),
+        Update::Assign(v, Some(i), e) => {
+            format!("{}[{}] := {}", v.name, int_expr(i, 0), int_expr(e, 0))
+        }
+    }
+}
+
+/// Integer-expression levels: 1 = additive, 2 = multiplicative,
+/// 3 = unary minus, 4 = atom. Left-associative operators render their
+/// right operand one level up so `a - (b - c)` keeps its parentheses.
+fn int_expr(e: &IntExpr, min_level: u8) -> String {
+    let (level, body) = match e {
+        IntExpr::Lit(v) => {
+            if *v < 0 {
+                // A negative literal renders with its sign, which is a
+                // unary-minus production.
+                (3, v.to_string())
+            } else {
+                (4, v.to_string())
+            }
+        }
+        IntExpr::Name(id) => (4, id.name.clone()),
+        IntExpr::Index(id, i) => (4, format!("{}[{}]", id.name, int_expr(i, 0))),
+        IntExpr::Neg(x) => (3, format!("-{}", int_expr(x, 4))),
+        IntExpr::Bin(op, a, b) => {
+            let (sym, lvl) = match op {
+                IntOp::Add => ("+", 1),
+                IntOp::Sub => ("-", 1),
+                IntOp::Mul => ("*", 2),
+                IntOp::Div => ("/", 2),
+            };
+            (
+                lvl,
+                format!("{} {} {}", int_expr(a, lvl), sym, int_expr(b, lvl + 1)),
+            )
+        }
+    };
+    if level < min_level {
+        format!("({body})")
+    } else {
+        body
+    }
+}
+
+/// Formula levels: 0 = `||`, 1 = `&&`, 2 = `!`, 3 = atom.
+fn formula(f: &Formula, min_level: u8) -> String {
+    let (level, body) = match f {
+        Formula::True => (3, "true".to_owned()),
+        Formula::False => (3, "false".to_owned()),
+        Formula::AtLoc(c, l) => (3, format!("{}.{}", c.name, l.name)),
+        Formula::Clock(cc) => (3, clock_constraint(cc)),
+        Formula::Data(a, op, b) => (
+            3,
+            format!("{} {} {}", int_expr(a, 0), op.symbol(), int_expr(b, 0)),
+        ),
+        Formula::Not(g) => (2, format!("!{}", formula(g, 2))),
+        Formula::And(gs) => {
+            let parts: Vec<String> = gs.iter().map(|g| formula(g, 2)).collect();
+            (1, parts.join(" && "))
+        }
+        Formula::Or(gs) => {
+            let parts: Vec<String> = gs.iter().map(|g| formula(g, 1)).collect();
+            (0, parts.join(" || "))
+        }
+    };
+    if level < min_level {
+        format!("({body})")
+    } else {
+        body
+    }
+}
+
+fn assert_kind(k: &AssertKind) -> String {
+    match k {
+        AssertKind::DeadlockFree => "deadlock free".to_owned(),
+        AssertKind::Reach(f) => format!("E<> {}", formula(f, 0)),
+        AssertKind::Always(f) => format!("A[] {}", formula(f, 0)),
+        AssertKind::LeadsTo(f, g) => format!("{} --> {}", formula(f, 0), formula(g, 0)),
+        AssertKind::Pmax(f, op, p) => format!("Pmax[<> {}] {} {p}", formula(f, 0), op.symbol()),
+        AssertKind::Pmin(f, op, p) => format!("Pmin[<> {}] {} {p}", formula(f, 0), op.symbol()),
+        AssertKind::Pr {
+            bound,
+            goal,
+            cmp,
+            prob,
+            opts,
+        } => {
+            let mut s = format!(
+                "Pr[<= {}](<> {}) {} {prob}",
+                int_expr(bound, 0),
+                formula(goal, 0),
+                cmp.symbol()
+            );
+            let mut fields = Vec::new();
+            if let Some(r) = opts.runs {
+                fields.push(format!("runs = {r}"));
+            }
+            if let Some(c) = opts.confidence {
+                fields.push(format!("confidence = {c}"));
+            }
+            if !fields.is_empty() {
+                let _ = write!(s, " {{{}}}", fields.join(", "));
+            }
+            s
+        }
+        AssertKind::Refines(i, sp) => format!("{} refines {}", i.name, sp.name),
+        AssertKind::Ioco(i, sp) => format!("{} ioco {}", i.name, sp.name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trip(src: &str) {
+        let m = parse(src).expect("parse source");
+        let rendered = render(&m);
+        let m2 = parse(&rendered).unwrap_or_else(|e| panic!("re-parse of:\n{rendered}\n{e}"));
+        assert_eq!(m, m2, "round trip of:\n{rendered}");
+    }
+
+    #[test]
+    fn round_trips_representative_models() {
+        round_trip(
+            "param D = 5\nchannel approach, leave\nclock x\nvar n: 0..3 = 0\n\
+             process Train = inv {x <= D} when {x >= 1, n < 3} approach! {x := 0, n := n + 1} -> Train\n\
+             process Gate = approach? -> leave! -> Gate\n\
+             system Train \\ {leave} || {approach} Gate as G\n\
+             assert E<> G.Gate\nassert deadlock free\n\
+             assert Pmax[<> G.Gate] >= 0.5\n\
+             assert Pr[<= 10](<> G.Gate) >= 0.25 {runs = 50, confidence = 0.99}\n\
+             assert Train.Train --> G.Gate\n",
+        );
+        round_trip(
+            "channel a\nprocess P = (a! -> P [] STOP) |~| SKIP\nprocess Q = a? -> Q\n\
+             system P [[a := a]] || {a} Q\nassert A[] !(P.STOP && 1 == 2) || true\n",
+        );
+    }
+
+    #[test]
+    fn parentheses_are_preserved_where_structural() {
+        round_trip("channel a\nprocess P = a! -> (a? -> P [] STOP)\nsystem P\n");
+        let m = parse("channel a\nprocess P = a! -> (a? -> P [] STOP)\nsystem P").expect("parse");
+        let r = render(&m);
+        assert!(r.contains("(a? -> P [] STOP)"), "{r}");
+    }
+
+    #[test]
+    fn expression_associativity_round_trips() {
+        let src = "param M = 1\nparam K = 2\nprocess P(k) = STOP\nsystem P(M - (K - 1) * -2)\n";
+        round_trip(src);
+        let m = parse(src).expect("parse");
+        let r = render(&m);
+        assert!(r.contains("M - (K - 1) * -2"), "{r}");
+    }
+}

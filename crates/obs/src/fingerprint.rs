@@ -74,6 +74,24 @@ impl Fingerprint {
         let lo = u64::from_str_radix(&s[16..], 16).ok()?;
         Some(Fingerprint { hi, lo })
     }
+
+    /// Bit-exact 16-character hex encoding of an `f64`: the canonical
+    /// form for floats inside cache entries and result JSON, where
+    /// `parse(render(v))` must reproduce `v` bit-for-bit (decimal
+    /// renderings round).
+    #[must_use]
+    pub fn hex64(v: f64) -> String {
+        format!("{:016x}", v.to_bits())
+    }
+
+    /// Decodes the rendering of [`Fingerprint::hex64`].
+    #[must_use]
+    pub fn parse_hex64(tok: &str) -> Option<f64> {
+        if tok.len() != 16 || !tok.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u64::from_str_radix(tok, 16).ok().map(f64::from_bits)
+    }
 }
 
 impl fmt::Display for Fingerprint {
@@ -393,5 +411,30 @@ mod tests {
         let y = Fingerprint::of("y");
         assert_ne!(Fingerprint::combine(&[x, y]), Fingerprint::combine(&[y, x]));
         assert_eq!(Fingerprint::combine(&[x, y]), Fingerprint::combine(&[x, y]));
+    }
+
+    #[test]
+    fn hex64_round_trips_bit_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            0.1 + 0.2,
+            1.0 / 3.0,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            let tok = Fingerprint::hex64(v);
+            assert_eq!(tok.len(), 16);
+            let back = Fingerprint::parse_hex64(&tok).expect("round-trip");
+            assert_eq!(back.to_bits(), v.to_bits(), "{tok}");
+        }
+        // NaN keeps its payload bits too.
+        let tok = Fingerprint::hex64(f64::NAN);
+        let back = Fingerprint::parse_hex64(&tok).expect("nan");
+        assert_eq!(back.to_bits(), f64::NAN.to_bits());
+        assert_eq!(Fingerprint::parse_hex64("zz"), None);
+        assert_eq!(Fingerprint::parse_hex64("0123"), None);
     }
 }

@@ -7,6 +7,8 @@ use std::sync::Arc;
 
 use tempo_bip::BipSystem;
 use tempo_cora::PricedNetwork;
+use tempo_ecdar::Tioa;
+use tempo_ioco::Lts;
 use tempo_mdp::{Mdp, Opt};
 use tempo_modest::{Mcpta, Pta};
 use tempo_obs::{
@@ -157,6 +159,31 @@ pub enum JobKind {
         /// The composed BIP system.
         sys: Arc<BipSystem>,
     },
+    /// Exhaustive deadlock-freedom check (`A[] not deadlock`) on a
+    /// timed-automata network.
+    DeadlockFree {
+        /// The network under analysis.
+        net: Arc<Network>,
+        /// State-space reduction knobs for the exploration engine.
+        /// Part of the cache key, like [`JobKind::Reach`]'s.
+        explore: ExploreConfig,
+    },
+    /// Timed refinement between two TIOA specifications (ECDAR): does
+    /// the implementation refine the specification?
+    Refines {
+        /// The implementation automaton.
+        imp: Arc<Tioa>,
+        /// The specification automaton.
+        spec: Arc<Tioa>,
+    },
+    /// ioco conformance between an implementation LTS and a
+    /// specification LTS.
+    Ioco {
+        /// The implementation under test.
+        imp: Arc<Lts>,
+        /// The specification it must conform to.
+        spec: Arc<Lts>,
+    },
 }
 
 impl JobKind {
@@ -177,6 +204,9 @@ impl JobKind {
             JobKind::MdpReach { .. } => "mdp-reach",
             JobKind::McptaReach { .. } => "mcpta-reach",
             JobKind::BipDeadlock { .. } => "bip-deadlock",
+            JobKind::DeadlockFree { .. } => "ta-deadlock",
+            JobKind::Refines { .. } => "ecdar-refines",
+            JobKind::Ioco { .. } => "ioco-conform",
         }
     }
 
@@ -195,7 +225,9 @@ impl JobKind {
     pub fn lint_gate(&self) -> Result<(), LintError> {
         let config = tempo_lint::LintConfig::default();
         match self {
-            JobKind::Reach { net, .. } | JobKind::LeadsTo { net, .. } => {
+            JobKind::Reach { net, .. }
+            | JobKind::LeadsTo { net, .. }
+            | JobKind::DeadlockFree { net, .. } => {
                 tempo_lint::check_network_first(net, &config).map(drop)
             }
             JobKind::MinCost { pnet, .. } | JobKind::PricedSmc { pnet, .. } => {
@@ -207,7 +239,10 @@ impl JobKind {
             JobKind::Probability { net, .. } | JobKind::RareEvent { net, .. } => {
                 tempo_smc::StatisticalChecker::check_first(net, &config).map(drop)
             }
-            JobKind::MdpReach { .. } | JobKind::McptaReach { .. } => Ok(()),
+            JobKind::MdpReach { .. }
+            | JobKind::McptaReach { .. }
+            | JobKind::Refines { .. }
+            | JobKind::Ioco { .. } => Ok(()),
             JobKind::BipDeadlock { sys } => tempo_lint::check_bip_first(sys, &config).map(drop),
         }
     }
@@ -322,6 +357,18 @@ impl JobKind {
                 h.write_f64(*epsilon);
             }
             JobKind::BipDeadlock { sys } => sys.digest(&mut h),
+            JobKind::DeadlockFree { net, explore } => {
+                net.digest(&mut h);
+                explore.digest(&mut h);
+            }
+            JobKind::Refines { imp, spec } => {
+                imp.digest(&mut h);
+                spec.digest(&mut h);
+            }
+            JobKind::Ioco { imp, spec } => {
+                imp.digest(&mut h);
+                spec.digest(&mut h);
+            }
         }
         digest_budget_class(budget, &mut h);
         h.finish()
@@ -329,8 +376,9 @@ impl JobKind {
 
     /// Whether a certified verdict of this kind is persisted to the
     /// on-disk tier. Statistical estimates (whose run certificates
-    /// witness simulator legality, not the estimate's value) and BIP
-    /// deadlock verdicts (no certificate machinery) stay memory-only.
+    /// witness simulator legality, not the estimate's value) and the
+    /// uncertified boolean verdicts — BIP/TA deadlock, refinement, ioco
+    /// conformance (no certificate machinery) — stay memory-only.
     #[must_use]
     pub fn persists_to_disk(&self) -> bool {
         !matches!(
@@ -339,6 +387,9 @@ impl JobKind {
                 | JobKind::PricedSmc { .. }
                 | JobKind::RareEvent { .. }
                 | JobKind::BipDeadlock { .. }
+                | JobKind::DeadlockFree { .. }
+                | JobKind::Refines { .. }
+                | JobKind::Ioco { .. }
         )
     }
 
@@ -544,6 +595,34 @@ impl JobKind {
                 Ok(Execution {
                     verdict: JobVerdict::BipDeadlock(res.is_some()),
                     report,
+                    certificate: None,
+                })
+            }
+            JobKind::DeadlockFree { net, explore } => {
+                let mut mc = tempo_ta::ModelChecker::new(net).with_config(explore.clone());
+                let out = mc
+                    .try_deadlock_free_governed(budget)
+                    .map_err(|e| JobError::Engine(e.to_string()))?;
+                let ((verdict, _stats), report) = split(out)?;
+                Ok(Execution {
+                    verdict: JobVerdict::DeadlockFree(verdict.holds()),
+                    report,
+                    certificate: None,
+                })
+            }
+            JobKind::Refines { imp, spec } => {
+                let (res, report) = split(tempo_ecdar::refines_governed(imp, spec, budget))?;
+                Ok(Execution {
+                    verdict: JobVerdict::Refines(res.is_ok()),
+                    report,
+                    certificate: None,
+                })
+            }
+            JobKind::Ioco { imp, spec } => {
+                let res = tempo_ioco::check_ioco(imp, spec);
+                Ok(Execution {
+                    verdict: JobVerdict::Ioco(res.is_ok()),
+                    report: RunReport::default(),
                     certificate: None,
                 })
             }
@@ -763,14 +842,20 @@ pub enum JobVerdict {
     McptaValue(f64),
     /// Whether a global deadlock exists.
     BipDeadlock(bool),
+    /// Whether the timed-automata network is deadlock-free.
+    DeadlockFree(bool),
+    /// Whether the implementation refines the specification (ECDAR).
+    Refines(bool),
+    /// Whether the implementation ioco-conforms to the specification.
+    Ioco(bool),
 }
 
 fn hex64(v: f64) -> String {
-    format!("{:016x}", v.to_bits())
+    Fingerprint::hex64(v)
 }
 
 fn parse_hex64(tok: &str) -> Option<f64> {
-    u64::from_str_radix(tok, 16).ok().map(f64::from_bits)
+    Fingerprint::parse_hex64(tok)
 }
 
 impl JobVerdict {
@@ -821,6 +906,9 @@ impl JobVerdict {
             JobVerdict::MdpValue(v) => format!("mdp-value {}", hex64(*v)),
             JobVerdict::McptaValue(v) => format!("mcpta-value {}", hex64(*v)),
             JobVerdict::BipDeadlock(b) => format!("bip-deadlock {b}"),
+            JobVerdict::DeadlockFree(b) => format!("deadlock-free {b}"),
+            JobVerdict::Refines(b) => format!("refines {b}"),
+            JobVerdict::Ioco(b) => format!("ioco {b}"),
         }
     }
 
@@ -872,6 +960,9 @@ impl JobVerdict {
             ["mdp-value", v] => Some(JobVerdict::MdpValue(parse_hex64(v)?)),
             ["mcpta-value", v] => Some(JobVerdict::McptaValue(parse_hex64(v)?)),
             ["bip-deadlock", b] => Some(JobVerdict::BipDeadlock(flag(b)?)),
+            ["deadlock-free", b] => Some(JobVerdict::DeadlockFree(flag(b)?)),
+            ["refines", b] => Some(JobVerdict::Refines(flag(b)?)),
+            ["ioco", b] => Some(JobVerdict::Ioco(flag(b)?)),
             _ => None,
         }
     }
@@ -896,6 +987,9 @@ impl fmt::Display for JobVerdict {
             JobVerdict::MdpValue(v) => write!(f, "value: {v}"),
             JobVerdict::McptaValue(v) => write!(f, "value: {v}"),
             JobVerdict::BipDeadlock(b) => write!(f, "deadlock: {b}"),
+            JobVerdict::DeadlockFree(b) => write!(f, "deadlock-free: {b}"),
+            JobVerdict::Refines(b) => write!(f, "refines: {b}"),
+            JobVerdict::Ioco(b) => write!(f, "conforms: {b}"),
         }
     }
 }
@@ -1033,6 +1127,9 @@ mod tests {
             JobVerdict::MdpValue(1.0 / 3.0),
             JobVerdict::McptaValue(0.0),
             JobVerdict::BipDeadlock(false),
+            JobVerdict::DeadlockFree(true),
+            JobVerdict::Refines(false),
+            JobVerdict::Ioco(true),
         ];
         for v in verdicts {
             let text = v.render();
